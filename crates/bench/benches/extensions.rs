@@ -1,0 +1,40 @@
+//! Benchmarks for the §8 extensions: whole-program qualifier inference
+//! and the interplay of inference with the corpus scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stq_cir::parse::parse_program;
+use stq_corpus::grep::grep_dfa_source_with;
+use stq_corpus::tables::registry_subset;
+use stq_typecheck::infer_annotations;
+use stq_util::Symbol;
+
+fn bench_inference(c: &mut Criterion) {
+    let registry = registry_subset(&["nonnull"]);
+    let mut group = c.benchmark_group("annotation_inference");
+    group.sample_size(20);
+    for scale in [0.25f64, 0.5, 1.0] {
+        let src = grep_dfa_source_with(scale, stq_corpus::grep::GuardStyle::Direct)
+            .replace("* nonnull", "*");
+        let program = parse_program(&src, &registry.names()).expect("parses");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{scale}x")),
+            &program,
+            |b, p| {
+                b.iter(|| {
+                    let r = infer_annotations(
+                        black_box(&registry),
+                        black_box(p),
+                        Symbol::intern("nonnull"),
+                    );
+                    assert!(!r.inferred.is_empty());
+                    r.iterations
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Reproduces the paper's §4 soundness-checking timing claims:
+//!
+//! > "The value qualifiers nonnull, nonzero, pos, and neg are each proven
+//! > sound by our checker in under one second. The reference qualifiers
+//! > unique and unaliased are each proven sound in under 30 seconds."
+//!
+//! The shape to preserve: every qualifier proves sound automatically, the
+//! value qualifiers are fast, and the reference qualifiers (with their
+//! quantified invariants and preservation case analyses) are the
+//! expensive ones.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stq_qualspec::Registry;
+use stq_soundness::{check_qualifier, Verdict};
+
+fn bench_value_qualifiers(c: &mut Criterion) {
+    let registry = Registry::builtins();
+    let mut group = c.benchmark_group("prove_value_qualifiers");
+    for name in ["pos", "neg", "nonzero", "nonnull"] {
+        let def = registry.get_by_name(name).expect("builtin");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = check_qualifier(black_box(&registry), black_box(def));
+                assert_eq!(report.verdict, Verdict::Sound);
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ref_qualifiers(c: &mut Criterion) {
+    let registry = Registry::builtins();
+    let mut group = c.benchmark_group("prove_ref_qualifiers");
+    group.sample_size(20);
+    for name in ["unique", "unaliased"] {
+        let def = registry.get_by_name(name).expect("builtin");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = check_qualifier(black_box(&registry), black_box(def));
+                assert_eq!(report.verdict, Verdict::Sound);
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rejecting_broken_rules(c: &mut Criterion) {
+    // Rejection must also be fast: the prover gives up after its
+    // instantiation rounds produce nothing new.
+    let mut registry = Registry::new();
+    registry
+        .add_source(
+            "value qualifier neg(int Expr E)
+                case E of
+                    decl int Const C: C, where C < 0
+                invariant value(E) < 0",
+        )
+        .expect("parses");
+    registry
+        .add_source(
+            "value qualifier pos(int Expr E)
+                case E of
+                    decl int Const C: C, where C > 0
+                  | decl int Expr E1, E2: E1 - E2, where pos(E1) && pos(E2)
+                invariant value(E) > 0",
+        )
+        .expect("parses");
+    let def = registry.get_by_name("pos").expect("defined");
+    c.bench_function("reject_broken_pos", |b| {
+        b.iter(|| {
+            let report = check_qualifier(black_box(&registry), black_box(def));
+            assert_eq!(report.verdict, Verdict::Unsound);
+            report
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_value_qualifiers,
+    bench_ref_qualifiers,
+    bench_rejecting_broken_rules
+);
+criterion_main!(benches);

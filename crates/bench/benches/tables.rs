@@ -1,0 +1,42 @@
+//! End-to-end regeneration cost of the paper's evaluation tables
+//! (generation + parsing + checking + measurement), and of the §6.2
+//! uniqueness experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stq_corpus::tables::{table1, table2, unique_experiment};
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_end_to_end", |b| {
+        b.iter(|| {
+            let row = table1();
+            assert_eq!(row.dereferences, 1072);
+            assert_eq!(row.errors, 0);
+            row
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_end_to_end", |b| {
+        b.iter(|| {
+            let rows = table2();
+            assert_eq!(rows.len(), 3);
+            assert_eq!(rows[0].errors, 1); // the bftpd bug
+            rows
+        })
+    });
+}
+
+fn bench_unique(c: &mut Criterion) {
+    c.bench_function("table_unique_end_to_end", |b| {
+        b.iter(|| {
+            let (row, references) = unique_experiment();
+            assert_eq!(references, 49);
+            assert_eq!(row.errors, 0);
+            row
+        })
+    });
+}
+
+criterion_group!(benches, bench_table1, bench_table2, bench_unique);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Benchmark support crate. The benchmarks themselves live in
+//! `benches/`; each regenerates one table, figure, or timing claim from
+//! the paper's evaluation:
+//!
+//! * `prove_qualifiers` — §4's soundness-checking times (value
+//!   qualifiers under 1 s, reference qualifiers under 30 s in the paper);
+//! * `typecheck_corpus` — §6's "extra compile time … under one second"
+//!   claim, plus a program-size scaling sweep;
+//! * `tables` — end-to-end regeneration cost of Tables 1 and 2;
+//! * `prover_ablation` — design-choice ablations for the prover
+//!   (instantiation round budget) and the inference engine (deep
+//!   recursive qualifier queries).

@@ -1,0 +1,225 @@
+//! The high-level session API: everything a user of the framework does —
+//! define qualifiers, prove them sound, check programs, instrument and
+//! run them — through one entry point.
+
+use stq_cir::ast::Program;
+use stq_cir::interp::{run_entry, ExecOutcome, InterpConfig, RuntimeError, Value};
+use stq_cir::parse::{parse_program, ParseError};
+use stq_qualspec::parse::SpecError;
+use stq_qualspec::Registry;
+use stq_soundness::{check_all, check_qualifier, QualReport};
+use stq_typecheck::{
+    check_program, check_program_with, infer_annotations, instrument_program, AnnotationInference,
+    CheckOptions, CheckResult, InvariantChecker,
+};
+use stq_util::{Diagnostics, Symbol};
+
+/// A semantic-type-qualifiers session: a set of qualifier definitions and
+/// the operations the paper's framework provides over them.
+///
+/// # Examples
+///
+/// The full workflow from the paper's introduction: define a qualifier,
+/// prove it sound once and for all, then typecheck a program against it.
+///
+/// ```
+/// use stq_core::Session;
+///
+/// let mut session = Session::with_builtins();
+/// let reports = session.prove_all_sound();
+/// assert!(reports.iter().all(|r| !r.verdict.to_string().contains("NOT")));
+///
+/// let result = session
+///     .check_source(
+///         "int pos gcd(int pos n, int pos m);
+///          int pos lcm(int pos a, int pos b) {
+///              int pos d = gcd(a, b);
+///              int pos prod = a * b;
+///              return (int pos) (prod / d);
+///          }",
+///     )
+///     .unwrap();
+/// assert!(result.is_clean());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Session {
+    registry: Registry,
+}
+
+impl Session {
+    /// A session with no qualifiers defined.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// A session preloaded with the paper's qualifier library.
+    pub fn with_builtins() -> Session {
+        Session {
+            registry: Registry::builtins(),
+        }
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Defines new qualifiers from definition-language source.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse or duplicate-name error.
+    pub fn define_qualifiers(&mut self, source: &str) -> Result<Vec<Symbol>, SpecError> {
+        let before: Vec<Symbol> = self.registry.iter().map(|d| d.name).collect();
+        self.registry.add_source(source)?;
+        Ok(self
+            .registry
+            .iter()
+            .map(|d| d.name)
+            .filter(|n| !before.contains(n))
+            .collect())
+    }
+
+    /// Well-formedness diagnostics for every definition.
+    pub fn check_well_formed(&self) -> Diagnostics {
+        self.registry.check_well_formed()
+    }
+
+    /// Proves (or refutes) the soundness of one qualifier.
+    pub fn prove_sound(&self, name: &str) -> Option<QualReport> {
+        self.registry
+            .get_by_name(name)
+            .map(|def| check_qualifier(&self.registry, def))
+    }
+
+    /// Proves (or refutes) the soundness of every registered qualifier.
+    pub fn prove_all_sound(&self) -> Vec<QualReport> {
+        check_all(&self.registry)
+    }
+
+    /// Parses C-subset source with this session's qualifiers as
+    /// annotations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax error.
+    pub fn parse(&self, source: &str) -> Result<Program, ParseError> {
+        parse_program(source, &self.registry.names())
+    }
+
+    /// Typechecks a parsed program.
+    pub fn check(&self, program: &Program) -> CheckResult {
+        check_program(&self.registry, program)
+    }
+
+    /// Typechecks with explicit options (e.g. the flow-sensitive
+    /// extension).
+    pub fn check_with(&self, program: &Program, options: CheckOptions) -> CheckResult {
+        check_program_with(&self.registry, program, options)
+    }
+
+    /// Parses and typechecks in one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax error; qualifier violations are reported
+    /// in the returned [`CheckResult`], not as errors.
+    pub fn check_source(&self, source: &str) -> Result<CheckResult, ParseError> {
+        Ok(self.check(&self.parse(source)?))
+    }
+
+    /// Infers annotations for one value qualifier across a whole program
+    /// (the paper's §8 "qualifier inference" plan): the greatest
+    /// consistent set of declaration sites that can carry the qualifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qual` is not a registered value qualifier.
+    pub fn infer_annotations(&self, program: &Program, qual: &str) -> AnnotationInference {
+        infer_annotations(&self.registry, program, Symbol::intern(qual))
+    }
+
+    /// Inserts run-time invariant checks for value-qualifier casts.
+    pub fn instrument(&self, program: &Program) -> Program {
+        instrument_program(&self.registry, program)
+    }
+
+    /// Instruments `program` and runs `entry` on the interpreter, with
+    /// cast checks evaluated against the declared invariants.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`], including failed qualifier checks.
+    pub fn run_instrumented(
+        &self,
+        program: &Program,
+        entry: &str,
+        args: &[Value],
+    ) -> Result<ExecOutcome, RuntimeError> {
+        let instrumented = self.instrument(program);
+        let checker = InvariantChecker::new(&self.registry);
+        run_entry(
+            &instrumented,
+            entry,
+            args,
+            &checker,
+            InterpConfig::default(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stq_soundness::Verdict;
+
+    #[test]
+    fn builtin_session_is_sound_and_well_formed() {
+        let s = Session::with_builtins();
+        assert!(!s.check_well_formed().has_errors());
+        for report in s.prove_all_sound() {
+            assert_ne!(report.verdict, Verdict::Unsound, "{report}");
+        }
+    }
+
+    #[test]
+    fn define_reports_new_names() {
+        let mut s = Session::new();
+        let names = s
+            .define_qualifiers(
+                "value qualifier answer(int Expr E)
+                    case E of
+                        decl int Const C: C, where C == 42
+                    invariant value(E) == 42",
+            )
+            .unwrap();
+        assert_eq!(names, vec![Symbol::intern("answer")]);
+        let report = s.prove_sound("answer").unwrap();
+        assert_eq!(report.verdict, Verdict::Sound, "{report}");
+    }
+
+    #[test]
+    fn check_source_runs_the_full_pipeline() {
+        let s = Session::with_builtins();
+        let result = s.check_source("int f(int* p) { return *p; }").unwrap();
+        assert_eq!(result.stats.qualifier_errors, 1);
+    }
+
+    #[test]
+    fn run_instrumented_executes_checks() {
+        let s = Session::with_builtins();
+        let program = s
+            .parse("int f(int x) { int pos y = (int pos) x; return y; }")
+            .unwrap();
+        let ok = s.run_instrumented(&program, "f", &[Value::Int(5)]);
+        assert!(ok.is_ok());
+        let err = s.run_instrumented(&program, "f", &[Value::Int(-5)]);
+        assert!(matches!(err, Err(RuntimeError::CheckFailed { .. })));
+    }
+
+    #[test]
+    fn prove_sound_of_unknown_qualifier_is_none() {
+        let s = Session::new();
+        assert!(s.prove_sound("ghost").is_none());
+    }
+}

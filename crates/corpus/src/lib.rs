@@ -1,0 +1,29 @@
+//! Synthetic experiment corpora and the measurement harness (paper §6).
+//!
+//! The paper evaluates on real open-source C programs (grep 2.5, bftpd
+//! 1.0.11, mingetty 0.9.4, identd 1.0) that the C-subset front end cannot
+//! parse in full, so this crate generates deterministic stand-ins with
+//! the same *measured shape* — the same non-blank line counts, the same
+//! dereference / printf-call profiles, the same annotation burden, the
+//! same NULL-guard idioms that force casts under flow-insensitive
+//! checking, and the same seeded format-string bug in bftpd.
+//!
+//! * [`grep`] — the dfa.c/dfa.h stand-in for Table 1 (nonnull);
+//! * [`taint`] — bftpd / mingetty / identd for Table 2 (untainted);
+//! * [`uniq`] — the §6.2 uniqueness experiment on the global dfa;
+//! * [`tables`] — runs the real typechecker and *measures* the rows.
+//!
+//! # Examples
+//!
+//! ```
+//! let row = stq_corpus::tables::table1();
+//! assert_eq!(row.lines, 2287);
+//! assert_eq!(row.errors, 0);
+//! ```
+
+pub mod grep;
+pub mod tables;
+pub mod taint;
+pub mod uniq;
+
+pub use tables::{measure, registry_subset, render_table1, render_table2, table1, table2, Row};

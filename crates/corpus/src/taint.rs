@@ -1,0 +1,178 @@
+//! Synthetic stand-ins for the paper's §6.3 taintedness programs:
+//! bftpd 1.0.11 (an FTP server), mingetty 0.9.4, and identd 1.0.
+//!
+//! Each program reproduces the shape the untainted experiment measures:
+//! the paper's non-blank line counts, `printf`-family call counts, the
+//! user annotations required, and — for bftpd — the previously identified
+//! **exploitable format-string bug**: `sendstrf(s, entry->d_name)` passes
+//! a file name where an untainted format string is expected.
+
+use crate::grep::pad_to_lines;
+use std::fmt::Write as _;
+
+/// Table 2 targets: (lines, printf calls, user annotations, casts, errors).
+pub const BFTPD_TARGETS: (usize, usize, usize, usize, usize) = (750, 134, 2, 0, 1);
+/// mingetty targets.
+pub const MINGETTY_TARGETS: (usize, usize, usize, usize, usize) = (293, 23, 1, 0, 0);
+/// identd targets.
+pub const IDENTD_TARGETS: (usize, usize, usize, usize, usize) = (228, 21, 0, 0, 0);
+
+fn printf_proto(out: &mut String) {
+    let _ = writeln!(out, "int printf(char* untainted fmt, ...);");
+}
+
+/// Emits `n` status-report functions containing `per_fn` printf calls
+/// each with constant format strings, returning how many calls were
+/// emitted.
+fn emit_printf_block(out: &mut String, label: &str, n: usize, per_fn: usize) -> usize {
+    let mut emitted = 0;
+    for k in 0..n {
+        let _ = writeln!(out, "void {label}_{k}(int code, char* msg) {{");
+        for j in 0..per_fn {
+            match j % 3 {
+                0 => {
+                    let _ = writeln!(out, "    printf(\"{label} {k}.{j}: %d\\n\", code);");
+                }
+                1 => {
+                    let _ = writeln!(out, "    printf(\"{label} {k}.{j}: %s\\n\", msg);");
+                }
+                _ => {
+                    let _ = writeln!(out, "    printf(\"{label} {k}.{j} ok\\n\");");
+                }
+            }
+            emitted += 1;
+        }
+        let _ = writeln!(out, "}}");
+    }
+    emitted
+}
+
+/// The bftpd-like FTP server, including the seeded vulnerability.
+///
+/// The two user annotations are the `format` parameters of `sendstrf`
+/// and `logmsg` (the paper: "two procedure parameters that are necessary
+/// to annotate as untainted"). The bug site is in `list_directory`.
+pub fn bftpd_source() -> String {
+    let (lines, printf_calls, _, _, _) = BFTPD_TARGETS;
+    let mut out = String::new();
+    printf_proto(&mut out);
+    // The dirent structure whose d_name field carries untrusted data.
+    let _ = writeln!(
+        out,
+        "struct dirent {{\n\
+         \x20   char* d_name;\n\
+         \x20   int d_ino;\n\
+         }};"
+    );
+    // User annotation 1: sendstrf's format parameter.
+    let _ = writeln!(
+        out,
+        "int sendstrf(int s, char* untainted format, int arg) {{\n\
+         \x20   printf(format, arg);\n\
+         \x20   return s;\n\
+         }}"
+    );
+    // User annotation 2: logmsg's format parameter.
+    let _ = writeln!(
+        out,
+        "void logmsg(char* untainted format) {{\n\
+         \x20   printf(format);\n\
+         }}"
+    );
+    // The vulnerability (Bailleux 2000, rediscovered by Shankar et al.
+    // and by the paper): a directory entry name used as a format string.
+    let _ = writeln!(
+        out,
+        "int list_directory(int s, struct dirent* entry) {{\n\
+         \x20   int r;\n\
+         \x20   r = sendstrf(s, entry->d_name, 0);\n\
+         \x20   return r;\n\
+         }}"
+    );
+    // Command handlers with constant format strings; two printf calls are
+    // already inside sendstrf/logmsg.
+    let body_calls = printf_calls - 2;
+    let per_fn = 4;
+    let full = body_calls / per_fn;
+    let mut emitted = emit_printf_block(&mut out, "handle", full, per_fn);
+    if emitted < body_calls {
+        emitted += emit_printf_block(&mut out, "extra", 1, body_calls - emitted);
+    }
+    debug_assert_eq!(emitted, body_calls);
+    pad_to_lines(&mut out, lines);
+    out
+}
+
+/// The mingetty-like remote terminal utility (no vulnerabilities; one
+/// user annotation on its banner-printing helper).
+pub fn mingetty_source() -> String {
+    let (lines, printf_calls, _, _, _) = MINGETTY_TARGETS;
+    let mut out = String::new();
+    printf_proto(&mut out);
+    // User annotation: the issue-banner formatter.
+    let _ = writeln!(
+        out,
+        "void print_banner(char* untainted format) {{\n\
+         \x20   printf(format);\n\
+         }}"
+    );
+    let _ = writeln!(
+        out,
+        "void show_issue(int tty) {{\n\
+         \x20   print_banner(\"login: \");\n\
+         \x20   print_banner(\"tty ready\\n\");\n\
+         }}"
+    );
+    let body_calls = printf_calls - 1;
+    let per_fn = 4;
+    let full = body_calls / per_fn;
+    let mut emitted = emit_printf_block(&mut out, "getty", full, per_fn);
+    if emitted < body_calls {
+        emitted += emit_printf_block(&mut out, "tty", 1, body_calls - emitted);
+    }
+    debug_assert_eq!(emitted, body_calls);
+    pad_to_lines(&mut out, lines);
+    out
+}
+
+/// The identd-like network identification service (no vulnerabilities,
+/// no user annotations — every format string is a constant).
+pub fn identd_source() -> String {
+    let (lines, printf_calls, _, _, _) = IDENTD_TARGETS;
+    let mut out = String::new();
+    printf_proto(&mut out);
+    let per_fn = 3;
+    let full = printf_calls / per_fn;
+    let mut emitted = emit_printf_block(&mut out, "ident", full, per_fn);
+    if emitted < printf_calls {
+        emitted += emit_printf_block(&mut out, "reply", 1, printf_calls - emitted);
+    }
+    debug_assert_eq!(emitted, printf_calls);
+    pad_to_lines(&mut out, lines);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stq_cir::pretty::count_lines;
+
+    #[test]
+    fn line_counts_match_the_paper() {
+        assert_eq!(count_lines(&bftpd_source()), BFTPD_TARGETS.0);
+        assert_eq!(count_lines(&mingetty_source()), MINGETTY_TARGETS.0);
+        assert_eq!(count_lines(&identd_source()), IDENTD_TARGETS.0);
+    }
+
+    #[test]
+    fn sources_parse_with_untainted() {
+        for src in [bftpd_source(), mingetty_source(), identd_source()] {
+            stq_cir::parse::parse_program(&src, &["untainted", "tainted"]).expect("corpus parses");
+        }
+    }
+
+    #[test]
+    fn bftpd_contains_the_bug_site() {
+        assert!(bftpd_source().contains("r = sendstrf(s, entry->d_name, 0);"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Synthetic stand-in for the paper's §6.2 uniqueness experiment on
+//! grep's global `dfa` variable.
+//!
+//! The paper annotated the global DFA pointer `unique`, found that its
+//! initialization (a pointer handed over from the parser module) needs a
+//! cast, and that all **49 subsequent references** preserve uniqueness —
+//! they only go through dereferences of the global, never copy it.
+
+use std::fmt::Write as _;
+
+/// The number of validated references to the global in the paper.
+pub const UNIQUE_REFERENCES: usize = 49;
+
+/// Generates the uniqueness corpus: a `unique` global initialized via a
+/// cast, plus exactly [`UNIQUE_REFERENCES`] dereferencing uses.
+pub fn grep_unique_source() -> String {
+    grep_unique_source_with(UNIQUE_REFERENCES)
+}
+
+/// Generates a variant with `n` dereferencing uses of the global.
+pub fn grep_unique_source_with(n: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "struct dfa {{\n\
+         \x20   int* trans;\n\
+         \x20   int sindex;\n\
+         \x20   int tralloc;\n\
+         \x20   int searchflag;\n\
+         }};"
+    );
+    // The unique global (Figure 13's dfa variable).
+    let _ = writeln!(out, "struct dfa* unique dfa_g;");
+    // The parser module hands over the initial pointer; the assign rules
+    // cannot validate this, so a cast is required (§6.2).
+    let _ = writeln!(out, "struct dfa* dfaparse();");
+    let _ = writeln!(
+        out,
+        "void dfainit() {{\n\
+         \x20   struct dfa* t;\n\
+         \x20   t = dfaparse();\n\
+         \x20   dfa_g = (struct dfa* unique) t;\n\
+         }}"
+    );
+    // The 49 validated references: each reads or writes *through* the
+    // global (allowed — the disallow rule only forbids copying it).
+    let per_fn = 7;
+    let mut emitted = 0;
+    let mut k = 0;
+    while emitted < n {
+        let uses = per_fn.min(n - emitted);
+        let _ = writeln!(out, "void dfaanalyze_{k}(int state) {{");
+        for j in 0..uses {
+            match j % 3 {
+                0 => {
+                    let _ = writeln!(out, "    dfa_g->sindex = state + {j};");
+                }
+                1 => {
+                    let _ = writeln!(out, "    dfa_g->tralloc = state * 2;");
+                }
+                _ => {
+                    let _ = writeln!(out, "    dfa_g->searchflag = 1;");
+                }
+            }
+            emitted += 1;
+        }
+        let _ = writeln!(out, "}}");
+        k += 1;
+    }
+    out
+}
+
+/// A variant exercising the violation the paper describes: other globals
+/// could not be proven unique because they are **passed as arguments** to
+/// procedures, which "is a violation of uniqueness".
+pub fn grep_unique_violation_source() -> String {
+    let mut out = grep_unique_source_with(7);
+    let _ = writeln!(
+        out,
+        "void consume(struct dfa* d);\n\
+         void broken() {{\n\
+         \x20   consume(dfa_g);\n\
+         }}"
+    );
+    out
+}
+
+/// Counts textual uses of the global (for reporting the "references"
+/// column); initialization is excluded, matching the paper's accounting
+/// of "subsequent references".
+pub fn count_references(src: &str) -> usize {
+    src.matches("dfa_g->").count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_count_matches_the_paper() {
+        let src = grep_unique_source();
+        assert_eq!(count_references(&src), UNIQUE_REFERENCES);
+    }
+
+    #[test]
+    fn source_parses_with_unique() {
+        stq_cir::parse::parse_program(&grep_unique_source(), &["unique"]).expect("parses");
+        stq_cir::parse::parse_program(&grep_unique_violation_source(), &["unique"])
+            .expect("parses");
+    }
+
+    #[test]
+    fn counting_dereferencing_uses() {
+        // dfa_g->tralloc = dfa_g->sindex * 2; counts as two uses.
+        assert_eq!(count_references("dfa_g->a = dfa_g->b;"), 2);
+    }
+}

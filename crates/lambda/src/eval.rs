@@ -1,0 +1,379 @@
+//! Big-step operational semantics (paper §5.1).
+//!
+//! Evaluation relates `⟨σ, s⟩ → ⟨σ', v⟩`. The store types each cell with
+//! the `ref` annotation it was allocated at, which is what the
+//! store-conformance side of the preservation theorem (Γ ~ σ) checks.
+
+use crate::syntax::{LExpr, LStmt, LType, Op};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use stq_util::Symbol;
+
+/// Run-time values (paper §5.1).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Value {
+    /// Integer constant.
+    Int(i64),
+    /// `()`.
+    Unit,
+    /// A closure.
+    Closure {
+        /// Bound variable.
+        param: Symbol,
+        /// Parameter annotation (kept for conformance checking).
+        param_ty: LType,
+        /// Body.
+        body: Rc<LStmt>,
+        /// Captured environment.
+        env: Env,
+    },
+    /// A store location.
+    Loc(usize),
+}
+
+impl Value {
+    /// The integer, if this is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Unit => f.write_str("()"),
+            Value::Closure { param, .. } => write!(f, "<closure \\{param}>"),
+            Value::Loc(l) => write!(f, "loc#{l}"),
+        }
+    }
+}
+
+/// A run-time environment.
+pub type Env = HashMap<Symbol, Value>;
+
+/// The store σ: each cell holds a value and the cell type it was
+/// allocated at.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Store {
+    cells: Vec<(Value, LType)>,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Store {
+        Store::default()
+    }
+
+    /// Allocates a cell, returning its location.
+    pub fn alloc(&mut self, v: Value, ty: LType) -> usize {
+        self.cells.push((v, ty));
+        self.cells.len() - 1
+    }
+
+    /// Reads a cell.
+    pub fn read(&self, l: usize) -> Option<&Value> {
+        self.cells.get(l).map(|(v, _)| v)
+    }
+
+    /// Writes a cell (the cell type is fixed at allocation).
+    pub fn write(&mut self, l: usize, v: Value) -> bool {
+        match self.cells.get_mut(l) {
+            Some(cell) => {
+                cell.0 = v;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates over `(location, value, cell type)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Value, &LType)> {
+        self.cells.iter().enumerate().map(|(l, (v, t))| (l, v, t))
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// An evaluation failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EvalError {
+    /// A stuck state (ill-typed program).
+    Stuck(String),
+    /// Fuel exhausted (possible divergence via Landin's knot).
+    OutOfFuel,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Stuck(what) => write!(f, "stuck: {what}"),
+            EvalError::OutOfFuel => f.write_str("out of fuel"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluates a closed statement with the given fuel, returning the value
+/// and the final store.
+///
+/// # Errors
+///
+/// [`EvalError::Stuck`] on ill-typed programs, [`EvalError::OutOfFuel`]
+/// if the step budget is exhausted.
+pub fn eval_program(s: &LStmt, fuel: u64) -> Result<(Value, Store), EvalError> {
+    let mut store = Store::new();
+    let mut fuel = fuel;
+    let v = eval_stmt(s, &Env::new(), &mut store, &mut fuel)?;
+    Ok((v, store))
+}
+
+fn tick(fuel: &mut u64) -> Result<(), EvalError> {
+    if *fuel == 0 {
+        return Err(EvalError::OutOfFuel);
+    }
+    *fuel -= 1;
+    Ok(())
+}
+
+/// Evaluates an expression (side-effect-free: the store is read-only).
+pub fn eval_expr(e: &LExpr, env: &Env, store: &Store, fuel: &mut u64) -> Result<Value, EvalError> {
+    tick(fuel)?;
+    match e {
+        LExpr::Int(c) => Ok(Value::Int(*c)),
+        LExpr::Unit => Ok(Value::Unit),
+        LExpr::Var(x) => env
+            .get(x)
+            .cloned()
+            .ok_or_else(|| EvalError::Stuck(format!("unbound {x}"))),
+        LExpr::Lam(x, ty, body) => Ok(Value::Closure {
+            param: *x,
+            param_ty: ty.clone(),
+            body: Rc::new((**body).clone()),
+            env: env.clone(),
+        }),
+        LExpr::Deref(inner) => match eval_expr(inner, env, store, fuel)? {
+            Value::Loc(l) => store
+                .read(l)
+                .cloned()
+                .ok_or_else(|| EvalError::Stuck(format!("dangling loc#{l}"))),
+            other => Err(EvalError::Stuck(format!("deref of {other}"))),
+        },
+        LExpr::Neg(inner) => match eval_expr(inner, env, store, fuel)? {
+            Value::Int(v) => Ok(Value::Int(v.wrapping_neg())),
+            other => Err(EvalError::Stuck(format!("negation of {other}"))),
+        },
+        LExpr::Binop(op, a, b) => {
+            let va = eval_expr(a, env, store, fuel)?;
+            let vb = eval_expr(b, env, store, fuel)?;
+            match (va, vb) {
+                (Value::Int(x), Value::Int(y)) => Ok(Value::Int(match op {
+                    Op::Add => x.wrapping_add(y),
+                    Op::Sub => x.wrapping_sub(y),
+                    Op::Mul => x.wrapping_mul(y),
+                })),
+                (a, b) => Err(EvalError::Stuck(format!("{op} on {a}, {b}"))),
+            }
+        }
+    }
+}
+
+/// Evaluates a statement, threading the store.
+pub fn eval_stmt(
+    s: &LStmt,
+    env: &Env,
+    store: &mut Store,
+    fuel: &mut u64,
+) -> Result<Value, EvalError> {
+    tick(fuel)?;
+    match s {
+        LStmt::Expr(e) => eval_expr(e, env, store, fuel),
+        LStmt::Seq(a, b) => {
+            eval_stmt(a, env, store, fuel)?;
+            eval_stmt(b, env, store, fuel)
+        }
+        LStmt::Let(x, bound, body) => {
+            let v = eval_stmt(bound, env, store, fuel)?;
+            let mut inner = env.clone();
+            inner.insert(*x, v);
+            eval_stmt(body, &inner, store, fuel)
+        }
+        LStmt::Ref(init, cell_ty) => {
+            let v = eval_stmt(init, env, store, fuel)?;
+            let l = store.alloc(v, cell_ty.clone());
+            Ok(Value::Loc(l))
+        }
+        LStmt::Assign(target, value) => {
+            let t = eval_stmt(target, env, store, fuel)?;
+            let v = eval_stmt(value, env, store, fuel)?;
+            match t {
+                Value::Loc(l) => {
+                    if store.write(l, v) {
+                        Ok(Value::Unit)
+                    } else {
+                        Err(EvalError::Stuck(format!("dangling loc#{l}")))
+                    }
+                }
+                other => Err(EvalError::Stuck(format!("assign to {other}"))),
+            }
+        }
+        LStmt::App(fun, arg) => {
+            let f = eval_stmt(fun, env, store, fuel)?;
+            let a = eval_stmt(arg, env, store, fuel)?;
+            match f {
+                Value::Closure {
+                    param, body, env, ..
+                } => {
+                    let mut inner = env.clone();
+                    inner.insert(param, a);
+                    eval_stmt(&body, &inner, store, fuel)
+                }
+                other => Err(EvalError::Stuck(format!("apply {other}"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(s: &LStmt) -> (Value, Store) {
+        eval_program(s, 100_000).expect("evaluation")
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = LExpr::Int(6).binop(Op::Mul, LExpr::Int(7));
+        let (v, _) = run(&LStmt::expr(e));
+        assert_eq!(v.as_int(), Some(42));
+    }
+
+    #[test]
+    fn let_and_sequencing() {
+        let s = LStmt::let_in(
+            "x",
+            LStmt::expr(LExpr::Int(10)),
+            LStmt::Seq(
+                Box::new(LStmt::expr(LExpr::Unit)),
+                Box::new(LStmt::expr(LExpr::var("x").binop(Op::Add, LExpr::Int(1)))),
+            ),
+        );
+        assert_eq!(run(&s).0.as_int(), Some(11));
+    }
+
+    #[test]
+    fn references_read_and_write() {
+        // let r = ref 1 in (r := 5; !r)
+        let s = LStmt::let_in(
+            "r",
+            LStmt::Ref(Box::new(LStmt::expr(LExpr::Int(1))), LType::int()),
+            LStmt::Seq(
+                Box::new(LStmt::Assign(
+                    Box::new(LStmt::expr(LExpr::var("r"))),
+                    Box::new(LStmt::expr(LExpr::Int(5))),
+                )),
+                Box::new(LStmt::expr(LExpr::Deref(Box::new(LExpr::var("r"))))),
+            ),
+        );
+        let (v, store) = run(&s);
+        assert_eq!(v.as_int(), Some(5));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn application_beta_reduces() {
+        let double = LExpr::Lam(
+            Symbol::intern("x"),
+            LType::int(),
+            Box::new(LStmt::expr(LExpr::var("x").binop(Op::Mul, LExpr::Int(2)))),
+        );
+        let s = LStmt::App(
+            Box::new(LStmt::expr(double)),
+            Box::new(LStmt::expr(LExpr::Int(21))),
+        );
+        assert_eq!(run(&s).0.as_int(), Some(42));
+    }
+
+    #[test]
+    fn closures_capture_lexically() {
+        // let y = 10 in let f = \x. x + y in let y = 0 in f 1  ⇒ 11
+        let f = LExpr::Lam(
+            Symbol::intern("x"),
+            LType::int(),
+            Box::new(LStmt::expr(LExpr::var("x").binop(Op::Add, LExpr::var("y")))),
+        );
+        let s = LStmt::let_in(
+            "y",
+            LStmt::expr(LExpr::Int(10)),
+            LStmt::let_in(
+                "f",
+                LStmt::expr(f),
+                LStmt::let_in(
+                    "y",
+                    LStmt::expr(LExpr::Int(0)),
+                    LStmt::App(
+                        Box::new(LStmt::expr(LExpr::var("f"))),
+                        Box::new(LStmt::expr(LExpr::Int(1))),
+                    ),
+                ),
+            ),
+        );
+        assert_eq!(run(&s).0.as_int(), Some(11));
+    }
+
+    #[test]
+    fn stuck_states_are_reported() {
+        let s = LStmt::expr(LExpr::Deref(Box::new(LExpr::Int(1))));
+        assert!(matches!(eval_program(&s, 1000), Err(EvalError::Stuck(_))));
+    }
+
+    #[test]
+    fn fuel_bounds_divergence() {
+        // Landin's knot: r := λx. (!r) x; (!r) 0 — diverges.
+        let loopfn = LExpr::Lam(
+            Symbol::intern("x"),
+            LType::int(),
+            Box::new(LStmt::App(
+                Box::new(LStmt::expr(LExpr::Deref(Box::new(LExpr::var("r"))))),
+                Box::new(LStmt::expr(LExpr::var("x"))),
+            )),
+        );
+        let fun_ty = LType::fun(LType::int(), LType::int());
+        let dummy = LExpr::Lam(
+            Symbol::intern("x"),
+            LType::int(),
+            Box::new(LStmt::expr(LExpr::var("x"))),
+        );
+        let s = LStmt::let_in(
+            "r",
+            LStmt::Ref(Box::new(LStmt::expr(dummy)), fun_ty),
+            LStmt::Seq(
+                Box::new(LStmt::Assign(
+                    Box::new(LStmt::expr(LExpr::var("r"))),
+                    Box::new(LStmt::expr(loopfn)),
+                )),
+                Box::new(LStmt::App(
+                    Box::new(LStmt::expr(LExpr::Deref(Box::new(LExpr::var("r"))))),
+                    Box::new(LStmt::expr(LExpr::Int(0))),
+                )),
+            ),
+        );
+        // Modest fuel: each loop iteration deepens the native call
+        // stack, so a large budget would overflow before running out.
+        assert_eq!(eval_program(&s, 2_000), Err(EvalError::OutOfFuel));
+    }
+}

@@ -1,0 +1,257 @@
+//! Random well-typed program generation for differential testing of the
+//! preservation theorem.
+//!
+//! Programs are well-typed *by construction*: `ref` annotations are the
+//! principal types of their initializers (possibly weakened by dropping
+//! qualifiers — exercising subsumption), assignment right-hand sides are
+//! re-generated until they conform to the cell type, and applications are
+//! built around freshly generated arguments.
+
+use crate::rules::QualSystem;
+use crate::syntax::{Core, LExpr, LStmt, LType, Op};
+use crate::ty::subtype;
+use crate::typecheck::{infer_stmt, TyEnv};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stq_util::Symbol;
+
+/// Generator limits.
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// Maximum statement nesting depth.
+    pub max_depth: u32,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig { max_depth: 6 }
+    }
+}
+
+/// Generates a closed, well-typed program from a seed.
+///
+/// # Examples
+///
+/// ```
+/// use stq_lambda::gen::{generate_program, GenConfig};
+/// use stq_lambda::rules::QualSystem;
+/// use stq_lambda::typecheck::{infer_stmt, TyEnv};
+///
+/// let sys = QualSystem::paper_builtins();
+/// let program = generate_program(42, &sys, GenConfig::default());
+/// assert!(infer_stmt(&sys, &TyEnv::new(), &program).is_ok());
+/// ```
+pub fn generate_program(seed: u64, sys: &QualSystem, config: GenConfig) -> LStmt {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gen = Gen {
+        rng: &mut rng,
+        sys,
+        fresh: 0,
+    };
+    let scope = Vec::new();
+    gen.stmt(config.max_depth, &scope)
+}
+
+struct Gen<'a> {
+    rng: &'a mut StdRng,
+    sys: &'a QualSystem,
+    fresh: u32,
+}
+
+type Scope = Vec<(Symbol, LType)>;
+
+impl Gen<'_> {
+    fn fresh_name(&mut self) -> Symbol {
+        self.fresh += 1;
+        Symbol::intern(&format!("v{}", self.fresh))
+    }
+
+    fn env_of(scope: &Scope) -> TyEnv {
+        scope.iter().cloned().collect()
+    }
+
+    /// A well-typed integer expression over the int-cored variables in
+    /// scope.
+    fn int_expr(&mut self, depth: u32, scope: &Scope) -> LExpr {
+        let int_vars: Vec<&Symbol> = scope
+            .iter()
+            .filter(|(_, t)| matches!(t.core, Core::Int))
+            .map(|(x, _)| x)
+            .collect();
+        let choice = if depth == 0 {
+            self.rng.gen_range(0..2)
+        } else {
+            self.rng.gen_range(0..5)
+        };
+        match choice {
+            0 => LExpr::Int(self.rng.gen_range(-10..=10)),
+            1 if !int_vars.is_empty() => {
+                let i = self.rng.gen_range(0..int_vars.len());
+                LExpr::Var(*int_vars[i])
+            }
+            1 => LExpr::Int(self.rng.gen_range(1..=5)),
+            2 => LExpr::Neg(Box::new(self.int_expr(depth - 1, scope))),
+            _ => {
+                let op = match self.rng.gen_range(0..3) {
+                    0 => Op::Add,
+                    1 => Op::Sub,
+                    _ => Op::Mul,
+                };
+                self.int_expr(depth - 1, scope)
+                    .binop(op, self.int_expr(depth - 1, scope))
+            }
+        }
+    }
+
+    fn stmt(&mut self, depth: u32, scope: &Scope) -> LStmt {
+        if depth == 0 {
+            return LStmt::Expr(self.int_expr(1, scope));
+        }
+        match self.rng.gen_range(0..8) {
+            // Plain expression.
+            0 => LStmt::Expr(self.int_expr(depth, scope)),
+            // Sequencing.
+            1 => LStmt::Seq(
+                Box::new(self.stmt(depth - 1, scope)),
+                Box::new(self.stmt(depth - 1, scope)),
+            ),
+            // Allocation bound by a let, with a possibly weakened
+            // annotation (exercises subsumption).
+            2 | 3 => {
+                let init = self.stmt(depth - 1, scope);
+                let ty = infer_stmt(self.sys, &Self::env_of(scope), &init)
+                    .expect("generated statements are well-typed");
+                let mut cell = ty.clone();
+                // Randomly drop some qualifiers (weakening the cell type
+                // remains sound: the initializer is still a subtype).
+                let quals: Vec<Symbol> = cell.quals.iter().copied().collect();
+                for q in quals {
+                    if self.rng.gen_bool(0.5) {
+                        cell.quals.remove(&q);
+                    }
+                }
+                let name = self.fresh_name();
+                let mut inner = scope.clone();
+                inner.push((name, cell.clone().reference()));
+                let body = self.stmt(depth - 1, &inner);
+                LStmt::Let(
+                    name,
+                    Box::new(LStmt::Ref(Box::new(init), cell)),
+                    Box::new(body),
+                )
+            }
+            // Assignment through a reference in scope.
+            4 => {
+                let refs: Vec<(Symbol, LType)> = scope
+                    .iter()
+                    .filter(|(_, t)| matches!(t.core, Core::Ref(_)))
+                    .cloned()
+                    .collect();
+                match refs.is_empty() {
+                    true => LStmt::Expr(self.int_expr(depth, scope)),
+                    false => {
+                        let (r, rty) = refs[self.rng.gen_range(0..refs.len())].clone();
+                        let cell = match &rty.core {
+                            Core::Ref(c) => (**c).clone(),
+                            _ => unreachable!("filtered to refs"),
+                        };
+                        // Try to find a conforming right-hand side.
+                        let env = Self::env_of(scope);
+                        for _ in 0..8 {
+                            let candidate = LStmt::Expr(self.int_expr(depth - 1, scope));
+                            if matches!(cell.core, Core::Int) {
+                                if let Ok(t) = infer_stmt(self.sys, &env, &candidate) {
+                                    if subtype(&t, &cell) {
+                                        return LStmt::Assign(
+                                            Box::new(LStmt::Expr(LExpr::Var(r))),
+                                            Box::new(candidate),
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        // Fallback: r := !r always preserves the cell type.
+                        LStmt::Assign(
+                            Box::new(LStmt::Expr(LExpr::Var(r))),
+                            Box::new(LStmt::Expr(LExpr::Deref(Box::new(LExpr::Var(r))))),
+                        )
+                    }
+                }
+            }
+            // Dereference of a reference in scope.
+            5 => {
+                let refs: Vec<Symbol> = scope
+                    .iter()
+                    .filter(|(_, t)| matches!(t.core, Core::Ref(_)))
+                    .map(|(x, _)| *x)
+                    .collect();
+                match refs.is_empty() {
+                    true => LStmt::Expr(self.int_expr(depth, scope)),
+                    false => {
+                        let r = refs[self.rng.gen_range(0..refs.len())];
+                        LStmt::Expr(LExpr::Deref(Box::new(LExpr::Var(r))))
+                    }
+                }
+            }
+            // Immediate application of a lambda to a generated argument.
+            6 => {
+                let arg = self.stmt(depth - 1, scope);
+                let arg_ty = infer_stmt(self.sys, &Self::env_of(scope), &arg)
+                    .expect("generated statements are well-typed");
+                let x = self.fresh_name();
+                let mut inner = scope.clone();
+                inner.push((x, arg_ty.clone()));
+                let body = self.stmt(depth - 1, &inner);
+                let lam = LExpr::Lam(x, arg_ty, Box::new(body));
+                LStmt::App(Box::new(LStmt::Expr(lam)), Box::new(arg))
+            }
+            // Let over an arbitrary statement.
+            _ => {
+                let bound = self.stmt(depth - 1, scope);
+                let ty = infer_stmt(self.sys, &Self::env_of(scope), &bound)
+                    .expect("generated statements are well-typed");
+                let name = self.fresh_name();
+                let mut inner = scope.clone();
+                inner.push((name, ty));
+                let body = self.stmt(depth - 1, &inner);
+                LStmt::Let(name, Box::new(bound), Box::new(body))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_programs_typecheck() {
+        let sys = QualSystem::paper_builtins();
+        for seed in 0..200 {
+            let p = generate_program(seed, &sys, GenConfig::default());
+            let r = infer_stmt(&sys, &TyEnv::new(), &p);
+            assert!(r.is_ok(), "seed {seed}: {p} failed: {:?}", r.err());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let sys = QualSystem::paper_builtins();
+        let a = generate_program(7, &sys, GenConfig::default());
+        let b = generate_program(7, &sys, GenConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generation_varies_with_seed() {
+        let sys = QualSystem::paper_builtins();
+        let distinct: std::collections::HashSet<String> = (0..50)
+            .map(|s| generate_program(s, &sys, GenConfig::default()).to_string())
+            .collect();
+        assert!(
+            distinct.len() > 25,
+            "only {} distinct programs",
+            distinct.len()
+        );
+    }
+}

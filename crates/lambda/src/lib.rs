@@ -1,0 +1,52 @@
+//! The formalized core calculus of paper §5: a simply-typed lambda
+//! calculus with ML-style references and user-defined value qualifiers.
+//!
+//! * [`syntax`] — Figure 8's statements, expressions, and qualified types;
+//! * [`ty`] — the subtype relation of Figure 9 (`τ q ≤ τ`, qualifier
+//!   reordering, invariant `ref`, function variance);
+//! * [`rules`] — `T-QUALCASE` rule instances (Figure 10) with invariant
+//!   interpretations `[[q]]`, including the paper's `pos`/`neg`/`nonzero`
+//!   system and the erroneous subtraction variant;
+//! * [`typecheck`] — algorithmic typing via principal qualifier sets;
+//! * [`eval`] — the big-step operational semantics;
+//! * [`conform`] — semantic conformance (Figure 11) and store
+//!   conformance (Definition 5.2), the executable statement of the
+//!   preservation theorem (Theorem 5.1);
+//! * [`gen`] — seeded generation of well-typed programs, used by the
+//!   property-based preservation tests.
+//!
+//! # Examples
+//!
+//! Theorem 5.1, exercised: evaluate a well-typed program and check that
+//! the result and every store cell satisfy their types' invariants.
+//!
+//! ```
+//! use stq_lambda::conform::{conforms, store_conforms};
+//! use stq_lambda::eval::eval_program;
+//! use stq_lambda::rules::QualSystem;
+//! use stq_lambda::syntax::{LExpr, LStmt, LType, Op};
+//! use stq_lambda::typecheck::{infer_stmt, TyEnv};
+//!
+//! let sys = QualSystem::paper_builtins();
+//! let program = LStmt::expr(LExpr::Int(6).binop(Op::Mul, LExpr::Int(7)));
+//! let ty = infer_stmt(&sys, &TyEnv::new(), &program)?;
+//! let (value, store) = eval_program(&program, 1_000).unwrap();
+//! assert!(conforms(&sys, &store, &value, &ty));
+//! assert!(store_conforms(&sys, &store));
+//! # Ok::<(), stq_lambda::typecheck::TypeError>(())
+//! ```
+
+pub mod conform;
+pub mod eval;
+pub mod gen;
+pub mod rules;
+pub mod syntax;
+pub mod ty;
+pub mod typecheck;
+
+pub use conform::{conforms, store_conforms};
+pub use eval::{eval_program, EvalError, Store, Value};
+pub use rules::{QualRule, QualSystem, Shape};
+pub use syntax::{Core, LExpr, LStmt, LType, Op};
+pub use ty::subtype;
+pub use typecheck::{infer_stmt, TyEnv, TypeError};

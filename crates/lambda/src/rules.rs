@@ -1,0 +1,301 @@
+//! `T-QUALCASE` rule instances (paper Figure 10) and qualifier
+//! invariants for the core calculus.
+//!
+//! The formal template allows an expression to be given a qualified type
+//! when it has the associated unqualified type and designated
+//! subexpressions have particular qualified types. A [`QualRule`] is one
+//! instance of the template; a [`QualSystem`] is the set in force,
+//! together with each qualifier's invariant `[[q]]` as a predicate on
+//! integer values (Definition 5.1 interprets invariants over values).
+
+use crate::syntax::Op;
+use std::collections::{BTreeSet, HashMap};
+use stq_util::Symbol;
+
+/// The expression shape a rule applies to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Shape {
+    /// An integer constant (guarded by [`QualRule::const_guard`]).
+    Const,
+    /// `-e`.
+    Neg,
+    /// `e1 op e2`.
+    Binop(Op),
+}
+
+/// One instance of the `T-QUALCASE` template.
+#[derive(Clone)]
+pub struct QualRule {
+    /// The qualifier being introduced.
+    pub qual: Symbol,
+    /// The shape of the conclusion's expression.
+    pub shape: Shape,
+    /// Premises: `(subexpression index, required qualifier)`. Index 0 is
+    /// the first (or only) subexpression.
+    pub premises: Vec<(usize, Symbol)>,
+    /// For [`Shape::Const`]: the side condition on the constant.
+    pub const_guard: Option<fn(i64) -> bool>,
+}
+
+/// A set of rules plus invariant interpretations `[[q]]`.
+#[derive(Clone, Default)]
+pub struct QualSystem {
+    rules: Vec<QualRule>,
+    invariants: HashMap<Symbol, fn(i64) -> bool>,
+}
+
+impl QualSystem {
+    /// An empty system.
+    pub fn new() -> QualSystem {
+        QualSystem::default()
+    }
+
+    /// Adds a rule.
+    pub fn rule(&mut self, rule: QualRule) -> &mut QualSystem {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Declares a qualifier's invariant.
+    pub fn invariant(&mut self, qual: &str, inv: fn(i64) -> bool) -> &mut QualSystem {
+        self.invariants.insert(Symbol::intern(qual), inv);
+        self
+    }
+
+    /// The invariant of `q`, if declared.
+    pub fn invariant_of(&self, q: Symbol) -> Option<fn(i64) -> bool> {
+        self.invariants.get(&q).copied()
+    }
+
+    /// All rules.
+    pub fn rules(&self) -> &[QualRule] {
+        &self.rules
+    }
+
+    /// The qualifiers derivable for a constant.
+    pub fn quals_of_const(&self, c: i64) -> BTreeSet<Symbol> {
+        self.rules
+            .iter()
+            .filter(|r| r.shape == Shape::Const && r.const_guard.is_none_or(|g| g(c)))
+            .map(|r| r.qual)
+            .collect()
+    }
+
+    /// The qualifiers derivable for a shaped compound expression, given
+    /// the full qualifier sets of its subexpressions. Premises only
+    /// mention subexpressions (structurally smaller), so a single pass
+    /// suffices per node.
+    pub fn quals_of_compound(
+        &self,
+        shape: Shape,
+        children: &[&BTreeSet<Symbol>],
+    ) -> BTreeSet<Symbol> {
+        self.rules
+            .iter()
+            .filter(|r| r.shape == shape)
+            .filter(|r| {
+                r.premises
+                    .iter()
+                    .all(|&(i, q)| children.get(i).is_some_and(|s| s.contains(&q)))
+            })
+            .map(|r| r.qual)
+            .collect()
+    }
+
+    /// The `pos` / `neg` / `nonzero` system from the paper's figures,
+    /// instantiated as formal rules. Every rule here corresponds to a
+    /// case clause the soundness checker of `stq-soundness` proves sound.
+    pub fn paper_builtins() -> QualSystem {
+        let mut sys = QualSystem::new();
+        let pos = Symbol::intern("pos");
+        let neg = Symbol::intern("neg");
+        let nonzero = Symbol::intern("nonzero");
+
+        // pos: C where C > 0 | E1 * E2 where pos(E1) && pos(E2)
+        //    | -E1 where neg(E1)
+        sys.rule(QualRule {
+            qual: pos,
+            shape: Shape::Const,
+            premises: vec![],
+            const_guard: Some(|c| c > 0),
+        });
+        sys.rule(QualRule {
+            qual: pos,
+            shape: Shape::Binop(Op::Mul),
+            premises: vec![(0, pos), (1, pos)],
+            const_guard: None,
+        });
+        sys.rule(QualRule {
+            qual: pos,
+            shape: Shape::Neg,
+            premises: vec![(0, neg)],
+            const_guard: None,
+        });
+
+        // neg, symmetrically.
+        sys.rule(QualRule {
+            qual: neg,
+            shape: Shape::Const,
+            premises: vec![],
+            const_guard: Some(|c| c < 0),
+        });
+        sys.rule(QualRule {
+            qual: neg,
+            shape: Shape::Binop(Op::Mul),
+            premises: vec![(0, pos), (1, neg)],
+            const_guard: None,
+        });
+        sys.rule(QualRule {
+            qual: neg,
+            shape: Shape::Binop(Op::Mul),
+            premises: vec![(0, neg), (1, pos)],
+            const_guard: None,
+        });
+        sys.rule(QualRule {
+            qual: neg,
+            shape: Shape::Neg,
+            premises: vec![(0, pos)],
+            const_guard: None,
+        });
+
+        // nonzero: C where C != 0 | pos | neg | product of nonzero.
+        sys.rule(QualRule {
+            qual: nonzero,
+            shape: Shape::Const,
+            premises: vec![],
+            const_guard: Some(|c| c != 0),
+        });
+        sys.rule(QualRule {
+            qual: nonzero,
+            shape: Shape::Binop(Op::Mul),
+            premises: vec![(0, nonzero), (1, nonzero)],
+            const_guard: None,
+        });
+        sys.rule(QualRule {
+            qual: nonzero,
+            shape: Shape::Neg,
+            premises: vec![(0, nonzero)],
+            const_guard: None,
+        });
+
+        sys.invariant("pos", |v| v > 0);
+        sys.invariant("neg", |v| v < 0);
+        sys.invariant("nonzero", |v| v != 0);
+        sys
+    }
+
+    /// The paper's running *erroneous* variant: `pos` introduced for
+    /// `E1 - E2` instead of `E1 * E2`. Locally unsound — used to
+    /// demonstrate that preservation fails empirically.
+    pub fn broken_subtraction_variant() -> QualSystem {
+        let mut sys = QualSystem::paper_builtins();
+        let pos = Symbol::intern("pos");
+        sys.rule(QualRule {
+            qual: pos,
+            shape: Shape::Binop(Op::Sub),
+            premises: vec![(0, pos), (1, pos)],
+            const_guard: None,
+        });
+        sys
+    }
+
+    /// Checks local soundness of every rule empirically over a grid of
+    /// concrete values (a counterpart to Definition 5.1 evaluated by
+    /// testing rather than proving). Returns the rules that fail, as
+    /// `(qualifier, shape, witness values)`.
+    pub fn empirically_unsound_rules(&self) -> Vec<(Symbol, Shape, Vec<i64>)> {
+        let grid: Vec<i64> = (-5..=5).collect();
+        let mut bad = Vec::new();
+        for rule in &self.rules {
+            let Some(inv) = self.invariant_of(rule.qual) else {
+                continue;
+            };
+            match rule.shape {
+                Shape::Const => {
+                    for &c in &grid {
+                        if rule.const_guard.is_none_or(|g| g(c)) && !inv(c) {
+                            bad.push((rule.qual, rule.shape, vec![c]));
+                            break;
+                        }
+                    }
+                }
+                Shape::Neg => {
+                    for &a in &grid {
+                        let premises_hold = rule
+                            .premises
+                            .iter()
+                            .all(|&(i, q)| i == 0 && self.invariant_of(q).is_some_and(|g| g(a)));
+                        if premises_hold && !inv(-a) {
+                            bad.push((rule.qual, rule.shape, vec![a]));
+                            break;
+                        }
+                    }
+                }
+                Shape::Binop(op) => {
+                    'outer: for &a in &grid {
+                        for &b in &grid {
+                            let premises_hold = rule.premises.iter().all(|&(i, q)| {
+                                let v = if i == 0 { a } else { b };
+                                self.invariant_of(q).is_some_and(|g| g(v))
+                            });
+                            let result = match op {
+                                Op::Add => a + b,
+                                Op::Sub => a - b,
+                                Op::Mul => a * b,
+                            };
+                            if premises_hold && !inv(result) {
+                                bad.push((rule.qual, rule.shape, vec![a, b]));
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_rules_are_empirically_sound() {
+        let sys = QualSystem::paper_builtins();
+        assert!(sys.empirically_unsound_rules().is_empty());
+    }
+
+    #[test]
+    fn subtraction_variant_is_empirically_unsound() {
+        let sys = QualSystem::broken_subtraction_variant();
+        let bad = sys.empirically_unsound_rules();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].1, Shape::Binop(Op::Sub));
+        assert_eq!(bad[0].0.as_str(), "pos");
+    }
+
+    #[test]
+    fn const_quals() {
+        let sys = QualSystem::paper_builtins();
+        let q3 = sys.quals_of_const(3);
+        assert!(q3.contains(&Symbol::intern("pos")));
+        assert!(q3.contains(&Symbol::intern("nonzero")));
+        assert!(!q3.contains(&Symbol::intern("neg")));
+        let q0 = sys.quals_of_const(0);
+        assert!(q0.is_empty());
+    }
+
+    #[test]
+    fn compound_quals_combine_premises() {
+        let sys = QualSystem::paper_builtins();
+        let pos: BTreeSet<Symbol> = [Symbol::intern("pos"), Symbol::intern("nonzero")].into();
+        let neg: BTreeSet<Symbol> = [Symbol::intern("neg"), Symbol::intern("nonzero")].into();
+        let prod = sys.quals_of_compound(Shape::Binop(Op::Mul), &[&pos, &neg]);
+        assert!(prod.contains(&Symbol::intern("neg")));
+        assert!(prod.contains(&Symbol::intern("nonzero")));
+        assert!(!prod.contains(&Symbol::intern("pos")));
+        let negated = sys.quals_of_compound(Shape::Neg, &[&neg]);
+        assert!(negated.contains(&Symbol::intern("pos")));
+    }
+}

@@ -1,0 +1,245 @@
+//! Syntax of the formal core calculus (paper Figure 8).
+//!
+//! A simply-typed lambda calculus with ML-style references and
+//! user-defined value qualifiers. Statements are potentially
+//! side-effecting; expressions are side-effect-free. We conservatively
+//! extend the paper's expression grammar with integer unary/binary
+//! operators so the `T-QUALCASE` template (whose running example is
+//! `e1 * e2`) has instances to range over.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use stq_util::Symbol;
+
+/// Binary operators over integers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Op::Add => "+",
+            Op::Sub => "-",
+            Op::Mul => "*",
+        })
+    }
+}
+
+/// The core shape of a type; qualifiers live alongside in [`LType`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Core {
+    /// `unit`.
+    Unit,
+    /// `int`.
+    Int,
+    /// `τ1 → τ2`.
+    Fun(Box<LType>, Box<LType>),
+    /// `ref τ`.
+    Ref(Box<LType>),
+}
+
+/// A type with its set of value qualifiers.
+///
+/// Qualifier *sets* make the paper's `SubQualReorder` rule (qualifier
+/// order is irrelevant) definitional.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LType {
+    /// The unqualified shape.
+    pub core: Core,
+    /// Attached value qualifiers.
+    pub quals: BTreeSet<Symbol>,
+}
+
+impl LType {
+    /// `unit`.
+    pub fn unit() -> LType {
+        LType {
+            core: Core::Unit,
+            quals: BTreeSet::new(),
+        }
+    }
+
+    /// `int`.
+    pub fn int() -> LType {
+        LType {
+            core: Core::Int,
+            quals: BTreeSet::new(),
+        }
+    }
+
+    /// `τ1 → τ2`.
+    pub fn fun(a: LType, b: LType) -> LType {
+        LType {
+            core: Core::Fun(Box::new(a), Box::new(b)),
+            quals: BTreeSet::new(),
+        }
+    }
+
+    /// `ref self`.
+    #[must_use]
+    pub fn reference(self) -> LType {
+        LType {
+            core: Core::Ref(Box::new(self)),
+            quals: BTreeSet::new(),
+        }
+    }
+
+    /// `self q`.
+    #[must_use]
+    pub fn with_qual(mut self, q: &str) -> LType {
+        self.quals.insert(Symbol::intern(q));
+        self
+    }
+
+    /// The same shape without top-level qualifiers.
+    #[must_use]
+    pub fn stripped(&self) -> LType {
+        LType {
+            core: self.core.clone(),
+            quals: BTreeSet::new(),
+        }
+    }
+}
+
+impl fmt::Display for LType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.core {
+            Core::Unit => f.write_str("unit")?,
+            Core::Int => f.write_str("int")?,
+            Core::Fun(a, b) => write!(f, "({a} -> {b})")?,
+            Core::Ref(t) => write!(f, "ref {t}")?,
+        }
+        for q in &self.quals {
+            write!(f, " {q}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Side-effect-free expressions (Figure 8, extended with arithmetic).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum LExpr {
+    /// Integer constant.
+    Int(i64),
+    /// `()`.
+    Unit,
+    /// Variable.
+    Var(Symbol),
+    /// `λx:τ. s`.
+    Lam(Symbol, LType, Box<LStmt>),
+    /// `!e` — dereference.
+    Deref(Box<LExpr>),
+    /// `-e`.
+    Neg(Box<LExpr>),
+    /// `e1 op e2`.
+    Binop(Op, Box<LExpr>, Box<LExpr>),
+}
+
+impl LExpr {
+    /// Variable shorthand.
+    pub fn var(name: &str) -> LExpr {
+        LExpr::Var(Symbol::intern(name))
+    }
+
+    /// `self op other`.
+    #[must_use]
+    pub fn binop(self, op: Op, other: LExpr) -> LExpr {
+        LExpr::Binop(op, Box::new(self), Box::new(other))
+    }
+}
+
+impl fmt::Display for LExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LExpr::Int(c) => write!(f, "{c}"),
+            LExpr::Unit => f.write_str("()"),
+            LExpr::Var(x) => write!(f, "{x}"),
+            LExpr::Lam(x, ty, body) => write!(f, "(\\{x}:{ty}. {body})"),
+            LExpr::Deref(e) => write!(f, "!{e}"),
+            LExpr::Neg(e) => write!(f, "(-{e})"),
+            LExpr::Binop(op, a, b) => write!(f, "({a} {op} {b})"),
+        }
+    }
+}
+
+/// Potentially side-effecting statements (Figure 8).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum LStmt {
+    /// An expression as a statement.
+    Expr(LExpr),
+    /// `s1; s2`.
+    Seq(Box<LStmt>, Box<LStmt>),
+    /// `let x = s1 in s2`.
+    Let(Symbol, Box<LStmt>, Box<LStmt>),
+    /// `ref s : τ` — allocation, annotated with the cell type (the
+    /// annotation fixes the cell's qualifier set; the paper's declarative
+    /// system picks it by subsumption).
+    Ref(Box<LStmt>, LType),
+    /// `s1 := s2`.
+    Assign(Box<LStmt>, Box<LStmt>),
+    /// `s1 s2` — application.
+    App(Box<LStmt>, Box<LStmt>),
+}
+
+impl LStmt {
+    /// Wraps an expression.
+    pub fn expr(e: LExpr) -> LStmt {
+        LStmt::Expr(e)
+    }
+
+    /// `let name = bound in body`.
+    pub fn let_in(name: &str, bound: LStmt, body: LStmt) -> LStmt {
+        LStmt::Let(Symbol::intern(name), Box::new(bound), Box::new(body))
+    }
+}
+
+impl fmt::Display for LStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LStmt::Expr(e) => write!(f, "{e}"),
+            LStmt::Seq(a, b) => write!(f, "({a}; {b})"),
+            LStmt::Let(x, a, b) => write!(f, "(let {x} = {a} in {b})"),
+            LStmt::Ref(s, ty) => write!(f, "(ref {s} : {ty})"),
+            LStmt::Assign(a, b) => write!(f, "({a} := {b})"),
+            LStmt::App(a, b) => write!(f, "({a} {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qualifier_sets_make_reordering_definitional() {
+        let a = LType::int().with_qual("pos").with_qual("nonzero");
+        let b = LType::int().with_qual("nonzero").with_qual("pos");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let t = LType::fun(LType::int().with_qual("pos"), LType::int().reference());
+        assert_eq!(t.to_string(), "(int pos -> ref int)");
+        let e = LExpr::Int(1).binop(Op::Mul, LExpr::var("x"));
+        assert_eq!(e.to_string(), "(1 * x)");
+    }
+
+    #[test]
+    fn stripped_removes_top_level_only() {
+        let t = LType::int().with_qual("pos").reference().with_qual("q");
+        let s = t.stripped();
+        assert!(s.quals.is_empty());
+        match s.core {
+            Core::Ref(inner) => assert!(!inner.quals.is_empty()),
+            other => panic!("expected ref, got {other:?}"),
+        }
+    }
+}

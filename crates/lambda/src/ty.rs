@@ -1,0 +1,104 @@
+//! The subtype relation of paper Figure 9.
+//!
+//! * `SubValQual`: `τ q ≤ τ` — dropping qualifiers widens.
+//! * `SubQualReorder`: definitional (qualifier sets).
+//! * `SubRef`: `ref τ` is a subtype only of itself — **no** subtyping
+//!   under references.
+//! * `SubFun`: contravariant domain, covariant codomain.
+//! * Reflexivity and transitivity.
+
+use crate::syntax::{Core, LType};
+
+/// Whether `sub ≤ sup` in the Figure 9 subtype relation.
+///
+/// # Examples
+///
+/// ```
+/// use stq_lambda::syntax::LType;
+/// use stq_lambda::ty::subtype;
+///
+/// let pos_int = LType::int().with_qual("pos");
+/// assert!(subtype(&pos_int, &LType::int()));          // τ q ≤ τ
+/// assert!(!subtype(&LType::int(), &pos_int));
+/// // No subtyping under ref:
+/// assert!(!subtype(&pos_int.clone().reference(), &LType::int().reference()));
+/// ```
+pub fn subtype(sub: &LType, sup: &LType) -> bool {
+    // Every qualifier demanded by the supertype must be present.
+    if !sup.quals.is_subset(&sub.quals) {
+        return false;
+    }
+    match (&sub.core, &sup.core) {
+        (Core::Unit, Core::Unit) | (Core::Int, Core::Int) => true,
+        // SubRef: invariant, including qualifier sets.
+        (Core::Ref(a), Core::Ref(b)) => a == b,
+        // SubFun: contravariant / covariant.
+        (Core::Fun(a1, b1), Core::Fun(a2, b2)) => subtype(a2, a1) && subtype(b1, b2),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos() -> LType {
+        LType::int().with_qual("pos")
+    }
+
+    #[test]
+    fn reflexive() {
+        for t in [
+            LType::unit(),
+            LType::int(),
+            pos(),
+            pos().reference(),
+            LType::fun(pos(), LType::int()),
+        ] {
+            assert!(subtype(&t, &t), "{t} ≤ {t}");
+        }
+    }
+
+    #[test]
+    fn dropping_qualifiers_widens() {
+        assert!(subtype(&pos(), &LType::int()));
+        let two = LType::int().with_qual("pos").with_qual("nonzero");
+        assert!(subtype(&two, &pos()));
+        assert!(subtype(&two, &LType::int()));
+        assert!(!subtype(&pos(), &two));
+    }
+
+    #[test]
+    fn ref_is_invariant() {
+        assert!(!subtype(&pos().reference(), &LType::int().reference()));
+        assert!(!subtype(&LType::int().reference(), &pos().reference()));
+        assert!(subtype(&pos().reference(), &pos().reference()));
+        // But qualifiers on the ref itself still drop.
+        let qref = pos().reference().with_qual("nonzero");
+        assert!(subtype(&qref, &pos().reference()));
+    }
+
+    #[test]
+    fn function_variance() {
+        // (int → int pos) ≤ (int pos → int): weaker domain, stronger
+        // codomain on the left.
+        let strong = LType::fun(LType::int(), pos());
+        let weak = LType::fun(pos(), LType::int());
+        assert!(subtype(&strong, &weak));
+        assert!(!subtype(&weak, &strong));
+    }
+
+    #[test]
+    fn distinct_cores_unrelated() {
+        assert!(!subtype(&LType::int(), &LType::unit()));
+        assert!(!subtype(&LType::int(), &LType::int().reference()));
+    }
+
+    #[test]
+    fn transitivity_spot_checks() {
+        let a = LType::int().with_qual("pos").with_qual("nonzero");
+        let b = pos();
+        let c = LType::int();
+        assert!(subtype(&a, &b) && subtype(&b, &c) && subtype(&a, &c));
+    }
+}

@@ -1,0 +1,311 @@
+//! Algorithmic typechecking for the core calculus.
+//!
+//! The declarative system (standard STLC-with-references rules +
+//! subsumption + `T-QUALCASE` instances) is made algorithmic by computing
+//! each expression's *principal* type: the unqualified shape together
+//! with the **full** set of derivable qualifiers. Subsumption is then a
+//! subset check ([`crate::ty::subtype`]).
+
+use crate::rules::{QualSystem, Shape};
+use crate::syntax::{Core, LExpr, LStmt, LType};
+use crate::ty::subtype;
+use std::collections::HashMap;
+use std::fmt;
+use stq_util::Symbol;
+
+/// A typing failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TypeError {
+    /// Variable not in scope.
+    Unbound(Symbol),
+    /// `sub` is not a subtype of `sup` where required.
+    NotSubtype {
+        /// The inferred type.
+        sub: LType,
+        /// The required type.
+        sup: LType,
+    },
+    /// Expected a particular shape (ref, fun, int) and found another.
+    WrongShape {
+        /// What was expected.
+        expected: &'static str,
+        /// What was found.
+        found: LType,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::Unbound(x) => write!(f, "unbound variable {x}"),
+            TypeError::NotSubtype { sub, sup } => {
+                write!(f, "`{sub}` is not a subtype of `{sup}`")
+            }
+            TypeError::WrongShape { expected, found } => {
+                write!(f, "expected {expected}, found `{found}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// A typing environment Γ.
+pub type TyEnv = HashMap<Symbol, LType>;
+
+/// Infers the principal type of an expression.
+pub fn infer_expr(sys: &QualSystem, env: &TyEnv, e: &LExpr) -> Result<LType, TypeError> {
+    match e {
+        LExpr::Int(c) => Ok(LType {
+            core: Core::Int,
+            quals: sys.quals_of_const(*c),
+        }),
+        LExpr::Unit => Ok(LType::unit()),
+        LExpr::Var(x) => env.get(x).cloned().ok_or(TypeError::Unbound(*x)),
+        LExpr::Lam(x, ann, body) => {
+            let mut inner = env.clone();
+            inner.insert(*x, ann.clone());
+            let ret = infer_stmt(sys, &inner, body)?;
+            Ok(LType::fun(ann.clone(), ret))
+        }
+        LExpr::Deref(inner) => {
+            let t = infer_expr(sys, env, inner)?;
+            match &t.core {
+                Core::Ref(cell) => Ok((**cell).clone()),
+                _ => Err(TypeError::WrongShape {
+                    expected: "a reference",
+                    found: t,
+                }),
+            }
+        }
+        LExpr::Neg(inner) => {
+            let t = expect_int(sys, env, inner)?;
+            Ok(LType {
+                core: Core::Int,
+                quals: sys.quals_of_compound(Shape::Neg, &[&t.quals]),
+            })
+        }
+        LExpr::Binop(op, a, b) => {
+            let ta = expect_int(sys, env, a)?;
+            let tb = expect_int(sys, env, b)?;
+            Ok(LType {
+                core: Core::Int,
+                quals: sys.quals_of_compound(Shape::Binop(*op), &[&ta.quals, &tb.quals]),
+            })
+        }
+    }
+}
+
+fn expect_int(sys: &QualSystem, env: &TyEnv, e: &LExpr) -> Result<LType, TypeError> {
+    let t = infer_expr(sys, env, e)?;
+    if matches!(t.core, Core::Int) {
+        Ok(t)
+    } else {
+        Err(TypeError::WrongShape {
+            expected: "an int",
+            found: t,
+        })
+    }
+}
+
+/// Infers the principal type of a statement.
+pub fn infer_stmt(sys: &QualSystem, env: &TyEnv, s: &LStmt) -> Result<LType, TypeError> {
+    match s {
+        LStmt::Expr(e) => infer_expr(sys, env, e),
+        LStmt::Seq(a, b) => {
+            infer_stmt(sys, env, a)?;
+            infer_stmt(sys, env, b)
+        }
+        LStmt::Let(x, bound, body) => {
+            let t = infer_stmt(sys, env, bound)?;
+            let mut inner = env.clone();
+            inner.insert(*x, t);
+            infer_stmt(sys, &inner, body)
+        }
+        LStmt::Ref(init, cell) => {
+            let t = infer_stmt(sys, env, init)?;
+            if !subtype(&t, cell) {
+                return Err(TypeError::NotSubtype {
+                    sub: t,
+                    sup: cell.clone(),
+                });
+            }
+            Ok(cell.clone().reference())
+        }
+        LStmt::Assign(target, value) => {
+            let tt = infer_stmt(sys, env, target)?;
+            let cell = match &tt.core {
+                Core::Ref(cell) => (**cell).clone(),
+                _ => {
+                    return Err(TypeError::WrongShape {
+                        expected: "a reference",
+                        found: tt,
+                    })
+                }
+            };
+            let tv = infer_stmt(sys, env, value)?;
+            if !subtype(&tv, &cell) {
+                return Err(TypeError::NotSubtype { sub: tv, sup: cell });
+            }
+            Ok(LType::unit())
+        }
+        LStmt::App(fun, arg) => {
+            let tf = infer_stmt(sys, env, fun)?;
+            let (dom, cod) = match &tf.core {
+                Core::Fun(a, b) => ((**a).clone(), (**b).clone()),
+                _ => {
+                    return Err(TypeError::WrongShape {
+                        expected: "a function",
+                        found: tf,
+                    })
+                }
+            };
+            let ta = infer_stmt(sys, env, arg)?;
+            if !subtype(&ta, &dom) {
+                return Err(TypeError::NotSubtype { sub: ta, sup: dom });
+            }
+            Ok(cod)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::Op;
+
+    fn sys() -> QualSystem {
+        QualSystem::paper_builtins()
+    }
+
+    fn infer(s: &LStmt) -> Result<LType, TypeError> {
+        infer_stmt(&sys(), &TyEnv::new(), s)
+    }
+
+    fn pos() -> LType {
+        LType::int().with_qual("pos")
+    }
+
+    #[test]
+    fn constants_get_principal_qualifiers() {
+        let t = infer(&LStmt::expr(LExpr::Int(3))).unwrap();
+        assert!(t.quals.contains(&Symbol::intern("pos")));
+        assert!(t.quals.contains(&Symbol::intern("nonzero")));
+        let t0 = infer(&LStmt::expr(LExpr::Int(0))).unwrap();
+        assert!(t0.quals.is_empty());
+    }
+
+    #[test]
+    fn products_multiply_signs() {
+        let e = LExpr::Int(2).binop(Op::Mul, LExpr::Int(-3));
+        let t = infer(&LStmt::expr(e)).unwrap();
+        assert!(t.quals.contains(&Symbol::intern("neg")));
+        assert!(t.quals.contains(&Symbol::intern("nonzero")));
+    }
+
+    #[test]
+    fn let_propagates_principal_types() {
+        // let x = 3 in x * x : pos.
+        let s = LStmt::let_in(
+            "x",
+            LStmt::expr(LExpr::Int(3)),
+            LStmt::expr(LExpr::var("x").binop(Op::Mul, LExpr::var("x"))),
+        );
+        let t = infer(&s).unwrap();
+        assert!(t.quals.contains(&Symbol::intern("pos")));
+    }
+
+    #[test]
+    fn ref_annotation_checks_subtyping() {
+        // ref 3 : int pos is fine; ref 0 : int pos is not.
+        let ok = LStmt::Ref(Box::new(LStmt::expr(LExpr::Int(3))), pos());
+        assert!(infer(&ok).is_ok());
+        let bad = LStmt::Ref(Box::new(LStmt::expr(LExpr::Int(0))), pos());
+        assert!(matches!(infer(&bad), Err(TypeError::NotSubtype { .. })));
+    }
+
+    #[test]
+    fn assignment_respects_cell_type() {
+        // let r = ref 3 : int pos in r := 0  — rejected.
+        let s = LStmt::let_in(
+            "r",
+            LStmt::Ref(Box::new(LStmt::expr(LExpr::Int(3))), pos()),
+            LStmt::Assign(
+                Box::new(LStmt::expr(LExpr::var("r"))),
+                Box::new(LStmt::expr(LExpr::Int(0))),
+            ),
+        );
+        assert!(infer(&s).is_err());
+        // r := 5 is fine.
+        let s2 = LStmt::let_in(
+            "r",
+            LStmt::Ref(Box::new(LStmt::expr(LExpr::Int(3))), pos()),
+            LStmt::Assign(
+                Box::new(LStmt::expr(LExpr::var("r"))),
+                Box::new(LStmt::expr(LExpr::Int(5))),
+            ),
+        );
+        assert_eq!(infer(&s2).unwrap(), LType::unit());
+    }
+
+    #[test]
+    fn deref_recovers_cell_type() {
+        let s = LStmt::let_in(
+            "r",
+            LStmt::Ref(Box::new(LStmt::expr(LExpr::Int(3))), pos()),
+            LStmt::expr(LExpr::Deref(Box::new(LExpr::var("r")))),
+        );
+        let t = infer(&s).unwrap();
+        assert!(t.quals.contains(&Symbol::intern("pos")));
+    }
+
+    #[test]
+    fn application_with_subsumption() {
+        // (λx:int. x) applied to a pos argument: fine by subsumption.
+        let f = LExpr::Lam(
+            Symbol::intern("x"),
+            LType::int(),
+            Box::new(LStmt::expr(LExpr::var("x"))),
+        );
+        let app = LStmt::App(
+            Box::new(LStmt::expr(f)),
+            Box::new(LStmt::expr(LExpr::Int(7))),
+        );
+        assert_eq!(infer(&app).unwrap(), LType::int());
+        // (λx:int pos. x) applied to plain int: rejected.
+        let g = LExpr::Lam(
+            Symbol::intern("x"),
+            pos(),
+            Box::new(LStmt::expr(LExpr::var("x"))),
+        );
+        let bad = LStmt::App(
+            Box::new(LStmt::expr(g)),
+            Box::new(LStmt::expr(LExpr::Int(0))),
+        );
+        assert!(infer(&bad).is_err());
+    }
+
+    #[test]
+    fn unbound_variable() {
+        assert_eq!(
+            infer(&LStmt::expr(LExpr::var("ghost"))),
+            Err(TypeError::Unbound(Symbol::intern("ghost")))
+        );
+    }
+
+    #[test]
+    fn deref_of_non_ref_is_rejected() {
+        let s = LStmt::expr(LExpr::Deref(Box::new(LExpr::Int(1))));
+        assert!(matches!(infer(&s), Err(TypeError::WrongShape { .. })));
+    }
+
+    #[test]
+    fn no_subtyping_under_ref_in_assignment_position() {
+        // let r = ref 3 : int pos in let s = (r : ref int)… cannot be
+        // expressed without a coercion — the type system simply has no
+        // path from ref (int pos) to ref int. Verify the shapes differ.
+        let t1 = pos().reference();
+        let t2 = LType::int().reference();
+        assert!(!subtype(&t1, &t2));
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based test of the preservation theorem (Theorem 5.1):
+//! if a program typechecks under locally sound rules, evaluation yields a
+//! value and store that semantically conform to their types.
+
+use proptest::prelude::*;
+use stq_lambda::conform::{conforms, store_conforms};
+use stq_lambda::eval::{eval_program, EvalError};
+use stq_lambda::gen::{generate_program, GenConfig};
+use stq_lambda::rules::QualSystem;
+use stq_lambda::typecheck::{infer_stmt, TyEnv};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn preservation_holds_for_generated_programs(seed in any::<u64>()) {
+        let sys = QualSystem::paper_builtins();
+        let program = generate_program(seed, &sys, GenConfig::default());
+        let ty = infer_stmt(&sys, &TyEnv::new(), &program)
+            .expect("generated programs are well-typed");
+        match eval_program(&program, 200_000) {
+            Ok((value, store)) => {
+                prop_assert!(
+                    conforms(&sys, &store, &value, &ty),
+                    "value {value} does not conform to {ty} for program {program}"
+                );
+                prop_assert!(
+                    store_conforms(&sys, &store),
+                    "store conformance failed for program {program}"
+                );
+            }
+            Err(EvalError::OutOfFuel) => { /* divergence is allowed */ }
+            Err(EvalError::Stuck(what)) => {
+                prop_assert!(false, "well-typed program got stuck: {what}\n{program}");
+            }
+        }
+    }
+
+    #[test]
+    fn broken_rules_eventually_violate_preservation(_x in 0..1u8) {
+        // With the erroneous subtraction rule, some program violates its
+        // type's invariant at run time — the negative counterpart of the
+        // theorem. One hand-picked witness suffices (searching randomly
+        // would be flaky).
+        use stq_lambda::syntax::{LExpr, LStmt, LType, Op};
+        let sys = QualSystem::broken_subtraction_variant();
+        let pos = LType::int().with_qual("pos");
+        let prog = LStmt::Ref(
+            Box::new(LStmt::expr(LExpr::Int(1).binop(Op::Sub, LExpr::Int(5)))),
+            pos,
+        );
+        let ty = infer_stmt(&sys, &TyEnv::new(), &prog).expect("typechecks under broken rules");
+        let (v, store) = eval_program(&prog, 1_000).expect("evaluates");
+        prop_assert!(!(conforms(&sys, &store, &v, &ty) && store_conforms(&sys, &store)));
+    }
+
+    #[test]
+    fn subtype_is_reflexive_on_generated_types(seed in any::<u64>()) {
+        // Use generated programs' principal types as a type source.
+        let sys = QualSystem::paper_builtins();
+        let program = generate_program(seed, &sys, GenConfig { max_depth: 4 });
+        let ty = infer_stmt(&sys, &TyEnv::new(), &program).expect("well-typed");
+        prop_assert!(stq_lambda::subtype(&ty, &ty));
+        // Dropping all qualifiers widens.
+        prop_assert!(stq_lambda::subtype(&ty, &ty.stripped()));
+    }
+}

@@ -1,0 +1,453 @@
+//! Linear arithmetic decision procedure.
+//!
+//! Simplify contains a Simplex-based decision procedure for linear rational
+//! arithmetic; this crate uses the older but equally decisive
+//! **Fourier–Motzkin elimination**, which is comfortably fast for the small
+//! constraint systems that qualifier proof obligations generate (a handful
+//! of atoms each).
+//!
+//! The procedure works over *atoms*: opaque identifiers standing for ground
+//! terms whose top symbol is not interpreted (the solver assigns them after
+//! canonicalizing terms by congruence-closure representative). All atoms
+//! are integer-valued in the paper's logical memory model, so strict
+//! inequalities are tightened (`e < 0` becomes `e ≤ -1` after clearing
+//! denominators), giving the prover useful integer reasoning on top of the
+//! rational core.
+
+use crate::rat::Rat;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An opaque arithmetic variable standing for a ground term.
+pub type AtomId = u32;
+
+/// A linear expression `konst + Σ coeff·atom`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LinExpr {
+    /// Coefficients per atom; zero coefficients are never stored.
+    pub terms: BTreeMap<AtomId, Rat>,
+    /// The constant offset.
+    pub konst: Rat,
+}
+
+impl LinExpr {
+    /// The constant expression `v`.
+    pub fn constant(v: Rat) -> LinExpr {
+        LinExpr {
+            terms: BTreeMap::new(),
+            konst: v,
+        }
+    }
+
+    /// The expression consisting of a single atom with coefficient one.
+    pub fn atom(a: AtomId) -> LinExpr {
+        let mut terms = BTreeMap::new();
+        terms.insert(a, Rat::ONE);
+        LinExpr {
+            terms,
+            konst: Rat::ZERO,
+        }
+    }
+
+    /// Adds `coeff·atom` into the expression.
+    pub fn add_term(&mut self, a: AtomId, coeff: Rat) {
+        let entry = self.terms.entry(a).or_insert(Rat::ZERO);
+        *entry = *entry + coeff;
+        if entry.is_zero() {
+            self.terms.remove(&a);
+        }
+    }
+
+    /// Pointwise sum.
+    #[must_use]
+    pub fn add(&self, other: &LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        out.konst = out.konst + other.konst;
+        for (&a, &c) in &other.terms {
+            out.add_term(a, c);
+        }
+        out
+    }
+
+    /// Pointwise difference.
+    #[must_use]
+    pub fn sub(&self, other: &LinExpr) -> LinExpr {
+        self.add(&other.scale(-Rat::ONE))
+    }
+
+    /// Multiplies every coefficient and the constant by `k`.
+    #[must_use]
+    pub fn scale(&self, k: Rat) -> LinExpr {
+        if k.is_zero() {
+            return LinExpr::constant(Rat::ZERO);
+        }
+        LinExpr {
+            terms: self.terms.iter().map(|(&a, &c)| (a, c * k)).collect(),
+            konst: self.konst * k,
+        }
+    }
+
+    /// True if the expression mentions no atoms.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// If the expression mentions no atoms, its value.
+    pub fn as_constant(&self) -> Option<Rat> {
+        self.is_constant().then_some(self.konst)
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.konst)?;
+        for (a, c) in &self.terms {
+            write!(f, " + {c}·a{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Relation of a constraint `expr REL 0`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Rel {
+    /// `expr ≤ 0`.
+    Le,
+    /// `expr < 0`.
+    Lt,
+    /// `expr = 0`.
+    Eq,
+}
+
+/// A single linear constraint `expr REL 0`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Constraint {
+    /// Left-hand side.
+    pub expr: LinExpr,
+    /// Relation to zero.
+    pub rel: Rel,
+}
+
+impl Constraint {
+    /// `expr ≤ 0`.
+    pub fn le0(expr: LinExpr) -> Constraint {
+        Constraint { expr, rel: Rel::Le }
+    }
+
+    /// `expr < 0`.
+    pub fn lt0(expr: LinExpr) -> Constraint {
+        Constraint { expr, rel: Rel::Lt }
+    }
+
+    /// `expr = 0`.
+    pub fn eq0(expr: LinExpr) -> Constraint {
+        Constraint { expr, rel: Rel::Eq }
+    }
+}
+
+/// Tightens a strict constraint over integer-valued atoms:
+/// after scaling to integer coefficients, `e < 0` is equivalent to
+/// `e + 1 ≤ 0`.
+fn tighten(c: &Constraint) -> Constraint {
+    match c.rel {
+        Rel::Lt => {
+            // Scale so every coefficient and the constant are integers.
+            let mut lcm: i128 = 1;
+            let mut dens: Vec<i128> = c.expr.terms.values().map(|r| r.denom()).collect();
+            dens.push(c.expr.konst.denom());
+            for d in dens {
+                let g = gcd(lcm, d);
+                lcm = lcm / g * d;
+            }
+            let scaled = c.expr.scale(Rat::int(lcm));
+            let mut expr = scaled;
+            expr.konst = expr.konst + Rat::ONE;
+            Constraint { expr, rel: Rel::Le }
+        }
+        _ => c.clone(),
+    }
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    if a == 0 {
+        1
+    } else {
+        a
+    }
+}
+
+/// Decides whether a conjunction of linear constraints over integer-valued
+/// atoms has a rational solution (after integer tightening of strict
+/// inequalities).
+///
+/// Returns `true` if the system is feasible.
+///
+/// # Examples
+///
+/// ```
+/// use stq_logic::arith::{Constraint, LinExpr, feasible};
+/// use stq_logic::rat::Rat;
+///
+/// // x > 0 && x < 1 has no integer solution: infeasible after tightening.
+/// let x = LinExpr::atom(0);
+/// let gt0 = Constraint::lt0(x.scale(-Rat::ONE)); // -x < 0
+/// let lt1 = Constraint::lt0(x.add(&LinExpr::constant(-Rat::ONE))); // x - 1 < 0
+/// assert!(!feasible(&[gt0, lt1]));
+/// ```
+pub fn feasible(constraints: &[Constraint]) -> bool {
+    let mut ineqs: Vec<Constraint> = Vec::new();
+    let mut eqs: Vec<LinExpr> = Vec::new();
+    for c in constraints {
+        let t = tighten(c);
+        match t.rel {
+            Rel::Eq => eqs.push(t.expr),
+            _ => ineqs.push(t),
+        }
+    }
+
+    // Gaussian elimination on equalities: solve each for one atom and
+    // substitute everywhere.
+    while let Some(eq) = eqs.pop() {
+        match eq.terms.iter().next() {
+            None => {
+                if !eq.konst.is_zero() {
+                    return false;
+                }
+            }
+            Some((&pivot, &coeff)) => {
+                // pivot = -(eq - coeff*pivot) / coeff
+                let mut rest = eq.clone();
+                rest.terms.remove(&pivot);
+                let replacement = rest.scale(-Rat::ONE / coeff);
+                let subst = |e: &LinExpr| -> LinExpr {
+                    match e.terms.get(&pivot) {
+                        None => e.clone(),
+                        Some(&k) => {
+                            let mut out = e.clone();
+                            out.terms.remove(&pivot);
+                            out.add(&replacement.scale(k))
+                        }
+                    }
+                };
+                eqs = eqs.iter().map(&subst).collect();
+                for c in &mut ineqs {
+                    c.expr = subst(&c.expr);
+                }
+            }
+        }
+    }
+
+    // Fourier–Motzkin elimination on the remaining inequalities.
+    loop {
+        // Trivial constant constraints.
+        let mut remaining = Vec::new();
+        for c in ineqs {
+            if let Some(v) = c.expr.as_constant() {
+                let ok = match c.rel {
+                    Rel::Le => v <= Rat::ZERO,
+                    Rel::Lt => v < Rat::ZERO,
+                    Rel::Eq => v.is_zero(),
+                };
+                if !ok {
+                    return false;
+                }
+            } else {
+                remaining.push(c);
+            }
+        }
+        ineqs = remaining;
+        let Some(&var) = ineqs.iter().flat_map(|c| c.expr.terms.keys()).next() else {
+            return true;
+        };
+
+        // Partition by the sign of var's coefficient.
+        let mut lowers: Vec<(LinExpr, Rel)> = Vec::new(); // var ≥/> bound
+        let mut uppers: Vec<(LinExpr, Rel)> = Vec::new(); // var ≤/< bound
+        let mut others: Vec<Constraint> = Vec::new();
+        for c in ineqs {
+            match c.expr.terms.get(&var).copied() {
+                None => others.push(c),
+                Some(coeff) => {
+                    // c.expr = coeff*var + rest REL 0  ⇒
+                    //   coeff > 0: var ≤(REL) -rest/coeff  (upper bound)
+                    //   coeff < 0: var ≥(REL) -rest/coeff  (lower bound)
+                    let mut rest = c.expr.clone();
+                    rest.terms.remove(&var);
+                    let bound = rest.scale(-Rat::ONE / coeff);
+                    if coeff.is_positive() {
+                        uppers.push((bound, c.rel));
+                    } else {
+                        lowers.push((bound, c.rel));
+                    }
+                }
+            }
+        }
+
+        // Combine every lower with every upper: lower ≤/< var ≤/< upper
+        // implies lower REL upper, strict iff either side is strict.
+        for (lo, lo_rel) in &lowers {
+            for (hi, hi_rel) in &uppers {
+                let strict = *lo_rel == Rel::Lt || *hi_rel == Rel::Lt;
+                let expr = lo.sub(hi); // lo - hi REL 0
+                others.push(Constraint {
+                    expr,
+                    rel: if strict { Rel::Lt } else { Rel::Le },
+                });
+            }
+        }
+        ineqs = others;
+    }
+}
+
+/// Decides whether the constraint system *entails* `expr = 0`, by checking
+/// that both `expr < 0` and `expr > 0` are infeasible together with the
+/// system. Used for exact integer-disequality reasoning: a disequality
+/// `a ≠ b` conflicts exactly when `a = b` is entailed.
+pub fn entails_eq0(constraints: &[Constraint], expr: &LinExpr) -> bool {
+    let mut with_lt = constraints.to_vec();
+    with_lt.push(Constraint::lt0(expr.clone()));
+    let mut with_gt = constraints.to_vec();
+    with_gt.push(Constraint::lt0(expr.scale(-Rat::ONE)));
+    !feasible(&with_lt) && !feasible(&with_gt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> LinExpr {
+        LinExpr::atom(0)
+    }
+    fn y() -> LinExpr {
+        LinExpr::atom(1)
+    }
+    fn k(v: i128) -> LinExpr {
+        LinExpr::constant(Rat::int(v))
+    }
+
+    #[test]
+    fn empty_system_feasible() {
+        assert!(feasible(&[]));
+    }
+
+    #[test]
+    fn constant_contradiction() {
+        // 1 ≤ 0 is infeasible.
+        assert!(!feasible(&[Constraint::le0(k(1))]));
+        assert!(feasible(&[Constraint::le0(k(0))]));
+        assert!(!feasible(&[Constraint::lt0(k(0))]));
+    }
+
+    #[test]
+    fn bounds_conflict() {
+        // x ≥ 5 (5 - x ≤ 0) and x ≤ 3 (x - 3 ≤ 0): infeasible.
+        let ge5 = Constraint::le0(k(5).sub(&x()));
+        let le3 = Constraint::le0(x().sub(&k(3)));
+        assert!(!feasible(&[ge5.clone(), le3]));
+        // x ≥ 5 alone is fine.
+        assert!(feasible(&[ge5]));
+    }
+
+    #[test]
+    fn strict_cycle_is_infeasible() {
+        // x < y and y < x.
+        let a = Constraint::lt0(x().sub(&y()));
+        let b = Constraint::lt0(y().sub(&x()));
+        assert!(!feasible(&[a, b]));
+    }
+
+    #[test]
+    fn non_strict_cycle_is_feasible() {
+        // x ≤ y and y ≤ x: satisfied by x = y.
+        let a = Constraint::le0(x().sub(&y()));
+        let b = Constraint::le0(y().sub(&x()));
+        assert!(feasible(&[a, b]));
+    }
+
+    #[test]
+    fn equalities_substitute() {
+        // x = y, x ≤ 2, y ≥ 5: infeasible.
+        let eq = Constraint::eq0(x().sub(&y()));
+        let le2 = Constraint::le0(x().sub(&k(2)));
+        let ge5 = Constraint::le0(k(5).sub(&y()));
+        assert!(!feasible(&[eq.clone(), le2.clone(), ge5]));
+        // x = y, x ≤ 2, y ≤ 5: feasible.
+        let le5 = Constraint::le0(y().sub(&k(5)));
+        assert!(feasible(&[eq, le2, le5]));
+    }
+
+    #[test]
+    fn inconsistent_constant_equality() {
+        assert!(!feasible(&[Constraint::eq0(k(3))]));
+        assert!(feasible(&[Constraint::eq0(k(0))]));
+    }
+
+    #[test]
+    fn integer_tightening_closes_open_interval() {
+        // 0 < x < 1 has rational solutions but no integer ones.
+        let gt0 = Constraint::lt0(x().scale(-Rat::ONE));
+        let lt1 = Constraint::lt0(x().sub(&k(1)));
+        assert!(!feasible(&[gt0, lt1]));
+    }
+
+    #[test]
+    fn integer_tightening_respects_wider_interval() {
+        // 0 < x < 2 has the integer solution x = 1.
+        let gt0 = Constraint::lt0(x().scale(-Rat::ONE));
+        let lt2 = Constraint::lt0(x().sub(&k(2)));
+        assert!(feasible(&[gt0, lt2]));
+    }
+
+    #[test]
+    fn chained_elimination() {
+        // x ≤ y, y ≤ z, z ≤ x - 1: infeasible.
+        let z = LinExpr::atom(2);
+        let c1 = Constraint::le0(x().sub(&y()));
+        let c2 = Constraint::le0(y().sub(&z));
+        let c3 = Constraint::le0(z.sub(&x()).add(&k(1)));
+        assert!(!feasible(&[c1, c2, c3]));
+    }
+
+    #[test]
+    fn positive_product_shape() {
+        // The pos obligation after lemma instantiation: p > 0 as an atom
+        // (the product), together with p ≤ 0 from the negated goal.
+        let p = LinExpr::atom(7);
+        let lemma = Constraint::lt0(p.scale(-Rat::ONE)); // p > 0
+        let negated_goal = Constraint::le0(p.clone()); // p ≤ 0
+        assert!(!feasible(&[lemma, negated_goal]));
+    }
+
+    #[test]
+    fn entailment_of_equality() {
+        // x ≤ 0 and x ≥ 0 entail x = 0.
+        let le = Constraint::le0(x());
+        let ge = Constraint::le0(x().scale(-Rat::ONE));
+        assert!(entails_eq0(&[le.clone(), ge], &x()));
+        assert!(!entails_eq0(&[le], &x()));
+    }
+
+    #[test]
+    fn linexpr_algebra() {
+        let e = x().scale(Rat::int(2)).add(&k(3));
+        assert_eq!(e.terms.get(&0), Some(&Rat::int(2)));
+        assert_eq!(e.konst, Rat::int(3));
+        let z = e.sub(&e);
+        assert!(z.is_constant());
+        assert_eq!(z.as_constant(), Some(Rat::ZERO));
+    }
+
+    #[test]
+    fn add_term_cancels_to_zero() {
+        let mut e = x();
+        e.add_term(0, -Rat::ONE);
+        assert!(e.is_constant());
+    }
+}

@@ -1,0 +1,387 @@
+//! Congruence closure for equality over uninterpreted functions.
+//!
+//! This is the EUF core of the Nelson–Oppen combination: ground terms are
+//! interned into an arena, equalities merge their equivalence classes, and
+//! congruence (`a = b ⇒ f(a) = f(b)`) is propagated with a classic
+//! worklist over parent occurrences. Distinct integer literals live in
+//! distinct classes by construction, so merging two of them is a conflict.
+
+use crate::term::Term;
+use std::collections::HashMap;
+use stq_util::Symbol;
+
+/// Index of an interned ground term in the [`Egraph`] arena.
+pub type TermRef = u32;
+
+/// The head of an interned term.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Head {
+    /// Function symbol (possibly nullary).
+    Sym(Symbol),
+    /// Integer literal.
+    Int(i64),
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    head: Head,
+    args: Vec<TermRef>,
+    /// The original term tree, kept for extraction during E-matching.
+    term: Term,
+}
+
+/// A congruence-closure e-graph over ground terms.
+///
+/// # Examples
+///
+/// ```
+/// use stq_logic::euf::Egraph;
+/// use stq_logic::term::Term;
+///
+/// let mut eg = Egraph::new();
+/// let a = eg.intern(&Term::cnst("a"));
+/// let b = eg.intern(&Term::cnst("b"));
+/// let fa = eg.intern(&Term::app("f", vec![Term::cnst("a")]));
+/// let fb = eg.intern(&Term::app("f", vec![Term::cnst("b")]));
+/// assert_ne!(eg.find(fa), eg.find(fb));
+/// eg.merge(a, b).unwrap();
+/// assert_eq!(eg.find(fa), eg.find(fb)); // congruence
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Egraph {
+    nodes: Vec<Node>,
+    /// Hash-consing table keyed on (head, original child refs).
+    intern_table: HashMap<(Head, Vec<TermRef>), TermRef>,
+    /// Union-find parent pointers.
+    parent: Vec<TermRef>,
+    /// Terms in which each term occurs as a direct child (by original ref).
+    uses: Vec<Vec<TermRef>>,
+    /// Congruence signature table: (head, canonical child reps) → term.
+    sig_table: HashMap<(Head, Vec<TermRef>), TermRef>,
+    /// Asserted disequalities.
+    diseqs: Vec<(TermRef, TermRef)>,
+    /// Integer literal value of the class representative, if any.
+    int_value: Vec<Option<i64>>,
+}
+
+/// A contradiction discovered during merging (two distinct integers, or a
+/// violated disequality).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EufConflict;
+
+impl Egraph {
+    /// Creates an empty e-graph.
+    pub fn new() -> Egraph {
+        Egraph::default()
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no terms are interned.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Interns a ground term (and all its subterms), returning its ref.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the term contains variables.
+    pub fn intern(&mut self, t: &Term) -> TermRef {
+        let (head, args) = match t {
+            Term::Var(x, _) => panic!("cannot intern non-ground term (var {x})"),
+            Term::Int(v) => (Head::Int(*v), Vec::new()),
+            Term::App(f, ts) => {
+                let args: Vec<TermRef> = ts.iter().map(|a| self.intern(a)).collect();
+                (Head::Sym(*f), args)
+            }
+        };
+        if let Some(&r) = self.intern_table.get(&(head, args.clone())) {
+            return r;
+        }
+        let r = u32::try_from(self.nodes.len()).expect("egraph overflow");
+        self.nodes.push(Node {
+            head,
+            args: args.clone(),
+            term: t.clone(),
+        });
+        self.parent.push(r);
+        self.uses.push(Vec::new());
+        self.int_value.push(match head {
+            Head::Int(v) => Some(v),
+            Head::Sym(_) => None,
+        });
+        for &a in &args {
+            let rep = self.find(a);
+            self.uses[rep as usize].push(r);
+        }
+        self.intern_table.insert((head, args.clone()), r);
+        // Install the congruence signature; if an equal-signature term
+        // already exists they are congruent and must be merged.
+        let sig = (head, args.iter().map(|&a| self.find(a)).collect::<Vec<_>>());
+        if let Some(&other) = self.sig_table.get(&sig) {
+            // Cannot conflict: a brand-new term carries no disequalities,
+            // and Int heads are hash-consed so never duplicated.
+            self.merge(r, other).expect("fresh merge cannot conflict");
+        } else {
+            self.sig_table.insert(sig, r);
+        }
+        r
+    }
+
+    /// Finds the canonical representative of `a`'s class.
+    pub fn find(&self, mut a: TermRef) -> TermRef {
+        while self.parent[a as usize] != a {
+            a = self.parent[a as usize];
+        }
+        a
+    }
+
+    /// Asserts `a = b`, propagating congruence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EufConflict`] if the merge equates two distinct integer
+    /// literals or violates a previously asserted disequality.
+    pub fn merge(&mut self, a: TermRef, b: TermRef) -> Result<(), EufConflict> {
+        let mut pending = vec![(a, b)];
+        while let Some((x, y)) = pending.pop() {
+            let (rx, ry) = (self.find(x), self.find(y));
+            if rx == ry {
+                continue;
+            }
+            // Distinct integer literals cannot be equal.
+            if let (Some(u), Some(v)) = (self.int_value[rx as usize], self.int_value[ry as usize]) {
+                if u != v {
+                    return Err(EufConflict);
+                }
+            }
+            // Union by use-list size: graft the smaller class.
+            let (small, big) = if self.uses[rx as usize].len() <= self.uses[ry as usize].len() {
+                (rx, ry)
+            } else {
+                (ry, rx)
+            };
+            self.parent[small as usize] = big;
+            if self.int_value[big as usize].is_none() {
+                self.int_value[big as usize] = self.int_value[small as usize];
+            }
+            // Recompute signatures of the small class's parents.
+            let moved_uses = std::mem::take(&mut self.uses[small as usize]);
+            for &u in &moved_uses {
+                let node = &self.nodes[u as usize];
+                let sig = (
+                    node.head,
+                    node.args.iter().map(|&c| self.find(c)).collect::<Vec<_>>(),
+                );
+                if let Some(&other) = self.sig_table.get(&sig) {
+                    if self.find(other) != self.find(u) {
+                        pending.push((u, other));
+                    }
+                } else {
+                    self.sig_table.insert(sig, u);
+                }
+            }
+            self.uses[big as usize].extend(moved_uses);
+            // Violated disequality?
+            for &(p, q) in &self.diseqs {
+                if self.find(p) == self.find(q) {
+                    return Err(EufConflict);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Asserts `a ≠ b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EufConflict`] if `a` and `b` are already in the same class.
+    pub fn assert_diseq(&mut self, a: TermRef, b: TermRef) -> Result<(), EufConflict> {
+        if self.find(a) == self.find(b) {
+            return Err(EufConflict);
+        }
+        self.diseqs.push((a, b));
+        Ok(())
+    }
+
+    /// Returns all interned term refs.
+    pub fn term_refs(&self) -> impl Iterator<Item = TermRef> + '_ {
+        (0..self.nodes.len()).map(|i| i as TermRef)
+    }
+
+    /// The original term tree for a ref.
+    pub fn term(&self, r: TermRef) -> &Term {
+        &self.nodes[r as usize].term
+    }
+
+    /// The function symbol heading `r`, if it is an application.
+    pub fn head_symbol(&self, r: TermRef) -> Option<Symbol> {
+        match self.nodes[r as usize].head {
+            Head::Sym(s) => Some(s),
+            Head::Int(_) => None,
+        }
+    }
+
+    /// The integer literal at `r`, if it is one.
+    pub fn int_literal(&self, r: TermRef) -> Option<i64> {
+        match self.nodes[r as usize].head {
+            Head::Int(v) => Some(v),
+            Head::Sym(_) => None,
+        }
+    }
+
+    /// The known integer value of `r`'s class (an integer literal merged
+    /// into the class), if any.
+    pub fn class_int_value(&self, r: TermRef) -> Option<i64> {
+        self.int_value[self.find(r) as usize]
+    }
+
+    /// Direct children of `r`.
+    pub fn args(&self, r: TermRef) -> &[TermRef] {
+        &self.nodes[r as usize].args
+    }
+
+    /// All members of `r`'s equivalence class.
+    pub fn class_members(&self, r: TermRef) -> Vec<TermRef> {
+        let rep = self.find(r);
+        self.term_refs().filter(|&t| self.find(t) == rep).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(name: &str) -> Term {
+        Term::cnst(name)
+    }
+    fn f(args: Vec<Term>) -> Term {
+        Term::app("f", args)
+    }
+
+    #[test]
+    fn interning_is_shared() {
+        let mut eg = Egraph::new();
+        let a1 = eg.intern(&f(vec![c("a")]));
+        let a2 = eg.intern(&f(vec![c("a")]));
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn basic_union() {
+        let mut eg = Egraph::new();
+        let a = eg.intern(&c("a"));
+        let b = eg.intern(&c("b"));
+        assert_ne!(eg.find(a), eg.find(b));
+        eg.merge(a, b).unwrap();
+        assert_eq!(eg.find(a), eg.find(b));
+    }
+
+    #[test]
+    fn congruence_propagates() {
+        let mut eg = Egraph::new();
+        let a = eg.intern(&c("a"));
+        let b = eg.intern(&c("b"));
+        let fa = eg.intern(&f(vec![c("a")]));
+        let fb = eg.intern(&f(vec![c("b")]));
+        eg.merge(a, b).unwrap();
+        assert_eq!(eg.find(fa), eg.find(fb));
+    }
+
+    #[test]
+    fn congruence_propagates_transitively() {
+        let mut eg = Egraph::new();
+        let a = eg.intern(&c("a"));
+        let b = eg.intern(&c("b"));
+        let ffa = eg.intern(&f(vec![f(vec![c("a")])]));
+        let ffb = eg.intern(&f(vec![f(vec![c("b")])]));
+        eg.merge(a, b).unwrap();
+        assert_eq!(eg.find(ffa), eg.find(ffb));
+    }
+
+    #[test]
+    fn congruence_on_late_interning() {
+        // Merge first, intern the applications afterwards.
+        let mut eg = Egraph::new();
+        let a = eg.intern(&c("a"));
+        let b = eg.intern(&c("b"));
+        eg.merge(a, b).unwrap();
+        let fa = eg.intern(&f(vec![c("a")]));
+        let fb = eg.intern(&f(vec![c("b")]));
+        assert_eq!(eg.find(fa), eg.find(fb));
+    }
+
+    #[test]
+    fn distinct_integers_conflict() {
+        let mut eg = Egraph::new();
+        let three = eg.intern(&Term::int(3));
+        let five = eg.intern(&Term::int(5));
+        assert_eq!(eg.merge(three, five), Err(EufConflict));
+    }
+
+    #[test]
+    fn integer_conflict_through_constants() {
+        let mut eg = Egraph::new();
+        let a = eg.intern(&c("a"));
+        let three = eg.intern(&Term::int(3));
+        let five = eg.intern(&Term::int(5));
+        eg.merge(a, three).unwrap();
+        assert_eq!(eg.merge(a, five), Err(EufConflict));
+    }
+
+    #[test]
+    fn disequality_conflicts_immediately() {
+        let mut eg = Egraph::new();
+        let a = eg.intern(&c("a"));
+        let b = eg.intern(&c("b"));
+        eg.merge(a, b).unwrap();
+        assert_eq!(eg.assert_diseq(a, b), Err(EufConflict));
+    }
+
+    #[test]
+    fn disequality_conflicts_later_via_congruence() {
+        let mut eg = Egraph::new();
+        let fa = eg.intern(&f(vec![c("a")]));
+        let fb = eg.intern(&f(vec![c("b")]));
+        eg.assert_diseq(fa, fb).unwrap();
+        let a = eg.intern(&c("a"));
+        let b = eg.intern(&c("b"));
+        assert_eq!(eg.merge(a, b), Err(EufConflict));
+    }
+
+    #[test]
+    fn class_members_enumerate() {
+        let mut eg = Egraph::new();
+        let a = eg.intern(&c("a"));
+        let b = eg.intern(&c("b"));
+        let _ = eg.intern(&c("d"));
+        eg.merge(a, b).unwrap();
+        let members = eg.class_members(a);
+        assert_eq!(members.len(), 2);
+        assert!(members.contains(&a) && members.contains(&b));
+    }
+
+    #[test]
+    fn class_int_value_flows_through_merges() {
+        let mut eg = Egraph::new();
+        let a = eg.intern(&c("a"));
+        let b = eg.intern(&c("b"));
+        let seven = eg.intern(&Term::int(7));
+        eg.merge(a, seven).unwrap();
+        eg.merge(b, a).unwrap();
+        assert_eq!(eg.class_int_value(b), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-ground")]
+    fn interning_variable_panics() {
+        use crate::term::Sort;
+        let mut eg = Egraph::new();
+        let _ = eg.intern(&Term::var("x", Sort::Int));
+    }
+}

@@ -1,0 +1,967 @@
+//! The refutation-based prover: DPLL case splitting over the clausal
+//! structure, Nelson–Oppen theory checks (congruence closure + linear
+//! arithmetic) at the leaves, and rounds of E-matching instantiation.
+//!
+//! To prove `axioms, hypotheses ⊢ goal` the solver asserts the axioms and
+//! hypotheses together with the negated goal and searches for a
+//! theory-consistent assignment. Universal quantifiers become proxy atoms
+//! ([`crate::pre`]); whenever the search finds a candidate model, every
+//! quantifier asserted true in it is instantiated against the current
+//! ground terms, and the search repeats with the new clauses. The
+//! obligation is proved when the search space is exhausted.
+
+use crate::arith::{entails_eq0, feasible, Constraint, LinExpr};
+use crate::ematch::match_trigger;
+use crate::euf::Egraph;
+use crate::pre::{Atom, Clause, Clausifier, Lit};
+use crate::rat::Rat;
+use crate::term::{Formula, Term};
+use std::collections::HashSet;
+
+/// Resource limits for the prover.
+#[derive(Clone, Copy, Debug)]
+pub struct ProverConfig {
+    /// Maximum E-matching instantiation rounds.
+    pub max_rounds: usize,
+    /// Maximum total quantifier instantiations.
+    pub max_instantiations: usize,
+    /// Maximum number of clauses before giving up.
+    pub max_clauses: usize,
+    /// Maximum DPLL decisions before giving up.
+    pub max_decisions: u64,
+}
+
+/// Counters describing the work a proof attempt performed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Instantiation rounds executed.
+    pub rounds: usize,
+    /// Quantifier instances generated.
+    pub instantiations: usize,
+    /// DPLL decisions made.
+    pub decisions: u64,
+    /// Final clause count.
+    pub clauses: usize,
+}
+
+/// The result of a proof attempt.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// The obligation is valid: every case was refuted.
+    Proved {
+        /// Work counters.
+        stats: Stats,
+    },
+    /// The prover could not refute the negated obligation. `model` holds a
+    /// human-readable candidate countermodel: the literal assignment of
+    /// the surviving branch, useful for diagnosing unsound qualifiers.
+    Unknown {
+        /// Pretty-printed literals of the surviving assignment.
+        model: Vec<String>,
+        /// Work counters.
+        stats: Stats,
+    },
+}
+
+impl Outcome {
+    /// True if the obligation was proved.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Outcome::Proved { .. })
+    }
+
+    /// The work counters.
+    pub fn stats(&self) -> Stats {
+        match self {
+            Outcome::Proved { stats } | Outcome::Unknown { stats, .. } => *stats,
+        }
+    }
+}
+
+/// A proof obligation: background axioms, hypotheses, and a goal.
+///
+/// See the crate-level documentation for a complete example.
+#[derive(Clone, Debug, Default)]
+pub struct Problem {
+    axioms: Vec<Formula>,
+    hyps: Vec<Formula>,
+    goal: Option<Formula>,
+    /// Resource limits; adjust before calling [`Problem::prove`].
+    pub config: ProverConfig,
+}
+
+impl Default for ProverConfig {
+    fn default() -> ProverConfig {
+        ProverConfig {
+            max_rounds: 8,
+            max_instantiations: 4000,
+            max_clauses: 50_000,
+            max_decisions: 2_000_000,
+        }
+    }
+}
+
+impl Problem {
+    /// Creates an empty problem with default limits.
+    pub fn new() -> Problem {
+        Problem {
+            axioms: Vec::new(),
+            hyps: Vec::new(),
+            goal: None,
+            config: ProverConfig::default(),
+        }
+    }
+
+    /// Adds a background axiom (typically universally quantified with
+    /// explicit triggers).
+    pub fn axiom(&mut self, f: Formula) -> &mut Problem {
+        self.axioms.push(f);
+        self
+    }
+
+    /// Adds a hypothesis.
+    pub fn hypothesis(&mut self, f: Formula) -> &mut Problem {
+        self.hyps.push(f);
+        self
+    }
+
+    /// Sets the goal to prove.
+    pub fn goal(&mut self, f: Formula) -> &mut Problem {
+        self.goal = Some(f);
+        self
+    }
+
+    /// Attempts to prove `axioms ∧ hypotheses ⇒ goal`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no goal was set.
+    pub fn prove(&self) -> Outcome {
+        let goal = self.goal.clone().expect("no goal set on problem");
+        // Free variables act as uninterpreted constants (proving a goal
+        // with free variables proves it for arbitrary values).
+        let goal = ground_free_vars(&goal);
+        let mut cl = Clausifier::new();
+        let mut clauses: Vec<Clause> = Vec::new();
+        let mut seen: HashSet<Vec<Lit>> = HashSet::new();
+
+        let add_clauses =
+            |cs: Vec<Clause>, clauses: &mut Vec<Clause>, seen: &mut HashSet<Vec<Lit>>| -> usize {
+                let mut added = 0;
+                for c in cs {
+                    let mut key = c.clone();
+                    key.sort_by_key(|l| (l.atom, l.pos));
+                    key.dedup();
+                    // A clause containing both polarities of an atom is a
+                    // tautology; drop it.
+                    let tautology = key
+                        .windows(2)
+                        .any(|w| w[0].atom == w[1].atom && w[0].pos != w[1].pos);
+                    if tautology {
+                        continue;
+                    }
+                    if seen.insert(key.clone()) {
+                        clauses.push(key);
+                        added += 1;
+                    }
+                }
+                added
+            };
+
+        for ax in &self.axioms {
+            let cs = cl.assert_formula(&ground_free_vars(ax));
+            add_clauses(cs, &mut clauses, &mut seen);
+        }
+        for h in &self.hyps {
+            let cs = cl.assert_formula(&ground_free_vars(h));
+            add_clauses(cs, &mut clauses, &mut seen);
+        }
+        let negated = goal.negate();
+        let cs = cl.assert_formula(&negated);
+        add_clauses(cs, &mut clauses, &mut seen);
+
+        let mut stats = Stats::default();
+        let mut instantiated: HashSet<String> = HashSet::new();
+
+        for round in 0..self.config.max_rounds {
+            stats.rounds = round + 1;
+            stats.clauses = clauses.len();
+            let mut search = Search {
+                cl: &cl,
+                clauses: &clauses,
+                decisions: 0,
+                max_decisions: self.config.max_decisions,
+                exhausted: false,
+            };
+            let natoms = cl.atoms().len();
+            let mut assign = vec![None; natoms];
+            let result = search.dpll(&mut assign);
+            stats.decisions += search.decisions;
+            if search.exhausted {
+                return Outcome::Unknown {
+                    model: vec!["(decision budget exhausted)".to_owned()],
+                    stats,
+                };
+            }
+            let Some(model) = result else {
+                return Outcome::Proved { stats };
+            };
+
+            // Instantiate quantifiers asserted true in the model.
+            let mut eg = Egraph::new();
+            intern_all_atoms(&cl, &mut eg);
+            assert_model_equalities(&cl, &model, &mut eg);
+
+            let active: Vec<usize> = model
+                .iter()
+                .enumerate()
+                .filter_map(|(i, v)| match (cl.atom(i), v) {
+                    (Atom::Quant(q), Some(true)) => Some(*q),
+                    _ => None,
+                })
+                .collect();
+
+            let mut new_clauses: Vec<Clause> = Vec::new();
+            let mut fresh = Vec::new();
+            for q in active {
+                let closure = cl.quants[q].clone();
+                let proxy_atom = find_quant_atom(&cl, q);
+                for trigger in &closure.triggers {
+                    for binding in match_trigger(&eg, trigger) {
+                        if stats.instantiations >= self.config.max_instantiations {
+                            break;
+                        }
+                        // The trigger must bind every quantified variable.
+                        if !closure
+                            .vars
+                            .iter()
+                            .all(|(v, _)| binding.iter().any(|(x, _)| x == v))
+                        {
+                            continue;
+                        }
+                        let key = format!("{q}|{binding:?}");
+                        if !instantiated.insert(key) {
+                            continue;
+                        }
+                        stats.instantiations += 1;
+                        let inst = closure.body.subst(&binding);
+                        let mut inst_clauses = cl.clausify(&inst);
+                        // Guard each clause with the proxy: ¬Q ∨ instance.
+                        if let Some(p) = proxy_atom {
+                            for c in &mut inst_clauses {
+                                c.push(Lit {
+                                    atom: p,
+                                    pos: false,
+                                });
+                            }
+                        }
+                        fresh.extend(inst_clauses);
+                    }
+                }
+            }
+            let added = add_clauses(fresh, &mut new_clauses, &mut seen);
+            clauses.extend(new_clauses);
+            stats.clauses = clauses.len();
+            if added == 0 || clauses.len() > self.config.max_clauses {
+                return Outcome::Unknown {
+                    model: render_model(&cl, &model),
+                    stats,
+                };
+            }
+        }
+
+        // Round budget exhausted; re-run the search once to produce a model.
+        Outcome::Unknown {
+            model: vec!["(round budget exhausted)".to_owned()],
+            stats,
+        }
+    }
+}
+
+/// Replaces each free variable with an uninterpreted constant of the same
+/// name, so formulas with free variables are checked for arbitrary values.
+fn ground_free_vars(f: &Formula) -> Formula {
+    let mut fv = Vec::new();
+    f.free_vars(&mut fv);
+    if fv.is_empty() {
+        return f.clone();
+    }
+    let map: Vec<(stq_util::Symbol, Term)> = fv
+        .into_iter()
+        .map(|(v, _)| (v, Term::App(v, Vec::new())))
+        .collect();
+    f.subst(&map)
+}
+
+fn find_quant_atom(cl: &Clausifier, q: usize) -> Option<usize> {
+    cl.atoms()
+        .iter()
+        .position(|a| matches!(a, Atom::Quant(i) if *i == q))
+}
+
+fn render_model(cl: &Clausifier, model: &[Option<bool>]) -> Vec<String> {
+    model
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| {
+            let pos = (*v)?;
+            let atom = match cl.atom(i) {
+                Atom::Eq(a, b) => format!("{a} = {b}"),
+                Atom::Le(a, b) => format!("{a} <= {b}"),
+                Atom::Lt(a, b) => format!("{a} < {b}"),
+                Atom::Pred(p, args) if args.is_empty() => format!("{p}"),
+                Atom::Pred(p, args) => {
+                    let rendered: Vec<String> = args.iter().map(ToString::to_string).collect();
+                    format!("{p}({})", rendered.join(", "))
+                }
+                // Quantifier proxies carry no ground information worth
+                // showing in a countermodel.
+                Atom::Quant(_) => return None,
+            };
+            Some(if pos { atom } else { format!("!({atom})") })
+        })
+        .collect()
+}
+
+fn intern_all_atoms(cl: &Clausifier, eg: &mut Egraph) {
+    for atom in cl.atoms() {
+        match atom {
+            Atom::Eq(a, b) | Atom::Le(a, b) | Atom::Lt(a, b) => {
+                if a.is_ground() {
+                    eg.intern(a);
+                }
+                if b.is_ground() {
+                    eg.intern(b);
+                }
+            }
+            Atom::Pred(p, args) => {
+                if args.iter().all(Term::is_ground) {
+                    eg.intern(&Term::App(*p, args.clone()));
+                }
+            }
+            Atom::Quant(_) => {}
+        }
+    }
+}
+
+fn assert_model_equalities(cl: &Clausifier, model: &[Option<bool>], eg: &mut Egraph) {
+    for (i, v) in model.iter().enumerate() {
+        if *v == Some(true) {
+            if let Atom::Eq(a, b) = cl.atom(i) {
+                if a.is_ground() && b.is_ground() {
+                    let ra = eg.intern(a);
+                    let rb = eg.intern(b);
+                    // The model passed the theory check, so this merge
+                    // cannot conflict; ignore the result defensively.
+                    let _ = eg.merge(ra, rb);
+                }
+            }
+        }
+    }
+}
+
+struct Search<'a> {
+    cl: &'a Clausifier,
+    clauses: &'a [Clause],
+    decisions: u64,
+    max_decisions: u64,
+    exhausted: bool,
+}
+
+impl Search<'_> {
+    /// Returns a theory-consistent assignment, or `None` if none exists
+    /// (i.e. the clause set is unsatisfiable modulo the theories).
+    fn dpll(&mut self, assign: &mut Vec<Option<bool>>) -> Option<Vec<Option<bool>>> {
+        if self.exhausted {
+            return None;
+        }
+        // Unit propagation to fixpoint.
+        let mut trail: Vec<usize> = Vec::new();
+        loop {
+            let mut progressed = false;
+            for clause in self.clauses {
+                let mut satisfied = false;
+                let mut unassigned: Option<Lit> = None;
+                let mut unassigned_count = 0;
+                for &lit in clause {
+                    match assign[lit.atom] {
+                        Some(v) if v == lit.pos => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            unassigned_count += 1;
+                            unassigned = Some(lit);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match unassigned_count {
+                    0 => {
+                        // Conflict: undo propagation and fail this branch.
+                        for &a in &trail {
+                            assign[a] = None;
+                        }
+                        return None;
+                    }
+                    1 => {
+                        let lit = unassigned.expect("count is one");
+                        assign[lit.atom] = Some(lit.pos);
+                        trail.push(lit.atom);
+                        progressed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        // Pick a branching literal from the first unsatisfied clause.
+        let mut branch: Option<Lit> = None;
+        'outer: for clause in self.clauses {
+            let mut satisfied = false;
+            for &lit in clause {
+                if assign[lit.atom] == Some(lit.pos) {
+                    satisfied = true;
+                    break;
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            for &lit in clause {
+                if assign[lit.atom].is_none() {
+                    branch = Some(lit);
+                    break 'outer;
+                }
+            }
+        }
+
+        match branch {
+            None => {
+                // All clauses satisfied: check theory consistency.
+                if self.theory_consistent(assign) {
+                    let model = assign.clone();
+                    for &a in &trail {
+                        assign[a] = None;
+                    }
+                    Some(model)
+                } else {
+                    for &a in &trail {
+                        assign[a] = None;
+                    }
+                    None
+                }
+            }
+            Some(lit) => {
+                self.decisions += 1;
+                if self.decisions > self.max_decisions {
+                    self.exhausted = true;
+                    for &a in &trail {
+                        assign[a] = None;
+                    }
+                    return None;
+                }
+                for value in [lit.pos, !lit.pos] {
+                    assign[lit.atom] = Some(value);
+                    if let Some(model) = self.dpll(assign) {
+                        assign[lit.atom] = None;
+                        for &a in &trail {
+                            assign[a] = None;
+                        }
+                        return Some(model);
+                    }
+                }
+                assign[lit.atom] = None;
+                for &a in &trail {
+                    assign[a] = None;
+                }
+                None
+            }
+        }
+    }
+
+    /// Nelson–Oppen style consistency check of the assigned literals:
+    /// congruence closure over the equalities and predicate facts, then
+    /// Fourier–Motzkin over the (EUF-canonicalized) arithmetic literals,
+    /// then exact handling of integer disequalities.
+    fn theory_consistent(&self, assign: &[Option<bool>]) -> bool {
+        let mut eg = Egraph::new();
+        let true_term = Term::int(1);
+        let false_term = Term::int(0);
+
+        let mut diseqs: Vec<(Term, Term)> = Vec::new();
+        let mut arith_pos: Vec<(usize, bool)> = Vec::new(); // (atom, polarity)
+
+        // Phase 1: EUF assertions.
+        for (i, v) in assign.iter().enumerate() {
+            let Some(value) = *v else { continue };
+            match self.cl.atom(i) {
+                Atom::Eq(a, b) => {
+                    let ra = eg.intern(a);
+                    let rb = eg.intern(b);
+                    if value {
+                        if eg.merge(ra, rb).is_err() {
+                            return false;
+                        }
+                        arith_pos.push((i, true));
+                    } else {
+                        if eg.assert_diseq(ra, rb).is_err() {
+                            return false;
+                        }
+                        diseqs.push((a.clone(), b.clone()));
+                    }
+                }
+                Atom::Pred(p, args) => {
+                    let t = eg.intern(&Term::App(*p, args.clone()));
+                    let marker = eg.intern(if value { &true_term } else { &false_term });
+                    if eg.merge(t, marker).is_err() {
+                        return false;
+                    }
+                }
+                Atom::Le(..) | Atom::Lt(..) => {
+                    // Intern the operands so canonicalization sees them.
+                    if let Atom::Le(a, b) | Atom::Lt(a, b) = self.cl.atom(i) {
+                        eg.intern(a);
+                        eg.intern(b);
+                    }
+                    arith_pos.push((i, value));
+                }
+                Atom::Quant(_) => {}
+            }
+        }
+
+        // Phase 2: arithmetic.
+        let mut constraints: Vec<Constraint> = Vec::new();
+        for (i, value) in arith_pos {
+            match self.cl.atom(i) {
+                Atom::Eq(a, b) => {
+                    let la = linearize(&mut eg, a);
+                    let lb = linearize(&mut eg, b);
+                    constraints.push(Constraint::eq0(la.sub(&lb)));
+                }
+                Atom::Le(a, b) => {
+                    let la = linearize(&mut eg, a);
+                    let lb = linearize(&mut eg, b);
+                    if value {
+                        // a ≤ b  ⇔  a - b ≤ 0
+                        constraints.push(Constraint::le0(la.sub(&lb)));
+                    } else {
+                        // ¬(a ≤ b)  ⇔  b < a  ⇔  b - a < 0
+                        constraints.push(Constraint::lt0(lb.sub(&la)));
+                    }
+                }
+                Atom::Lt(a, b) => {
+                    let la = linearize(&mut eg, a);
+                    let lb = linearize(&mut eg, b);
+                    if value {
+                        constraints.push(Constraint::lt0(la.sub(&lb)));
+                    } else {
+                        constraints.push(Constraint::le0(lb.sub(&la)));
+                    }
+                }
+                _ => unreachable!("only arithmetic atoms recorded"),
+            }
+        }
+        if !feasible(&constraints) {
+            return false;
+        }
+
+        // Phase 3: integer disequalities. A disequality a ≠ b conflicts
+        // exactly when the arithmetic constraints entail a = b.
+        for (a, b) in &diseqs {
+            let la = linearize(&mut eg, a);
+            let lb = linearize(&mut eg, b);
+            if entails_eq0(&constraints, &la.sub(&lb)) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Converts a ground term into a linear expression over opaque atoms,
+/// canonicalizing uninterpreted subterms by their congruence-closure
+/// representative (this is how equality facts flow into arithmetic).
+fn linearize(eg: &mut Egraph, t: &Term) -> LinExpr {
+    match t {
+        Term::Int(v) => LinExpr::constant(Rat::from(*v)),
+        Term::App(f, args) => match (f.as_str(), args.len()) {
+            ("+", 2) => {
+                let a = linearize(eg, &args[0]);
+                let b = linearize(eg, &args[1]);
+                a.add(&b)
+            }
+            ("-", 2) => {
+                let a = linearize(eg, &args[0]);
+                let b = linearize(eg, &args[1]);
+                a.sub(&b)
+            }
+            ("neg", 1) => linearize(eg, &args[0]).scale(-Rat::ONE),
+            ("*", 2) => {
+                let a = linearize(eg, &args[0]);
+                let b = linearize(eg, &args[1]);
+                if let Some(k) = a.as_constant() {
+                    b.scale(k)
+                } else if let Some(k) = b.as_constant() {
+                    a.scale(k)
+                } else {
+                    opaque(eg, t)
+                }
+            }
+            _ => opaque(eg, t),
+        },
+        Term::Var(..) => unreachable!("ground terms only in theory check"),
+    }
+}
+
+fn opaque(eg: &mut Egraph, t: &Term) -> LinExpr {
+    let r = eg.intern(t);
+    if let Some(v) = eg.class_int_value(r) {
+        return LinExpr::constant(Rat::from(v));
+    }
+    LinExpr::atom(eg.find(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Sort;
+
+    fn x() -> Term {
+        Term::cnst("x")
+    }
+    fn y() -> Term {
+        Term::cnst("y")
+    }
+
+    fn prove(hyps: Vec<Formula>, goal: Formula) -> bool {
+        let mut p = Problem::new();
+        for h in hyps {
+            p.hypothesis(h);
+        }
+        p.goal(goal);
+        p.prove().is_proved()
+    }
+
+    #[test]
+    fn trivial_goal() {
+        assert!(prove(vec![], Formula::True));
+    }
+
+    #[test]
+    fn unprovable_false() {
+        assert!(!prove(vec![], Formula::False));
+    }
+
+    #[test]
+    fn hypothesis_discharges_goal() {
+        let p = Formula::pred("p", vec![]);
+        assert!(prove(vec![p.clone()], p));
+    }
+
+    #[test]
+    fn modus_ponens() {
+        let p = Formula::pred("p", vec![]);
+        let q = Formula::pred("q", vec![]);
+        assert!(prove(vec![p.clone(), p.implies(q.clone())], q));
+    }
+
+    #[test]
+    fn arithmetic_transitivity() {
+        // x < y, y < 3 ⊢ x < 3
+        assert!(prove(
+            vec![x().lt(&y()), y().lt(&Term::int(3))],
+            x().lt(&Term::int(3)),
+        ));
+    }
+
+    #[test]
+    fn arithmetic_non_theorem() {
+        // x < y does not entail y < x.
+        assert!(!prove(vec![x().lt(&y())], y().lt(&x())));
+    }
+
+    #[test]
+    fn euf_congruence() {
+        // x = y ⊢ f(x) = f(y)
+        let fx = Term::app("f", vec![x()]);
+        let fy = Term::app("f", vec![y()]);
+        assert!(prove(vec![x().eq(&y())], fx.eq(&fy)));
+    }
+
+    #[test]
+    fn euf_not_injective() {
+        // f(x) = f(y) does not entail x = y.
+        let fx = Term::app("f", vec![x()]);
+        let fy = Term::app("f", vec![y()]);
+        assert!(!prove(vec![fx.eq(&fy)], x().eq(&y())));
+    }
+
+    #[test]
+    fn equalities_flow_into_arithmetic() {
+        // x = y + 1 ∧ y ≥ 0 ⊢ x > 0
+        assert!(prove(
+            vec![x().eq(&y().add(&Term::int(1))), Term::int(0).le(&y()),],
+            x().gt0(),
+        ));
+    }
+
+    #[test]
+    fn disequality_reasoning() {
+        // x ≤ 0 ∧ x ≥ 0 ⊢ x = 0, via disequality entailment.
+        assert!(prove(
+            vec![x().le(&Term::int(0)), Term::int(0).le(&x())],
+            x().eq(&Term::int(0)),
+        ));
+    }
+
+    #[test]
+    fn case_split_over_disjunction() {
+        // (p ∨ q), p ⇒ r, q ⇒ r ⊢ r
+        let p = Formula::pred("p", vec![]);
+        let q = Formula::pred("q", vec![]);
+        let r = Formula::pred("r", vec![]);
+        assert!(prove(
+            vec![
+                Formula::or(vec![p.clone(), q.clone()]),
+                p.implies(r.clone()),
+                q.implies(r.clone()),
+            ],
+            r,
+        ));
+    }
+
+    #[test]
+    fn distinct_integer_literals() {
+        // x = 3 ⊢ x ≠ 5
+        assert!(prove(vec![x().eq(&Term::int(3))], x().ne(&Term::int(5)),));
+    }
+
+    #[test]
+    fn axiom_instantiation_by_trigger() {
+        // forall a. p(a) ⇒ q(a), with trigger p(a); p(c) ⊢ q(c).
+        let a = Term::var("a", Sort::Int);
+        let ax = Formula::forall(
+            vec![(stq_util::Symbol::intern("a"), Sort::Int)],
+            vec![vec![Term::app("pp", vec![a.clone()])]],
+            Formula::pred("pp", vec![a.clone()]).implies(Formula::pred("qq", vec![a])),
+        );
+        let c = Term::cnst("c");
+        let mut p = Problem::new();
+        p.axiom(ax);
+        p.hypothesis(Formula::pred("pp", vec![c.clone()]));
+        p.goal(Formula::pred("qq", vec![c]));
+        assert!(p.prove().is_proved());
+    }
+
+    #[test]
+    fn multiplication_sign_lemma() {
+        // The paper's pos obligation: with the triggered sign lemma,
+        // x > 0 ∧ y > 0 ⊢ x*y > 0.
+        let a = Term::var("a", Sort::Int);
+        let b = Term::var("b", Sort::Int);
+        let lemma = Formula::forall(
+            vec![
+                (stq_util::Symbol::intern("a"), Sort::Int),
+                (stq_util::Symbol::intern("b"), Sort::Int),
+            ],
+            vec![vec![a.mul(&b)]],
+            Formula::and(vec![a.gt0(), b.gt0()]).implies(a.mul(&b).gt0()),
+        );
+        let mut p = Problem::new();
+        p.axiom(lemma);
+        p.hypothesis(x().gt0());
+        p.hypothesis(y().gt0());
+        p.goal(x().mul(&y()).gt0());
+        assert!(p.prove().is_proved());
+    }
+
+    #[test]
+    fn subtraction_of_positives_is_not_positive() {
+        // The paper's erroneous E1 - E2 rule must NOT be provable.
+        let outcome = {
+            let mut p = Problem::new();
+            p.hypothesis(x().gt0());
+            p.hypothesis(y().gt0());
+            p.goal(x().sub(&y()).gt0());
+            p.prove()
+        };
+        assert!(!outcome.is_proved());
+        match outcome {
+            Outcome::Unknown { model, .. } => assert!(!model.is_empty()),
+            Outcome::Proved { .. } => panic!("must not prove x - y > 0"),
+        }
+    }
+
+    #[test]
+    fn negation_of_negative_is_positive() {
+        // neg qualifier: x < 0 ⊢ -x > 0.
+        assert!(prove(vec![x().lt0()], x().neg().gt0()));
+    }
+
+    #[test]
+    fn nested_forall_hypothesis_via_proxy() {
+        // (forall a. p(a)) ⊢ p(c): the hypothesis quantifier becomes a
+        // proxy that unit-propagates to true and instantiates on c.
+        let a = Term::var("a", Sort::Int);
+        let hyp = Formula::forall(
+            vec![(stq_util::Symbol::intern("a"), Sort::Int)],
+            vec![vec![Term::app("p2", vec![a.clone()])]],
+            Formula::pred("p2", vec![a]),
+        );
+        let c = Term::cnst("c");
+        // Mention p2(c) in the goal so the trigger has something to match.
+        assert!(prove(vec![hyp], Formula::pred("p2", vec![c])));
+    }
+
+    #[test]
+    fn guarded_quantifier_under_disjunction() {
+        // h: q ∨ (forall a. {p3(a)} p3(a) ⇒ r), ¬q, p3(c) ⊢ r... simplified:
+        // the quantifier proxy participates in case splitting.
+        let a = Term::var("a", Sort::Int);
+        let q = Formula::pred("q3", vec![]);
+        let r = Formula::pred("r3", vec![]);
+        let fa = Formula::forall(
+            vec![(stq_util::Symbol::intern("a"), Sort::Int)],
+            vec![vec![Term::app("p3", vec![a.clone()])]],
+            Formula::pred("p3", vec![a]).implies(r.clone()),
+        );
+        let hyp = Formula::or(vec![q.clone(), fa]);
+        let c = Term::cnst("c");
+        assert!(prove(
+            vec![hyp, q.negate(), Formula::pred("p3", vec![c])],
+            r,
+        ));
+    }
+
+    #[test]
+    fn negated_goal_forall_skolemizes() {
+        // ⊢ forall a. p4(a) is not provable without axioms; the prover
+        // skolemizes and reports unknown rather than looping.
+        let a = Term::var("a", Sort::Int);
+        let goal = Formula::forall(
+            vec![(stq_util::Symbol::intern("a"), Sort::Int)],
+            vec![],
+            Formula::pred("p4", vec![a]),
+        );
+        assert!(!prove(vec![], goal));
+    }
+
+    #[test]
+    fn goal_forall_provable_from_axiom() {
+        // forall a. {p5(a)} p5(a) ⊢ forall b. p5(b): skolemize the goal to
+        // p5(sk); the axiom instantiates on sk via its trigger... note the
+        // trigger p5(a) matches the goal's skolemized p5(sk) term.
+        let a = Term::var("a", Sort::Int);
+        let ax = Formula::forall(
+            vec![(stq_util::Symbol::intern("a"), Sort::Int)],
+            vec![vec![Term::app("p5t", vec![a.clone()])]],
+            Formula::pred("p5", vec![Term::app("p5t", vec![a])]),
+        );
+        let b = Term::var("b", Sort::Int);
+        let goal = Formula::forall(
+            vec![(stq_util::Symbol::intern("b"), Sort::Int)],
+            vec![],
+            Formula::pred("p5", vec![Term::app("p5t", vec![b])]),
+        );
+        assert!(prove(vec![ax], goal));
+    }
+
+    #[test]
+    fn select_store_axioms() {
+        // The store axioms used by the soundness checker.
+        let s = Term::var("s", Sort::other("Store"));
+        let aa = Term::var("a", Sort::Int);
+        let bb = Term::var("b", Sort::Int);
+        let vv = Term::var("v", Sort::Int);
+        let store = |s: &Term, a: &Term, v: &Term| {
+            Term::app("store", vec![s.clone(), a.clone(), v.clone()])
+        };
+        let select = |s: &Term, a: &Term| Term::app("select", vec![s.clone(), a.clone()]);
+        let vars = |names: &[&str]| -> Vec<(stq_util::Symbol, Sort)> {
+            names
+                .iter()
+                .map(|n| {
+                    let sort = if *n == "s" {
+                        Sort::other("Store")
+                    } else {
+                        Sort::Int
+                    };
+                    (stq_util::Symbol::intern(n), sort)
+                })
+                .collect()
+        };
+        let ax1 = Formula::forall(
+            vars(&["s", "a", "v"]),
+            vec![vec![select(&store(&s, &aa, &vv), &aa)]],
+            select(&store(&s, &aa, &vv), &aa).eq(&vv),
+        );
+        let ax2 = Formula::forall(
+            vars(&["s", "a", "b", "v"]),
+            vec![vec![select(&store(&s, &aa, &vv), &bb)]],
+            Formula::or(vec![
+                aa.eq(&bb),
+                select(&store(&s, &aa, &vv), &bb).eq(&select(&s, &bb)),
+            ]),
+        );
+
+        let sigma = Term::cnst("sigma");
+        let l1 = Term::cnst("l1");
+        let l2 = Term::cnst("l2");
+        let val = Term::int(7);
+
+        // select(store(σ, l1, 7), l1) = 7
+        let mut p = Problem::new();
+        p.axiom(ax1.clone());
+        p.axiom(ax2.clone());
+        p.goal(select(&store(&sigma, &l1, &val), &l1).eq(&val));
+        assert!(p.prove().is_proved());
+
+        // l1 ≠ l2 ⊢ select(store(σ, l1, 7), l2) = select(σ, l2)
+        let mut p = Problem::new();
+        p.axiom(ax1);
+        p.axiom(ax2);
+        p.hypothesis(l1.ne(&l2));
+        p.goal(select(&store(&sigma, &l1, &val), &l2).eq(&select(&sigma, &l2)));
+        assert!(p.prove().is_proved());
+    }
+
+    #[test]
+    fn iff_round_trips_through_the_prover() {
+        // (p ⇔ q), p ⊢ q and (p ⇔ q), ¬p ⊢ ¬q.
+        let p = Formula::pred("pi", vec![]);
+        let q = Formula::pred("qi", vec![]);
+        assert!(prove(vec![p.clone().iff(q.clone()), p.clone()], q.clone(),));
+        assert!(prove(
+            vec![p.clone().iff(q.clone()), p.clone().negate()],
+            q.negate(),
+        ));
+        // p ⇔ q alone does not prove q.
+        let r = prove(
+            vec![p.clone().iff(Formula::pred("qi", vec![]))],
+            Formula::pred("qi", vec![]),
+        );
+        assert!(!r);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut p = Problem::new();
+        p.hypothesis(x().gt0());
+        p.goal(x().gt0());
+        let outcome = p.prove();
+        assert!(outcome.is_proved());
+        assert!(outcome.stats().rounds >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no goal")]
+    fn missing_goal_panics() {
+        Problem::new().prove();
+    }
+}

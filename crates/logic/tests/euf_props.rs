@@ -1,0 +1,101 @@
+//! Differential testing of the congruence closure: the e-graph's verdict
+//! on random equality problems is compared against a naive reference
+//! implementation (fixpoint over all term pairs).
+
+use proptest::prelude::*;
+use stq_logic::euf::Egraph;
+use stq_logic::term::Term;
+
+/// The term universe: constants a,b,c,d and one/two levels of f/g
+/// applications over them.
+fn universe() -> Vec<Term> {
+    let consts: Vec<Term> = ["a", "b", "c", "d"].iter().map(|n| Term::cnst(n)).collect();
+    let mut terms = consts.clone();
+    for t in &consts {
+        terms.push(Term::app("f", vec![t.clone()]));
+        terms.push(Term::app("g", vec![t.clone()]));
+    }
+    for t in &consts {
+        terms.push(Term::app("f", vec![Term::app("f", vec![t.clone()])]));
+    }
+    terms
+}
+
+/// Naive congruence closure over the universe: a partition refined to a
+/// fixpoint by symmetry/transitivity (via union-find) and congruence
+/// (checked pairwise).
+fn reference_closure(eqs: &[(usize, usize)]) -> Vec<usize> {
+    let terms = universe();
+    let n = terms.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            i = parent[i];
+        }
+        i
+    }
+    fn union(parent: &mut [usize], a: usize, b: usize) {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        parent[ra] = rb;
+    }
+    for &(a, b) in eqs {
+        union(&mut parent, a, b);
+    }
+    // Congruence to fixpoint: f(x) ~ f(y) whenever x ~ y.
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            for j in 0..n {
+                if find(&mut parent, i) == find(&mut parent, j) {
+                    continue;
+                }
+                let (Term::App(fi, ai), Term::App(fj, aj)) = (&terms[i], &terms[j]) else {
+                    continue;
+                };
+                if fi != fj || ai.len() != aj.len() || ai.is_empty() {
+                    continue;
+                }
+                let congruent = ai.iter().zip(aj).all(|(x, y)| {
+                    let xi = terms.iter().position(|t| t == x).expect("in universe");
+                    let yi = terms.iter().position(|t| t == y).expect("in universe");
+                    find(&mut parent, xi) == find(&mut parent, yi)
+                });
+                if congruent {
+                    union(&mut parent, i, j);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (0..n).map(|i| find(&mut parent, i)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn egraph_matches_reference_closure(
+        eqs in prop::collection::vec((0usize..16, 0usize..16), 0..8)
+    ) {
+        let terms = universe();
+        let mut eg = Egraph::new();
+        let refs: Vec<_> = terms.iter().map(|t| eg.intern(t)).collect();
+        for &(a, b) in &eqs {
+            eg.merge(refs[a], refs[b]).expect("no integers involved");
+        }
+        let reference = reference_closure(&eqs);
+        for i in 0..terms.len() {
+            for j in 0..terms.len() {
+                let expected = reference[i] == reference[j];
+                let actual = eg.find(refs[i]) == eg.find(refs[j]);
+                prop_assert_eq!(
+                    actual, expected,
+                    "disagreement on {} ~ {}", terms[i], terms[j]
+                );
+            }
+        }
+    }
+}

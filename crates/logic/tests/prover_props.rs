@@ -1,0 +1,167 @@
+//! Property-based tests for the prover.
+//!
+//! * **Propositional completeness**: over pure propositional formulas the
+//!   DPLL core is a decision procedure, so `prove` must agree exactly
+//!   with brute-force validity checking.
+//! * **Arithmetic soundness**: if Fourier–Motzkin declares a constraint
+//!   system infeasible, no integer point satisfies it; and any integer
+//!   point found by brute force forces feasibility.
+
+use proptest::prelude::*;
+use stq_logic::arith::{feasible, Constraint, LinExpr};
+use stq_logic::rat::Rat;
+use stq_logic::solver::Problem;
+use stq_logic::term::Formula;
+
+// ----- propositional -----
+
+#[derive(Clone, Debug)]
+enum P {
+    Atom(u8),
+    Not(Box<P>),
+    And(Box<P>, Box<P>),
+    Or(Box<P>, Box<P>),
+    Implies(Box<P>, Box<P>),
+}
+
+fn p_strategy() -> impl Strategy<Value = P> {
+    let leaf = (0u8..4).prop_map(P::Atom);
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| P::Not(Box::new(a))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| P::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| P::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| P::Implies(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn eval(p: &P, world: u8) -> bool {
+    match p {
+        P::Atom(i) => world & (1 << i) != 0,
+        P::Not(a) => !eval(a, world),
+        P::And(a, b) => eval(a, world) && eval(b, world),
+        P::Or(a, b) => eval(a, world) || eval(b, world),
+        P::Implies(a, b) => !eval(a, world) || eval(b, world),
+    }
+}
+
+fn to_formula(p: &P) -> Formula {
+    match p {
+        P::Atom(i) => Formula::pred(&format!("p{i}"), vec![]),
+        P::Not(a) => to_formula(a).negate(),
+        P::And(a, b) => Formula::and(vec![to_formula(a), to_formula(b)]),
+        P::Or(a, b) => Formula::or(vec![to_formula(a), to_formula(b)]),
+        P::Implies(a, b) => to_formula(a).implies(to_formula(b)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn propositional_prover_matches_truth_tables(p in p_strategy()) {
+        let valid = (0u8..16).all(|w| eval(&p, w));
+        let mut problem = Problem::new();
+        problem.goal(to_formula(&p));
+        prop_assert_eq!(
+            problem.prove().is_proved(),
+            valid,
+            "formula {:?}", p
+        );
+    }
+
+    #[test]
+    fn entailment_matches_truth_tables(h in p_strategy(), g in p_strategy()) {
+        let entails = (0u8..16).all(|w| !eval(&h, w) || eval(&g, w));
+        let mut problem = Problem::new();
+        problem.hypothesis(to_formula(&h));
+        problem.goal(to_formula(&g));
+        prop_assert_eq!(problem.prove().is_proved(), entails);
+    }
+}
+
+// ----- linear arithmetic -----
+
+#[derive(Clone, Copy, Debug)]
+struct RawConstraint {
+    /// coefficients of x and y plus constant: cx*x + cy*y + k REL 0
+    cx: i8,
+    cy: i8,
+    k: i8,
+    strict: bool,
+}
+
+fn constraint_strategy() -> impl Strategy<Value = RawConstraint> {
+    (-3i8..=3, -3i8..=3, -6i8..=6, any::<bool>()).prop_map(|(cx, cy, k, strict)| RawConstraint {
+        cx,
+        cy,
+        k,
+        strict,
+    })
+}
+
+fn to_lin(c: RawConstraint) -> Constraint {
+    let mut e = LinExpr::constant(Rat::int(i128::from(c.k)));
+    e.add_term(0, Rat::int(i128::from(c.cx)));
+    e.add_term(1, Rat::int(i128::from(c.cy)));
+    if c.strict {
+        Constraint::lt0(e)
+    } else {
+        Constraint::le0(e)
+    }
+}
+
+fn holds(c: RawConstraint, x: i64, y: i64) -> bool {
+    let v = i64::from(c.cx) * x + i64::from(c.cy) * y + i64::from(c.k);
+    if c.strict {
+        v < 0
+    } else {
+        v <= 0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn infeasible_systems_have_no_integer_points(
+        cs in prop::collection::vec(constraint_strategy(), 1..6)
+    ) {
+        let lins: Vec<Constraint> = cs.iter().copied().map(to_lin).collect();
+        let answer = feasible(&lins);
+        // Brute force over a grid comfortably containing any solution of
+        // such small systems.
+        let mut found = None;
+        'search: for x in -25i64..=25 {
+            for y in -25i64..=25 {
+                if cs.iter().all(|&c| holds(c, x, y)) {
+                    found = Some((x, y));
+                    break 'search;
+                }
+            }
+        }
+        if let Some((x, y)) = found {
+            prop_assert!(answer, "({x},{y}) satisfies the system but FM says infeasible");
+        }
+        // The converse: FM-infeasible must mean no grid point.
+        if !answer {
+            prop_assert!(found.is_none());
+        }
+    }
+
+    #[test]
+    fn arith_prover_agrees_with_evaluation(
+        a in -10i64..=10, b in -10i64..=10, c in -10i64..=10
+    ) {
+        // a ≤ x ∧ x ≤ b ⊢ x ≤ c holds iff (a > b) ∨ (b ≤ c).
+        use stq_logic::term::Term;
+        let x = Term::cnst("x");
+        let expected = a > b || b <= c;
+        let mut problem = Problem::new();
+        problem.hypothesis(Term::int(a).le(&x));
+        problem.hypothesis(x.le(&Term::int(b)));
+        problem.goal(x.le(&Term::int(c)));
+        prop_assert_eq!(problem.prove().is_proved(), expected);
+    }
+}

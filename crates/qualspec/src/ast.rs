@@ -1,0 +1,503 @@
+//! Abstract syntax for the qualifier-definition language (paper §2).
+//!
+//! A qualifier definition declares a new *value* or *reference* qualifier,
+//! its subject (the kind of program fragment it applies to), its type
+//! rules (`case` / `restrict` for value qualifiers, `assign` / `disallow`
+//! / `ondecl` for reference qualifiers), and optionally the run-time
+//! `invariant` the rules are meant to guarantee.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use stq_cir::ast::{BinOp, UnOp};
+use stq_util::{Span, Symbol};
+
+/// Value qualifiers pertain to an expression's value; reference qualifiers
+/// (additionally) pertain to an l-value's address (paper §2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum QualKind {
+    /// `value qualifier`.
+    Value,
+    /// `ref qualifier`.
+    Ref,
+}
+
+/// The classifier of a pattern variable: which program fragments it may
+/// match (paper §2.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Classifier {
+    /// Side-effect-free expressions.
+    Expr,
+    /// Constants.
+    Const,
+    /// L-values.
+    LValue,
+    /// Variables.
+    Var,
+}
+
+impl fmt::Display for Classifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Classifier::Expr => "Expr",
+            Classifier::Const => "Const",
+            Classifier::LValue => "LValue",
+            Classifier::Var => "Var",
+        })
+    }
+}
+
+/// A type pattern in a variable declaration: `int`, `T`, `T*`, `T**`, …
+/// Type variables (like `T`) match any type.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TypePat {
+    /// Concrete `int`.
+    Int,
+    /// Concrete `char`.
+    Char,
+    /// A type variable, matching any type.
+    Any(Symbol),
+    /// Pointer to a matched type.
+    Ptr(Box<TypePat>),
+}
+
+impl TypePat {
+    /// Pointer to `self`.
+    #[must_use]
+    pub fn ptr_to(self) -> TypePat {
+        TypePat::Ptr(Box::new(self))
+    }
+}
+
+impl fmt::Display for TypePat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypePat::Int => f.write_str("int"),
+            TypePat::Char => f.write_str("char"),
+            TypePat::Any(s) => write!(f, "{s}"),
+            TypePat::Ptr(inner) => write!(f, "{inner}*"),
+        }
+    }
+}
+
+/// A declared pattern variable: type pattern, classifier, and name.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VarDecl {
+    /// The variable name.
+    pub name: Symbol,
+    /// What types of fragments it may match.
+    pub ty: TypePat,
+    /// What kinds of fragments it may match.
+    pub classifier: Classifier,
+}
+
+/// An expression pattern (paper grammar
+/// `P ::= X | *X | &X | new | uop X | X bop X`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Pattern {
+    /// A bare pattern variable `X`.
+    Var(Symbol),
+    /// `*X`.
+    Deref(Symbol),
+    /// `&X` — `X` must have classifier `LValue` or `Var`.
+    AddrOf(Symbol),
+    /// `new` — matches memory allocation (`malloc`).
+    New,
+    /// `uop X`.
+    Unop(UnOp, Symbol),
+    /// `X bop Y`.
+    Binop(BinOp, Symbol, Symbol),
+}
+
+impl Pattern {
+    /// The pattern variables mentioned.
+    pub fn vars(&self) -> Vec<Symbol> {
+        match self {
+            Pattern::New => Vec::new(),
+            Pattern::Var(x) | Pattern::Deref(x) | Pattern::AddrOf(x) | Pattern::Unop(_, x) => {
+                vec![*x]
+            }
+            Pattern::Binop(_, x, y) => vec![*x, *y],
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::Var(x) => write!(f, "{x}"),
+            Pattern::Deref(x) => write!(f, "*{x}"),
+            Pattern::AddrOf(x) => write!(f, "&{x}"),
+            Pattern::New => f.write_str("new"),
+            Pattern::Unop(op, x) => write!(f, "{op}{x}"),
+            Pattern::Binop(op, x, y) => write!(f, "{x} {op} {y}"),
+        }
+    }
+}
+
+/// A term in a clause predicate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PTerm {
+    /// A pattern variable.
+    Var(Symbol),
+    /// Integer literal.
+    Int(i64),
+    /// The `NULL` constant.
+    Null,
+}
+
+impl fmt::Display for PTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PTerm::Var(x) => write!(f, "{x}"),
+            PTerm::Int(v) => write!(f, "{v}"),
+            PTerm::Null => f.write_str("NULL"),
+        }
+    }
+}
+
+/// Comparison operators usable in predicates and invariants.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// The predicate after `where` in a `case`/`restrict` clause.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Pred {
+    /// Always true (clause with no `where`).
+    True,
+    /// Comparison between constants / `Const`-classified variables.
+    Cmp(CmpOp, PTerm, PTerm),
+    /// Qualifier check `q(X)` on a pattern variable.
+    QualCheck(Symbol, Symbol),
+    /// Conjunction.
+    And(Box<Pred>, Box<Pred>),
+    /// Disjunction.
+    Or(Box<Pred>, Box<Pred>),
+}
+
+impl Pred {
+    /// All qualifier names checked anywhere in the predicate.
+    pub fn qual_checks(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        self.collect_checks(&mut out);
+        out
+    }
+
+    fn collect_checks(&self, out: &mut BTreeSet<Symbol>) {
+        match self {
+            Pred::True | Pred::Cmp(..) => {}
+            Pred::QualCheck(q, _) => {
+                out.insert(*q);
+            }
+            Pred::And(a, b) | Pred::Or(a, b) => {
+                a.collect_checks(out);
+                b.collect_checks(out);
+            }
+        }
+    }
+
+    /// Variables mentioned anywhere in the predicate.
+    pub fn vars(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<Symbol>) {
+        match self {
+            Pred::True => {}
+            Pred::Cmp(_, a, b) => {
+                for t in [a, b] {
+                    if let PTerm::Var(x) = t {
+                        out.insert(*x);
+                    }
+                }
+            }
+            Pred::QualCheck(_, x) => {
+                out.insert(*x);
+            }
+            Pred::And(a, b) | Pred::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::True => f.write_str("true"),
+            Pred::Cmp(op, a, b) => write!(f, "{a} {op} {b}"),
+            Pred::QualCheck(q, x) => write!(f, "{q}({x})"),
+            Pred::And(a, b) => write!(f, "({a} && {b})"),
+            Pred::Or(a, b) => write!(f, "({a} || {b})"),
+        }
+    }
+}
+
+/// A `case` or `restrict` clause: declared variables, a pattern, and a
+/// guard predicate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Clause {
+    /// `decl` variable declarations scoping the clause.
+    pub decls: Vec<VarDecl>,
+    /// The expression pattern.
+    pub pattern: Pattern,
+    /// The `where` predicate ([`Pred::True`] if absent).
+    pub guard: Pred,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Clause {
+    /// Looks up a declared variable.
+    pub fn decl(&self, name: Symbol) -> Option<&VarDecl> {
+        self.decls.iter().find(|d| d.name == name)
+    }
+}
+
+/// An allowed right-hand-side form in an `assign` block (reference
+/// qualifiers). The paper's `unique` uses `NULL | new`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AssignRhs {
+    /// The literal `NULL`.
+    Null,
+    /// A fresh allocation (`malloc`).
+    New,
+    /// Any constant.
+    Const,
+}
+
+impl fmt::Display for AssignRhs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AssignRhs::Null => "NULL",
+            AssignRhs::New => "new",
+            AssignRhs::Const => "const",
+        })
+    }
+}
+
+/// What uses of a reference-qualified l-value are disallowed on
+/// right-hand sides (paper §2.2.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Disallow {
+    /// The l-value may not be referred to (`disallow L`).
+    pub ref_use: bool,
+    /// The l-value may not have its address taken (`disallow &X`).
+    pub addr_of: bool,
+}
+
+/// A term in an `invariant` clause.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InvTerm {
+    /// `value(X)` — the subject's value in the execution state.
+    Value(Symbol),
+    /// `location(X)` — the subject's address (reference qualifiers).
+    Location(Symbol),
+    /// A quantified variable `P`.
+    Var(Symbol),
+    /// `*P` — the contents of quantified location `P`.
+    DerefVar(Symbol),
+    /// Integer literal.
+    Int(i64),
+    /// `NULL`.
+    Null,
+}
+
+impl fmt::Display for InvTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvTerm::Value(x) => write!(f, "value({x})"),
+            InvTerm::Location(x) => write!(f, "location({x})"),
+            InvTerm::Var(x) => write!(f, "{x}"),
+            InvTerm::DerefVar(x) => write!(f, "*{x}"),
+            InvTerm::Int(v) => write!(f, "{v}"),
+            InvTerm::Null => f.write_str("NULL"),
+        }
+    }
+}
+
+/// The body of an `invariant` clause: a predicate over an implicit
+/// arbitrary execution state ρ (paper §2.1.3, §2.2.3).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InvPred {
+    /// Comparison.
+    Cmp(CmpOp, InvTerm, InvTerm),
+    /// `isHeapLoc(t)` — the value is a dynamically allocated location.
+    IsHeapLoc(InvTerm),
+    /// Conjunction.
+    And(Box<InvPred>, Box<InvPred>),
+    /// Disjunction.
+    Or(Box<InvPred>, Box<InvPred>),
+    /// Implication.
+    Implies(Box<InvPred>, Box<InvPred>),
+    /// Negation.
+    Not(Box<InvPred>),
+    /// `forall T** P: body` — quantification over memory locations of the
+    /// appropriate type.
+    Forall(Symbol, TypePat, Box<InvPred>),
+}
+
+impl fmt::Display for InvPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvPred::Cmp(op, a, b) => write!(f, "{a} {op} {b}"),
+            InvPred::IsHeapLoc(t) => write!(f, "isHeapLoc({t})"),
+            InvPred::And(a, b) => write!(f, "({a} && {b})"),
+            InvPred::Or(a, b) => write!(f, "({a} || {b})"),
+            InvPred::Implies(a, b) => write!(f, "({a} => {b})"),
+            InvPred::Not(a) => write!(f, "!{a}"),
+            InvPred::Forall(x, ty, body) => write!(f, "(forall {ty} {x}: {body})"),
+        }
+    }
+}
+
+/// A complete qualifier definition.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QualifierDef {
+    /// The qualifier name (e.g. `pos`).
+    pub name: Symbol,
+    /// Value or reference qualifier.
+    pub kind: QualKind,
+    /// The subject declaration (e.g. `int Expr E`).
+    pub subject: VarDecl,
+    /// Introduction rules (`case` block; value qualifiers).
+    pub cases: Vec<Clause>,
+    /// Checking rules (`restrict` block).
+    pub restricts: Vec<Clause>,
+    /// Allowed assignment forms (`assign` block; reference qualifiers).
+    pub assigns: Vec<AssignRhs>,
+    /// Use restrictions (`disallow` block; reference qualifiers).
+    pub disallow: Disallow,
+    /// Whether the qualifier may be applied at declarations (`ondecl`).
+    pub ondecl: bool,
+    /// The run-time invariant, if declared.
+    pub invariant: Option<InvPred>,
+    /// Source location.
+    pub span: Span,
+}
+
+impl QualifierDef {
+    /// All other qualifiers this definition's rules refer to.
+    pub fn referenced_qualifiers(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        for c in self.cases.iter().chain(&self.restricts) {
+            out.extend(c.guard.qual_checks());
+        }
+        out.remove(&self.name);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_vars() {
+        assert_eq!(Pattern::New.vars(), vec![]);
+        assert_eq!(
+            Pattern::Binop(BinOp::Mul, Symbol::intern("E1"), Symbol::intern("E2")).vars(),
+            vec![Symbol::intern("E1"), Symbol::intern("E2")]
+        );
+        assert_eq!(
+            Pattern::Deref(Symbol::intern("E")).vars(),
+            vec![Symbol::intern("E")]
+        );
+    }
+
+    #[test]
+    fn pred_collects_qual_checks_and_vars() {
+        let p = Pred::And(
+            Box::new(Pred::QualCheck(Symbol::intern("pos"), Symbol::intern("E1"))),
+            Box::new(Pred::Cmp(
+                CmpOp::Gt,
+                PTerm::Var(Symbol::intern("C")),
+                PTerm::Int(0),
+            )),
+        );
+        assert!(p.qual_checks().contains(&Symbol::intern("pos")));
+        assert!(p.vars().contains(&Symbol::intern("E1")));
+        assert!(p.vars().contains(&Symbol::intern("C")));
+    }
+
+    #[test]
+    fn display_round_trips_shapes() {
+        let pat = Pattern::Binop(BinOp::Mul, Symbol::intern("E1"), Symbol::intern("E2"));
+        assert_eq!(pat.to_string(), "E1 * E2");
+        let inv = InvPred::Cmp(
+            CmpOp::Gt,
+            InvTerm::Value(Symbol::intern("E")),
+            InvTerm::Int(0),
+        );
+        assert_eq!(inv.to_string(), "value(E) > 0");
+        assert_eq!(
+            TypePat::Any(Symbol::intern("T"))
+                .ptr_to()
+                .ptr_to()
+                .to_string(),
+            "T**"
+        );
+    }
+
+    #[test]
+    fn referenced_qualifiers_excludes_self() {
+        let def = QualifierDef {
+            name: Symbol::intern("nonzero"),
+            kind: QualKind::Value,
+            subject: VarDecl {
+                name: Symbol::intern("E"),
+                ty: TypePat::Int,
+                classifier: Classifier::Expr,
+            },
+            cases: vec![Clause {
+                decls: vec![],
+                pattern: Pattern::Var(Symbol::intern("E1")),
+                guard: Pred::And(
+                    Box::new(Pred::QualCheck(Symbol::intern("pos"), Symbol::intern("E1"))),
+                    Box::new(Pred::QualCheck(
+                        Symbol::intern("nonzero"),
+                        Symbol::intern("E1"),
+                    )),
+                ),
+                span: Span::DUMMY,
+            }],
+            restricts: vec![],
+            assigns: vec![],
+            disallow: Disallow::default(),
+            ondecl: false,
+            invariant: None,
+            span: Span::DUMMY,
+        };
+        let refs = def.referenced_qualifiers();
+        assert!(refs.contains(&Symbol::intern("pos")));
+        assert!(!refs.contains(&Symbol::intern("nonzero")));
+    }
+}

@@ -1,0 +1,139 @@
+//! The paper's qualifier library, shipped as qualifier-definition source.
+//!
+//! Each constant is the DSL source of one figure from the paper (the `neg`
+//! definition, which the paper says exists but does not show, is the
+//! symmetric counterpart of `pos`). [`Registry::builtins`](crate::registry::Registry::builtins) parses all of
+//! them into a ready-to-use [`Registry`](crate::registry::Registry).
+
+/// Figure 1: positive integers.
+pub const POS: &str = "
+value qualifier pos(int Expr E)
+    case E of
+        decl int Const C:
+            C, where C > 0
+      | decl int Expr E1, E2:
+            E1 * E2, where pos(E1) && pos(E2)
+      | decl int Expr E1:
+            -E1, where neg(E1)
+    invariant value(E) > 0
+";
+
+/// The `neg` qualifier referenced by Figure 1 ("the definition of neg
+/// (not shown) has rules that refer to pos").
+pub const NEG: &str = "
+value qualifier neg(int Expr E)
+    case E of
+        decl int Const C:
+            C, where C < 0
+      | decl int Expr E1, E2:
+            E1 * E2, where (pos(E1) && neg(E2)) || (neg(E1) && pos(E2))
+      | decl int Expr E1:
+            -E1, where pos(E1)
+    invariant value(E) < 0
+";
+
+/// Figure 3: nonzero integers, with the division `restrict` rule that
+/// detects division-by-zero statically.
+pub const NONZERO: &str = "
+value qualifier nonzero(int Expr E)
+    case E of
+        decl int Const C:
+            C, where C != 0
+      | decl int Expr E1:
+            E1, where pos(E1)
+      | decl int Expr E1:
+            E1, where neg(E1)
+      | decl int Expr E1, E2:
+            E1 * E2, where nonzero(E1) && nonzero(E2)
+    restrict decl int Expr E1, E2:
+        E1 / E2, where nonzero(E2)
+    invariant value(E) != 0
+";
+
+/// Figure 12: nonnull pointers, with the `restrict` rule requiring every
+/// dereference to be to a nonnull expression.
+pub const NONNULL: &str = "
+value qualifier nonnull(T* Expr E)
+    case E of
+        decl T LValue L:
+            &L
+    restrict decl T* Expr F:
+        *F, where nonnull(F)
+    invariant value(E) != NULL
+";
+
+/// Figure 4: the untainted flow qualifier (no case block — introduced
+/// only via casts; soundness of flow is the implicit value-qualifier
+/// subtyping).
+pub const UNTAINTED: &str = "
+value qualifier untainted(T Expr E)
+";
+
+/// §6.3's extension of [`UNTAINTED`]: all constants are trusted.
+pub const UNTAINTED_CONSTS: &str = "
+value qualifier untainted(T Expr E)
+    case E of
+        decl T Const C:
+            C
+";
+
+/// Figure 4: the tainted flow qualifier (any expression may be considered
+/// tainted).
+pub const TAINTED: &str = "
+value qualifier tainted(T Expr E)
+    case E of
+        decl T Expr E1:
+            E1
+";
+
+/// Figure 5: unique pointers.
+pub const UNIQUE: &str = "
+ref qualifier unique(T* LValue L)
+    assign L NULL | new
+    disallow L
+    invariant value(L) == NULL ||
+        (isHeapLoc(value(L)) &&
+         forall T** P: *P == value(L) => P == location(L))
+";
+
+/// Figure 7: unaliased variables.
+pub const UNALIASED: &str = "
+ref qualifier unaliased(T Var X)
+    ondecl
+    disallow &X
+    invariant forall T** P: *P != location(X)
+";
+
+/// All builtin sources with their names, using the constants-are-trusted
+/// variant of `untainted` (the one the paper's experiments use).
+pub const ALL: [(&str, &str); 8] = [
+    ("pos", POS),
+    ("neg", NEG),
+    ("nonzero", NONZERO),
+    ("nonnull", NONNULL),
+    ("untainted", UNTAINTED_CONSTS),
+    ("tainted", TAINTED),
+    ("unique", UNIQUE),
+    ("unaliased", UNALIASED),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_qualifiers;
+
+    #[test]
+    fn every_builtin_parses() {
+        for (name, src) in ALL {
+            let defs = parse_qualifiers(src).unwrap_or_else(|e| panic!("builtin {name}: {e}"));
+            assert_eq!(defs.len(), 1, "builtin {name}");
+            assert_eq!(defs[0].name.as_str(), name);
+        }
+    }
+
+    #[test]
+    fn plain_untainted_parses_too() {
+        let defs = parse_qualifiers(UNTAINTED).unwrap();
+        assert!(defs[0].cases.is_empty());
+    }
+}

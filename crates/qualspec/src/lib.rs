@@ -1,0 +1,47 @@
+//! The qualifier-definition language (paper §2).
+//!
+//! Users define new type qualifiers in a small declarative language:
+//! *value* qualifiers carry `case` (introduction) and `restrict`
+//! (checking) rules over expression patterns, *reference* qualifiers carry
+//! `assign` / `disallow` / `ondecl` rules over l-values, and either kind
+//! may declare the run-time `invariant` its rules are meant to guarantee.
+//!
+//! This crate provides:
+//!
+//! * [`ast`] — the definition AST,
+//! * [`parse`] — a parser accepting the paper's figures verbatim,
+//! * [`wf`] — well-formedness checking,
+//! * [`builtins`] — the paper's qualifier library as DSL source,
+//! * [`registry`] — the set of definitions in force for a session.
+//!
+//! # Examples
+//!
+//! ```
+//! use stq_qualspec::Registry;
+//!
+//! let mut registry = Registry::builtins();
+//! registry.add_source(
+//!     "value qualifier even(int Expr E)
+//!          case E of
+//!              decl int Expr E1, E2:
+//!                  E1 + E2, where even(E1) && even(E2)",
+//! )?;
+//! assert!(registry.get_by_name("even").is_some());
+//! assert!(!registry.check_well_formed().has_errors());
+//! # Ok::<(), stq_qualspec::parse::SpecError>(())
+//! ```
+
+pub mod ast;
+pub mod builtins;
+pub mod parse;
+pub mod print;
+pub mod registry;
+pub mod wf;
+
+pub use ast::{
+    AssignRhs, Classifier, Clause, CmpOp, Disallow, InvPred, InvTerm, PTerm, Pattern, Pred,
+    QualKind, QualifierDef, TypePat, VarDecl,
+};
+pub use parse::{parse_qualifiers, SpecError};
+pub use print::def_to_source;
+pub use registry::Registry;

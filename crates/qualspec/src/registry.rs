@@ -1,0 +1,189 @@
+//! The qualifier registry: the set of qualifier definitions in force for
+//! a typechecking or soundness-checking session.
+
+use crate::ast::QualifierDef;
+use crate::builtins;
+use crate::parse::{parse_qualifiers, SpecError};
+use crate::wf::check_def;
+use std::collections::BTreeSet;
+use stq_util::{Diagnostics, Symbol};
+
+/// A collection of qualifier definitions, keyed by name.
+///
+/// # Examples
+///
+/// ```
+/// use stq_qualspec::registry::Registry;
+///
+/// let registry = Registry::builtins();
+/// assert!(registry.get_by_name("pos").is_some());
+/// assert!(registry.get_by_name("unique").is_some());
+/// assert!(!registry.check_well_formed().has_errors());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    defs: Vec<QualifierDef>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// A registry preloaded with the paper's qualifier library
+    /// (`pos`, `neg`, `nonzero`, `nonnull`, `untainted` with the
+    /// constants rule, `tainted`, `unique`, `unaliased`).
+    pub fn builtins() -> Registry {
+        let mut r = Registry::new();
+        for (name, src) in builtins::ALL {
+            r.add_source(src)
+                .unwrap_or_else(|e| panic!("builtin {name} failed to parse: {e}"));
+        }
+        r
+    }
+
+    /// Adds a parsed definition.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a qualifier with the same name already exists.
+    pub fn add(&mut self, def: QualifierDef) -> Result<(), SpecError> {
+        if self.get(def.name).is_some() {
+            return Err(SpecError {
+                message: format!("duplicate qualifier definition `{}`", def.name),
+                span: def.span,
+            });
+        }
+        self.defs.push(def);
+        Ok(())
+    }
+
+    /// Parses definitions from source and adds them all.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse error or duplicate-name error.
+    pub fn add_source(&mut self, src: &str) -> Result<(), SpecError> {
+        for def in parse_qualifiers(src)? {
+            self.add(def)?;
+        }
+        Ok(())
+    }
+
+    /// Looks up a definition by symbol.
+    pub fn get(&self, name: Symbol) -> Option<&QualifierDef> {
+        self.defs.iter().find(|d| d.name == name)
+    }
+
+    /// Looks up a definition by string name.
+    pub fn get_by_name(&self, name: &str) -> Option<&QualifierDef> {
+        self.get(Symbol::intern(name))
+    }
+
+    /// All registered qualifier names, as `&'static str` suitable for
+    /// passing to [`stq_cir::parse::parse_program`].
+    pub fn names(&self) -> Vec<&'static str> {
+        self.defs.iter().map(|d| d.name.as_str()).collect()
+    }
+
+    /// All registered name symbols.
+    pub fn name_set(&self) -> BTreeSet<Symbol> {
+        self.defs.iter().map(|d| d.name).collect()
+    }
+
+    /// Iterates over the definitions in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &QualifierDef> {
+        self.defs.iter()
+    }
+
+    /// Number of registered qualifiers.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Runs well-formedness checking over every definition, resolving
+    /// cross-qualifier references against the whole registry.
+    pub fn check_well_formed(&self) -> Diagnostics {
+        let known = self.name_set();
+        let mut all = Diagnostics::new();
+        for def in &self.defs {
+            all.extend_from(check_def(def, &known));
+        }
+        all
+    }
+}
+
+impl<'a> IntoIterator for &'a Registry {
+    type Item = &'a QualifierDef;
+    type IntoIter = std::slice::Iter<'a, QualifierDef>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.defs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_load_and_are_well_formed() {
+        let r = Registry::builtins();
+        assert_eq!(r.len(), 8);
+        let diags = r.check_well_formed();
+        assert!(!diags.has_errors(), "{diags}");
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut r = Registry::new();
+        r.add_source("value qualifier q(int Expr E)").unwrap();
+        let e = r.add_source("value qualifier q(int Expr E)").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn names_round_trip_to_parser() {
+        let r = Registry::builtins();
+        let names = r.names();
+        assert!(names.contains(&"pos"));
+        // The names must be usable to parse annotated programs.
+        let p = stq_cir::parse::parse_program("int pos x = 3;", &names).unwrap();
+        assert!(p.globals[0].ty.has_qual(Symbol::intern("pos")));
+    }
+
+    #[test]
+    fn mutual_recursion_is_well_formed() {
+        // pos and neg refer to each other; both are registered, so the
+        // cross-references resolve.
+        let r = Registry::builtins();
+        let pos = r.get_by_name("pos").unwrap();
+        assert!(pos.referenced_qualifiers().contains(&Symbol::intern("neg")));
+    }
+
+    #[test]
+    fn dangling_reference_is_caught_at_registry_level() {
+        let mut r = Registry::new();
+        r.add_source(
+            "value qualifier q(int Expr E)
+                case E of
+                    decl int Expr E1: E1, where missing(E1)",
+        )
+        .unwrap();
+        assert!(r.check_well_formed().has_errors());
+    }
+
+    #[test]
+    fn empty_registry() {
+        let r = Registry::new();
+        assert!(r.is_empty());
+        assert!(r.names().is_empty());
+        assert!(!r.check_well_formed().has_errors());
+    }
+}

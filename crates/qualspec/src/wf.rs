@@ -1,0 +1,410 @@
+//! Well-formedness checking of qualifier definitions.
+//!
+//! The extensible typechecker and the soundness checker both assume the
+//! structural invariants enforced here: value qualifiers only use
+//! `case`/`restrict`, reference qualifiers only use
+//! `assign`/`disallow`/`ondecl`, every variable mentioned in a pattern or
+//! predicate is declared, comparison operands are constants, and qualifier
+//! checks reference qualifiers that actually exist.
+
+use crate::ast::*;
+use std::collections::BTreeSet;
+use stq_util::{Diagnostics, Symbol};
+
+/// Checks one definition against the set of all known qualifier names.
+/// Problems are reported as errors into the returned bag.
+pub fn check_def(def: &QualifierDef, known: &BTreeSet<Symbol>) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    let span = def.span;
+    let mut error = |msg: String| diags.error(span, msg);
+
+    match def.kind {
+        QualKind::Value => {
+            if def.subject.classifier != Classifier::Expr {
+                error(format!(
+                    "value qualifier `{}` must apply to Expr subjects, not {}",
+                    def.name, def.subject.classifier
+                ));
+            }
+            if !def.assigns.is_empty() {
+                error(format!(
+                    "value qualifier `{}` may not have an assign block",
+                    def.name
+                ));
+            }
+            if def.disallow.ref_use || def.disallow.addr_of {
+                error(format!(
+                    "value qualifier `{}` may not have a disallow block",
+                    def.name
+                ));
+            }
+            if def.ondecl {
+                error(format!(
+                    "value qualifier `{}` may not be declared ondecl",
+                    def.name
+                ));
+            }
+        }
+        QualKind::Ref => {
+            if !matches!(def.subject.classifier, Classifier::LValue | Classifier::Var) {
+                error(format!(
+                    "reference qualifier `{}` must apply to LValue or Var subjects, not {}",
+                    def.name, def.subject.classifier
+                ));
+            }
+            if !def.cases.is_empty() {
+                error(format!(
+                    "reference qualifier `{}` may not have a case block",
+                    def.name
+                ));
+            }
+            if !def.restricts.is_empty() {
+                error(format!(
+                    "reference qualifier `{}` may not have a restrict block",
+                    def.name
+                ));
+            }
+        }
+    }
+
+    for (what, clauses) in [("case", &def.cases), ("restrict", &def.restricts)] {
+        for clause in clauses {
+            check_clause(def, what, clause, known, &mut diags);
+        }
+    }
+
+    if let Some(inv) = &def.invariant {
+        check_invariant(def, inv, &mut diags);
+    }
+
+    diags
+}
+
+fn check_clause(
+    def: &QualifierDef,
+    what: &str,
+    clause: &Clause,
+    known: &BTreeSet<Symbol>,
+    diags: &mut Diagnostics,
+) {
+    let declared: BTreeSet<Symbol> = clause.decls.iter().map(|d| d.name).collect();
+    for v in clause.pattern.vars() {
+        if !declared.contains(&v) {
+            diags.error(
+                clause.span,
+                format!(
+                    "{what} clause of `{}` uses undeclared pattern variable `{v}`",
+                    def.name
+                ),
+            );
+        }
+    }
+    if let Pattern::AddrOf(x) = &clause.pattern {
+        if let Some(d) = clause.decl(*x) {
+            if !matches!(d.classifier, Classifier::LValue | Classifier::Var) {
+                diags.error(
+                    clause.span,
+                    format!(
+                        "`&{x}` requires {x} to have classifier LValue or Var, not {}",
+                        d.classifier
+                    ),
+                );
+            }
+        }
+    }
+    check_pred(def, clause, &clause.guard, known, diags);
+}
+
+fn check_pred(
+    def: &QualifierDef,
+    clause: &Clause,
+    pred: &Pred,
+    known: &BTreeSet<Symbol>,
+    diags: &mut Diagnostics,
+) {
+    match pred {
+        Pred::True => {}
+        Pred::Cmp(_, a, b) => {
+            for t in [a, b] {
+                if let PTerm::Var(x) = t {
+                    match clause.decl(*x) {
+                        None => diags.error(
+                            clause.span,
+                            format!("predicate of `{}` uses undeclared variable `{x}`", def.name),
+                        ),
+                        Some(d) if d.classifier != Classifier::Const => diags.error(
+                            clause.span,
+                            format!(
+                                "comparison operand `{x}` must have classifier Const, not {}",
+                                d.classifier
+                            ),
+                        ),
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        Pred::QualCheck(q, x) => {
+            if !known.contains(q) {
+                diags.error(
+                    clause.span,
+                    format!("`{}` checks unknown qualifier `{q}`", def.name),
+                );
+            }
+            if clause.decl(*x).is_none() {
+                diags.error(
+                    clause.span,
+                    format!("qualifier check `{q}({x})` uses undeclared variable `{x}`"),
+                );
+            }
+        }
+        Pred::And(a, b) | Pred::Or(a, b) => {
+            check_pred(def, clause, a, known, diags);
+            check_pred(def, clause, b, known, diags);
+        }
+    }
+}
+
+fn check_invariant(def: &QualifierDef, inv: &InvPred, diags: &mut Diagnostics) {
+    let mut bound = BTreeSet::new();
+    check_inv_pred(def, inv, &mut bound, diags);
+}
+
+fn check_inv_pred(
+    def: &QualifierDef,
+    inv: &InvPred,
+    bound: &mut BTreeSet<Symbol>,
+    diags: &mut Diagnostics,
+) {
+    match inv {
+        InvPred::Cmp(_, a, b) => {
+            check_inv_term(def, a, bound, diags);
+            check_inv_term(def, b, bound, diags);
+        }
+        InvPred::IsHeapLoc(t) => check_inv_term(def, t, bound, diags),
+        InvPred::And(a, b) | InvPred::Or(a, b) | InvPred::Implies(a, b) => {
+            check_inv_pred(def, a, bound, diags);
+            check_inv_pred(def, b, bound, diags);
+        }
+        InvPred::Not(a) => check_inv_pred(def, a, bound, diags),
+        InvPred::Forall(x, _, body) => {
+            let fresh = bound.insert(*x);
+            check_inv_pred(def, body, bound, diags);
+            if fresh {
+                bound.remove(x);
+            }
+        }
+    }
+}
+
+fn check_inv_term(
+    def: &QualifierDef,
+    t: &InvTerm,
+    bound: &BTreeSet<Symbol>,
+    diags: &mut Diagnostics,
+) {
+    match t {
+        InvTerm::Int(_) | InvTerm::Null => {}
+        InvTerm::Value(x) => {
+            if *x != def.subject.name {
+                diags.error(
+                    def.span,
+                    format!(
+                        "invariant of `{}` applies value() to `{x}`, not the subject `{}`",
+                        def.name, def.subject.name
+                    ),
+                );
+            }
+        }
+        InvTerm::Location(x) => {
+            if def.kind != QualKind::Ref {
+                diags.error(
+                    def.span,
+                    format!(
+                        "invariant of value qualifier `{}` may not use location()",
+                        def.name
+                    ),
+                );
+            }
+            if *x != def.subject.name {
+                diags.error(
+                    def.span,
+                    format!(
+                        "invariant of `{}` applies location() to `{x}`, not the subject `{}`",
+                        def.name, def.subject.name
+                    ),
+                );
+            }
+        }
+        InvTerm::Var(x) | InvTerm::DerefVar(x) => {
+            if !bound.contains(x) {
+                diags.error(
+                    def.span,
+                    format!(
+                        "invariant of `{}` uses unbound variable `{x}` (bind it with forall)",
+                        def.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_qualifiers;
+
+    fn check(src: &str, known: &[&str]) -> Diagnostics {
+        let defs = parse_qualifiers(src).expect("parse");
+        let known: BTreeSet<Symbol> = known.iter().map(|s| Symbol::intern(s)).collect();
+        let mut all = Diagnostics::new();
+        for d in &defs {
+            all.extend_from(check_def(d, &known));
+        }
+        all
+    }
+
+    #[test]
+    fn figure_definitions_are_well_formed() {
+        let diags = check(
+            "value qualifier pos(int Expr E)
+                case E of
+                    decl int Const C: C, where C > 0
+                  | decl int Expr E1, E2: E1 * E2, where pos(E1) && pos(E2)
+                invariant value(E) > 0",
+            &["pos", "neg"],
+        );
+        assert!(!diags.has_errors(), "{diags}");
+    }
+
+    #[test]
+    fn value_qualifier_with_assign_is_rejected() {
+        let diags = check(
+            "value qualifier q(int Expr E)
+                assign E NULL",
+            &["q"],
+        );
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn ref_qualifier_with_case_is_rejected() {
+        let diags = check(
+            "ref qualifier q(T* LValue L)
+                case L of
+                    decl int Const C: C",
+            &["q"],
+        );
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn value_qualifier_on_lvalue_subject_is_rejected() {
+        let diags = check("value qualifier q(T* LValue L)", &["q"]);
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn undeclared_pattern_variable_is_rejected() {
+        let diags = check(
+            "value qualifier q(int Expr E)
+                case E of
+                    decl int Expr E1: E1 * E2",
+            &["q"],
+        );
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn comparison_on_expr_variable_is_rejected() {
+        // Only Const-classified variables may appear in comparisons
+        // (paper §2.1.1: "operations on constants").
+        let diags = check(
+            "value qualifier q(int Expr E)
+                case E of
+                    decl int Expr E1: E1, where E1 > 0",
+            &["q"],
+        );
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn unknown_qualifier_check_is_rejected() {
+        let diags = check(
+            "value qualifier q(int Expr E)
+                case E of
+                    decl int Expr E1: E1, where mystery(E1)",
+            &["q"],
+        );
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn invariant_on_wrong_variable_is_rejected() {
+        let diags = check(
+            "value qualifier q(int Expr E)
+                invariant value(F) > 0",
+            &["q"],
+        );
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn location_in_value_invariant_is_rejected() {
+        let diags = check(
+            "value qualifier q(int Expr E)
+                invariant location(E) != NULL",
+            &["q"],
+        );
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn unbound_invariant_variable_is_rejected() {
+        let diags = check(
+            "ref qualifier q(T* LValue L)
+                invariant *P != value(L)",
+            &["q"],
+        );
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn forall_binds_invariant_variable() {
+        let diags = check(
+            "ref qualifier q(T* LValue L)
+                invariant forall T** P: *P != value(L)",
+            &["q"],
+        );
+        assert!(!diags.has_errors(), "{diags}");
+    }
+
+    #[test]
+    fn ondecl_on_value_qualifier_is_rejected() {
+        let diags = check(
+            "value qualifier q(int Expr E)
+                ondecl",
+            &["q"],
+        );
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn addr_of_pattern_requires_lvalue_classifier() {
+        let diags = check(
+            "value qualifier q(T* Expr E)
+                case E of
+                    decl T Expr X: &X",
+            &["q"],
+        );
+        assert!(diags.has_errors());
+        let ok = check(
+            "value qualifier q(T* Expr E)
+                case E of
+                    decl T LValue X: &X",
+            &["q"],
+        );
+        assert!(!ok.has_errors(), "{ok}");
+    }
+}

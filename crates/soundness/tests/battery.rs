@@ -1,0 +1,259 @@
+//! A battery of user-defined qualifiers pushed through the soundness
+//! checker, mapping out what the framework proves and what it rejects —
+//! well beyond the paper's own library.
+
+use stq_qualspec::Registry;
+use stq_soundness::{check_qualifier, Verdict};
+
+fn verdict_of(defs: &str, name: &str) -> Verdict {
+    let mut registry = Registry::builtins();
+    registry.add_source(defs).expect("definitions parse");
+    let wf = registry.check_well_formed();
+    assert!(!wf.has_errors(), "{wf}");
+    let def = registry.get_by_name(name).expect("defined");
+    check_qualifier(&registry, def).verdict
+}
+
+// ----- sound definitions -----
+
+#[test]
+fn interval_qualifier_is_sound() {
+    assert_eq!(
+        verdict_of(
+            "value qualifier small(int Expr E)
+                case E of
+                    decl int Const C: C, where C >= 0 && C <= 9
+                invariant value(E) >= 0 && value(E) <= 9",
+            "small",
+        ),
+        Verdict::Sound
+    );
+}
+
+#[test]
+fn nonneg_with_weak_inequalities_is_sound() {
+    assert_eq!(
+        verdict_of(
+            "value qualifier nonneg(int Expr E)
+                case E of
+                    decl int Const C: C, where C >= 0
+                  | decl int Expr E1, E2: E1 + E2, where nonneg(E1) && nonneg(E2)
+                  | decl int Expr E1, E2: E1 * E2, where nonneg(E1) && nonneg(E2)
+                invariant value(E) >= 0",
+            "nonneg",
+        ),
+        Verdict::Sound
+    );
+}
+
+#[test]
+fn cross_qualifier_strengthening_is_sound() {
+    // ge2 ≥ 2; the sum of two pos values is ≥ 2 (each is ≥ 1 over the
+    // integers) — a genuinely integer-flavoured fact the tightening
+    // handles.
+    assert_eq!(
+        verdict_of(
+            "value qualifier ge2(int Expr E)
+                case E of
+                    decl int Const C: C, where C >= 2
+                  | decl int Expr E1, E2: E1 + E2, where pos(E1) && pos(E2)
+                invariant value(E) >= 2",
+            "ge2",
+        ),
+        Verdict::Sound
+    );
+}
+
+#[test]
+fn negation_bridge_is_sound() {
+    assert_eq!(
+        verdict_of(
+            "value qualifier nonpos(int Expr E)
+                case E of
+                    decl int Const C: C, where C <= 0
+                  | decl int Expr E1: -E1, where pos(E1)
+                invariant value(E) <= 0",
+            "nonpos",
+        ),
+        Verdict::Sound
+    );
+}
+
+#[test]
+fn comparison_results_are_boolean() {
+    // A qualifier for 0/1 values introduced by comparisons: exercises
+    // the eqExpr/ltExpr evaluation axioms.
+    assert_eq!(
+        verdict_of(
+            "value qualifier boolean(int Expr E)
+                case E of
+                    decl int Const C: C, where C == 0 || C == 1
+                  | decl int Expr E1, E2: E1 == E2
+                  | decl int Expr E1, E2: E1 < E2
+                  | decl int Expr E1: !E1
+                invariant value(E) >= 0 && value(E) <= 1",
+            "boolean",
+        ),
+        Verdict::Sound
+    );
+}
+
+#[test]
+fn deref_case_rule_uses_store_semantics() {
+    // Everything read from a cell holding a pos value… cannot be proven
+    // without knowing the store, but a *pointer-shaped* rule that just
+    // re-checks its operand works: *E is nonzero if nothing — this is
+    // the negative case below. Here instead: value equal to a constant.
+    assert_eq!(
+        verdict_of(
+            "value qualifier answer(int Expr E)
+                case E of
+                    decl int Const C: C, where C == 42
+                invariant value(E) == 42",
+            "answer",
+        ),
+        Verdict::Sound
+    );
+}
+
+#[test]
+fn ondecl_reference_qualifier_with_weaker_invariant() {
+    // An unaliased variant whose invariant only quantifies — provable
+    // from declaration freshness, like the builtin.
+    assert_eq!(
+        verdict_of(
+            "ref qualifier fresh(T Var X)
+                ondecl
+                disallow &X
+                invariant forall T** P: *P != location(X)",
+            "fresh",
+        ),
+        Verdict::Sound
+    );
+}
+
+// ----- rejected definitions -----
+
+#[test]
+fn sum_rule_for_pos_variant_is_rejected() {
+    // pos + pos is pos — true! But stated for possibly-equal-to-zero
+    // nonneg premises it fails:
+    assert_eq!(
+        verdict_of(
+            "value qualifier strictpos(int Expr E)
+                case E of
+                    decl int Expr E1, E2: E1 * E2, where nonzero(E1) && nonzero(E2)
+                invariant value(E) > 0",
+            "strictpos",
+        ),
+        Verdict::Unsound
+    );
+}
+
+#[test]
+fn interval_overflowing_rule_is_rejected() {
+    // Adding two digits can exceed 9.
+    assert_eq!(
+        verdict_of(
+            "value qualifier small2(int Expr E)
+                case E of
+                    decl int Const C: C, where C >= 0 && C <= 9
+                  | decl int Expr E1, E2: E1 + E2, where small2(E1) && small2(E2)
+                invariant value(E) >= 0 && value(E) <= 9",
+            "small2",
+        ),
+        Verdict::Unsound
+    );
+}
+
+#[test]
+fn wrong_constant_guard_is_rejected() {
+    assert_eq!(
+        verdict_of(
+            "value qualifier big(int Expr E)
+                case E of
+                    decl int Const C: C, where C >= 0
+                invariant value(E) > 0",
+            "big",
+        ),
+        Verdict::Unsound
+    );
+}
+
+#[test]
+fn division_rule_is_rejected() {
+    // Quotients of positives may be zero (integer division): the prover
+    // has no axioms that would justify it, so the obligation fails.
+    assert_eq!(
+        verdict_of(
+            "value qualifier posq(int Expr E)
+                case E of
+                    decl int Expr E1, E2: E1 / E2, where pos(E1) && pos(E2)
+                invariant value(E) > 0",
+            "posq",
+        ),
+        Verdict::Unsound
+    );
+}
+
+#[test]
+fn flow_qualifier_with_a_claimed_invariant_is_rejected() {
+    // Taking tainted's accept-everything rule but claiming an invariant:
+    // the arbitrary-expression case cannot establish anything.
+    assert_eq!(
+        verdict_of(
+            "value qualifier bogus(int Expr E)
+                case E of
+                    decl int Expr E1: E1
+                invariant value(E) != 0",
+            "bogus",
+        ),
+        Verdict::Unsound
+    );
+}
+
+#[test]
+fn addr_case_for_wrong_invariant_is_rejected() {
+    // &L is nonnull, but claiming it is exactly 7 fails.
+    assert_eq!(
+        verdict_of(
+            "value qualifier seven(T* Expr E)
+                case E of
+                    decl T LValue L: &L
+                invariant value(E) == 7",
+            "seven",
+        ),
+        Verdict::Unsound
+    );
+}
+
+#[test]
+fn unique_with_addr_disallow_but_not_read_disallow_is_rejected() {
+    // disallow &X alone does not stop the aliasing copy; the read case
+    // of preservation still fails.
+    assert_eq!(
+        verdict_of(
+            "ref qualifier unique2(T* LValue L)
+                assign L NULL | new
+                disallow &L
+                invariant value(L) == NULL ||
+                    (isHeapLoc(value(L)) &&
+                     forall T** P: *P == value(L) => P == location(L))",
+            "unique2",
+        ),
+        Verdict::Unsound
+    );
+}
+
+#[test]
+fn no_invariant_is_always_vacuously_fine() {
+    assert_eq!(
+        verdict_of(
+            "value qualifier marker(T Expr E)
+                case E of
+                    decl T Expr E1: E1",
+            "marker",
+        ),
+        Verdict::NoInvariant
+    );
+}

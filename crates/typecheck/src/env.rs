@@ -1,0 +1,334 @@
+//! Static type environment: declared types of variables, fields, and
+//! functions, and shape-level typing of expressions.
+//!
+//! The qualifier checker is layered over a light "base" type system (the
+//! paper relies on gcc for ordinary C typechecking): we compute enough
+//! shape information to drive qualifier rules — in particular the paper's
+//! **logical model of memory**, under which `p + i` has the same type as
+//! `p` (§3.3), and the **r-type** rule that strips top-level reference
+//! qualifiers when an l-value is read (§2.2.1).
+
+use std::collections::HashMap;
+use stq_cir::ast::*;
+use stq_qualspec::{QualKind, Registry};
+use stq_util::Symbol;
+
+/// The static type of an expression, as far as the checker can tell.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StaticTy {
+    /// A known qualified type.
+    Known(QualType),
+    /// The `NULL` literal: assignable to any pointer type.
+    Null,
+    /// Unknown (an error was already reported, or the construct is
+    /// outside the base type system's reach).
+    Unknown,
+}
+
+impl StaticTy {
+    /// The known type, if any.
+    pub fn known(&self) -> Option<&QualType> {
+        match self {
+            StaticTy::Known(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Lexically scoped variable environment over a program.
+pub struct TypeEnv<'a> {
+    /// The program being checked (signatures, structs, globals).
+    pub program: &'a Program,
+    /// The qualifier registry (to classify value vs. reference quals).
+    pub registry: &'a Registry,
+    scopes: Vec<HashMap<Symbol, QualType>>,
+}
+
+impl<'a> TypeEnv<'a> {
+    /// Creates an environment with one (function-level) scope.
+    pub fn new(program: &'a Program, registry: &'a Registry) -> TypeEnv<'a> {
+        TypeEnv {
+            program,
+            registry,
+            scopes: vec![HashMap::new()],
+        }
+    }
+
+    /// Enters a nested block scope.
+    pub fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    /// Leaves the innermost scope.
+    pub fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    /// Declares a variable in the innermost scope.
+    pub fn declare(&mut self, name: Symbol, ty: QualType) {
+        self.scopes
+            .last_mut()
+            .expect("environment always has a scope")
+            .insert(name, ty);
+    }
+
+    /// The declared type of a variable (innermost scope first, then
+    /// globals).
+    pub fn lookup(&self, name: Symbol) -> Option<QualType> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(&name))
+            .cloned()
+            .or_else(|| self.program.global(name).map(|g| g.ty.clone()))
+    }
+
+    /// Splits a type's top-level qualifiers into (value, reference) sets.
+    pub fn split_quals(&self, ty: &QualType) -> (Vec<Symbol>, Vec<Symbol>) {
+        let mut value = Vec::new();
+        let mut reference = Vec::new();
+        for &q in &ty.quals {
+            match self.registry.get(q).map(|d| d.kind) {
+                Some(QualKind::Ref) => reference.push(q),
+                // Unregistered qualifiers are treated as value qualifiers;
+                // the checker reports them separately.
+                _ => value.push(q),
+            }
+        }
+        (value, reference)
+    }
+
+    /// The *r-type* of an l-value: its declared type with top-level
+    /// reference qualifiers stripped (paper §2.2.1). Returns the full
+    /// declared type via `lval_decl_type` when the distinction matters.
+    pub fn lval_rtype(&self, lv: &Lvalue) -> StaticTy {
+        match self.lval_decl_type(lv) {
+            StaticTy::Known(ty) => {
+                let (_, refs) = self.split_quals(&ty);
+                let refs: std::collections::BTreeSet<Symbol> = refs.into_iter().collect();
+                StaticTy::Known(ty.without_quals(&refs))
+            }
+            other => other,
+        }
+    }
+
+    /// The declared type of an l-value, reference qualifiers included.
+    pub fn lval_decl_type(&self, lv: &Lvalue) -> StaticTy {
+        match &lv.kind {
+            LvalKind::Var(name) => match self.lookup(*name) {
+                Some(t) => StaticTy::Known(t),
+                None => StaticTy::Unknown,
+            },
+            LvalKind::Deref(e) => match self.expr_type(e) {
+                StaticTy::Known(t) => match t.pointee() {
+                    Some(inner) => StaticTy::Known(inner.clone()),
+                    None => StaticTy::Unknown,
+                },
+                _ => StaticTy::Unknown,
+            },
+            LvalKind::Field(inner, f) => match self.lval_decl_type(inner) {
+                StaticTy::Known(t) => match &t.ty {
+                    Ty::Base(BaseTy::Struct(tag)) => self
+                        .program
+                        .struct_def(*tag)
+                        .and_then(|s| {
+                            s.fields
+                                .iter()
+                                .find(|(n, _)| n == f)
+                                .map(|(_, t)| t.clone())
+                        })
+                        .map_or(StaticTy::Unknown, StaticTy::Known),
+                    _ => StaticTy::Unknown,
+                },
+                other => other,
+            },
+        }
+    }
+
+    /// The static type of an expression.
+    pub fn expr_type(&self, e: &Expr) -> StaticTy {
+        match &e.kind {
+            ExprKind::IntLit(_) | ExprKind::SizeOf(_) => StaticTy::Known(QualType::int()),
+            ExprKind::StrLit(_) => StaticTy::Known(QualType::char_ty().ptr_to()),
+            ExprKind::Null => StaticTy::Null,
+            ExprKind::Lval(lv) => self.lval_rtype(lv),
+            // The pointee of `&lv` is lv's r-type: reference qualifiers
+            // pertain to the l-value itself, not to what a pointer to it
+            // carries (their protection is the disallow rule instead).
+            ExprKind::AddrOf(lv) => match self.lval_rtype(lv) {
+                StaticTy::Known(t) => StaticTy::Known(t.ptr_to()),
+                _ => StaticTy::Unknown,
+            },
+            ExprKind::Unop(_, _) => StaticTy::Known(QualType::int()),
+            ExprKind::Binop(BinOp::Add | BinOp::Sub, a, _) => {
+                // Logical memory model: *pointer* arithmetic preserves the
+                // pointer's type (`p + i : typeof(p)`, §3.3). Integer
+                // arithmetic yields plain int — qualifiers do not flow
+                // through `+`/`-` unless a case rule derives them.
+                match self.expr_type(a) {
+                    t @ StaticTy::Known(QualType { ty: Ty::Ptr(_), .. }) => t,
+                    _ => StaticTy::Known(QualType::int()),
+                }
+            }
+            ExprKind::Binop(..) => StaticTy::Known(QualType::int()),
+            ExprKind::Cast(ty, _) => StaticTy::Known(ty.clone()),
+        }
+    }
+
+    /// Shape compatibility for assignments: identical shapes, `NULL` into
+    /// any pointer, `void*` interchangeable with any pointer, and `int`
+    /// interchangeable with `char` (both are integral in the subset).
+    pub fn shapes_compatible(&self, target: &QualType, source: &StaticTy) -> bool {
+        match source {
+            StaticTy::Unknown => true, // already reported elsewhere
+            StaticTy::Null => target.is_ptr(),
+            StaticTy::Known(src) => shapes_match(target, src),
+        }
+    }
+}
+
+fn shapes_match(a: &QualType, b: &QualType) -> bool {
+    match (&a.ty, &b.ty) {
+        (Ty::Base(x), Ty::Base(y)) => {
+            x == y
+                || matches!(
+                    (x, y),
+                    (BaseTy::Int, BaseTy::Char) | (BaseTy::Char, BaseTy::Int)
+                )
+        }
+        (Ty::Ptr(x), Ty::Ptr(y)) => {
+            // void* is the wildcard pointer.
+            matches!(x.ty, Ty::Base(BaseTy::Void))
+                || matches!(y.ty, Ty::Base(BaseTy::Void))
+                || shapes_match(x, y)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stq_cir::parse::parse_program;
+
+    fn setup(src: &str) -> (Program, Registry) {
+        let registry = Registry::builtins();
+        let p = parse_program(src, &registry.names()).expect("parse");
+        (p, registry)
+    }
+
+    #[test]
+    fn lookup_prefers_inner_scope() {
+        let (p, r) = setup("int g;");
+        let mut env = TypeEnv::new(&p, &r);
+        assert_eq!(env.lookup(Symbol::intern("g")), Some(QualType::int()));
+        env.push_scope();
+        env.declare(Symbol::intern("g"), QualType::int().with_qual("pos"));
+        assert!(env
+            .lookup(Symbol::intern("g"))
+            .unwrap()
+            .has_qual(Symbol::intern("pos")));
+        env.pop_scope();
+        assert_eq!(env.lookup(Symbol::intern("g")), Some(QualType::int()));
+    }
+
+    #[test]
+    fn rtype_strips_reference_qualifiers_only() {
+        let (p, r) = setup("int * unique u; int pos v;");
+        let env = TypeEnv::new(&p, &r);
+        let u = Lvalue::var("u");
+        match env.lval_rtype(&u) {
+            StaticTy::Known(t) => {
+                assert!(!t.has_qual(Symbol::intern("unique")));
+                assert!(t.is_ptr());
+            }
+            other => panic!("expected known, got {other:?}"),
+        }
+        let v = Lvalue::var("v");
+        match env.lval_rtype(&v) {
+            StaticTy::Known(t) => assert!(t.has_qual(Symbol::intern("pos"))),
+            other => panic!("expected known, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deref_types_through_pointers() {
+        let (p, r) = setup("int pos * q;");
+        let env = TypeEnv::new(&p, &r);
+        let star_q = Lvalue::deref(Expr::var("q"));
+        match env.lval_decl_type(&star_q) {
+            StaticTy::Known(t) => assert!(t.has_qual(Symbol::intern("pos"))),
+            other => panic!("expected known, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn field_types_resolve() {
+        let (p, r) = setup(
+            "struct dfa { int* nonnull trans; int works; };
+             struct dfa* d;",
+        );
+        let env = TypeEnv::new(&p, &r);
+        let trans = Lvalue::field(Lvalue::deref(Expr::var("d")), "trans");
+        match env.lval_decl_type(&trans) {
+            StaticTy::Known(t) => assert!(t.has_qual(Symbol::intern("nonnull"))),
+            other => panic!("expected known, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pointer_arithmetic_keeps_type() {
+        let (p, r) = setup("int pos * a;");
+        let env = TypeEnv::new(&p, &r);
+        let e = Expr::binop(BinOp::Add, Expr::var("a"), Expr::int(3));
+        match env.expr_type(&e) {
+            StaticTy::Known(t) => {
+                assert!(t.is_ptr());
+                assert!(t.pointee().unwrap().has_qual(Symbol::intern("pos")));
+            }
+            other => panic!("expected known, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn null_is_pointer_compatible() {
+        let (p, r) = setup("");
+        let env = TypeEnv::new(&p, &r);
+        assert!(env.shapes_compatible(&QualType::int().ptr_to(), &StaticTy::Null));
+        assert!(!env.shapes_compatible(&QualType::int(), &StaticTy::Null));
+    }
+
+    #[test]
+    fn void_pointer_is_wildcard() {
+        let (p, r) = setup("");
+        let env = TypeEnv::new(&p, &r);
+        let void_ptr = QualType::void().ptr_to();
+        let int_ptr = QualType::int().ptr_to();
+        assert!(env.shapes_compatible(&int_ptr, &StaticTy::Known(void_ptr.clone())));
+        assert!(env.shapes_compatible(&void_ptr, &StaticTy::Known(int_ptr)));
+    }
+
+    #[test]
+    fn int_and_char_interchange() {
+        let (p, r) = setup("");
+        let env = TypeEnv::new(&p, &r);
+        assert!(env.shapes_compatible(&QualType::char_ty(), &StaticTy::Known(QualType::int())));
+        assert!(!env.shapes_compatible(
+            &QualType::char_ty().ptr_to(),
+            &StaticTy::Known(QualType::int())
+        ));
+    }
+
+    #[test]
+    fn addr_of_keeps_declared_quals_in_pointee() {
+        let (p, r) = setup("int pos x;");
+        let env = TypeEnv::new(&p, &r);
+        let e = Expr::addr_of(Lvalue::var("x"));
+        match env.expr_type(&e) {
+            StaticTy::Known(t) => {
+                assert!(t.pointee().unwrap().has_qual(Symbol::intern("pos")));
+            }
+            other => panic!("expected known, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! Run-time check instrumentation for value-qualifier casts (paper §2.1.3).
+//!
+//! Static checking sometimes needs help: the paper's `lcm` example casts
+//! `(int pos)(prod / d)` because the `pos` rules cannot derive positivity
+//! of a quotient. To retain soundness, the typechecker instruments every
+//! cast to a value-qualified type with a run-time check that the value
+//! satisfies the qualifier's declared invariant; a failed check is a
+//! fatal error. Casts involving *reference* qualifiers remain unchecked,
+//! like ordinary C casts (§2.2.3).
+
+use std::collections::HashMap;
+use stq_cir::ast::*;
+use stq_cir::interp::{QualChecker, Value};
+use stq_qualspec::{CmpOp, InvPred, InvTerm, QualKind, Registry};
+use stq_util::Symbol;
+
+/// Returns a copy of `program` with a [`InstrKind::RuntimeCheck`]
+/// instruction inserted before every statement containing a cast to a
+/// value-qualified type (for each such qualifier with a declared
+/// invariant). `while` conditions are additionally re-checked at the end
+/// of each iteration, since the condition re-evaluates.
+///
+/// # Examples
+///
+/// ```
+/// use stq_qualspec::Registry;
+/// use stq_cir::parse::parse_program;
+/// use stq_typecheck::instrument_program;
+///
+/// let registry = Registry::builtins();
+/// let program = parse_program(
+///     "int f(int x) { int pos y = (int pos) x; return y; }",
+///     &registry.names(),
+/// ).unwrap();
+/// let instrumented = instrument_program(&registry, &program);
+/// // The declaration is now preceded by a __stq_check_pos instruction.
+/// assert_eq!(instrumented.funcs[0].body.len(), 3);
+/// ```
+pub fn instrument_program(registry: &Registry, program: &Program) -> Program {
+    let mut out = program.clone();
+    for f in &mut out.funcs {
+        f.body = instrument_stmts(registry, &f.body);
+    }
+    out
+}
+
+fn instrument_stmts(registry: &Registry, stmts: &[Stmt]) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        instrument_stmt(registry, s, &mut out);
+    }
+    out
+}
+
+fn instrument_stmt(registry: &Registry, stmt: &Stmt, out: &mut Vec<Stmt>) {
+    let mut checks = Vec::new();
+    match &stmt.kind {
+        StmtKind::Instr(i) => {
+            match &i.kind {
+                InstrKind::Set(lv, e) => {
+                    collect_lvalue(registry, lv, &mut checks);
+                    collect(registry, e, &mut checks);
+                }
+                InstrKind::Alloc(lv, e) => {
+                    collect_lvalue(registry, lv, &mut checks);
+                    collect(registry, e, &mut checks);
+                }
+                InstrKind::Call(dst, _, args) => {
+                    if let Some(lv) = dst {
+                        collect_lvalue(registry, lv, &mut checks);
+                    }
+                    for a in args {
+                        collect(registry, a, &mut checks);
+                    }
+                }
+                InstrKind::RuntimeCheck(..) => {}
+            }
+            push_checks(&checks, stmt.span, out);
+            out.push(stmt.clone());
+        }
+        StmtKind::Decl(d) => {
+            if let Some(init) = &d.init {
+                collect(registry, init, &mut checks);
+            }
+            push_checks(&checks, stmt.span, out);
+            out.push(stmt.clone());
+        }
+        StmtKind::Return(Some(e)) => {
+            collect(registry, e, &mut checks);
+            push_checks(&checks, stmt.span, out);
+            out.push(stmt.clone());
+        }
+        StmtKind::Return(None) => out.push(stmt.clone()),
+        StmtKind::Block(inner) => {
+            out.push(Stmt {
+                kind: StmtKind::Block(instrument_stmts(registry, inner)),
+                span: stmt.span,
+            });
+        }
+        StmtKind::If(cond, then, els) => {
+            collect(registry, cond, &mut checks);
+            push_checks(&checks, stmt.span, out);
+            let then = Box::new(instrument_one(registry, then));
+            let els = els.as_ref().map(|e| Box::new(instrument_one(registry, e)));
+            out.push(Stmt {
+                kind: StmtKind::If(cond.clone(), then, els),
+                span: stmt.span,
+            });
+        }
+        StmtKind::While(cond, body) => {
+            collect(registry, cond, &mut checks);
+            // Check once before entry…
+            push_checks(&checks, stmt.span, out);
+            let mut new_body = vec![instrument_one(registry, body)];
+            // …and again after each iteration, before re-evaluation.
+            for (q, e) in &checks {
+                new_body.push(Stmt {
+                    kind: StmtKind::Instr(Instr {
+                        kind: InstrKind::RuntimeCheck(*q, e.clone()),
+                        span: stmt.span,
+                    }),
+                    span: stmt.span,
+                });
+            }
+            out.push(Stmt {
+                kind: StmtKind::While(cond.clone(), Box::new(Stmt::new(StmtKind::Block(new_body)))),
+                span: stmt.span,
+            });
+        }
+    }
+}
+
+fn instrument_one(registry: &Registry, stmt: &Stmt) -> Stmt {
+    let mut tmp = Vec::new();
+    instrument_stmt(registry, stmt, &mut tmp);
+    match tmp.len() {
+        1 => tmp.pop().expect("len checked"),
+        _ => Stmt {
+            kind: StmtKind::Block(tmp),
+            span: stmt.span,
+        },
+    }
+}
+
+fn push_checks(checks: &[(Symbol, Expr)], span: stq_util::Span, out: &mut Vec<Stmt>) {
+    for (q, e) in checks {
+        out.push(Stmt {
+            kind: StmtKind::Instr(Instr {
+                kind: InstrKind::RuntimeCheck(*q, e.clone()),
+                span,
+            }),
+            span,
+        });
+    }
+}
+
+/// Collects (qualifier, inner-expression) pairs for every cast to a
+/// value-qualified type with a declared invariant.
+fn collect(registry: &Registry, e: &Expr, out: &mut Vec<(Symbol, Expr)>) {
+    match &e.kind {
+        ExprKind::IntLit(_) | ExprKind::StrLit(_) | ExprKind::Null | ExprKind::SizeOf(_) => {}
+        ExprKind::Lval(lv) | ExprKind::AddrOf(lv) => collect_lvalue(registry, lv, out),
+        ExprKind::Unop(_, a) => collect(registry, a, out),
+        ExprKind::Binop(_, a, b) => {
+            collect(registry, a, out);
+            collect(registry, b, out);
+        }
+        ExprKind::Cast(ty, inner) => {
+            for &q in &ty.quals {
+                if let Some(def) = registry.get(q) {
+                    if def.kind == QualKind::Value && def.invariant.is_some() {
+                        out.push((q, (**inner).clone()));
+                    }
+                }
+            }
+            collect(registry, inner, out);
+        }
+    }
+}
+
+fn collect_lvalue(registry: &Registry, lv: &Lvalue, out: &mut Vec<(Symbol, Expr)>) {
+    match &lv.kind {
+        LvalKind::Var(_) => {}
+        LvalKind::Deref(e) => collect(registry, e, out),
+        LvalKind::Field(inner, _) => collect_lvalue(registry, inner, out),
+    }
+}
+
+/// Evaluates value-qualifier invariants dynamically, for executing
+/// instrumented programs on the interpreter.
+///
+/// Only the fragments of the invariant language meaningful for a single
+/// value are decided (`value(E)` comparisons against constants and
+/// `NULL`); state-dependent parts (`isHeapLoc`, quantifiers) are
+/// conservatively accepted.
+#[derive(Clone, Debug, Default)]
+pub struct InvariantChecker {
+    invariants: HashMap<Symbol, InvPred>,
+}
+
+impl InvariantChecker {
+    /// Builds the checker from every value qualifier with an invariant.
+    pub fn new(registry: &Registry) -> InvariantChecker {
+        let mut invariants = HashMap::new();
+        for def in registry.iter() {
+            if def.kind == QualKind::Value {
+                if let Some(inv) = &def.invariant {
+                    invariants.insert(def.name, inv.clone());
+                }
+            }
+        }
+        InvariantChecker { invariants }
+    }
+}
+
+impl QualChecker for InvariantChecker {
+    fn holds(&self, qual: Symbol, value: Value) -> bool {
+        match self.invariants.get(&qual) {
+            None => true,
+            Some(inv) => eval_inv(inv, value),
+        }
+    }
+}
+
+fn eval_inv(inv: &InvPred, v: Value) -> bool {
+    match inv {
+        InvPred::Cmp(op, a, b) => match (term_value(a, v), term_value(b, v)) {
+            (Some(x), Some(y)) => match op {
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+            },
+            // Terms outside the single-value fragment: conservatively true.
+            _ => true,
+        },
+        InvPred::IsHeapLoc(_) => true,
+        InvPred::And(a, b) => eval_inv(a, v) && eval_inv(b, v),
+        InvPred::Or(a, b) => eval_inv(a, v) || eval_inv(b, v),
+        InvPred::Implies(a, b) => !eval_inv(a, v) || eval_inv(b, v),
+        InvPred::Not(a) => !eval_inv(a, v),
+        InvPred::Forall(..) => true,
+    }
+}
+
+fn term_value(t: &InvTerm, v: Value) -> Option<i64> {
+    match t {
+        InvTerm::Value(_) => Some(match v {
+            Value::Int(x) => x,
+            Value::Ptr(a) => a as i64,
+        }),
+        InvTerm::Int(k) => Some(*k),
+        InvTerm::Null => Some(0),
+        InvTerm::Location(_) | InvTerm::Var(_) | InvTerm::DerefVar(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stq_cir::interp::{run_entry, InterpConfig, RuntimeError};
+    use stq_cir::parse::parse_program;
+
+    fn registry() -> Registry {
+        Registry::builtins()
+    }
+
+    fn run_instrumented(src: &str, entry: &str, args: &[Value]) -> Result<(), RuntimeError> {
+        let r = registry();
+        let p = parse_program(src, &r.names()).expect("parse");
+        let instrumented = instrument_program(&r, &p);
+        let checker = InvariantChecker::new(&r);
+        run_entry(
+            &instrumented,
+            entry,
+            args,
+            &checker,
+            InterpConfig::default(),
+        )
+        .map(|_| ())
+    }
+
+    #[test]
+    fn passing_cast_is_silent() {
+        run_instrumented(
+            "int f(int x) { int pos y = (int pos) x; return y; }",
+            "f",
+            &[Value::Int(5)],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn failing_cast_is_fatal() {
+        let e = run_instrumented(
+            "int f(int x) { int pos y = (int pos) x; return y; }",
+            "f",
+            &[Value::Int(-5)],
+        )
+        .unwrap_err();
+        assert!(matches!(e, RuntimeError::CheckFailed { qual, .. }
+            if qual.as_str() == "pos"));
+    }
+
+    #[test]
+    fn lcm_cast_is_checked_at_runtime() {
+        // The paper's lcm example: (int pos)(prod / d) is instrumented;
+        // for positive inputs the check passes.
+        let src = "
+            int pos gcd(int pos n, int pos m) {
+                while (m != 0) { int pos t = (int pos) m; m = n % m; n = t; }
+                return (int pos) n;
+            }
+            int pos lcm(int pos a, int pos b) {
+                int pos d = gcd(a, b);
+                int pos prod = a * b;
+                return (int pos) (prod / d);
+            }";
+        run_instrumented(src, "lcm", &[Value::Int(4), Value::Int(6)]).unwrap();
+    }
+
+    #[test]
+    fn nonnull_cast_fails_on_null() {
+        let e = run_instrumented(
+            "int f() {
+                int* p = NULL;
+                int* nonnull q = (int* nonnull) p;
+                return 0;
+            }",
+            "f",
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(e, RuntimeError::CheckFailed { qual, .. }
+            if qual.as_str() == "nonnull"));
+    }
+
+    #[test]
+    fn untainted_cast_has_no_check() {
+        // untainted has no invariant: the cast is not instrumented, so
+        // any value passes (flow soundness comes from subtyping alone).
+        run_instrumented(
+            "int f(char* buf) {
+                char* untainted fmt = (char* untainted) buf;
+                return 0;
+            }",
+            "f",
+            &[Value::Ptr(0)],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn ref_qualifier_casts_are_unchecked() {
+        run_instrumented(
+            "int f() {
+                int* q = NULL;
+                int* unique p = (int* unique) q;
+                return 0;
+            }",
+            "f",
+            &[],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn while_condition_checks_each_iteration() {
+        // The cast in the while condition is re-checked per iteration; it
+        // fails once x drops to 0.
+        let e = run_instrumented(
+            "int f(int x) {
+                while ((int pos) x > 1) { x = x - 1; }
+                return x;
+            }",
+            "f",
+            &[Value::Int(3)],
+        );
+        // x: 3 → 2 → 1; after x = 1 the end-of-body check sees 1 (> 0),
+        // passes; loop exits via the condition. No failure.
+        e.unwrap();
+        let e2 = run_instrumented(
+            "int f(int x) {
+                while ((int pos) x > 0) { x = x - 1; }
+                return x;
+            }",
+            "f",
+            &[Value::Int(2)],
+        )
+        .unwrap_err();
+        assert!(matches!(e2, RuntimeError::CheckFailed { .. }));
+    }
+
+    #[test]
+    fn invariant_checker_decides_builtin_invariants() {
+        let r = registry();
+        let c = InvariantChecker::new(&r);
+        let pos = Symbol::intern("pos");
+        let neg = Symbol::intern("neg");
+        let nonzero = Symbol::intern("nonzero");
+        let nonnull = Symbol::intern("nonnull");
+        assert!(c.holds(pos, Value::Int(1)));
+        assert!(!c.holds(pos, Value::Int(0)));
+        assert!(c.holds(neg, Value::Int(-1)));
+        assert!(!c.holds(neg, Value::Int(1)));
+        assert!(c.holds(nonzero, Value::Int(-5)));
+        assert!(!c.holds(nonzero, Value::Int(0)));
+        assert!(c.holds(nonnull, Value::Ptr(44)));
+        assert!(!c.holds(nonnull, Value::Ptr(0)));
+        // No invariant → always true.
+        assert!(c.holds(Symbol::intern("untainted"), Value::Ptr(0)));
+    }
+}

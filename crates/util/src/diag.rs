@@ -1,0 +1,240 @@
+//! Structured diagnostics.
+//!
+//! The paper's extensible typechecker reports qualifier violations "as
+//! warnings, but compilation is allowed to continue". We mirror that:
+//! checking never aborts on the first problem; every pass accumulates
+//! [`Diagnostic`]s into a [`Diagnostics`] bag which the caller inspects.
+
+use crate::span::{Loc, Span};
+use std::fmt;
+
+/// How severe a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note (e.g. where a cast's run-time check was inserted).
+    Note,
+    /// A qualifier violation; the paper surfaces these as warnings.
+    Warning,
+    /// A hard error (parse errors, ill-formed qualifier definitions,
+    /// failed soundness obligations).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single reported problem, with a source span and a message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Where in the source the problem is.
+    pub span: Span,
+    /// Human-readable description, lowercase, no trailing punctuation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic against its source text, resolving the span to
+    /// a line:column location.
+    pub fn render(&self, source: &str) -> String {
+        let loc = Loc::of(self.span, source);
+        format!("{loc}: {}: {}", self.severity, self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} [{}]", self.severity, self.message, self.span)
+    }
+}
+
+/// An accumulating collection of diagnostics.
+///
+/// # Examples
+///
+/// ```
+/// use stq_util::{Diagnostics, Severity, Span};
+///
+/// let mut diags = Diagnostics::new();
+/// diags.warning(Span::new(4, 9), "expression may not satisfy qualifier pos");
+/// diags.note(Span::new(4, 9), "run-time check inserted for cast");
+/// assert!(!diags.has_errors());
+/// assert_eq!(diags.count(Severity::Warning), 1);
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// Creates an empty bag.
+    pub fn new() -> Diagnostics {
+        Diagnostics::default()
+    }
+
+    /// Pushes an arbitrary diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Records an error.
+    pub fn error(&mut self, span: Span, message: impl Into<String>) {
+        self.push(Diagnostic {
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+        });
+    }
+
+    /// Records a warning (the paper's qualifier violations).
+    pub fn warning(&mut self, span: Span, message: impl Into<String>) {
+        self.push(Diagnostic {
+            severity: Severity::Warning,
+            span,
+            message: message.into(),
+        });
+    }
+
+    /// Records a note.
+    pub fn note(&mut self, span: Span, message: impl Into<String>) {
+        self.push(Diagnostic {
+            severity: Severity::Note,
+            span,
+            message: message.into(),
+        });
+    }
+
+    /// True if any [`Severity::Error`] diagnostic was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// True if any error *or warning* was recorded (qualifier violations
+    /// count as warnings, so experiment harnesses use this).
+    pub fn has_problems(&self) -> bool {
+        self.items.iter().any(|d| d.severity >= Severity::Warning)
+    }
+
+    /// Number of diagnostics with exactly the given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.items.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// Total number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the bag is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over all diagnostics in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Moves all diagnostics from `other` into `self`.
+    pub fn extend_from(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl Extend<Diagnostic> for Diagnostics {
+    fn extend<T: IntoIterator<Item = Diagnostic>>(&mut self, iter: T) {
+        self.items.extend(iter);
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.items {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn counts_by_severity() {
+        let mut d = Diagnostics::new();
+        d.note(Span::DUMMY, "n");
+        d.warning(Span::DUMMY, "w1");
+        d.warning(Span::DUMMY, "w2");
+        assert_eq!(d.count(Severity::Note), 1);
+        assert_eq!(d.count(Severity::Warning), 2);
+        assert_eq!(d.count(Severity::Error), 0);
+        assert_eq!(d.len(), 3);
+        assert!(!d.has_errors());
+        assert!(d.has_problems());
+    }
+
+    #[test]
+    fn notes_are_not_problems() {
+        let mut d = Diagnostics::new();
+        d.note(Span::DUMMY, "info");
+        assert!(!d.has_problems());
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn render_resolves_location() {
+        let src = "line one\nline two";
+        let d = Diagnostic {
+            severity: Severity::Error,
+            span: Span::new(9, 13),
+            message: "bad".into(),
+        };
+        assert_eq!(d.render(src), "2:1: error: bad");
+    }
+
+    #[test]
+    fn extend_merges_bags() {
+        let mut a = Diagnostics::new();
+        a.error(Span::DUMMY, "e");
+        let mut b = Diagnostics::new();
+        b.warning(Span::DUMMY, "w");
+        a.extend_from(b);
+        assert_eq!(a.len(), 2);
+        assert!(a.has_errors());
+    }
+
+    #[test]
+    fn display_lists_all() {
+        let mut d = Diagnostics::new();
+        d.error(Span::new(1, 2), "one");
+        d.warning(Span::new(3, 4), "two");
+        let s = d.to_string();
+        assert!(s.contains("error: one"));
+        assert!(s.contains("warning: two"));
+    }
+}

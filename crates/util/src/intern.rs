@@ -1,0 +1,144 @@
+//! Global string interning.
+//!
+//! Identifiers, qualifier names, and function symbols appear everywhere in
+//! the typechecker and the prover; interning makes them `Copy` and makes
+//! equality a word comparison. The interner is a process-global table
+//! guarded by a mutex, which is plenty for a compiler front end: interning
+//! happens during parsing, while the hot paths (typechecking, proving) only
+//! compare and hash the already-interned ids.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string.
+///
+/// Two `Symbol`s are equal if and only if the strings they intern are equal.
+/// `Symbol` is `Copy` and 4 bytes, so it is the identifier representation
+/// used throughout the workspace.
+///
+/// # Examples
+///
+/// ```
+/// use stq_util::Symbol;
+///
+/// let s = Symbol::intern("nonnull");
+/// assert_eq!(s.as_str(), "nonnull");
+/// assert_eq!(s, Symbol::intern("nonnull"));
+/// assert_ne!(s, Symbol::intern("nonzero"));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `s`, returning its canonical [`Symbol`].
+    ///
+    /// Interned strings are leaked into a process-global table; this is the
+    /// usual compiler trade-off (identifiers live for the whole session).
+    pub fn intern(s: &str) -> Symbol {
+        let mut table = interner().lock().expect("interner poisoned");
+        if let Some(&id) = table.map.get(s) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(table.strings.len()).expect("interner overflow");
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        table.strings.push(leaked);
+        table.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Returns the interned string.
+    pub fn as_str(self) -> &'static str {
+        let table = interner().lock().expect("interner poisoned");
+        table.strings[self.0 as usize]
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("hello");
+        let b = Symbol::intern("hello");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "hello");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        assert_ne!(Symbol::intern("x"), Symbol::intern("y"));
+    }
+
+    #[test]
+    fn empty_string_interns() {
+        let e = Symbol::intern("");
+        assert_eq!(e.as_str(), "");
+    }
+
+    #[test]
+    fn display_matches_contents() {
+        let s = Symbol::intern("unique");
+        assert_eq!(s.to_string(), "unique");
+        assert_eq!(format!("{s:?}"), "Symbol(\"unique\")");
+    }
+
+    #[test]
+    fn from_str_conversion() {
+        let s: Symbol = "tainted".into();
+        assert_eq!(s, Symbol::intern("tainted"));
+    }
+
+    #[test]
+    fn ordering_is_consistent_with_interning_order_per_symbol() {
+        // Ordering is by intern id, which is stable within a process; the
+        // property we rely on is just that it is a total order.
+        let a = Symbol::intern("aaa-order");
+        let b = Symbol::intern("bbb-order");
+        assert!(a < b || b < a);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn many_symbols_round_trip() {
+        let names: Vec<String> = (0..200).map(|i| format!("sym{i}")).collect();
+        let syms: Vec<Symbol> = names.iter().map(|n| Symbol::intern(n)).collect();
+        for (n, s) in names.iter().zip(&syms) {
+            assert_eq!(s.as_str(), n);
+        }
+    }
+}

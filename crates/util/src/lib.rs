@@ -1,0 +1,33 @@
+//! Shared infrastructure for the semantic-type-qualifiers crates.
+//!
+//! This crate provides the small, dependency-free building blocks used by
+//! every other crate in the workspace:
+//!
+//! * [`Symbol`] — cheap interned strings for identifiers and qualifier names,
+//! * [`Span`] / [`Loc`] — byte-offset source locations for error reporting,
+//! * [`Diagnostic`] / [`Diagnostics`] — structured warnings and errors, in the
+//!   spirit of the paper's typechecker which "provides type errors to the
+//!   programmer as warnings, but compilation is allowed to continue".
+//!
+//! # Examples
+//!
+//! ```
+//! use stq_util::{Symbol, Span, Diagnostics};
+//!
+//! let a = Symbol::intern("pos");
+//! let b = Symbol::intern("pos");
+//! assert_eq!(a, b);
+//! assert_eq!(a.as_str(), "pos");
+//!
+//! let mut diags = Diagnostics::new();
+//! diags.error(Span::DUMMY, "dereference of possibly-null expression");
+//! assert!(diags.has_errors());
+//! ```
+
+pub mod diag;
+pub mod intern;
+pub mod span;
+
+pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use intern::Symbol;
+pub use span::{Loc, Span};

@@ -1,0 +1,147 @@
+//! Source locations.
+//!
+//! Both front ends in this workspace (the C-subset parser in `stq-cir` and
+//! the qualifier-definition parser in `stq-qualspec`) track byte-offset
+//! spans so diagnostics can point at the offending source text.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source buffer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// A span that points nowhere; used for synthesized nodes.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// Creates a span covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: u32, end: u32) -> Span {
+        assert!(start <= end, "span start {start} past end {end}");
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    #[must_use]
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Returns true for the dummy (zero-length at offset 0) span.
+    pub fn is_dummy(self) -> bool {
+        self == Span::DUMMY
+    }
+
+    /// Length in bytes.
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A human-readable line/column location resolved from a [`Span`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Loc {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub col: u32,
+}
+
+impl Loc {
+    /// Resolves the starting position of `span` against `source`.
+    ///
+    /// Offsets past the end of `source` resolve to the final position.
+    pub fn of(span: Span, source: &str) -> Loc {
+        let target = (span.start as usize).min(source.len());
+        let mut line = 1;
+        let mut col = 1;
+        for (i, b) in source.bytes().enumerate() {
+            if i == target {
+                break;
+            }
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        Loc { line, col }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(10, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert_eq!(b.to(a), Span::new(3, 12));
+    }
+
+    #[test]
+    #[should_panic(expected = "span start")]
+    fn backwards_span_panics() {
+        let _ = Span::new(5, 2);
+    }
+
+    #[test]
+    fn loc_resolution_counts_lines_and_columns() {
+        let src = "ab\ncde\nf";
+        assert_eq!(Loc::of(Span::new(0, 1), src), Loc { line: 1, col: 1 });
+        assert_eq!(Loc::of(Span::new(4, 5), src), Loc { line: 2, col: 2 });
+        assert_eq!(Loc::of(Span::new(7, 8), src), Loc { line: 3, col: 1 });
+    }
+
+    #[test]
+    fn loc_past_end_clamps() {
+        let src = "xy";
+        let loc = Loc::of(Span::new(100, 101), src);
+        assert_eq!(loc, Loc { line: 1, col: 3 });
+    }
+
+    #[test]
+    fn dummy_span_properties() {
+        assert!(Span::DUMMY.is_dummy());
+        assert!(Span::DUMMY.is_empty());
+        assert_eq!(Span::DUMMY.len(), 0);
+        assert!(!Span::new(0, 1).is_dummy());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Span::new(2, 9).to_string(), "2..9");
+        assert_eq!(Loc { line: 4, col: 7 }.to_string(), "4:7");
+    }
+}

@@ -1,0 +1,62 @@
+//! The paper's central demonstration (§2.1.3): mistype `pos`'s
+//! multiplication rule as subtraction and the **soundness checker**
+//! catches the error automatically — before any program is ever checked
+//! against the broken discipline.
+//!
+//! Run with: `cargo run --example broken_qualifier`
+
+use stq_core::{Session, Verdict};
+
+fn main() {
+    // The correct definition proves sound.
+    let good = Session::with_builtins();
+    let report = good.prove_sound("pos").expect("builtin");
+    println!("--- correct pos ---\n{report}");
+    assert_eq!(report.verdict, Verdict::Sound);
+
+    // The erroneous variant: E1 - E2 instead of E1 * E2.
+    let mut bad = Session::new();
+    bad.define_qualifiers(
+        "value qualifier neg(int Expr E)
+             case E of
+                 decl int Const C: C, where C < 0
+             invariant value(E) < 0",
+    )
+    .expect("neg defines");
+    bad.define_qualifiers(
+        "value qualifier pos(int Expr E)
+             case E of
+                 decl int Const C:
+                     C, where C > 0
+               | decl int Expr E1, E2:
+                     E1 - E2, where pos(E1) && pos(E2)
+               | decl int Expr E1:
+                     -E1, where neg(E1)
+             invariant value(E) > 0",
+    )
+    .expect("pos defines");
+
+    let report = bad.prove_sound("pos").expect("defined above");
+    println!("--- erroneous pos (E1 - E2) ---\n{report}");
+    assert_eq!(report.verdict, Verdict::Unsound);
+
+    let failure = report.failures().next().expect("one failure");
+    println!(
+        "the failing obligation is exactly the subtraction clause: {}",
+        failure.description
+    );
+    assert!(failure.description.contains("E1 - E2"));
+
+    // Had the check been skipped, the extensible typechecker would have
+    // happily accepted a program that violates pos at run time:
+    let program = bad
+        .parse("int f() { int pos x = 2 - 5; return x; }")
+        .expect("parses");
+    let result = bad.check(&program);
+    println!(
+        "under the broken rules the program typechecks with {} errors — \
+         but x is -3 at run time",
+        result.stats.qualifier_errors
+    );
+    assert!(result.is_clean());
+}

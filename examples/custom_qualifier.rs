@@ -1,0 +1,76 @@
+//! Extensibility: define a brand-new qualifier (`nonneg`, for
+//! non-negative integers), prove it sound, and use it — exactly the
+//! user-defined workflow the framework exists for. Also shows the
+//! soundness checker rejecting a tempting-but-wrong rule for the same
+//! qualifier.
+//!
+//! Run with: `cargo run --example custom_qualifier`
+
+use stq_core::{Session, Value, Verdict};
+
+fn main() {
+    // --- a correct user-defined qualifier ---
+    let mut session = Session::with_builtins();
+    session
+        .define_qualifiers(
+            "value qualifier nonneg(int Expr E)
+                 case E of
+                     decl int Const C:
+                         C, where C >= 0
+                   | decl int Expr E1, E2:
+                         E1 + E2, where nonneg(E1) && nonneg(E2)
+                   | decl int Expr E1, E2:
+                         E1 * E2, where nonneg(E1) && nonneg(E2)
+                   | decl int Expr E1:
+                         E1, where pos(E1)
+                 invariant value(E) >= 0",
+        )
+        .expect("nonneg parses");
+    assert!(!session.check_well_formed().has_errors());
+
+    let report = session.prove_sound("nonneg").expect("just defined");
+    println!("{report}");
+    assert_eq!(report.verdict, Verdict::Sound);
+
+    // Use the qualifier on a program:
+    let source = "
+        int nonneg clamp_sum(int nonneg a, int nonneg b, int pos scale) {
+            int nonneg weighted = a * scale;
+            int nonneg total = weighted + b;
+            return total;
+        }";
+    let result = session.check_source(source).expect("parses");
+    println!(
+        "clamp_sum typechecked with {} qualifier error(s)",
+        result.stats.qualifier_errors
+    );
+    assert!(result.is_clean(), "{}", result.diags);
+
+    // Run it, instrumented (no casts here, so no checks fire).
+    let program = session.parse(source).expect("parses");
+    let out = session
+        .run_instrumented(
+            &program,
+            "clamp_sum",
+            &[Value::Int(3), Value::Int(4), Value::Int(2)],
+        )
+        .expect("runs");
+    println!("clamp_sum(3, 4, 2) = {}", out.ret.expect("returns"));
+
+    // --- a wrong rule for the same qualifier is rejected ---
+    let mut broken = Session::new();
+    broken
+        .define_qualifiers(
+            "value qualifier nonneg(int Expr E)
+                 case E of
+                     decl int Const C:
+                         C, where C >= 0
+                   | decl int Expr E1, E2:
+                         E1 - E2, where nonneg(E1) && nonneg(E2)
+                 invariant value(E) >= 0",
+        )
+        .expect("parses");
+    let report = broken.prove_sound("nonneg").expect("defined");
+    println!("\n--- wrong subtraction rule ---\n{report}");
+    assert_eq!(report.verdict, Verdict::Unsound);
+}

@@ -1,0 +1,68 @@
+//! The flow-sensitive extension (paper §8: "We plan to extend our
+//! typechecking algorithm to incorporate flow-sensitivity, borrowing
+//! ideas from CQUAL"), quantified on the paper's own imprecision example.
+//!
+//! §6.1 reports that the grep experiment needed **59 casts**, with the
+//! major source being NULL-guard idioms the flow-insensitive type system
+//! cannot see. With flow-sensitive refinement, the cast-free corpus
+//! checks with **zero** errors — every guard discharges its dereference.
+//!
+//! Run with: `cargo run --example flow_sensitivity`
+
+use stq_cir::parse::parse_program;
+use stq_corpus::grep::{grep_dfa_source, grep_dfa_source_direct};
+use stq_corpus::tables::registry_subset;
+use stq_typecheck::{check_program_with, CheckOptions};
+
+fn main() {
+    let registry = registry_subset(&["nonnull"]);
+    let fi = CheckOptions::default();
+    let fs = CheckOptions {
+        flow_sensitive: true,
+    };
+
+    // The paper's corpus (guards worked around with casts).
+    let casted = parse_program(&grep_dfa_source(), &registry.names()).expect("parses");
+    // The cast-free variant (guards dereference directly).
+    let direct = parse_program(&grep_dfa_source_direct(), &registry.names()).expect("parses");
+
+    println!("grep dfa corpus, nonnull experiment:");
+    println!("                         casts   errors");
+    let r = check_program_with(&registry, &casted, fi);
+    println!(
+        "flow-insensitive + casts  {:>4}   {:>5}   (the paper's Table 1)",
+        r.stats.casts, r.stats.qualifier_errors
+    );
+    let r = check_program_with(&registry, &direct, fi);
+    println!(
+        "flow-insensitive, direct  {:>4}   {:>5}   (the imprecision, §6.1)",
+        r.stats.casts, r.stats.qualifier_errors
+    );
+    assert_eq!(r.stats.qualifier_errors, 59);
+    let r = check_program_with(&registry, &direct, fs);
+    println!(
+        "flow-sensitive,   direct  {:>4}   {:>5}   (the §8 extension)",
+        r.stats.casts, r.stats.qualifier_errors
+    );
+    assert_eq!(r.stats.qualifier_errors, 0);
+
+    // A taste at source level: the exact idiom from §6.1.
+    let idiom = "
+        int f(int* t, int works) {
+            if (t != NULL) {
+                return t[works];
+            }
+            return 0 - 1;
+        }";
+    let program = parse_program(idiom, &registry.names()).expect("parses");
+    println!("\nthe §6.1 idiom `if (t != NULL) ... t[works]`:");
+    println!(
+        "  flow-insensitive: {} error(s); flow-sensitive: {} error(s)",
+        check_program_with(&registry, &program, fi)
+            .stats
+            .qualifier_errors,
+        check_program_with(&registry, &program, fs)
+            .stats
+            .qualifier_errors,
+    );
+}

@@ -1,0 +1,46 @@
+// Extra qualifier definitions, loadable with `stqc --quals extra.q ...`.
+// Each proves sound automatically (`stqc prove --quals extra.q nonneg`).
+
+value qualifier nonneg(int Expr E)
+    case E of
+        decl int Const C:
+            C, where C >= 0
+      | decl int Expr E1, E2:
+            E1 + E2, where nonneg(E1) && nonneg(E2)
+      | decl int Expr E1, E2:
+            E1 * E2, where nonneg(E1) && nonneg(E2)
+      | decl int Expr E1:
+            E1, where pos(E1)
+    invariant value(E) >= 0
+
+value qualifier digit(int Expr E)
+    case E of
+        decl int Const C:
+            C, where C >= 0 && C <= 9
+    invariant value(E) >= 0 && value(E) <= 9
+
+value qualifier boolean(int Expr E)
+    case E of
+        decl int Const C:
+            C, where C == 0 || C == 1
+      | decl int Expr E1, E2:
+            E1 == E2
+      | decl int Expr E1, E2:
+            E1 < E2
+      | decl int Expr E1:
+            !E1
+    invariant value(E) >= 0 && value(E) <= 1
+
+// Johnson & Wagner-style user/kernel pointer discipline (paper §2.1.4).
+value qualifier kernel(T* Expr E)
+    case E of
+        decl T LValue L:
+            &L
+    restrict decl T* Expr F:
+        *F, where kernel(F)
+    invariant value(E) != NULL
+
+value qualifier user(T* Expr E)
+    case E of
+        decl T* Expr E1:
+            E1

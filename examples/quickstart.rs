@@ -1,0 +1,58 @@
+//! Quickstart: the lcm example from the paper (Figures 1 and 2),
+//! end to end.
+//!
+//! 1. Load the builtin qualifier library (pos, neg, nonzero, …).
+//! 2. Automatically *prove* that pos's type rules guarantee its declared
+//!    invariant `value(E) > 0`, for all programs.
+//! 3. Typecheck the paper's `lcm` procedure, which needs one cast.
+//! 4. Instrument that cast with a run-time check and execute the program
+//!    on the interpreter.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use stq_core::{Session, Value, Verdict};
+
+fn main() {
+    let session = Session::with_builtins();
+
+    // --- soundness, proved automatically (paper §4) ---
+    let report = session.prove_sound("pos").expect("pos is builtin");
+    println!("{report}");
+    assert_eq!(report.verdict, Verdict::Sound);
+
+    // --- typechecking (paper §2.1, Figure 2) ---
+    let source = "
+        int pos gcd(int pos a0, int pos b0) {
+            int n = a0;
+            int m = b0;
+            while (m != 0) {
+                int t = m;
+                m = n % m;
+                n = t;
+            }
+            return (int pos) n;
+        }
+        int pos lcm(int pos a, int pos b) {
+            int pos d = gcd(a, b);
+            int pos prod = a * b;
+            return (int pos) (prod / d);
+        }";
+    let program = session.parse(source).expect("parses");
+    let result = session.check(&program);
+    println!(
+        "typechecked lcm: {} qualifier error(s), {} cast(s), {} annotation(s)",
+        result.stats.qualifier_errors, result.stats.casts, result.stats.annotations
+    );
+    assert!(result.is_clean(), "{}", result.diags);
+
+    // --- instrumented execution (paper §2.1.3) ---
+    let out = session
+        .run_instrumented(&program, "lcm", &[Value::Int(4), Value::Int(6)])
+        .expect("runs");
+    println!(
+        "lcm(4, 6) = {} ({} run-time qualifier check(s) passed)",
+        out.ret.expect("lcm returns"),
+        out.checks_passed
+    );
+    assert_eq!(out.ret, Some(Value::Int(12)));
+}

@@ -1,0 +1,261 @@
+//! `stqc` — the semantic-type-qualifiers command-line tool.
+//!
+//! ```text
+//! stqc prove [--quals FILE] [NAME]       prove qualifier soundness
+//! stqc check [--quals FILE] [--flow-sensitive] FILE.c
+//!                                        qualifier-check a program
+//! stqc run [--entry NAME] FILE.c [INT..] instrument and execute
+//! stqc infer --qual NAME FILE.c          infer annotations
+//! stqc tables                            regenerate Tables 1 and 2
+//! stqc show [--quals FILE] [NAME]        print qualifier definitions
+//! ```
+//!
+//! Qualifier definitions from `--quals` are added on top of the paper's
+//! builtin library.
+
+use std::fs;
+use std::process::ExitCode;
+use stq_core::{CheckOptions, Session, Value, Verdict};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("prove") => prove(&args[1..]),
+        Some("check") => check(&args[1..]),
+        Some("run") => run(&args[1..]),
+        Some("infer") => infer(&args[1..]),
+        Some("tables") => tables(),
+        Some("show") => show(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: stqc <prove|check|run|infer|tables|show> [options]\n\
+                 see `stqc --help` in the README for details"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Builds a session from builtins plus any `--quals FILE` definitions,
+/// returning it and the remaining (non-option) arguments.
+fn session_from(args: &[String]) -> Result<(Session, Vec<String>, Vec<String>), String> {
+    let mut session = Session::with_builtins();
+    let mut rest = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quals" => {
+                let path = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--quals needs a file".to_owned())?;
+                let src =
+                    fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+                session
+                    .define_qualifiers(&src)
+                    .map_err(|e| format!("{path}: {e}"))?;
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                flags.push(flag.to_owned());
+                i += 1;
+            }
+            other => {
+                rest.push(other.to_owned());
+                i += 1;
+            }
+        }
+    }
+    let wf = session.check_well_formed();
+    if wf.has_errors() {
+        return Err(format!("ill-formed qualifier definitions:\n{wf}"));
+    }
+    Ok((session, rest, flags))
+}
+
+fn fail(msg: String) -> ExitCode {
+    eprintln!("stqc: {msg}");
+    ExitCode::FAILURE
+}
+
+fn prove(args: &[String]) -> ExitCode {
+    let (session, rest, _) = match session_from(args) {
+        Ok(x) => x,
+        Err(e) => return fail(e),
+    };
+    let reports = match rest.first() {
+        Some(name) => match session.prove_sound(name) {
+            Some(r) => vec![r],
+            None => return fail(format!("unknown qualifier `{name}`")),
+        },
+        None => session.prove_all_sound(),
+    };
+    let mut ok = true;
+    for r in &reports {
+        println!("{r}");
+        ok &= r.verdict != Verdict::Unsound;
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let (session, rest, flags) = match session_from(args) {
+        Ok(x) => x,
+        Err(e) => return fail(e),
+    };
+    let Some(path) = rest.first() else {
+        return fail("check needs a source file".to_owned());
+    };
+    let source = match fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("cannot read {path}: {e}")),
+    };
+    let program = match session.parse(&source) {
+        Ok(p) => p,
+        Err(e) => return fail(format!("{path}: {e}")),
+    };
+    let options = CheckOptions {
+        flow_sensitive: flags.iter().any(|f| f == "--flow-sensitive"),
+    };
+    let result = session.check_with(&program, options);
+    for d in result.diags.iter() {
+        eprintln!("{path}:{}", d.render(&source));
+    }
+    println!(
+        "{path}: {} dereference(s), {} annotation(s), {} cast(s), {} qualifier error(s)",
+        result.stats.dereferences,
+        result.stats.annotations,
+        result.stats.casts,
+        result.stats.qualifier_errors
+    );
+    if result.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let (session, mut rest, _) = match session_from(args) {
+        Ok(x) => x,
+        Err(e) => return fail(e),
+    };
+    // `--entry NAME`: session_from left NAME in rest; pull it back out.
+    let mut entry_name = "main".to_owned();
+    if let Some(pos) = args.iter().position(|a| a == "--entry") {
+        if let Some(name) = args.get(pos + 1) {
+            entry_name = name.clone();
+            if let Some(i) = rest.iter().position(|r| r == name) {
+                rest.remove(i);
+            }
+        }
+    }
+    let Some(path) = rest.first().cloned() else {
+        return fail("run needs a source file".to_owned());
+    };
+    let source = match fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("cannot read {path}: {e}")),
+    };
+    let program = match session.parse(&source) {
+        Ok(p) => p,
+        Err(e) => return fail(format!("{path}: {e}")),
+    };
+    let call_args: Vec<Value> = rest[1..]
+        .iter()
+        .filter_map(|a| a.parse::<i64>().ok().map(Value::Int))
+        .collect();
+    match session.run_instrumented(&program, &entry_name, &call_args) {
+        Ok(out) => {
+            print!("{}", out.stdout);
+            if let Some(v) = out.ret {
+                println!("=> {v}");
+            }
+            println!("({} run-time qualifier check(s) passed)", out.checks_passed);
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(format!("runtime error: {e}")),
+    }
+}
+
+fn infer(args: &[String]) -> ExitCode {
+    let (session, rest, _) = match session_from(args) {
+        Ok(x) => x,
+        Err(e) => return fail(e),
+    };
+    // `infer --qual NAME FILE` — the qual name lands in rest after the
+    // flag-stripping; expect [NAME, FILE] with --qual marking NAME.
+    let (qual, path) = match args.iter().position(|a| a == "--qual") {
+        Some(pos) => {
+            let Some(name) = args.get(pos + 1) else {
+                return fail("--qual needs a name".to_owned());
+            };
+            let Some(path) = rest.iter().find(|r| *r != name) else {
+                return fail("infer needs a source file".to_owned());
+            };
+            (name.clone(), path.clone())
+        }
+        None => return fail("infer needs --qual NAME".to_owned()),
+    };
+    let source = match fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("cannot read {path}: {e}")),
+    };
+    let program = match session.parse(&source) {
+        Ok(p) => p,
+        Err(e) => return fail(format!("{path}: {e}")),
+    };
+    if session.registry().get_by_name(&qual).map(|d| d.kind) != Some(stq_qualspec::QualKind::Value)
+    {
+        return fail(format!("`{qual}` is not a registered value qualifier"));
+    }
+    let result = session.infer_annotations(&program, &qual);
+    println!(
+        "{} site(s) can carry `{qual}` ({} iteration(s)):",
+        result.inferred.len(),
+        result.iterations
+    );
+    for site in &result.inferred {
+        println!("  + {site}");
+    }
+    for site in &result.rejected {
+        println!("  - {site}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn show(args: &[String]) -> ExitCode {
+    let (session, rest, _) = match session_from(args) {
+        Ok(x) => x,
+        Err(e) => return fail(e),
+    };
+    match rest.first() {
+        Some(name) => match session.registry().get_by_name(name) {
+            Some(def) => {
+                print!("{}", stq_qualspec::def_to_source(def));
+                ExitCode::SUCCESS
+            }
+            None => fail(format!("unknown qualifier `{name}`")),
+        },
+        None => {
+            for def in session.registry().iter() {
+                print!("{}", stq_qualspec::def_to_source(def));
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn tables() -> ExitCode {
+    let row = stq_corpus::tables::table1();
+    println!("{}", stq_corpus::tables::render_table1(&row));
+    let rows = stq_corpus::tables::table2();
+    println!("{}", stq_corpus::tables::render_table2(&rows));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,6 @@
+//! Umbrella package for the semantic-type-qualifiers reproduction.
+//!
+//! The real functionality lives in the `stq-*` crates under `crates/`;
+//! this package hosts the runnable examples in `examples/` and the
+//! cross-crate integration tests in `tests/`.
+pub use stq_core as core;

@@ -1,0 +1,160 @@
+//! Integration tests for the `stqc` command-line tool.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn stqc(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_stqc"))
+        .args(args)
+        .output()
+        .expect("stqc runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn temp_file(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("stqc-test-{}-{name}", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("create temp file");
+    f.write_all(contents.as_bytes()).expect("write temp file");
+    path
+}
+
+#[test]
+fn prove_all_builtins_succeeds() {
+    let (stdout, _, ok) = stqc(&["prove"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("qualifier `pos`: sound"));
+    assert!(stdout.contains("qualifier `unique`: sound"));
+}
+
+#[test]
+fn prove_single_qualifier() {
+    let (stdout, _, ok) = stqc(&["prove", "nonnull"]);
+    assert!(ok);
+    assert!(stdout.contains("nonnull"));
+    assert!(stdout.contains("sound"));
+}
+
+#[test]
+fn prove_unknown_qualifier_fails() {
+    let (_, stderr, ok) = stqc(&["prove", "ghost"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown qualifier"));
+}
+
+#[test]
+fn check_reports_stats_and_exit_codes() {
+    let clean = temp_file("clean.c", "int pos x = 3;");
+    let (stdout, _, ok) = stqc(&["check", clean.to_str().unwrap()]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("0 qualifier error(s)"));
+
+    let dirty = temp_file("dirty.c", "int f(int* p) { return *p; }");
+    let (stdout, stderr, ok) = stqc(&["check", dirty.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stdout.contains("1 qualifier error(s)"), "{stdout}");
+    assert!(stderr.contains("restrict"), "{stderr}");
+}
+
+#[test]
+fn check_flow_sensitive_flag() {
+    let guarded = temp_file(
+        "guarded.c",
+        "int f(int* t) { if (t != NULL) { return *t; } return 0; }",
+    );
+    let path = guarded.to_str().unwrap();
+    let (_, _, ok) = stqc(&["check", path]);
+    assert!(!ok);
+    let (_, _, ok) = stqc(&["check", "--flow-sensitive", path]);
+    assert!(ok);
+}
+
+#[test]
+fn run_executes_with_checks() {
+    let src = temp_file(
+        "run.c",
+        "int pos dbl(int pos x) { return (int pos)(x * 2); }",
+    );
+    let (stdout, _, ok) = stqc(&["run", "--entry", "dbl", src.to_str().unwrap(), "21"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("=> 42"));
+    assert!(stdout.contains("1 run-time qualifier check(s) passed"));
+}
+
+#[test]
+fn run_surfaces_failed_checks() {
+    let src = temp_file("runbad.c", "int pos trust(int x) { return (int pos) x; }");
+    let (_, stderr, ok) = stqc(&["run", "--entry", "trust", src.to_str().unwrap(), "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("run-time check"), "{stderr}");
+}
+
+#[test]
+fn infer_lists_sites() {
+    let src = temp_file("inf.c", "int g; int f() { int* p = &g; return *p; }");
+    let (stdout, _, ok) = stqc(&["infer", "--qual", "nonnull", src.to_str().unwrap()]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("+ local p of f"), "{stdout}");
+}
+
+#[test]
+fn tables_regenerate() {
+    let (stdout, _, ok) = stqc(&["tables"]);
+    assert!(ok);
+    assert!(stdout.contains("1072"));
+    assert!(stdout.contains("bftpd"));
+}
+
+#[test]
+fn user_qualifier_file_is_loaded() {
+    let quals = temp_file(
+        "even.q",
+        "value qualifier answer(int Expr E)
+             case E of
+                 decl int Const C: C, where C == 42
+             invariant value(E) == 42",
+    );
+    let prog = temp_file("answer.c", "int answer a = 42; int answer b = 7;");
+    let (stdout, stderr, ok) = stqc(&[
+        "check",
+        "--quals",
+        quals.to_str().unwrap(),
+        prog.to_str().unwrap(),
+    ]);
+    assert!(!ok);
+    assert!(
+        stdout.contains("1 qualifier error(s)"),
+        "{stdout}\n{stderr}"
+    );
+}
+
+#[test]
+fn bad_usage_is_reported() {
+    let (_, stderr, ok) = stqc(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn show_prints_definitions() {
+    let (stdout, _, ok) = stqc(&["show", "pos"]);
+    assert!(ok);
+    assert!(stdout.contains("value qualifier pos(int Expr E)"));
+    assert!(stdout.contains("invariant value(E) > 0"));
+    let (stdout, _, ok) = stqc(&["show"]);
+    assert!(ok);
+    assert!(stdout.contains("ref qualifier unique"));
+}
+
+#[test]
+fn shipped_extra_qualifiers_prove_sound() {
+    let quals = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/qualifiers/extra.q");
+    let (stdout, stderr, ok) = stqc(&["prove", "--quals", quals]);
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stdout.contains("qualifier `nonneg`: sound"));
+    assert!(stdout.contains("qualifier `digit`: sound"));
+    assert!(stdout.contains("qualifier `kernel`: sound"));
+}

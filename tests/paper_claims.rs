@@ -1,0 +1,115 @@
+//! Integration tests asserting every quantitative claim of the paper's
+//! evaluation, end to end across all crates.
+
+use stq_core::{Session, Verdict};
+use stq_corpus::tables::{table1, table2, unique_experiment};
+
+#[test]
+fn table1_matches_the_paper_exactly() {
+    let row = table1();
+    assert_eq!(row.lines, 2287);
+    assert_eq!(row.dereferences, 1072);
+    assert_eq!(row.annotations, 114);
+    assert_eq!(row.casts, 59);
+    assert_eq!(row.errors, 0);
+}
+
+#[test]
+fn table2_matches_the_paper_exactly() {
+    let rows = table2();
+    let cells: Vec<_> = rows
+        .iter()
+        .map(|r| (r.lines, r.printf_calls, r.annotations, r.casts, r.errors))
+        .collect();
+    assert_eq!(
+        cells,
+        vec![(750, 134, 2, 0, 1), (293, 23, 1, 0, 0), (228, 21, 0, 0, 0)]
+    );
+}
+
+#[test]
+fn uniqueness_experiment_matches_section_6_2() {
+    let (row, references) = unique_experiment();
+    assert_eq!(references, 49);
+    assert_eq!(row.errors, 0);
+    assert_eq!(row.casts, 1);
+}
+
+#[test]
+fn all_library_qualifiers_prove_sound_within_the_papers_bounds() {
+    let session = Session::with_builtins();
+    for report in session.prove_all_sound() {
+        assert_ne!(report.verdict, Verdict::Unsound, "{report}");
+        let def = session
+            .registry()
+            .get(report.qualifier)
+            .expect("registered");
+        let bound = match def.kind {
+            stq_qualspec::QualKind::Value => 1.0,
+            stq_qualspec::QualKind::Ref => 30.0,
+        };
+        assert!(
+            report.duration.as_secs_f64() < bound,
+            "{} took {:?}, over the paper's bound",
+            report.qualifier,
+            report.duration
+        );
+    }
+}
+
+#[test]
+fn qualifier_checking_is_under_one_second() {
+    // §6: "the extra compile time for performing qualifier checking in
+    // CIL is under one second" — for every experiment program.
+    let row = table1();
+    assert!(row.check_time.as_secs_f64() < 1.0);
+    for row in table2() {
+        assert!(row.check_time.as_secs_f64() < 1.0, "{}", row.program);
+    }
+}
+
+#[test]
+fn the_erroneous_subtraction_rule_is_rejected_with_its_clause_named() {
+    let mut session = Session::new();
+    session
+        .define_qualifiers(
+            "value qualifier pos(int Expr E)
+                case E of
+                    decl int Const C: C, where C > 0
+                  | decl int Expr E1, E2: E1 - E2, where pos(E1) && pos(E2)
+                invariant value(E) > 0",
+        )
+        .unwrap();
+    let report = session.prove_sound("pos").unwrap();
+    assert_eq!(report.verdict, Verdict::Unsound);
+    let failures: Vec<_> = report.failures().collect();
+    assert_eq!(failures.len(), 1);
+    assert!(failures[0].description.contains("E1 - E2"));
+    assert!(!failures[0].countermodel.is_empty());
+}
+
+#[test]
+fn unique_without_disallow_fails_preservation() {
+    let mut session = Session::new();
+    session
+        .define_qualifiers(
+            "ref qualifier unique(T* LValue L)
+                assign L NULL | new
+                invariant value(L) == NULL ||
+                    (isHeapLoc(value(L)) &&
+                     forall T** P: *P == value(L) => P == location(L))",
+        )
+        .unwrap();
+    let report = session.prove_sound("unique").unwrap();
+    assert_eq!(report.verdict, Verdict::Unsound);
+    assert!(report
+        .failures()
+        .any(|o| o.description.contains("preservation")));
+}
+
+#[test]
+fn figure_definitions_parse_verbatim_and_are_well_formed() {
+    let session = Session::with_builtins();
+    assert!(!session.check_well_formed().has_errors());
+    assert_eq!(session.registry().len(), 8);
+}

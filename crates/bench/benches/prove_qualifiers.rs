@@ -9,16 +9,35 @@
 //! quantified invariants and preservation case analyses) are the
 //! expensive ones.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use stq_qualspec::Registry;
-use stq_soundness::{check_qualifier, Verdict};
+use stq_soundness::{check_qualifier, QualReport, Verdict};
+
+/// One untimed, deterministic pass: prints the prover-work counters
+/// behind the timing and returns the instantiation count for the
+/// group's throughput.
+fn report_effort(group_name: &str, name: &str, report: &QualReport) -> u64 {
+    let totals = report.totals();
+    println!(
+        "{group_name}/{name}: {} instantiation(s), {} decision(s), \
+         {} theory check(s), {} FM elimination(s)",
+        totals.instantiations, totals.decisions, totals.theory_checks, totals.fm_eliminations
+    );
+    totals.instantiations as u64
+}
 
 fn bench_value_qualifiers(c: &mut Criterion) {
     let registry = Registry::builtins();
     let mut group = c.benchmark_group("prove_value_qualifiers");
     for name in ["pos", "neg", "nonzero", "nonnull"] {
         let def = registry.get_by_name(name).expect("builtin");
+        let effort = report_effort(
+            "prove_value_qualifiers",
+            name,
+            &check_qualifier(&registry, def),
+        );
+        group.throughput(Throughput::Elements(effort));
         group.bench_function(name, |b| {
             b.iter(|| {
                 let report = check_qualifier(black_box(&registry), black_box(def));
@@ -36,6 +55,12 @@ fn bench_ref_qualifiers(c: &mut Criterion) {
     group.sample_size(20);
     for name in ["unique", "unaliased"] {
         let def = registry.get_by_name(name).expect("builtin");
+        let effort = report_effort(
+            "prove_ref_qualifiers",
+            name,
+            &check_qualifier(&registry, def),
+        );
+        group.throughput(Throughput::Elements(effort));
         group.bench_function(name, |b| {
             b.iter(|| {
                 let report = check_qualifier(black_box(&registry), black_box(def));

@@ -9,7 +9,7 @@
 //!   subexpressions; deep product trees measure how inference cost grows
 //!   with expression depth.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use stq_cir::ast::{BinOp, Expr};
 use stq_cir::parse::parse_program;
@@ -24,6 +24,24 @@ fn bench_round_budget(c: &mut Criterion) {
     let mut group = c.benchmark_group("ematch_round_budget");
     group.sample_size(20);
     for rounds in [1usize, 2, 4, 8] {
+        // The prover is deterministic, so one untimed pass reports the
+        // quantifier effort this budget buys (instantiations, not just
+        // wall time).
+        let mut instantiations = 0u64;
+        let mut decisions = 0u64;
+        let mut proved = 0usize;
+        for mut ob in obligations_for(&registry, def) {
+            ob.problem.config.max_rounds = rounds;
+            let outcome = ob.problem.prove();
+            instantiations += outcome.stats().instantiations as u64;
+            decisions += outcome.stats().decisions;
+            proved += usize::from(outcome.is_proved());
+        }
+        println!(
+            "ematch_round_budget/{rounds}: {proved}/6 proved, \
+             {instantiations} instantiation(s), {decisions} decision(s)"
+        );
+        group.throughput(Throughput::Elements(instantiations));
         group.bench_with_input(
             BenchmarkId::from_parameter(rounds),
             &rounds,
@@ -63,6 +81,13 @@ fn bench_inference_depth(c: &mut Criterion) {
     let mut group = c.benchmark_group("inference_depth");
     for depth in [2u32, 4, 6, 8] {
         let expr = product_tree(depth);
+        let env = TypeEnv::new(&program, &registry);
+        let mut inf = Inference::new(&env);
+        assert!(inf.has_qual(&expr, Symbol::intern("pos")));
+        println!(
+            "inference_depth/{depth}: {} match attempt(s), {} memo hit(s)/{} miss(es)",
+            inf.match_attempts, inf.memo_hits, inf.memo_misses
+        );
         group.bench_with_input(BenchmarkId::from_parameter(depth), &expr, |b, e| {
             b.iter(|| {
                 let env = TypeEnv::new(&program, &registry);

@@ -116,7 +116,7 @@ fn random_int_expr(rng: &mut StdRng, locals: &[String], depth: usize) -> String 
     }
     let a = random_int_expr(rng, locals, depth - 1);
     let b = random_int_expr(rng, locals, depth - 1);
-    let op = ["+", "-", "*", "==", "!=", "<", ">"][rng.gen_range(0..7)];
+    let op = ["+", "-", "*", "==", "!=", "<", ">"][rng.gen_range(0..7usize)];
     format!("({a} {op} {b})")
 }
 

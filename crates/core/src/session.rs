@@ -7,7 +7,10 @@ use stq_cir::interp::{run_entry, ExecOutcome, InterpConfig, RuntimeError, Value}
 use stq_cir::parse::{parse_program, ParseError};
 use stq_qualspec::parse::SpecError;
 use stq_qualspec::Registry;
-use stq_soundness::{check_all, check_qualifier, QualReport};
+use stq_soundness::{
+    check_all, check_all_with, check_qualifier, check_qualifier_with, Budget, QualReport,
+    SoundnessReport,
+};
 use stq_typecheck::{
     check_program, check_program_with, infer_annotations, instrument_program, AnnotationInference,
     CheckOptions, CheckResult, InvariantChecker,
@@ -92,9 +95,26 @@ impl Session {
             .map(|def| check_qualifier(&self.registry, def))
     }
 
+    /// As [`Session::prove_sound`], with an explicit prover [`Budget`].
+    /// The returned report carries per-obligation [`stq_soundness::ProverStats`]
+    /// telemetry; exhausted budgets yield `Verdict::ResourceOut`, never a
+    /// false `Unsound`.
+    pub fn prove_sound_with(&self, name: &str, budget: Budget) -> Option<QualReport> {
+        self.registry
+            .get_by_name(name)
+            .map(|def| check_qualifier_with(&self.registry, def, budget))
+    }
+
     /// Proves (or refutes) the soundness of every registered qualifier.
     pub fn prove_all_sound(&self) -> Vec<QualReport> {
         check_all(&self.registry)
+    }
+
+    /// As [`Session::prove_all_sound`], with an explicit prover
+    /// [`Budget`], returning the aggregate [`SoundnessReport`] (per-
+    /// qualifier reports plus registry-wide telemetry totals).
+    pub fn prove_all_sound_with(&self, budget: Budget) -> SoundnessReport {
+        check_all_with(&self.registry, budget)
     }
 
     /// Parses C-subset source with this session's qualifiers as
@@ -221,5 +241,27 @@ mod tests {
     fn prove_sound_of_unknown_qualifier_is_none() {
         let s = Session::new();
         assert!(s.prove_sound("ghost").is_none());
+    }
+
+    #[test]
+    fn budgeted_proving_reports_telemetry() {
+        let s = Session::with_builtins();
+        let report = s.prove_all_sound_with(Budget::default());
+        assert!(report.all_sound(), "{report}");
+        assert!(report.totals.decisions > 0);
+        assert!(report.totals.instantiations > 0);
+        assert!(report.obligation_count() > 0);
+    }
+
+    #[test]
+    fn starved_budget_is_resource_out_not_unsound() {
+        let s = Session::with_builtins();
+        let budget = Budget {
+            max_rounds: 1,
+            max_instantiations: 1,
+            ..Budget::default()
+        };
+        let report = s.prove_sound_with("unique", budget).unwrap();
+        assert_eq!(report.verdict, Verdict::ResourceOut, "{report}");
     }
 }

@@ -47,6 +47,8 @@ pub struct Row {
     pub errors: usize,
     /// Wall-clock checking time (the paper reports "under one second").
     pub check_time: Duration,
+    /// The full checker telemetry behind the row's headline numbers.
+    pub stats: stq_typecheck::CheckStats,
 }
 
 /// Runs the checker over a program source under a qualifier subset and
@@ -73,6 +75,7 @@ pub fn measure(name: &str, source: &str, quals: &[&str]) -> Row {
         casts: result.stats.casts,
         errors: result.stats.qualifier_errors,
         check_time,
+        stats: result.stats,
     }
 }
 
@@ -251,6 +254,14 @@ mod tests {
         let program = parse_program(&row_src, &registry.names()).unwrap();
         let result = check_program(&registry, &program);
         assert_eq!(result.stats.qualifier_errors, 1, "{}", result.diags);
+    }
+
+    #[test]
+    fn rows_carry_checker_telemetry() {
+        let row = table1();
+        assert!(row.stats.exprs_visited > 0, "{row}");
+        assert!(row.stats.memo_misses > 0, "{row}");
+        assert_eq!(row.stats.casts, row.casts);
     }
 
     #[test]

@@ -202,6 +202,14 @@ fn gcd(mut a: i128, mut b: i128) -> i128 {
 /// assert!(!feasible(&[gt0, lt1]));
 /// ```
 pub fn feasible(constraints: &[Constraint]) -> bool {
+    feasible_counted(constraints).0
+}
+
+/// [`feasible`], additionally reporting how many variables were
+/// eliminated (Gaussian pivots on equalities plus Fourier–Motzkin
+/// eliminations) — the prover's `fm_eliminations` telemetry counter.
+pub fn feasible_counted(constraints: &[Constraint]) -> (bool, u64) {
+    let mut eliminations: u64 = 0;
     let mut ineqs: Vec<Constraint> = Vec::new();
     let mut eqs: Vec<LinExpr> = Vec::new();
     for c in constraints {
@@ -218,10 +226,11 @@ pub fn feasible(constraints: &[Constraint]) -> bool {
         match eq.terms.iter().next() {
             None => {
                 if !eq.konst.is_zero() {
-                    return false;
+                    return (false, eliminations);
                 }
             }
             Some((&pivot, &coeff)) => {
+                eliminations += 1;
                 // pivot = -(eq - coeff*pivot) / coeff
                 let mut rest = eq.clone();
                 rest.terms.remove(&pivot);
@@ -256,7 +265,7 @@ pub fn feasible(constraints: &[Constraint]) -> bool {
                     Rel::Eq => v.is_zero(),
                 };
                 if !ok {
-                    return false;
+                    return (false, eliminations);
                 }
             } else {
                 remaining.push(c);
@@ -264,8 +273,9 @@ pub fn feasible(constraints: &[Constraint]) -> bool {
         }
         ineqs = remaining;
         let Some(&var) = ineqs.iter().flat_map(|c| c.expr.terms.keys()).next() else {
-            return true;
+            return (true, eliminations);
         };
+        eliminations += 1;
 
         // Partition by the sign of var's coefficient.
         let mut lowers: Vec<(LinExpr, Rel)> = Vec::new(); // var ≥/> bound
@@ -311,11 +321,24 @@ pub fn feasible(constraints: &[Constraint]) -> bool {
 /// system. Used for exact integer-disequality reasoning: a disequality
 /// `a ≠ b` conflicts exactly when `a = b` is entailed.
 pub fn entails_eq0(constraints: &[Constraint], expr: &LinExpr) -> bool {
+    entails_eq0_counted(constraints, expr).0
+}
+
+/// [`entails_eq0`], additionally reporting the variable eliminations the
+/// two underlying feasibility checks performed.
+pub fn entails_eq0_counted(constraints: &[Constraint], expr: &LinExpr) -> (bool, u64) {
     let mut with_lt = constraints.to_vec();
     with_lt.push(Constraint::lt0(expr.clone()));
     let mut with_gt = constraints.to_vec();
     with_gt.push(Constraint::lt0(expr.scale(-Rat::ONE)));
-    !feasible(&with_lt) && !feasible(&with_gt)
+    let (lt_feasible, lt_elims) = feasible_counted(&with_lt);
+    // Short-circuit like `&&`: the second system is only solved when the
+    // first was infeasible, so the count matches the work actually done.
+    if lt_feasible {
+        return (false, lt_elims);
+    }
+    let (gt_feasible, gt_elims) = feasible_counted(&with_gt);
+    (!gt_feasible, lt_elims + gt_elims)
 }
 
 #[cfg(test)]
@@ -449,5 +472,31 @@ mod tests {
         let mut e = x();
         e.add_term(0, -Rat::ONE);
         assert!(e.is_constant());
+    }
+
+    #[test]
+    fn feasible_counted_reports_eliminations() {
+        // x ≤ y, y ≤ z, z ≤ x - 1 forces FM to eliminate variables
+        // before finding the contradiction.
+        let z = LinExpr::atom(2);
+        let c1 = Constraint::le0(x().sub(&y()));
+        let c2 = Constraint::le0(y().sub(&z));
+        let c3 = Constraint::le0(z.sub(&x()).add(&k(1)));
+        let (ok, elims) = feasible_counted(&[c1, c2, c3]);
+        assert!(!ok);
+        assert!(elims >= 1, "at least one variable must be eliminated");
+        // A constraint-free system does no elimination work.
+        assert_eq!(feasible_counted(&[]), (true, 0));
+    }
+
+    #[test]
+    fn entails_eq0_counted_agrees_with_uncounted() {
+        let le = Constraint::le0(x());
+        let ge = Constraint::le0(x().scale(-Rat::ONE));
+        let (entailed, elims) = entails_eq0_counted(&[le.clone(), ge], &x());
+        assert!(entailed);
+        assert!(elims >= 2, "both directions must be checked");
+        let (not_entailed, _) = entails_eq0_counted(&[le], &x());
+        assert!(!not_entailed);
     }
 }

@@ -121,9 +121,18 @@ fn continue_match(
 /// assert_eq!(matches[0][0].1, Term::cnst("a"));
 /// ```
 pub fn match_trigger(eg: &Egraph, trigger: &[Term]) -> Vec<Binding> {
+    match_trigger_counted(eg, trigger).0
+}
+
+/// [`match_trigger`], additionally reporting how many raw candidate
+/// bindings the matcher examined before congruence deduplication — the
+/// prover's `ematch_candidates` telemetry counter, a direct measure of
+/// matching effort even when most candidates collapse to known instances.
+pub fn match_trigger_counted(eg: &Egraph, trigger: &[Term]) -> (Vec<Binding>, u64) {
     let work: Vec<(&Term, Option<TermRef>)> = trigger.iter().map(|p| (p, None)).collect();
     let mut raw = Vec::new();
     continue_match(eg, &mut Vec::new(), &mut raw, &work);
+    let candidates = raw.len() as u64;
 
     // Deduplicate by the canonical class of each bound variable.
     let mut seen: HashSet<Vec<(Symbol, TermRef)>> = HashSet::new();
@@ -141,7 +150,7 @@ pub fn match_trigger(eg: &Egraph, trigger: &[Term]) -> Vec<Binding> {
             );
         }
     }
-    out
+    (out, candidates)
 }
 
 #[cfg(test)]
@@ -271,5 +280,20 @@ mod tests {
         eg.intern(&Term::app("f", vec![Term::cnst("c")]));
         let ms = match_trigger(&eg, &[Term::app("f", vec![var("X")])]);
         assert_eq!(ms.len(), 3);
+    }
+
+    #[test]
+    fn counted_matching_reports_raw_candidates() {
+        // f(a) and f(b) with a = b: two raw candidates collapse to one
+        // binding modulo congruence, but both were examined.
+        let mut eg = Egraph::new();
+        let a = eg.intern(&Term::cnst("a"));
+        let b = eg.intern(&Term::cnst("b"));
+        eg.intern(&Term::app("f", vec![Term::cnst("a")]));
+        eg.intern(&Term::app("f", vec![Term::cnst("b")]));
+        eg.merge(a, b).unwrap();
+        let (ms, candidates) = match_trigger_counted(&eg, &[Term::app("f", vec![var("X")])]);
+        assert_eq!(ms.len(), 1);
+        assert!(candidates >= ms.len() as u64);
     }
 }

@@ -62,6 +62,9 @@ pub struct Egraph {
     diseqs: Vec<(TermRef, TermRef)>,
     /// Integer literal value of the class representative, if any.
     int_value: Vec<Option<i64>>,
+    /// Number of class unions performed (telemetry; see
+    /// [`crate::stats::ProverStats::merges`]).
+    merges: u64,
 }
 
 /// A contradiction discovered during merging (two distinct integers, or a
@@ -166,6 +169,7 @@ impl Egraph {
                 (ry, rx)
             };
             self.parent[small as usize] = big;
+            self.merges += 1;
             if self.int_value[big as usize].is_none() {
                 self.int_value[big as usize] = self.int_value[small as usize];
             }
@@ -250,6 +254,12 @@ impl Egraph {
     pub fn class_members(&self, r: TermRef) -> Vec<TermRef> {
         let rep = self.find(r);
         self.term_refs().filter(|&t| self.find(t) == rep).collect()
+    }
+
+    /// Total class unions performed so far, including congruence-induced
+    /// merges propagated by the worklist.
+    pub fn merges(&self) -> u64 {
+        self.merges
     }
 }
 
@@ -375,6 +385,19 @@ mod tests {
         eg.merge(a, seven).unwrap();
         eg.merge(b, a).unwrap();
         assert_eq!(eg.class_int_value(b), Some(7));
+    }
+
+    #[test]
+    fn merges_are_counted_including_congruence() {
+        let mut eg = Egraph::new();
+        let a = eg.intern(&c("a"));
+        let b = eg.intern(&c("b"));
+        let _fa = eg.intern(&f(vec![c("a")]));
+        let _fb = eg.intern(&f(vec![c("b")]));
+        assert_eq!(eg.merges(), 0);
+        eg.merge(a, b).unwrap();
+        // One explicit union plus the congruence-induced f(a) = f(b).
+        assert_eq!(eg.merges(), 2);
     }
 
     #[test]

@@ -18,10 +18,14 @@
 //! The prover is *refutation based*: to prove `H₁ ∧ … ∧ Hₙ ⇒ G` it asserts
 //! the hypotheses together with `¬G` and searches for a theory-consistent
 //! assignment. If every branch is inconsistent the obligation is
-//! [`Outcome::Proved`]; otherwise the prover reports [`Outcome::Unknown`]
-//! together with the candidate countermodel literals, which is how the
-//! soundness checker explains *why* an erroneous qualifier (such as the
-//! paper's `E1 - E2` variant of `pos`) is rejected.
+//! [`Outcome::Proved`]; if the search saturates with a surviving
+//! assignment the prover reports [`Outcome::Refuted`] together with the
+//! candidate countermodel literals, which is how the soundness checker
+//! explains *why* an erroneous qualifier (such as the paper's `E1 - E2`
+//! variant of `pos`) is rejected. Every attempt runs under a
+//! [`stats::Budget`]; when a limit trips the prover returns
+//! [`Outcome::ResourceOut`] with [`stats::ProverStats`] telemetry instead
+//! of diverging ([`stats`]).
 //!
 //! # Examples
 //!
@@ -62,7 +66,9 @@ pub mod euf;
 pub mod pre;
 pub mod rat;
 pub mod solver;
+pub mod stats;
 pub mod term;
 
-pub use solver::{Outcome, Problem, ProverConfig};
+pub use solver::{Outcome, Problem};
+pub use stats::{Budget, ProverConfig, ProverStats, Resource};
 pub use term::{Formula, Sort, Term};

@@ -9,57 +9,49 @@
 //! quantifier asserted true in it is instantiated against the current
 //! ground terms, and the search repeats with the new clauses. The
 //! obligation is proved when the search space is exhausted.
+//!
+//! Every attempt runs under a [`Budget`] and reports [`ProverStats`]
+//! telemetry (see [`crate::stats`]); an attempt that hits a limit
+//! terminates with [`Outcome::ResourceOut`] instead of diverging.
 
-use crate::arith::{entails_eq0, feasible, Constraint, LinExpr};
-use crate::ematch::match_trigger;
+use crate::arith::{entails_eq0_counted, feasible_counted, Constraint, LinExpr};
+use crate::ematch::match_trigger_counted;
 use crate::euf::Egraph;
 use crate::pre::{Atom, Clause, Clausifier, Lit};
 use crate::rat::Rat;
+use crate::stats::{Budget, ProverStats, Resource};
 use crate::term::{Formula, Term};
 use std::collections::HashSet;
+use std::time::Instant;
 
-/// Resource limits for the prover.
-#[derive(Clone, Copy, Debug)]
-pub struct ProverConfig {
-    /// Maximum E-matching instantiation rounds.
-    pub max_rounds: usize,
-    /// Maximum total quantifier instantiations.
-    pub max_instantiations: usize,
-    /// Maximum number of clauses before giving up.
-    pub max_clauses: usize,
-    /// Maximum DPLL decisions before giving up.
-    pub max_decisions: u64,
-}
+pub use crate::stats::{ProverConfig, Stats};
 
-/// Counters describing the work a proof attempt performed.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct Stats {
-    /// Instantiation rounds executed.
-    pub rounds: usize,
-    /// Quantifier instances generated.
-    pub instantiations: usize,
-    /// DPLL decisions made.
-    pub decisions: u64,
-    /// Final clause count.
-    pub clauses: usize,
-}
-
-/// The result of a proof attempt.
+/// The result of a proof attempt: a three-valued verdict.
 #[derive(Clone, Debug)]
 pub enum Outcome {
     /// The obligation is valid: every case was refuted.
     Proved {
         /// Work counters.
-        stats: Stats,
+        stats: ProverStats,
     },
-    /// The prover could not refute the negated obligation. `model` holds a
-    /// human-readable candidate countermodel: the literal assignment of
-    /// the surviving branch, useful for diagnosing unsound qualifiers.
-    Unknown {
+    /// The search saturated without refuting the negated obligation:
+    /// instantiation produced nothing new and a theory-consistent
+    /// assignment survives. `model` holds a human-readable candidate
+    /// countermodel — the literal assignment of the surviving branch —
+    /// useful for diagnosing unsound qualifiers.
+    Refuted {
         /// Pretty-printed literals of the surviving assignment.
         model: Vec<String>,
         /// Work counters.
-        stats: Stats,
+        stats: ProverStats,
+    },
+    /// A [`Budget`] limit tripped before the search could conclude either
+    /// way. The obligation might be provable with a larger budget.
+    ResourceOut {
+        /// The budgeted resource that ran out.
+        resource: Resource,
+        /// Work counters at the point the limit tripped.
+        stats: ProverStats,
     },
 }
 
@@ -69,10 +61,46 @@ impl Outcome {
         matches!(self, Outcome::Proved { .. })
     }
 
+    /// True if the search saturated with a surviving candidate model.
+    pub fn is_refuted(&self) -> bool {
+        matches!(self, Outcome::Refuted { .. })
+    }
+
+    /// True if a budget limit tripped before a conclusion.
+    pub fn is_resource_out(&self) -> bool {
+        matches!(self, Outcome::ResourceOut { .. })
+    }
+
     /// The work counters.
-    pub fn stats(&self) -> Stats {
+    pub fn stats(&self) -> &ProverStats {
         match self {
-            Outcome::Proved { stats } | Outcome::Unknown { stats, .. } => *stats,
+            Outcome::Proved { stats }
+            | Outcome::Refuted { stats, .. }
+            | Outcome::ResourceOut { stats, .. } => stats,
+        }
+    }
+
+    fn stats_mut(&mut self) -> &mut ProverStats {
+        match self {
+            Outcome::Proved { stats }
+            | Outcome::Refuted { stats, .. }
+            | Outcome::ResourceOut { stats, .. } => stats,
+        }
+    }
+
+    /// The candidate countermodel, when the search saturated.
+    pub fn model(&self) -> Option<&[String]> {
+        match self {
+            Outcome::Refuted { model, .. } => Some(model),
+            _ => None,
+        }
+    }
+
+    /// The exhausted resource, when a budget limit tripped.
+    pub fn resource(&self) -> Option<Resource> {
+        match self {
+            Outcome::ResourceOut { resource, .. } => Some(*resource),
+            _ => None,
         }
     }
 }
@@ -86,18 +114,7 @@ pub struct Problem {
     hyps: Vec<Formula>,
     goal: Option<Formula>,
     /// Resource limits; adjust before calling [`Problem::prove`].
-    pub config: ProverConfig,
-}
-
-impl Default for ProverConfig {
-    fn default() -> ProverConfig {
-        ProverConfig {
-            max_rounds: 8,
-            max_instantiations: 4000,
-            max_clauses: 50_000,
-            max_decisions: 2_000_000,
-        }
-    }
+    pub config: Budget,
 }
 
 impl Problem {
@@ -107,8 +124,15 @@ impl Problem {
             axioms: Vec::new(),
             hyps: Vec::new(),
             goal: None,
-            config: ProverConfig::default(),
+            config: Budget::default(),
         }
+    }
+
+    /// Sets the resource budget (chainable alternative to assigning
+    /// [`Problem::config`] directly).
+    pub fn budget(&mut self, budget: Budget) -> &mut Problem {
+        self.config = budget;
+        self
     }
 
     /// Adds a background axiom (typically universally quantified with
@@ -130,12 +154,21 @@ impl Problem {
         self
     }
 
-    /// Attempts to prove `axioms ∧ hypotheses ⇒ goal`.
+    /// Attempts to prove `axioms ∧ hypotheses ⇒ goal` within the
+    /// configured [`Budget`], stamping wall-clock time into the stats.
     ///
     /// # Panics
     ///
     /// Panics if no goal was set.
     pub fn prove(&self) -> Outcome {
+        let start = Instant::now();
+        let deadline = self.config.timeout.map(|t| start + t);
+        let mut outcome = self.prove_inner(deadline);
+        outcome.stats_mut().wall = start.elapsed();
+        outcome
+    }
+
+    fn prove_inner(&self, deadline: Option<Instant>) -> Outcome {
         let goal = self.goal.clone().expect("no goal set on problem");
         // Free variables act as uninterpreted constants (proving a goal
         // with free variables proves it for arbitrary values).
@@ -179,26 +212,50 @@ impl Problem {
         let cs = cl.assert_formula(&negated);
         add_clauses(cs, &mut clauses, &mut seen);
 
-        let mut stats = Stats::default();
+        let mut stats = ProverStats::default();
         let mut instantiated: HashSet<String> = HashSet::new();
 
         for round in 0..self.config.max_rounds {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Outcome::ResourceOut {
+                    resource: Resource::Time,
+                    stats,
+                };
+            }
             stats.rounds = round + 1;
             stats.clauses = clauses.len();
+            stats.max_clauses = stats.max_clauses.max(clauses.len());
             let mut search = Search {
                 cl: &cl,
                 clauses: &clauses,
                 decisions: 0,
-                max_decisions: self.config.max_decisions,
+                propagations: 0,
+                conflicts: 0,
+                theory_checks: 0,
+                merges: 0,
+                fm_eliminations: 0,
+                // The decision budget spans the whole attempt, not one round.
+                max_decisions: self.config.max_decisions.saturating_sub(stats.decisions),
+                deadline,
                 exhausted: false,
+                timed_out: false,
             };
             let natoms = cl.atoms().len();
             let mut assign = vec![None; natoms];
             let result = search.dpll(&mut assign);
             stats.decisions += search.decisions;
+            stats.propagations += search.propagations;
+            stats.conflicts += search.conflicts;
+            stats.theory_checks += search.theory_checks;
+            stats.merges += search.merges;
+            stats.fm_eliminations += search.fm_eliminations;
             if search.exhausted {
-                return Outcome::Unknown {
-                    model: vec!["(decision budget exhausted)".to_owned()],
+                return Outcome::ResourceOut {
+                    resource: if search.timed_out {
+                        Resource::Time
+                    } else {
+                        Resource::Decisions
+                    },
                     stats,
                 };
             }
@@ -210,6 +267,7 @@ impl Problem {
             let mut eg = Egraph::new();
             intern_all_atoms(&cl, &mut eg);
             assert_model_equalities(&cl, &model, &mut eg);
+            stats.merges += eg.merges();
 
             let active: Vec<usize> = model
                 .iter()
@@ -222,12 +280,16 @@ impl Problem {
 
             let mut new_clauses: Vec<Clause> = Vec::new();
             let mut fresh = Vec::new();
+            let mut instantiation_cap_hit = false;
             for q in active {
                 let closure = cl.quants[q].clone();
                 let proxy_atom = find_quant_atom(&cl, q);
                 for trigger in &closure.triggers {
-                    for binding in match_trigger(&eg, trigger) {
+                    let (bindings, candidates) = match_trigger_counted(&eg, trigger);
+                    stats.ematch_candidates += candidates;
+                    for binding in bindings {
                         if stats.instantiations >= self.config.max_instantiations {
+                            instantiation_cap_hit = true;
                             break;
                         }
                         // The trigger must bind every quantified variable.
@@ -243,6 +305,10 @@ impl Problem {
                             continue;
                         }
                         stats.instantiations += 1;
+                        *stats
+                            .instantiations_by_trigger
+                            .entry(render_trigger(trigger))
+                            .or_insert(0) += 1;
                         let inst = closure.body.subst(&binding);
                         let mut inst_clauses = cl.clausify(&inst);
                         // Guard each clause with the proxy: ¬Q ∨ instance.
@@ -261,20 +327,43 @@ impl Problem {
             let added = add_clauses(fresh, &mut new_clauses, &mut seen);
             clauses.extend(new_clauses);
             stats.clauses = clauses.len();
-            if added == 0 || clauses.len() > self.config.max_clauses {
-                return Outcome::Unknown {
+            stats.max_clauses = stats.max_clauses.max(clauses.len());
+            if clauses.len() > self.config.max_clauses {
+                return Outcome::ResourceOut {
+                    resource: Resource::Clauses,
+                    stats,
+                };
+            }
+            if added == 0 {
+                if instantiation_cap_hit {
+                    // The cap stopped instantiation before saturation; the
+                    // surviving model is not evidence of anything.
+                    return Outcome::ResourceOut {
+                        resource: Resource::Instantiations,
+                        stats,
+                    };
+                }
+                // True saturation: no instantiation produces anything new,
+                // and a theory-consistent assignment survives.
+                return Outcome::Refuted {
                     model: render_model(&cl, &model),
                     stats,
                 };
             }
         }
 
-        // Round budget exhausted; re-run the search once to produce a model.
-        Outcome::Unknown {
-            model: vec!["(round budget exhausted)".to_owned()],
+        Outcome::ResourceOut {
+            resource: Resource::Rounds,
             stats,
         }
     }
+}
+
+/// Renders a trigger multi-pattern as the stable string key used in
+/// [`ProverStats::instantiations_by_trigger`].
+fn render_trigger(trigger: &[Term]) -> String {
+    let parts: Vec<String> = trigger.iter().map(ToString::to_string).collect();
+    parts.join(", ")
 }
 
 /// Replaces each free variable with an uninterpreted constant of the same
@@ -363,9 +452,21 @@ struct Search<'a> {
     cl: &'a Clausifier,
     clauses: &'a [Clause],
     decisions: u64,
+    propagations: u64,
+    conflicts: u64,
+    theory_checks: u64,
+    merges: u64,
+    fm_eliminations: u64,
     max_decisions: u64,
+    deadline: Option<Instant>,
     exhausted: bool,
+    timed_out: bool,
 }
+
+/// How many decisions elapse between wall-clock deadline checks; each
+/// decision already scans every clause, so checking this often keeps the
+/// overhead of `Instant::now` well under the noise floor.
+const DEADLINE_CHECK_INTERVAL: u64 = 64;
 
 impl Search<'_> {
     /// Returns a theory-consistent assignment, or `None` if none exists
@@ -401,6 +502,7 @@ impl Search<'_> {
                 match unassigned_count {
                     0 => {
                         // Conflict: undo propagation and fail this branch.
+                        self.conflicts += 1;
                         for &a in &trail {
                             assign[a] = None;
                         }
@@ -410,6 +512,7 @@ impl Search<'_> {
                         let lit = unassigned.expect("count is one");
                         assign[lit.atom] = Some(lit.pos);
                         trail.push(lit.atom);
+                        self.propagations += 1;
                         progressed = true;
                     }
                     _ => {}
@@ -451,6 +554,8 @@ impl Search<'_> {
                     }
                     Some(model)
                 } else {
+                    // A theory-rejected leaf is a conflict too.
+                    self.conflicts += 1;
                     for &a in &trail {
                         assign[a] = None;
                     }
@@ -461,6 +566,16 @@ impl Search<'_> {
                 self.decisions += 1;
                 if self.decisions > self.max_decisions {
                     self.exhausted = true;
+                    for &a in &trail {
+                        assign[a] = None;
+                    }
+                    return None;
+                }
+                if self.decisions % DEADLINE_CHECK_INTERVAL == 0
+                    && self.deadline.is_some_and(|d| Instant::now() >= d)
+                {
+                    self.exhausted = true;
+                    self.timed_out = true;
                     for &a in &trail {
                         assign[a] = None;
                     }
@@ -489,8 +604,15 @@ impl Search<'_> {
     /// congruence closure over the equalities and predicate facts, then
     /// Fourier–Motzkin over the (EUF-canonicalized) arithmetic literals,
     /// then exact handling of integer disequalities.
-    fn theory_consistent(&self, assign: &[Option<bool>]) -> bool {
+    fn theory_consistent(&mut self, assign: &[Option<bool>]) -> bool {
+        self.theory_checks += 1;
         let mut eg = Egraph::new();
+        let consistent = self.theory_consistent_inner(assign, &mut eg);
+        self.merges += eg.merges();
+        consistent
+    }
+
+    fn theory_consistent_inner(&mut self, assign: &[Option<bool>], eg: &mut Egraph) -> bool {
         let true_term = Term::int(1);
         let false_term = Term::int(0);
 
@@ -540,13 +662,13 @@ impl Search<'_> {
         for (i, value) in arith_pos {
             match self.cl.atom(i) {
                 Atom::Eq(a, b) => {
-                    let la = linearize(&mut eg, a);
-                    let lb = linearize(&mut eg, b);
+                    let la = linearize(eg, a);
+                    let lb = linearize(eg, b);
                     constraints.push(Constraint::eq0(la.sub(&lb)));
                 }
                 Atom::Le(a, b) => {
-                    let la = linearize(&mut eg, a);
-                    let lb = linearize(&mut eg, b);
+                    let la = linearize(eg, a);
+                    let lb = linearize(eg, b);
                     if value {
                         // a ≤ b  ⇔  a - b ≤ 0
                         constraints.push(Constraint::le0(la.sub(&lb)));
@@ -556,8 +678,8 @@ impl Search<'_> {
                     }
                 }
                 Atom::Lt(a, b) => {
-                    let la = linearize(&mut eg, a);
-                    let lb = linearize(&mut eg, b);
+                    let la = linearize(eg, a);
+                    let lb = linearize(eg, b);
                     if value {
                         constraints.push(Constraint::lt0(la.sub(&lb)));
                     } else {
@@ -567,16 +689,20 @@ impl Search<'_> {
                 _ => unreachable!("only arithmetic atoms recorded"),
             }
         }
-        if !feasible(&constraints) {
+        let (arith_ok, elims) = feasible_counted(&constraints);
+        self.fm_eliminations += elims;
+        if !arith_ok {
             return false;
         }
 
         // Phase 3: integer disequalities. A disequality a ≠ b conflicts
         // exactly when the arithmetic constraints entail a = b.
         for (a, b) in &diseqs {
-            let la = linearize(&mut eg, a);
-            let lb = linearize(&mut eg, b);
-            if entails_eq0(&constraints, &la.sub(&lb)) {
+            let la = linearize(eg, a);
+            let lb = linearize(eg, b);
+            let (entailed, elims) = entails_eq0_counted(&constraints, &la.sub(&lb));
+            self.fm_eliminations += elims;
+            if entailed {
                 return false;
             }
         }
@@ -793,8 +919,8 @@ mod tests {
         };
         assert!(!outcome.is_proved());
         match outcome {
-            Outcome::Unknown { model, .. } => assert!(!model.is_empty()),
-            Outcome::Proved { .. } => panic!("must not prove x - y > 0"),
+            Outcome::Refuted { model, .. } => assert!(!model.is_empty()),
+            other => panic!("expected a countermodel, got {other:?}"),
         }
     }
 
@@ -956,7 +1082,82 @@ mod tests {
         p.goal(x().gt0());
         let outcome = p.prove();
         assert!(outcome.is_proved());
-        assert!(outcome.stats().rounds >= 1);
+        let stats = outcome.stats();
+        assert!(stats.rounds >= 1);
+        // Proving anything requires refuting every branch, so at least
+        // one conflict; the hypothesis and negated goal unit-propagate.
+        assert!(stats.conflicts >= 1);
+        assert!(stats.propagations >= 1);
+        assert!(stats.clauses >= 2);
+    }
+
+    #[test]
+    fn theory_checks_and_eliminations_are_counted() {
+        // x < y, y < 3 ⊢ x < 3 is propositionally consistent when the
+        // negated goal is asserted, so refuting it takes a theory check
+        // with Fourier–Motzkin work.
+        let mut p = Problem::new();
+        p.hypothesis(x().lt(&y()));
+        p.hypothesis(y().lt(&Term::int(3)));
+        p.goal(x().lt(&Term::int(3)));
+        let outcome = p.prove();
+        assert!(outcome.is_proved());
+        let stats = outcome.stats();
+        assert!(stats.theory_checks >= 1);
+        assert!(stats.fm_eliminations >= 1);
+    }
+
+    #[test]
+    fn instantiations_are_attributed_to_triggers() {
+        // The sign-lemma proof instantiates exactly one trigger: a * b.
+        let a = Term::var("a", Sort::Int);
+        let b = Term::var("b", Sort::Int);
+        let lemma = Formula::forall(
+            vec![
+                (stq_util::Symbol::intern("a"), Sort::Int),
+                (stq_util::Symbol::intern("b"), Sort::Int),
+            ],
+            vec![vec![a.mul(&b)]],
+            Formula::and(vec![a.gt0(), b.gt0()]).implies(a.mul(&b).gt0()),
+        );
+        let mut p = Problem::new();
+        p.axiom(lemma);
+        p.hypothesis(x().gt0());
+        p.hypothesis(y().gt0());
+        p.goal(x().mul(&y()).gt0());
+        let outcome = p.prove();
+        assert!(outcome.is_proved());
+        let stats = outcome.stats();
+        assert!(stats.instantiations >= 1);
+        assert!(stats.ematch_candidates >= 1);
+        let per_trigger: u64 = stats.instantiations_by_trigger.values().sum();
+        assert_eq!(per_trigger, stats.instantiations as u64);
+        assert!(stats
+            .instantiations_by_trigger
+            .keys()
+            .any(|k| k.contains('*')));
+    }
+
+    #[test]
+    fn proved_wall_time_is_stamped() {
+        let mut p = Problem::new();
+        p.goal(Formula::True);
+        // Duration is monotone but can legitimately measure zero on a
+        // trivial goal; the stamp itself must exist for every outcome.
+        let _ = p.prove().stats().wall;
+    }
+
+    #[test]
+    fn zero_decision_budget_reports_resource_out() {
+        let p = Formula::pred("p", vec![]);
+        let q = Formula::pred("q", vec![]);
+        let r = Formula::pred("r", vec![]);
+        let mut problem = Problem::new();
+        problem.config.max_decisions = 0;
+        problem.hypothesis(Formula::or(vec![p, q]));
+        problem.goal(r);
+        let outcome = problem.prove();
+        assert_eq!(outcome.resource(), Some(Resource::Decisions));
     }
 
     #[test]

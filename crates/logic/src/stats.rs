@@ -1,0 +1,227 @@
+//! Prover telemetry and resource budgets.
+//!
+//! The paper's empirical claims are *timings* (§4, §6), so the prover must
+//! be measurable: [`ProverStats`] counts the work a proof attempt performs
+//! at every layer — DPLL search, theory checks, congruence closure,
+//! Fourier–Motzkin, and E-matching — and [`Budget`] bounds that work so a
+//! pathological obligation (a matching loop, say) terminates with
+//! [`Resource`]`Out` instead of diverging. Simplify shipped the same
+//! machinery (instantiation counters and resource limits) for the same
+//! reason.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// Resource limits for the prover.
+///
+/// A fresh [`Budget`] (via `Default`) is generous enough for every
+/// obligation the qualifier corpus generates; tighten it to bound latency
+/// or to study prover behaviour under pressure. When any limit trips, the
+/// prover returns [`crate::solver::Outcome::ResourceOut`] naming the
+/// exhausted [`Resource`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum E-matching instantiation rounds.
+    pub max_rounds: usize,
+    /// Maximum total quantifier instantiations.
+    pub max_instantiations: usize,
+    /// Maximum number of clauses before giving up.
+    pub max_clauses: usize,
+    /// Maximum DPLL decisions before giving up.
+    pub max_decisions: u64,
+    /// Optional wall-clock deadline for the whole proof attempt.
+    pub timeout: Option<Duration>,
+}
+
+/// Former name of [`Budget`], kept for compatibility.
+pub type ProverConfig = Budget;
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget {
+            max_rounds: 8,
+            max_instantiations: 4000,
+            max_clauses: 50_000,
+            max_decisions: 2_000_000,
+            timeout: None,
+        }
+    }
+}
+
+impl Budget {
+    /// A budget with a wall-clock deadline on top of the default limits.
+    pub fn with_timeout(timeout: Duration) -> Budget {
+        Budget {
+            timeout: Some(timeout),
+            ..Budget::default()
+        }
+    }
+}
+
+/// The budgeted resource a proof attempt ran out of.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// [`Budget::max_rounds`] E-matching rounds were executed.
+    Rounds,
+    /// [`Budget::max_instantiations`] quantifier instances were generated.
+    Instantiations,
+    /// [`Budget::max_decisions`] DPLL decisions were made.
+    Decisions,
+    /// The clause database outgrew [`Budget::max_clauses`].
+    Clauses,
+    /// The [`Budget::timeout`] deadline passed.
+    Time,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Resource::Rounds => "instantiation rounds",
+            Resource::Instantiations => "quantifier instantiations",
+            Resource::Decisions => "DPLL decisions",
+            Resource::Clauses => "clauses",
+            Resource::Time => "wall-clock time",
+        })
+    }
+}
+
+/// Counters describing the work a proof attempt performed.
+///
+/// Populated by the solver and its theory modules: the DPLL counters by
+/// [`crate::solver`], congruence merges by [`crate::euf`], variable
+/// eliminations by [`crate::arith`], and the matching counters by
+/// [`crate::ematch`]. All counters are cumulative over the whole attempt.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProverStats {
+    /// E-matching instantiation rounds executed.
+    pub rounds: usize,
+    /// Quantifier instances generated (total across all triggers).
+    pub instantiations: usize,
+    /// Quantifier instances generated per trigger pattern.
+    pub instantiations_by_trigger: BTreeMap<String, u64>,
+    /// Candidate bindings the E-matcher examined (before deduplication).
+    pub ematch_candidates: u64,
+    /// DPLL decisions made.
+    pub decisions: u64,
+    /// DPLL unit propagations performed.
+    pub propagations: u64,
+    /// DPLL conflicts encountered (propagation and theory conflicts).
+    pub conflicts: u64,
+    /// Nelson–Oppen theory-consistency checks at search leaves.
+    pub theory_checks: u64,
+    /// Congruence-closure class merges (unions), across all checks.
+    pub merges: u64,
+    /// Fourier–Motzkin variable eliminations, across all checks.
+    pub fm_eliminations: u64,
+    /// Final clause count.
+    pub clauses: usize,
+    /// Peak clause count over all rounds.
+    pub max_clauses: usize,
+    /// Wall-clock time of the proof attempt.
+    pub wall: Duration,
+}
+
+impl ProverStats {
+    /// Accumulates another attempt's counters into this one (for
+    /// aggregate reporting across obligations). `clauses` and
+    /// `max_clauses` take the maximum; everything else sums.
+    pub fn absorb(&mut self, other: &ProverStats) {
+        self.rounds += other.rounds;
+        self.instantiations += other.instantiations;
+        for (trigger, n) in &other.instantiations_by_trigger {
+            *self
+                .instantiations_by_trigger
+                .entry(trigger.clone())
+                .or_insert(0) += n;
+        }
+        self.ematch_candidates += other.ematch_candidates;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.theory_checks += other.theory_checks;
+        self.merges += other.merges;
+        self.fm_eliminations += other.fm_eliminations;
+        self.clauses = self.clauses.max(other.clauses);
+        self.max_clauses = self.max_clauses.max(other.max_clauses);
+        self.wall += other.wall;
+    }
+}
+
+/// Former name of [`ProverStats`], kept for compatibility.
+pub type Stats = ProverStats;
+
+impl fmt::Display for ProverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rounds={} insts={} decisions={} props={} conflicts={} \
+             theory={} merges={} fm={} clauses={} (peak {}) wall={:?}",
+            self.rounds,
+            self.instantiations,
+            self.decisions,
+            self.propagations,
+            self.conflicts,
+            self.theory_checks,
+            self.merges,
+            self.fm_eliminations,
+            self.clauses,
+            self.max_clauses,
+            self.wall,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_has_no_deadline() {
+        assert!(Budget::default().timeout.is_none());
+    }
+
+    #[test]
+    fn with_timeout_sets_only_the_deadline() {
+        let b = Budget::with_timeout(Duration::from_millis(5));
+        assert_eq!(b.timeout, Some(Duration::from_millis(5)));
+        assert_eq!(b.max_rounds, Budget::default().max_rounds);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_maxes_clauses() {
+        let mut a = ProverStats {
+            rounds: 1,
+            instantiations: 2,
+            decisions: 3,
+            clauses: 10,
+            max_clauses: 12,
+            ..ProverStats::default()
+        };
+        a.instantiations_by_trigger.insert("f(X)".into(), 2);
+        let mut b = ProverStats {
+            rounds: 2,
+            instantiations: 5,
+            decisions: 7,
+            clauses: 4,
+            max_clauses: 40,
+            ..ProverStats::default()
+        };
+        b.instantiations_by_trigger.insert("f(X)".into(), 3);
+        b.instantiations_by_trigger.insert("g(Y)".into(), 1);
+        a.absorb(&b);
+        assert_eq!(a.rounds, 3);
+        assert_eq!(a.instantiations, 7);
+        assert_eq!(a.decisions, 10);
+        assert_eq!(a.clauses, 10);
+        assert_eq!(a.max_clauses, 40);
+        assert_eq!(a.instantiations_by_trigger["f(X)"], 5);
+        assert_eq!(a.instantiations_by_trigger["g(Y)"], 1);
+    }
+
+    #[test]
+    fn resource_display_is_human_readable() {
+        assert_eq!(Resource::Time.to_string(), "wall-clock time");
+        assert_eq!(Resource::Rounds.to_string(), "instantiation rounds");
+    }
+}

@@ -1,0 +1,155 @@
+//! Resource budgets trip deterministically.
+//!
+//! The centrepiece is a *matching loop*: an axiom whose instantiation
+//! keeps creating fresh trigger matches (`p(f(x)) ⇒ p(f(f(x)))`,
+//! triggered on `f(x)`), the classic way an E-matching prover diverges.
+//! Simplify bounded exactly this with instantiation limits; these tests
+//! pin down that every [`stq_logic::Budget`] limit converts divergence
+//! into a clean [`Outcome::ResourceOut`], with identical telemetry on
+//! every run.
+
+use std::time::Duration;
+use stq_logic::solver::Outcome;
+use stq_logic::term::{Formula, Sort, Term};
+use stq_logic::{Problem, ProverStats, Resource};
+use stq_util::Symbol;
+
+/// Builds the diverging problem: `forall x {f(x)}. p(f(x)) ⇒ p(f(f(x)))`
+/// with hypothesis `p(f(c))` and an unrelated, unprovable goal. Every
+/// instantiation round manufactures a fresh term `f(f(…f(c)…))` that the
+/// trigger matches next round, so instantiation never saturates.
+fn matching_loop() -> Problem {
+    let x = Term::var("x", Sort::Int);
+    let fx = Term::app("f", vec![x.clone()]);
+    let ffx = Term::app("f", vec![fx.clone()]);
+    let axiom = Formula::forall(
+        vec![(Symbol::intern("x"), Sort::Int)],
+        vec![vec![fx.clone()]],
+        Formula::pred("p", vec![fx]).implies(Formula::pred("p", vec![ffx])),
+    );
+    let c = Term::cnst("c");
+    let mut problem = Problem::new();
+    problem.axiom(axiom);
+    problem.hypothesis(Formula::pred("p", vec![Term::app("f", vec![c])]));
+    problem.goal(Formula::pred("unrelated_goal", vec![]));
+    problem
+}
+
+/// Wall time varies run to run; everything else must not.
+fn deterministic(stats: &ProverStats) -> ProverStats {
+    let mut s = stats.clone();
+    s.wall = Duration::ZERO;
+    s
+}
+
+#[test]
+fn matching_loop_trips_the_round_limit() {
+    let mut problem = matching_loop();
+    problem.config.max_rounds = 3;
+    let outcome = problem.prove();
+    match outcome {
+        Outcome::ResourceOut { resource, stats } => {
+            assert_eq!(resource, Resource::Rounds);
+            assert_eq!(stats.rounds, 3);
+            // Each round instantiates on the newest f-chain term.
+            assert!(stats.instantiations >= 3);
+        }
+        other => panic!("expected ResourceOut, got {other:?}"),
+    }
+}
+
+#[test]
+fn matching_loop_trips_the_instantiation_limit() {
+    let mut problem = matching_loop();
+    problem.config.max_rounds = usize::MAX;
+    problem.config.max_instantiations = 5;
+    let outcome = problem.prove();
+    match outcome {
+        Outcome::ResourceOut { resource, stats } => {
+            assert_eq!(resource, Resource::Instantiations);
+            assert_eq!(stats.instantiations, 5);
+        }
+        other => panic!("expected ResourceOut, got {other:?}"),
+    }
+}
+
+#[test]
+fn matching_loop_trips_the_clause_limit() {
+    let mut problem = matching_loop();
+    problem.config.max_rounds = usize::MAX;
+    problem.config.max_clauses = 6;
+    let outcome = problem.prove();
+    match outcome {
+        Outcome::ResourceOut { resource, stats } => {
+            assert_eq!(resource, Resource::Clauses);
+            assert!(stats.clauses > 6);
+            assert_eq!(stats.max_clauses, stats.clauses);
+        }
+        other => panic!("expected ResourceOut, got {other:?}"),
+    }
+}
+
+#[test]
+fn budget_trips_are_deterministic() {
+    let run = || {
+        let mut problem = matching_loop();
+        problem.config.max_rounds = 4;
+        problem.prove()
+    };
+    let (a, b) = (run(), run());
+    match (&a, &b) {
+        (
+            Outcome::ResourceOut {
+                resource: ra,
+                stats: sa,
+            },
+            Outcome::ResourceOut {
+                resource: rb,
+                stats: sb,
+            },
+        ) => {
+            assert_eq!(ra, rb);
+            assert_eq!(deterministic(sa), deterministic(sb));
+        }
+        other => panic!("expected two ResourceOut outcomes, got {other:?}"),
+    }
+}
+
+#[test]
+fn elapsed_deadline_reports_time_out_immediately() {
+    let mut problem = matching_loop();
+    problem.config.timeout = Some(Duration::ZERO);
+    let outcome = problem.prove();
+    match outcome {
+        Outcome::ResourceOut { resource, stats } => {
+            assert_eq!(resource, Resource::Time);
+            // The deadline is checked before the first round starts.
+            assert_eq!(stats.rounds, 0);
+        }
+        other => panic!("expected ResourceOut(Time), got {other:?}"),
+    }
+}
+
+#[test]
+fn generous_budget_still_terminates_with_a_verdict() {
+    // The same axiom with a *provable* goal: the budget machinery must
+    // not get in the way of ordinary proofs.
+    let x = Term::var("x", Sort::Int);
+    let fx = Term::app("f", vec![x.clone()]);
+    let ffx = Term::app("f", vec![fx.clone()]);
+    let axiom = Formula::forall(
+        vec![(Symbol::intern("x"), Sort::Int)],
+        vec![vec![fx.clone()]],
+        Formula::pred("p", vec![fx]).implies(Formula::pred("p", vec![ffx])),
+    );
+    let c = Term::cnst("c");
+    let fc = Term::app("f", vec![c]);
+    let ffc = Term::app("f", vec![fc.clone()]);
+    let mut problem = Problem::new();
+    problem.axiom(axiom);
+    problem.hypothesis(Formula::pred("p", vec![fc]));
+    problem.goal(Formula::pred("p", vec![ffc]));
+    let outcome = problem.prove();
+    assert!(outcome.is_proved(), "got {outcome:?}");
+    assert!(outcome.stats().instantiations >= 1);
+}

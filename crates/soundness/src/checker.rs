@@ -1,10 +1,13 @@
 //! The soundness-checker driver: generate every obligation for a
-//! qualifier, discharge each with the prover, and report.
+//! qualifier, discharge each with the prover under a [`Budget`], and
+//! report per-obligation telemetry ([`stq_logic::ProverStats`]) plus
+//! aggregate totals ([`SoundnessReport`]).
 
 use crate::obligations::obligations_for;
 use std::fmt;
 use std::time::{Duration, Instant};
-use stq_logic::solver::{Outcome, Stats};
+use stq_logic::solver::Outcome;
+use stq_logic::{Budget, ProverStats, Resource};
 use stq_qualspec::{QualifierDef, Registry};
 use stq_util::Symbol;
 
@@ -15,10 +18,14 @@ pub struct ObligationResult {
     pub description: String,
     /// Whether the prover discharged it.
     pub proved: bool,
-    /// The prover's candidate countermodel if it did not.
+    /// The prover's candidate countermodel if the search saturated
+    /// without a proof.
     pub countermodel: Vec<String>,
+    /// The budget limit that tripped, if the prover ran out of resources
+    /// before reaching a verdict.
+    pub resource: Option<Resource>,
     /// Prover work counters.
-    pub stats: Stats,
+    pub stats: ProverStats,
     /// Wall-clock time for this obligation.
     pub duration: Duration,
 }
@@ -34,6 +41,9 @@ pub enum Verdict {
     /// No invariant declared — nothing to check (flow qualifiers are
     /// sound "for free" by subtyping, paper §2.1.4).
     NoInvariant,
+    /// At least one obligation exhausted its [`Budget`] (and none was
+    /// positively refuted): soundness is undetermined at this budget.
+    ResourceOut,
 }
 
 impl fmt::Display for Verdict {
@@ -42,6 +52,7 @@ impl fmt::Display for Verdict {
             Verdict::Sound => "sound",
             Verdict::Unsound => "NOT proven sound",
             Verdict::NoInvariant => "no invariant (vacuously sound)",
+            Verdict::ResourceOut => "undetermined (resource budget exhausted)",
         })
     }
 }
@@ -64,6 +75,16 @@ impl QualReport {
     pub fn failures(&self) -> impl Iterator<Item = &ObligationResult> {
         self.obligations.iter().filter(|o| !o.proved)
     }
+
+    /// Aggregate prover work over every obligation (counters summed,
+    /// clause counts maxed; see [`ProverStats::absorb`]).
+    pub fn totals(&self) -> ProverStats {
+        let mut totals = ProverStats::default();
+        for o in &self.obligations {
+            totals.absorb(&o.stats);
+        }
+        totals
+    }
 }
 
 impl fmt::Display for QualReport {
@@ -77,12 +98,17 @@ impl fmt::Display for QualReport {
             self.duration.as_secs_f64()
         )?;
         for o in &self.obligations {
-            writeln!(
-                f,
-                "  [{}] {}",
-                if o.proved { "proved" } else { "FAILED" },
-                o.description
-            )?;
+            let status = if o.proved {
+                "proved"
+            } else if o.resource.is_some() {
+                "OUT OF BUDGET"
+            } else {
+                "FAILED"
+            };
+            writeln!(f, "  [{status}] {}", o.description)?;
+            if let Some(resource) = o.resource {
+                writeln!(f, "      exhausted: {resource}")?;
+            }
             if !o.proved {
                 for line in &o.countermodel {
                     writeln!(f, "      countermodel: {line}")?;
@@ -108,6 +134,14 @@ impl fmt::Display for QualReport {
 /// assert_eq!(report.verdict, Verdict::Sound);
 /// ```
 pub fn check_qualifier(registry: &Registry, def: &QualifierDef) -> QualReport {
+    check_qualifier_with(registry, def, Budget::default())
+}
+
+/// [`check_qualifier`] under an explicit prover [`Budget`], applied to
+/// every proof obligation. An obligation that exhausts the budget is
+/// recorded with its tripped [`Resource`]; if any obligation does (and
+/// none is positively refuted) the verdict is [`Verdict::ResourceOut`].
+pub fn check_qualifier_with(registry: &Registry, def: &QualifierDef, budget: Budget) -> QualReport {
     let start = Instant::now();
     if def.invariant.is_none() {
         return QualReport {
@@ -118,31 +152,42 @@ pub fn check_qualifier(registry: &Registry, def: &QualifierDef) -> QualReport {
         };
     }
     let mut results = Vec::new();
-    let mut all_proved = true;
-    for ob in obligations_for(registry, def) {
+    let mut any_refuted = false;
+    let mut any_out = false;
+    for mut ob in obligations_for(registry, def) {
+        ob.problem.config = budget;
         let t0 = Instant::now();
         let outcome = ob.problem.prove();
         let duration = t0.elapsed();
         let proved = outcome.is_proved();
-        all_proved &= proved;
-        let (stats, countermodel) = match outcome {
-            Outcome::Proved { stats } => (stats, Vec::new()),
-            Outcome::Unknown { stats, model } => (stats, model),
+        let (stats, countermodel, resource) = match outcome {
+            Outcome::Proved { stats } => (stats, Vec::new(), None),
+            Outcome::Refuted { stats, model } => {
+                any_refuted = true;
+                (stats, model, None)
+            }
+            Outcome::ResourceOut { stats, resource } => {
+                any_out = true;
+                (stats, Vec::new(), Some(resource))
+            }
         };
         results.push(ObligationResult {
             description: ob.description,
             proved,
             countermodel,
+            resource,
             stats,
             duration,
         });
     }
     QualReport {
         qualifier: def.name,
-        verdict: if all_proved {
-            Verdict::Sound
-        } else {
+        verdict: if any_refuted {
             Verdict::Unsound
+        } else if any_out {
+            Verdict::ResourceOut
+        } else {
+            Verdict::Sound
         },
         obligations: results,
         duration: start.elapsed(),
@@ -155,6 +200,69 @@ pub fn check_all(registry: &Registry) -> Vec<QualReport> {
         .iter()
         .map(|def| check_qualifier(registry, def))
         .collect()
+}
+
+/// The full soundness run over a registry: per-qualifier reports plus
+/// aggregate prover telemetry.
+#[derive(Clone, Debug)]
+pub struct SoundnessReport {
+    /// One report per qualifier, in registry order.
+    pub reports: Vec<QualReport>,
+    /// The budget every obligation ran under.
+    pub budget: Budget,
+    /// Aggregate prover work across all qualifiers and obligations.
+    pub totals: ProverStats,
+    /// Total wall-clock time for the whole run.
+    pub duration: Duration,
+}
+
+impl SoundnessReport {
+    /// True if no qualifier was found unsound or ran out of budget.
+    pub fn all_sound(&self) -> bool {
+        self.reports
+            .iter()
+            .all(|r| matches!(r.verdict, Verdict::Sound | Verdict::NoInvariant))
+    }
+
+    /// Total number of obligations across all qualifiers.
+    pub fn obligation_count(&self) -> usize {
+        self.reports.iter().map(|r| r.obligations.len()).sum()
+    }
+}
+
+impl fmt::Display for SoundnessReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.reports {
+            write!(f, "{r}")?;
+        }
+        writeln!(
+            f,
+            "totals: {} obligation(s), {} in {:.3}s",
+            self.obligation_count(),
+            self.totals,
+            self.duration.as_secs_f64()
+        )
+    }
+}
+
+/// [`check_all`] under an explicit [`Budget`], aggregated into a
+/// [`SoundnessReport`].
+pub fn check_all_with(registry: &Registry, budget: Budget) -> SoundnessReport {
+    let start = Instant::now();
+    let reports: Vec<QualReport> = registry
+        .iter()
+        .map(|def| check_qualifier_with(registry, def, budget))
+        .collect();
+    let mut totals = ProverStats::default();
+    for r in &reports {
+        totals.absorb(&r.totals());
+    }
+    SoundnessReport {
+        reports,
+        budget,
+        totals,
+        duration: start.elapsed(),
+    }
 }
 
 #[cfg(test)]
@@ -350,6 +458,99 @@ mod tests {
         let def = registry.get_by_name("big").unwrap();
         let report = check_qualifier(&registry, def);
         assert_eq!(report.verdict, Verdict::Unsound);
+    }
+
+    #[test]
+    fn builtin_proof_stats_are_nonzero() {
+        // Fig. 12 qualifiers: every discharged obligation must show real
+        // prover work — refuting anything takes at least one conflict,
+        // and the clause database is never empty.
+        for name in ["pos", "neg", "nonzero", "nonnull", "unique", "unaliased"] {
+            let r = builtin_report(name);
+            assert!(!r.obligations.is_empty(), "{name} has obligations");
+            for o in &r.obligations {
+                assert!(o.proved, "{name}: {}", o.description);
+                assert!(o.stats.conflicts >= 1, "{name}: {}", o.description);
+                assert!(o.stats.clauses >= 1, "{name}: {}", o.description);
+                assert!(o.stats.rounds >= 1, "{name}: {}", o.description);
+            }
+        }
+        // The reference qualifiers quantify over aliases, so their
+        // proofs must do instantiation work.
+        for name in ["unique", "unaliased"] {
+            let r = builtin_report(name);
+            assert!(r.totals().instantiations > 0, "{name}");
+            assert!(r.totals().decisions > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn totals_aggregate_per_obligation_stats() {
+        let r = builtin_report("unique");
+        let totals = r.totals();
+        let decision_sum: u64 = r.obligations.iter().map(|o| o.stats.decisions).sum();
+        let inst_sum: usize = r.obligations.iter().map(|o| o.stats.instantiations).sum();
+        assert_eq!(totals.decisions, decision_sum);
+        assert_eq!(totals.instantiations, inst_sum);
+    }
+
+    #[test]
+    fn stats_grow_monotonically_with_the_round_budget() {
+        // The prover is deterministic, and a larger round budget extends
+        // the identical prefix of work, so every counter is monotone in
+        // the budget.
+        let registry = Registry::builtins();
+        let def = registry.get_by_name("unique").unwrap();
+        let small = check_qualifier_with(
+            &registry,
+            def,
+            Budget {
+                max_rounds: 2,
+                ..Budget::default()
+            },
+        );
+        let full = check_qualifier_with(&registry, def, Budget::default());
+        assert_eq!(full.verdict, Verdict::Sound);
+        let (s, f) = (small.totals(), full.totals());
+        assert!(s.instantiations <= f.instantiations);
+        assert!(s.decisions <= f.decisions);
+        assert!(s.rounds <= f.rounds);
+    }
+
+    #[test]
+    fn starved_budget_reports_resource_out_not_unsound() {
+        let registry = Registry::builtins();
+        let def = registry.get_by_name("unique").unwrap();
+        let report = check_qualifier_with(
+            &registry,
+            def,
+            Budget {
+                max_rounds: 1,
+                max_instantiations: 1,
+                ..Budget::default()
+            },
+        );
+        assert_eq!(report.verdict, Verdict::ResourceOut, "{report}");
+        let out: Vec<_> = report
+            .obligations
+            .iter()
+            .filter(|o| o.resource.is_some())
+            .collect();
+        assert!(!out.is_empty());
+        let shown = report.to_string();
+        assert!(shown.contains("OUT OF BUDGET"), "{shown}");
+    }
+
+    #[test]
+    fn check_all_with_aggregates_the_registry() {
+        let registry = Registry::builtins();
+        let report = check_all_with(&registry, Budget::default());
+        assert_eq!(report.reports.len(), 8);
+        assert!(report.all_sound(), "{report}");
+        assert!(report.obligation_count() >= 19);
+        assert!(report.totals.decisions > 0);
+        let shown = report.to_string();
+        assert!(shown.contains("totals:"), "{shown}");
     }
 
     #[test]

@@ -41,5 +41,9 @@ pub mod checker;
 pub mod obligations;
 pub mod paper_encoding;
 
-pub use checker::{check_all, check_qualifier, ObligationResult, QualReport, Verdict};
+pub use checker::{
+    check_all, check_all_with, check_qualifier, check_qualifier_with, ObligationResult,
+    QualReport, SoundnessReport, Verdict,
+};
 pub use obligations::{obligations_for, Obligation};
+pub use stq_logic::{Budget, ProverStats, Resource};

@@ -43,6 +43,17 @@ pub struct CheckStats {
     pub restrict_checks: usize,
     /// Case-clause match attempts performed by inference.
     pub match_attempts: u64,
+    /// Expression nodes walked by the checker.
+    pub exprs_visited: u64,
+    /// Case clauses that fired (pattern matched, guard held).
+    pub case_applications: u64,
+    /// Inference queries answered from the memo table.
+    pub memo_hits: u64,
+    /// Inference queries computed from scratch.
+    pub memo_misses: u64,
+    /// Cast sites that run-time instrumentation would check (casts to a
+    /// value qualifier with a declared invariant, per qualifier).
+    pub casts_instrumented: usize,
 }
 
 /// The outcome of checking a program.
@@ -220,6 +231,14 @@ struct Checker<'a> {
 }
 
 impl<'a> Checker<'a> {
+    /// Folds one inference engine's telemetry into the pass counters.
+    fn absorb_inference(&mut self, inf: &Inference<'_>) {
+        self.stats.match_attempts += inf.match_attempts;
+        self.stats.case_applications += inf.case_applications;
+        self.stats.memo_hits += inf.memo_hits;
+        self.stats.memo_misses += inf.memo_misses;
+    }
+
     fn qual_violation(&mut self, span: Span, msg: String) {
         self.stats.qualifier_errors += 1;
         self.diags.warning(span, msg);
@@ -515,7 +534,7 @@ impl<'a> Checker<'a> {
         for q in value_quals {
             let mut inf = Inference::new(env);
             let ok = inf.has_qual(e, q);
-            self.stats.match_attempts += inf.match_attempts;
+            self.absorb_inference(&inf);
             if !ok {
                 self.qual_violation(
                     span,
@@ -685,6 +704,7 @@ impl<'a> Checker<'a> {
     }
 
     fn walk_expr(&mut self, env: &mut TypeEnv<'a>, e: &Expr, ctx: Ctx) {
+        self.stats.exprs_visited += 1;
         self.apply_restricts(env, e, e.span);
         match &e.kind {
             ExprKind::IntLit(_) | ExprKind::StrLit(_) | ExprKind::Null | ExprKind::SizeOf(_) => {}
@@ -719,6 +739,17 @@ impl<'a> Checker<'a> {
                 if self.mentions_registered_qual(ty) {
                     self.stats.casts += 1;
                 }
+                // Mirrors `instrument_program`: one run-time check per
+                // value qualifier with an invariant asserted by the cast.
+                self.stats.casts_instrumented += ty
+                    .quals
+                    .iter()
+                    .filter(|&&q| {
+                        self.registry
+                            .get(q)
+                            .is_some_and(|d| d.kind == QualKind::Value && d.invariant.is_some())
+                    })
+                    .count();
                 self.walk_expr(env, inner, ctx);
             }
         }
@@ -798,7 +829,7 @@ impl<'a> Checker<'a> {
                 if let Some(bindings) = inf.match_clause(clause, e) {
                     self.stats.restrict_checks += 1;
                     let ok = inf.eval_guard(&clause.guard, &bindings);
-                    self.stats.match_attempts += inf.match_attempts;
+                    self.absorb_inference(&inf);
                     if !ok {
                         self.qual_violation(
                             span,
@@ -812,7 +843,7 @@ impl<'a> Checker<'a> {
                         );
                     }
                 } else {
-                    self.stats.match_attempts += inf.match_attempts;
+                    self.absorb_inference(&inf);
                 }
             }
         }

@@ -12,10 +12,15 @@
 //!
 //! Qualifier definitions may be mutually recursive (`pos`/`neg`), so
 //! inference computes a least fixed point: a cyclic re-query of the same
-//! (expression, qualifier) pair yields `false`.
+//! (expression, qualifier) pair yields `false`. Completed queries are
+//! memoized: a `true` answer is a finished derivation and is cached
+//! unconditionally (the rules are monotone — guards have no negation —
+//! so it stays valid in any later context), while a `false` answer is
+//! cached only when computed as a root query, since a `false` reached
+//! *inside* a recursion may merely reflect the cycle cut-off.
 
 use crate::env::{StaticTy, TypeEnv};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use stq_cir::ast::*;
 use stq_qualspec::{Classifier, Clause, CmpOp, PTerm, Pattern, Pred, TypePat};
 use stq_util::Symbol;
@@ -38,8 +43,16 @@ pub type Bindings = Vec<(Symbol, Bound)>;
 pub struct Inference<'a> {
     env: &'a TypeEnv<'a>,
     in_progress: HashSet<(Expr, Symbol)>,
+    memo: HashMap<(Expr, Symbol), bool>,
     /// Number of case-clause match attempts (for benchmarks).
     pub match_attempts: u64,
+    /// Case clauses that actually fired (pattern matched and the
+    /// `where` guard held).
+    pub case_applications: u64,
+    /// Queries answered from the memo table.
+    pub memo_hits: u64,
+    /// Queries that had to be computed.
+    pub memo_misses: u64,
 }
 
 impl<'a> Inference<'a> {
@@ -48,19 +61,32 @@ impl<'a> Inference<'a> {
         Inference {
             env,
             in_progress: HashSet::new(),
+            memo: HashMap::new(),
             match_attempts: 0,
+            case_applications: 0,
+            memo_hits: 0,
+            memo_misses: 0,
         }
     }
 
     /// Whether `e` can be given qualifier `qual`.
     pub fn has_qual(&mut self, e: &Expr, qual: Symbol) -> bool {
         let key = (e.clone(), qual);
+        if let Some(&cached) = self.memo.get(&key) {
+            self.memo_hits += 1;
+            return cached;
+        }
         if !self.in_progress.insert(key.clone()) {
-            // Cyclic dependency: least fixed point says no.
+            // Cyclic dependency: least fixed point says no. Not
+            // memoized — this is the cut-off, not an answer.
             return false;
         }
+        self.memo_misses += 1;
         let result = self.has_qual_inner(e, qual);
         self.in_progress.remove(&key);
+        if result || self.in_progress.is_empty() {
+            self.memo.insert(key, result);
+        }
         result
     }
 
@@ -90,6 +116,7 @@ impl<'a> Inference<'a> {
         for clause in &clauses {
             if let Some(bindings) = self.match_clause(clause, e) {
                 if self.eval_guard(&clause.guard, &bindings) {
+                    self.case_applications += 1;
                     return true;
                 }
             }
@@ -360,6 +387,48 @@ mod tests {
         let mut inf = Inference::new(&env);
         let e = Expr::unop(UnOp::Neg, Expr::unop(UnOp::Neg, Expr::var("x")));
         assert!(!inf.has_qual(&e, q("selfq")));
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_memo() {
+        let (p, r) = setup("int pos a; int pos b;");
+        let env = TypeEnv::new(&p, &r);
+        let mut inf = Inference::new(&env);
+        let ab = Expr::binop(BinOp::Mul, Expr::var("a"), Expr::var("b"));
+        assert!(inf.has_qual(&ab, q("pos")));
+        let misses_after_first = inf.memo_misses;
+        assert!(misses_after_first >= 1);
+        assert!(inf.has_qual(&ab, q("pos")));
+        assert_eq!(inf.memo_misses, misses_after_first);
+        assert!(inf.memo_hits >= 1);
+        assert!(inf.case_applications >= 1);
+    }
+
+    #[test]
+    fn cycle_cutoff_is_not_memoized_as_an_answer() {
+        // Inside the selfq cycle, (−x, selfq) comes back false via the
+        // cut-off; only the *root* query's false may be cached. A later
+        // root query of the inner expression must recompute (miss).
+        let mut r = Registry::new();
+        r.add_source(
+            "value qualifier selfq(int Expr E)
+                case E of
+                    decl int Expr E1: -E1, where selfq(E1)",
+        )
+        .unwrap();
+        let p = parse_program("int x;", &r.names()).unwrap();
+        let env = TypeEnv::new(&p, &r);
+        let mut inf = Inference::new(&env);
+        let neg_x = Expr::unop(UnOp::Neg, Expr::var("x"));
+        let e = Expr::unop(UnOp::Neg, neg_x.clone());
+        assert!(!inf.has_qual(&e, q("selfq")));
+        let misses = inf.memo_misses;
+        assert!(!inf.has_qual(&neg_x, q("selfq")));
+        assert!(inf.memo_misses > misses, "inner false must not be cached");
+        // The root query's false *is* cached.
+        let misses = inf.memo_misses;
+        assert!(!inf.has_qual(&e, q("selfq")));
+        assert_eq!(inf.memo_misses, misses);
     }
 
     #[test]

@@ -1,48 +1,69 @@
 //! `stqc` — the semantic-type-qualifiers command-line tool.
 //!
 //! ```text
-//! stqc prove [--quals FILE] [NAME]       prove qualifier soundness
-//! stqc check [--quals FILE] [--flow-sensitive] FILE.c
+//! stqc prove [--quals FILE] [--stats] [--json] [BUDGET..] [NAME]
+//!                                        prove qualifier soundness
+//! stqc check [--quals FILE] [--flow-sensitive] [--stats] [--json] FILE.c
 //!                                        qualifier-check a program
 //! stqc run [--entry NAME] FILE.c [INT..] instrument and execute
 //! stqc infer --qual NAME FILE.c          infer annotations
-//! stqc tables                            regenerate Tables 1 and 2
+//! stqc tables [--stats] [--json]         regenerate Tables 1 and 2
 //! stqc show [--quals FILE] [NAME]        print qualifier definitions
 //! ```
 //!
-//! Qualifier definitions from `--quals` are added on top of the paper's
-//! builtin library.
+//! Budget flags (`prove` only) bound the prover so a pathological
+//! obligation terminates with a `ResourceOut` verdict instead of
+//! diverging: `--max-rounds N`, `--max-instantiations N`,
+//! `--max-decisions N`, `--max-clauses N`, `--timeout-ms N`.
+//!
+//! `--stats` prints prover/checker telemetry; `--json` switches the
+//! report to a machine-readable JSON document on stdout (the schema is
+//! documented in `docs/telemetry.md`). Qualifier definitions from
+//! `--quals` are added on top of the paper's builtin library.
 
 use std::fs;
 use std::process::ExitCode;
-use stq_core::{CheckOptions, Session, Value, Verdict};
+use std::time::Duration;
+use stq_core::{
+    Budget, CheckOptions, CheckStats, ProverStats, QualReport, Resource, Session, Value, Verdict,
+};
+
+const USAGE: &str = "usage: stqc <prove|check|run|infer|tables|show> [options]\n\
+                     see the README and docs/telemetry.md for details";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut it = args.iter().map(String::as_str);
-    match it.next() {
+    match args.first().map(String::as_str) {
         Some("prove") => prove(&args[1..]),
         Some("check") => check(&args[1..]),
         Some("run") => run(&args[1..]),
         Some("infer") => infer(&args[1..]),
-        Some("tables") => tables(),
+        Some("tables") => tables(&args[1..]),
         Some("show") => show(&args[1..]),
-        _ => {
-            eprintln!(
-                "usage: stqc <prove|check|run|infer|tables|show> [options]\n\
-                 see `stqc --help` in the README for details"
-            );
+        Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("stqc: unknown subcommand `{other}`");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
             ExitCode::from(2)
         }
     }
 }
 
 /// Builds a session from builtins plus any `--quals FILE` definitions,
-/// returning it and the remaining (non-option) arguments.
-fn session_from(args: &[String]) -> Result<(Session, Vec<String>, Vec<String>), String> {
+/// returning it, the remaining (non-option) arguments, the boolean
+/// flags, and the prover budget assembled from the budget flags.
+fn session_from(args: &[String]) -> Result<(Session, Vec<String>, Vec<String>, Budget), String> {
     let mut session = Session::with_builtins();
     let mut rest = Vec::new();
     let mut flags = Vec::new();
+    let mut budget = Budget::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -55,6 +76,23 @@ fn session_from(args: &[String]) -> Result<(Session, Vec<String>, Vec<String>), 
                 session
                     .define_qualifiers(&src)
                     .map_err(|e| format!("{path}: {e}"))?;
+                i += 2;
+            }
+            flag @ ("--max-rounds" | "--max-instantiations" | "--max-decisions"
+            | "--max-clauses" | "--timeout-ms") => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{flag} needs a number"))?;
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| format!("{flag}: `{value}` is not a number"))?;
+                match flag {
+                    "--max-rounds" => budget.max_rounds = n as usize,
+                    "--max-instantiations" => budget.max_instantiations = n as usize,
+                    "--max-clauses" => budget.max_clauses = n as usize,
+                    "--max-decisions" => budget.max_decisions = n,
+                    _ => budget.timeout = Some(Duration::from_millis(n)),
+                }
                 i += 2;
             }
             flag if flag.starts_with("--") => {
@@ -71,7 +109,7 @@ fn session_from(args: &[String]) -> Result<(Session, Vec<String>, Vec<String>), 
     if wf.has_errors() {
         return Err(format!("ill-formed qualifier definitions:\n{wf}"));
     }
-    Ok((session, rest, flags))
+    Ok((session, rest, flags, budget))
 }
 
 fn fail(msg: String) -> ExitCode {
@@ -79,23 +117,189 @@ fn fail(msg: String) -> ExitCode {
     ExitCode::FAILURE
 }
 
+fn has_flag(flags: &[String], name: &str) -> bool {
+    flags.iter().any(|f| f == name)
+}
+
+// ----- hand-rolled JSON (schema in docs/telemetry.md) -----
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1000.0)
+}
+
+fn resource_slug(r: Resource) -> &'static str {
+    match r {
+        Resource::Rounds => "rounds",
+        Resource::Instantiations => "instantiations",
+        Resource::Decisions => "decisions",
+        Resource::Clauses => "clauses",
+        Resource::Time => "time",
+    }
+}
+
+fn verdict_slug(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Sound => "sound",
+        Verdict::Unsound => "unsound",
+        Verdict::NoInvariant => "no-invariant",
+        Verdict::ResourceOut => "resource-out",
+    }
+}
+
+fn budget_json(b: &Budget) -> String {
+    format!(
+        "{{\"max_rounds\":{},\"max_instantiations\":{},\"max_clauses\":{},\
+         \"max_decisions\":{},\"timeout_ms\":{}}}",
+        b.max_rounds,
+        b.max_instantiations,
+        b.max_clauses,
+        b.max_decisions,
+        b.timeout
+            .map_or("null".to_owned(), |t| json_ms(t).to_string()),
+    )
+}
+
+fn prover_stats_json(s: &ProverStats) -> String {
+    let triggers: Vec<String> = s
+        .instantiations_by_trigger
+        .iter()
+        .map(|(t, n)| format!("\"{}\":{n}", json_escape(t)))
+        .collect();
+    format!(
+        "{{\"rounds\":{},\"instantiations\":{},\"instantiations_by_trigger\":{{{}}},\
+         \"ematch_candidates\":{},\"decisions\":{},\"propagations\":{},\"conflicts\":{},\
+         \"theory_checks\":{},\"merges\":{},\"fm_eliminations\":{},\"clauses\":{},\
+         \"max_clauses\":{},\"wall_ms\":{}}}",
+        s.rounds,
+        s.instantiations,
+        triggers.join(","),
+        s.ematch_candidates,
+        s.decisions,
+        s.propagations,
+        s.conflicts,
+        s.theory_checks,
+        s.merges,
+        s.fm_eliminations,
+        s.clauses,
+        s.max_clauses,
+        json_ms(s.wall),
+    )
+}
+
+fn check_stats_json(s: &CheckStats) -> String {
+    format!(
+        "{{\"dereferences\":{},\"annotations\":{},\"casts\":{},\"qualifier_errors\":{},\
+         \"printf_calls\":{},\"restrict_checks\":{},\"match_attempts\":{},\
+         \"exprs_visited\":{},\"case_applications\":{},\"memo_hits\":{},\
+         \"memo_misses\":{},\"casts_instrumented\":{}}}",
+        s.dereferences,
+        s.annotations,
+        s.casts,
+        s.qualifier_errors,
+        s.printf_calls,
+        s.restrict_checks,
+        s.match_attempts,
+        s.exprs_visited,
+        s.case_applications,
+        s.memo_hits,
+        s.memo_misses,
+        s.casts_instrumented,
+    )
+}
+
+fn qual_report_json(r: &QualReport) -> String {
+    let obligations: Vec<String> = r
+        .obligations
+        .iter()
+        .map(|o| {
+            let countermodel: Vec<String> = o
+                .countermodel
+                .iter()
+                .map(|l| format!("\"{}\"", json_escape(l)))
+                .collect();
+            format!(
+                "{{\"description\":\"{}\",\"proved\":{},\"resource\":{},\
+                 \"countermodel\":[{}],\"wall_ms\":{},\"stats\":{}}}",
+                json_escape(&o.description),
+                o.proved,
+                o.resource
+                    .map_or("null".to_owned(), |res| format!(
+                        "\"{}\"",
+                        resource_slug(res)
+                    )),
+                countermodel.join(","),
+                json_ms(o.duration),
+                prover_stats_json(&o.stats),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"name\":\"{}\",\"verdict\":\"{}\",\"wall_ms\":{},\"obligations\":[{}],\"totals\":{}}}",
+        json_escape(&r.qualifier.to_string()),
+        verdict_slug(r.verdict),
+        json_ms(r.duration),
+        obligations.join(","),
+        prover_stats_json(&r.totals()),
+    )
+}
+
+// ----- subcommands -----
+
 fn prove(args: &[String]) -> ExitCode {
-    let (session, rest, _) = match session_from(args) {
+    let (session, rest, flags, budget) = match session_from(args) {
         Ok(x) => x,
         Err(e) => return fail(e),
     };
-    let reports = match rest.first() {
-        Some(name) => match session.prove_sound(name) {
+    let reports: Vec<QualReport> = match rest.first() {
+        Some(name) => match session.prove_sound_with(name, budget) {
             Some(r) => vec![r],
             None => return fail(format!("unknown qualifier `{name}`")),
         },
-        None => session.prove_all_sound(),
+        None => session.prove_all_sound_with(budget).reports,
     };
-    let mut ok = true;
+    let mut totals = ProverStats::default();
     for r in &reports {
-        println!("{r}");
-        ok &= r.verdict != Verdict::Unsound;
+        totals.absorb(&r.totals());
     }
+    if has_flag(&flags, "--json") {
+        let quals: Vec<String> = reports.iter().map(qual_report_json).collect();
+        println!(
+            "{{\"command\":\"prove\",\"budget\":{},\"qualifiers\":[{}],\"totals\":{}}}",
+            budget_json(&budget),
+            quals.join(","),
+            prover_stats_json(&totals),
+        );
+    } else {
+        for r in &reports {
+            print!("{r}");
+            if has_flag(&flags, "--stats") {
+                println!("  stats: {}", r.totals());
+            }
+        }
+        if has_flag(&flags, "--stats") {
+            println!("totals: {totals}");
+        }
+    }
+    let ok = reports
+        .iter()
+        .all(|r| !matches!(r.verdict, Verdict::Unsound | Verdict::ResourceOut));
     if ok {
         ExitCode::SUCCESS
     } else {
@@ -104,7 +308,7 @@ fn prove(args: &[String]) -> ExitCode {
 }
 
 fn check(args: &[String]) -> ExitCode {
-    let (session, rest, flags) = match session_from(args) {
+    let (session, rest, flags, _) = match session_from(args) {
         Ok(x) => x,
         Err(e) => return fail(e),
     };
@@ -120,19 +324,47 @@ fn check(args: &[String]) -> ExitCode {
         Err(e) => return fail(format!("{path}: {e}")),
     };
     let options = CheckOptions {
-        flow_sensitive: flags.iter().any(|f| f == "--flow-sensitive"),
+        flow_sensitive: has_flag(&flags, "--flow-sensitive"),
     };
     let result = session.check_with(&program, options);
-    for d in result.diags.iter() {
-        eprintln!("{path}:{}", d.render(&source));
+    if has_flag(&flags, "--json") {
+        let diags: Vec<String> = result
+            .diags
+            .iter()
+            .map(|d| format!("\"{}\"", json_escape(&d.render(&source))))
+            .collect();
+        println!(
+            "{{\"command\":\"check\",\"file\":\"{}\",\"clean\":{},\"diagnostics\":[{}],\"stats\":{}}}",
+            json_escape(path),
+            result.is_clean(),
+            diags.join(","),
+            check_stats_json(&result.stats),
+        );
+    } else {
+        for d in result.diags.iter() {
+            eprintln!("{path}:{}", d.render(&source));
+        }
+        println!(
+            "{path}: {} dereference(s), {} annotation(s), {} cast(s), {} qualifier error(s)",
+            result.stats.dereferences,
+            result.stats.annotations,
+            result.stats.casts,
+            result.stats.qualifier_errors
+        );
+        if has_flag(&flags, "--stats") {
+            println!(
+                "{path}: {} expr(s) visited, {} case application(s), \
+                 {} memo hit(s)/{} miss(es), {} restrict check(s), \
+                 {} instrumented cast(s)",
+                result.stats.exprs_visited,
+                result.stats.case_applications,
+                result.stats.memo_hits,
+                result.stats.memo_misses,
+                result.stats.restrict_checks,
+                result.stats.casts_instrumented
+            );
+        }
     }
-    println!(
-        "{path}: {} dereference(s), {} annotation(s), {} cast(s), {} qualifier error(s)",
-        result.stats.dereferences,
-        result.stats.annotations,
-        result.stats.casts,
-        result.stats.qualifier_errors
-    );
     if result.is_clean() {
         ExitCode::SUCCESS
     } else {
@@ -141,7 +373,7 @@ fn check(args: &[String]) -> ExitCode {
 }
 
 fn run(args: &[String]) -> ExitCode {
-    let (session, mut rest, _) = match session_from(args) {
+    let (session, mut rest, _, _) = match session_from(args) {
         Ok(x) => x,
         Err(e) => return fail(e),
     };
@@ -184,7 +416,7 @@ fn run(args: &[String]) -> ExitCode {
 }
 
 fn infer(args: &[String]) -> ExitCode {
-    let (session, rest, _) = match session_from(args) {
+    let (session, rest, _, _) = match session_from(args) {
         Ok(x) => x,
         Err(e) => return fail(e),
     };
@@ -230,7 +462,7 @@ fn infer(args: &[String]) -> ExitCode {
 }
 
 fn show(args: &[String]) -> ExitCode {
-    let (session, rest, _) = match session_from(args) {
+    let (session, rest, _, _) = match session_from(args) {
         Ok(x) => x,
         Err(e) => return fail(e),
     };
@@ -252,10 +484,48 @@ fn show(args: &[String]) -> ExitCode {
     }
 }
 
-fn tables() -> ExitCode {
+fn row_json(row: &stq_corpus::tables::Row) -> String {
+    format!(
+        "{{\"program\":\"{}\",\"lines\":{},\"check_time_ms\":{},\"stats\":{}}}",
+        json_escape(&row.program),
+        row.lines,
+        json_ms(row.check_time),
+        check_stats_json(&row.stats),
+    )
+}
+
+fn tables(args: &[String]) -> ExitCode {
+    let flags: Vec<String> = args
+        .iter()
+        .filter(|a| a.starts_with("--"))
+        .cloned()
+        .collect();
     let row = stq_corpus::tables::table1();
-    println!("{}", stq_corpus::tables::render_table1(&row));
     let rows = stq_corpus::tables::table2();
+    if has_flag(&flags, "--json") {
+        let t2: Vec<String> = rows.iter().map(row_json).collect();
+        println!(
+            "{{\"command\":\"tables\",\"table1\":{},\"table2\":[{}]}}",
+            row_json(&row),
+            t2.join(","),
+        );
+        return ExitCode::SUCCESS;
+    }
+    println!("{}", stq_corpus::tables::render_table1(&row));
     println!("{}", stq_corpus::tables::render_table2(&rows));
+    if has_flag(&flags, "--stats") {
+        for r in std::iter::once(&row).chain(rows.iter()) {
+            println!(
+                "{}: {} expr(s) visited, {} case application(s), \
+                 {} memo hit(s)/{} miss(es), {} restrict check(s)",
+                r.program,
+                r.stats.exprs_visited,
+                r.stats.case_applications,
+                r.stats.memo_hits,
+                r.stats.memo_misses,
+                r.stats.restrict_checks
+            );
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -139,6 +139,114 @@ fn bad_usage_is_reported() {
 }
 
 #[test]
+fn unknown_subcommand_is_named_in_the_diagnostic() {
+    let (_, stderr, ok) = stqc(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown subcommand `frobnicate`"), "{stderr}");
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn unreadable_file_is_a_clean_failure() {
+    for sub in [
+        &["check", "/nonexistent/missing.c"][..],
+        &["run", "/nonexistent/missing.c"],
+        &["prove", "--quals", "/nonexistent/missing.q"],
+    ] {
+        let (_, stderr, ok) = stqc(sub);
+        assert!(!ok, "{sub:?}");
+        assert!(stderr.contains("cannot read"), "{sub:?}: {stderr}");
+        assert!(!stderr.contains("panicked"), "{sub:?}: {stderr}");
+    }
+}
+
+#[test]
+fn prove_stats_prints_totals() {
+    let (stdout, _, ok) = stqc(&["prove", "--stats", "pos"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("stats:"), "{stdout}");
+    assert!(stdout.contains("totals:"), "{stdout}");
+    assert!(stdout.contains("insts="), "{stdout}");
+}
+
+#[test]
+fn prove_json_covers_all_eight_builtins() {
+    let (stdout, _, ok) = stqc(&["prove", "--stats", "--json"]);
+    assert!(ok, "{stdout}");
+    // Machine-readable per-obligation stats for every builtin,
+    // including the no-obligation flow qualifiers.
+    for name in [
+        "pos",
+        "neg",
+        "nonzero",
+        "nonnull",
+        "untainted",
+        "tainted",
+        "unique",
+        "unaliased",
+    ] {
+        assert!(stdout.contains(&format!("\"name\":\"{name}\"")), "{stdout}");
+    }
+    assert!(stdout.contains("\"verdict\":\"no-invariant\""), "{stdout}");
+    assert!(stdout.contains("\"instantiations\":"), "{stdout}");
+    assert!(stdout.contains("\"decisions\":"), "{stdout}");
+    assert!(stdout.contains("\"wall_ms\":"), "{stdout}");
+    assert!(stdout.contains("\"instantiations_by_trigger\":"), "{stdout}");
+    // One JSON document on one line of stdout.
+    assert_eq!(stdout.lines().count(), 1, "{stdout}");
+}
+
+#[test]
+fn starved_budget_reports_resource_out_and_fails() {
+    let (stdout, _, ok) = stqc(&[
+        "prove",
+        "--max-rounds",
+        "1",
+        "--max-instantiations",
+        "1",
+        "unique",
+    ]);
+    assert!(!ok, "{stdout}");
+    assert!(stdout.contains("OUT OF BUDGET"), "{stdout}");
+    assert!(stdout.contains("resource budget exhausted"), "{stdout}");
+}
+
+#[test]
+fn budget_flags_reject_garbage() {
+    let (_, stderr, ok) = stqc(&["prove", "--max-rounds", "many"]);
+    assert!(!ok);
+    assert!(stderr.contains("not a number"), "{stderr}");
+}
+
+#[test]
+fn check_stats_and_json() {
+    let src = temp_file(
+        "stats.c",
+        "int pos dbl(int pos x) { return (int pos)(x * 2); }",
+    );
+    let path = src.to_str().unwrap();
+    let (stdout, _, ok) = stqc(&["check", "--stats", path]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("expr(s) visited"), "{stdout}");
+    assert!(stdout.contains("instrumented cast(s)"), "{stdout}");
+    let (stdout, _, ok) = stqc(&["check", "--json", path]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("\"clean\":true"), "{stdout}");
+    assert!(stdout.contains("\"exprs_visited\":"), "{stdout}");
+    assert!(stdout.contains("\"casts_instrumented\":1"), "{stdout}");
+}
+
+#[test]
+fn tables_json_carries_checker_telemetry() {
+    let (stdout, _, ok) = stqc(&["tables", "--json"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("\"table1\":"), "{stdout}");
+    assert!(stdout.contains("\"table2\":"), "{stdout}");
+    assert!(stdout.contains("\"memo_misses\":"), "{stdout}");
+    assert!(stdout.contains("bftpd"), "{stdout}");
+}
+
+#[test]
 fn show_prints_definitions() {
     let (stdout, _, ok) = stqc(&["show", "pos"]);
     assert!(ok);

@@ -1,0 +1,127 @@
+//! Documentation consistency checks: the contributor docs must not go
+//! stale as the workspace grows.
+//!
+//! * every workspace crate (including the vendored stand-ins and the
+//!   root package) is listed in `docs/architecture.md`;
+//! * every relative link in `docs/*.md` and `README.md` points at a
+//!   file that exists.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The `name = "..."` of a crate's Cargo.toml `[package]` section.
+fn package_name(manifest: &Path) -> String {
+    let text = fs::read_to_string(manifest)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", manifest.display()));
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start().strip_prefix('=').unwrap_or(rest).trim();
+                return rest.trim_matches('"').to_owned();
+            }
+        }
+    }
+    panic!("no package name in {}", manifest.display());
+}
+
+/// Directory-relative path + package name of every workspace member.
+fn workspace_members() -> Vec<(String, String)> {
+    let root = repo_root();
+    let mut members = vec![("stq-suite".to_owned(), package_name(&root.join("Cargo.toml")))];
+    for group in ["crates", "vendor"] {
+        let dir = root.join(group);
+        let mut entries: Vec<_> = fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("cannot list {}: {e}", dir.display()))
+            .map(|e| e.expect("dir entry").path())
+            .filter(|p| p.join("Cargo.toml").is_file())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let rel = format!(
+                "{group}/{}",
+                path.file_name().expect("crate dir name").to_string_lossy()
+            );
+            members.push((rel, package_name(&path.join("Cargo.toml"))));
+        }
+    }
+    members
+}
+
+#[test]
+fn every_workspace_crate_is_listed_in_architecture_md() {
+    let page = fs::read_to_string(repo_root().join("docs/architecture.md"))
+        .expect("docs/architecture.md exists");
+    for (dir, package) in workspace_members() {
+        assert!(
+            page.contains(&package),
+            "docs/architecture.md does not mention workspace crate `{package}` ({dir})"
+        );
+    }
+}
+
+/// Extracts `](target)` link targets from markdown.
+fn link_targets(markdown: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = markdown.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            if let Some(end) = markdown[i + 2..].find(')') {
+                out.push(markdown[i + 2..i + 2 + end].to_owned());
+                i += 2 + end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[test]
+fn relative_links_in_docs_resolve() {
+    let root = repo_root();
+    let mut pages: Vec<PathBuf> = fs::read_dir(root.join("docs"))
+        .expect("docs/ exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "md"))
+        .collect();
+    pages.push(root.join("README.md"));
+    pages.sort();
+    assert!(pages.len() >= 5, "expected docs pages, found {pages:?}");
+
+    let mut broken = Vec::new();
+    for page in &pages {
+        let text = fs::read_to_string(page).expect("page is readable");
+        let base = page.parent().expect("page has a directory");
+        for target in link_targets(&text) {
+            // External links, mailto, and intra-page anchors are out of
+            // scope; so are rustdoc-style `[`Name`]` shorthands (those
+            // never produce a `](...)` pair).
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+            {
+                continue;
+            }
+            let path_part = target.split('#').next().expect("split is nonempty");
+            if path_part.is_empty() {
+                continue;
+            }
+            if !base.join(path_part).exists() {
+                broken.push(format!("{}: {target}", page.display()));
+            }
+        }
+    }
+    assert!(broken.is_empty(), "broken relative links:\n{}", broken.join("\n"));
+}

@@ -1,0 +1,244 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the benchmark-harness surface its `benches/` use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`], `b.iter(..)`, and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Methodology is deliberately simple — warm up once, then time a fixed
+//! batch of iterations and report mean wall-clock time per iteration (and
+//! throughput where configured). There is no statistical analysis, HTML
+//! report, or comparison to saved baselines; numbers print to stdout.
+
+use std::fmt;
+use std::hint::black_box as hint_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+/// Per-benchmark throughput annotation.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter as the label.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed batch of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up call (fills caches, faults in pages).
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The top-level harness.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+fn report(name: &str, iters: u64, elapsed: Duration, throughput: Option<Throughput>) {
+    let per_iter = elapsed.checked_div(u32::try_from(iters).unwrap_or(u32::MAX));
+    let per_iter = per_iter.unwrap_or_default();
+    let mut line = format!("bench {name:<44} {per_iter:>12.2?}/iter ({iters} iters)");
+    if let Some(tp) = throughput {
+        let secs = per_iter.as_secs_f64();
+        if secs > 0.0 {
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  {:.0} elem/s", n as f64 / secs));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  {:.0} B/s", n as f64 / secs));
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+impl Criterion {
+    /// Benchmarks one routine.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(name, b.iters, b.elapsed, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks one routine within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{id}", self.name),
+            b.iters,
+            b.elapsed,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Benchmarks one routine parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        report(
+            &format!("{}/{id}", self.name),
+            b.iters,
+            b.elapsed,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        // One warm-up call plus `sample_size` timed iterations.
+        assert_eq!(runs, 11);
+    }
+
+    #[test]
+    fn group_respects_sample_size() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::from_parameter(1), &1, |b, _| {
+            b.iter(|| runs += 1)
+        });
+        g.finish();
+        assert_eq!(runs, 4);
+    }
+}

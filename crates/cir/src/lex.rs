@@ -315,17 +315,12 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             return Err(err("malformed character literal", start));
         }
-        // Punctuation, longest match first.
-        let two = if i + 1 < bytes.len() {
-            &src[i..i + 2]
-        } else {
-            ""
-        };
-        let three = if i + 2 < bytes.len() {
-            &src[i..i + 3]
-        } else {
-            ""
-        };
+        // Punctuation, longest match first. `get` (not slicing) so a
+        // multibyte character straddling the window yields "" and falls
+        // through to the unexpected-character diagnostic below instead
+        // of panicking on a non-boundary index.
+        let two = src.get(i..i + 2).unwrap_or("");
+        let three = src.get(i..i + 3).unwrap_or("");
         let (tok, len) = if three == "..." {
             (Tok::Ellipsis, 3)
         } else {

@@ -42,4 +42,4 @@ pub use ast::{
     BaseTy, BinOp, Expr, ExprKind, FuncDef, FuncProto, FuncSig, GlobalDecl, Instr, InstrKind,
     LocalDecl, LvalKind, Lvalue, Program, QualType, Stmt, StmtKind, StructDef, Ty, UnOp,
 };
-pub use parse::{parse_program, ParseError};
+pub use parse::{parse_program, parse_program_resilient, ParseError};

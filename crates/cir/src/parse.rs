@@ -80,14 +80,45 @@ pub fn parse_program(src: &str, qualifiers: &[&str]) -> PResult<Program> {
         toks,
         pos: 0,
         quals: qualifiers.iter().map(|q| Symbol::intern(q)).collect(),
+        resilient: false,
+        errors: Vec::new(),
     };
     p.program()
+}
+
+/// Error-resilient variant of [`parse_program`]: instead of stopping at
+/// the first syntax error, records it, resynchronizes — inside a block at
+/// the next `;` or the enclosing `}`, at top level at the next `;` or
+/// balanced `}` — and keeps parsing. Returns the partial [`Program`] (so
+/// later declarations still typecheck) together with every diagnostic.
+///
+/// An empty error vector means exactly the program [`parse_program`]
+/// would have produced. A lex error is not recoverable (there is no
+/// token stream to sync on) and yields an empty program.
+pub fn parse_program_resilient(src: &str, qualifiers: &[&str]) -> (Program, Vec<ParseError>) {
+    let toks = match lex(src) {
+        Ok(toks) => toks,
+        Err(e) => return (Program::new(), vec![e.into()]),
+    };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        quals: qualifiers.iter().map(|q| Symbol::intern(q)).collect(),
+        resilient: true,
+        errors: Vec::new(),
+    };
+    let prog = p.program_resilient();
+    (prog, p.errors)
 }
 
 struct Parser {
     toks: Vec<Token>,
     pos: usize,
     quals: HashSet<Symbol>,
+    /// In resilient mode statement-level errors are recorded in
+    /// `errors` and the parser resynchronizes instead of failing.
+    resilient: bool,
+    errors: Vec<ParseError>,
 }
 
 const TYPE_KEYWORDS: [&str; 4] = ["int", "char", "void", "struct"];
@@ -217,42 +248,134 @@ impl Parser {
     fn program(&mut self) -> PResult<Program> {
         let mut prog = Program::new();
         while self.peek() != &Tok::Eof {
-            if self.at_ident("struct") && matches!(self.peek_at(2), Tok::LBrace) {
-                prog.structs.push(self.struct_def()?);
-                continue;
-            }
-            let start = self.span();
-            let ty = self.parse_type()?;
-            let name = self.ident()?;
-            if self.peek() == &Tok::LParen {
-                let (sig, body) = self.func_rest(ty)?;
-                let span = start.to(self.prev_span());
-                match body {
-                    None => prog.protos.push(FuncProto { name, sig, span }),
-                    Some(body) => prog.funcs.push(FuncDef {
-                        name,
-                        sig,
-                        body,
-                        span,
-                    }),
-                }
-            } else {
-                let init = if self.peek() == &Tok::Assign {
-                    self.bump();
-                    Some(self.parse_expr()?)
-                } else {
-                    None
-                };
-                self.expect(&Tok::Semi)?;
-                prog.globals.push(GlobalDecl {
-                    name,
-                    ty,
-                    init,
-                    span: start.to(self.prev_span()),
-                });
-            }
+            self.top_item(&mut prog)?;
         }
         Ok(prog)
+    }
+
+    fn program_resilient(&mut self) -> Program {
+        let mut prog = Program::new();
+        while self.peek() != &Tok::Eof {
+            let before = self.pos;
+            if let Err(e) = self.top_item(&mut prog) {
+                self.errors.push(e);
+                self.recover_top_level();
+            }
+            // Progress guarantee: a failure that consumed nothing (and a
+            // recovery that found no sync token) must not loop forever.
+            if self.pos == before {
+                self.force_bump();
+            }
+        }
+        prog
+    }
+
+    /// One top-level item: a struct definition, a global, a prototype,
+    /// or a function definition.
+    fn top_item(&mut self, prog: &mut Program) -> PResult<()> {
+        if self.at_ident("struct") && matches!(self.peek_at(2), Tok::LBrace) {
+            prog.structs.push(self.struct_def()?);
+            return Ok(());
+        }
+        let start = self.span();
+        let ty = self.parse_type()?;
+        let name = self.ident()?;
+        if self.peek() == &Tok::LParen {
+            let (sig, body) = self.func_rest(ty)?;
+            let span = start.to(self.prev_span());
+            match body {
+                None => prog.protos.push(FuncProto { name, sig, span }),
+                Some(body) => prog.funcs.push(FuncDef {
+                    name,
+                    sig,
+                    body,
+                    span,
+                }),
+            }
+        } else {
+            let init = if self.peek() == &Tok::Assign {
+                self.bump();
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            self.expect(&Tok::Semi)?;
+            prog.globals.push(GlobalDecl {
+                name,
+                ty,
+                init,
+                span: start.to(self.prev_span()),
+            });
+        }
+        Ok(())
+    }
+
+    // ----- error recovery -----
+
+    /// Advances one token if any remain before the `Eof` sentinel
+    /// (unlike [`Parser::bump`], which parks on the last token, this is
+    /// the progress guarantee for the recovery loops).
+    fn force_bump(&mut self) {
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+    }
+
+    /// After a top-level error: skip to just past the next `;` at brace
+    /// depth zero, or just past the `}` closing the brace nest we are
+    /// inside (a broken function body), whichever comes first.
+    fn recover_top_level(&mut self) {
+        let mut depth = 0usize;
+        loop {
+            match self.peek() {
+                Tok::Eof => return,
+                Tok::Semi if depth == 0 => {
+                    self.force_bump();
+                    return;
+                }
+                Tok::LBrace => {
+                    depth += 1;
+                    self.force_bump();
+                }
+                Tok::RBrace => {
+                    self.force_bump();
+                    if depth <= 1 {
+                        // Closed the body we were inside (or a stray `}`).
+                        return;
+                    }
+                    depth -= 1;
+                }
+                _ => self.force_bump(),
+            }
+        }
+    }
+
+    /// After a statement-level error: skip to just past the next `;` at
+    /// nesting depth zero, or to (not past) the `}` that closes the
+    /// enclosing block, so the block loop can finish normally.
+    fn recover_in_block(&mut self) {
+        let mut depth = 0usize;
+        loop {
+            match self.peek() {
+                Tok::Eof => return,
+                Tok::Semi if depth == 0 => {
+                    self.force_bump();
+                    return;
+                }
+                Tok::LBrace => {
+                    depth += 1;
+                    self.force_bump();
+                }
+                Tok::RBrace => {
+                    if depth == 0 {
+                        return;
+                    }
+                    depth -= 1;
+                    self.force_bump();
+                }
+                _ => self.force_bump(),
+            }
+        }
     }
 
     fn struct_def(&mut self) -> PResult<StructDef> {
@@ -326,7 +449,18 @@ impl Parser {
             if self.peek() == &Tok::Eof {
                 return self.err("unexpected end of input inside block");
             }
-            self.stmt_into(&mut out)?;
+            let before = self.pos;
+            match self.stmt_into(&mut out) {
+                Ok(()) => {}
+                Err(e) if self.resilient => {
+                    self.errors.push(e);
+                    self.recover_in_block();
+                    if self.pos == before && self.peek() != &Tok::RBrace {
+                        self.force_bump();
+                    }
+                }
+                Err(e) => return Err(e),
+            }
         }
         self.expect(&Tok::RBrace)?;
         Ok(out)
@@ -1211,5 +1345,86 @@ mod tests {
     #[test]
     fn discarded_malloc_is_rejected() {
         assert!(parse_program("void f() { malloc(4); }", &[]).is_err());
+    }
+
+    #[test]
+    fn resilient_parse_of_clean_source_matches_strict() {
+        let src = "int g = 1;
+            int pos dbl(int pos x) { return (int pos)(x * 2); }
+            void h();";
+        let strict = parse_program(src, &["pos"]).unwrap();
+        let (prog, errors) = parse_program_resilient(src, &["pos"]);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(prog.globals.len(), strict.globals.len());
+        assert_eq!(prog.funcs.len(), strict.funcs.len());
+        assert_eq!(prog.protos.len(), strict.protos.len());
+    }
+
+    #[test]
+    fn resilient_parse_recovers_at_semicolons_inside_a_block() {
+        // The middle statement is broken; its neighbours must survive.
+        let src = "int f() {
+                int a = 1;
+                int b = * ;
+                int c = 2;
+                return c;
+            }";
+        assert!(parse_program(src, &[]).is_err());
+        let (prog, errors) = parse_program_resilient(src, &[]);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert_eq!(prog.funcs.len(), 1);
+        let body = &prog.funcs[0].body;
+        // a's decl+init, c's decl+init, return — the broken b dropped.
+        assert!(body.len() >= 3, "{body:?}");
+    }
+
+    #[test]
+    fn resilient_parse_recovers_past_a_broken_function() {
+        let src = "int broken(int x { return x; }
+            int fine(int y) { return y; }";
+        let (prog, errors) = parse_program_resilient(src, &[]);
+        assert!(!errors.is_empty());
+        assert_eq!(prog.funcs.len(), 1, "{prog:?}");
+        assert_eq!(prog.funcs[0].name.as_str(), "fine");
+    }
+
+    #[test]
+    fn resilient_parse_recovers_past_a_broken_global() {
+        let src = "int bad = ;
+            int good = 2;
+            int f() { return good; }";
+        let (prog, errors) = parse_program_resilient(src, &[]);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert_eq!(prog.globals.len(), 1);
+        assert_eq!(prog.globals[0].name.as_str(), "good");
+        assert_eq!(prog.funcs.len(), 1);
+    }
+
+    #[test]
+    fn resilient_parse_collects_multiple_diagnostics() {
+        let src = "int a = ;
+            int f() { int x = * ; return 0 }
+            int b = 3;";
+        let (prog, errors) = parse_program_resilient(src, &[]);
+        assert!(errors.len() >= 2, "{errors:?}");
+        assert!(prog.globals.iter().any(|g| g.name.as_str() == "b"));
+    }
+
+    #[test]
+    fn resilient_parse_of_garbage_terminates_with_diagnostics() {
+        let (prog, errors) = parse_program_resilient("}}}}((( ;;; ***", &[]);
+        assert!(prog.funcs.is_empty());
+        assert!(!errors.is_empty());
+        let (prog, errors) = parse_program_resilient("", &[]);
+        assert!(prog.globals.is_empty() && errors.is_empty());
+    }
+
+    #[test]
+    fn resilient_parse_reports_unterminated_blocks() {
+        let (_, errors) = parse_program_resilient("int f() { int x = 1;", &[]);
+        assert!(
+            errors.iter().any(|e| e.message.contains("end of input")),
+            "{errors:?}"
+        );
     }
 }

@@ -1,0 +1,95 @@
+//! Fuzz tests for the error-resilient C-subset parser.
+//!
+//! The resilient entry point must be *total*: for any input — raw byte
+//! soup, random token streams, or a valid program with a corrupted
+//! region — it returns a (possibly partial) AST plus diagnostics and
+//! never panics. When it reports no errors, the strict parser must
+//! agree that the source is well-formed.
+
+use proptest::prelude::*;
+use stq_cir::parse::{parse_program, parse_program_resilient};
+
+const QUALS: &[&str] = &["pos", "nonnull", "untainted"];
+
+/// Fragments the lexer knows, so token soup exercises the parser's
+/// recovery logic rather than dying at the first lex error.
+const VOCAB: &[&str] = &[
+    "int", "char", "void", "struct", "if", "else", "while", "for", "return", "break", "continue",
+    "NULL", "pos", "nonnull", "x", "y", "f", "buf", "(", ")", "{", "}", ";", ",", "*", "&", "+",
+    "-", "=", "==", "!=", "<", ">", "[", "]", ".", "0", "1", "42", "\"s\"",
+];
+
+fn tokens_to_source(idxs: &[usize]) -> String {
+    idxs.iter()
+        .map(|i| VOCAB[i % VOCAB.len()])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// A well-formed program used as the seed for corruption tests.
+const VALID: &str = "struct pair { int a; int b; };\n\
+                     int g;\n\
+                     int pos dbl(int pos x) { return (int pos)(x * 2); }\n\
+                     int f(int* nonnull p) { int v = *p; if (v < 0) { return 0; } return v; }";
+
+/// The totality property shared by every generator: parsing never
+/// panics (the harness would report the panic as a test failure), and
+/// a silent parse — no diagnostics — means the input really was
+/// well-formed, which the strict parser must confirm.
+fn assert_total(src: &str) {
+    let (program, errors) = parse_program_resilient(src, QUALS);
+    if errors.is_empty() {
+        match parse_program(src, QUALS) {
+            Ok(p) => assert_eq!(
+                program.funcs.len(),
+                p.funcs.len(),
+                "silent resilient parse disagrees with strict parse on:\n{src}"
+            ),
+            Err(e) => panic!("resilient parse was silent but strict parse failed ({e}) on:\n{src}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn byte_soup_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_total(&src);
+    }
+
+    #[test]
+    fn token_soup_never_panics(idxs in prop::collection::vec(any::<usize>(), 0..96)) {
+        let src = tokens_to_source(&idxs);
+        assert_total(&src);
+    }
+
+    #[test]
+    fn corrupted_valid_source_still_yields_diagnostics_or_an_ast(
+        at in any::<usize>(),
+        garbage in prop::collection::vec(any::<u8>(), 1..8),
+    ) {
+        // Splice garbage into the middle of a valid program at a
+        // char boundary; the parser must either recover around it or
+        // report what it saw — never unwind.
+        let mut pos = at % (VALID.len() + 1);
+        while !VALID.is_char_boundary(pos) {
+            pos -= 1;
+        }
+        let mut src = String::new();
+        src.push_str(&VALID[..pos]);
+        src.push_str(&String::from_utf8_lossy(&garbage));
+        src.push_str(&VALID[pos..]);
+        assert_total(&src);
+    }
+
+    #[test]
+    fn truncated_valid_source_never_panics(at in any::<usize>()) {
+        let mut pos = at % (VALID.len() + 1);
+        while !VALID.is_char_boundary(pos) {
+            pos -= 1;
+        }
+        assert_total(&VALID[..pos]);
+    }
+}

@@ -51,6 +51,9 @@ pub use session::Session;
 pub use stq_cir::interp::{ExecOutcome, RuntimeError, Value};
 pub use stq_cir::parse::ParseError;
 pub use stq_qualspec::{parse::SpecError, Registry};
-pub use stq_soundness::{Budget, ProverStats, QualReport, Resource, SoundnessReport, Verdict};
+pub use stq_soundness::{
+    fault, Budget, FaultKind, FaultPlan, ProverStats, QualReport, Resource, RetryPolicy,
+    SoundnessReport, Verdict,
+};
 pub use stq_typecheck::{AnnotationInference, CheckOptions, CheckResult, CheckStats};
 pub use stq_util::{Diagnostic, Diagnostics, Severity};

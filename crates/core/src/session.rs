@@ -4,12 +4,12 @@
 
 use stq_cir::ast::Program;
 use stq_cir::interp::{run_entry, ExecOutcome, InterpConfig, RuntimeError, Value};
-use stq_cir::parse::{parse_program, ParseError};
+use stq_cir::parse::{parse_program, parse_program_resilient, ParseError};
 use stq_qualspec::parse::SpecError;
 use stq_qualspec::Registry;
 use stq_soundness::{
-    check_all, check_all_with, check_qualifier, check_qualifier_with, Budget, QualReport,
-    SoundnessReport,
+    check_all, check_all_retrying, check_all_with, check_qualifier, check_qualifier_retrying,
+    check_qualifier_with, Budget, QualReport, RetryPolicy, SoundnessReport,
 };
 use stq_typecheck::{
     check_program, check_program_with, infer_annotations, instrument_program, AnnotationInference,
@@ -83,6 +83,22 @@ impl Session {
             .collect())
     }
 
+    /// Error-resilient [`Session::define_qualifiers`]: parses with
+    /// recovery, registers every definition that survived, and returns
+    /// the new names alongside *all* diagnostics (an empty vector means
+    /// everything in `source` was defined).
+    pub fn define_qualifiers_resilient(&mut self, source: &str) -> (Vec<Symbol>, Vec<SpecError>) {
+        let before: Vec<Symbol> = self.registry.iter().map(|d| d.name).collect();
+        let errors = self.registry.add_source_resilient(source);
+        let added = self
+            .registry
+            .iter()
+            .map(|d| d.name)
+            .filter(|n| !before.contains(n))
+            .collect();
+        (added, errors)
+    }
+
     /// Well-formedness diagnostics for every definition.
     pub fn check_well_formed(&self) -> Diagnostics {
         self.registry.check_well_formed()
@@ -105,6 +121,22 @@ impl Session {
             .map(|def| check_qualifier_with(&self.registry, def, budget))
     }
 
+    /// As [`Session::prove_sound_with`], with a budget-escalation
+    /// [`RetryPolicy`] for `ResourceOut` obligations. Proof attempts are
+    /// panic-isolated: a crashing obligation yields
+    /// [`stq_soundness::Verdict::Crashed`] for this qualifier while the
+    /// rest of its obligations (and any later calls) still run.
+    pub fn prove_sound_retrying(
+        &self,
+        name: &str,
+        budget: Budget,
+        retry: RetryPolicy,
+    ) -> Option<QualReport> {
+        self.registry
+            .get_by_name(name)
+            .map(|def| check_qualifier_retrying(&self.registry, def, budget, retry))
+    }
+
     /// Proves (or refutes) the soundness of every registered qualifier.
     pub fn prove_all_sound(&self) -> Vec<QualReport> {
         check_all(&self.registry)
@@ -117,6 +149,12 @@ impl Session {
         check_all_with(&self.registry, budget)
     }
 
+    /// As [`Session::prove_all_sound_with`], with a budget-escalation
+    /// [`RetryPolicy`]; see [`Session::prove_sound_retrying`].
+    pub fn prove_all_sound_retrying(&self, budget: Budget, retry: RetryPolicy) -> SoundnessReport {
+        check_all_retrying(&self.registry, budget, retry)
+    }
+
     /// Parses C-subset source with this session's qualifiers as
     /// annotations.
     ///
@@ -125,6 +163,13 @@ impl Session {
     /// Returns the first syntax error.
     pub fn parse(&self, source: &str) -> Result<Program, ParseError> {
         parse_program(source, &self.registry.names())
+    }
+
+    /// Error-resilient [`Session::parse`]: recovers at sync tokens and
+    /// returns the partial [`Program`] alongside every syntax error, so
+    /// declarations after a typo still reach the typechecker.
+    pub fn parse_resilient(&self, source: &str) -> (Program, Vec<ParseError>) {
+        parse_program_resilient(source, &self.registry.names())
     }
 
     /// Typechecks a parsed program.
@@ -154,9 +199,30 @@ impl Session {
     ///
     /// # Panics
     ///
-    /// Panics if `qual` is not a registered value qualifier.
+    /// Panics if `qual` is not a registered value qualifier; see
+    /// [`Session::try_infer_annotations`] for the non-panicking form.
     pub fn infer_annotations(&self, program: &Program, qual: &str) -> AnnotationInference {
         infer_annotations(&self.registry, program, Symbol::intern(qual))
+    }
+
+    /// As [`Session::infer_annotations`], but validates the qualifier
+    /// first so misuse surfaces as a diagnostic rather than a panic.
+    ///
+    /// # Errors
+    ///
+    /// When `qual` is not registered, or is not a value qualifier.
+    pub fn try_infer_annotations(
+        &self,
+        program: &Program,
+        qual: &str,
+    ) -> Result<AnnotationInference, String> {
+        match self.registry.get_by_name(qual) {
+            None => Err(format!("unknown qualifier `{qual}`")),
+            Some(def) if def.kind != stq_qualspec::QualKind::Value => Err(format!(
+                "annotation inference targets value qualifiers, but `{qual}` is a ref qualifier"
+            )),
+            Some(_) => Ok(self.infer_annotations(program, qual)),
+        }
     }
 
     /// Inserts run-time invariant checks for value-qualifier casts.
@@ -263,5 +329,87 @@ mod tests {
         };
         let report = s.prove_sound_with("unique", budget).unwrap();
         assert_eq!(report.verdict, Verdict::ResourceOut, "{report}");
+    }
+
+    #[test]
+    fn retrying_rescues_a_starved_budget() {
+        use stq_soundness::RetryPolicy;
+        let s = Session::with_builtins();
+        let budget = Budget {
+            max_rounds: 1,
+            max_instantiations: 1,
+            ..Budget::default()
+        };
+        let report = s
+            .prove_sound_retrying(
+                "unique",
+                budget,
+                RetryPolicy {
+                    max_attempts: 8,
+                    factor: 4,
+                },
+            )
+            .unwrap();
+        assert_eq!(report.verdict, Verdict::Sound, "{report}");
+        assert!(report.obligations.iter().any(|o| o.attempts > 1));
+    }
+
+    #[test]
+    fn session_survives_an_injected_prover_crash() {
+        use stq_soundness::fault::{self, FaultKind, FaultPlan};
+        let s = Session::with_builtins();
+        fault::install(FaultPlan::new().inject(0, FaultKind::Panic));
+        let report = s.prove_all_sound_with(Budget::default());
+        fault::clear();
+        // Every qualifier still has a report; exactly one crashed.
+        assert_eq!(report.reports.len(), 8);
+        let crashed: Vec<_> = report
+            .reports
+            .iter()
+            .filter(|r| r.verdict == Verdict::Crashed)
+            .collect();
+        assert_eq!(crashed.len(), 1, "{report}");
+        assert!(!report.all_sound());
+    }
+
+    #[test]
+    fn define_qualifiers_resilient_keeps_the_good_definitions() {
+        let mut s = Session::new();
+        let (names, errors) = s.define_qualifiers_resilient(
+            "value qualifier broken(int Expr E
+                invariant value(E) > 0
+             value qualifier good(int Expr E)
+                invariant value(E) > 0",
+        );
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert_eq!(names, vec![Symbol::intern("good")]);
+        assert_eq!(s.prove_sound("good").unwrap().verdict, Verdict::Sound);
+    }
+
+    #[test]
+    fn parse_resilient_checks_the_surviving_declarations() {
+        let s = Session::with_builtins();
+        let (program, errors) = s.parse_resilient(
+            "int bad = ;
+             int f(int* p) { return *p; }",
+        );
+        assert_eq!(errors.len(), 1);
+        let result = s.check(&program);
+        assert_eq!(result.stats.qualifier_errors, 1, "later decls checked");
+    }
+
+    #[test]
+    fn try_infer_annotations_rejects_misuse_without_panicking() {
+        let s = Session::with_builtins();
+        let program = s.parse("int g = 1;").unwrap();
+        assert!(s
+            .try_infer_annotations(&program, "ghost")
+            .unwrap_err()
+            .contains("unknown"));
+        assert!(s
+            .try_infer_annotations(&program, "unique")
+            .unwrap_err()
+            .contains("ref qualifier"));
+        assert!(s.try_infer_annotations(&program, "pos").is_ok());
     }
 }

@@ -63,12 +63,14 @@
 pub mod arith;
 pub mod ematch;
 pub mod euf;
+pub mod fault;
 pub mod pre;
 pub mod rat;
 pub mod solver;
 pub mod stats;
 pub mod term;
 
+pub use fault::{FaultKind, FaultPlan};
 pub use solver::{Outcome, Problem};
-pub use stats::{Budget, ProverConfig, ProverStats, Resource};
+pub use stats::{Budget, ProverConfig, ProverStats, Resource, RetryPolicy};
 pub use term::{Formula, Sort, Term};

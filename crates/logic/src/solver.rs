@@ -17,16 +17,19 @@
 use crate::arith::{entails_eq0_counted, feasible_counted, Constraint, LinExpr};
 use crate::ematch::match_trigger_counted;
 use crate::euf::Egraph;
+use crate::fault::{self, FaultKind};
 use crate::pre::{Atom, Clause, Clausifier, Lit};
 use crate::rat::Rat;
 use crate::stats::{Budget, ProverStats, Resource};
 use crate::term::{Formula, Term};
+use std::any::Any;
 use std::collections::HashSet;
 use std::time::Instant;
 
 pub use crate::stats::{ProverConfig, Stats};
 
-/// The result of a proof attempt: a three-valued verdict.
+/// The result of a proof attempt: proved, refuted, out of budget, or
+/// (under [`Problem::prove_isolated`]) a contained crash.
 #[derive(Clone, Debug)]
 pub enum Outcome {
     /// The obligation is valid: every case was refuted.
@@ -53,6 +56,15 @@ pub enum Outcome {
         /// Work counters at the point the limit tripped.
         stats: ProverStats,
     },
+    /// The proof attempt panicked (a prover bug, or an injected fault
+    /// from [`crate::fault`]) and [`Problem::prove_isolated`] contained
+    /// the crash. Says nothing about the obligation's validity.
+    Crashed {
+        /// The panic payload, when it was a string (the usual case).
+        message: String,
+        /// Work counters are lost when an attempt unwinds; always empty.
+        stats: ProverStats,
+    },
 }
 
 impl Outcome {
@@ -71,12 +83,18 @@ impl Outcome {
         matches!(self, Outcome::ResourceOut { .. })
     }
 
+    /// True if the attempt panicked and the crash was contained.
+    pub fn is_crashed(&self) -> bool {
+        matches!(self, Outcome::Crashed { .. })
+    }
+
     /// The work counters.
     pub fn stats(&self) -> &ProverStats {
         match self {
             Outcome::Proved { stats }
             | Outcome::Refuted { stats, .. }
-            | Outcome::ResourceOut { stats, .. } => stats,
+            | Outcome::ResourceOut { stats, .. }
+            | Outcome::Crashed { stats, .. } => stats,
         }
     }
 
@@ -84,7 +102,16 @@ impl Outcome {
         match self {
             Outcome::Proved { stats }
             | Outcome::Refuted { stats, .. }
-            | Outcome::ResourceOut { stats, .. } => stats,
+            | Outcome::ResourceOut { stats, .. }
+            | Outcome::Crashed { stats, .. } => stats,
+        }
+    }
+
+    /// The contained panic message, when the attempt crashed.
+    pub fn crash_message(&self) -> Option<&str> {
+        match self {
+            Outcome::Crashed { message, .. } => Some(message),
+            _ => None,
         }
     }
 
@@ -157,18 +184,55 @@ impl Problem {
     /// Attempts to prove `axioms ∧ hypotheses ⇒ goal` within the
     /// configured [`Budget`], stamping wall-clock time into the stats.
     ///
+    /// Each call counts as one *solver entry* for the thread's installed
+    /// [`crate::fault::FaultPlan`] (if any), and honours any fault the
+    /// plan schedules for it.
+    ///
     /// # Panics
     ///
-    /// Panics if no goal was set.
+    /// Panics if no goal was set, or if the fault plan schedules a
+    /// [`FaultKind::Panic`] or [`FaultKind::TheoryError`] at this entry.
+    /// Use [`Problem::prove_isolated`] to contain panics as
+    /// [`Outcome::Crashed`].
     pub fn prove(&self) -> Outcome {
         let start = Instant::now();
         let deadline = self.config.timeout.map(|t| start + t);
-        let mut outcome = self.prove_inner(deadline);
+        let (entry, fault) = fault::next_entry();
+        let theory_fault = match fault {
+            Some(FaultKind::Panic) => panic!("injected panic at solver entry {entry}"),
+            Some(FaultKind::ResourceOut) => {
+                return Outcome::ResourceOut {
+                    resource: Resource::Injected,
+                    stats: ProverStats {
+                        wall: start.elapsed(),
+                        ..ProverStats::default()
+                    },
+                };
+            }
+            Some(FaultKind::TheoryError) => Some(entry),
+            None => None,
+        };
+        let mut outcome = self.prove_inner(deadline, theory_fault);
         outcome.stats_mut().wall = start.elapsed();
         outcome
     }
 
-    fn prove_inner(&self, deadline: Option<Instant>) -> Outcome {
+    /// As [`Problem::prove`], but contains any panic the attempt raises
+    /// — from a prover bug, a library-misuse invariant, or an injected
+    /// fault — and degrades it to [`Outcome::Crashed`] carrying the
+    /// panic message. This is the entry point batch drivers should use:
+    /// one crashing obligation must not take down its neighbours.
+    pub fn prove_isolated(&self) -> Outcome {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.prove())) {
+            Ok(outcome) => outcome,
+            Err(payload) => Outcome::Crashed {
+                message: panic_message(payload.as_ref()),
+                stats: ProverStats::default(),
+            },
+        }
+    }
+
+    fn prove_inner(&self, deadline: Option<Instant>, theory_fault: Option<u64>) -> Outcome {
         let goal = self.goal.clone().expect("no goal set on problem");
         // Free variables act as uninterpreted constants (proving a goal
         // with free variables proves it for arbitrary values).
@@ -239,6 +303,7 @@ impl Problem {
                 deadline,
                 exhausted: false,
                 timed_out: false,
+                theory_fault,
             };
             let natoms = cl.atoms().len();
             let mut assign = vec![None; natoms];
@@ -359,6 +424,19 @@ impl Problem {
     }
 }
 
+/// Extracts the human-readable message from a caught panic payload.
+/// `panic!` with a literal yields `&'static str`; with formatting,
+/// `String`; anything else is opaque.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// Renders a trigger multi-pattern as the stable string key used in
 /// [`ProverStats::instantiations_by_trigger`].
 fn render_trigger(trigger: &[Term]) -> String {
@@ -461,6 +539,11 @@ struct Search<'a> {
     deadline: Option<Instant>,
     exhausted: bool,
     timed_out: bool,
+    /// When set (by an installed [`crate::fault::FaultPlan`]), the first
+    /// theory-consistency check panics, simulating a theory-solver bug
+    /// deep inside the search. Carries the solver entry index for the
+    /// panic message.
+    theory_fault: Option<u64>,
 }
 
 /// How many decisions elapse between wall-clock deadline checks; each
@@ -571,7 +654,7 @@ impl Search<'_> {
                     }
                     return None;
                 }
-                if self.decisions % DEADLINE_CHECK_INTERVAL == 0
+                if self.decisions.is_multiple_of(DEADLINE_CHECK_INTERVAL)
                     && self.deadline.is_some_and(|d| Instant::now() >= d)
                 {
                     self.exhausted = true;
@@ -605,6 +688,9 @@ impl Search<'_> {
     /// Fourier–Motzkin over the (EUF-canonicalized) arithmetic literals,
     /// then exact handling of integer disequalities.
     fn theory_consistent(&mut self, assign: &[Option<bool>]) -> bool {
+        if let Some(entry) = self.theory_fault {
+            panic!("injected theory-solver failure at solver entry {entry}");
+        }
         self.theory_checks += 1;
         let mut eg = Egraph::new();
         let consistent = self.theory_consistent_inner(assign, &mut eg);
@@ -1164,5 +1250,67 @@ mod tests {
     #[should_panic(expected = "no goal")]
     fn missing_goal_panics() {
         Problem::new().prove();
+    }
+
+    #[test]
+    fn prove_isolated_contains_the_missing_goal_panic() {
+        let outcome = Problem::new().prove_isolated();
+        assert!(outcome.is_crashed());
+        assert!(
+            outcome.crash_message().unwrap().contains("no goal"),
+            "{outcome:?}"
+        );
+        assert!(!outcome.is_proved() && !outcome.is_refuted() && !outcome.is_resource_out());
+    }
+
+    fn trivial_problem() -> Problem {
+        let mut p = Problem::new();
+        p.goal(Term::int(1).eq(&Term::int(1)));
+        p
+    }
+
+    #[test]
+    fn injected_panic_is_contained_and_scoped_to_its_entry() {
+        fault::install(fault::FaultPlan::new().inject(1, FaultKind::Panic));
+        let p = trivial_problem();
+        assert!(p.prove_isolated().is_proved(), "entry 0: no fault");
+        let crashed = p.prove_isolated();
+        assert_eq!(
+            crashed.crash_message(),
+            Some("injected panic at solver entry 1")
+        );
+        assert!(p.prove_isolated().is_proved(), "entry 2: no fault");
+        fault::clear();
+    }
+
+    #[test]
+    fn injected_resource_out_names_the_injected_resource() {
+        fault::install(fault::FaultPlan::new().inject(0, FaultKind::ResourceOut));
+        let outcome = trivial_problem().prove();
+        assert_eq!(outcome.resource(), Some(Resource::Injected));
+        fault::clear();
+    }
+
+    #[test]
+    fn injected_theory_error_crashes_from_inside_the_search() {
+        fault::install(fault::FaultPlan::new().inject(0, FaultKind::TheoryError));
+        // Transitivity is invisible to the propositional skeleton, so the
+        // refutation search must reach a theory-consistency check.
+        let mut p = Problem::new();
+        p.hypothesis(x().lt(&y()));
+        p.hypothesis(y().lt(&Term::int(3)));
+        p.goal(x().lt(&Term::int(3)));
+        let outcome = p.prove_isolated();
+        fault::clear();
+        assert!(outcome.is_crashed(), "{outcome:?}");
+        assert!(
+            outcome
+                .crash_message()
+                .unwrap()
+                .contains("theory-solver failure"),
+            "{outcome:?}"
+        );
+        // The same problem proves once the plan is gone.
+        assert!(p.prove_isolated().is_proved());
     }
 }

@@ -57,6 +57,73 @@ impl Budget {
             ..Budget::default()
         }
     }
+
+    /// This budget with every limit multiplied by `factor` (saturating),
+    /// including the wall-clock deadline. Attempt `k` of the retry
+    /// escalation ladder runs under `base.scaled(factor^(k-1))`.
+    #[must_use]
+    pub fn scaled(&self, factor: u32) -> Budget {
+        Budget {
+            max_rounds: self.max_rounds.saturating_mul(factor as usize),
+            max_instantiations: self.max_instantiations.saturating_mul(factor as usize),
+            max_clauses: self.max_clauses.saturating_mul(factor as usize),
+            max_decisions: self.max_decisions.saturating_mul(u64::from(factor)),
+            timeout: self.timeout.map(|t| t.saturating_mul(factor)),
+        }
+    }
+}
+
+/// Budget-escalation retry policy for obligations that come back
+/// [`Resource`]`Out`: attempt `k` (1-based) re-runs the proof under the
+/// base [`Budget`] scaled by `factor^(k-1)`, up to `max_attempts` total
+/// attempts. `Proved`, `Refuted`, and `Crashed` outcomes are never
+/// retried — only resource exhaustion is transient.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total proof attempts per obligation, including the first
+    /// (`1` = no retry). Zero is treated as one.
+    pub max_attempts: u32,
+    /// Geometric budget multiplier between attempts.
+    pub factor: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            factor: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The no-retry policy (single attempt).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy::default()
+    }
+
+    /// A policy running up to `max_attempts` total attempts with the
+    /// default 2x escalation factor.
+    pub fn attempts(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Total attempts, normalised so a zero configuration still runs once.
+    pub fn attempt_cap(&self) -> u32 {
+        self.max_attempts.max(1)
+    }
+
+    /// The budget for 1-based `attempt`, escalated from `base`.
+    pub fn budget_for(&self, base: Budget, attempt: u32) -> Budget {
+        let mut budget = base;
+        for _ in 1..attempt {
+            budget = budget.scaled(self.factor.max(1));
+        }
+        budget
+    }
 }
 
 /// The budgeted resource a proof attempt ran out of.
@@ -72,6 +139,9 @@ pub enum Resource {
     Clauses,
     /// The [`Budget::timeout`] deadline passed.
     Time,
+    /// A [`crate::fault::FaultPlan`] forced this exhaustion (testing
+    /// only; never produced by a real budget limit).
+    Injected,
 }
 
 impl fmt::Display for Resource {
@@ -82,6 +152,7 @@ impl fmt::Display for Resource {
             Resource::Decisions => "DPLL decisions",
             Resource::Clauses => "clauses",
             Resource::Time => "wall-clock time",
+            Resource::Injected => "injected fault",
         })
     }
 }
@@ -223,5 +294,58 @@ mod tests {
     fn resource_display_is_human_readable() {
         assert_eq!(Resource::Time.to_string(), "wall-clock time");
         assert_eq!(Resource::Rounds.to_string(), "instantiation rounds");
+        assert_eq!(Resource::Injected.to_string(), "injected fault");
+    }
+
+    #[test]
+    fn scaled_multiplies_every_limit() {
+        let base = Budget {
+            max_rounds: 2,
+            max_instantiations: 10,
+            max_clauses: 100,
+            max_decisions: 1000,
+            timeout: Some(Duration::from_millis(8)),
+        };
+        let doubled = base.scaled(2);
+        assert_eq!(doubled.max_rounds, 4);
+        assert_eq!(doubled.max_instantiations, 20);
+        assert_eq!(doubled.max_clauses, 200);
+        assert_eq!(doubled.max_decisions, 2000);
+        assert_eq!(doubled.timeout, Some(Duration::from_millis(16)));
+    }
+
+    #[test]
+    fn scaled_saturates_instead_of_overflowing() {
+        let huge = Budget {
+            max_decisions: u64::MAX / 2 + 1,
+            ..Budget::default()
+        };
+        assert_eq!(huge.scaled(4).max_decisions, u64::MAX);
+    }
+
+    #[test]
+    fn retry_policy_escalates_geometrically() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            factor: 2,
+        };
+        let base = Budget::default();
+        assert_eq!(policy.budget_for(base, 1), base);
+        assert_eq!(policy.budget_for(base, 2).max_rounds, base.max_rounds * 2);
+        assert_eq!(policy.budget_for(base, 3).max_rounds, base.max_rounds * 4);
+    }
+
+    #[test]
+    fn retry_policy_zero_configs_degrade_to_single_attempt() {
+        let policy = RetryPolicy {
+            max_attempts: 0,
+            factor: 0,
+        };
+        assert_eq!(policy.attempt_cap(), 1);
+        // factor 0 is clamped to 1: escalation becomes a no-op rather
+        // than zeroing the budget.
+        assert_eq!(policy.budget_for(Budget::default(), 3), Budget::default());
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+        assert_eq!(RetryPolicy::attempts(3).max_attempts, 3);
     }
 }

@@ -42,6 +42,6 @@ pub use ast::{
     AssignRhs, Classifier, Clause, CmpOp, Disallow, InvPred, InvTerm, PTerm, Pattern, Pred,
     QualKind, QualifierDef, TypePat, VarDecl,
 };
-pub use parse::{parse_qualifiers, SpecError};
+pub use parse::{parse_qualifiers, parse_qualifiers_resilient, SpecError};
 pub use print::def_to_source;
 pub use registry::Registry;

@@ -77,6 +77,42 @@ pub fn parse_qualifiers(src: &str) -> SResult<Vec<QualifierDef>> {
     Ok(out)
 }
 
+/// Error-resilient variant of [`parse_qualifiers`]: instead of stopping
+/// at the first syntax error, records it, resynchronizes at the next
+/// clause keyword (`case`, `restrict`, `assign`, `disallow`, `ondecl`,
+/// `invariant`) or `value`/`ref qualifier` header, and keeps parsing.
+/// Returns every definition that survived — possibly with the broken
+/// section dropped — alongside every diagnostic, so one typo in a
+/// qualifier file no longer hides the rest of the file.
+///
+/// An empty error vector means exactly the definitions
+/// [`parse_qualifiers`] would have produced.
+pub fn parse_qualifiers_resilient(src: &str) -> (Vec<QualifierDef>, Vec<SpecError>) {
+    let toks = match lex(src) {
+        Ok(toks) => toks,
+        // Lexing is not recoverable (there is no token stream to sync
+        // on); report the one error.
+        Err(e) => {
+            return (
+                Vec::new(),
+                vec![SpecError {
+                    message: e.message,
+                    span: e.span,
+                }],
+            );
+        }
+    };
+    let mut p = P { toks, pos: 0 };
+    let mut defs = Vec::new();
+    let mut errors = Vec::new();
+    while p.peek() != &Tok::Eof {
+        if let Some(def) = p.qualifier_resilient(&mut errors) {
+            defs.push(def);
+        }
+    }
+    (defs, errors)
+}
+
 struct P {
     toks: Vec<Token>,
     pos: usize,
@@ -154,6 +190,15 @@ impl P {
 
     fn qualifier(&mut self) -> SResult<QualifierDef> {
         let start = self.span();
+        let mut def = self.qualifier_header(start)?;
+        while self.qualifier_section(&mut def)? {}
+        def.span = start.to(self.prev_span());
+        Ok(def)
+    }
+
+    /// `value|ref qualifier name(subject)` — everything before the
+    /// clause sections.
+    fn qualifier_header(&mut self, start: Span) -> SResult<QualifierDef> {
         let kind = if self.eat_kw("value") {
             QualKind::Value
         } else if self.eat_kw("ref") {
@@ -167,7 +212,7 @@ impl P {
         let subject = self.var_decl_single()?;
         self.expect(&Tok::RParen)?;
 
-        let mut def = QualifierDef {
+        Ok(QualifierDef {
             name,
             kind,
             subject,
@@ -178,9 +223,13 @@ impl P {
             ondecl: false,
             invariant: None,
             span: start,
-        };
+        })
+    }
 
-        loop {
+    /// Parses one clause section into `def`. `Ok(false)` means the next
+    /// token starts no section (the definition is complete).
+    fn qualifier_section(&mut self, def: &mut QualifierDef) -> SResult<bool> {
+        {
             if self.eat_kw("case") {
                 let scrutinee = self.ident()?;
                 if scrutinee != def.subject.name {
@@ -237,11 +286,90 @@ impl P {
             } else if self.eat_kw("invariant") {
                 def.invariant = Some(self.inv_pred()?);
             } else {
-                break;
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    // ----- error recovery -----
+
+    /// True at a token sequence that can begin a qualifier definition.
+    /// `value`/`ref` alone is not enough — `value` also occurs inside
+    /// invariants (`value(E)`) — so require the following `qualifier`.
+    fn at_def_start(&self) -> bool {
+        (self.at_kw("value") || self.at_kw("ref"))
+            && matches!(
+                self.toks.get(self.pos + 1).map(|t| &t.tok),
+                Some(Tok::Ident(s)) if s.as_str() == "qualifier"
+            )
+    }
+
+    /// True at a keyword that begins a clause section.
+    fn at_section_start(&self) -> bool {
+        ["case", "restrict", "assign", "disallow", "ondecl", "invariant"]
+            .iter()
+            .any(|k| self.at_kw(k))
+    }
+
+    /// Advances one token if any remain before the `Eof` sentinel (unlike
+    /// [`P::bump`], which parks on the last token, this is the progress
+    /// guarantee for the recovery loops).
+    fn force_bump(&mut self) {
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips past the current token to the next definition start or Eof.
+    fn sync_to_def(&mut self) {
+        self.force_bump();
+        while self.peek() != &Tok::Eof && !self.at_def_start() {
+            self.force_bump();
+        }
+    }
+
+    /// Skips past the current token to the next section keyword,
+    /// definition start, or Eof.
+    fn sync_to_section(&mut self) {
+        self.force_bump();
+        while self.peek() != &Tok::Eof && !self.at_section_start() && !self.at_def_start() {
+            self.force_bump();
+        }
+    }
+
+    /// Parses one definition, recording errors in `errors` and
+    /// resynchronizing instead of failing. Returns `None` when the
+    /// header itself was unusable; otherwise the (possibly partial)
+    /// definition.
+    fn qualifier_resilient(&mut self, errors: &mut Vec<SpecError>) -> Option<QualifierDef> {
+        let start = self.span();
+        let mut def = match self.qualifier_header(start) {
+            Ok(def) => def,
+            Err(e) => {
+                errors.push(e);
+                self.sync_to_def();
+                return None;
+            }
+        };
+        loop {
+            match self.qualifier_section(&mut def) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => {
+                    errors.push(e);
+                    // Drop the broken section, keep what already parsed,
+                    // and continue at the next section of this definition
+                    // (or hand back to the top level at a new one).
+                    self.sync_to_section();
+                    if !self.at_section_start() {
+                        break;
+                    }
+                }
             }
         }
         def.span = start.to(self.prev_span());
-        Ok(def)
+        Some(def)
     }
 
     // ----- declarations -----
@@ -834,5 +962,78 @@ mod tests {
         let def = one(src);
         assert_eq!(def.span.start, 0);
         assert!(def.span.end as usize >= src.len() - 2);
+    }
+
+    #[test]
+    fn resilient_parse_of_clean_source_matches_strict() {
+        let src = "value qualifier pos(int Expr E)
+                case E of
+                    decl int Const C: C, where C > 0
+                invariant value(E) > 0
+            ref qualifier u(T* LValue L)
+                assign L NULL | new
+                invariant value(L) == NULL";
+        let strict = parse_qualifiers(src).unwrap();
+        let (defs, errors) = parse_qualifiers_resilient(src);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(defs.len(), strict.len());
+        assert_eq!(defs[0].name, strict[0].name);
+        assert_eq!(defs[1].assigns, strict[1].assigns);
+    }
+
+    #[test]
+    fn resilient_parse_recovers_at_the_next_definition() {
+        // The first definition's header is broken; the second must
+        // still parse.
+        let src = "value qualifier (int Expr E)
+                invariant value(E) > 0
+            value qualifier good(int Expr E)
+                invariant value(E) > 0";
+        assert!(parse_qualifiers(src).is_err());
+        let (defs, errors) = parse_qualifiers_resilient(src);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert_eq!(defs.len(), 1);
+        assert_eq!(defs[0].name.as_str(), "good");
+    }
+
+    #[test]
+    fn resilient_parse_recovers_at_the_next_section() {
+        // A broken case clause must not lose the invariant section (or
+        // the following definition).
+        let src = "value qualifier broken(int Expr E)
+                case E of
+                    decl int Const C: ;;, where C > 0
+                invariant value(E) > 0
+            value qualifier fine(int Expr E)
+                invariant value(E) > 1";
+        let (defs, errors) = parse_qualifiers_resilient(src);
+        assert!(!errors.is_empty());
+        assert_eq!(defs.len(), 2, "{defs:?}");
+        assert_eq!(defs[0].name.as_str(), "broken");
+        assert!(defs[0].invariant.is_some(), "later section kept");
+        assert_eq!(defs[1].name.as_str(), "fine");
+    }
+
+    #[test]
+    fn resilient_parse_collects_multiple_diagnostics() {
+        let src = "value qualifier a(int Expr E)
+                invariant value(E) >
+            value qualifier b(int Expr E)
+                case E of
+                invariant value(E) > 0
+            value qualifier c(int Expr E)
+                invariant value(E) > 0";
+        let (defs, errors) = parse_qualifiers_resilient(src);
+        assert!(errors.len() >= 2, "{errors:?}");
+        assert!(defs.iter().any(|d| d.name.as_str() == "c"));
+    }
+
+    #[test]
+    fn resilient_parse_of_garbage_terminates_with_diagnostics() {
+        let (defs, errors) = parse_qualifiers_resilient("((((( ,,, |||");
+        assert!(defs.is_empty());
+        assert!(!errors.is_empty());
+        let (defs, errors) = parse_qualifiers_resilient("");
+        assert!(defs.is_empty() && errors.is_empty());
     }
 }

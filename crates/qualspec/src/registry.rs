@@ -71,6 +71,21 @@ impl Registry {
         Ok(())
     }
 
+    /// Error-resilient [`Registry::add_source`]: parses with
+    /// [`crate::parse::parse_qualifiers_resilient`], registers every
+    /// definition that survived, and returns *all* diagnostics — syntax
+    /// errors and duplicate names alike. An empty vector means every
+    /// definition in `src` was added.
+    pub fn add_source_resilient(&mut self, src: &str) -> Vec<SpecError> {
+        let (defs, mut errors) = crate::parse::parse_qualifiers_resilient(src);
+        for def in defs {
+            if let Err(e) = self.add(def) {
+                errors.push(e);
+            }
+        }
+        errors
+    }
+
     /// Looks up a definition by symbol.
     pub fn get(&self, name: Symbol) -> Option<&QualifierDef> {
         self.defs.iter().find(|d| d.name == name)

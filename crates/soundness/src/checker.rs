@@ -7,11 +7,11 @@ use crate::obligations::obligations_for;
 use std::fmt;
 use std::time::{Duration, Instant};
 use stq_logic::solver::Outcome;
-use stq_logic::{Budget, ProverStats, Resource};
+use stq_logic::{Budget, ProverStats, Resource, RetryPolicy};
 use stq_qualspec::{QualifierDef, Registry};
 use stq_util::Symbol;
 
-/// The result of one obligation's proof attempt.
+/// The result of one obligation's proof attempt(s).
 #[derive(Clone, Debug)]
 pub struct ObligationResult {
     /// What the obligation asserts.
@@ -22,11 +22,16 @@ pub struct ObligationResult {
     /// without a proof.
     pub countermodel: Vec<String>,
     /// The budget limit that tripped, if the prover ran out of resources
-    /// before reaching a verdict.
+    /// before reaching a verdict (on the *final* attempt).
     pub resource: Option<Resource>,
-    /// Prover work counters.
+    /// The contained panic message, if the proof attempt crashed.
+    pub crashed: Option<String>,
+    /// Proof attempts run: 1 normally, more when the retry ladder
+    /// re-ran a resource-out obligation under escalated budgets.
+    pub attempts: u32,
+    /// Prover work counters, accumulated across all attempts.
     pub stats: ProverStats,
-    /// Wall-clock time for this obligation.
+    /// Wall-clock time for this obligation, across all attempts.
     pub duration: Duration,
 }
 
@@ -44,6 +49,10 @@ pub enum Verdict {
     /// At least one obligation exhausted its [`Budget`] (and none was
     /// positively refuted): soundness is undetermined at this budget.
     ResourceOut,
+    /// At least one obligation's proof attempt panicked and was contained
+    /// (and none was positively refuted): soundness is undetermined
+    /// because the prover crashed, not because the obligation failed.
+    Crashed,
 }
 
 impl fmt::Display for Verdict {
@@ -53,6 +62,7 @@ impl fmt::Display for Verdict {
             Verdict::Unsound => "NOT proven sound",
             Verdict::NoInvariant => "no invariant (vacuously sound)",
             Verdict::ResourceOut => "undetermined (resource budget exhausted)",
+            Verdict::Crashed => "undetermined (prover crashed; crash contained)",
         })
     }
 }
@@ -100,14 +110,22 @@ impl fmt::Display for QualReport {
         for o in &self.obligations {
             let status = if o.proved {
                 "proved"
+            } else if o.crashed.is_some() {
+                "CRASHED"
             } else if o.resource.is_some() {
                 "OUT OF BUDGET"
             } else {
                 "FAILED"
             };
             writeln!(f, "  [{status}] {}", o.description)?;
+            if let Some(message) = &o.crashed {
+                writeln!(f, "      panic: {message}")?;
+            }
             if let Some(resource) = o.resource {
                 writeln!(f, "      exhausted: {resource}")?;
+            }
+            if o.attempts > 1 {
+                writeln!(f, "      attempts: {}", o.attempts)?;
             }
             if !o.proved {
                 for line in &o.countermodel {
@@ -142,6 +160,29 @@ pub fn check_qualifier(registry: &Registry, def: &QualifierDef) -> QualReport {
 /// recorded with its tripped [`Resource`]; if any obligation does (and
 /// none is positively refuted) the verdict is [`Verdict::ResourceOut`].
 pub fn check_qualifier_with(registry: &Registry, def: &QualifierDef, budget: Budget) -> QualReport {
+    check_qualifier_retrying(registry, def, budget, RetryPolicy::none())
+}
+
+/// The fault-isolated heart of the checker: [`check_qualifier_with`]
+/// plus a budget-escalation [`RetryPolicy`].
+///
+/// Every obligation is discharged through
+/// [`stq_logic::Problem::prove_isolated`], so a panicking proof attempt —
+/// a prover bug or an injected fault — degrades to a `CRASHED` obligation
+/// and a [`Verdict::Crashed`] report instead of unwinding through the
+/// batch: the remaining obligations (and qualifiers) still get verdicts.
+///
+/// An obligation that comes back `ResourceOut` is re-run under budgets
+/// escalated by `retry.factor` per attempt, up to `retry.max_attempts`
+/// total attempts; [`ObligationResult::attempts`] records how many ran,
+/// and the stats and duration accumulate across attempts. Refutations and
+/// crashes are never retried.
+pub fn check_qualifier_retrying(
+    registry: &Registry,
+    def: &QualifierDef,
+    budget: Budget,
+    retry: RetryPolicy,
+) -> QualReport {
     let start = Instant::now();
     if def.invariant.is_none() {
         return QualReport {
@@ -154,21 +195,36 @@ pub fn check_qualifier_with(registry: &Registry, def: &QualifierDef, budget: Bud
     let mut results = Vec::new();
     let mut any_refuted = false;
     let mut any_out = false;
+    let mut any_crashed = false;
     for mut ob in obligations_for(registry, def) {
-        ob.problem.config = budget;
         let t0 = Instant::now();
-        let outcome = ob.problem.prove();
+        let mut attempts = 0u32;
+        let mut total = ProverStats::default();
+        let outcome = loop {
+            attempts += 1;
+            ob.problem.config = retry.budget_for(budget, attempts);
+            let outcome = ob.problem.prove_isolated();
+            total.absorb(outcome.stats());
+            if outcome.is_resource_out() && attempts < retry.attempt_cap() {
+                continue;
+            }
+            break outcome;
+        };
         let duration = t0.elapsed();
         let proved = outcome.is_proved();
-        let (stats, countermodel, resource) = match outcome {
-            Outcome::Proved { stats } => (stats, Vec::new(), None),
-            Outcome::Refuted { stats, model } => {
+        let (countermodel, resource, crashed) = match outcome {
+            Outcome::Proved { .. } => (Vec::new(), None, None),
+            Outcome::Refuted { model, .. } => {
                 any_refuted = true;
-                (stats, model, None)
+                (model, None, None)
             }
-            Outcome::ResourceOut { stats, resource } => {
+            Outcome::ResourceOut { resource, .. } => {
                 any_out = true;
-                (stats, Vec::new(), Some(resource))
+                (Vec::new(), Some(resource), None)
+            }
+            Outcome::Crashed { message, .. } => {
+                any_crashed = true;
+                (Vec::new(), None, Some(message))
             }
         };
         results.push(ObligationResult {
@@ -176,7 +232,9 @@ pub fn check_qualifier_with(registry: &Registry, def: &QualifierDef, budget: Bud
             proved,
             countermodel,
             resource,
-            stats,
+            crashed,
+            attempts,
+            stats: total,
             duration,
         });
     }
@@ -184,6 +242,8 @@ pub fn check_qualifier_with(registry: &Registry, def: &QualifierDef, budget: Bud
         qualifier: def.name,
         verdict: if any_refuted {
             Verdict::Unsound
+        } else if any_crashed {
+            Verdict::Crashed
         } else if any_out {
             Verdict::ResourceOut
         } else {
@@ -208,8 +268,12 @@ pub fn check_all(registry: &Registry) -> Vec<QualReport> {
 pub struct SoundnessReport {
     /// One report per qualifier, in registry order.
     pub reports: Vec<QualReport>,
-    /// The budget every obligation ran under.
+    /// The budget every obligation ran under (first attempt; retries
+    /// escalate from here).
     pub budget: Budget,
+    /// The escalation ladder the run used ([`RetryPolicy::none`] when
+    /// retries were disabled).
+    pub retry: RetryPolicy,
     /// Aggregate prover work across all qualifiers and obligations.
     pub totals: ProverStats,
     /// Total wall-clock time for the whole run.
@@ -227,6 +291,16 @@ impl SoundnessReport {
     /// Total number of obligations across all qualifiers.
     pub fn obligation_count(&self) -> usize {
         self.reports.iter().map(|r| r.obligations.len()).sum()
+    }
+
+    /// Total proof attempts across all obligations (> obligation count
+    /// exactly when the retry ladder re-ran something).
+    pub fn attempt_count(&self) -> u64 {
+        self.reports
+            .iter()
+            .flat_map(|r| &r.obligations)
+            .map(|o| u64::from(o.attempts))
+            .sum()
     }
 }
 
@@ -248,10 +322,20 @@ impl fmt::Display for SoundnessReport {
 /// [`check_all`] under an explicit [`Budget`], aggregated into a
 /// [`SoundnessReport`].
 pub fn check_all_with(registry: &Registry, budget: Budget) -> SoundnessReport {
+    check_all_retrying(registry, budget, RetryPolicy::none())
+}
+
+/// [`check_all_with`] with a budget-escalation [`RetryPolicy`]; see
+/// [`check_qualifier_retrying`] for the per-obligation semantics.
+pub fn check_all_retrying(
+    registry: &Registry,
+    budget: Budget,
+    retry: RetryPolicy,
+) -> SoundnessReport {
     let start = Instant::now();
     let reports: Vec<QualReport> = registry
         .iter()
-        .map(|def| check_qualifier_with(registry, def, budget))
+        .map(|def| check_qualifier_retrying(registry, def, budget, retry))
         .collect();
     let mut totals = ProverStats::default();
     for r in &reports {
@@ -260,6 +344,7 @@ pub fn check_all_with(registry: &Registry, budget: Budget) -> SoundnessReport {
     SoundnessReport {
         reports,
         budget,
+        retry,
         totals,
         duration: start.elapsed(),
     }
@@ -562,5 +647,144 @@ mod tests {
         assert!(shown.contains("qualifier `pos`"));
         assert!(shown.contains("sound"));
         assert!(shown.contains("E1 * E2"));
+    }
+
+    #[test]
+    fn injected_crash_degrades_one_obligation_not_the_batch() {
+        use stq_logic::fault::{self, FaultKind, FaultPlan};
+        let registry = Registry::builtins();
+        let def = registry.get_by_name("unique").unwrap();
+        // unique has 6 obligations; crash the third proof attempt.
+        fault::install(FaultPlan::new().inject(2, FaultKind::Panic));
+        let report = check_qualifier(&registry, def);
+        fault::clear();
+        assert_eq!(report.verdict, Verdict::Crashed, "{report}");
+        assert_eq!(report.obligations.len(), 6, "every obligation has a verdict");
+        let crashed: Vec<_> = report
+            .obligations
+            .iter()
+            .filter(|o| o.crashed.is_some())
+            .collect();
+        assert_eq!(crashed.len(), 1);
+        assert!(crashed[0]
+            .crashed
+            .as_deref()
+            .unwrap()
+            .contains("injected panic"));
+        // The other five still proved, and the display names the crash.
+        assert_eq!(report.obligations.iter().filter(|o| o.proved).count(), 5);
+        let shown = report.to_string();
+        assert!(shown.contains("[CRASHED]"), "{shown}");
+        assert!(shown.contains("crash contained"), "{shown}");
+    }
+
+    #[test]
+    fn refutation_outranks_crash_in_the_verdict() {
+        use stq_logic::fault::{self, FaultKind, FaultPlan};
+        let mut registry = Registry::new();
+        registry
+            .add_source(
+                "value qualifier big(int Expr E)
+                    case E of
+                        decl int Const C: C, where C > 0
+                    invariant value(E) > 1",
+            )
+            .unwrap();
+        let def = registry.get_by_name("big").unwrap();
+        // Crash an attempt that doesn't exist (entry 9): verdict from the
+        // real refutation.
+        fault::install(FaultPlan::new().inject(9, FaultKind::Panic));
+        let report = check_qualifier(&registry, def);
+        fault::clear();
+        assert_eq!(report.verdict, Verdict::Unsound);
+    }
+
+    #[test]
+    fn retry_ladder_converts_injected_resource_out_into_proved() {
+        use stq_logic::fault::{self, FaultKind, FaultPlan};
+        let registry = Registry::builtins();
+        let def = registry.get_by_name("pos").unwrap();
+        // Force the first attempt of obligation 0 out of budget; the
+        // escalated second attempt runs clean.
+        fault::install(FaultPlan::new().inject(0, FaultKind::ResourceOut));
+        let report = check_qualifier_retrying(
+            &registry,
+            def,
+            Budget::default(),
+            RetryPolicy::attempts(3),
+        );
+        fault::clear();
+        assert_eq!(report.verdict, Verdict::Sound, "{report}");
+        assert_eq!(report.obligations[0].attempts, 2);
+        assert!(report.obligations[0].proved);
+        assert!(report.obligations[1..].iter().all(|o| o.attempts == 1));
+    }
+
+    #[test]
+    fn without_retry_injected_resource_out_is_terminal() {
+        use stq_logic::fault::{self, FaultKind, FaultPlan};
+        let registry = Registry::builtins();
+        let def = registry.get_by_name("pos").unwrap();
+        fault::install(FaultPlan::new().inject(0, FaultKind::ResourceOut));
+        let report = check_qualifier(&registry, def);
+        fault::clear();
+        assert_eq!(report.verdict, Verdict::ResourceOut);
+        assert_eq!(report.obligations[0].resource, Some(Resource::Injected));
+        assert_eq!(report.obligations[0].attempts, 1);
+    }
+
+    #[test]
+    fn retry_ladder_escalates_a_genuinely_starved_budget_to_success() {
+        // A budget too small for unique's obligations, rescued by
+        // geometric escalation — the real (non-injected) retry path.
+        let registry = Registry::builtins();
+        let def = registry.get_by_name("unique").unwrap();
+        let starved = Budget {
+            max_rounds: 1,
+            max_instantiations: 1,
+            ..Budget::default()
+        };
+        let no_retry = check_qualifier_with(&registry, def, starved);
+        assert_eq!(no_retry.verdict, Verdict::ResourceOut);
+        let retried = check_qualifier_retrying(
+            &registry,
+            def,
+            starved,
+            RetryPolicy {
+                max_attempts: 8,
+                factor: 4,
+            },
+        );
+        assert_eq!(retried.verdict, Verdict::Sound, "{retried}");
+        assert!(retried.obligations.iter().any(|o| o.attempts > 1));
+        let shown = retried.to_string();
+        assert!(shown.contains("attempts:"), "{shown}");
+    }
+
+    #[test]
+    fn check_all_retrying_records_the_policy_and_attempts() {
+        let registry = Registry::builtins();
+        let report = check_all_retrying(&registry, Budget::default(), RetryPolicy::attempts(3));
+        assert_eq!(report.retry.max_attempts, 3);
+        assert!(report.all_sound(), "{report}");
+        // Nothing ran out, so nothing retried.
+        assert_eq!(report.attempt_count(), report.obligation_count() as u64);
+    }
+
+    #[test]
+    fn crashes_are_not_retried() {
+        use stq_logic::fault::{self, FaultKind, FaultPlan};
+        let registry = Registry::builtins();
+        let def = registry.get_by_name("nonnull").unwrap();
+        fault::install(FaultPlan::new().inject(0, FaultKind::Panic));
+        let report = check_qualifier_retrying(
+            &registry,
+            def,
+            Budget::default(),
+            RetryPolicy::attempts(3),
+        );
+        fault::clear();
+        assert_eq!(report.verdict, Verdict::Crashed);
+        assert_eq!(report.obligations[0].attempts, 1, "crash is terminal");
     }
 }

@@ -42,8 +42,8 @@ pub mod obligations;
 pub mod paper_encoding;
 
 pub use checker::{
-    check_all, check_all_with, check_qualifier, check_qualifier_with, ObligationResult,
-    QualReport, SoundnessReport, Verdict,
+    check_all, check_all_retrying, check_all_with, check_qualifier, check_qualifier_retrying,
+    check_qualifier_with, ObligationResult, QualReport, SoundnessReport, Verdict,
 };
 pub use obligations::{obligations_for, Obligation};
-pub use stq_logic::{Budget, ProverStats, Resource};
+pub use stq_logic::{fault, Budget, FaultKind, FaultPlan, ProverStats, Resource, RetryPolicy};

@@ -48,12 +48,14 @@ impl fmt::Debug for Obligation {
 /// soundness is the implicit value-qualifier subtyping ("for free",
 /// paper §2.1.4) or, for reference qualifiers, vacuous.
 pub fn obligations_for(registry: &Registry, def: &QualifierDef) -> Vec<Obligation> {
-    if def.invariant.is_none() {
+    // Matching the invariant once here (rather than `expect`ing it again
+    // in each generator) makes "no invariant ⇒ no obligations" total.
+    let Some(inv) = def.invariant.as_ref() else {
         return Vec::new();
-    }
+    };
     match def.kind {
-        QualKind::Value => value_obligations(registry, def),
-        QualKind::Ref => ref_obligations(def),
+        QualKind::Value => value_obligations(registry, def, inv),
+        QualKind::Ref => ref_obligations(def, inv),
     }
 }
 
@@ -67,17 +69,22 @@ fn new_problem() -> Problem {
 
 // ===== value qualifiers =====
 
-fn value_obligations(registry: &Registry, def: &QualifierDef) -> Vec<Obligation> {
-    let inv = def.invariant.as_ref().expect("checked by caller");
+fn value_obligations(registry: &Registry, def: &QualifierDef, inv: &InvPred) -> Vec<Obligation> {
     let rho = Term::cnst("rho!");
     let mut out = Vec::new();
     for (i, clause) in def.cases.iter().enumerate() {
         let mut problem = new_problem();
         // Each pattern variable becomes a fresh constant of the right
         // reified sort; Const-classified variables become constExpr(c).
+        // A pattern variable with no `decl` (an ill-formed clause that
+        // skipped the well-formedness check) binds as a plain Expr: the
+        // obligation stays meaningful — and usually unprovable, which
+        // surfaces the problem as a verdict instead of a panic.
         let bind = |x: Symbol| -> Term {
-            let decl = clause.decl(x).expect("well-formed clause");
-            match decl.classifier {
+            let classifier = clause
+                .decl(x)
+                .map_or(Classifier::Expr, |decl| decl.classifier);
+            match classifier {
                 Classifier::Const => syntax::const_expr(&Term::cnst(&format!("c!{x}"))),
                 Classifier::LValue | Classifier::Var => {
                     Term::App(Symbol::intern(&format!("l!{x}")), Vec::new())
@@ -297,8 +304,7 @@ pub fn ref_inv_formula(inv: &InvPred, sigma: &Term, ll: &Term) -> Formula {
     go(inv, sigma, ll)
 }
 
-fn ref_obligations(def: &QualifierDef) -> Vec<Obligation> {
-    let inv = def.invariant.as_ref().expect("checked by caller");
+fn ref_obligations(def: &QualifierDef, inv: &InvPred) -> Vec<Obligation> {
     let sigma = Term::cnst("sigma!");
     let ll = Term::cnst("ll!");
     let mut out = Vec::new();

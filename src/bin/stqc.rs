@@ -16,6 +16,22 @@
 //! diverging: `--max-rounds N`, `--max-instantiations N`,
 //! `--max-decisions N`, `--max-clauses N`, `--timeout-ms N`.
 //!
+//! Robustness flags (see `docs/robustness.md`):
+//!
+//! * `--retry N` re-runs `ResourceOut` obligations up to `N` attempts
+//!   under geometrically escalated budgets (`--retry-factor F`,
+//!   default 2);
+//! * `--keep-going` continues past crashed qualifiers (`prove`) and
+//!   past syntax errors (`check`, via the error-resilient parser);
+//! * `--fault-panic-at N` / `--fault-resource-out-at N` /
+//!   `--fault-theory-at N` inject a deterministic fault at the `N`th
+//!   solver entry — testing hooks for the fault-injection harness.
+//!
+//! Exit codes are structured: 0 success, 1 unsound/refuted (or
+//! qualifier errors from `check`), 2 usage errors, 3 input errors
+//! (unreadable or unparseable files), 4 a proof attempt crashed or ran
+//! out of budget even after retries.
+//!
 //! `--stats` prints prover/checker telemetry; `--json` switches the
 //! report to a machine-readable JSON document on stdout (the schema is
 //! documented in `docs/telemetry.md`). Qualifier definitions from
@@ -25,7 +41,8 @@ use std::fs;
 use std::process::ExitCode;
 use std::time::Duration;
 use stq_core::{
-    Budget, CheckOptions, CheckStats, ProverStats, QualReport, Resource, Session, Value, Verdict,
+    fault, Budget, CheckOptions, CheckStats, FaultKind, FaultPlan, ProverStats, QualReport,
+    Resource, RetryPolicy, Session, Value, Verdict,
 };
 
 const USAGE: &str = "usage: stqc <prove|check|run|infer|tables|show> [options]\n\
@@ -47,51 +64,115 @@ fn main() -> ExitCode {
         Some(other) => {
             eprintln!("stqc: unknown subcommand `{other}`");
             eprintln!("{USAGE}");
-            ExitCode::from(2)
+            ExitCode::from(EXIT_USAGE)
         }
         None => {
             eprintln!("{USAGE}");
-            ExitCode::from(2)
+            ExitCode::from(EXIT_USAGE)
         }
     }
 }
 
-/// Builds a session from builtins plus any `--quals FILE` definitions,
-/// returning it, the remaining (non-option) arguments, the boolean
-/// flags, and the prover budget assembled from the budget flags.
-fn session_from(args: &[String]) -> Result<(Session, Vec<String>, Vec<String>, Budget), String> {
+/// Exit code for unsound qualifiers, refuted obligations, and
+/// qualifier errors found by `check`.
+const EXIT_UNSOUND: u8 = 1;
+/// Exit code for command-line usage errors.
+const EXIT_USAGE: u8 = 2;
+/// Exit code for input errors: unreadable or unparseable files,
+/// unknown qualifier names.
+const EXIT_INPUT: u8 = 3;
+/// Exit code when a proof attempt crashed (panic contained by the
+/// isolation layer) or ran out of budget even after the retry ladder.
+const EXIT_CRASH: u8 = 4;
+
+/// A diagnosed failure paired with the exit code class it belongs to.
+struct CliError {
+    code: u8,
+    msg: String,
+}
+
+fn usage_err(msg: impl Into<String>) -> CliError {
+    CliError {
+        code: EXIT_USAGE,
+        msg: msg.into(),
+    }
+}
+
+fn input_err(msg: impl Into<String>) -> CliError {
+    CliError {
+        code: EXIT_INPUT,
+        msg: msg.into(),
+    }
+}
+
+fn fail(e: CliError) -> ExitCode {
+    eprintln!("stqc: {}", e.msg);
+    ExitCode::from(e.code)
+}
+
+/// Everything the option scan produces: the session (builtins plus any
+/// `--quals` definitions), positional arguments, bare `--flag`s, the
+/// prover budget, and the retry ladder.
+struct Cli {
+    session: Session,
+    rest: Vec<String>,
+    flags: Vec<String>,
+    budget: Budget,
+    retry: RetryPolicy,
+}
+
+/// Builds a session from builtins plus any `--quals FILE` definitions
+/// and scans the common option set. Fault-injection flags install their
+/// [`FaultPlan`] for this thread as a side effect.
+fn session_from(args: &[String]) -> Result<Cli, CliError> {
+    let keep_going = args.iter().any(|a| a == "--keep-going");
     let mut session = Session::with_builtins();
     let mut rest = Vec::new();
     let mut flags = Vec::new();
     let mut budget = Budget::default();
+    let mut retry = RetryPolicy::none();
+    let mut plan = FaultPlan::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quals" => {
                 let path = args
                     .get(i + 1)
-                    .ok_or_else(|| "--quals needs a file".to_owned())?;
-                let src =
-                    fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-                session
-                    .define_qualifiers(&src)
-                    .map_err(|e| format!("{path}: {e}"))?;
+                    .ok_or_else(|| usage_err("--quals needs a file"))?;
+                let src = fs::read_to_string(path)
+                    .map_err(|e| input_err(format!("cannot read {path}: {e}")))?;
+                if keep_going {
+                    let (_, errors) = session.define_qualifiers_resilient(&src);
+                    for e in &errors {
+                        eprintln!("stqc: {path}: {e}");
+                    }
+                } else {
+                    session
+                        .define_qualifiers(&src)
+                        .map_err(|e| input_err(format!("{path}: {e}")))?;
+                }
                 i += 2;
             }
             flag @ ("--max-rounds" | "--max-instantiations" | "--max-decisions"
-            | "--max-clauses" | "--timeout-ms") => {
+            | "--max-clauses" | "--timeout-ms" | "--retry" | "--retry-factor"
+            | "--fault-panic-at" | "--fault-resource-out-at" | "--fault-theory-at") => {
                 let value = args
                     .get(i + 1)
-                    .ok_or_else(|| format!("{flag} needs a number"))?;
+                    .ok_or_else(|| usage_err(format!("{flag} needs a number")))?;
                 let n: u64 = value
                     .parse()
-                    .map_err(|_| format!("{flag}: `{value}` is not a number"))?;
+                    .map_err(|_| usage_err(format!("{flag}: `{value}` is not a number")))?;
                 match flag {
                     "--max-rounds" => budget.max_rounds = n as usize,
                     "--max-instantiations" => budget.max_instantiations = n as usize,
                     "--max-clauses" => budget.max_clauses = n as usize,
                     "--max-decisions" => budget.max_decisions = n,
-                    _ => budget.timeout = Some(Duration::from_millis(n)),
+                    "--timeout-ms" => budget.timeout = Some(Duration::from_millis(n)),
+                    "--retry" => retry.max_attempts = n.min(u64::from(u32::MAX)) as u32,
+                    "--retry-factor" => retry.factor = n.min(u64::from(u32::MAX)) as u32,
+                    "--fault-panic-at" => plan = plan.inject(n, FaultKind::Panic),
+                    "--fault-resource-out-at" => plan = plan.inject(n, FaultKind::ResourceOut),
+                    _ => plan = plan.inject(n, FaultKind::TheoryError),
                 }
                 i += 2;
             }
@@ -105,16 +186,20 @@ fn session_from(args: &[String]) -> Result<(Session, Vec<String>, Vec<String>, B
             }
         }
     }
+    if !plan.is_empty() {
+        fault::install(plan);
+    }
     let wf = session.check_well_formed();
     if wf.has_errors() {
-        return Err(format!("ill-formed qualifier definitions:\n{wf}"));
+        return Err(input_err(format!("ill-formed qualifier definitions:\n{wf}")));
     }
-    Ok((session, rest, flags, budget))
-}
-
-fn fail(msg: String) -> ExitCode {
-    eprintln!("stqc: {msg}");
-    ExitCode::FAILURE
+    Ok(Cli {
+        session,
+        rest,
+        flags,
+        budget,
+        retry,
+    })
 }
 
 fn has_flag(flags: &[String], name: &str) -> bool {
@@ -151,6 +236,7 @@ fn resource_slug(r: Resource) -> &'static str {
         Resource::Decisions => "decisions",
         Resource::Clauses => "clauses",
         Resource::Time => "time",
+        Resource::Injected => "injected",
     }
 }
 
@@ -160,7 +246,16 @@ fn verdict_slug(v: Verdict) -> &'static str {
         Verdict::Unsound => "unsound",
         Verdict::NoInvariant => "no-invariant",
         Verdict::ResourceOut => "resource-out",
+        Verdict::Crashed => "crashed",
     }
+}
+
+fn retry_json(r: RetryPolicy) -> String {
+    format!(
+        "{{\"max_attempts\":{},\"factor\":{}}}",
+        r.attempt_cap(),
+        r.factor
+    )
 }
 
 fn budget_json(b: &Budget) -> String {
@@ -236,6 +331,7 @@ fn qual_report_json(r: &QualReport) -> String {
                 .collect();
             format!(
                 "{{\"description\":\"{}\",\"proved\":{},\"resource\":{},\
+                 \"crashed\":{},\"attempts\":{},\
                  \"countermodel\":[{}],\"wall_ms\":{},\"stats\":{}}}",
                 json_escape(&o.description),
                 o.proved,
@@ -244,6 +340,10 @@ fn qual_report_json(r: &QualReport) -> String {
                         "\"{}\"",
                         resource_slug(res)
                     )),
+                o.crashed
+                    .as_deref()
+                    .map_or("null".to_owned(), |m| format!("\"{}\"", json_escape(m))),
+                o.attempts,
                 countermodel.join(","),
                 json_ms(o.duration),
                 prover_stats_json(&o.stats),
@@ -263,17 +363,45 @@ fn qual_report_json(r: &QualReport) -> String {
 // ----- subcommands -----
 
 fn prove(args: &[String]) -> ExitCode {
-    let (session, rest, flags, budget) = match session_from(args) {
+    let Cli {
+        session,
+        rest,
+        flags,
+        budget,
+        retry,
+    } = match session_from(args) {
         Ok(x) => x,
         Err(e) => return fail(e),
     };
-    let reports: Vec<QualReport> = match rest.first() {
-        Some(name) => match session.prove_sound_with(name, budget) {
-            Some(r) => vec![r],
-            None => return fail(format!("unknown qualifier `{name}`")),
+    let keep_going = has_flag(&flags, "--keep-going");
+    let mut reports: Vec<QualReport> = Vec::new();
+    match rest.first() {
+        Some(name) => match session.prove_sound_retrying(name, budget, retry) {
+            Some(r) => reports.push(r),
+            None => return fail(input_err(format!("unknown qualifier `{name}`"))),
         },
-        None => session.prove_all_sound_with(budget).reports,
-    };
+        None => {
+            let names: Vec<String> = session
+                .registry()
+                .iter()
+                .map(|d| d.name.to_string())
+                .collect();
+            for name in &names {
+                let Some(r) = session.prove_sound_retrying(name, budget, retry) else {
+                    continue;
+                };
+                let crashed = r.verdict == Verdict::Crashed;
+                reports.push(r);
+                if crashed && !keep_going {
+                    eprintln!(
+                        "stqc: qualifier `{name}` crashed; stopping \
+                         (pass --keep-going to check the rest)"
+                    );
+                    break;
+                }
+            }
+        }
+    }
     let mut totals = ProverStats::default();
     for r in &reports {
         totals.absorb(&r.totals());
@@ -281,8 +409,10 @@ fn prove(args: &[String]) -> ExitCode {
     if has_flag(&flags, "--json") {
         let quals: Vec<String> = reports.iter().map(qual_report_json).collect();
         println!(
-            "{{\"command\":\"prove\",\"budget\":{},\"qualifiers\":[{}],\"totals\":{}}}",
+            "{{\"command\":\"prove\",\"budget\":{},\"retry\":{},\
+             \"qualifiers\":[{}],\"totals\":{}}}",
             budget_json(&budget),
+            retry_json(retry),
             quals.join(","),
             prover_stats_json(&totals),
         );
@@ -297,32 +427,49 @@ fn prove(args: &[String]) -> ExitCode {
             println!("totals: {totals}");
         }
     }
-    let ok = reports
+    if reports.iter().any(|r| r.verdict == Verdict::Unsound) {
+        ExitCode::from(EXIT_UNSOUND)
+    } else if reports
         .iter()
-        .all(|r| !matches!(r.verdict, Verdict::Unsound | Verdict::ResourceOut));
-    if ok {
-        ExitCode::SUCCESS
+        .any(|r| matches!(r.verdict, Verdict::Crashed | Verdict::ResourceOut))
+    {
+        ExitCode::from(EXIT_CRASH)
     } else {
-        ExitCode::FAILURE
+        ExitCode::SUCCESS
     }
 }
 
 fn check(args: &[String]) -> ExitCode {
-    let (session, rest, flags, _) = match session_from(args) {
+    let Cli {
+        session,
+        rest,
+        flags,
+        ..
+    } = match session_from(args) {
         Ok(x) => x,
         Err(e) => return fail(e),
     };
     let Some(path) = rest.first() else {
-        return fail("check needs a source file".to_owned());
+        return fail(usage_err("check needs a source file"));
     };
     let source = match fs::read_to_string(path) {
         Ok(s) => s,
-        Err(e) => return fail(format!("cannot read {path}: {e}")),
+        Err(e) => return fail(input_err(format!("cannot read {path}: {e}"))),
     };
-    let program = match session.parse(&source) {
-        Ok(p) => p,
-        Err(e) => return fail(format!("{path}: {e}")),
+    let keep_going = has_flag(&flags, "--keep-going");
+    let (program, syntax_errors) = if keep_going {
+        let (program, errors) = session.parse_resilient(&source);
+        let rendered: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+        (program, rendered)
+    } else {
+        match session.parse(&source) {
+            Ok(p) => (p, Vec::new()),
+            Err(e) => return fail(input_err(format!("{path}: {e}"))),
+        }
     };
+    for e in &syntax_errors {
+        eprintln!("{path}: {e}");
+    }
     let options = CheckOptions {
         flow_sensitive: has_flag(&flags, "--flow-sensitive"),
     };
@@ -333,10 +480,16 @@ fn check(args: &[String]) -> ExitCode {
             .iter()
             .map(|d| format!("\"{}\"", json_escape(&d.render(&source))))
             .collect();
+        let syntax: Vec<String> = syntax_errors
+            .iter()
+            .map(|e| format!("\"{}\"", json_escape(e)))
+            .collect();
         println!(
-            "{{\"command\":\"check\",\"file\":\"{}\",\"clean\":{},\"diagnostics\":[{}],\"stats\":{}}}",
+            "{{\"command\":\"check\",\"file\":\"{}\",\"clean\":{},\"syntax_errors\":[{}],\
+             \"diagnostics\":[{}],\"stats\":{}}}",
             json_escape(path),
-            result.is_clean(),
+            result.is_clean() && syntax_errors.is_empty(),
+            syntax.join(","),
             diags.join(","),
             check_stats_json(&result.stats),
         );
@@ -365,15 +518,19 @@ fn check(args: &[String]) -> ExitCode {
             );
         }
     }
-    if result.is_clean() {
+    if !syntax_errors.is_empty() {
+        ExitCode::from(EXIT_INPUT)
+    } else if result.is_clean() {
         ExitCode::SUCCESS
     } else {
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_UNSOUND)
     }
 }
 
 fn run(args: &[String]) -> ExitCode {
-    let (session, mut rest, _, _) = match session_from(args) {
+    let Cli {
+        session, mut rest, ..
+    } = match session_from(args) {
         Ok(x) => x,
         Err(e) => return fail(e),
     };
@@ -388,15 +545,15 @@ fn run(args: &[String]) -> ExitCode {
         }
     }
     let Some(path) = rest.first().cloned() else {
-        return fail("run needs a source file".to_owned());
+        return fail(usage_err("run needs a source file"));
     };
     let source = match fs::read_to_string(&path) {
         Ok(s) => s,
-        Err(e) => return fail(format!("cannot read {path}: {e}")),
+        Err(e) => return fail(input_err(format!("cannot read {path}: {e}"))),
     };
     let program = match session.parse(&source) {
         Ok(p) => p,
-        Err(e) => return fail(format!("{path}: {e}")),
+        Err(e) => return fail(input_err(format!("{path}: {e}"))),
     };
     let call_args: Vec<Value> = rest[1..]
         .iter()
@@ -411,12 +568,15 @@ fn run(args: &[String]) -> ExitCode {
             println!("({} run-time qualifier check(s) passed)", out.checks_passed);
             ExitCode::SUCCESS
         }
-        Err(e) => fail(format!("runtime error: {e}")),
+        Err(e) => fail(CliError {
+            code: EXIT_UNSOUND,
+            msg: format!("runtime error: {e}"),
+        }),
     }
 }
 
 fn infer(args: &[String]) -> ExitCode {
-    let (session, rest, _, _) = match session_from(args) {
+    let Cli { session, rest, .. } = match session_from(args) {
         Ok(x) => x,
         Err(e) => return fail(e),
     };
@@ -425,28 +585,27 @@ fn infer(args: &[String]) -> ExitCode {
     let (qual, path) = match args.iter().position(|a| a == "--qual") {
         Some(pos) => {
             let Some(name) = args.get(pos + 1) else {
-                return fail("--qual needs a name".to_owned());
+                return fail(usage_err("--qual needs a name"));
             };
             let Some(path) = rest.iter().find(|r| *r != name) else {
-                return fail("infer needs a source file".to_owned());
+                return fail(usage_err("infer needs a source file"));
             };
             (name.clone(), path.clone())
         }
-        None => return fail("infer needs --qual NAME".to_owned()),
+        None => return fail(usage_err("infer needs --qual NAME")),
     };
     let source = match fs::read_to_string(&path) {
         Ok(s) => s,
-        Err(e) => return fail(format!("cannot read {path}: {e}")),
+        Err(e) => return fail(input_err(format!("cannot read {path}: {e}"))),
     };
     let program = match session.parse(&source) {
         Ok(p) => p,
-        Err(e) => return fail(format!("{path}: {e}")),
+        Err(e) => return fail(input_err(format!("{path}: {e}"))),
     };
-    if session.registry().get_by_name(&qual).map(|d| d.kind) != Some(stq_qualspec::QualKind::Value)
-    {
-        return fail(format!("`{qual}` is not a registered value qualifier"));
-    }
-    let result = session.infer_annotations(&program, &qual);
+    let result = match session.try_infer_annotations(&program, &qual) {
+        Ok(r) => r,
+        Err(e) => return fail(input_err(e)),
+    };
     println!(
         "{} site(s) can carry `{qual}` ({} iteration(s)):",
         result.inferred.len(),
@@ -462,7 +621,7 @@ fn infer(args: &[String]) -> ExitCode {
 }
 
 fn show(args: &[String]) -> ExitCode {
-    let (session, rest, _, _) = match session_from(args) {
+    let Cli { session, rest, .. } = match session_from(args) {
         Ok(x) => x,
         Err(e) => return fail(e),
     };
@@ -472,7 +631,7 @@ fn show(args: &[String]) -> ExitCode {
                 print!("{}", stq_qualspec::def_to_source(def));
                 ExitCode::SUCCESS
             }
-            None => fail(format!("unknown qualifier `{name}`")),
+            None => fail(input_err(format!("unknown qualifier `{name}`"))),
         },
         None => {
             for def in session.registry().iter() {

@@ -15,6 +15,20 @@ fn stqc(args: &[&str]) -> (String, String, bool) {
     )
 }
 
+/// As [`stqc`], but returning the numeric exit code for tests that
+/// check the documented exit-code taxonomy (see `docs/robustness.md`).
+fn stqc_code(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_stqc"))
+        .args(args)
+        .output()
+        .expect("stqc runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
 fn temp_file(name: &str, contents: &str) -> std::path::PathBuf {
     let path = std::env::temp_dir().join(format!("stqc-test-{}-{name}", std::process::id()));
     let mut f = std::fs::File::create(&path).expect("create temp file");
@@ -255,6 +269,128 @@ fn show_prints_definitions() {
     let (stdout, _, ok) = stqc(&["show"]);
     assert!(ok);
     assert!(stdout.contains("ref qualifier unique"));
+}
+
+// ----- the structured exit-code taxonomy (docs/robustness.md) -----
+
+#[test]
+fn exit_0_on_success() {
+    let (stdout, _, code) = stqc_code(&["prove", "nonnull"]);
+    assert_eq!(code, Some(0), "{stdout}");
+}
+
+#[test]
+fn exit_1_on_unsound_qualifier() {
+    // `broken` admits C == 1 but claims value(E) > 1: refutable.
+    let quals = temp_file(
+        "broken.q",
+        "value qualifier broken(int Expr E)
+             case E of
+                 decl int Const C: C, where C > 0
+             invariant value(E) > 1",
+    );
+    let (stdout, _, code) = stqc_code(&["prove", "--quals", quals.to_str().unwrap(), "broken"]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("NOT proven sound"), "{stdout}");
+    assert!(stdout.contains("countermodel"), "{stdout}");
+}
+
+#[test]
+fn exit_1_on_qualifier_errors_from_check() {
+    let dirty = temp_file("exit1.c", "int f(int* p) { return *p; }");
+    let (_, _, code) = stqc_code(&["check", dirty.to_str().unwrap()]);
+    assert_eq!(code, Some(1));
+}
+
+#[test]
+fn exit_2_on_usage_errors() {
+    let (_, stderr, code) = stqc_code(&["prove", "--max-rounds", "many"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    let (_, _, code) = stqc_code(&["frobnicate"]);
+    assert_eq!(code, Some(2));
+    let (_, _, code) = stqc_code(&["check"]);
+    assert_eq!(code, Some(2));
+    let (_, _, code) = stqc_code(&["prove", "--retry", "lots"]);
+    assert_eq!(code, Some(2));
+}
+
+#[test]
+fn exit_3_on_input_errors() {
+    let (_, stderr, code) = stqc_code(&["check", "/nonexistent/missing.c"]);
+    assert_eq!(code, Some(3), "{stderr}");
+    let (_, _, code) = stqc_code(&["prove", "ghost"]);
+    assert_eq!(code, Some(3));
+    let garbled = temp_file("exit3.c", "int a = ;");
+    let (_, _, code) = stqc_code(&["check", garbled.to_str().unwrap()]);
+    assert_eq!(code, Some(3));
+}
+
+#[test]
+fn exit_4_on_contained_crash_or_starved_budget() {
+    let (stdout, _, code) = stqc_code(&["prove", "--fault-panic-at", "0"]);
+    assert_eq!(code, Some(4), "{stdout}");
+    assert!(stdout.contains("CRASHED"), "{stdout}");
+    let (stdout, _, code) = stqc_code(&[
+        "prove",
+        "--max-rounds",
+        "1",
+        "--max-instantiations",
+        "1",
+        "unique",
+    ]);
+    assert_eq!(code, Some(4), "{stdout}");
+}
+
+#[test]
+fn retry_ladder_recovers_an_injected_resource_out() {
+    // Acceptance case: the forced first-attempt ResourceOut is retried
+    // under an escalated budget and proves on attempt 2, restoring a
+    // clean exit.
+    let (stdout, _, code) = stqc_code(&[
+        "prove",
+        "--json",
+        "--retry",
+        "3",
+        "--fault-resource-out-at",
+        "0",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("\"attempts\":2"), "{stdout}");
+    assert!(
+        stdout.contains("\"retry\":{\"max_attempts\":3,\"factor\":2}"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn keep_going_check_recovers_past_syntax_errors() {
+    let src = temp_file(
+        "resume.c",
+        "int a = ;\nint pos ok(int pos x) { return x; }",
+    );
+    let path = src.to_str().unwrap();
+    // Strict mode aborts at the syntax error…
+    let (_, stderr, code) = stqc_code(&["check", path]);
+    assert_eq!(code, Some(3), "{stderr}");
+    // …keep-going still reports it (exit 3) but checks what parsed.
+    let (stdout, stderr, code) = stqc_code(&["check", "--keep-going", path]);
+    assert_eq!(code, Some(3), "{stdout}\n{stderr}");
+    assert!(stdout.contains("0 qualifier error(s)"), "{stdout}");
+    let (stdout, _, _) = stqc_code(&["check", "--keep-going", "--json", path]);
+    assert!(stdout.contains("\"syntax_errors\":[\""), "{stdout}");
+    assert!(stdout.contains("\"clean\":false"), "{stdout}");
+}
+
+#[test]
+fn prove_without_keep_going_stops_at_the_first_crash() {
+    let (stdout, stderr, code) = stqc_code(&["prove", "--json", "--fault-panic-at", "0"]);
+    assert_eq!(code, Some(4), "{stdout}");
+    assert_eq!(stdout.matches("\"verdict\":\"crashed\"").count(), 1);
+    assert!(
+        stdout.matches("\"verdict\":").count() < 8,
+        "without --keep-going the run stops early: {stdout}"
+    );
+    assert!(stderr.contains("--keep-going"), "{stderr}");
 }
 
 #[test]

@@ -10,7 +10,9 @@
 //! * Statically reported **bugs** manifest dynamically (the format-string
 //!   exploit).
 
-use stq_core::{RuntimeError, Session, Value};
+use stq_core::{
+    fault, Budget, FaultKind, FaultPlan, RetryPolicy, RuntimeError, Session, Value, Verdict,
+};
 
 /// A battery case: a program, the function to run, its arguments, and
 /// the expected (return value, check count).
@@ -235,4 +237,74 @@ fn instrumentation_preserves_program_results() {
     assert_eq!(plain.ret, instrumented.ret);
     assert_eq!(plain.ret, Some(Value::Int(6)));
     assert!(instrumented.checks_passed >= 1);
+}
+
+// ----- fault injection: a crash in one obligation must not take down
+// the rest of the checking pipeline -----
+
+#[test]
+fn injected_crash_is_contained_to_one_qualifier() {
+    let session = Session::with_builtins();
+    // Crash the very first proof obligation the run attempts.
+    fault::install(FaultPlan::new().inject(0, FaultKind::Panic));
+    let report = session.prove_all_sound_retrying(Budget::default(), RetryPolicy::none());
+    fault::clear();
+    let crashed: Vec<_> = report
+        .reports
+        .iter()
+        .filter(|r| r.verdict == Verdict::Crashed)
+        .collect();
+    assert_eq!(crashed.len(), 1, "exactly one qualifier absorbs the fault");
+    let msg = crashed[0]
+        .obligations
+        .iter()
+        .find_map(|o| o.crashed.as_deref())
+        .expect("the crashed qualifier records the panic message");
+    assert!(msg.contains("injected panic"), "{msg}");
+    // Every other qualifier still reaches a real verdict.
+    for r in &report.reports {
+        if r.verdict != Verdict::Crashed {
+            assert!(
+                matches!(r.verdict, Verdict::Sound | Verdict::NoInvariant),
+                "qualifier `{}` got {:?} in the faulted run",
+                r.qualifier,
+                r.verdict
+            );
+        }
+    }
+}
+
+#[test]
+fn injected_resource_out_recovers_via_the_retry_ladder() {
+    let session = Session::with_builtins();
+    fault::install(FaultPlan::new().inject(0, FaultKind::ResourceOut));
+    let report = session.prove_all_sound_retrying(Budget::default(), RetryPolicy::attempts(3));
+    fault::clear();
+    assert!(
+        report.all_sound(),
+        "the retry ladder converts the forced first-attempt resource-out back into proofs"
+    );
+    // Exactly one obligation needed a second attempt.
+    assert_eq!(
+        report.attempt_count(),
+        report.obligation_count() as u64 + 1,
+        "one retried obligation, everything else first-try"
+    );
+}
+
+#[test]
+fn injected_crash_under_keep_going_reports_all_verdicts_and_exits_4() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_stqc"))
+        .args(["prove", "--keep-going", "--json", "--fault-panic-at", "0"])
+        .output()
+        .expect("stqc runs");
+    assert_eq!(out.status.code(), Some(4), "crashed run exits 4");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // All eight builtin qualifiers report a verdict; exactly one crashed.
+    assert_eq!(stdout.matches("\"verdict\":").count(), 8, "{stdout}");
+    assert_eq!(
+        stdout.matches("\"verdict\":\"crashed\"").count(),
+        1,
+        "{stdout}"
+    );
 }

@@ -83,6 +83,7 @@ pub mod strategy {
             R: Strategy<Value = Self::Value> + 'static,
             F: 'static + Fn(BoxedStrategy<Self::Value>) -> R,
         {
+            #[allow(clippy::type_complexity)]
             let rec: Arc<dyn Fn(BoxedStrategy<Self::Value>) -> BoxedStrategy<Self::Value>> =
                 Arc::new(move |inner| recurse(inner).boxed());
             Recursive {
@@ -458,7 +459,7 @@ mod tests {
 
     #[derive(Clone, Debug)]
     enum Tree {
-        Leaf(u8),
+        Leaf(#[allow(dead_code)] u8),
         Node(Box<Tree>, Box<Tree>),
     }
 

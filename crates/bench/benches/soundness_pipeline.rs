@@ -1,0 +1,161 @@
+//! The parallel + incremental soundness pipeline benchmark
+//! (`docs/performance.md`): sequential proving vs the work-stealing pool
+//! vs the warm fingerprinted proof cache, over the builtin qualifier
+//! library plus the shipped `examples/qualifiers/extra.q` corpus.
+//!
+//! Unlike the other benches this one emits a machine-readable
+//! `BENCH_soundness.json` at the repository root (override the path with
+//! `STQ_BENCH_OUT`), with obligations/sec for each mode and the cache
+//! hit/miss ledger of the cold and warm runs. The headline `parallel`
+//! figure is the pipeline's steady state — `jobs = 4` *with a warm
+//! on-disk cache*, exactly what a second `stqc prove --jobs 4
+//! --cache-dir` run does; `parallel_cold` isolates the pool alone, whose
+//! speedup is bounded by the machine's core count.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use stq_qualspec::Registry;
+use stq_soundness::{
+    check_all_parallel, check_all_pipeline, Budget, ProofCache, RetryPolicy, SoundnessReport,
+};
+
+const JOBS: usize = 4;
+
+fn registry() -> Registry {
+    let mut registry = Registry::builtins();
+    let extra = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/qualifiers/extra.q"
+    );
+    let source = fs::read_to_string(extra).expect("extra.q is shipped with the repo");
+    registry.add_source(&source).expect("extra.q parses");
+    registry
+}
+
+/// Runs `f` repeatedly until ~0.5 s of wall clock (at least `min_runs`),
+/// returning (runs, total elapsed, last report).
+fn measure(
+    min_runs: u32,
+    max_runs: u32,
+    mut f: impl FnMut() -> SoundnessReport,
+) -> (u32, Duration, SoundnessReport) {
+    let mut report = f(); // warm-up, uncounted
+    let start = Instant::now();
+    let mut runs = 0;
+    while runs < max_runs && (runs < min_runs || start.elapsed() < Duration::from_millis(500)) {
+        report = f();
+        runs += 1;
+    }
+    (runs, start.elapsed(), report)
+}
+
+fn obl_per_sec(obligations: usize, runs: u32, elapsed: Duration) -> f64 {
+    (obligations as f64 * f64::from(runs)) / elapsed.as_secs_f64().max(1e-9)
+}
+
+fn mode_json(label: &str, obligations: usize, runs: u32, elapsed: Duration) -> String {
+    format!(
+        "\"{label}\":{{\"runs\":{runs},\"total_ms\":{:.3},\"obligations_per_sec\":{:.1}}}",
+        elapsed.as_secs_f64() * 1000.0,
+        obl_per_sec(obligations, runs, elapsed),
+    )
+}
+
+fn main() {
+    let registry = registry();
+    let budget = Budget::default();
+    let retry = RetryPolicy::attempts(2);
+
+    // Mode 1: sequential, no cache — the pre-pipeline baseline.
+    let (seq_runs, seq_elapsed, seq_report) =
+        measure(2, 50, || check_all_parallel(&registry, budget, retry, 1));
+    assert!(seq_report.all_sound(), "{seq_report}");
+    let obligations = seq_report.obligation_count();
+
+    // Mode 2: the pool alone (jobs = 4), still proving everything.
+    let (cold_runs, cold_elapsed, cold_report) =
+        measure(2, 50, || check_all_parallel(&registry, budget, retry, JOBS));
+    assert!(cold_report.all_sound(), "{cold_report}");
+    assert_eq!(cold_report.obligation_count(), obligations);
+
+    // Mode 3: the full pipeline — jobs = 4 with an on-disk proof cache
+    // (the same ProofCache::at_dir path `stqc --cache-dir` uses), warmed
+    // by one cold run and then measured hot.
+    let dir = std::env::temp_dir().join(format!("stq-bench-cache-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let cache = ProofCache::at_dir(&dir).expect("temp cache dir");
+    let first = check_all_pipeline(&registry, budget, retry, JOBS, Some(&cache));
+    assert!(first.all_sound(), "{first}");
+    let cold_misses = first.totals.cache_misses;
+    let cold_hits = first.totals.cache_hits;
+    // A cold run misses every *distinct* obligation; structurally
+    // identical obligations across qualifiers (e.g. `nonnull` and
+    // `kernel` both establish `value(&L) != NULL`) hit the entry the
+    // first occurrence recorded moments earlier.
+    assert_eq!(
+        cold_misses + cold_hits,
+        obligations as u64,
+        "every obligation is looked up exactly once"
+    );
+    assert!(cold_misses > cold_hits, "a cold run mostly misses");
+    cache.persist().expect("persist cache");
+
+    // Reload from disk, as a fresh process would.
+    let warm_cache = ProofCache::at_dir(&dir).expect("reload cache dir");
+    let (warm_runs, warm_elapsed, warm_report) = measure(5, 200, || {
+        check_all_pipeline(&registry, budget, retry, JOBS, Some(&warm_cache))
+    });
+    assert!(warm_report.all_sound(), "{warm_report}");
+    let reproved_warm = warm_report.reproved_count();
+    assert_eq!(reproved_warm, 0, "warm run must re-prove nothing");
+    assert_eq!(warm_report.totals.cache_hits, obligations as u64);
+    let _ = fs::remove_dir_all(&dir);
+
+    let seq_ops = obl_per_sec(obligations, seq_runs, seq_elapsed);
+    let cold_ops = obl_per_sec(obligations, cold_runs, cold_elapsed);
+    let warm_ops = obl_per_sec(obligations, warm_runs, warm_elapsed);
+    let warm_hit_rate = 1.0 - (reproved_warm as f64 / obligations as f64);
+
+    println!(
+        "soundness_pipeline: {} qualifier(s), {obligations} obligation(s), jobs={JOBS}",
+        seq_report.reports.len(),
+    );
+    println!("  sequential:     {seq_ops:>10.1} obligations/sec ({seq_runs} run(s))");
+    println!("  parallel cold:  {cold_ops:>10.1} obligations/sec ({cold_runs} run(s))");
+    println!("  parallel warm:  {warm_ops:>10.1} obligations/sec ({warm_runs} run(s))");
+    println!(
+        "  cache: cold {cold_misses} miss(es)/{cold_hits} hit(s); \
+         warm re-proved {reproved_warm} (hit rate {:.0}%)",
+        warm_hit_rate * 100.0
+    );
+
+    let out = std::env::var("STQ_BENCH_OUT").map_or_else(
+        |_| {
+            PathBuf::from(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_soundness.json"
+            ))
+        },
+        PathBuf::from,
+    );
+    let json = format!(
+        "{{\"bench\":\"soundness_pipeline\",\"qualifiers\":{},\"obligations\":{obligations},\
+         \"jobs\":{JOBS},{},{},{},\
+         \"cache\":{{\"cold_misses\":{cold_misses},\"cold_hits\":{cold_hits},\
+         \"warm_hits\":{},\"warm_misses\":{},\"reproved_warm\":{reproved_warm},\
+         \"warm_hit_rate\":{warm_hit_rate:.3}}},\
+         \"speedup_parallel_vs_sequential\":{:.2},\
+         \"speedup_parallel_cold_vs_sequential\":{:.2}}}\n",
+        seq_report.reports.len(),
+        mode_json("sequential", obligations, seq_runs, seq_elapsed),
+        mode_json("parallel_cold", obligations, cold_runs, cold_elapsed),
+        mode_json("parallel", obligations, warm_runs, warm_elapsed),
+        warm_report.totals.cache_hits,
+        warm_report.totals.cache_misses,
+        warm_ops / seq_ops.max(1e-9),
+        cold_ops / seq_ops.max(1e-9),
+    );
+    fs::write(&out, &json).expect("write BENCH_soundness.json");
+    println!("  wrote {}", out.display());
+}

@@ -52,8 +52,8 @@ pub use stq_cir::interp::{ExecOutcome, RuntimeError, Value};
 pub use stq_cir::parse::ParseError;
 pub use stq_qualspec::{parse::SpecError, Registry};
 pub use stq_soundness::{
-    fault, Budget, FaultKind, FaultPlan, ProverStats, QualReport, Resource, RetryPolicy,
-    SoundnessReport, Verdict,
+    fault, Budget, CachedProof, FaultKind, FaultPlan, Fingerprint, ProofCache, ProverStats,
+    QualReport, Resource, RetryPolicy, SoundnessReport, Verdict, PROVER_VERSION,
 };
 pub use stq_typecheck::{AnnotationInference, CheckOptions, CheckResult, CheckStats};
 pub use stq_util::{Diagnostic, Diagnostics, Severity};

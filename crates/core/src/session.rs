@@ -8,8 +8,9 @@ use stq_cir::parse::{parse_program, parse_program_resilient, ParseError};
 use stq_qualspec::parse::SpecError;
 use stq_qualspec::Registry;
 use stq_soundness::{
-    check_all, check_all_retrying, check_all_with, check_qualifier, check_qualifier_retrying,
-    check_qualifier_with, Budget, QualReport, RetryPolicy, SoundnessReport,
+    check_all, check_all_pipeline, check_all_retrying, check_all_with, check_defs_pipeline,
+    check_qualifier, check_qualifier_retrying, check_qualifier_with, Budget, ProofCache,
+    QualReport, RetryPolicy, SoundnessReport,
 };
 use stq_typecheck::{
     check_program, check_program_with, infer_annotations, instrument_program, AnnotationInference,
@@ -153,6 +154,53 @@ impl Session {
     /// [`RetryPolicy`]; see [`Session::prove_sound_retrying`].
     pub fn prove_all_sound_retrying(&self, budget: Budget, retry: RetryPolicy) -> SoundnessReport {
         check_all_retrying(&self.registry, budget, retry)
+    }
+
+    /// The parallel + incremental pipeline: every qualifier's
+    /// obligations, discharged by up to `jobs` worker threads with an
+    /// optional [`ProofCache`] consulted per obligation. Verdicts and
+    /// report order are identical to [`Session::prove_all_sound_retrying`]
+    /// regardless of `jobs`; `jobs <= 1` runs sequentially with no pool.
+    pub fn prove_all_sound_pipeline(
+        &self,
+        budget: Budget,
+        retry: RetryPolicy,
+        jobs: usize,
+        cache: Option<&ProofCache>,
+    ) -> SoundnessReport {
+        check_all_pipeline(&self.registry, budget, retry, jobs, cache)
+    }
+
+    /// As [`Session::prove_all_sound_pipeline`], restricted to the named
+    /// qualifiers (in the given order). Unknown names are reported in the
+    /// `Err` variant without running any proofs.
+    ///
+    /// # Errors
+    ///
+    /// The first unregistered qualifier name.
+    pub fn prove_named_pipeline(
+        &self,
+        names: &[&str],
+        budget: Budget,
+        retry: RetryPolicy,
+        jobs: usize,
+        cache: Option<&ProofCache>,
+    ) -> Result<SoundnessReport, String> {
+        let mut defs = Vec::with_capacity(names.len());
+        for name in names {
+            match self.registry.get_by_name(name) {
+                Some(def) => defs.push(def),
+                None => return Err(format!("unknown qualifier `{name}`")),
+            }
+        }
+        Ok(check_defs_pipeline(
+            &self.registry,
+            &defs,
+            budget,
+            retry,
+            jobs,
+            cache,
+        ))
     }
 
     /// Parses C-subset source with this session's qualifiers as
@@ -370,6 +418,43 @@ mod tests {
             .collect();
         assert_eq!(crashed.len(), 1, "{report}");
         assert!(!report.all_sound());
+    }
+
+    #[test]
+    fn pipeline_proving_matches_sequential_and_caches() {
+        let s = Session::with_builtins();
+        let sequential = s.prove_all_sound_retrying(Budget::default(), RetryPolicy::none());
+        let cache = ProofCache::in_memory();
+        let cold =
+            s.prove_all_sound_pipeline(Budget::default(), RetryPolicy::none(), 4, Some(&cache));
+        for (a, b) in sequential.reports.iter().zip(&cold.reports) {
+            assert_eq!(a.qualifier, b.qualifier);
+            assert_eq!(a.verdict, b.verdict);
+        }
+        let warm =
+            s.prove_all_sound_pipeline(Budget::default(), RetryPolicy::none(), 4, Some(&cache));
+        assert_eq!(warm.reproved_count(), 0, "warm run is all cache hits");
+        assert!(warm.all_sound());
+    }
+
+    #[test]
+    fn named_pipeline_proves_a_subset_and_rejects_unknowns() {
+        let s = Session::with_builtins();
+        let report = s
+            .prove_named_pipeline(
+                &["pos", "unique"],
+                Budget::default(),
+                RetryPolicy::none(),
+                2,
+                None,
+            )
+            .unwrap();
+        assert_eq!(report.reports.len(), 2);
+        assert!(report.all_sound(), "{report}");
+        let err = s
+            .prove_named_pipeline(&["ghost"], Budget::default(), RetryPolicy::none(), 1, None)
+            .unwrap_err();
+        assert!(err.contains("ghost"));
     }
 
     #[test]

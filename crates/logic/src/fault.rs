@@ -5,12 +5,20 @@
 //! exhausted budget becomes `ResourceOut` and may be retried — but those
 //! paths only stay honest if tests can force them on demand. A
 //! [`FaultPlan`] schedules synthetic faults at specific *solver entries*
-//! (the Nth call to [`crate::solver::Problem::prove`] on the current
-//! thread), so a test can crash exactly obligation `k` of a batch and
-//! assert that the other `n - 1` still get verdicts.
+//! (the Nth call to [`crate::solver::Problem::prove`] under the current
+//! installation), so a test can crash exactly obligation `k` of a batch
+//! and assert that the other `n - 1` still get verdicts.
 //!
-//! The plan is thread-local and explicitly installed, so injection is
-//! deterministic and cannot leak across `cargo test` threads:
+//! Plans are installed per thread, so injection cannot leak across
+//! `cargo test` threads — but a single *installation* may be shared with
+//! worker threads: [`handle`] captures the installing thread's plan
+//! together with its entry counter (an atomic), and [`adopt`] attaches
+//! that handle to another thread. Entry numbering is then **global
+//! across the sharing threads** — each solver entry claims the next
+//! index with an atomic fetch-add — so under the parallel proving pool
+//! `--fault-panic-at k` still fires at exactly one solver entry, no
+//! matter which worker reaches it. (Which obligation draws index `k` is
+//! scheduling-dependent; that exactly one does is not.)
 //!
 //! ```
 //! use stq_logic::fault::{self, FaultKind, FaultPlan};
@@ -29,6 +37,8 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The kind of synthetic fault to inject at a solver entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,8 +57,8 @@ pub enum FaultKind {
 }
 
 /// A deterministic schedule of synthetic faults, keyed by solver entry
-/// index (0-based count of [`crate::solver::Problem::prove`] calls on the
-/// current thread since [`install`]).
+/// index (0-based count of [`crate::solver::Problem::prove`] calls under
+/// the current installation, shared across threads that [`adopt`]ed it).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     faults: BTreeMap<u64, FaultKind>,
@@ -112,41 +122,92 @@ fn splitmix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// One installation of a [`FaultPlan`]: the plan plus its entry counter.
+/// Shared (via [`Handle`]) by every thread participating in the same
+/// checking run, so entry indices are allocated once, globally.
+#[derive(Debug)]
+struct Installation {
+    plan: FaultPlan,
+    entries: AtomicU64,
+}
+
+/// A cloneable reference to the current thread's fault installation,
+/// for propagation onto worker threads via [`adopt`].
+#[derive(Clone, Debug)]
+pub struct Handle(Arc<Installation>);
+
 thread_local! {
-    static PLAN: RefCell<Option<FaultPlan>> = const { RefCell::new(None) };
-    static ENTRIES: Cell<u64> = const { Cell::new(0) };
+    /// The installation this thread participates in, if any.
+    static INSTALLED: RefCell<Option<Arc<Installation>>> = const { RefCell::new(None) };
+    /// Entry counting when no plan is installed (kept thread-local and
+    /// cheap: it only feeds [`entries`] and panic messages).
+    static FALLBACK: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Installs `plan` on the current thread and resets the entry counter, so
 /// entry indices are relative to the install point.
 pub fn install(plan: FaultPlan) {
-    PLAN.with(|p| *p.borrow_mut() = Some(plan));
-    ENTRIES.with(|e| e.set(0));
+    INSTALLED.with(|p| {
+        *p.borrow_mut() = Some(Arc::new(Installation {
+            plan,
+            entries: AtomicU64::new(0),
+        }));
+    });
+    FALLBACK.with(|e| e.set(0));
 }
 
-/// Removes any installed plan and resets the entry counter.
+/// Removes any installed (or adopted) plan and resets the entry counter.
 pub fn clear() {
-    PLAN.with(|p| *p.borrow_mut() = None);
-    ENTRIES.with(|e| e.set(0));
+    INSTALLED.with(|p| *p.borrow_mut() = None);
+    FALLBACK.with(|e| e.set(0));
 }
 
-/// Number of solver entries observed on this thread since the last
-/// [`install`]/[`clear`] (or thread start).
+/// A shareable handle to this thread's current installation (`None` when
+/// no plan is installed). Pool drivers capture this before spawning
+/// workers and pass it to [`adopt`] in each worker's init hook.
+pub fn handle() -> Option<Handle> {
+    INSTALLED.with(|p| p.borrow().clone().map(Handle))
+}
+
+/// Attaches `handle`'s installation — plan *and* shared entry counter —
+/// to the current thread. `None` detaches (like [`clear`], but without
+/// touching the originating thread). Worker threads adopt the driving
+/// thread's handle so a batch has one global entry numbering.
+pub fn adopt(handle: Option<Handle>) {
+    INSTALLED.with(|p| *p.borrow_mut() = handle.map(|h| h.0));
+}
+
+/// Number of solver entries observed under this thread's installation
+/// since [`install`] (summed over every thread sharing it), or on this
+/// thread since the last [`clear`]/thread start when nothing is
+/// installed.
 pub fn entries() -> u64 {
-    ENTRIES.with(Cell::get)
+    INSTALLED.with(|p| match p.borrow().as_ref() {
+        Some(inst) => inst.entries.load(Ordering::Relaxed),
+        None => FALLBACK.with(Cell::get),
+    })
 }
 
 /// Records one solver entry and returns its index plus the fault (if any)
 /// the installed plan schedules for it. Called by the solver; cheap when
-/// no plan is installed.
+/// no plan is installed. With a shared installation the index is claimed
+/// atomically, so every entry across all participating threads gets a
+/// distinct one.
 pub(crate) fn next_entry() -> (u64, Option<FaultKind>) {
-    let entry = ENTRIES.with(|e| {
-        let n = e.get();
-        e.set(n + 1);
-        n
-    });
-    let kind = PLAN.with(|p| p.borrow().as_ref().and_then(|plan| plan.fault_at(entry)));
-    (entry, kind)
+    INSTALLED.with(|p| match p.borrow().as_ref() {
+        Some(inst) => {
+            let entry = inst.entries.fetch_add(1, Ordering::Relaxed);
+            (entry, inst.plan.fault_at(entry))
+        }
+        None => {
+            let entry = FALLBACK.with(|e| {
+                let n = e.get();
+                e.set(n + 1);
+                n
+            });
+            (entry, None)
+        }
+    })
 }
 
 #[cfg(test)]
@@ -197,6 +258,50 @@ mod tests {
         assert_eq!(kind, Some(FaultKind::Panic));
         clear();
         assert_eq!(entries(), 0);
+        assert_eq!(next_entry().1, None);
+        clear();
+    }
+
+    #[test]
+    fn adopted_threads_share_one_entry_numbering() {
+        install(FaultPlan::new().inject(5, FaultKind::Panic));
+        let h = handle();
+        assert!(h.is_some());
+        let hits: Vec<u64> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    let h = h.clone();
+                    s.spawn(move || {
+                        adopt(h);
+                        let mut hit = 0;
+                        for _ in 0..4 {
+                            let (_, kind) = next_entry();
+                            if kind.is_some() {
+                                hit += 1;
+                            }
+                        }
+                        hit
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|j| j.join().expect("worker"))
+                .collect()
+        });
+        // 16 entries drawn across 4 threads: indices 0..16 each claimed
+        // exactly once, so the fault at entry 5 fired exactly once.
+        assert_eq!(hits.iter().sum::<u64>(), 1);
+        assert_eq!(entries(), 16, "counter is shared, not per-thread");
+        clear();
+    }
+
+    #[test]
+    fn handle_is_none_without_an_installation() {
+        clear();
+        assert!(handle().is_none());
+        // Adopting None is a per-thread clear.
+        install(FaultPlan::new().inject(0, FaultKind::Panic));
+        adopt(None);
         assert_eq!(next_entry().1, None);
         clear();
     }

@@ -64,6 +64,7 @@ pub mod arith;
 pub mod ematch;
 pub mod euf;
 pub mod fault;
+pub mod fingerprint;
 pub mod pre;
 pub mod rat;
 pub mod solver;
@@ -71,6 +72,7 @@ pub mod stats;
 pub mod term;
 
 pub use fault::{FaultKind, FaultPlan};
+pub use fingerprint::{Fingerprint, PROVER_VERSION};
 pub use solver::{Outcome, Problem};
 pub use stats::{Budget, ProverConfig, ProverStats, Resource, RetryPolicy};
 pub use term::{Formula, Sort, Term};

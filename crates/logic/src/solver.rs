@@ -181,6 +181,22 @@ impl Problem {
         self
     }
 
+    /// The obligation's stable structural fingerprint under this
+    /// problem's base budget ([`Problem::config`]) and the given retry
+    /// ladder — the proof-cache key. Symbol-independent (hashes symbol
+    /// strings with de-Bruijn-indexed binders, never interner ids) and
+    /// versioned by [`crate::fingerprint::PROVER_VERSION`]; see
+    /// [`crate::fingerprint`].
+    pub fn fingerprint(&self, retry: crate::stats::RetryPolicy) -> crate::fingerprint::Fingerprint {
+        crate::fingerprint::fingerprint_obligation(
+            &self.axioms,
+            &self.hyps,
+            self.goal.as_ref(),
+            &self.config,
+            retry,
+        )
+    }
+
     /// Attempts to prove `axioms ∧ hypotheses ⇒ goal` within the
     /// configured [`Budget`], stamping wall-clock time into the stats.
     ///

@@ -189,6 +189,14 @@ pub struct ProverStats {
     pub clauses: usize,
     /// Peak clause count over all rounds.
     pub max_clauses: usize,
+    /// Proof-cache hits: obligations answered from a cached conclusive
+    /// outcome without running the prover (see `stq_soundness::cache`).
+    pub cache_hits: u64,
+    /// Proof-cache misses: obligations that had to be proved.
+    pub cache_misses: u64,
+    /// Cached entries discarded as untrustworthy (written by a different
+    /// prover version or an unreadable format) when a cache was loaded.
+    pub cache_invalidations: u64,
     /// Wall-clock time of the proof attempt.
     pub wall: Duration,
 }
@@ -215,7 +223,21 @@ impl ProverStats {
         self.fm_eliminations += other.fm_eliminations;
         self.clauses = self.clauses.max(other.clauses);
         self.max_clauses = self.max_clauses.max(other.max_clauses);
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_invalidations += other.cache_invalidations;
         self.wall += other.wall;
+    }
+
+    /// This stats record with the wall-clock field zeroed — the form the
+    /// determinism tests compare, since wall time is the one counter a
+    /// deterministic prover cannot reproduce.
+    #[must_use]
+    pub fn without_wall(&self) -> ProverStats {
+        ProverStats {
+            wall: Duration::ZERO,
+            ..self.clone()
+        }
     }
 }
 
@@ -239,7 +261,15 @@ impl fmt::Display for ProverStats {
             self.clauses,
             self.max_clauses,
             self.wall,
-        )
+        )?;
+        if self.cache_hits > 0 || self.cache_misses > 0 || self.cache_invalidations > 0 {
+            write!(
+                f,
+                " cache={}hit/{}miss/{}stale",
+                self.cache_hits, self.cache_misses, self.cache_invalidations
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,442 @@
+//! The fingerprinted proof cache: incremental soundness checking.
+//!
+//! Every discharged obligation is keyed by its structural
+//! [`Fingerprint`] (axioms + hypotheses + goal with de-Bruijn-indexed
+//! binders, base budget, retry ladder, prover version — see
+//! [`stq_logic::fingerprint`]). Because the prover is deterministic, a
+//! *conclusive* outcome — `Proved` or `Refuted` — is a pure function of
+//! that key, so re-checking an unchanged qualifier is a hash lookup
+//! instead of a proof search. `ResourceOut` and `Crashed` outcomes are
+//! never cached: the former is what the retry ladder exists to re-run,
+//! the latter says nothing about the obligation.
+//!
+//! The cache is two-level:
+//!
+//! * an **in-memory map** behind a `RwLock`, shared by all workers of a
+//!   parallel run (reads take the read lock; the map is tiny compared to
+//!   a proof search, so contention is negligible);
+//! * an optional **on-disk store** (`stqc --cache-dir DIR`): one
+//!   versioned text file, loaded eagerly and rewritten by
+//!   [`ProofCache::persist`]. A file whose header names a different
+//!   [`PROVER_VERSION`] (or cannot be parsed) is **ignored, not
+//!   trusted**: its entries are counted as invalidations and every
+//!   obligation re-proves. Fingerprints embed the version too, so even a
+//!   hand-edited header cannot resurrect stale entries.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+use stq_logic::solver::Outcome;
+use stq_logic::{Fingerprint, PROVER_VERSION};
+
+/// The on-disk file name inside a `--cache-dir`.
+pub const CACHE_FILE: &str = "proofs.stqcache";
+/// The on-disk format version (independent of the prover version).
+pub const FORMAT_VERSION: &str = "v1";
+
+/// A cached conclusive proof outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CachedProof {
+    /// The obligation was proved.
+    Proved,
+    /// The search saturated; the candidate countermodel is replayed so a
+    /// cached refutation is as diagnosable as a fresh one.
+    Refuted {
+        /// Pretty-printed literals of the surviving assignment.
+        model: Vec<String>,
+    },
+}
+
+impl CachedProof {
+    /// Extracts the cacheable part of an outcome, if it is conclusive.
+    pub fn from_outcome(outcome: &Outcome) -> Option<CachedProof> {
+        match outcome {
+            Outcome::Proved { .. } => Some(CachedProof::Proved),
+            Outcome::Refuted { model, .. } => Some(CachedProof::Refuted {
+                model: model.clone(),
+            }),
+            Outcome::ResourceOut { .. } | Outcome::Crashed { .. } => None,
+        }
+    }
+}
+
+/// A concurrent, optionally disk-backed map from obligation fingerprints
+/// to conclusive proof outcomes. See the module docs for semantics.
+#[derive(Debug)]
+pub struct ProofCache {
+    mem: RwLock<HashMap<Fingerprint, CachedProof>>,
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl Default for ProofCache {
+    fn default() -> ProofCache {
+        ProofCache::in_memory()
+    }
+}
+
+impl ProofCache {
+    /// A purely in-memory cache (no disk backing).
+    pub fn in_memory() -> ProofCache {
+        ProofCache {
+            mem: RwLock::new(HashMap::new()),
+            dir: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// A disk-backed cache rooted at `dir` (created if missing). Any
+    /// existing store is loaded now; entries from a different prover
+    /// version or a malformed file are dropped and counted as
+    /// [`ProofCache::invalidations`].
+    ///
+    /// # Errors
+    ///
+    /// Only on filesystem errors (cannot create `dir`, cannot read an
+    /// existing store). A *stale or corrupt* store is not an error — it
+    /// is invalidated, which is the designed behaviour.
+    pub fn at_dir(dir: impl AsRef<Path>) -> io::Result<ProofCache> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let cache = ProofCache {
+            mem: RwLock::new(HashMap::new()),
+            dir: Some(dir.clone()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        };
+        let file = dir.join(CACHE_FILE);
+        if file.exists() {
+            let text = fs::read_to_string(&file)?;
+            cache.load_store(&text);
+        }
+        Ok(cache)
+    }
+
+    /// Parses a store file into the in-memory map, invalidating anything
+    /// untrustworthy.
+    fn load_store(&self, text: &str) {
+        let mut lines = text.lines();
+        let header_ok = lines.next().is_some_and(|header| {
+            let mut parts = header.split(' ');
+            parts.next() == Some("stq-proof-cache")
+                && parts.next() == Some(FORMAT_VERSION)
+                && parts.next() == Some(PROVER_VERSION)
+                && parts.next().is_none()
+        });
+        if !header_ok {
+            // Count what we refused to trust; `max(1)` so even an
+            // entry-less stale file registers as an invalidation.
+            let stale = text.lines().skip(1).filter(|l| !l.is_empty()).count() as u64;
+            self.invalidations.fetch_add(stale.max(1), Ordering::Relaxed);
+            return;
+        }
+        let mut map = self.mem.write().expect("cache lock");
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            match parse_entry(line) {
+                Some((fp, proof)) => {
+                    map.insert(fp, proof);
+                }
+                None => {
+                    self.invalidations.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Looks up a fingerprint, counting the hit or miss.
+    pub fn lookup(&self, fp: Fingerprint) -> Option<CachedProof> {
+        let found = self.mem.read().expect("cache lock").get(&fp).cloned();
+        match found {
+            Some(proof) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(proof)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Records a conclusive outcome under `fp`. Inconclusive outcomes
+    /// (`ResourceOut`, `Crashed`) are ignored.
+    pub fn record(&self, fp: Fingerprint, outcome: &Outcome) {
+        if let Some(proof) = CachedProof::from_outcome(outcome) {
+            self.mem.write().expect("cache lock").insert(fp, proof);
+        }
+    }
+
+    /// Writes the store file, when this cache is disk-backed. Call once
+    /// at the end of a run; entries accumulated in memory (including
+    /// those loaded at startup) are written atomically via a temp file.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors only.
+    pub fn persist(&self) -> io::Result<()> {
+        let Some(dir) = &self.dir else {
+            return Ok(());
+        };
+        let map = self.mem.read().expect("cache lock");
+        let mut out = format!("stq-proof-cache {FORMAT_VERSION} {PROVER_VERSION}\n");
+        let mut entries: Vec<_> = map.iter().collect();
+        entries.sort_by_key(|(fp, _)| **fp);
+        for (fp, proof) in entries {
+            match proof {
+                CachedProof::Proved => {
+                    out.push_str(&format!("{fp}\tP\n"));
+                }
+                CachedProof::Refuted { model } => {
+                    let joined: Vec<String> = model.iter().map(|s| escape(s)).collect();
+                    out.push_str(&format!("{fp}\tR\t{}\n", joined.join("\u{1f}")));
+                }
+            }
+        }
+        let tmp = dir.join(format!("{CACHE_FILE}.tmp.{}", std::process::id()));
+        fs::write(&tmp, out)?;
+        fs::rename(&tmp, dir.join(CACHE_FILE))
+    }
+
+    /// Number of cached entries currently in memory.
+    pub fn len(&self) -> usize {
+        self.mem.read().expect("cache lock").len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries refused at load time (version/format mismatch).
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// The backing directory, when disk-backed.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+}
+
+fn parse_entry(line: &str) -> Option<(Fingerprint, CachedProof)> {
+    let mut fields = line.split('\t');
+    let fp: Fingerprint = fields.next()?.parse().ok()?;
+    match fields.next()? {
+        "P" => fields.next().is_none().then_some((fp, CachedProof::Proved)),
+        "R" => {
+            let payload = fields.next().unwrap_or("");
+            let model = if payload.is_empty() {
+                Vec::new()
+            } else {
+                payload.split('\u{1f}').map(unescape).collect()
+            };
+            fields
+                .next()
+                .is_none()
+                .then_some((fp, CachedProof::Refuted { model }))
+        }
+        _ => None,
+    }
+}
+
+/// Escapes a countermodel line for the single-line store format.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\u{1f}' => out.push_str("\\u"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('u') => out.push('\u{1f}'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stq_logic::ProverStats;
+
+    fn fp(n: u128) -> Fingerprint {
+        Fingerprint(n)
+    }
+
+    fn proved() -> Outcome {
+        Outcome::Proved {
+            stats: ProverStats::default(),
+        }
+    }
+
+    fn refuted(model: &[&str]) -> Outcome {
+        Outcome::Refuted {
+            model: model.iter().map(|s| s.to_string()).collect(),
+            stats: ProverStats::default(),
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("stq-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let c = ProofCache::in_memory();
+        assert_eq!(c.lookup(fp(1)), None);
+        c.record(fp(1), &proved());
+        assert_eq!(c.lookup(fp(1)), Some(CachedProof::Proved));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn inconclusive_outcomes_are_never_cached() {
+        let c = ProofCache::in_memory();
+        c.record(
+            fp(2),
+            &Outcome::ResourceOut {
+                resource: stq_logic::Resource::Rounds,
+                stats: ProverStats::default(),
+            },
+        );
+        c.record(
+            fp(3),
+            &Outcome::Crashed {
+                message: "boom".into(),
+                stats: ProverStats::default(),
+            },
+        );
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn disk_round_trip_preserves_entries_and_models() {
+        let dir = tmpdir("roundtrip");
+        let c = ProofCache::at_dir(&dir).unwrap();
+        c.record(fp(10), &proved());
+        c.record(fp(11), &refuted(&["x = 1", "weird\tmodel\nline \\ with \u{1f} bytes"]));
+        c.persist().unwrap();
+
+        let reloaded = ProofCache::at_dir(&dir).unwrap();
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(reloaded.invalidations(), 0);
+        assert_eq!(reloaded.lookup(fp(10)), Some(CachedProof::Proved));
+        match reloaded.lookup(fp(11)) {
+            Some(CachedProof::Refuted { model }) => {
+                assert_eq!(model[0], "x = 1");
+                assert_eq!(model[1], "weird\tmodel\nline \\ with \u{1f} bytes");
+            }
+            other => panic!("expected refutation, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_prover_version_is_invalidated_not_trusted() {
+        let dir = tmpdir("stale");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join(CACHE_FILE),
+            format!(
+                "stq-proof-cache {FORMAT_VERSION} stq-prover-0.0.0-ancient\n\
+                 {}\tP\n{}\tP\n",
+                fp(7),
+                fp(8)
+            ),
+        )
+        .unwrap();
+        let c = ProofCache::at_dir(&dir).unwrap();
+        assert!(c.is_empty(), "stale entries must not load");
+        assert_eq!(c.invalidations(), 2);
+        assert_eq!(c.lookup(fp(7)), None, "stale entry is re-proved");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_lines_are_invalidated_individually() {
+        let dir = tmpdir("malformed");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join(CACHE_FILE),
+            format!(
+                "stq-proof-cache {FORMAT_VERSION} {PROVER_VERSION}\n\
+                 {}\tP\nnot-hex\tP\n{}\tX\n",
+                fp(20),
+                fp(21)
+            ),
+        )
+        .unwrap();
+        let c = ProofCache::at_dir(&dir).unwrap();
+        assert_eq!(c.len(), 1, "the good entry survives");
+        assert_eq!(c.invalidations(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_file_is_wholly_invalidated() {
+        let dir = tmpdir("garbage");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(CACHE_FILE), "not a cache file at all\n").unwrap();
+        let c = ProofCache::at_dir(&dir).unwrap();
+        assert!(c.is_empty());
+        assert!(c.invalidations() >= 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persist_without_dir_is_a_no_op() {
+        let c = ProofCache::in_memory();
+        c.record(fp(1), &proved());
+        assert!(c.persist().is_ok());
+        assert!(c.dir().is_none());
+    }
+
+    #[test]
+    fn escape_unescape_round_trips() {
+        for s in ["plain", "tab\there", "nl\nthere", "back\\slash", "\u{1f}sep"] {
+            assert_eq!(unescape(&escape(s)), s);
+        }
+    }
+}

@@ -3,11 +3,12 @@
 //! report per-obligation telemetry ([`stq_logic::ProverStats`]) plus
 //! aggregate totals ([`SoundnessReport`]).
 
-use crate::obligations::obligations_for;
+use crate::cache::{CachedProof, ProofCache};
+use crate::obligations::{obligations_for, Obligation};
 use std::fmt;
 use std::time::{Duration, Instant};
 use stq_logic::solver::Outcome;
-use stq_logic::{Budget, ProverStats, Resource, RetryPolicy};
+use stq_logic::{fault, Budget, ProverStats, Resource, RetryPolicy};
 use stq_qualspec::{QualifierDef, Registry};
 use stq_util::Symbol;
 
@@ -117,7 +118,8 @@ impl fmt::Display for QualReport {
             } else {
                 "FAILED"
             };
-            writeln!(f, "  [{status}] {}", o.description)?;
+            let cached = if o.stats.cache_hits > 0 { " (cached)" } else { "" };
+            writeln!(f, "  [{status}{cached}] {}", o.description)?;
             if let Some(message) = &o.crashed {
                 writeln!(f, "      panic: {message}")?;
             }
@@ -183,6 +185,22 @@ pub fn check_qualifier_retrying(
     budget: Budget,
     retry: RetryPolicy,
 ) -> QualReport {
+    check_qualifier_cached(registry, def, budget, retry, None)
+}
+
+/// [`check_qualifier_retrying`] with an optional [`ProofCache`]: each
+/// obligation is fingerprinted and looked up before any proof search
+/// runs. A hit replays the cached conclusive outcome with zero attempts
+/// ([`ObligationResult::attempts`] is 0 and `stats.cache_hits` is 1); a
+/// miss proves as usual, records the conclusive outcome, and marks
+/// `stats.cache_misses`.
+pub fn check_qualifier_cached(
+    registry: &Registry,
+    def: &QualifierDef,
+    budget: Budget,
+    retry: RetryPolicy,
+    cache: Option<&ProofCache>,
+) -> QualReport {
     let start = Instant::now();
     if def.invariant.is_none() {
         return QualReport {
@@ -192,65 +210,102 @@ pub fn check_qualifier_retrying(
             duration: start.elapsed(),
         };
     }
-    let mut results = Vec::new();
-    let mut any_refuted = false;
-    let mut any_out = false;
-    let mut any_crashed = false;
-    for mut ob in obligations_for(registry, def) {
-        let t0 = Instant::now();
-        let mut attempts = 0u32;
-        let mut total = ProverStats::default();
-        let outcome = loop {
-            attempts += 1;
-            ob.problem.config = retry.budget_for(budget, attempts);
-            let outcome = ob.problem.prove_isolated();
-            total.absorb(outcome.stats());
-            if outcome.is_resource_out() && attempts < retry.attempt_cap() {
-                continue;
-            }
-            break outcome;
-        };
-        let duration = t0.elapsed();
-        let proved = outcome.is_proved();
-        let (countermodel, resource, crashed) = match outcome {
-            Outcome::Proved { .. } => (Vec::new(), None, None),
-            Outcome::Refuted { model, .. } => {
-                any_refuted = true;
-                (model, None, None)
-            }
-            Outcome::ResourceOut { resource, .. } => {
-                any_out = true;
-                (Vec::new(), Some(resource), None)
-            }
-            Outcome::Crashed { message, .. } => {
-                any_crashed = true;
-                (Vec::new(), None, Some(message))
-            }
-        };
-        results.push(ObligationResult {
-            description: ob.description,
-            proved,
-            countermodel,
-            resource,
-            crashed,
-            attempts,
-            stats: total,
-            duration,
-        });
-    }
+    let results: Vec<ObligationResult> = obligations_for(registry, def)
+        .into_iter()
+        .map(|ob| discharge(ob, budget, retry, cache))
+        .collect();
     QualReport {
         qualifier: def.name,
-        verdict: if any_refuted {
-            Verdict::Unsound
-        } else if any_crashed {
-            Verdict::Crashed
-        } else if any_out {
-            Verdict::ResourceOut
-        } else {
-            Verdict::Sound
-        },
+        verdict: verdict_for(&results),
         obligations: results,
         duration: start.elapsed(),
+    }
+}
+
+/// Discharges one obligation: proof-cache lookup (when a cache is
+/// supplied), then the fault-isolated retry ladder, then cache recording
+/// of a conclusive outcome.
+fn discharge(
+    mut ob: Obligation,
+    budget: Budget,
+    retry: RetryPolicy,
+    cache: Option<&ProofCache>,
+) -> ObligationResult {
+    let t0 = Instant::now();
+    let fp = cache.map(|_| {
+        // Fingerprint under the *base* budget: the retry ladder is part
+        // of the key separately, so escalated attempts don't fragment it.
+        ob.problem.config = budget;
+        ob.problem.fingerprint(retry)
+    });
+    if let (Some(cache), Some(fp)) = (cache, fp) {
+        if let Some(proof) = cache.lookup(fp) {
+            let (proved, countermodel) = match proof {
+                CachedProof::Proved => (true, Vec::new()),
+                CachedProof::Refuted { model } => (false, model),
+            };
+            return ObligationResult {
+                description: ob.description,
+                proved,
+                countermodel,
+                resource: None,
+                crashed: None,
+                attempts: 0,
+                stats: ProverStats {
+                    cache_hits: 1,
+                    ..ProverStats::default()
+                },
+                duration: t0.elapsed(),
+            };
+        }
+    }
+    let mut attempts = 0u32;
+    let mut total = ProverStats::default();
+    let outcome = loop {
+        attempts += 1;
+        ob.problem.config = retry.budget_for(budget, attempts);
+        let outcome = ob.problem.prove_isolated();
+        total.absorb(outcome.stats());
+        if outcome.is_resource_out() && attempts < retry.attempt_cap() {
+            continue;
+        }
+        break outcome;
+    };
+    if let (Some(cache), Some(fp)) = (cache, fp) {
+        total.cache_misses += 1;
+        cache.record(fp, &outcome);
+    }
+    let proved = outcome.is_proved();
+    let (countermodel, resource, crashed) = match outcome {
+        Outcome::Proved { .. } => (Vec::new(), None, None),
+        Outcome::Refuted { model, .. } => (model, None, None),
+        Outcome::ResourceOut { resource, .. } => (Vec::new(), Some(resource), None),
+        Outcome::Crashed { message, .. } => (Vec::new(), None, Some(message)),
+    };
+    ObligationResult {
+        description: ob.description,
+        proved,
+        countermodel,
+        resource,
+        crashed,
+        attempts,
+        stats: total,
+        duration: t0.elapsed(),
+    }
+}
+
+/// The qualifier verdict implied by its obligation results: refutation
+/// outranks a crash outranks a budget exhaustion outranks soundness.
+fn verdict_for(results: &[ObligationResult]) -> Verdict {
+    let refuted = |o: &ObligationResult| !o.proved && o.crashed.is_none() && o.resource.is_none();
+    if results.iter().any(refuted) {
+        Verdict::Unsound
+    } else if results.iter().any(|o| o.crashed.is_some()) {
+        Verdict::Crashed
+    } else if results.iter().any(|o| o.resource.is_some()) {
+        Verdict::ResourceOut
+    } else {
+        Verdict::Sound
     }
 }
 
@@ -274,10 +329,14 @@ pub struct SoundnessReport {
     /// The escalation ladder the run used ([`RetryPolicy::none`] when
     /// retries were disabled).
     pub retry: RetryPolicy,
-    /// Aggregate prover work across all qualifiers and obligations.
+    /// Aggregate prover work across all qualifiers and obligations
+    /// (including proof-cache hit/miss/invalidation counters when the
+    /// run used a cache).
     pub totals: ProverStats,
     /// Total wall-clock time for the whole run.
     pub duration: Duration,
+    /// Worker threads the run was allowed (1 = sequential).
+    pub jobs: usize,
 }
 
 impl SoundnessReport {
@@ -293,14 +352,25 @@ impl SoundnessReport {
         self.reports.iter().map(|r| r.obligations.len()).sum()
     }
 
-    /// Total proof attempts across all obligations (> obligation count
-    /// exactly when the retry ladder re-ran something).
+    /// Total proof attempts across all obligations: more than the
+    /// obligation count when the retry ladder re-ran something, *less*
+    /// when the proof cache served obligations without any attempt.
     pub fn attempt_count(&self) -> u64 {
         self.reports
             .iter()
             .flat_map(|r| &r.obligations)
             .map(|o| u64::from(o.attempts))
             .sum()
+    }
+
+    /// Obligations that actually ran a proof search (attempts ≥ 1); the
+    /// rest were served from the proof cache.
+    pub fn reproved_count(&self) -> usize {
+        self.reports
+            .iter()
+            .flat_map(|r| &r.obligations)
+            .filter(|o| o.attempts > 0)
+            .count()
     }
 }
 
@@ -347,6 +417,120 @@ pub fn check_all_retrying(
         retry,
         totals,
         duration: start.elapsed(),
+        jobs: 1,
+    }
+}
+
+/// [`check_all_retrying`] over a work-stealing thread pool: the same
+/// obligations, discharged by up to `jobs` workers, reassembled into the
+/// same deterministic registry-ordered report. With `jobs <= 1` the run
+/// is exactly sequential (no pool, no worker threads).
+///
+/// Determinism: obligation-level results are index-addressed, so
+/// verdicts, obligation order, countermodels, attempts, and work
+/// counters are identical to the sequential run — only wall-clock fields
+/// (and, under fault injection, *which* solver entry draws a scheduled
+/// index) depend on scheduling. An installed [`fault`] plan is shared
+/// with the workers via [`fault::handle`]/[`fault::adopt`], so entry
+/// numbering stays global and an injected fault fires exactly once.
+pub fn check_all_parallel(
+    registry: &Registry,
+    budget: Budget,
+    retry: RetryPolicy,
+    jobs: usize,
+) -> SoundnessReport {
+    check_all_pipeline(registry, budget, retry, jobs, None)
+}
+
+/// The full pipeline: [`check_all_parallel`] plus an optional
+/// [`ProofCache`] consulted per obligation (see
+/// [`check_qualifier_cached`] for hit/miss semantics). The cache's
+/// load-time invalidation count is folded into
+/// [`SoundnessReport::totals`].
+pub fn check_all_pipeline(
+    registry: &Registry,
+    budget: Budget,
+    retry: RetryPolicy,
+    jobs: usize,
+    cache: Option<&ProofCache>,
+) -> SoundnessReport {
+    let defs: Vec<&QualifierDef> = registry.iter().collect();
+    check_defs_pipeline(registry, &defs, budget, retry, jobs, cache)
+}
+
+/// [`check_all_pipeline`] over an explicit subset of definitions (the
+/// CLI's `prove foo bar` path), in the given order.
+pub fn check_defs_pipeline(
+    registry: &Registry,
+    defs: &[&QualifierDef],
+    budget: Budget,
+    retry: RetryPolicy,
+    jobs: usize,
+    cache: Option<&ProofCache>,
+) -> SoundnessReport {
+    let start = Instant::now();
+    let jobs = jobs.max(1);
+    // Flatten to obligation-level tasks so one wide qualifier cannot
+    // serialise the pool; the (qualifier index, task index) pairing puts
+    // every result back in its deterministic slot afterwards.
+    let mut tasks: Vec<(usize, Obligation)> = Vec::new();
+    for (qi, def) in defs.iter().enumerate() {
+        if def.invariant.is_some() {
+            for ob in obligations_for(registry, def) {
+                tasks.push((qi, ob));
+            }
+        }
+    }
+    let fault_handle = fault::handle();
+    let results = stq_util::pool::run_indexed(
+        jobs,
+        tasks,
+        || fault::adopt(fault_handle.clone()),
+        |_, (qi, ob)| (qi, discharge(ob, budget, retry, cache)),
+    );
+    let mut per_qual: Vec<Vec<ObligationResult>> = defs.iter().map(|_| Vec::new()).collect();
+    for (qi, result) in results {
+        per_qual[qi].push(result);
+    }
+    let reports: Vec<QualReport> = defs
+        .iter()
+        .zip(per_qual)
+        .map(|(def, obligations)| {
+            if def.invariant.is_none() {
+                QualReport {
+                    qualifier: def.name,
+                    verdict: Verdict::NoInvariant,
+                    obligations: Vec::new(),
+                    duration: Duration::ZERO,
+                }
+            } else {
+                // Per-qualifier wall clock is meaningless when workers
+                // interleave qualifiers; report the obligations' summed
+                // proof time instead.
+                let duration = obligations.iter().map(|o| o.duration).sum();
+                QualReport {
+                    qualifier: def.name,
+                    verdict: verdict_for(&obligations),
+                    obligations,
+                    duration,
+                }
+            }
+        })
+        .collect();
+    let mut totals = ProverStats::default();
+    for r in &reports {
+        totals.absorb(&r.totals());
+    }
+    if let Some(cache) = cache {
+        totals.cache_invalidations += cache.invalidations();
+    }
+    SoundnessReport {
+        reports,
+        budget,
+        retry,
+        totals,
+        duration: start.elapsed(),
+        jobs,
     }
 }
 

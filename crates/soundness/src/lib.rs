@@ -37,13 +37,19 @@
 //! ```
 
 pub mod axioms;
+pub mod cache;
 pub mod checker;
 pub mod obligations;
 pub mod paper_encoding;
 
+pub use cache::{CachedProof, ProofCache};
 pub use checker::{
-    check_all, check_all_retrying, check_all_with, check_qualifier, check_qualifier_retrying,
+    check_all, check_all_parallel, check_all_pipeline, check_all_retrying, check_all_with,
+    check_defs_pipeline, check_qualifier, check_qualifier_cached, check_qualifier_retrying,
     check_qualifier_with, ObligationResult, QualReport, SoundnessReport, Verdict,
 };
 pub use obligations::{obligations_for, Obligation};
-pub use stq_logic::{fault, Budget, FaultKind, FaultPlan, ProverStats, Resource, RetryPolicy};
+pub use stq_logic::{
+    fault, Budget, FaultKind, FaultPlan, Fingerprint, ProverStats, Resource, RetryPolicy,
+    PROVER_VERSION,
+};

@@ -1,14 +1,34 @@
-//! Global string interning.
+//! Global string interning with contention-free reads.
 //!
 //! Identifiers, qualifier names, and function symbols appear everywhere in
 //! the typechecker and the prover; interning makes them `Copy` and makes
-//! equality a word comparison. The interner is a process-global table
-//! guarded by a mutex, which is plenty for a compiler front end: interning
-//! happens during parsing, while the hot paths (typechecking, proving) only
-//! compare and hash the already-interned ids.
+//! equality a word comparison. The table is written rarely (during
+//! parsing and obligation generation) but read constantly — every
+//! `Display` of a term during E-matching deduplication calls
+//! [`Symbol::as_str`] — and since PR 3 those reads happen concurrently
+//! from the parallel proving pool.
+//!
+//! The interner is therefore split into two structures:
+//!
+//! * an **append-only slab** mapping id → string, organised as fixed-size
+//!   chunks of `OnceLock<&'static str>` slots reachable through
+//!   `OnceLock`'d chunk pointers. Reads ([`Symbol::as_str`]) are two
+//!   atomic acquire-loads and never take a lock, so a thread pool
+//!   formatting terms cannot serialize on the interner;
+//! * **sharded write tables** (string → id), each a small mutex-guarded
+//!   map. Writers hash the string to pick a shard, so unrelated
+//!   interning calls proceed in parallel; ids are allocated from one
+//!   process-global atomic counter.
+//!
+//! A slot is published (with release ordering) *before* its id is
+//! returned from [`Symbol::intern`], so any thread that legitimately
+//! holds a `Symbol` — including one received across the proving pool's
+//! scope boundary — observes its string.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// An interned string.
@@ -30,19 +50,39 @@ use std::sync::{Mutex, OnceLock};
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Symbol(u32);
 
+const SHARD_BITS: usize = 4;
+const NUM_SHARDS: usize = 1 << SHARD_BITS;
+const CHUNK_BITS: usize = 10;
+const CHUNK_SIZE: usize = 1 << CHUNK_BITS;
+/// 4096 chunks × 1024 slots = 4M distinct symbols before overflow.
+const MAX_CHUNKS: usize = 1 << 12;
+
+type Chunk = [OnceLock<&'static str>; CHUNK_SIZE];
+
 struct Interner {
-    map: HashMap<&'static str, u32>,
-    strings: Vec<&'static str>,
+    /// id → string. Chunks are allocated on demand and never freed;
+    /// slots are written exactly once, before their id escapes.
+    chunks: [OnceLock<Box<Chunk>>; MAX_CHUNKS],
+    /// string → id, sharded by string hash to keep writers apart.
+    shards: [Mutex<HashMap<&'static str, u32>>; NUM_SHARDS],
+    /// The next unallocated id, shared by all shards.
+    next: AtomicU32,
 }
 
-fn interner() -> &'static Mutex<Interner> {
-    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
-    INTERNER.get_or_init(|| {
-        Mutex::new(Interner {
-            map: HashMap::new(),
-            strings: Vec::new(),
-        })
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(|| Interner {
+        chunks: [const { OnceLock::new() }; MAX_CHUNKS],
+        shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        next: AtomicU32::new(0),
     })
+}
+
+fn shard_of(s: &str) -> usize {
+    // A fixed (per-process) hasher: shard choice only balances lock
+    // contention, so it needs no DoS resistance or cross-run stability.
+    let h = BuildHasherDefault::<DefaultHasher>::default().hash_one(s);
+    (h as usize) & (NUM_SHARDS - 1)
 }
 
 impl Symbol {
@@ -51,21 +91,40 @@ impl Symbol {
     /// Interned strings are leaked into a process-global table; this is the
     /// usual compiler trade-off (identifiers live for the whole session).
     pub fn intern(s: &str) -> Symbol {
-        let mut table = interner().lock().expect("interner poisoned");
-        if let Some(&id) = table.map.get(s) {
+        let table = interner();
+        let mut shard = table.shards[shard_of(s)].lock().expect("interner poisoned");
+        if let Some(&id) = shard.get(s) {
             return Symbol(id);
         }
-        let id = u32::try_from(table.strings.len()).expect("interner overflow");
+        let id = table.next.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            (id as usize) < MAX_CHUNKS * CHUNK_SIZE,
+            "interner overflow: more than {} distinct symbols",
+            MAX_CHUNKS * CHUNK_SIZE
+        );
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-        table.strings.push(leaked);
-        table.map.insert(leaked, id);
+        // Publish the slot before the id can escape: everything that
+        // transitively receives this Symbol sees the string.
+        let chunk = table.chunks[id as usize >> CHUNK_BITS]
+            .get_or_init(|| Box::new([const { OnceLock::new() }; CHUNK_SIZE]));
+        chunk[id as usize & (CHUNK_SIZE - 1)]
+            .set(leaked)
+            .expect("freshly allocated id written twice");
+        shard.insert(leaked, id);
         Symbol(id)
     }
 
     /// Returns the interned string.
+    ///
+    /// Lock-free: two atomic acquire-loads (chunk pointer, then slot),
+    /// so concurrent readers never contend — the property the parallel
+    /// proving pool relies on.
     pub fn as_str(self) -> &'static str {
-        let table = interner().lock().expect("interner poisoned");
-        table.strings[self.0 as usize]
+        let id = self.0 as usize;
+        interner().chunks[id >> CHUNK_BITS]
+            .get()
+            .and_then(|chunk| chunk[id & (CHUNK_SIZE - 1)].get())
+            .expect("symbol id not present in the interner slab")
     }
 }
 
@@ -139,6 +198,45 @@ mod tests {
         let syms: Vec<Symbol> = names.iter().map(|n| Symbol::intern(n)).collect();
         for (n, s) in names.iter().zip(&syms) {
             assert_eq!(s.as_str(), n);
+        }
+    }
+
+    #[test]
+    fn enough_symbols_to_span_multiple_chunks_round_trip() {
+        // Force allocation past the first slab chunk so the chunk
+        // indexing math is exercised, not just slot 0..1023.
+        let names: Vec<String> = (0..(CHUNK_SIZE + 100)).map(|i| format!("chunky{i}")).collect();
+        let syms: Vec<Symbol> = names.iter().map(|n| Symbol::intern(n)).collect();
+        for (n, s) in names.iter().zip(&syms) {
+            assert_eq!(s.as_str(), n);
+        }
+    }
+
+    #[test]
+    fn concurrent_interning_and_reading_agree() {
+        // Hammer the interner from several threads with overlapping name
+        // sets: every thread must see one canonical id per string, and
+        // every as_str must round-trip.
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..500)
+                        .map(|i| {
+                            let name = format!("shared{}", (i + t * 37) % 300);
+                            let s = Symbol::intern(&name);
+                            assert_eq!(s.as_str(), name);
+                            (name, s)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut canonical: HashMap<String, Symbol> = HashMap::new();
+        for h in handles {
+            for (name, sym) in h.join().expect("no panic") {
+                let entry = canonical.entry(name).or_insert(sym);
+                assert_eq!(*entry, sym, "same string, same symbol, every thread");
+            }
         }
     }
 }

@@ -4,6 +4,9 @@
 //! every other crate in the workspace:
 //!
 //! * [`Symbol`] — cheap interned strings for identifiers and qualifier names,
+//!   with lock-free reads so parallel provers never contend on the table,
+//! * [`pool`] — a work-stealing scoped thread pool for embarrassingly
+//!   parallel batches (the soundness checker's proof obligations),
 //! * [`Span`] / [`Loc`] — byte-offset source locations for error reporting,
 //! * [`Diagnostic`] / [`Diagnostics`] — structured warnings and errors, in the
 //!   spirit of the paper's typechecker which "provides type errors to the
@@ -26,6 +29,7 @@
 
 pub mod diag;
 pub mod intern;
+pub mod pool;
 pub mod span;
 
 pub use diag::{Diagnostic, Diagnostics, Severity};

@@ -1,0 +1,218 @@
+//! A small work-stealing scoped thread pool.
+//!
+//! The soundness checker's proof obligations are mutually independent —
+//! the textbook embarrassingly-parallel workload — but their costs are
+//! wildly skewed (a reference qualifier's preservation obligation can be
+//! 100× a value qualifier's case obligation), so static chunking wastes
+//! wall-clock time. This module implements the classic remedy on plain
+//! `std`: each worker owns a deque of task indices, pops its own work
+//! LIFO, and *steals* FIFO from a sibling when it runs dry. The registry
+//! is unreachable from this build environment, so rather than pull in
+//! `crossbeam-deque` we keep the deques mutex-guarded — the lock is held
+//! for a push/pop of one `usize`, which is noise next to a proof attempt.
+//!
+//! Results are written back by task index, so the output order is the
+//! input order regardless of which worker ran what — the property the
+//! checker's determinism guarantee rests on.
+//!
+//! # Examples
+//!
+//! ```
+//! use stq_util::pool;
+//!
+//! let squares = pool::run_indexed(4, (0..100u64).collect(), || {}, |i, n| {
+//!     assert_eq!(i as u64, n);
+//!     n * n
+//! });
+//! assert_eq!(squares[7], 49);
+//! assert_eq!(squares.len(), 100);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// The number of workers to use when the caller does not specify:
+/// the machine's available parallelism, 1 if it cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Runs `run(index, task)` over every task on `jobs` workers and returns
+/// the results **in input order**.
+///
+/// `init` runs once on each worker thread before it takes any task —
+/// the hook the checker uses to propagate per-run context (the fault
+/// plan's shared entry counter) onto pool threads. With `jobs <= 1` (or
+/// fewer than two tasks) everything runs inline on the caller's thread
+/// and `init` is not called: the caller's thread already has its context.
+///
+/// # Panics
+///
+/// A panic in `run` is not contained here (callers that need isolation
+/// contain panics inside `run`, as the checker does via
+/// `prove_isolated`); it propagates out of the scope and poisons nothing
+/// because each task value is owned by the worker that took it.
+pub fn run_indexed<T, R, F, I>(jobs: usize, tasks: Vec<T>, init: I, run: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+    I: Fn() + Sync,
+{
+    let n = tasks.len();
+    if jobs <= 1 || n <= 1 {
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| run(i, t))
+            .collect();
+    }
+    let workers = jobs.min(n);
+    // Task payloads live in index-addressed slots so any worker can take
+    // any index; the deques move only indices.
+    let slots: Vec<Mutex<Option<T>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((0..n).filter(|i| i % workers == w).collect()))
+        .collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let slots = &slots;
+            let deques = &deques;
+            let results = &results;
+            let run = &run;
+            let init = &init;
+            scope.spawn(move || {
+                init();
+                while let Some(i) = next_task(deques, w) {
+                    if let Some(task) = slots[i].lock().expect("slot lock").take() {
+                        let r = run(i, task);
+                        *results[i].lock().expect("result lock") = Some(r);
+                    }
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result lock")
+                .expect("every task index was drained from some deque")
+        })
+        .collect()
+}
+
+/// Pops the next index for worker `w`: its own deque back-first (LIFO,
+/// cache-warm), then a sibling's front (FIFO steal — the oldest, and in
+/// a skewed workload typically the largest, waiting task). `None` means
+/// every deque is empty; since tasks never enqueue new tasks, that state
+/// is terminal and the worker can retire.
+fn next_task(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(i) = deques[w].lock().expect("deque lock").pop_back() {
+        return Some(i);
+    }
+    for offset in 1..deques.len() {
+        let victim = (w + offset) % deques.len();
+        if let Some(i) = deques[victim].lock().expect("deque lock").pop_front() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        for jobs in [1, 2, 4, 8] {
+            let out = run_indexed(jobs, (0..64usize).collect(), || {}, |i, t| {
+                assert_eq!(i, t);
+                t * 2
+            });
+            assert_eq!(out, (0..64).map(|t| t * 2).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = run_indexed(4, (0..257usize).collect(), || {}, |_, t| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            t
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+        assert_eq!(out.iter().copied().collect::<HashSet<_>>().len(), 257);
+    }
+
+    #[test]
+    fn init_runs_on_every_worker_thread() {
+        let inits = AtomicUsize::new(0);
+        run_indexed(
+            3,
+            (0..30usize).collect(),
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+            },
+            |_, t| t,
+        );
+        assert_eq!(inits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn single_job_runs_inline_without_init() {
+        let inits = AtomicUsize::new(0);
+        let main = std::thread::current().id();
+        let out = run_indexed(
+            1,
+            vec![1, 2, 3],
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+            },
+            |_, t| {
+                assert_eq!(std::thread::current().id(), main);
+                t * 10
+            },
+        );
+        assert_eq!(out, vec![10, 20, 30]);
+        assert_eq!(inits.load(Ordering::Relaxed), 0, "inline mode skips init");
+    }
+
+    #[test]
+    fn empty_and_tiny_task_lists_work() {
+        let none: Vec<u8> = run_indexed(4, Vec::new(), || {}, |_, t| t);
+        assert!(none.is_empty());
+        assert_eq!(run_indexed(4, vec![9], || {}, |_, t: u32| t + 1), vec![10]);
+    }
+
+    #[test]
+    fn more_jobs_than_tasks_is_fine() {
+        let out = run_indexed(16, (0..3usize).collect(), || {}, |_, t| t + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn skewed_workloads_complete_via_stealing() {
+        // One huge task up front; with round-robin distribution it lands
+        // on worker 0, and the rest must be stolen or run by siblings.
+        let out = run_indexed(4, (0..32u64).collect(), || {}, |_, t| {
+            if t == 0 {
+                // Busy-spin a little to force the skew.
+                let mut acc = 0u64;
+                for i in 0..2_000_000 {
+                    acc = acc.wrapping_add(i);
+                }
+                std::hint::black_box(acc);
+            }
+            t
+        });
+        assert_eq!(out.len(), 32);
+        assert_eq!(out[31], 31);
+    }
+}

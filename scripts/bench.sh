@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Soundness + prover benchmarks. Emits BENCH_soundness.json at the repo
+# root: obligations/sec for the sequential, parallel (jobs=4, cold), and
+# warm-cache pipeline modes, plus the cache hit/miss ledger of a cold vs
+# warm second run. See docs/performance.md for how to read the numbers.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo bench -p stq-bench --bench soundness_pipeline"
+cargo bench -p stq-bench --bench soundness_pipeline
+
+echo "==> cargo bench -p stq-bench --bench prove_qualifiers"
+cargo bench -p stq-bench --bench prove_qualifiers
+
+if [[ ! -f BENCH_soundness.json ]]; then
+    echo "bench.sh: BENCH_soundness.json was not produced" >&2
+    exit 1
+fi
+echo "==> BENCH_soundness.json"
+cat BENCH_soundness.json

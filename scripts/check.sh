@@ -14,4 +14,11 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> stqc single-threaded smoke (--jobs 1)"
+smoke_src="$(mktemp /tmp/stqc-smoke-XXXXXX.c)"
+trap 'rm -f "$smoke_src"' EXIT
+printf 'int pos one() { return (int pos) 1; }\n' > "$smoke_src"
+./target/release/stqc check --jobs 1 "$smoke_src"
+./target/release/stqc prove --jobs 1 pos
+
 echo "==> all checks passed"

@@ -16,6 +16,18 @@
 //! diverging: `--max-rounds N`, `--max-instantiations N`,
 //! `--max-decisions N`, `--max-clauses N`, `--timeout-ms N`.
 //!
+//! Performance flags (see `docs/performance.md`):
+//!
+//! * `--jobs N` proves obligations on up to `N` worker threads
+//!   (`0` or omitted = available parallelism; verdicts and report order
+//!   are independent of `N`). When a fault-injection flag is present and
+//!   `--jobs` is not, the run is single-threaded so the faulted solver
+//!   entry is deterministic.
+//! * `--cache-dir DIR` keeps a fingerprinted proof cache in `DIR`:
+//!   unchanged obligations (same rules, invariant, budget, retry ladder,
+//!   and prover version) are replayed from the cache instead of
+//!   re-proved.
+//!
 //! Robustness flags (see `docs/robustness.md`):
 //!
 //! * `--retry N` re-runs `ResourceOut` obligations up to `N` attempts
@@ -41,8 +53,8 @@ use std::fs;
 use std::process::ExitCode;
 use std::time::Duration;
 use stq_core::{
-    fault, Budget, CheckOptions, CheckStats, FaultKind, FaultPlan, ProverStats, QualReport,
-    Resource, RetryPolicy, Session, Value, Verdict,
+    fault, Budget, CheckOptions, CheckStats, FaultKind, FaultPlan, ProofCache, ProverStats,
+    QualReport, Resource, RetryPolicy, Session, Value, Verdict,
 };
 
 const USAGE: &str = "usage: stqc <prove|check|run|infer|tables|show> [options]\n\
@@ -119,6 +131,8 @@ struct Cli {
     flags: Vec<String>,
     budget: Budget,
     retry: RetryPolicy,
+    jobs: usize,
+    cache_dir: Option<String>,
 }
 
 /// Builds a session from builtins plus any `--quals FILE` definitions
@@ -132,9 +146,18 @@ fn session_from(args: &[String]) -> Result<Cli, CliError> {
     let mut budget = Budget::default();
     let mut retry = RetryPolicy::none();
     let mut plan = FaultPlan::new();
+    let mut jobs: Option<u64> = None;
+    let mut cache_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--cache-dir" => {
+                let path = args
+                    .get(i + 1)
+                    .ok_or_else(|| usage_err("--cache-dir needs a directory"))?;
+                cache_dir = Some(path.clone());
+                i += 2;
+            }
             "--quals" => {
                 let path = args
                     .get(i + 1)
@@ -154,7 +177,7 @@ fn session_from(args: &[String]) -> Result<Cli, CliError> {
                 i += 2;
             }
             flag @ ("--max-rounds" | "--max-instantiations" | "--max-decisions"
-            | "--max-clauses" | "--timeout-ms" | "--retry" | "--retry-factor"
+            | "--max-clauses" | "--timeout-ms" | "--retry" | "--retry-factor" | "--jobs"
             | "--fault-panic-at" | "--fault-resource-out-at" | "--fault-theory-at") => {
                 let value = args
                     .get(i + 1)
@@ -170,6 +193,7 @@ fn session_from(args: &[String]) -> Result<Cli, CliError> {
                     "--timeout-ms" => budget.timeout = Some(Duration::from_millis(n)),
                     "--retry" => retry.max_attempts = n.min(u64::from(u32::MAX)) as u32,
                     "--retry-factor" => retry.factor = n.min(u64::from(u32::MAX)) as u32,
+                    "--jobs" => jobs = Some(n),
                     "--fault-panic-at" => plan = plan.inject(n, FaultKind::Panic),
                     "--fault-resource-out-at" => plan = plan.inject(n, FaultKind::ResourceOut),
                     _ => plan = plan.inject(n, FaultKind::TheoryError),
@@ -186,9 +210,20 @@ fn session_from(args: &[String]) -> Result<Cli, CliError> {
             }
         }
     }
-    if !plan.is_empty() {
+    let fault_injected = !plan.is_empty();
+    if fault_injected {
         fault::install(plan);
     }
+    // `--jobs 0` (or no flag) means "auto": the machine's available
+    // parallelism — except under fault injection, where an unforced run
+    // stays single-threaded so the faulted solver entry is the Nth
+    // obligation deterministically, not whichever a worker reaches.
+    let jobs = match jobs {
+        Some(n) if n >= 1 => n.min(256) as usize,
+        Some(_) => stq_util::pool::default_jobs(),
+        None if fault_injected => 1,
+        None => stq_util::pool::default_jobs(),
+    };
     let wf = session.check_well_formed();
     if wf.has_errors() {
         return Err(input_err(format!("ill-formed qualifier definitions:\n{wf}")));
@@ -199,6 +234,8 @@ fn session_from(args: &[String]) -> Result<Cli, CliError> {
         flags,
         budget,
         retry,
+        jobs,
+        cache_dir,
     })
 }
 
@@ -281,7 +318,8 @@ fn prover_stats_json(s: &ProverStats) -> String {
         "{{\"rounds\":{},\"instantiations\":{},\"instantiations_by_trigger\":{{{}}},\
          \"ematch_candidates\":{},\"decisions\":{},\"propagations\":{},\"conflicts\":{},\
          \"theory_checks\":{},\"merges\":{},\"fm_eliminations\":{},\"clauses\":{},\
-         \"max_clauses\":{},\"wall_ms\":{}}}",
+         \"max_clauses\":{},\"cache_hits\":{},\"cache_misses\":{},\
+         \"cache_invalidations\":{},\"wall_ms\":{}}}",
         s.rounds,
         s.instantiations,
         triggers.join(","),
@@ -294,6 +332,9 @@ fn prover_stats_json(s: &ProverStats) -> String {
         s.fm_eliminations,
         s.clauses,
         s.max_clauses,
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_invalidations,
         json_ms(s.wall),
     )
 }
@@ -369,30 +410,66 @@ fn prove(args: &[String]) -> ExitCode {
         flags,
         budget,
         retry,
+        jobs,
+        cache_dir,
     } = match session_from(args) {
         Ok(x) => x,
         Err(e) => return fail(e),
     };
     let keep_going = has_flag(&flags, "--keep-going");
+    let cache = match &cache_dir {
+        Some(dir) => match ProofCache::at_dir(dir) {
+            Ok(c) => Some(c),
+            Err(e) => return fail(input_err(format!("cannot open cache dir {dir}: {e}"))),
+        },
+        None => None,
+    };
     let mut reports: Vec<QualReport> = Vec::new();
     match rest.first() {
-        Some(name) => match session.prove_sound_retrying(name, budget, retry) {
-            Some(r) => reports.push(r),
-            None => return fail(input_err(format!("unknown qualifier `{name}`"))),
-        },
+        Some(name) => {
+            match session.prove_named_pipeline(&[name.as_str()], budget, retry, jobs, cache.as_ref())
+            {
+                Ok(report) => reports.extend(report.reports),
+                Err(e) => return fail(input_err(e)),
+            }
+        }
+        None if keep_going || jobs > 1 => {
+            // The pipeline proves everything; without --keep-going the
+            // report is truncated after the first crashed qualifier so
+            // the output contract matches the sequential early stop.
+            let report = session.prove_all_sound_pipeline(budget, retry, jobs, cache.as_ref());
+            reports = report.reports;
+            if !keep_going {
+                if let Some(pos) = reports.iter().position(|r| r.verdict == Verdict::Crashed) {
+                    eprintln!(
+                        "stqc: qualifier `{}` crashed; stopping \
+                         (pass --keep-going to check the rest)",
+                        reports[pos].qualifier
+                    );
+                    reports.truncate(pos + 1);
+                }
+            }
+        }
         None => {
+            // Sequential without --keep-going: stop at the first crash
+            // before spending budget on the remaining qualifiers.
             let names: Vec<String> = session
                 .registry()
                 .iter()
                 .map(|d| d.name.to_string())
                 .collect();
             for name in &names {
-                let Some(r) = session.prove_sound_retrying(name, budget, retry) else {
+                let Ok(report) =
+                    session.prove_named_pipeline(&[name.as_str()], budget, retry, 1, cache.as_ref())
+                else {
+                    continue;
+                };
+                let Some(r) = report.reports.into_iter().next() else {
                     continue;
                 };
                 let crashed = r.verdict == Verdict::Crashed;
                 reports.push(r);
-                if crashed && !keep_going {
+                if crashed {
                     eprintln!(
                         "stqc: qualifier `{name}` crashed; stopping \
                          (pass --keep-going to check the rest)"
@@ -402,15 +479,35 @@ fn prove(args: &[String]) -> ExitCode {
             }
         }
     }
+    if let Some(cache) = &cache {
+        if let Err(e) = cache.persist() {
+            eprintln!("stqc: warning: could not persist the proof cache: {e}");
+        }
+    }
     let mut totals = ProverStats::default();
     for r in &reports {
         totals.absorb(&r.totals());
     }
+    if let Some(cache) = &cache {
+        totals.cache_invalidations += cache.invalidations();
+    }
     if has_flag(&flags, "--json") {
         let quals: Vec<String> = reports.iter().map(qual_report_json).collect();
+        let cache_json = match &cache {
+            Some(c) => format!(
+                "{{\"dir\":\"{}\",\"entries\":{},\"hits\":{},\"misses\":{},\
+                 \"invalidations\":{}}}",
+                json_escape(&cache_dir.unwrap_or_default()),
+                c.len(),
+                c.hits(),
+                c.misses(),
+                c.invalidations(),
+            ),
+            None => "null".to_owned(),
+        };
         println!(
-            "{{\"command\":\"prove\",\"budget\":{},\"retry\":{},\
-             \"qualifiers\":[{}],\"totals\":{}}}",
+            "{{\"command\":\"prove\",\"budget\":{},\"retry\":{},\"jobs\":{jobs},\
+             \"cache\":{cache_json},\"qualifiers\":[{}],\"totals\":{}}}",
             budget_json(&budget),
             retry_json(retry),
             quals.join(","),
@@ -424,7 +521,16 @@ fn prove(args: &[String]) -> ExitCode {
             }
         }
         if has_flag(&flags, "--stats") {
-            println!("totals: {totals}");
+            println!("totals: {totals} (jobs={jobs})");
+            if let Some(c) = &cache {
+                println!(
+                    "cache: {} hit(s), {} miss(es), {} invalidation(s), {} entrie(s)",
+                    c.hits(),
+                    c.misses(),
+                    c.invalidations(),
+                    c.len()
+                );
+            }
         }
     }
     if reports.iter().any(|r| r.verdict == Verdict::Unsound) {

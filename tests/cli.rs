@@ -402,3 +402,178 @@ fn shipped_extra_qualifiers_prove_sound() {
     assert!(stdout.contains("qualifier `digit`: sound"));
     assert!(stdout.contains("qualifier `kernel`: sound"));
 }
+
+// ----- parallel + incremental pipeline (docs/performance.md) -----
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("stqc-test-dir-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&path);
+    path
+}
+
+#[test]
+fn prove_with_jobs_reports_the_same_verdicts_as_sequential() {
+    let (seq, _, ok) = stqc(&["prove", "--jobs", "1", "--json"]);
+    assert!(ok, "{seq}");
+    let (par, _, ok) = stqc(&["prove", "--jobs", "4", "--json"]);
+    assert!(ok, "{par}");
+    assert!(seq.contains("\"jobs\":1"), "{seq}");
+    assert!(par.contains("\"jobs\":4"), "{par}");
+    // Same qualifiers, same order, same verdicts — scheduling never
+    // changes the report.
+    let extract = |s: &str| -> Vec<String> {
+        s.split("\"name\":\"")
+            .skip(1)
+            .map(|chunk| {
+                let name = chunk.split('"').next().unwrap().to_owned();
+                let verdict = chunk
+                    .split("\"verdict\":\"")
+                    .nth(1)
+                    .unwrap()
+                    .split('"')
+                    .next()
+                    .unwrap()
+                    .to_owned();
+                format!("{name}={verdict}")
+            })
+            .collect()
+    };
+    assert_eq!(extract(&seq), extract(&par));
+}
+
+#[test]
+fn prove_json_documents_jobs_and_cache_fields() {
+    let (stdout, _, ok) = stqc(&["prove", "nonnull", "--jobs", "2", "--json"]);
+    assert!(ok, "{stdout}");
+    assert_eq!(stdout.lines().count(), 1, "single-line JSON");
+    assert!(stdout.contains("\"jobs\":2"), "{stdout}");
+    assert!(stdout.contains("\"cache\":null"), "{stdout}");
+    assert!(stdout.contains("\"cache_hits\":0"), "{stdout}");
+}
+
+#[test]
+fn jobs_zero_means_auto() {
+    let (stdout, stderr, ok) = stqc(&["prove", "nonnull", "--jobs", "0", "--json"]);
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stdout.contains("\"jobs\":"), "{stdout}");
+}
+
+#[test]
+fn cache_dir_cold_run_misses_and_warm_run_hits_everything() {
+    let dir = temp_dir("cold-warm");
+    let dir_s = dir.to_str().unwrap();
+    let (cold, stderr, ok) = stqc(&["prove", "--cache-dir", dir_s, "--json"]);
+    assert!(ok, "{cold}\n{stderr}");
+    assert!(cold.contains("\"hits\":0"), "{cold}");
+    assert!(!cold.contains("\"misses\":0"), "cold run must miss: {cold}");
+    assert!(dir.join("proofs.stqcache").exists(), "cache persisted");
+
+    let (warm, stderr, ok) = stqc(&["prove", "--cache-dir", dir_s, "--json"]);
+    assert!(ok, "{warm}\n{stderr}");
+    assert!(warm.contains("\"misses\":0"), "warm run re-proves nothing: {warm}");
+    assert!(!warm.contains("\"hits\":0"), "{warm}");
+    // Every obligation came from the cache: zero attempts anywhere.
+    assert!(!warm.contains("\"attempts\":1"), "{warm}");
+    let (stats, _, ok) = stqc(&["prove", "--cache-dir", dir_s, "--stats"]);
+    assert!(ok);
+    assert!(stats.contains("cache:"), "{stats}");
+    assert!(stats.contains(" 0 miss(es)"), "{stats}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_key_includes_the_retry_ladder_and_interacts_with_keep_going() {
+    let dir = temp_dir("retry-key");
+    let dir_s = dir.to_str().unwrap();
+    let (_, _, ok) = stqc(&["prove", "--cache-dir", dir_s, "--retry", "3", "--keep-going"]);
+    assert!(ok);
+    // Same ladder: pure hits.
+    let (warm, _, ok) = stqc(&[
+        "prove",
+        "--cache-dir",
+        dir_s,
+        "--retry",
+        "3",
+        "--keep-going",
+        "--stats",
+    ]);
+    assert!(ok);
+    assert!(warm.contains(" 0 miss(es)"), "{warm}");
+    // A different ladder is a different fingerprint: everything misses.
+    let (other, _, ok) = stqc(&["prove", "--cache-dir", dir_s, "--retry", "4", "--stats"]);
+    assert!(ok);
+    assert!(other.contains(" 0 hit(s)"), "{other}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_cache_from_another_prover_version_is_invalidated() {
+    let dir = temp_dir("stale");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("proofs.stqcache"),
+        "stq-proof-cache v1 stq-prover-0.0.0-r0\nabc123\tP\n",
+    )
+    .unwrap();
+    let (stdout, stderr, ok) = stqc(&["prove", "--cache-dir", dir.to_str().unwrap(), "--json"]);
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stdout.contains("\"invalidations\":1"), "{stdout}");
+    assert!(stdout.contains("\"hits\":0"), "stale entries never hit: {stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cached_refutation_still_exits_unsound() {
+    let quals = temp_file(
+        "bad.q",
+        "value qualifier bad(int Expr E)
+            case E of
+                decl int Const C: C, where C >= 0
+            invariant value(E) > 0",
+    );
+    let dir = temp_dir("refuted");
+    let args = [
+        "prove",
+        "bad",
+        "--quals",
+        quals.to_str().unwrap(),
+        "--cache-dir",
+        dir.to_str().unwrap(),
+    ];
+    let (cold, _, code) = stqc_code(&args);
+    assert_eq!(code, Some(1), "{cold}");
+    assert!(cold.contains("countermodel"), "{cold}");
+    // The cached replay keeps the verdict, the countermodel, and the
+    // exit code.
+    let (warm, _, code) = stqc_code(&args);
+    assert_eq!(code, Some(1), "{warm}");
+    assert!(warm.contains("countermodel"), "{warm}");
+    assert!(warm.contains("(cached)"), "{warm}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fault_injection_under_parallel_jobs_crashes_exactly_one_obligation() {
+    let (stdout, _, code) = stqc_code(&[
+        "prove",
+        "--fault-panic-at",
+        "3",
+        "--jobs",
+        "4",
+        "--keep-going",
+        "--json",
+    ]);
+    assert_eq!(code, Some(4), "{stdout}");
+    assert_eq!(stdout.matches("\"verdict\":\"crashed\"").count(), 1);
+    assert_eq!(stdout.matches("injected panic").count(), 1);
+    // All eight qualifiers still reported under --keep-going.
+    assert_eq!(stdout.matches("\"verdict\":").count(), 8);
+}
+
+#[test]
+fn fault_injection_without_explicit_jobs_stays_sequential() {
+    // Deterministic fault targeting: entry 0 is pos's first obligation.
+    let (stdout, _, code) = stqc_code(&["prove", "pos", "--json", "--fault-panic-at", "0"]);
+    assert_eq!(code, Some(4), "{stdout}");
+    assert!(stdout.contains("\"jobs\":1"), "{stdout}");
+}

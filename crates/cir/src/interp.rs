@@ -70,6 +70,13 @@ pub enum RuntimeError {
     NullDeref(Span),
     /// Division or modulo by zero.
     DivByZero(Span),
+    /// Signed integer arithmetic left the representable range. The
+    /// qualifier invariants are proved over mathematical integers, so
+    /// executions are stopped at the point they leave that model instead
+    /// of silently wrapping into values the static rules never promised
+    /// anything about (a wrapped `pos * pos` can be negative — found by
+    /// `stqc fuzz`'s soundness oracle).
+    ArithOverflow(Span),
     /// An instrumented qualifier cast check failed (paper §2.1.3).
     CheckFailed {
         /// The qualifier whose invariant was violated.
@@ -93,6 +100,8 @@ pub enum RuntimeError {
     Unbound(Symbol, Span),
     /// The step budget was exhausted (runaway loop).
     OutOfFuel,
+    /// The call-depth budget was exhausted (runaway recursion).
+    StackOverflow,
     /// A construct the interpreter does not model.
     Unsupported(String, Span),
     /// The program has no entry point.
@@ -104,6 +113,7 @@ impl fmt::Display for RuntimeError {
         match self {
             RuntimeError::NullDeref(s) => write!(f, "null dereference at {s}"),
             RuntimeError::DivByZero(s) => write!(f, "division by zero at {s}"),
+            RuntimeError::ArithOverflow(s) => write!(f, "integer overflow at {s}"),
             RuntimeError::CheckFailed { qual, span, value } => write!(
                 f,
                 "run-time check for qualifier `{qual}` failed on value {value} at {span}"
@@ -116,6 +126,7 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::Unbound(n, s) => write!(f, "unbound variable `{n}` at {s}"),
             RuntimeError::OutOfFuel => f.write_str("execution step budget exhausted"),
+            RuntimeError::StackOverflow => f.write_str("call-depth budget exhausted"),
             RuntimeError::Unsupported(what, s) => write!(f, "unsupported: {what} at {s}"),
             RuntimeError::NoEntry(n) => write!(f, "no entry function `{n}`"),
         }
@@ -160,12 +171,18 @@ pub struct ExecOutcome {
 pub struct InterpConfig {
     /// Maximum executed instructions before [`RuntimeError::OutOfFuel`].
     pub max_steps: u64,
+    /// Maximum nested call depth before [`RuntimeError::StackOverflow`].
+    /// Each interpreted call consumes host stack frames, so this bound is
+    /// what keeps runaway recursion a reportable error instead of a host
+    /// stack overflow.
+    pub max_call_depth: u64,
 }
 
 impl Default for InterpConfig {
     fn default() -> InterpConfig {
         InterpConfig {
             max_steps: 2_000_000,
+            max_call_depth: 192,
         }
     }
 }
@@ -205,6 +222,7 @@ pub fn run_entry(
         globals: HashMap::new(),
         global_types: HashMap::new(),
         steps: 0,
+        depth: 0,
         config,
         outcome: ExecOutcome::default(),
     };
@@ -266,6 +284,7 @@ struct Interp<'a> {
     globals: HashMap<Symbol, u64>,
     global_types: HashMap<Symbol, QualType>,
     steps: u64,
+    depth: u64,
     config: InterpConfig,
     outcome: ExecOutcome,
 }
@@ -282,17 +301,36 @@ impl Interp<'_> {
 
     fn alloc(&mut self, cells: u64) -> u64 {
         let addr = self.next_addr;
-        self.next_addr += cells.max(1);
+        // A hostile `malloc(huge)` must not wrap the address counter back
+        // over live cells (or 0, which would alias NULL); saturating at
+        // the top of the address space merely aliases fresh allocations
+        // with each other, which the logical memory model tolerates.
+        self.next_addr = self.next_addr.saturating_add(cells.max(1));
         addr
     }
 
     /// Size of a type in cells (one per scalar).
     fn size_of(&self, ty: &QualType) -> u64 {
+        self.size_of_bounded(ty, 64)
+    }
+
+    /// `size_of` with a recursion budget: a struct that (transitively)
+    /// contains itself by value has no finite layout, and following the
+    /// cycle would overflow the host stack. Past the budget each
+    /// remaining level counts as one cell.
+    fn size_of_bounded(&self, ty: &QualType, budget: u32) -> u64 {
         match &ty.ty {
-            Ty::Base(BaseTy::Struct(tag)) => self
+            Ty::Base(BaseTy::Struct(tag)) if budget > 0 => self
                 .program
                 .struct_def(*tag)
-                .map(|s| s.fields.iter().map(|(_, t)| self.size_of(t)).sum())
+                .map(|s| {
+                    s.fields
+                        .iter()
+                        .fold(0u64, |acc, (_, t)| {
+                            acc.saturating_add(self.size_of_bounded(t, budget - 1))
+                        })
+                        .max(1)
+                })
                 .unwrap_or(1),
             _ => 1,
         }
@@ -300,12 +338,12 @@ impl Interp<'_> {
 
     fn field_offset(&self, tag: Symbol, field: Symbol) -> Option<(u64, QualType)> {
         let def = self.program.struct_def(tag)?;
-        let mut off = 0;
+        let mut off: u64 = 0;
         for (name, ty) in &def.fields {
             if *name == field {
                 return Some((off, ty.clone()));
             }
-            off += self.size_of(ty);
+            off = off.saturating_add(self.size_of(ty));
         }
         None
     }
@@ -323,13 +361,19 @@ impl Interp<'_> {
         args: Vec<Value>,
         _call_span: Span,
     ) -> Result<Option<Value>, RuntimeError> {
+        if self.depth >= self.config.max_call_depth {
+            return Err(RuntimeError::StackOverflow);
+        }
+        self.depth += 1;
         let mut frame = Frame::new();
         for ((name, ty), value) in func.sig.params.iter().zip(args) {
             let addr = self.alloc(1);
             self.mem.insert(addr, value);
             frame.declare(*name, addr, ty.clone());
         }
-        match self.exec_block(&mut frame, &func.body)? {
+        let flow = self.exec_block(&mut frame, &func.body);
+        self.depth -= 1;
+        match flow? {
             Flow::Return(v) => Ok(v),
             Flow::Normal => Ok(None),
         }
@@ -489,7 +533,7 @@ impl Interp<'_> {
                 Value::Int(0) => return Ok(out),
                 Value::Int(c) => {
                     out.push(char::from_u32((c & 0xff) as u32).unwrap_or('?'));
-                    addr += 1;
+                    addr = addr.wrapping_add(1);
                 }
                 Value::Ptr(_) => return Ok(out),
             }
@@ -601,7 +645,7 @@ impl Interp<'_> {
                 let (off, _) = self.field_offset(tag, *f).ok_or_else(|| {
                     RuntimeError::Unsupported(format!("unknown field {f} of struct {tag}"), lv.span)
                 })?;
-                Ok(base + off)
+                Ok(base.wrapping_add(off))
             }
         }
     }
@@ -655,9 +699,11 @@ impl Interp<'_> {
             ExprKind::StrLit(s) => {
                 let addr = self.alloc(s.len() as u64 + 1);
                 for (i, b) in s.bytes().enumerate() {
-                    self.mem.insert(addr + i as u64, Value::Int(i64::from(b)));
+                    self.mem
+                        .insert(addr.wrapping_add(i as u64), Value::Int(i64::from(b)));
                 }
-                self.mem.insert(addr + s.len() as u64, Value::Int(0));
+                self.mem
+                    .insert(addr.wrapping_add(s.len() as u64), Value::Int(0));
                 Ok(Value::Ptr(addr))
             }
             ExprKind::SizeOf(ty) => Ok(Value::Int(self.size_of(ty) as i64)),
@@ -673,7 +719,10 @@ impl Interp<'_> {
             ExprKind::Unop(op, a) => {
                 let v = self.eval(frame, a)?;
                 match (op, v) {
-                    (UnOp::Neg, Value::Int(x)) => Ok(Value::Int(x.wrapping_neg())),
+                    (UnOp::Neg, Value::Int(x)) => x
+                        .checked_neg()
+                        .map(Value::Int)
+                        .ok_or(RuntimeError::ArithOverflow(e.span)),
                     (UnOp::Not, v) => Ok(Value::Int(i64::from(!v.is_truthy()))),
                     (UnOp::BitNot, Value::Int(x)) => Ok(Value::Int(!x)),
                     _ => Err(RuntimeError::Unsupported(
@@ -710,17 +759,31 @@ impl Interp<'_> {
     fn binop(&self, op: BinOp, a: Value, b: Value, span: Span) -> Result<Value, RuntimeError> {
         use Value::{Int, Ptr};
         match (op, a, b) {
-            (BinOp::Add, Int(x), Int(y)) => Ok(Int(x.wrapping_add(y))),
+            // Int arithmetic is checked, not wrapping: the invariants the
+            // typechecker relies on are proved over mathematical integers,
+            // so leaving the representable range stops execution with
+            // `ArithOverflow` rather than wrapping into values the static
+            // derivation rules never covered. Pointer arithmetic below
+            // stays wrapping — addresses live in a logical mod-2^64 space.
+            (BinOp::Add, Int(x), Int(y)) => checked(x.checked_add(y), span),
             (BinOp::Add, Ptr(p), Int(i)) => Ok(Ptr(p.wrapping_add_signed(i))),
             (BinOp::Add, Int(i), Ptr(p)) => Ok(Ptr(p.wrapping_add_signed(i))),
-            (BinOp::Sub, Int(x), Int(y)) => Ok(Int(x.wrapping_sub(y))),
-            (BinOp::Sub, Ptr(p), Int(i)) => Ok(Ptr(p.wrapping_add_signed(-i))),
-            (BinOp::Sub, Ptr(p), Ptr(q)) => Ok(Int(p as i64 - q as i64)),
-            (BinOp::Mul, Int(x), Int(y)) => Ok(Int(x.wrapping_mul(y))),
+            (BinOp::Sub, Int(x), Int(y)) => checked(x.checked_sub(y), span),
+            // `i as u64` is the two's-complement image of `i`, so
+            // `wrapping_sub` computes `p - i` mod 2^64 for every `i`
+            // including `i64::MIN` (whose negation does not exist — the
+            // old `wrapping_add_signed(-i)` panicked on it in debug
+            // builds, found by `stqc fuzz`).
+            (BinOp::Sub, Ptr(p), Int(i)) => Ok(Ptr(p.wrapping_sub(i as u64))),
+            (BinOp::Sub, Ptr(p), Ptr(q)) => Ok(Int(p.wrapping_sub(q) as i64)),
+            (BinOp::Mul, Int(x), Int(y)) => checked(x.checked_mul(y), span),
             (BinOp::Div, Int(_), Int(0)) => Err(RuntimeError::DivByZero(span)),
-            (BinOp::Div, Int(x), Int(y)) => Ok(Int(x.wrapping_div(y))),
+            // `checked_div`/`checked_rem` also catch `i64::MIN / -1`,
+            // whose quotient is unrepresentable (a debug-build panic as
+            // plain `/` — found by `stqc fuzz`).
+            (BinOp::Div, Int(x), Int(y)) => checked(x.checked_div(y), span),
             (BinOp::Mod, Int(_), Int(0)) => Err(RuntimeError::DivByZero(span)),
-            (BinOp::Mod, Int(x), Int(y)) => Ok(Int(x.wrapping_rem(y))),
+            (BinOp::Mod, Int(x), Int(y)) => checked(x.checked_rem(y), span),
             (BinOp::Eq, x, y) => Ok(Int(i64::from(raw(x) == raw(y)))),
             (BinOp::Ne, x, y) => Ok(Int(i64::from(raw(x) != raw(y)))),
             (BinOp::Lt, x, y) => Ok(Int(i64::from(raw(x) < raw(y)))),
@@ -733,6 +796,12 @@ impl Interp<'_> {
             )),
         }
     }
+}
+
+/// Maps a checked signed-arithmetic result to a value, with `None` (the
+/// mathematical result is unrepresentable) becoming [`RuntimeError::ArithOverflow`].
+fn checked(r: Option<i64>, span: Span) -> Result<Value, RuntimeError> {
+    r.map(Value::Int).ok_or(RuntimeError::ArithOverflow(span))
 }
 
 /// Raw numeric view of a value for comparisons (pointers compare by
@@ -987,8 +1056,126 @@ mod tests {
     #[test]
     fn infinite_loop_runs_out_of_fuel() {
         let p = parse_program("void f() { while (1) { } }", &[]).unwrap();
-        let e = run_entry(&p, "f", &[], &NoChecks, InterpConfig { max_steps: 1000 }).unwrap_err();
+        let config = InterpConfig {
+            max_steps: 1000,
+            ..InterpConfig::default()
+        };
+        let e = run_entry(&p, "f", &[], &NoChecks, config).unwrap_err();
         assert_eq!(e, RuntimeError::OutOfFuel);
+    }
+
+    #[test]
+    fn runaway_recursion_is_a_runtime_error_not_a_host_crash() {
+        let p = parse_program("int f(int x) { int r = f(x + 1); return r; }", &[]).unwrap();
+        let e = run_entry(&p, "f", &[Value::Int(0)], &NoChecks, InterpConfig::default())
+            .unwrap_err();
+        assert_eq!(e, RuntimeError::StackOverflow);
+    }
+
+    #[test]
+    fn ptr_minus_int_min_wraps_instead_of_panicking() {
+        // `p - i64::MIN`: negating the subtrahend does not exist in i64,
+        // so the subtraction must wrap in u64 space. Found by `stqc fuzz`.
+        let out = run(
+            "int* f() {
+                 int x = 7;
+                 int* p = &x;
+                 int* q = p - (0 - 9223372036854775807 - 1);
+                 return q;
+             }",
+            "f",
+            &[],
+        )
+        .unwrap();
+        let Some(Value::Ptr(q)) = out.ret else {
+            panic!("expected a pointer, got {:?}", out.ret)
+        };
+        // p - MIN  ==  p + 2^63 (mod 2^64).
+        assert_eq!(q & (1 << 63), 1 << 63);
+    }
+
+    #[test]
+    fn ptr_minus_ptr_wraps_instead_of_overflowing() {
+        // The difference of two addresses can exceed i64 when computed as
+        // `p as i64 - q as i64`; it must be taken mod 2^64 first. Found
+        // by `stqc fuzz`.
+        let out = run(
+            "int f() {
+                 int x = 1;
+                 int* a = &x;
+                 int* b = a + 9223372036854775807;
+                 int d = a - b;
+                 return d;
+             }",
+            "f",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(out.ret, Some(Value::Int(i64::MIN + 1)));
+    }
+
+    #[test]
+    fn int_overflow_is_a_runtime_error_not_a_silent_wrap() {
+        // `pos * pos` is statically `pos`; a wrapped product can be
+        // negative, which would falsify the proven invariant at run time.
+        // Execution must stop at the overflow instead. Found by `stqc
+        // fuzz`'s soundness oracle.
+        let e = run(
+            "int f(int x) { int y = x * x; return y; }",
+            "f",
+            &[Value::Int(4_000_000_000)],
+        )
+        .unwrap_err();
+        assert!(matches!(e, RuntimeError::ArithOverflow(_)), "{e}");
+    }
+
+    #[test]
+    fn int_min_negation_and_division_overflow_are_runtime_errors() {
+        // `i64::MIN / -1` and `-i64::MIN` are unrepresentable; as plain
+        // `/` and `-` they panic in debug builds. Found by `stqc fuzz`.
+        for src in [
+            "int f(int x) { int y = x / (0 - 1); return y; }",
+            "int f(int x) { int y = x % (0 - 1); return y; }",
+            "int f(int x) { int y = -x; return y; }",
+        ] {
+            let e = run(src, "f", &[Value::Int(i64::MIN)]).unwrap_err();
+            assert!(matches!(e, RuntimeError::ArithOverflow(_)), "{src}: {e}");
+        }
+    }
+
+    #[test]
+    fn huge_malloc_saturates_the_address_space() {
+        // Two back-to-back huge allocations would overflow the bump
+        // allocator's counter in debug builds; saturation keeps execution
+        // alive (fresh allocations may alias at the top of the address
+        // space, which the logical memory model tolerates).
+        let out = run(
+            "int f() {
+                 int* a = malloc(9223372036854775807);
+                 int* b = malloc(9223372036854775807);
+                 int* c = malloc(8);
+                 if (a == b) { return 0 - 1; }
+                 return 1;
+             }",
+            "f",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(out.ret, Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn self_referential_struct_size_is_finite() {
+        // A struct containing itself by value has no finite layout; the
+        // bounded size computation must not recurse forever.
+        let out = run(
+            "struct s { struct s inner; int v; };
+             int f() { return sizeof(struct s); }",
+            "f",
+            &[],
+        )
+        .unwrap();
+        assert!(matches!(out.ret, Some(Value::Int(n)) if n > 0));
     }
 
     #[test]

@@ -186,7 +186,17 @@ pub fn expr_to_string(e: &Expr) -> String {
         ExprKind::Null => "NULL".to_owned(),
         ExprKind::Lval(lv) => lval_to_string(lv),
         ExprKind::AddrOf(lv) => format!("&{}", lval_to_string(lv)),
-        ExprKind::Unop(op, a) => format!("{op}{}", atom(a)),
+        ExprKind::Unop(op, a) => {
+            // A negative-literal operand renders starting with `-`; left
+            // bare it would fuse with a `-` operator into an unparseable
+            // `--` token (found by `stqc fuzz`'s round-trip oracle).
+            let inner = atom(a);
+            if inner.starts_with('-') {
+                format!("{op}({inner})")
+            } else {
+                format!("{op}{inner}")
+            }
+        }
         ExprKind::Binop(op, a, b) => format!("{} {op} {}", atom(a), atom(b)),
         ExprKind::Cast(ty, a) => format!("({ty}) {}", atom(a)),
         ExprKind::SizeOf(ty) => format!("sizeof({ty})"),

@@ -142,7 +142,7 @@ proptest! {
     fn interpreter_is_deterministic_and_total(seed in any::<u64>()) {
         let src = random_source(seed);
         let program = parse_program(&src, QUALS).expect("generated source parses");
-        let config = InterpConfig { max_steps: 50_000 };
+        let config = InterpConfig { max_steps: 50_000, ..InterpConfig::default() };
         let run = || {
             run_entry(&program, "f0", &[Value::Int(1), Value::Int(2), Value::Int(3)],
                       &NoChecks, config)

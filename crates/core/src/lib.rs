@@ -48,7 +48,7 @@
 pub mod session;
 
 pub use session::Session;
-pub use stq_cir::interp::{ExecOutcome, RuntimeError, Value};
+pub use stq_cir::interp::{ExecOutcome, InterpConfig, RuntimeError, Value};
 pub use stq_cir::parse::ParseError;
 pub use stq_qualspec::{parse::SpecError, Registry};
 pub use stq_soundness::{

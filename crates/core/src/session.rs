@@ -300,6 +300,34 @@ impl Session {
             InterpConfig::default(),
         )
     }
+
+    /// Inserts run-time invariant *observations* after every statically
+    /// qualified definition point (initialized declarations, assignments,
+    /// parameters, returns) — the executable form of the paper's §5
+    /// soundness property, used by the differential fuzzer's soundness
+    /// oracle.
+    pub fn observe(&self, program: &Program) -> Program {
+        stq_typecheck::observe_program(&self.registry, program)
+    }
+
+    /// Observes `program` (see [`Session::observe`]) and runs `entry` on
+    /// the interpreter with the given limits.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`]; a [`RuntimeError::CheckFailed`] from a
+    /// cleanly checked cast-free program is a soundness violation.
+    pub fn run_observed(
+        &self,
+        program: &Program,
+        entry: &str,
+        args: &[Value],
+        config: InterpConfig,
+    ) -> Result<ExecOutcome, RuntimeError> {
+        let observed = self.observe(program);
+        let checker = InvariantChecker::new(&self.registry);
+        run_entry(&observed, entry, args, &checker, config)
+    }
 }
 
 #[cfg(test)]

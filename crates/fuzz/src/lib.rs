@@ -1,0 +1,315 @@
+//! Differential fuzzing harness for the semantic-qualifier pipeline.
+//!
+//! The harness closes the loop the rest of the suite leaves open: the
+//! prover shows each qualifier's rules sound against its declared
+//! invariant, the typechecker applies those rules, and the interpreter
+//! executes programs — but nothing cross-checks the three against each
+//! other. This crate generates well-typed C-subset programs
+//! ([`gen`]), optionally perturbs them with qualifier-aware mutations
+//! ([`mutate`]), and runs every program through three oracles
+//! ([`oracle`]) that encode the paper's end-to-end claims:
+//!
+//! 1. **Soundness** — a cleanly checked, cast-free program never
+//!    violates a proven qualifier's invariant at run time.
+//! 2. **Instrumentation** — a cast's run-time check fires exactly when
+//!    the cast-to invariant fails dynamically.
+//! 3. **Round-trip** — pretty-print → reparse → re-typecheck yields the
+//!    identical program and verdict.
+//!
+//! Any disagreement is shrunk to a minimal witness ([`shrink`]) and
+//! reported; host panics anywhere in the pipeline are contained per
+//! case and reported the same way. Runs are deterministic: the verdict
+//! for `(seed, count)` is identical regardless of `jobs`, because each
+//! case derives its own RNG from the base seed and results come back in
+//! input order from the work-stealing pool.
+
+pub mod gen;
+pub mod mutate;
+pub mod oracle;
+pub mod shrink;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stq_cir::pretty::program_to_string;
+use stq_core::Session;
+use stq_util::pool;
+
+pub use gen::GenConfig;
+pub use oracle::{CaseResult, Divergence, Oracle, Outcome};
+pub use shrink::Target;
+
+/// Salt separating the mutation RNG stream from the generation stream.
+const MUTATE_SALT: u64 = 0x6d75_7461_7465_2121;
+
+/// Per-case seed: golden-ratio spacing keeps neighbouring cases'
+/// generator streams uncorrelated while staying a pure function of
+/// `(base, index)` — the determinism-across-`jobs` property rests on it.
+fn case_seed(base: u64, index: usize) -> u64 {
+    base.wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Fuzz campaign parameters.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Base seed; every case seed derives from it.
+    pub seed: u64,
+    /// Number of programs to generate and check.
+    pub count: usize,
+    /// Worker threads (1 = inline).
+    pub jobs: usize,
+    /// Probability that a generated program is mutated before checking.
+    pub mutate_prob: f64,
+    /// Program-shape knobs passed to the generator.
+    pub gen: GenConfig,
+    /// Predicate-evaluation budget for shrinking each witness.
+    pub shrink_budget: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            seed: 0,
+            count: 100,
+            jobs: 1,
+            mutate_prob: 0.5,
+            gen: GenConfig::default(),
+            shrink_budget: 400,
+        }
+    }
+}
+
+/// One case's report.
+#[derive(Clone, Debug)]
+pub struct CaseReport {
+    /// Case index within the campaign.
+    pub index: usize,
+    /// Descriptions of applied mutations (empty = pristine generation).
+    pub mutations: Vec<String>,
+    /// Whether the static checker accepted the program cleanly.
+    pub clean: bool,
+    /// Casts the checker saw.
+    pub casts: usize,
+    /// The oracle battery's verdict.
+    pub outcome: Outcome,
+}
+
+/// Campaign summary.
+#[derive(Clone, Debug)]
+pub struct FuzzReport {
+    /// Cases executed.
+    pub executed: usize,
+    /// Cases where every applicable oracle agreed.
+    pub passes: usize,
+    /// Cases the static checker accepted cleanly.
+    pub clean: usize,
+    /// Cases that were mutated before checking.
+    pub mutated: usize,
+    /// Divergences and panics, in case order, witnesses minimized.
+    pub failures: Vec<CaseReport>,
+}
+
+impl FuzzReport {
+    /// True when no oracle diverged and nothing panicked.
+    pub fn is_clean_run(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs a fuzz campaign. Deterministic for a given `(seed, count)`
+/// whatever `jobs` is; each case runs in its own [`Session`] with panics
+/// contained, so one poisoned case cannot take down the campaign.
+pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
+    let indices: Vec<usize> = (0..config.count).collect();
+    let reports = pool::run_indexed(config.jobs, indices, || {}, |_, i| run_one(config, i));
+    let mut summary = FuzzReport {
+        executed: reports.len(),
+        passes: 0,
+        clean: 0,
+        mutated: 0,
+        failures: Vec::new(),
+    };
+    for r in reports {
+        if r.clean {
+            summary.clean += 1;
+        }
+        if !r.mutations.is_empty() {
+            summary.mutated += 1;
+        }
+        match r.outcome {
+            Outcome::Pass => summary.passes += 1,
+            _ => summary.failures.push(r),
+        }
+    }
+    summary
+}
+
+/// Replays one corpus program through the full oracle battery, with the
+/// same panic containment as a fuzz case.
+pub fn replay_source(source: &str) -> CaseResult {
+    let owned = source.to_owned();
+    match catch_unwind(AssertUnwindSafe(|| {
+        let session = Session::with_builtins();
+        oracle::run_case(&session, &owned)
+    })) {
+        Ok(result) => result,
+        Err(payload) => CaseResult {
+            clean: false,
+            casts: 0,
+            outcome: Outcome::Panicked {
+                message: panic_message(payload),
+                source: source.to_owned(),
+            },
+        },
+    }
+}
+
+fn run_one(config: &FuzzConfig, index: usize) -> CaseReport {
+    match catch_unwind(AssertUnwindSafe(|| case_pipeline(config, index))) {
+        Ok(report) => report,
+        Err(payload) => {
+            let message = panic_message(payload);
+            // Rebuild the case deterministically to shrink the panic
+            // witness; if even that panics, fall back to no witness.
+            let source = catch_unwind(AssertUnwindSafe(|| panic_witness(config, index)))
+                .unwrap_or_default();
+            CaseReport {
+                index,
+                mutations: Vec::new(),
+                clean: false,
+                casts: 0,
+                outcome: Outcome::Panicked { message, source },
+            }
+        }
+    }
+}
+
+fn case_pipeline(config: &FuzzConfig, index: usize) -> CaseReport {
+    let seed = case_seed(config.seed, index);
+    let session = Session::with_builtins();
+    let source = gen::generate_source(seed, &config.gen);
+    let mut rng = StdRng::seed_from_u64(seed ^ MUTATE_SALT);
+    let mut program = match session.parse(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            return CaseReport {
+                index,
+                mutations: Vec::new(),
+                clean: false,
+                casts: 0,
+                outcome: Outcome::Diverged(Divergence {
+                    oracle: Oracle::Generator,
+                    detail: format!("generated source does not parse: {e}"),
+                    source,
+                }),
+            }
+        }
+    };
+    let mutations = if rng.gen_bool(config.mutate_prob) {
+        mutate::mutate(&mut program, &mut rng)
+    } else {
+        Vec::new()
+    };
+    let mut result = oracle::run_oracles(&session, &program);
+    if let Outcome::Diverged(d) = &mut result.outcome {
+        let minimized = shrink::shrink(
+            &session,
+            &program,
+            Target::Diverges(d.oracle),
+            config.shrink_budget,
+        );
+        d.source = program_to_string(&minimized);
+    }
+    CaseReport {
+        index,
+        mutations,
+        clean: result.clean,
+        casts: result.casts,
+        outcome: result.outcome,
+    }
+}
+
+/// Re-derives the program a panicking case was checking and shrinks it
+/// while it keeps panicking.
+fn panic_witness(config: &FuzzConfig, index: usize) -> String {
+    let seed = case_seed(config.seed, index);
+    let session = Session::with_builtins();
+    let source = gen::generate_source(seed, &config.gen);
+    let mut rng = StdRng::seed_from_u64(seed ^ MUTATE_SALT);
+    let Ok(mut program) = session.parse(&source) else {
+        return source;
+    };
+    if rng.gen_bool(config.mutate_prob) {
+        mutate::mutate(&mut program, &mut rng);
+    }
+    if !shrink::reproduces(&session, &program, Target::Panics) {
+        return program_to_string(&program);
+    }
+    let minimized = shrink::shrink(&session, &program, Target::Panics, config.shrink_budget);
+    program_to_string(&minimized)
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdicts_are_identical_across_job_counts() {
+        let mut base: Option<String> = None;
+        for jobs in [1, 4, 8] {
+            let report = run_fuzz(&FuzzConfig {
+                count: 24,
+                jobs,
+                ..FuzzConfig::default()
+            });
+            let rendered = format!("{report:?}");
+            match &base {
+                None => base = Some(rendered),
+                Some(b) => assert_eq!(b, &rendered, "jobs={jobs} changed the verdict"),
+            }
+        }
+    }
+
+    #[test]
+    fn a_bounded_campaign_finds_no_divergences() {
+        let report = run_fuzz(&FuzzConfig {
+            count: 60,
+            jobs: 4,
+            ..FuzzConfig::default()
+        });
+        assert_eq!(report.executed, 60);
+        assert!(
+            report.is_clean_run(),
+            "unexpected failures: {:#?}",
+            report.failures
+        );
+        assert!(report.clean > 0, "campaign never produced a clean program");
+        assert!(report.mutated > 0, "campaign never mutated a program");
+    }
+
+    #[test]
+    fn replay_runs_the_full_battery_on_raw_source() {
+        let ok = replay_source("int pos f(int pos a1) { int pos v1 = a1 * 2; return v1; }");
+        assert!(ok.clean);
+        assert!(matches!(ok.outcome, Outcome::Pass));
+        let bad = replay_source("int f( {");
+        assert!(matches!(
+            bad.outcome,
+            Outcome::Diverged(Divergence {
+                oracle: Oracle::Generator,
+                ..
+            })
+        ));
+    }
+}

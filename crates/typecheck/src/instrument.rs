@@ -186,6 +186,192 @@ fn collect_lvalue(registry: &Registry, lv: &Lvalue, out: &mut Vec<(Symbol, Expr)
     }
 }
 
+/// Returns a copy of `program` with a [`InstrKind::RuntimeCheck`]
+/// *observation* after every point where the static discipline claims a
+/// value-qualified variable holds: initialized declarations, assignments
+/// and call results targeting a qualified variable, function entry (for
+/// qualified parameters), and qualified returns (checked before the
+/// `return`). Together with [`InvariantChecker`] this turns the paper's
+/// §5 soundness property into an executable oracle: a cleanly checked,
+/// cast-free program must pass every observation.
+///
+/// Only directly named variables are observed (not `*p` or field
+/// targets), and only declarations *with* initializers — the paper's
+/// flow-insensitive system does not claim anything about uninitialized
+/// memory (§5 lists it as a known unsoundness source in C).
+///
+/// # Examples
+///
+/// ```
+/// use stq_qualspec::Registry;
+/// use stq_cir::parse::parse_program;
+/// use stq_typecheck::observe_program;
+///
+/// let registry = Registry::builtins();
+/// let program = parse_program(
+///     "int pos f(int pos x) { int pos y = x + 1; return y; }",
+///     &registry.names(),
+/// ).unwrap();
+/// let observed = observe_program(&registry, &program);
+/// // Entry check on x, post-init check on y, pre-return check on y.
+/// assert_eq!(observed.funcs[0].body.len(), 5);
+/// ```
+pub fn observe_program(registry: &Registry, program: &Program) -> Program {
+    let mut out = program.clone();
+    let globals: HashMap<Symbol, QualType> = program
+        .globals
+        .iter()
+        .map(|g| (g.name, g.ty.clone()))
+        .collect();
+    for f in &mut out.funcs {
+        let mut obs = Observer {
+            registry,
+            ret: f.sig.ret.clone(),
+            scopes: vec![globals.clone()],
+        };
+        obs.scopes
+            .push(f.sig.params.iter().cloned().collect::<HashMap<_, _>>());
+        let mut body = Vec::with_capacity(f.body.len() + f.sig.params.len());
+        for (name, ty) in &f.sig.params {
+            for q in observed_quals(registry, ty) {
+                body.push(check_stmt(q, var_expr(*name), f.span));
+            }
+        }
+        for s in &f.body {
+            obs.stmt(s, &mut body);
+        }
+        f.body = body;
+    }
+    out
+}
+
+/// The value qualifiers on `ty` whose declared invariants are dynamically
+/// observable.
+fn observed_quals(registry: &Registry, ty: &QualType) -> Vec<Symbol> {
+    ty.quals
+        .iter()
+        .copied()
+        .filter(|q| {
+            registry
+                .get(*q)
+                .is_some_and(|def| def.kind == QualKind::Value && def.invariant.is_some())
+        })
+        .collect()
+}
+
+fn var_expr(name: Symbol) -> Expr {
+    Expr::lval(Lvalue::new(LvalKind::Var(name)))
+}
+
+fn check_stmt(qual: Symbol, e: Expr, span: stq_util::Span) -> Stmt {
+    Stmt {
+        kind: StmtKind::Instr(Instr {
+            kind: InstrKind::RuntimeCheck(qual, e),
+            span,
+        }),
+        span,
+    }
+}
+
+struct Observer<'a> {
+    registry: &'a Registry,
+    ret: QualType,
+    /// Innermost scope last: variable → declared type.
+    scopes: Vec<HashMap<Symbol, QualType>>,
+}
+
+impl Observer<'_> {
+    fn lookup(&self, name: Symbol) -> Option<&QualType> {
+        self.scopes.iter().rev().find_map(|s| s.get(&name))
+    }
+
+    /// Observation checks for a store into `lv`, if it names a variable.
+    fn store_checks(&self, lv: &Lvalue, out: &mut Vec<Stmt>, span: stq_util::Span) {
+        if let LvalKind::Var(name) = &lv.kind {
+            if let Some(ty) = self.lookup(*name) {
+                for q in observed_quals(self.registry, ty) {
+                    out.push(check_stmt(q, var_expr(*name), span));
+                }
+            }
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt, out: &mut Vec<Stmt>) {
+        match &stmt.kind {
+            StmtKind::Instr(i) => {
+                out.push(stmt.clone());
+                match &i.kind {
+                    InstrKind::Set(lv, _) | InstrKind::Alloc(lv, _) => {
+                        self.store_checks(lv, out, stmt.span);
+                    }
+                    InstrKind::Call(Some(lv), _, _) => self.store_checks(lv, out, stmt.span),
+                    InstrKind::Call(None, _, _) | InstrKind::RuntimeCheck(..) => {}
+                }
+            }
+            StmtKind::Decl(d) => {
+                out.push(stmt.clone());
+                if d.init.is_some() {
+                    for q in observed_quals(self.registry, &d.ty) {
+                        out.push(check_stmt(q, var_expr(d.name), stmt.span));
+                    }
+                }
+                self.scopes
+                    .last_mut()
+                    .expect("observer always has a scope")
+                    .insert(d.name, d.ty.clone());
+            }
+            StmtKind::Return(Some(e)) => {
+                for q in observed_quals(self.registry, &self.ret) {
+                    out.push(check_stmt(q, e.clone(), stmt.span));
+                }
+                out.push(stmt.clone());
+            }
+            StmtKind::Return(None) => out.push(stmt.clone()),
+            StmtKind::Block(inner) => {
+                self.scopes.push(HashMap::new());
+                let mut new_inner = Vec::with_capacity(inner.len());
+                for s in inner {
+                    self.stmt(s, &mut new_inner);
+                }
+                self.scopes.pop();
+                out.push(Stmt {
+                    kind: StmtKind::Block(new_inner),
+                    span: stmt.span,
+                });
+            }
+            StmtKind::If(cond, then, els) => {
+                let then = Box::new(self.one(then));
+                let els = els.as_ref().map(|e| Box::new(self.one(e)));
+                out.push(Stmt {
+                    kind: StmtKind::If(cond.clone(), then, els),
+                    span: stmt.span,
+                });
+            }
+            StmtKind::While(cond, body) => {
+                let body = Box::new(self.one(body));
+                out.push(Stmt {
+                    kind: StmtKind::While(cond.clone(), body),
+                    span: stmt.span,
+                });
+            }
+        }
+    }
+
+    fn one(&mut self, stmt: &Stmt) -> Stmt {
+        self.scopes.push(HashMap::new());
+        let mut tmp = Vec::new();
+        self.stmt(stmt, &mut tmp);
+        self.scopes.pop();
+        match tmp.len() {
+            1 => tmp.pop().expect("len checked"),
+            _ => Stmt {
+                kind: StmtKind::Block(tmp),
+                span: stmt.span,
+            },
+        }
+    }
+}
+
 /// Evaluates value-qualifier invariants dynamically, for executing
 /// instrumented programs on the interpreter.
 ///
@@ -391,6 +577,77 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(e2, RuntimeError::CheckFailed { .. }));
+    }
+
+    fn run_observed(src: &str, entry: &str, args: &[Value]) -> Result<usize, RuntimeError> {
+        let r = registry();
+        let p = parse_program(src, &r.names()).expect("parse");
+        let observed = observe_program(&r, &p);
+        let checker = InvariantChecker::new(&r);
+        run_entry(&observed, entry, args, &checker, InterpConfig::default())
+            .map(|out| out.checks_passed)
+    }
+
+    #[test]
+    fn observation_covers_decls_params_sets_and_returns() {
+        let n = run_observed(
+            "int pos bump(int pos x) {
+                 int pos y = x + 1;
+                 y = y * 2;
+                 return y;
+             }",
+            "bump",
+            &[Value::Int(3)],
+        )
+        .unwrap();
+        // Entry check on x, post-init on y, post-assignment on y,
+        // pre-return on the returned expression.
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn observation_catches_a_dynamically_violated_invariant() {
+        // Not statically clean (plain x flows into pos y) — the point is
+        // that the observer *sees* the violation the checker reported.
+        let e = run_observed(
+            "int f(int x) { int pos y = x; return y; }",
+            "f",
+            &[Value::Int(0)],
+        )
+        .unwrap_err();
+        assert!(matches!(e, RuntimeError::CheckFailed { qual, .. }
+            if qual.as_str() == "pos"));
+    }
+
+    #[test]
+    fn observation_skips_uninitialized_declarations() {
+        // `int pos y;` reads as 0 until assigned; the flow-insensitive
+        // system claims nothing about it, so no observation fires.
+        let n = run_observed(
+            "int f() { int pos y; return 0; }",
+            "f",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn observation_respects_block_scoping() {
+        // The inner unqualified `v` shadows nothing qualified; the outer
+        // qualified `v` is observed on both stores.
+        let n = run_observed(
+            "int f() {
+                 int pos v = 1;
+                 { int v2 = 0; v2 = v2 + 1; }
+                 v = v + 1;
+                 return v;
+             }",
+            "f",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(n, 2);
     }
 
     #[test]

@@ -42,4 +42,4 @@ pub use check::{check_program, check_program_with, CheckOptions, CheckResult, Ch
 pub use env::{StaticTy, TypeEnv};
 pub use infer::{Bindings, Bound, Inference};
 pub use inferann::{infer_annotations, AnnotationInference, Site};
-pub use instrument::{instrument_program, InvariantChecker};
+pub use instrument::{instrument_program, observe_program, InvariantChecker};

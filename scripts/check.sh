@@ -21,4 +21,10 @@ printf 'int pos one() { return (int pos) 1; }\n' > "$smoke_src"
 ./target/release/stqc check --jobs 1 "$smoke_src"
 ./target/release/stqc prove --jobs 1 pos
 
+echo "==> stqc fuzz smoke (fixed seed, bounded)"
+./target/release/stqc fuzz --seed 0 --count 100 --jobs 2
+
+echo "==> stqc fuzz corpus replay"
+./target/release/stqc fuzz --replay tests/corpus
+
 echo "==> all checks passed"

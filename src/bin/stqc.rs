@@ -9,6 +9,8 @@
 //! stqc infer --qual NAME FILE.c          infer annotations
 //! stqc tables [--stats] [--json]         regenerate Tables 1 and 2
 //! stqc show [--quals FILE] [NAME]        print qualifier definitions
+//! stqc fuzz [--seed N] [--count N] [--jobs N] [--max-depth N] [--json]
+//!           [--replay DIR]               differential fuzzing
 //! ```
 //!
 //! Budget flags (`prove` only) bound the prover so a pathological
@@ -57,7 +59,7 @@ use stq_core::{
     QualReport, Resource, RetryPolicy, Session, Value, Verdict,
 };
 
-const USAGE: &str = "usage: stqc <prove|check|run|infer|tables|show> [options]\n\
+const USAGE: &str = "usage: stqc <prove|check|run|infer|tables|show|fuzz> [options]\n\
                      see the README and docs/telemetry.md for details";
 
 fn main() -> ExitCode {
@@ -69,6 +71,7 @@ fn main() -> ExitCode {
         Some("infer") => infer(&args[1..]),
         Some("tables") => tables(&args[1..]),
         Some("show") => show(&args[1..]),
+        Some("fuzz") => fuzz(&args[1..]),
         Some("--help") | Some("-h") => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -746,6 +749,227 @@ fn show(args: &[String]) -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+    }
+}
+
+// ----- fuzz -----
+
+/// `stqc fuzz`: run a differential fuzzing campaign (see
+/// `docs/testing.md`), or with `--replay DIR` re-run every `.c` witness
+/// in a corpus directory through the oracle battery. Exit codes: 0 all
+/// oracles agreed, 1 a divergence was found, 2 usage, 4 a host panic
+/// escaped the pipeline.
+fn fuzz(args: &[String]) -> ExitCode {
+    use stq_fuzz::{run_fuzz, FuzzConfig, Outcome};
+
+    let mut config = FuzzConfig {
+        count: 200,
+        jobs: stq_util::pool::default_jobs(),
+        ..FuzzConfig::default()
+    };
+    let mut json = false;
+    let mut replay_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--replay" => {
+                let Some(dir) = args.get(i + 1) else {
+                    return fail(usage_err("--replay needs a directory"));
+                };
+                replay_dir = Some(dir.clone());
+                i += 2;
+            }
+            flag @ ("--seed" | "--count" | "--jobs" | "--max-depth") => {
+                let Some(value) = args.get(i + 1) else {
+                    return fail(usage_err(format!("{flag} needs a number")));
+                };
+                let Ok(n) = value.parse::<u64>() else {
+                    return fail(usage_err(format!("{flag}: `{value}` is not a number")));
+                };
+                match flag {
+                    "--seed" => config.seed = n,
+                    "--count" => config.count = n as usize,
+                    "--jobs" => {
+                        config.jobs = if n == 0 {
+                            stq_util::pool::default_jobs()
+                        } else {
+                            n.min(256) as usize
+                        }
+                    }
+                    _ => config.gen.max_depth = n.min(8) as u32,
+                }
+                i += 2;
+            }
+            other => {
+                return fail(usage_err(format!("fuzz: unknown argument `{other}`")));
+            }
+        }
+    }
+
+    if let Some(dir) = replay_dir {
+        return fuzz_replay(&dir, json);
+    }
+
+    let report = run_fuzz(&config);
+    let mut panicked = false;
+    if json {
+        let failures: Vec<String> = report
+            .failures
+            .iter()
+            .map(|f| {
+                let (kind, detail, source) = match &f.outcome {
+                    Outcome::Diverged(d) => {
+                        (format!("{}", d.oracle), d.detail.clone(), d.source.clone())
+                    }
+                    Outcome::Panicked { message, source } => {
+                        ("panic".to_owned(), message.clone(), source.clone())
+                    }
+                    Outcome::Pass => unreachable!("passes are not failures"),
+                };
+                let mutations: Vec<String> = f
+                    .mutations
+                    .iter()
+                    .map(|m| format!("\"{}\"", json_escape(m)))
+                    .collect();
+                format!(
+                    "{{\"index\":{},\"kind\":\"{}\",\"detail\":\"{}\",\
+                     \"mutations\":[{}],\"source\":\"{}\"}}",
+                    f.index,
+                    json_escape(&kind),
+                    json_escape(&detail),
+                    mutations.join(","),
+                    json_escape(&source),
+                )
+            })
+            .collect();
+        println!(
+            "{{\"command\":\"fuzz\",\"seed\":{},\"count\":{},\"executed\":{},\
+             \"passes\":{},\"clean\":{},\"mutated\":{},\"failures\":[{}]}}",
+            config.seed,
+            config.count,
+            report.executed,
+            report.passes,
+            report.clean,
+            report.mutated,
+            failures.join(","),
+        );
+    } else {
+        println!(
+            "fuzz: seed {}, {} case(s): {} pass(es), {} clean, {} mutated, {} failure(s)",
+            config.seed,
+            report.executed,
+            report.passes,
+            report.clean,
+            report.mutated,
+            report.failures.len(),
+        );
+    }
+    for f in &report.failures {
+        match &f.outcome {
+            Outcome::Diverged(d) => {
+                eprintln!(
+                    "stqc: case {}: {} oracle diverged: {}\n--- minimized witness ---\n{}",
+                    f.index, d.oracle, d.detail, d.source
+                );
+            }
+            Outcome::Panicked { message, source } => {
+                panicked = true;
+                eprintln!(
+                    "stqc: case {}: host panic: {message}\n--- witness ---\n{source}",
+                    f.index
+                );
+            }
+            Outcome::Pass => {}
+        }
+    }
+    if panicked {
+        ExitCode::from(EXIT_CRASH)
+    } else if report.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_UNSOUND)
+    }
+}
+
+/// Replays every `*.c` file under `dir` (sorted by name, so output order
+/// is stable) through the oracle battery.
+fn fuzz_replay(dir: &str, json: bool) -> ExitCode {
+    use stq_fuzz::{replay_source, Outcome};
+
+    let mut files: Vec<std::path::PathBuf> = match fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "c"))
+            .collect(),
+        Err(e) => return fail(input_err(format!("cannot read {dir}: {e}"))),
+    };
+    files.sort();
+    if files.is_empty() {
+        return fail(input_err(format!("no .c files under {dir}")));
+    }
+    let mut diverged = 0usize;
+    let mut panicked = 0usize;
+    let mut rows = Vec::new();
+    for path in &files {
+        let name = path.file_name().map_or_else(
+            || path.display().to_string(),
+            |n| n.to_string_lossy().into_owned(),
+        );
+        let source = match fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => return fail(input_err(format!("cannot read {}: {e}", path.display()))),
+        };
+        let result = replay_source(&source);
+        let verdict = match &result.outcome {
+            Outcome::Pass => "pass".to_owned(),
+            Outcome::Diverged(d) => {
+                diverged += 1;
+                eprintln!("stqc: {name}: {} oracle diverged: {}", d.oracle, d.detail);
+                format!("{} divergence", d.oracle)
+            }
+            Outcome::Panicked { message, .. } => {
+                panicked += 1;
+                eprintln!("stqc: {name}: host panic: {message}");
+                "panic".to_owned()
+            }
+        };
+        if json {
+            rows.push(format!(
+                "{{\"file\":\"{}\",\"verdict\":\"{}\",\"clean\":{},\"casts\":{}}}",
+                json_escape(&name),
+                json_escape(&verdict),
+                result.clean,
+                result.casts,
+            ));
+        } else {
+            println!("{name}: {verdict}");
+        }
+    }
+    if json {
+        println!(
+            "{{\"command\":\"fuzz-replay\",\"dir\":\"{}\",\"cases\":{},\
+             \"divergences\":{diverged},\"panics\":{panicked},\"results\":[{}]}}",
+            json_escape(dir),
+            files.len(),
+            rows.join(","),
+        );
+    } else {
+        println!(
+            "replay: {} case(s), {diverged} divergence(s), {panicked} panic(s)",
+            files.len()
+        );
+    }
+    if panicked > 0 {
+        ExitCode::from(EXIT_CRASH)
+    } else if diverged > 0 {
+        ExitCode::from(EXIT_UNSOUND)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

@@ -1,0 +1,8 @@
+// The §2.1.3 contract end-to-end: a cast's run-time check must fire
+// exactly when the cast-to invariant fails dynamically. The fabricated
+// entry argument is 0, so `(int pos)` fails its check at run time; the
+// instrumentation oracle verifies the real run stops at precisely the
+// violation a recording run logged (same qualifier, same value).
+int pos f(int a) {
+    return (int pos) a;
+}

@@ -1,0 +1,11 @@
+// Regression: `i64::MIN / -1` has an unrepresentable quotient and used
+// to panic the host in debug builds; it is now an integer overflow
+// runtime error. The denominator is written `(-1)` so the `nonzero`
+// restrict on `/` is discharged statically (negation of `pos` derives
+// `neg`, hence `nonzero`) and the program stays clean. Found by
+// `stqc fuzz`.
+int f() {
+    int m = (0 - 9223372036854775807) - 1;
+    int r = m / (-1);
+    return r;
+}

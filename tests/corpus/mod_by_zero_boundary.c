@@ -1,0 +1,10 @@
+// Boundary, not a bug: the builtin `nonzero` qualifier restricts only
+// `E1 / E2` — there is no rule for `%`, and the paper's own Figure 2
+// gcd computes `n % m` unguarded. A clean program can therefore still
+// divide by zero through `%`; the interpreter stops it with a runtime
+// error, which the soundness oracle documents as outside the static
+// guarantee. Kept as the witness of that boundary.
+int f(int a) {
+    int r = a % a;
+    return r;
+}

@@ -1,0 +1,15 @@
+// Regression: `pos * pos` is statically `pos`, but the wrapped 64-bit
+// product can be negative, dynamically falsifying the proven invariant
+// (the soundness oracle observed `pos` holding -5356883322687455232).
+// Signed arithmetic is now checked: execution stops with an integer
+// overflow runtime error the moment a result leaves the mathematical
+// integer model the prover works in. Found by `stqc fuzz`.
+int pos f(int pos a) {
+    int pos x = a * a;
+    int i = 0;
+    while (i < 4) {
+        x = (x * x) * x;
+        i = i + 1;
+    }
+    return x;
+}

@@ -1,0 +1,9 @@
+// Regression: `p - i` with i == i64::MIN used to negate the subtrahend
+// (which does not exist in i64) and panic the host in debug builds.
+// Pointer arithmetic is now taken mod 2^64. Found by `stqc fuzz`.
+int* f() {
+    int x = 7;
+    int* p = &x;
+    int* q = p - (0 - 9223372036854775807 - 1);
+    return q;
+}

@@ -1,0 +1,10 @@
+// Regression: the difference of two addresses can exceed i64 when
+// computed as `p as i64 - q as i64`; it used to overflow (a debug-build
+// panic) and is now taken mod 2^64 first. Found by `stqc fuzz`.
+int f() {
+    int x = 1;
+    int* a = &x;
+    int* b = a + 9223372036854775807;
+    int d = a - b;
+    return d;
+}

@@ -1,0 +1,9 @@
+// Regression (harness, not pipeline): an annotation-flip mutation can
+// leave an entry parameter demanding `int pos neg` — an unsatisfiable
+// conjunction no statically clean call site could ever produce. The
+// fuzzer used to fabricate an argument from the first qualifier alone
+// and report a bogus soundness divergence; entries like this now skip
+// the dynamic oracles because the soundness claim is vacuous for them.
+int f(int pos neg a) {
+    return 1;
+}

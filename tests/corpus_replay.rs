@@ -1,0 +1,68 @@
+//! Replays the checked-in regression corpus through the full oracle
+//! battery (tier 1). Every file under `tests/corpus/` is a minimized
+//! witness of a bug the fuzzer found and we fixed — or of a documented
+//! boundary of the static guarantee — so each must pass all three
+//! oracles without a divergence or a host panic.
+
+use std::fs;
+use std::path::PathBuf;
+
+use stq_fuzz::{replay_source, Outcome};
+
+fn corpus_files() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("tests/corpus exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "c"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn the_corpus_is_not_empty() {
+    let files = corpus_files();
+    assert!(
+        files.len() >= 6,
+        "expected the fuzzer-found regression corpus, got {} file(s)",
+        files.len()
+    );
+}
+
+#[test]
+fn every_corpus_witness_passes_the_oracle_battery() {
+    for path in corpus_files() {
+        let source = fs::read_to_string(&path).expect("corpus file is readable");
+        let result = replay_source(&source);
+        assert!(
+            matches!(result.outcome, Outcome::Pass),
+            "{}: expected a pass, got {:?}",
+            path.display(),
+            result.outcome
+        );
+    }
+}
+
+#[test]
+fn the_corpus_exercises_both_clean_and_instrumented_programs() {
+    // The battery's interesting branches are gated on (clean, casts):
+    // the soundness oracle needs clean cast-free programs, the
+    // instrumentation oracle needs casts. Keep at least one of each in
+    // the corpus so a regression in either path is caught here.
+    let mut clean_cast_free = 0usize;
+    let mut instrumented = 0usize;
+    for path in corpus_files() {
+        let source = fs::read_to_string(&path).expect("corpus file is readable");
+        let result = replay_source(&source);
+        if result.clean && result.casts == 0 {
+            clean_cast_free += 1;
+        }
+        if result.casts > 0 {
+            instrumented += 1;
+        }
+    }
+    assert!(clean_cast_free > 0, "no clean cast-free witness in corpus");
+    assert!(instrumented > 0, "no instrumented witness in corpus");
+}

@@ -1,0 +1,74 @@
+//! End-to-end contract tests for the `stqc fuzz` subcommand (tier 1).
+
+use std::process::Command;
+
+fn stqc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_stqc"))
+}
+
+#[test]
+fn fuzz_verdicts_are_identical_across_job_counts() {
+    // Determinism is a hard property: the verdict of a (--seed, --count)
+    // campaign must not depend on --jobs. The JSON report deliberately
+    // omits the job count, so the outputs must be byte-identical.
+    let mut outputs = Vec::new();
+    for jobs in ["1", "4", "8"] {
+        let out = stqc()
+            .args([
+                "fuzz", "--seed", "0", "--count", "40", "--jobs", jobs, "--json",
+            ])
+            .output()
+            .expect("stqc runs");
+        assert!(
+            out.status.success(),
+            "--jobs {jobs} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        outputs.push(String::from_utf8(out.stdout).expect("utf-8 report"));
+    }
+    assert_eq!(outputs[0], outputs[1], "--jobs 1 vs --jobs 4 diverged");
+    assert_eq!(outputs[1], outputs[2], "--jobs 4 vs --jobs 8 diverged");
+}
+
+#[test]
+fn fuzz_campaign_exits_zero_on_a_clean_run() {
+    let out = stqc()
+        .args(["fuzz", "--seed", "0", "--count", "30", "--jobs", "2"])
+        .output()
+        .expect("stqc runs");
+    assert!(
+        out.status.success(),
+        "clean campaign failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("0 failure(s)"),
+        "unexpected campaign summary: {text}"
+    );
+}
+
+#[test]
+fn fuzz_replay_of_the_checked_in_corpus_is_green() {
+    // Integration tests run with the package root as the working
+    // directory, so the relative corpus path resolves.
+    let out = stqc()
+        .args(["fuzz", "--replay", "tests/corpus"])
+        .output()
+        .expect("stqc runs");
+    assert!(
+        out.status.success(),
+        "corpus replay failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn fuzz_rejects_unknown_flags_with_a_usage_error() {
+    let out = stqc()
+        .args(["fuzz", "--bogus"])
+        .output()
+        .expect("stqc runs");
+    assert_eq!(out.status.code(), Some(2), "usage errors must exit 2");
+}

@@ -10,14 +10,18 @@
 //! figure is the pipeline's steady state — `jobs = 4` *with a warm
 //! on-disk cache*, exactly what a second `stqc prove --jobs 4
 //! --cache-dir` run does; `parallel_cold` isolates the pool alone, whose
-//! speedup is bounded by the machine's core count.
+//! speedup is bounded by the machine's core count; and
+//! `parallel_warm_deadline` re-runs the warm mode with a (never-firing)
+//! per-obligation timeout and whole-run deadline armed, asserting that
+//! deadline enforcement costs <5% (`deadline_overhead` in the JSON).
 
 use std::fs;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 use stq_qualspec::Registry;
 use stq_soundness::{
-    check_all_parallel, check_all_pipeline, Budget, ProofCache, RetryPolicy, SoundnessReport,
+    check_all_parallel, check_all_pipeline, check_all_pipeline_cancellable, Budget, CancelToken,
+    ProofCache, RetryPolicy, SoundnessReport,
 };
 
 const JOBS: usize = 4;
@@ -112,9 +116,46 @@ fn main() {
     assert_eq!(warm_report.totals.cache_hits, obligations as u64);
     let _ = fs::remove_dir_all(&dir);
 
+    // Mode 4: deadline enforcement on the steady-state path — the same
+    // warm jobs=4 pipeline, but with a per-obligation `--timeout-ms`
+    // budget *and* a whole-run `--deadline-ms` token armed (both far too
+    // generous to ever fire), so every cancellation/deadline safepoint
+    // is live. The timeout is part of every fingerprint, so this variant
+    // warms its own cache; the throughput delta against mode 3 is pure
+    // enforcement overhead, which must stay under 5%.
+    let budget_timed = Budget {
+        timeout: Some(Duration::from_secs(3600)),
+        ..budget
+    };
+    let token = CancelToken::deadline_in(Duration::from_secs(3600));
+    let dir_timed =
+        std::env::temp_dir().join(format!("stq-bench-cache-timed-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir_timed);
+    let cache_timed = ProofCache::at_dir(&dir_timed).expect("temp timed cache dir");
+    let first_timed =
+        check_all_pipeline_cancellable(&registry, budget_timed, retry, JOBS, Some(&cache_timed), &token);
+    assert!(first_timed.all_sound(), "{first_timed}");
+    cache_timed.persist().expect("persist timed cache");
+    let warm_timed = ProofCache::at_dir(&dir_timed).expect("reload timed cache dir");
+    let (timed_runs, timed_elapsed, timed_report) = measure(5, 200, || {
+        check_all_pipeline_cancellable(&registry, budget_timed, retry, JOBS, Some(&warm_timed), &token)
+    });
+    assert!(timed_report.all_sound(), "{timed_report}");
+    assert!(!timed_report.interrupted(), "the deadline must never fire");
+    assert_eq!(timed_report.reproved_count(), 0, "warm timed run re-proves nothing");
+    let _ = fs::remove_dir_all(&dir_timed);
+
     let seq_ops = obl_per_sec(obligations, seq_runs, seq_elapsed);
     let cold_ops = obl_per_sec(obligations, cold_runs, cold_elapsed);
     let warm_ops = obl_per_sec(obligations, warm_runs, warm_elapsed);
+    let timed_ops = obl_per_sec(obligations, timed_runs, timed_elapsed);
+    // Positive = the armed timeout/deadline run is slower.
+    let deadline_overhead = warm_ops / timed_ops.max(1e-9) - 1.0;
+    assert!(
+        deadline_overhead < 0.05,
+        "deadline enforcement overhead {:.1}% exceeds the 5% ceiling",
+        deadline_overhead * 100.0
+    );
     let warm_hit_rate = 1.0 - (reproved_warm as f64 / obligations as f64);
 
     println!(
@@ -124,6 +165,11 @@ fn main() {
     println!("  sequential:     {seq_ops:>10.1} obligations/sec ({seq_runs} run(s))");
     println!("  parallel cold:  {cold_ops:>10.1} obligations/sec ({cold_runs} run(s))");
     println!("  parallel warm:  {warm_ops:>10.1} obligations/sec ({warm_runs} run(s))");
+    println!(
+        "  warm + timeout: {timed_ops:>10.1} obligations/sec ({timed_runs} run(s), \
+         deadline overhead {:+.1}%)",
+        deadline_overhead * 100.0
+    );
     println!(
         "  cache: cold {cold_misses} miss(es)/{cold_hits} hit(s); \
          warm re-proved {reproved_warm} (hit rate {:.0}%)",
@@ -141,16 +187,18 @@ fn main() {
     );
     let json = format!(
         "{{\"bench\":\"soundness_pipeline\",\"qualifiers\":{},\"obligations\":{obligations},\
-         \"jobs\":{JOBS},{},{},{},\
+         \"jobs\":{JOBS},{},{},{},{},\
          \"cache\":{{\"cold_misses\":{cold_misses},\"cold_hits\":{cold_hits},\
          \"warm_hits\":{},\"warm_misses\":{},\"reproved_warm\":{reproved_warm},\
          \"warm_hit_rate\":{warm_hit_rate:.3}}},\
+         \"deadline_overhead\":{deadline_overhead:.4},\
          \"speedup_parallel_vs_sequential\":{:.2},\
          \"speedup_parallel_cold_vs_sequential\":{:.2}}}\n",
         seq_report.reports.len(),
         mode_json("sequential", obligations, seq_runs, seq_elapsed),
         mode_json("parallel_cold", obligations, cold_runs, cold_elapsed),
         mode_json("parallel", obligations, warm_runs, warm_elapsed),
+        mode_json("parallel_warm_deadline", obligations, timed_runs, timed_elapsed),
         warm_report.totals.cache_hits,
         warm_report.totals.cache_misses,
         warm_ops / seq_ops.max(1e-9),

@@ -8,9 +8,10 @@ use stq_cir::parse::{parse_program, parse_program_resilient, ParseError};
 use stq_qualspec::parse::SpecError;
 use stq_qualspec::Registry;
 use stq_soundness::{
-    check_all, check_all_pipeline, check_all_retrying, check_all_with, check_defs_pipeline,
-    check_qualifier, check_qualifier_retrying, check_qualifier_with, Budget, ProofCache,
-    QualReport, RetryPolicy, SoundnessReport,
+    check_all, check_all_pipeline, check_all_pipeline_cancellable, check_all_retrying,
+    check_all_with, check_defs_pipeline, check_defs_pipeline_cancellable, check_qualifier,
+    check_qualifier_retrying, check_qualifier_with, Budget, CancelToken, ProofCache, QualReport,
+    RetryPolicy, SoundnessReport,
 };
 use stq_typecheck::{
     check_program, check_program_with, infer_annotations, instrument_program, AnnotationInference,
@@ -171,6 +172,24 @@ impl Session {
         check_all_pipeline(&self.registry, budget, retry, jobs, cache)
     }
 
+    /// As [`Session::prove_all_sound_pipeline`], under a [`CancelToken`]:
+    /// a fired token (Ctrl-C, or an attached run deadline) stops the run
+    /// at the next safepoint and yields a *partial*
+    /// [`SoundnessReport`] — obligations never reached are marked
+    /// skipped, conclusive outcomes already in hand keep their verdicts
+    /// and still land in the cache, and
+    /// [`SoundnessReport::interrupted`] is true.
+    pub fn prove_all_sound_cancellable(
+        &self,
+        budget: Budget,
+        retry: RetryPolicy,
+        jobs: usize,
+        cache: Option<&ProofCache>,
+        cancel: &CancelToken,
+    ) -> SoundnessReport {
+        check_all_pipeline_cancellable(&self.registry, budget, retry, jobs, cache, cancel)
+    }
+
     /// As [`Session::prove_all_sound_pipeline`], restricted to the named
     /// qualifiers (in the given order). Unknown names are reported in the
     /// `Err` variant without running any proofs.
@@ -200,6 +219,40 @@ impl Session {
             retry,
             jobs,
             cache,
+        ))
+    }
+
+    /// As [`Session::prove_named_pipeline`], under a [`CancelToken`];
+    /// see [`Session::prove_all_sound_cancellable`] for the partial-
+    /// report semantics when the token fires.
+    ///
+    /// # Errors
+    ///
+    /// The first unregistered qualifier name.
+    pub fn prove_named_cancellable(
+        &self,
+        names: &[&str],
+        budget: Budget,
+        retry: RetryPolicy,
+        jobs: usize,
+        cache: Option<&ProofCache>,
+        cancel: &CancelToken,
+    ) -> Result<SoundnessReport, String> {
+        let mut defs = Vec::with_capacity(names.len());
+        for name in names {
+            match self.registry.get_by_name(name) {
+                Some(def) => defs.push(def),
+                None => return Err(format!("unknown qualifier `{name}`")),
+            }
+        }
+        Ok(check_defs_pipeline_cancellable(
+            &self.registry,
+            &defs,
+            budget,
+            retry,
+            jobs,
+            cache,
+            cancel,
         ))
     }
 
@@ -463,6 +516,36 @@ mod tests {
             s.prove_all_sound_pipeline(Budget::default(), RetryPolicy::none(), 4, Some(&cache));
         assert_eq!(warm.reproved_count(), 0, "warm run is all cache hits");
         assert!(warm.all_sound());
+    }
+
+    #[test]
+    fn cancelled_session_run_yields_a_partial_report() {
+        let s = Session::with_builtins();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let report = s.prove_all_sound_cancellable(
+            Budget::default(),
+            RetryPolicy::none(),
+            2,
+            None,
+            &cancel,
+        );
+        assert!(report.interrupted());
+        assert_eq!(report.skipped_count(), report.obligation_count());
+        assert!(!report.all_sound(), "a partial report never claims soundness");
+        // An unfired token leaves the cancellable path identical to the
+        // plain pipeline.
+        let clean = s.prove_named_cancellable(
+            &["pos", "unique"],
+            Budget::default(),
+            RetryPolicy::none(),
+            2,
+            None,
+            &CancelToken::new(),
+        );
+        let clean = clean.unwrap();
+        assert!(!clean.interrupted());
+        assert!(clean.all_sound(), "{clean}");
     }
 
     #[test]

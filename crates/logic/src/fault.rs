@@ -210,6 +210,91 @@ pub(crate) fn next_entry() -> (u64, Option<FaultKind>) {
     })
 }
 
+// ---------------------------------------------------------------------------
+// I/O fault injection
+// ---------------------------------------------------------------------------
+
+/// The kind of synthetic I/O fault to inject at a persistence write.
+///
+/// These model the two failure shapes a crash-safe cache must survive:
+/// an `ENOSPC`-style hard failure and a torn write (power loss or kill
+/// mid-`write(2)`). The proof cache consults [`next_io_write`] before
+/// each physical write operation and simulates the scheduled fault; the
+/// corruption-recovery tests then assert that neither shape ever poisons
+/// a verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// The write fails (like a full disk) with **no** bytes reaching the
+    /// file.
+    FullDisk,
+    /// Only a prefix of the bytes reaches the file before the write
+    /// fails — the on-disk tail is torn mid-entry.
+    TornWrite,
+}
+
+/// A deterministic schedule of synthetic I/O faults, keyed by write
+/// operation index (0-based count of physical cache writes under the
+/// current installation on this thread).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IoFaultPlan {
+    faults: BTreeMap<u64, IoFaultKind>,
+}
+
+impl IoFaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> IoFaultPlan {
+        IoFaultPlan::default()
+    }
+
+    /// Schedules `kind` at write operation `at` (chainable).
+    #[must_use]
+    pub fn inject(mut self, at: u64, kind: IoFaultKind) -> IoFaultPlan {
+        self.faults.insert(at, kind);
+        self
+    }
+
+    /// True if no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The fault scheduled at write operation `at`, if any.
+    pub fn fault_at(&self, at: u64) -> Option<IoFaultKind> {
+        self.faults.get(&at).copied()
+    }
+}
+
+thread_local! {
+    /// The I/O fault plan installed on this thread, with its write
+    /// counter. Unlike solver fault plans this is strictly per-thread:
+    /// cache persistence runs on the driving thread, never on pool
+    /// workers.
+    static IO_INSTALLED: RefCell<Option<(IoFaultPlan, u64)>> = const { RefCell::new(None) };
+}
+
+/// Installs `plan` on the current thread and resets its write counter.
+pub fn install_io(plan: IoFaultPlan) {
+    IO_INSTALLED.with(|p| *p.borrow_mut() = Some((plan, 0)));
+}
+
+/// Removes any installed I/O fault plan from the current thread.
+pub fn clear_io() {
+    IO_INSTALLED.with(|p| *p.borrow_mut() = None);
+}
+
+/// Records one physical cache-write operation and returns the fault (if
+/// any) the installed plan schedules for it. Free when no plan is
+/// installed.
+pub fn next_io_write() -> Option<IoFaultKind> {
+    IO_INSTALLED.with(|p| {
+        let mut slot = p.borrow_mut();
+        let (plan, counter) = slot.as_mut()?;
+        let op = *counter;
+        *counter += 1;
+        plan.fault_at(op)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +378,27 @@ mod tests {
         assert_eq!(hits.iter().sum::<u64>(), 1);
         assert_eq!(entries(), 16, "counter is shared, not per-thread");
         clear();
+    }
+
+    #[test]
+    fn io_plan_fires_at_its_write_index_then_goes_quiet() {
+        clear_io();
+        assert_eq!(next_io_write(), None, "no plan installed");
+        install_io(IoFaultPlan::new().inject(1, IoFaultKind::TornWrite));
+        assert_eq!(next_io_write(), None, "write 0: no fault");
+        assert_eq!(next_io_write(), Some(IoFaultKind::TornWrite));
+        assert_eq!(next_io_write(), None, "write 2: no fault");
+        clear_io();
+        assert_eq!(next_io_write(), None);
+    }
+
+    #[test]
+    fn io_plans_are_thread_local() {
+        install_io(IoFaultPlan::new().inject(0, IoFaultKind::FullDisk));
+        let other = std::thread::scope(|s| s.spawn(next_io_write).join().expect("worker"));
+        assert_eq!(other, None, "sibling thread sees no plan");
+        assert_eq!(next_io_write(), Some(IoFaultKind::FullDisk));
+        clear_io();
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub mod solver;
 pub mod stats;
 pub mod term;
 
-pub use fault::{FaultKind, FaultPlan};
+pub use fault::{FaultKind, FaultPlan, IoFaultKind, IoFaultPlan};
 pub use fingerprint::{Fingerprint, PROVER_VERSION};
 pub use solver::{Outcome, Problem};
 pub use stats::{Budget, ProverConfig, ProverStats, Resource, RetryPolicy};

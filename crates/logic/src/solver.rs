@@ -25,6 +25,7 @@ use crate::term::{Formula, Term};
 use std::any::Any;
 use std::collections::HashSet;
 use std::time::Instant;
+use stq_util::CancelToken;
 
 pub use crate::stats::{ProverConfig, Stats};
 
@@ -142,6 +143,15 @@ pub struct Problem {
     goal: Option<Formula>,
     /// Resource limits; adjust before calling [`Problem::prove`].
     pub config: Budget,
+    /// Cooperative cancellation handle, polled at round starts, every
+    /// [`DEADLINE_CHECK_INTERVAL`] DPLL decisions, and between
+    /// E-matching quantifiers. An external [`CancelToken::cancel`]
+    /// yields [`Resource::Cancelled`]; a token deadline folds into the
+    /// attempt's effective deadline and yields [`Resource::Time`], same
+    /// as [`Budget::timeout`]. The default token never fires and is
+    /// **not** part of the fingerprint: cancellation affects whether an
+    /// attempt concludes, never what it concludes.
+    pub cancel: CancelToken,
 }
 
 impl Problem {
@@ -152,6 +162,7 @@ impl Problem {
             hyps: Vec::new(),
             goal: None,
             config: Budget::default(),
+            cancel: CancelToken::default(),
         }
     }
 
@@ -212,7 +223,14 @@ impl Problem {
     /// [`Outcome::Crashed`].
     pub fn prove(&self) -> Outcome {
         let start = Instant::now();
-        let deadline = self.config.timeout.map(|t| start + t);
+        // Effective deadline: the earlier of the per-attempt budget
+        // timeout and the run-wide token deadline. Both report
+        // `Resource::Time` — they are the same "wall clock ran out"
+        // condition at different scopes.
+        let deadline = match (self.config.timeout.map(|t| start + t), self.cancel.deadline()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         let (entry, fault) = fault::next_entry();
         let theory_fault = match fault {
             Some(FaultKind::Panic) => panic!("injected panic at solver entry {entry}"),
@@ -249,6 +267,15 @@ impl Problem {
     }
 
     fn prove_inner(&self, deadline: Option<Instant>, theory_fault: Option<u64>) -> Outcome {
+        // A cancel observed before any work still reports as this
+        // attempt's outcome: batch drivers treat it like any other
+        // inconclusive result and never cache it.
+        if self.cancel.is_cancelled() {
+            return Outcome::ResourceOut {
+                resource: Resource::Cancelled,
+                stats: ProverStats::default(),
+            };
+        }
         let goal = self.goal.clone().expect("no goal set on problem");
         // Free variables act as uninterpreted constants (proving a goal
         // with free variables proves it for arbitrary values).
@@ -296,6 +323,12 @@ impl Problem {
         let mut instantiated: HashSet<String> = HashSet::new();
 
         for round in 0..self.config.max_rounds {
+            if self.cancel.is_cancelled() {
+                return Outcome::ResourceOut {
+                    resource: Resource::Cancelled,
+                    stats,
+                };
+            }
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 return Outcome::ResourceOut {
                     resource: Resource::Time,
@@ -317,8 +350,10 @@ impl Problem {
                 // The decision budget spans the whole attempt, not one round.
                 max_decisions: self.config.max_decisions.saturating_sub(stats.decisions),
                 deadline,
+                cancel: &self.cancel,
                 exhausted: false,
                 timed_out: false,
+                cancelled: false,
                 theory_fault,
             };
             let natoms = cl.atoms().len();
@@ -332,7 +367,9 @@ impl Problem {
             stats.fm_eliminations += search.fm_eliminations;
             if search.exhausted {
                 return Outcome::ResourceOut {
-                    resource: if search.timed_out {
+                    resource: if search.cancelled {
+                        Resource::Cancelled
+                    } else if search.timed_out {
                         Resource::Time
                     } else {
                         Resource::Decisions
@@ -363,6 +400,20 @@ impl Problem {
             let mut fresh = Vec::new();
             let mut instantiation_cap_hit = false;
             for q in active {
+                // E-matching safepoint: one poll per active quantifier
+                // bounds the time between polls by one trigger sweep.
+                if self.cancel.is_cancelled() {
+                    return Outcome::ResourceOut {
+                        resource: Resource::Cancelled,
+                        stats,
+                    };
+                }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Outcome::ResourceOut {
+                        resource: Resource::Time,
+                        stats,
+                    };
+                }
                 let closure = cl.quants[q].clone();
                 let proxy_atom = find_quant_atom(&cl, q);
                 for trigger in &closure.triggers {
@@ -553,8 +604,10 @@ struct Search<'a> {
     fm_eliminations: u64,
     max_decisions: u64,
     deadline: Option<Instant>,
+    cancel: &'a CancelToken,
     exhausted: bool,
     timed_out: bool,
+    cancelled: bool,
     /// When set (by an installed [`crate::fault::FaultPlan`]), the first
     /// theory-consistency check panics, simulating a theory-solver bug
     /// deep inside the search. Carries the solver entry index for the
@@ -670,15 +723,23 @@ impl Search<'_> {
                     }
                     return None;
                 }
-                if self.decisions.is_multiple_of(DEADLINE_CHECK_INTERVAL)
-                    && self.deadline.is_some_and(|d| Instant::now() >= d)
-                {
-                    self.exhausted = true;
-                    self.timed_out = true;
-                    for &a in &trail {
-                        assign[a] = None;
+                if self.decisions.is_multiple_of(DEADLINE_CHECK_INTERVAL) {
+                    if self.cancel.is_cancelled() {
+                        self.exhausted = true;
+                        self.cancelled = true;
+                        for &a in &trail {
+                            assign[a] = None;
+                        }
+                        return None;
                     }
-                    return None;
+                    if self.deadline.is_some_and(|d| Instant::now() >= d) {
+                        self.exhausted = true;
+                        self.timed_out = true;
+                        for &a in &trail {
+                            assign[a] = None;
+                        }
+                        return None;
+                    }
                 }
                 for value in [lit.pos, !lit.pos] {
                     assign[lit.atom] = Some(value);
@@ -1260,6 +1321,41 @@ mod tests {
         problem.goal(r);
         let outcome = problem.prove();
         assert_eq!(outcome.resource(), Some(Resource::Decisions));
+    }
+
+    #[test]
+    fn pre_cancelled_token_reports_cancelled_not_time() {
+        let mut p = Problem::new();
+        p.goal(Term::int(1).eq(&Term::int(1)));
+        p.cancel = CancelToken::new();
+        p.cancel.cancel();
+        let outcome = p.prove();
+        assert_eq!(outcome.resource(), Some(Resource::Cancelled));
+        // Cancellation is not a crash and not a conclusion.
+        assert!(!outcome.is_proved() && !outcome.is_refuted() && !outcome.is_crashed());
+    }
+
+    #[test]
+    fn expired_token_deadline_reports_time() {
+        let mut p = Problem::new();
+        p.hypothesis(x().lt(&y()));
+        p.hypothesis(y().lt(&Term::int(3)));
+        p.goal(x().lt(&Term::int(3)));
+        p.cancel = CancelToken::deadline_in(std::time::Duration::ZERO);
+        let outcome = p.prove();
+        assert_eq!(outcome.resource(), Some(Resource::Time));
+    }
+
+    #[test]
+    fn default_token_changes_nothing() {
+        // The always-quiet token must not perturb outcomes: same proof,
+        // same conclusion, with and without an explicit fresh token.
+        let mut p = Problem::new();
+        p.hypothesis(x().gt0());
+        p.goal(x().gt0());
+        assert!(p.prove().is_proved());
+        p.cancel = CancelToken::new();
+        assert!(p.prove().is_proved());
     }
 
     #[test]

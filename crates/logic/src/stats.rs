@@ -137,8 +137,17 @@ pub enum Resource {
     Decisions,
     /// The clause database outgrew [`Budget::max_clauses`].
     Clauses,
-    /// The [`Budget::timeout`] deadline passed.
+    /// A wall-clock deadline passed — either this attempt's
+    /// [`Budget::timeout`] or the run-wide deadline carried by the
+    /// obligation's `CancelToken`. Distinguishes *time* exhaustion from
+    /// the step-counted limits above.
     Time,
+    /// The attempt was cancelled externally (SIGINT, caller abort) via
+    /// its `CancelToken` before reaching any conclusion. Unlike the
+    /// other variants this is not a budget limit: the obligation was
+    /// interrupted, not exhausted, and the run that produced it is
+    /// reported as interrupted.
+    Cancelled,
     /// A [`crate::fault::FaultPlan`] forced this exhaustion (testing
     /// only; never produced by a real budget limit).
     Injected,
@@ -152,6 +161,7 @@ impl fmt::Display for Resource {
             Resource::Decisions => "DPLL decisions",
             Resource::Clauses => "clauses",
             Resource::Time => "wall-clock time",
+            Resource::Cancelled => "external cancellation",
             Resource::Injected => "injected fault",
         })
     }
@@ -324,6 +334,7 @@ mod tests {
     fn resource_display_is_human_readable() {
         assert_eq!(Resource::Time.to_string(), "wall-clock time");
         assert_eq!(Resource::Rounds.to_string(), "instantiation rounds");
+        assert_eq!(Resource::Cancelled.to_string(), "external cancellation");
         assert_eq!(Resource::Injected.to_string(), "injected fault");
     }
 

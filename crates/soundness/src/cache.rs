@@ -1,4 +1,5 @@
-//! The fingerprinted proof cache: incremental soundness checking.
+//! The fingerprinted proof cache: incremental, crash-safe soundness
+//! checking.
 //!
 //! Every discharged obligation is keyed by its structural
 //! [`Fingerprint`] (axioms + hypotheses + goal with de-Bruijn-indexed
@@ -6,36 +7,81 @@
 //! [`stq_logic::fingerprint`]). Because the prover is deterministic, a
 //! *conclusive* outcome — `Proved` or `Refuted` — is a pure function of
 //! that key, so re-checking an unchanged qualifier is a hash lookup
-//! instead of a proof search. `ResourceOut` and `Crashed` outcomes are
-//! never cached: the former is what the retry ladder exists to re-run,
-//! the latter says nothing about the obligation.
+//! instead of a proof search. `ResourceOut` (including timed-out and
+//! cancelled attempts) and `Crashed` outcomes are never cached: the
+//! former is what the retry ladder exists to re-run, the latter says
+//! nothing about the obligation.
 //!
 //! The cache is two-level:
 //!
 //! * an **in-memory map** behind a `RwLock`, shared by all workers of a
 //!   parallel run (reads take the read lock; the map is tiny compared to
 //!   a proof search, so contention is negligible);
-//! * an optional **on-disk store** (`stqc --cache-dir DIR`): one
-//!   versioned text file, loaded eagerly and rewritten by
-//!   [`ProofCache::persist`]. A file whose header names a different
-//!   [`PROVER_VERSION`] (or cannot be parsed) is **ignored, not
-//!   trusted**: its entries are counted as invalidations and every
-//!   obligation re-proves. Fingerprints embed the version too, so even a
-//!   hand-edited header cannot resurrect stale entries.
+//! * an optional **on-disk store** (`stqc --cache-dir DIR`): an
+//!   append-only journal designed to survive crashes, torn writes, and
+//!   concurrent writers.
+//!
+//! # The journal format (v2)
+//!
+//! The store file starts with a header line naming the format and the
+//! [`PROVER_VERSION`]; every following line is one entry whose final
+//! tab-separated field is the CRC-32 (IEEE) of everything before it:
+//!
+//! ```text
+//! stq-proof-cache v2 stq-prover-0.1.0-r1
+//! 00ab…ff\tP\t3f27ab90
+//! 00cd…01\tR\tx = 1\u{1f}y = 0\t9c114e02
+//! ```
+//!
+//! Crash safety rests on three mechanisms:
+//!
+//! * **Append-only persistence** — a run's fresh conclusive entries are
+//!   appended, never rewritten, so a crash mid-persist can tear at most
+//!   the journal's *tail*. On load, any line that fails to parse or
+//!   fails its CRC is dropped and counted as an invalidation; every
+//!   intact entry is kept. A torn tail therefore costs re-proving the
+//!   torn entries, never a wrong verdict.
+//! * **Atomic compaction** — when a load found anything untrustworthy
+//!   (or the file is new/stale), the next [`ProofCache::persist`]
+//!   rewrites the whole journal via a temp file + `rename`, so the store
+//!   is only ever replaced by a fully formed file.
+//! * **An advisory lock file** (`proofs.stqcache.lock`, `flock(2)` on
+//!   Unix) — loading, appending, and compacting all run under an
+//!   exclusive lock, so two `stqc` processes sharing a `--cache-dir`
+//!   serialize their writes instead of interleaving them. Entries the
+//!   two runs both prove are simply appended twice; the journal's
+//!   last-entry-wins load makes duplicates harmless (the prover is
+//!   deterministic, so they are identical anyway).
+//!
+//! A file whose header names a different [`PROVER_VERSION`] (or cannot
+//! be parsed) is **ignored, not trusted**: its entries are counted as
+//! invalidations and every obligation re-proves. Fingerprints embed the
+//! version too, so even a hand-edited header cannot resurrect stale
+//! entries.
+//!
+//! Persistence consults [`stq_logic::fault::next_io_write`], so tests
+//! can inject full-disk and torn-write faults at specific write
+//! operations and prove that neither poisons a verdict.
 
 use std::collections::HashMap;
 use std::fs;
-use std::io;
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Mutex, RwLock};
+use stq_logic::fault::{self, IoFaultKind};
 use stq_logic::solver::Outcome;
 use stq_logic::{Fingerprint, PROVER_VERSION};
 
 /// The on-disk file name inside a `--cache-dir`.
 pub const CACHE_FILE: &str = "proofs.stqcache";
+/// The advisory lock file guarding the journal against concurrent
+/// writers (see the module docs).
+pub const LOCK_FILE: &str = "proofs.stqcache.lock";
 /// The on-disk format version (independent of the prover version).
-pub const FORMAT_VERSION: &str = "v1";
+/// v2 = CRC-checked append-only journal; v1 files fail the header check
+/// and are invalidated wholesale.
+pub const FORMAT_VERSION: &str = "v2";
 
 /// A cached conclusive proof outcome.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -63,15 +109,47 @@ impl CachedProof {
     }
 }
 
+/// What [`ProofCache::persist`] actually did, for reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PersistOutcome {
+    /// No fresh entries and nothing to repair: no write was performed.
+    /// Counted in [`ProofCache::persist_skips`] when disk-backed.
+    Skipped,
+    /// This many fresh entries were appended to the journal.
+    Appended(usize),
+    /// The journal was rewritten atomically with this many entries
+    /// (fresh store, stale/corrupt load, or an explicit
+    /// [`ProofCache::compact`]).
+    Compacted(usize),
+}
+
+/// The journal's health as observed at load time; decides whether the
+/// next persist may append or must compact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DiskState {
+    /// No store file existed (or the cache is in-memory).
+    Fresh,
+    /// Valid header, every entry intact: appends are safe.
+    Clean,
+    /// Stale header or at least one invalid entry: the next persist
+    /// rewrites the file from scratch.
+    Corrupt,
+}
+
 /// A concurrent, optionally disk-backed map from obligation fingerprints
 /// to conclusive proof outcomes. See the module docs for semantics.
 #[derive(Debug)]
 pub struct ProofCache {
     mem: RwLock<HashMap<Fingerprint, CachedProof>>,
+    /// Entries recorded since the last successful persist, in record
+    /// order — the journal's append batch.
+    dirty: Mutex<Vec<(Fingerprint, CachedProof)>>,
+    state: Mutex<DiskState>,
     dir: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
+    persist_skips: AtomicU64,
 }
 
 impl Default for ProofCache {
@@ -85,44 +163,48 @@ impl ProofCache {
     pub fn in_memory() -> ProofCache {
         ProofCache {
             mem: RwLock::new(HashMap::new()),
+            dirty: Mutex::new(Vec::new()),
+            state: Mutex::new(DiskState::Fresh),
             dir: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            persist_skips: AtomicU64::new(0),
         }
     }
 
     /// A disk-backed cache rooted at `dir` (created if missing). Any
-    /// existing store is loaded now; entries from a different prover
-    /// version or a malformed file are dropped and counted as
+    /// existing journal is loaded now, under the advisory lock; entries
+    /// from a different prover version, malformed lines, and CRC
+    /// failures (torn tails) are dropped and counted as
     /// [`ProofCache::invalidations`].
     ///
     /// # Errors
     ///
     /// Only on filesystem errors (cannot create `dir`, cannot read an
-    /// existing store). A *stale or corrupt* store is not an error — it
-    /// is invalidated, which is the designed behaviour.
+    /// existing store, cannot take the lock). A *stale or corrupt* store
+    /// is not an error — it is invalidated, which is the designed
+    /// behaviour.
     pub fn at_dir(dir: impl AsRef<Path>) -> io::Result<ProofCache> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
         let cache = ProofCache {
-            mem: RwLock::new(HashMap::new()),
             dir: Some(dir.clone()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            invalidations: AtomicU64::new(0),
+            ..ProofCache::in_memory()
         };
         let file = dir.join(CACHE_FILE);
         if file.exists() {
+            let _lock = filelock::lock_exclusive(&dir.join(LOCK_FILE))?;
             let text = fs::read_to_string(&file)?;
-            cache.load_store(&text);
+            let state = cache.load_store(&text);
+            *cache.state.lock().expect("state lock") = state;
         }
         Ok(cache)
     }
 
-    /// Parses a store file into the in-memory map, invalidating anything
-    /// untrustworthy.
-    fn load_store(&self, text: &str) {
+    /// Parses a journal into the in-memory map, invalidating anything
+    /// untrustworthy, and reports the journal's health.
+    fn load_store(&self, text: &str) -> DiskState {
         let mut lines = text.lines();
         let header_ok = lines.next().is_some_and(|header| {
             let mut parts = header.split(' ');
@@ -133,11 +215,13 @@ impl ProofCache {
         });
         if !header_ok {
             // Count what we refused to trust; `max(1)` so even an
-            // entry-less stale file registers as an invalidation.
+            // entry-less stale (or zero-length) file registers as an
+            // invalidation.
             let stale = text.lines().skip(1).filter(|l| !l.is_empty()).count() as u64;
             self.invalidations.fetch_add(stale.max(1), Ordering::Relaxed);
-            return;
+            return DiskState::Corrupt;
         }
+        let mut corrupt = false;
         let mut map = self.mem.write().expect("cache lock");
         for line in lines {
             if line.is_empty() {
@@ -145,12 +229,23 @@ impl ProofCache {
             }
             match parse_entry(line) {
                 Some((fp, proof)) => {
+                    // Duplicates (concurrent writers, re-proved entries)
+                    // resolve last-wins; the prover's determinism makes
+                    // the values identical anyway.
                     map.insert(fp, proof);
                 }
                 None => {
+                    // A torn tail, a flipped bit, a hand-edited line:
+                    // drop exactly this entry, keep the rest.
                     self.invalidations.fetch_add(1, Ordering::Relaxed);
+                    corrupt = true;
                 }
             }
+        }
+        if corrupt {
+            DiskState::Corrupt
+        } else {
+            DiskState::Clean
         }
     }
 
@@ -169,43 +264,154 @@ impl ProofCache {
         }
     }
 
-    /// Records a conclusive outcome under `fp`. Inconclusive outcomes
-    /// (`ResourceOut`, `Crashed`) are ignored.
+    /// Records a conclusive outcome under `fp`, marking it dirty for the
+    /// next [`ProofCache::persist`]. Inconclusive outcomes
+    /// (`ResourceOut` — including timed-out and cancelled attempts — and
+    /// `Crashed`) are ignored, which is what lets an interrupted run
+    /// resume: unreached work was never cached, so it re-proves.
     pub fn record(&self, fp: Fingerprint, outcome: &Outcome) {
         if let Some(proof) = CachedProof::from_outcome(outcome) {
-            self.mem.write().expect("cache lock").insert(fp, proof);
+            let fresh = {
+                let mut map = self.mem.write().expect("cache lock");
+                map.insert(fp, proof.clone()) != Some(proof.clone())
+            };
+            if fresh {
+                self.dirty
+                    .lock()
+                    .expect("dirty lock")
+                    .push((fp, proof));
+            }
         }
     }
 
-    /// Writes the store file, when this cache is disk-backed. Call once
-    /// at the end of a run; entries accumulated in memory (including
-    /// those loaded at startup) are written atomically via a temp file.
+    /// Flushes to disk, when this cache is disk-backed. Called at the
+    /// end of a run — including an *interrupted* one, so conclusive
+    /// outcomes survive a SIGINT. Under the advisory lock it either:
+    ///
+    /// * **skips** the write entirely (no fresh entries, journal clean —
+    ///   counted in [`ProofCache::persist_skips`]),
+    /// * **appends** the fresh entries to the journal, or
+    /// * **compacts**: rewrites the whole journal atomically (temp
+    ///   file plus rename), merging any entries a concurrent process
+    ///   appended since our load, when the load found the file
+    ///   missing, stale, or corrupt.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors only (including injected I/O faults). On error
+    /// the fresh entries stay dirty, so a later retry can still save
+    /// them; an append that failed mid-write may leave a torn tail,
+    /// which the next load recovers from by design.
+    pub fn persist(&self) -> io::Result<PersistOutcome> {
+        let Some(dir) = &self.dir else {
+            return Ok(PersistOutcome::Skipped);
+        };
+        let mut dirty = self.dirty.lock().expect("dirty lock");
+        let mut state = self.state.lock().expect("state lock");
+        let file = dir.join(CACHE_FILE);
+        // Appending assumes the journal on disk still has a valid
+        // current header; if it vanished since load, fall back to a full
+        // rewrite.
+        let must_compact = *state != DiskState::Clean || !file.exists();
+        if dirty.is_empty() && !must_compact {
+            self.persist_skips.fetch_add(1, Ordering::Relaxed);
+            return Ok(PersistOutcome::Skipped);
+        }
+        if dirty.is_empty() && *state == DiskState::Fresh {
+            // Nothing proved and nothing on disk to repair: writing a
+            // header-only journal would be pure churn.
+            self.persist_skips.fetch_add(1, Ordering::Relaxed);
+            return Ok(PersistOutcome::Skipped);
+        }
+        let _lock = filelock::lock_exclusive(&dir.join(LOCK_FILE))?;
+        let outcome = if must_compact {
+            self.compact_locked(dir)?
+        } else {
+            let mut out = String::new();
+            for (fp, proof) in dirty.iter() {
+                out.push_str(&render_entry(*fp, proof));
+            }
+            let mut f = fs::OpenOptions::new().append(true).open(&file)?;
+            faulted_write(&mut f, out.as_bytes())?;
+            f.sync_all()?;
+            PersistOutcome::Appended(dirty.len())
+        };
+        dirty.clear();
+        *state = DiskState::Clean;
+        Ok(outcome)
+    }
+
+    /// Rewrites the journal from the full in-memory map, atomically
+    /// (temp file + rename), under the advisory lock. Entries appended
+    /// by a concurrent process since our load are merged in rather than
+    /// clobbered. Rarely needed directly — [`ProofCache::persist`]
+    /// compacts on its own when the load found anything untrustworthy —
+    /// but exposed for tooling that wants to repair or deduplicate a
+    /// journal eagerly.
     ///
     /// # Errors
     ///
     /// Filesystem errors only.
-    pub fn persist(&self) -> io::Result<()> {
+    pub fn compact(&self) -> io::Result<PersistOutcome> {
         let Some(dir) = &self.dir else {
-            return Ok(());
+            return Ok(PersistOutcome::Skipped);
         };
-        let map = self.mem.read().expect("cache lock");
-        let mut out = format!("stq-proof-cache {FORMAT_VERSION} {PROVER_VERSION}\n");
-        let mut entries: Vec<_> = map.iter().collect();
-        entries.sort_by_key(|(fp, _)| **fp);
-        for (fp, proof) in entries {
-            match proof {
-                CachedProof::Proved => {
-                    out.push_str(&format!("{fp}\tP\n"));
-                }
-                CachedProof::Refuted { model } => {
-                    let joined: Vec<String> = model.iter().map(|s| escape(s)).collect();
-                    out.push_str(&format!("{fp}\tR\t{}\n", joined.join("\u{1f}")));
+        let mut dirty = self.dirty.lock().expect("dirty lock");
+        let mut state = self.state.lock().expect("state lock");
+        let _lock = filelock::lock_exclusive(&dir.join(LOCK_FILE))?;
+        let outcome = self.compact_locked(dir)?;
+        dirty.clear();
+        *state = DiskState::Clean;
+        Ok(outcome)
+    }
+
+    /// The compaction body; the caller holds the advisory lock.
+    fn compact_locked(&self, dir: &Path) -> io::Result<PersistOutcome> {
+        // Merge entries a concurrent writer appended since our load.
+        // Only a current-header file contributes; a stale or corrupt
+        // prefix was already invalidated at load time and new corruption
+        // here would only double-count, so parse failures are skipped
+        // silently.
+        let file = dir.join(CACHE_FILE);
+        let mut merged: HashMap<Fingerprint, CachedProof> = HashMap::new();
+        if let Ok(text) = fs::read_to_string(&file) {
+            let mut lines = text.lines();
+            let current = lines
+                .next()
+                .is_some_and(|h| h == format!("stq-proof-cache {FORMAT_VERSION} {PROVER_VERSION}"));
+            if current {
+                for line in lines {
+                    if let Some((fp, proof)) = parse_entry(line) {
+                        merged.insert(fp, proof);
+                    }
                 }
             }
         }
+        {
+            let map = self.mem.read().expect("cache lock");
+            for (fp, proof) in map.iter() {
+                merged.insert(*fp, proof.clone());
+            }
+        }
+        let mut entries: Vec<_> = merged.iter().collect();
+        entries.sort_by_key(|(fp, _)| **fp);
+        let mut out = format!("stq-proof-cache {FORMAT_VERSION} {PROVER_VERSION}\n");
+        for (fp, proof) in &entries {
+            out.push_str(&render_entry(**fp, proof));
+        }
         let tmp = dir.join(format!("{CACHE_FILE}.tmp.{}", std::process::id()));
-        fs::write(&tmp, out)?;
-        fs::rename(&tmp, dir.join(CACHE_FILE))
+        let write_result = (|| -> io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            faulted_write(&mut f, out.as_bytes())?;
+            f.sync_all()
+        })();
+        if let Err(e) = write_result {
+            // A torn or failed temp file must never replace the store.
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+        fs::rename(&tmp, &file)?;
+        Ok(PersistOutcome::Compacted(entries.len()))
     }
 
     /// Number of cached entries currently in memory.
@@ -228,9 +434,21 @@ impl ProofCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Entries refused at load time (version/format mismatch).
+    /// Entries refused at load time (version/format mismatch, malformed
+    /// lines, CRC failures from torn or corrupted writes).
     pub fn invalidations(&self) -> u64 {
         self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Persist calls that skipped the write because there was nothing
+    /// new to save and nothing to repair.
+    pub fn persist_skips(&self) -> u64 {
+        self.persist_skips.load(Ordering::Relaxed)
+    }
+
+    /// Entries recorded since the last successful persist.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.lock().expect("dirty lock").len()
     }
 
     /// The backing directory, when disk-backed.
@@ -239,8 +457,43 @@ impl ProofCache {
     }
 }
 
+/// Writes `bytes`, honouring any injected I/O fault scheduled for this
+/// write operation: a full disk writes nothing, a torn write flushes
+/// only a prefix; both then fail. See [`stq_logic::fault::IoFaultKind`].
+fn faulted_write(f: &mut fs::File, bytes: &[u8]) -> io::Result<()> {
+    match fault::next_io_write() {
+        Some(IoFaultKind::FullDisk) => Err(io::Error::other("injected fault: disk full")),
+        Some(IoFaultKind::TornWrite) => {
+            f.write_all(&bytes[..bytes.len() / 2])?;
+            f.sync_all()?;
+            Err(io::Error::other("injected fault: torn write"))
+        }
+        None => f.write_all(bytes),
+    }
+}
+
+/// Renders one journal line: tab-separated fields with a trailing CRC-32
+/// of everything before it.
+fn render_entry(fp: Fingerprint, proof: &CachedProof) -> String {
+    let body = match proof {
+        CachedProof::Proved => format!("{fp}\tP"),
+        CachedProof::Refuted { model } => {
+            let joined: Vec<String> = model.iter().map(|s| escape(s)).collect();
+            format!("{fp}\tR\t{}", joined.join("\u{1f}"))
+        }
+    };
+    format!("{body}\t{:08x}\n", crc32(body.as_bytes()))
+}
+
 fn parse_entry(line: &str) -> Option<(Fingerprint, CachedProof)> {
-    let mut fields = line.split('\t');
+    // The CRC is the final tab-separated field; verify it before
+    // trusting anything else on the line. A torn line loses (part of)
+    // the CRC field, so it fails here.
+    let (body, crc_hex) = line.rsplit_once('\t')?;
+    if crc_hex.len() != 8 || u32::from_str_radix(crc_hex, 16).ok()? != crc32(body.as_bytes()) {
+        return None;
+    }
+    let mut fields = body.split('\t');
     let fp: Fingerprint = fields.next()?.parse().ok()?;
     match fields.next()? {
         "P" => fields.next().is_none().then_some((fp, CachedProof::Proved)),
@@ -258,6 +511,36 @@ fn parse_entry(line: &str) -> Option<(Fingerprint, CachedProof)> {
         }
         _ => None,
     }
+}
+
+// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven and computed at
+// compile time — the registry is unreachable, so no `crc32fast` here.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
 }
 
 /// Escapes a countermodel line for the single-line store format.
@@ -294,9 +577,75 @@ fn unescape(s: &str) -> String {
     out
 }
 
+/// Advisory file locking. On Unix this is `flock(2)` on a dedicated lock
+/// file — per open file description, so it serializes both distinct
+/// processes and distinct `ProofCache` instances inside one process, and
+/// it survives the journal itself being renamed by compaction. The lock
+/// is released when the guard drops (and by the OS if the process dies).
+#[cfg(unix)]
+mod filelock {
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+    use std::path::Path;
+
+    // Declared by hand (the registry is unreachable, so no `libc`);
+    // flock(2) has had this exact signature and these constants on every
+    // Unix Rust targets support.
+    extern "C" {
+        fn flock(fd: i32, operation: i32) -> i32;
+    }
+    const LOCK_EX: i32 = 2;
+    const LOCK_UN: i32 = 8;
+
+    /// Holds the lock until dropped.
+    pub struct LockGuard {
+        file: File,
+    }
+
+    /// Blocks until the exclusive lock on `path` is acquired.
+    pub fn lock_exclusive(path: &Path) -> io::Result<LockGuard> {
+        let file = File::options().create(true).append(true).open(path)?;
+        loop {
+            if unsafe { flock(file.as_raw_fd(), LOCK_EX) } == 0 {
+                return Ok(LockGuard { file });
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+
+    impl Drop for LockGuard {
+        fn drop(&mut self) {
+            unsafe {
+                let _ = flock(self.file.as_raw_fd(), LOCK_UN);
+            }
+        }
+    }
+}
+
+/// Non-Unix fallback: no advisory locking. Single-process use stays
+/// correct (the in-process mutexes serialize persists); concurrent
+/// processes fall back to append-only + CRC recovery, which degrades to
+/// re-proving, never to wrong verdicts.
+#[cfg(not(unix))]
+mod filelock {
+    use std::io;
+    use std::path::Path;
+
+    pub struct LockGuard;
+
+    pub fn lock_exclusive(_path: &Path) -> io::Result<LockGuard> {
+        Ok(LockGuard)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stq_logic::fault::IoFaultPlan;
     use stq_logic::ProverStats;
 
     fn fp(n: u128) -> Fingerprint {
@@ -334,13 +683,19 @@ mod tests {
     #[test]
     fn inconclusive_outcomes_are_never_cached() {
         let c = ProofCache::in_memory();
-        c.record(
-            fp(2),
-            &Outcome::ResourceOut {
-                resource: stq_logic::Resource::Rounds,
-                stats: ProverStats::default(),
-            },
-        );
+        for resource in [
+            stq_logic::Resource::Rounds,
+            stq_logic::Resource::Time,
+            stq_logic::Resource::Cancelled,
+        ] {
+            c.record(
+                fp(2),
+                &Outcome::ResourceOut {
+                    resource,
+                    stats: ProverStats::default(),
+                },
+            );
+        }
         c.record(
             fp(3),
             &Outcome::Crashed {
@@ -349,6 +704,7 @@ mod tests {
             },
         );
         assert!(c.is_empty());
+        assert_eq!(c.dirty_len(), 0);
     }
 
     #[test]
@@ -395,15 +751,30 @@ mod tests {
     }
 
     #[test]
+    fn v1_format_files_are_invalidated_wholesale() {
+        let dir = tmpdir("v1");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join(CACHE_FILE),
+            format!("stq-proof-cache v1 {PROVER_VERSION}\n{}\tP\n", fp(5)),
+        )
+        .unwrap();
+        let c = ProofCache::at_dir(&dir).unwrap();
+        assert!(c.is_empty());
+        assert_eq!(c.invalidations(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn malformed_lines_are_invalidated_individually() {
         let dir = tmpdir("malformed");
         fs::create_dir_all(&dir).unwrap();
+        let good = render_entry(fp(20), &CachedProof::Proved);
         fs::write(
             dir.join(CACHE_FILE),
             format!(
                 "stq-proof-cache {FORMAT_VERSION} {PROVER_VERSION}\n\
-                 {}\tP\nnot-hex\tP\n{}\tX\n",
-                fp(20),
+                 {good}not-hex\tP\tdeadbeef\n{}\tX\t00000000\n",
                 fp(21)
             ),
         )
@@ -426,10 +797,240 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_file_counts_as_an_invalidation() {
+        let dir = tmpdir("zerolen");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(CACHE_FILE), "").unwrap();
+        let c = ProofCache::at_dir(&dir).unwrap();
+        assert!(c.is_empty());
+        assert_eq!(c.invalidations(), 1);
+        // The next persist repairs the file even with nothing new.
+        assert!(matches!(c.persist(), Ok(PersistOutcome::Compacted(0))));
+        let healed = ProofCache::at_dir(&dir).unwrap();
+        assert_eq!(healed.invalidations(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_final_entry_is_recovered_and_counted() {
+        let dir = tmpdir("torn-tail");
+        let c = ProofCache::at_dir(&dir).unwrap();
+        c.record(fp(30), &proved());
+        c.record(fp(31), &refuted(&["x = 1"]));
+        c.persist().unwrap();
+        // Tear the journal mid-way through its final entry, as a crash
+        // or power loss during an append would.
+        let file = dir.join(CACHE_FILE);
+        let text = fs::read_to_string(&file).unwrap();
+        let keep = text.len() - 5;
+        fs::write(&file, &text.as_bytes()[..keep]).unwrap();
+
+        let reloaded = ProofCache::at_dir(&dir).unwrap();
+        assert_eq!(reloaded.len(), 1, "intact prefix survives");
+        assert_eq!(reloaded.invalidations(), 1, "the torn entry is counted");
+        // The torn entry is a miss — re-proved, never guessed at.
+        assert_eq!(reloaded.lookup(fp(31)), None);
+        assert_eq!(reloaded.lookup(fp(30)), Some(CachedProof::Proved));
+        // The next persist compacts the corruption away.
+        reloaded.record(fp(31), &refuted(&["x = 1"]));
+        assert!(matches!(
+            reloaded.persist(),
+            Ok(PersistOutcome::Compacted(2))
+        ));
+        let healed = ProofCache::at_dir(&dir).unwrap();
+        assert_eq!(healed.invalidations(), 0);
+        assert_eq!(healed.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_crc_byte_invalidates_exactly_that_entry() {
+        let dir = tmpdir("crc-flip");
+        let c = ProofCache::at_dir(&dir).unwrap();
+        c.record(fp(40), &proved());
+        c.record(fp(41), &proved());
+        c.persist().unwrap();
+        let file = dir.join(CACHE_FILE);
+        let text = fs::read_to_string(&file).unwrap();
+        // Flip one hex digit of the first entry's CRC field.
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        let entry = &mut lines[1];
+        let crc_start = entry.rfind('\t').unwrap() + 1;
+        let old = entry.as_bytes()[crc_start];
+        let new = if old == b'0' { b'1' } else { b'0' };
+        entry.replace_range(crc_start..crc_start + 1, std::str::from_utf8(&[new]).unwrap());
+        fs::write(&file, lines.join("\n") + "\n").unwrap();
+
+        let reloaded = ProofCache::at_dir(&dir).unwrap();
+        assert_eq!(reloaded.len(), 1, "only the flipped entry is dropped");
+        assert_eq!(reloaded.invalidations(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persist_skips_when_nothing_is_dirty() {
+        let dir = tmpdir("skip");
+        let c = ProofCache::at_dir(&dir).unwrap();
+        // Fresh dir, nothing proved: no file is written at all.
+        assert!(matches!(c.persist(), Ok(PersistOutcome::Skipped)));
+        assert_eq!(c.persist_skips(), 1);
+        assert!(!dir.join(CACHE_FILE).exists());
+
+        c.record(fp(50), &proved());
+        assert!(matches!(c.persist(), Ok(PersistOutcome::Compacted(1))));
+        // Nothing new since: the write is skipped, not repeated.
+        assert!(matches!(c.persist(), Ok(PersistOutcome::Skipped)));
+        assert_eq!(c.persist_skips(), 2);
+
+        // A warm re-run (all hits, no fresh conclusions) also skips.
+        let warm = ProofCache::at_dir(&dir).unwrap();
+        assert!(warm.lookup(fp(50)).is_some());
+        assert!(matches!(warm.persist(), Ok(PersistOutcome::Skipped)));
+        assert_eq!(warm.persist_skips(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fresh_entries_append_to_a_clean_journal() {
+        let dir = tmpdir("append");
+        let c = ProofCache::at_dir(&dir).unwrap();
+        c.record(fp(60), &proved());
+        c.persist().unwrap();
+
+        let second = ProofCache::at_dir(&dir).unwrap();
+        second.record(fp(61), &refuted(&["y = 0"]));
+        assert!(matches!(second.persist(), Ok(PersistOutcome::Appended(1))));
+        // Append means the first entry's bytes were not rewritten.
+        let text = fs::read_to_string(dir.join(CACHE_FILE)).unwrap();
+        assert_eq!(text.lines().count(), 3, "header + two entries");
+
+        let reloaded = ProofCache::at_dir(&dir).unwrap();
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(reloaded.invalidations(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_full_disk_fails_cleanly_and_poisons_nothing() {
+        let dir = tmpdir("fulldisk");
+        let c = ProofCache::at_dir(&dir).unwrap();
+        c.record(fp(70), &proved());
+        c.persist().unwrap();
+
+        let second = ProofCache::at_dir(&dir).unwrap();
+        second.record(fp(71), &proved());
+        fault::install_io(IoFaultPlan::new().inject(0, IoFaultKind::FullDisk));
+        let err = second.persist().unwrap_err();
+        fault::clear_io();
+        assert!(err.to_string().contains("disk full"));
+        // Nothing reached the file; the entry stays dirty and a retry
+        // saves it.
+        assert_eq!(second.dirty_len(), 1);
+        let observer = ProofCache::at_dir(&dir).unwrap();
+        assert_eq!(observer.len(), 1);
+        assert_eq!(observer.invalidations(), 0);
+        assert!(matches!(second.persist(), Ok(PersistOutcome::Appended(1))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_torn_append_recovers_to_the_valid_prefix() {
+        let dir = tmpdir("torn-append");
+        let c = ProofCache::at_dir(&dir).unwrap();
+        c.record(fp(80), &proved());
+        c.persist().unwrap();
+
+        let second = ProofCache::at_dir(&dir).unwrap();
+        second.record(fp(81), &refuted(&["a = 2", "b = 3"]));
+        fault::install_io(IoFaultPlan::new().inject(0, IoFaultKind::TornWrite));
+        assert!(second.persist().is_err());
+        fault::clear_io();
+
+        // The journal now has a torn tail; loading recovers the valid
+        // prefix, counts the tear, and never serves a wrong verdict.
+        let reloaded = ProofCache::at_dir(&dir).unwrap();
+        assert_eq!(reloaded.lookup(fp(80)), Some(CachedProof::Proved));
+        assert_eq!(reloaded.lookup(fp(81)), None, "torn entry re-proves");
+        assert_eq!(reloaded.invalidations(), 1);
+        // And the recovered cache compacts the tear away on persist.
+        reloaded.record(fp(81), &refuted(&["a = 2", "b = 3"]));
+        assert!(matches!(
+            reloaded.persist(),
+            Ok(PersistOutcome::Compacted(2))
+        ));
+        let healed = ProofCache::at_dir(&dir).unwrap();
+        assert_eq!(healed.invalidations(), 0);
+        assert_eq!(healed.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_torn_compaction_never_replaces_the_store() {
+        let dir = tmpdir("torn-compact");
+        let c = ProofCache::at_dir(&dir).unwrap();
+        c.record(fp(90), &proved());
+        c.persist().unwrap();
+        // Corrupt the file so the next persist must compact.
+        let file = dir.join(CACHE_FILE);
+        let mut text = fs::read_to_string(&file).unwrap();
+        text.push_str("torn garbage");
+        fs::write(&file, &text).unwrap();
+
+        let second = ProofCache::at_dir(&dir).unwrap();
+        assert_eq!(second.invalidations(), 1);
+        second.record(fp(91), &proved());
+        fault::install_io(IoFaultPlan::new().inject(0, IoFaultKind::TornWrite));
+        assert!(second.persist().is_err());
+        fault::clear_io();
+        // The torn temp file was discarded; the (corrupt but recoverable)
+        // store is still exactly what it was.
+        assert_eq!(fs::read_to_string(&file).unwrap(), text);
+        assert!(matches!(second.persist(), Ok(PersistOutcome::Compacted(2))));
+        let healed = ProofCache::at_dir(&dir).unwrap();
+        assert_eq!(healed.invalidations(), 0);
+        assert_eq!(healed.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn two_concurrent_writers_never_interleave_entries() {
+        let dir = tmpdir("contention");
+        // Seed the journal so both writers run in append mode.
+        let seed = ProofCache::at_dir(&dir).unwrap();
+        seed.record(fp(0), &proved());
+        seed.persist().unwrap();
+
+        // Two independent cache instances (modelling two `stqc`
+        // processes sharing --cache-dir) append batches of long entries
+        // concurrently. The advisory lock must serialize the appends:
+        // every line of the final journal parses, nothing interleaves.
+        let model: Vec<&str> = vec!["some = countermodel", "with = several", "long = literals"];
+        std::thread::scope(|s| {
+            for writer in 0..2u128 {
+                let dir = &dir;
+                let model = &model;
+                s.spawn(move || {
+                    let c = ProofCache::at_dir(dir).unwrap();
+                    for i in 0..25u128 {
+                        c.record(fp(1000 + writer * 100 + i), &refuted(model));
+                        c.persist().unwrap();
+                    }
+                });
+            }
+        });
+
+        let merged = ProofCache::at_dir(&dir).unwrap();
+        assert_eq!(merged.invalidations(), 0, "no interleaved/torn lines");
+        assert_eq!(merged.len(), 51, "both writers' entries all present");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn persist_without_dir_is_a_no_op() {
         let c = ProofCache::in_memory();
         c.record(fp(1), &proved());
-        assert!(c.persist().is_ok());
+        assert!(matches!(c.persist(), Ok(PersistOutcome::Skipped)));
+        assert_eq!(c.persist_skips(), 0, "in-memory skips are not counted");
         assert!(c.dir().is_none());
     }
 
@@ -438,5 +1039,24 @@ mod tests {
         for s in ["plain", "tab\there", "nl\nthere", "back\\slash", "\u{1f}sep"] {
             assert_eq!(unescape(&escape(s)), s);
         }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn render_parse_round_trips_and_crc_guards_the_body() {
+        let entry = render_entry(fp(7), &CachedProof::Refuted { model: vec!["m".into()] });
+        let line = entry.trim_end();
+        let (got_fp, got) = parse_entry(line).expect("round trip");
+        assert_eq!(got_fp, fp(7));
+        assert_eq!(got, CachedProof::Refuted { model: vec!["m".into()] });
+        // Any body mutation breaks the CRC.
+        let tampered = line.replacen('R', "P", 1);
+        assert_eq!(parse_entry(&tampered), None);
     }
 }

@@ -10,7 +10,7 @@ use std::time::{Duration, Instant};
 use stq_logic::solver::Outcome;
 use stq_logic::{fault, Budget, ProverStats, Resource, RetryPolicy};
 use stq_qualspec::{QualifierDef, Registry};
-use stq_util::Symbol;
+use stq_util::{CancelToken, Symbol};
 
 /// The result of one obligation's proof attempt(s).
 #[derive(Clone, Debug)]
@@ -27,6 +27,10 @@ pub struct ObligationResult {
     pub resource: Option<Resource>,
     /// The contained panic message, if the proof attempt crashed.
     pub crashed: Option<String>,
+    /// True when the obligation never ran: the run was cancelled before
+    /// a worker picked it up. Skipped results carry zero attempts and
+    /// empty stats, and say nothing about the obligation's soundness.
+    pub skipped: bool,
     /// Proof attempts run: 1 normally, more when the retry ladder
     /// re-ran a resource-out obligation under escalated budgets.
     pub attempts: u32,
@@ -54,6 +58,12 @@ pub enum Verdict {
     /// (and none was positively refuted): soundness is undetermined
     /// because the prover crashed, not because the obligation failed.
     Crashed,
+    /// The run was cancelled (Ctrl-C or an expired run deadline) before
+    /// this qualifier got a full verdict: at least one obligation was
+    /// skipped outright or interrupted mid-search, and none was
+    /// positively refuted or crashed. A partial report must not be read
+    /// as exonerating the unreached obligations.
+    Interrupted,
 }
 
 impl fmt::Display for Verdict {
@@ -64,6 +74,7 @@ impl fmt::Display for Verdict {
             Verdict::NoInvariant => "no invariant (vacuously sound)",
             Verdict::ResourceOut => "undetermined (resource budget exhausted)",
             Verdict::Crashed => "undetermined (prover crashed; crash contained)",
+            Verdict::Interrupted => "undetermined (run interrupted before completion)",
         })
     }
 }
@@ -111,8 +122,12 @@ impl fmt::Display for QualReport {
         for o in &self.obligations {
             let status = if o.proved {
                 "proved"
+            } else if o.skipped {
+                "SKIPPED"
             } else if o.crashed.is_some() {
                 "CRASHED"
+            } else if o.resource == Some(Resource::Cancelled) {
+                "INTERRUPTED"
             } else if o.resource.is_some() {
                 "OUT OF BUDGET"
             } else {
@@ -124,7 +139,12 @@ impl fmt::Display for QualReport {
                 writeln!(f, "      panic: {message}")?;
             }
             if let Some(resource) = o.resource {
-                writeln!(f, "      exhausted: {resource}")?;
+                let label = if resource == Resource::Cancelled {
+                    "stopped"
+                } else {
+                    "exhausted"
+                };
+                writeln!(f, "      {label}: {resource}")?;
             }
             if o.attempts > 1 {
                 writeln!(f, "      attempts: {}", o.attempts)?;
@@ -212,7 +232,7 @@ pub fn check_qualifier_cached(
     }
     let results: Vec<ObligationResult> = obligations_for(registry, def)
         .into_iter()
-        .map(|ob| discharge(ob, budget, retry, cache))
+        .map(|ob| discharge(ob, budget, retry, cache, &CancelToken::default()))
         .collect();
     QualReport {
         qualifier: def.name,
@@ -222,16 +242,40 @@ pub fn check_qualifier_cached(
     }
 }
 
+/// The result recorded for an obligation the run never reached: zero
+/// attempts, empty stats, and no claim about soundness either way.
+fn skipped_result(description: String, duration: Duration) -> ObligationResult {
+    ObligationResult {
+        description,
+        proved: false,
+        countermodel: Vec::new(),
+        resource: None,
+        crashed: None,
+        skipped: true,
+        attempts: 0,
+        stats: ProverStats::default(),
+        duration,
+    }
+}
+
 /// Discharges one obligation: proof-cache lookup (when a cache is
 /// supplied), then the fault-isolated retry ladder, then cache recording
 /// of a conclusive outcome.
+///
+/// The [`CancelToken`] is cloned into the prover so an in-flight search
+/// stops at its next decision-point poll; if the token has already fired
+/// before any work starts, the obligation is skipped outright.
 fn discharge(
     mut ob: Obligation,
     budget: Budget,
     retry: RetryPolicy,
     cache: Option<&ProofCache>,
+    cancel: &CancelToken,
 ) -> ObligationResult {
     let t0 = Instant::now();
+    if cancel.should_stop() {
+        return skipped_result(ob.description, t0.elapsed());
+    }
     let fp = cache.map(|_| {
         // Fingerprint under the *base* budget: the retry ladder is part
         // of the key separately, so escalated attempts don't fragment it.
@@ -250,6 +294,7 @@ fn discharge(
                 countermodel,
                 resource: None,
                 crashed: None,
+                skipped: false,
                 attempts: 0,
                 stats: ProverStats {
                     cache_hits: 1,
@@ -259,6 +304,7 @@ fn discharge(
             };
         }
     }
+    ob.problem.cancel = cancel.clone();
     let mut attempts = 0u32;
     let mut total = ProverStats::default();
     let outcome = loop {
@@ -266,7 +312,9 @@ fn discharge(
         ob.problem.config = retry.budget_for(budget, attempts);
         let outcome = ob.problem.prove_isolated();
         total.absorb(outcome.stats());
-        if outcome.is_resource_out() && attempts < retry.attempt_cap() {
+        // A fired token also stops the ladder: escalated re-attempts
+        // would each be cancelled again at their first poll.
+        if outcome.is_resource_out() && attempts < retry.attempt_cap() && !cancel.should_stop() {
             continue;
         }
         break outcome;
@@ -288,6 +336,7 @@ fn discharge(
         countermodel,
         resource,
         crashed,
+        skipped: false,
         attempts,
         stats: total,
         duration: t0.elapsed(),
@@ -295,13 +344,22 @@ fn discharge(
 }
 
 /// The qualifier verdict implied by its obligation results: refutation
-/// outranks a crash outranks a budget exhaustion outranks soundness.
+/// outranks a crash outranks an interruption outranks a budget
+/// exhaustion outranks soundness. Interruption (a skipped obligation or
+/// one cancelled mid-search) outranks `ResourceOut` because it says the
+/// *run* stopped, not that the budget was too small.
 fn verdict_for(results: &[ObligationResult]) -> Verdict {
-    let refuted = |o: &ObligationResult| !o.proved && o.crashed.is_none() && o.resource.is_none();
+    let refuted = |o: &ObligationResult| {
+        !o.proved && !o.skipped && o.crashed.is_none() && o.resource.is_none()
+    };
+    let interrupted =
+        |o: &ObligationResult| o.skipped || o.resource == Some(Resource::Cancelled);
     if results.iter().any(refuted) {
         Verdict::Unsound
     } else if results.iter().any(|o| o.crashed.is_some()) {
         Verdict::Crashed
+    } else if results.iter().any(interrupted) {
+        Verdict::Interrupted
     } else if results.iter().any(|o| o.resource.is_some()) {
         Verdict::ResourceOut
     } else {
@@ -369,7 +427,48 @@ impl SoundnessReport {
         self.reports
             .iter()
             .flat_map(|r| &r.obligations)
-            .filter(|o| o.attempts > 0)
+            .filter(|o| o.attempts > 0 && !o.skipped)
+            .count()
+    }
+
+    fn obligation_results(&self) -> impl Iterator<Item = &ObligationResult> {
+        self.reports.iter().flat_map(|r| &r.obligations)
+    }
+
+    /// True when the run was cut short: some obligation was skipped
+    /// before running or cancelled mid-search. A partial report carries
+    /// every verdict reached so far but proves nothing about the rest.
+    pub fn interrupted(&self) -> bool {
+        self.obligation_results()
+            .any(|o| o.skipped || o.resource == Some(Resource::Cancelled))
+    }
+
+    /// Obligations the cancelled run never started.
+    pub fn skipped_count(&self) -> usize {
+        self.obligation_results().filter(|o| o.skipped).count()
+    }
+
+    /// Obligations that exhausted their *wall-clock* budget
+    /// ([`Resource::Time`]): a deadline fired, regardless of how much
+    /// step budget remained.
+    pub fn timed_out_count(&self) -> usize {
+        self.obligation_results()
+            .filter(|o| o.resource == Some(Resource::Time))
+            .count()
+    }
+
+    /// Obligations that exhausted a *step* budget (decisions, rounds,
+    /// instantiations, clauses, or an injected exhaustion) — any
+    /// resource limit that is not wall-clock time and not an external
+    /// cancellation.
+    pub fn step_out_count(&self) -> usize {
+        self.obligation_results()
+            .filter(|o| {
+                matches!(
+                    o.resource,
+                    Some(r) if r != Resource::Time && r != Resource::Cancelled
+                )
+            })
             .count()
     }
 }
@@ -378,6 +477,13 @@ impl fmt::Display for SoundnessReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for r in &self.reports {
             write!(f, "{r}")?;
+        }
+        if self.interrupted() {
+            writeln!(
+                f,
+                "INTERRUPTED: partial report; {} obligation(s) never ran",
+                self.skipped_count()
+            )?;
         }
         writeln!(
             f,
@@ -458,6 +564,20 @@ pub fn check_all_pipeline(
     check_defs_pipeline(registry, &defs, budget, retry, jobs, cache)
 }
 
+/// [`check_all_pipeline`] under a [`CancelToken`]: the whole-registry
+/// entry point for deadline-bounded and Ctrl-C-interruptible runs.
+pub fn check_all_pipeline_cancellable(
+    registry: &Registry,
+    budget: Budget,
+    retry: RetryPolicy,
+    jobs: usize,
+    cache: Option<&ProofCache>,
+    cancel: &CancelToken,
+) -> SoundnessReport {
+    let defs: Vec<&QualifierDef> = registry.iter().collect();
+    check_defs_pipeline_cancellable(registry, &defs, budget, retry, jobs, cache, cancel)
+}
+
 /// [`check_all_pipeline`] over an explicit subset of definitions (the
 /// CLI's `prove foo bar` path), in the given order.
 pub fn check_defs_pipeline(
@@ -467,6 +587,36 @@ pub fn check_defs_pipeline(
     retry: RetryPolicy,
     jobs: usize,
     cache: Option<&ProofCache>,
+) -> SoundnessReport {
+    check_defs_pipeline_cancellable(
+        registry,
+        defs,
+        budget,
+        retry,
+        jobs,
+        cache,
+        &CancelToken::default(),
+    )
+}
+
+/// [`check_defs_pipeline`] under a [`CancelToken`]: workers poll the
+/// token before taking each obligation and the prover polls it at its
+/// decision points, so a fired token ends the run at the next safepoint.
+/// Obligations the pool never reached come back as skipped results
+/// (zero attempts, no stats), an obligation interrupted mid-search
+/// records [`Resource::Cancelled`], and any of either makes the report
+/// [`SoundnessReport::interrupted`]. Conclusive outcomes reached before
+/// the cancellation are still recorded in the cache as usual, so an
+/// interrupted run resumes from where it stopped.
+#[allow(clippy::too_many_arguments)]
+pub fn check_defs_pipeline_cancellable(
+    registry: &Registry,
+    defs: &[&QualifierDef],
+    budget: Budget,
+    retry: RetryPolicy,
+    jobs: usize,
+    cache: Option<&ProofCache>,
+    cancel: &CancelToken,
 ) -> SoundnessReport {
     let start = Instant::now();
     let jobs = jobs.max(1);
@@ -481,16 +631,27 @@ pub fn check_defs_pipeline(
             }
         }
     }
+    // Capture each task's slot and description up front: a task the
+    // cancelled pool never reached comes back `None`, and its skipped
+    // placeholder still needs both.
+    let meta: Vec<(usize, String)> = tasks
+        .iter()
+        .map(|(qi, ob)| (*qi, ob.description.clone()))
+        .collect();
     let fault_handle = fault::handle();
-    let results = stq_util::pool::run_indexed(
+    let slots = stq_util::pool::run_indexed_cancellable(
         jobs,
         tasks,
+        cancel,
         || fault::adopt(fault_handle.clone()),
-        |_, (qi, ob)| (qi, discharge(ob, budget, retry, cache)),
+        |_, (_, ob)| discharge(ob, budget, retry, cache, cancel),
     );
     let mut per_qual: Vec<Vec<ObligationResult>> = defs.iter().map(|_| Vec::new()).collect();
-    for (qi, result) in results {
-        per_qual[qi].push(result);
+    for ((qi, description), slot) in meta.into_iter().zip(slots) {
+        per_qual[qi].push(match slot {
+            Some(result) => result,
+            None => skipped_result(description, Duration::ZERO),
+        });
     }
     let reports: Vec<QualReport> = defs
         .iter()
@@ -953,6 +1114,178 @@ mod tests {
         assert!(report.all_sound(), "{report}");
         // Nothing ran out, so nothing retried.
         assert_eq!(report.attempt_count(), report.obligation_count() as u64);
+    }
+
+    fn fake_result(description: &str) -> ObligationResult {
+        ObligationResult {
+            description: description.to_string(),
+            proved: false,
+            countermodel: Vec::new(),
+            resource: None,
+            crashed: None,
+            skipped: false,
+            attempts: 1,
+            stats: ProverStats::default(),
+            duration: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_skips_every_obligation() {
+        let registry = Registry::builtins();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let report = check_all_pipeline_cancellable(
+            &registry,
+            Budget::default(),
+            RetryPolicy::none(),
+            2,
+            None,
+            &cancel,
+        );
+        assert!(report.interrupted());
+        assert_eq!(report.skipped_count(), report.obligation_count());
+        assert_eq!(report.attempt_count(), 0);
+        for r in &report.reports {
+            if r.obligations.is_empty() {
+                assert_eq!(r.verdict, Verdict::NoInvariant);
+            } else {
+                assert_eq!(r.verdict, Verdict::Interrupted, "{r}");
+                assert!(r.obligations.iter().all(|o| o.skipped));
+            }
+        }
+        let shown = report.to_string();
+        assert!(shown.contains("[SKIPPED]"), "{shown}");
+        assert!(shown.contains("INTERRUPTED: partial report"), "{shown}");
+    }
+
+    #[test]
+    fn expired_token_deadline_interrupts_the_run() {
+        let registry = Registry::builtins();
+        let cancel = CancelToken::deadline_in(Duration::ZERO);
+        let report = check_all_pipeline_cancellable(
+            &registry,
+            Budget::default(),
+            RetryPolicy::none(),
+            1,
+            None,
+            &cancel,
+        );
+        assert!(report.interrupted());
+        assert_eq!(report.skipped_count(), report.obligation_count());
+    }
+
+    #[test]
+    fn default_token_pipeline_matches_the_plain_pipeline() {
+        let registry = Registry::builtins();
+        let plain = check_all_pipeline(&registry, Budget::default(), RetryPolicy::none(), 2, None);
+        let cancellable = check_all_pipeline_cancellable(
+            &registry,
+            Budget::default(),
+            RetryPolicy::none(),
+            2,
+            None,
+            &CancelToken::default(),
+        );
+        assert!(!cancellable.interrupted());
+        assert_eq!(cancellable.skipped_count(), 0);
+        let verdicts = |r: &SoundnessReport| -> Vec<Verdict> {
+            r.reports.iter().map(|q| q.verdict).collect()
+        };
+        assert_eq!(verdicts(&plain), verdicts(&cancellable));
+        assert_eq!(plain.obligation_count(), cancellable.obligation_count());
+    }
+
+    #[test]
+    fn interruption_outranks_resource_out_but_not_crash_or_refutation() {
+        let skipped = skipped_result("never ran".to_string(), Duration::ZERO);
+        let cancelled = ObligationResult {
+            resource: Some(Resource::Cancelled),
+            ..fake_result("stopped mid-search")
+        };
+        let out = ObligationResult {
+            resource: Some(Resource::Decisions),
+            ..fake_result("out of budget")
+        };
+        let crashed = ObligationResult {
+            crashed: Some("boom".to_string()),
+            ..fake_result("panicked")
+        };
+        let refuted = fake_result("countermodel found");
+        let proved = ObligationResult {
+            proved: true,
+            ..fake_result("fine")
+        };
+        assert_eq!(verdict_for(&[proved.clone(), skipped.clone()]), Verdict::Interrupted);
+        assert_eq!(verdict_for(&[out.clone(), skipped.clone()]), Verdict::Interrupted);
+        assert_eq!(verdict_for(&[proved.clone(), cancelled]), Verdict::Interrupted);
+        assert_eq!(verdict_for(&[crashed, skipped.clone()]), Verdict::Crashed);
+        assert_eq!(verdict_for(&[refuted, skipped]), Verdict::Unsound);
+        assert_eq!(verdict_for(&[proved.clone(), out]), Verdict::ResourceOut);
+        assert_eq!(verdict_for(&[proved]), Verdict::Sound);
+    }
+
+    #[test]
+    fn timed_out_and_step_out_counters_split_by_resource() {
+        let registry = Registry::builtins();
+        let def = registry.get_by_name("unique").unwrap();
+        let starved = Budget {
+            max_rounds: 1,
+            max_instantiations: 1,
+            ..Budget::default()
+        };
+        let report =
+            check_defs_pipeline(&registry, &[def], starved, RetryPolicy::none(), 1, None);
+        assert_eq!(report.timed_out_count(), 0);
+        assert!(report.step_out_count() > 0);
+        assert!(!report.interrupted());
+    }
+
+    #[test]
+    fn conclusive_results_before_cancellation_reach_the_cache() {
+        // Discharge one obligation before the token fires and the rest
+        // after: the conclusive result persists, the skipped ones don't,
+        // and a resumed run replays the conclusive prefix as cache hits.
+        let dir = std::env::temp_dir().join(format!(
+            "stq-cancel-cache-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = Registry::builtins();
+        let def = registry.get_by_name("pos").unwrap();
+        let cache = ProofCache::at_dir(&dir).unwrap();
+        let cancel = CancelToken::new();
+        let mut obs = obligations_for(&registry, def).into_iter();
+        let first = discharge(
+            obs.next().unwrap(),
+            Budget::default(),
+            RetryPolicy::none(),
+            Some(&cache),
+            &cancel,
+        );
+        assert!(first.proved && !first.skipped);
+        cancel.cancel();
+        for ob in obs {
+            let r = discharge(ob, Budget::default(), RetryPolicy::none(), Some(&cache), &cancel);
+            assert!(r.skipped, "post-cancel obligations are skipped: {}", r.description);
+            assert_eq!(r.attempts, 0);
+        }
+        cache.persist().unwrap();
+        // A fresh full run over the same store replays the proved
+        // obligation as a hit and finishes the rest.
+        let warm = ProofCache::at_dir(&dir).unwrap();
+        let resumed = check_defs_pipeline(
+            &registry,
+            &[def],
+            Budget::default(),
+            RetryPolicy::none(),
+            1,
+            Some(&warm),
+        );
+        assert_eq!(resumed.reports[0].verdict, Verdict::Sound, "{resumed}");
+        assert!(warm.hits() >= 1, "resumed run must hit the cache");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Cooperative cancellation tokens with optional wall-clock deadlines.
+//!
+//! A [`CancelToken`] is the one mechanism by which long-running work in
+//! this workspace — the prover's DPLL search, E-matching rounds, the
+//! soundness checker's obligation pipeline, fuzz campaigns — is asked to
+//! stop early. It carries two independent stop conditions:
+//!
+//! * an **external cancel flag**, set by [`CancelToken::cancel`] (e.g.
+//!   from a SIGINT handler; the method is a single atomic store and is
+//!   async-signal-safe), and
+//! * an optional **deadline**, a wall-clock instant after which
+//!   [`CancelToken::stop_reason`] reports [`CancelReason::DeadlineExpired`].
+//!
+//! Cancellation is strictly *cooperative*: nothing is interrupted
+//! preemptively. Work polls the token at its natural safepoints (solver
+//! decision batches, round boundaries, pool task boundaries) and winds
+//! down with partial results. Tokens are cheap `Arc` handles — clone one
+//! per worker; every clone observes the same flag and deadline.
+//!
+//! The default token ([`CancelToken::default`] / [`CancelToken::new`])
+//! never fires, so code paths that thread a token through unconditionally
+//! pay one relaxed atomic load per poll when no deadline or cancel is in
+//! play — the property the determinism guarantee (`--jobs 1/4/8` yield
+//! byte-identical verdicts when deadlines are disabled) rests on.
+//!
+//! # Examples
+//!
+//! ```
+//! use stq_util::cancel::{CancelReason, CancelToken};
+//!
+//! let token = CancelToken::new();
+//! assert!(token.stop_reason().is_none());
+//!
+//! token.cancel();
+//! assert_eq!(token.stop_reason(), Some(CancelReason::Cancelled));
+//!
+//! let expired = CancelToken::deadline_in(std::time::Duration::ZERO);
+//! assert_eq!(expired.stop_reason(), Some(CancelReason::DeadlineExpired));
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a token asked its holders to stop.
+///
+/// The distinction is load-bearing downstream: a deadline expiry becomes
+/// a *timed-out* prover outcome (`Resource::Time` — wall-clock
+/// exhaustion, same as a per-obligation `timeout`), while an external
+/// cancel becomes a *cancelled* outcome (`Resource::Cancelled`) and marks
+/// the whole run as interrupted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called (SIGINT, caller abort, ...).
+    Cancelled,
+    /// The token's wall-clock deadline has passed.
+    DeadlineExpired,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable, thread-safe handle asking cooperative work to stop.
+///
+/// See the [module docs](self) for the protocol. `Clone` shares the
+/// underlying state: cancelling any clone cancels them all.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that never fires on its own (no deadline, not cancelled).
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that fires once the wall clock reaches `deadline`.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// A token that fires `from_now` after this call.
+    pub fn deadline_in(from_now: Duration) -> CancelToken {
+        CancelToken::with_deadline(Instant::now() + from_now)
+    }
+
+    /// Requests cancellation. Idempotent, and safe to call from a signal
+    /// handler: the body is a single atomic store (no locks, no
+    /// allocation).
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True once [`cancel`](CancelToken::cancel) has been called on any
+    /// clone. Does **not** consider the deadline.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// The wall-clock deadline, if this token carries one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Polls both stop conditions. The external cancel flag wins when
+    /// both hold: an operator's Ctrl-C should read as an interruption
+    /// even if the deadline lapsed in the same instant.
+    ///
+    /// The fast path (default token, not cancelled) is one atomic load
+    /// and one `Option` check — no clock read.
+    pub fn stop_reason(&self) -> Option<CancelReason> {
+        if self.is_cancelled() {
+            return Some(CancelReason::Cancelled);
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => Some(CancelReason::DeadlineExpired),
+            _ => None,
+        }
+    }
+
+    /// `stop_reason().is_some()`, for callers that only need a yes/no.
+    pub fn should_stop(&self) -> bool {
+        self.stop_reason().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_token_never_fires() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(!t.should_stop());
+        assert_eq!(t.stop_reason(), None);
+        assert_eq!(t.deadline(), None);
+    }
+
+    #[test]
+    fn cancel_is_seen_by_every_clone() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.stop_reason(), Some(CancelReason::Cancelled));
+        // Idempotent.
+        t.cancel();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_expired() {
+        let t = CancelToken::deadline_in(Duration::ZERO);
+        assert!(!t.is_cancelled(), "deadline expiry is not a cancel");
+        assert_eq!(t.stop_reason(), Some(CancelReason::DeadlineExpired));
+        assert!(t.should_stop());
+    }
+
+    #[test]
+    fn future_deadline_does_not_fire_early() {
+        let t = CancelToken::deadline_in(Duration::from_secs(3600));
+        assert_eq!(t.stop_reason(), None);
+        assert!(t.deadline().is_some());
+    }
+
+    #[test]
+    fn cancel_outranks_an_expired_deadline() {
+        let t = CancelToken::deadline_in(Duration::ZERO);
+        t.cancel();
+        assert_eq!(t.stop_reason(), Some(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn cancel_crosses_threads() {
+        let t = CancelToken::new();
+        let worker = t.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || worker.cancel());
+        });
+        assert!(t.is_cancelled());
+    }
+}

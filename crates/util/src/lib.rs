@@ -7,6 +7,8 @@
 //!   with lock-free reads so parallel provers never contend on the table,
 //! * [`pool`] — a work-stealing scoped thread pool for embarrassingly
 //!   parallel batches (the soundness checker's proof obligations),
+//! * [`cancel`] — cooperative cancellation tokens (deadline + external
+//!   cancel flag) polled by the prover, the pool, and fuzz campaigns,
 //! * [`Span`] / [`Loc`] — byte-offset source locations for error reporting,
 //! * [`Diagnostic`] / [`Diagnostics`] — structured warnings and errors, in the
 //!   spirit of the paper's typechecker which "provides type errors to the
@@ -27,11 +29,13 @@
 //! assert!(diags.has_errors());
 //! ```
 
+pub mod cancel;
 pub mod diag;
 pub mod intern;
 pub mod pool;
 pub mod span;
 
+pub use cancel::{CancelReason, CancelToken};
 pub use diag::{Diagnostic, Diagnostics, Severity};
 pub use intern::Symbol;
 pub use span::{Loc, Span};

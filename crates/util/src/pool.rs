@@ -31,6 +31,8 @@
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
+use crate::cancel::CancelToken;
+
 /// The number of workers to use when the caller does not specify:
 /// the machine's available parallelism, 1 if it cannot be determined.
 pub fn default_jobs() -> usize {
@@ -59,12 +61,47 @@ where
     F: Fn(usize, T) -> R + Sync,
     I: Fn() + Sync,
 {
+    run_indexed_cancellable(jobs, tasks, &CancelToken::default(), init, run)
+        .into_iter()
+        .map(|r| r.expect("default token never cancels, so every task ran"))
+        .collect()
+}
+
+/// Like [`run_indexed`], but workers poll `cancel` before taking each
+/// task. Tasks that never start come back as `None`, in their input
+/// slots, so the caller can tell "skipped" apart from any real result —
+/// the soundness checker turns those slots into `Skipped` obligations in
+/// its partial report.
+///
+/// Cancellation is checked only at task *boundaries*; a task already
+/// running is never abandoned mid-flight (in-flight provers observe the
+/// same token themselves at their own safepoints). With the default
+/// token this is exactly [`run_indexed`]: every slot comes back `Some`.
+pub fn run_indexed_cancellable<T, R, F, I>(
+    jobs: usize,
+    tasks: Vec<T>,
+    cancel: &CancelToken,
+    init: I,
+    run: F,
+) -> Vec<Option<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+    I: Fn() + Sync,
+{
     let n = tasks.len();
     if jobs <= 1 || n <= 1 {
         return tasks
             .into_iter()
             .enumerate()
-            .map(|(i, t)| run(i, t))
+            .map(|(i, t)| {
+                if cancel.should_stop() {
+                    None
+                } else {
+                    Some(run(i, t))
+                }
+            })
             .collect();
     }
     let workers = jobs.min(n);
@@ -85,7 +122,8 @@ where
             let init = &init;
             scope.spawn(move || {
                 init();
-                while let Some(i) = next_task(deques, w) {
+                while !cancel.should_stop() {
+                    let Some(i) = next_task(deques, w) else { break };
                     if let Some(task) = slots[i].lock().expect("slot lock").take() {
                         let r = run(i, task);
                         *results[i].lock().expect("result lock") = Some(r);
@@ -97,11 +135,7 @@ where
 
     results
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result lock")
-                .expect("every task index was drained from some deque")
-        })
+        .map(|m| m.into_inner().expect("result lock"))
         .collect()
 }
 
@@ -195,6 +229,50 @@ mod tests {
     fn more_jobs_than_tasks_is_fine() {
         let out = run_indexed(16, (0..3usize).collect(), || {}, |_, t| t + 1);
         assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pre_cancelled_token_skips_every_task() {
+        for jobs in [1, 4] {
+            let cancel = CancelToken::new();
+            cancel.cancel();
+            let ran = AtomicUsize::new(0);
+            let out = run_indexed_cancellable(jobs, (0..16usize).collect(), &cancel, || {}, |_, t| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                t
+            });
+            assert_eq!(out.len(), 16, "jobs={jobs}: slots preserved");
+            assert!(out.iter().all(Option::is_none), "jobs={jobs}");
+            assert_eq!(ran.load(Ordering::Relaxed), 0, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn cancelling_mid_run_stops_at_a_task_boundary() {
+        let cancel = CancelToken::new();
+        let out = run_indexed_cancellable(1, (0..64usize).collect(), &cancel, || {}, |i, t| {
+            if i == 9 {
+                cancel.cancel();
+            }
+            t
+        });
+        assert_eq!(out.iter().filter(|r| r.is_some()).count(), 10);
+        assert!(out[10..].iter().all(Option::is_none));
+        assert_eq!(out[9], Some(9), "the cancelling task itself completes");
+    }
+
+    #[test]
+    fn default_token_matches_run_indexed_exactly() {
+        let cancellable = run_indexed_cancellable(
+            4,
+            (0..40usize).collect(),
+            &CancelToken::default(),
+            || {},
+            |_, t| t * 3,
+        );
+        assert!(cancellable.iter().all(Option::is_some));
+        let plain = run_indexed(4, (0..40usize).collect(), || {}, |_, t| t * 3);
+        assert_eq!(cancellable.into_iter().map(Option::unwrap).collect::<Vec<_>>(), plain);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Soundness + prover benchmarks. Emits BENCH_soundness.json at the repo
 # root: obligations/sec for the sequential, parallel (jobs=4, cold), and
-# warm-cache pipeline modes, plus the cache hit/miss ledger of a cold vs
-# warm second run. See docs/performance.md for how to read the numbers.
+# warm-cache pipeline modes, the cache hit/miss ledger of a cold vs
+# warm second run, and the deadline-enforcement overhead of the warm
+# jobs=4 run with a (never-firing) timeout + deadline armed — asserted
+# <5% by the bench itself. See docs/performance.md for the numbers.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -27,4 +27,30 @@ echo "==> stqc fuzz smoke (fixed seed, bounded)"
 echo "==> stqc fuzz corpus replay"
 ./target/release/stqc fuzz --replay tests/corpus
 
+echo "==> stqc deadline smoke (expired deadline must exit 5, not hang)"
+deadline_rc=0
+timeout 30 ./target/release/stqc prove --deadline-ms 0 >/dev/null || deadline_rc=$?
+if [ "$deadline_rc" -ne 5 ]; then
+    echo "expected exit 5 from an expired deadline, got $deadline_rc" >&2
+    exit 1
+fi
+
+echo "==> stqc interrupted-then-resumed cache smoke"
+cache_dir="$(mktemp -d /tmp/stqc-smoke-cache-XXXXXX)"
+trap 'rm -f "$smoke_src"; rm -rf "$cache_dir"' EXIT
+interrupted_rc=0
+./target/release/stqc prove --cache-dir "$cache_dir" --deadline-ms 0 >/dev/null \
+    || interrupted_rc=$?
+if [ "$interrupted_rc" -ne 5 ]; then
+    echo "expected exit 5 from the interrupted run, got $interrupted_rc" >&2
+    exit 1
+fi
+./target/release/stqc prove --cache-dir "$cache_dir" >/dev/null
+warm_stats="$(./target/release/stqc prove --cache-dir "$cache_dir" --stats)"
+if ! grep -q ' 0 miss(es)' <<< "$warm_stats"; then
+    echo "resumed warm run still missed the cache:" >&2
+    echo "$warm_stats" >&2
+    exit 1
+fi
+
 echo "==> all checks passed"

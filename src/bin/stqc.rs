@@ -10,7 +10,8 @@
 //! stqc tables [--stats] [--json]         regenerate Tables 1 and 2
 //! stqc show [--quals FILE] [NAME]        print qualifier definitions
 //! stqc fuzz [--seed N] [--count N] [--jobs N] [--max-depth N] [--json]
-//!           [--replay DIR]               differential fuzzing
+//!           [--deadline-ms N] [--replay DIR]
+//!                                        differential fuzzing
 //! ```
 //!
 //! Budget flags (`prove` only) bound the prover so a pathological
@@ -35,6 +36,16 @@
 //! * `--retry N` re-runs `ResourceOut` obligations up to `N` attempts
 //!   under geometrically escalated budgets (`--retry-factor F`,
 //!   default 2);
+//! * `--deadline-ms N` bounds the *whole run* (`prove` and `fuzz`):
+//!   when the deadline lapses, in-flight work stops at the next
+//!   safepoint, unreached obligations/cases are marked skipped, and the
+//!   partial report is emitted with exit code 5. `--timeout-ms` by
+//!   contrast is a per-obligation prover budget (and part of the proof-
+//!   cache key; the run deadline is not, so an interrupted run resumes
+//!   from the same cache).
+//! * Ctrl-C (SIGINT) requests the same cooperative stop: conclusive
+//!   verdicts reached so far are reported, the proof cache is persisted,
+//!   and the exit code is 5. A second Ctrl-C exits immediately (130).
 //! * `--keep-going` continues past crashed qualifiers (`prove`) and
 //!   past syntax errors (`check`, via the error-resilient parser);
 //! * `--fault-panic-at N` / `--fault-resource-out-at N` /
@@ -44,7 +55,8 @@
 //! Exit codes are structured: 0 success, 1 unsound/refuted (or
 //! qualifier errors from `check`), 2 usage errors, 3 input errors
 //! (unreadable or unparseable files), 4 a proof attempt crashed or ran
-//! out of budget even after retries.
+//! out of budget even after retries, 5 the run was interrupted
+//! (deadline or Ctrl-C) and the report is partial.
 //!
 //! `--stats` prints prover/checker telemetry; `--json` switches the
 //! report to a machine-readable JSON document on stdout (the schema is
@@ -55,8 +67,8 @@ use std::fs;
 use std::process::ExitCode;
 use std::time::Duration;
 use stq_core::{
-    fault, Budget, CheckOptions, CheckStats, FaultKind, FaultPlan, ProofCache, ProverStats,
-    QualReport, Resource, RetryPolicy, Session, Value, Verdict,
+    fault, Budget, CancelToken, CheckOptions, CheckStats, FaultKind, FaultPlan, PersistOutcome,
+    ProofCache, ProverStats, QualReport, Resource, RetryPolicy, Session, Value, Verdict,
 };
 
 const USAGE: &str = "usage: stqc <prove|check|run|infer|tables|show|fuzz> [options]\n\
@@ -99,6 +111,56 @@ const EXIT_INPUT: u8 = 3;
 /// Exit code when a proof attempt crashed (panic contained by the
 /// isolation layer) or ran out of budget even after the retry ladder.
 const EXIT_CRASH: u8 = 4;
+/// Exit code when the run was interrupted — `--deadline-ms` lapsed or a
+/// SIGINT arrived — and the emitted report is partial: conclusive
+/// verdicts are trustworthy, unreached work is marked skipped, and
+/// anything conclusive was persisted to the cache for resumption.
+const EXIT_INTERRUPTED: u8 = 5;
+
+/// Cooperative SIGINT handling: the first Ctrl-C cancels the run's
+/// [`CancelToken`] (workers drain at the next safepoint, the partial
+/// report and cache flush still happen); a second Ctrl-C exits
+/// immediately with the conventional 128+SIGINT code.
+#[cfg(unix)]
+mod interrupt {
+    use std::sync::OnceLock;
+    use stq_core::CancelToken;
+
+    static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn _exit(code: i32) -> !;
+    }
+
+    extern "C" fn on_sigint(_sig: i32) {
+        // Only async-signal-safe operations here: atomic loads/stores
+        // and `_exit`.
+        match TOKEN.get() {
+            Some(token) if !token.is_cancelled() => token.cancel(),
+            _ => unsafe { _exit(130) },
+        }
+    }
+
+    /// Registers `token` as the one SIGINT cancels and installs the
+    /// handler.
+    pub fn install(token: &CancelToken) {
+        let _ = TOKEN.set(token.clone());
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod interrupt {
+    use stq_core::CancelToken;
+
+    /// No signal wiring off unix; `--deadline-ms` still works.
+    pub fn install(_token: &CancelToken) {}
+}
 
 /// A diagnosed failure paired with the exit code class it belongs to.
 struct CliError {
@@ -136,6 +198,7 @@ struct Cli {
     retry: RetryPolicy,
     jobs: usize,
     cache_dir: Option<String>,
+    deadline_ms: Option<u64>,
 }
 
 /// Builds a session from builtins plus any `--quals FILE` definitions
@@ -151,6 +214,7 @@ fn session_from(args: &[String]) -> Result<Cli, CliError> {
     let mut plan = FaultPlan::new();
     let mut jobs: Option<u64> = None;
     let mut cache_dir: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -180,8 +244,8 @@ fn session_from(args: &[String]) -> Result<Cli, CliError> {
                 i += 2;
             }
             flag @ ("--max-rounds" | "--max-instantiations" | "--max-decisions"
-            | "--max-clauses" | "--timeout-ms" | "--retry" | "--retry-factor" | "--jobs"
-            | "--fault-panic-at" | "--fault-resource-out-at" | "--fault-theory-at") => {
+            | "--max-clauses" | "--timeout-ms" | "--deadline-ms" | "--retry" | "--retry-factor"
+            | "--jobs" | "--fault-panic-at" | "--fault-resource-out-at" | "--fault-theory-at") => {
                 let value = args
                     .get(i + 1)
                     .ok_or_else(|| usage_err(format!("{flag} needs a number")))?;
@@ -194,6 +258,7 @@ fn session_from(args: &[String]) -> Result<Cli, CliError> {
                     "--max-clauses" => budget.max_clauses = n as usize,
                     "--max-decisions" => budget.max_decisions = n,
                     "--timeout-ms" => budget.timeout = Some(Duration::from_millis(n)),
+                    "--deadline-ms" => deadline_ms = Some(n),
                     "--retry" => retry.max_attempts = n.min(u64::from(u32::MAX)) as u32,
                     "--retry-factor" => retry.factor = n.min(u64::from(u32::MAX)) as u32,
                     "--jobs" => jobs = Some(n),
@@ -239,7 +304,19 @@ fn session_from(args: &[String]) -> Result<Cli, CliError> {
         retry,
         jobs,
         cache_dir,
+        deadline_ms,
     })
+}
+
+/// The run's cancellation token: carries the `--deadline-ms` deadline
+/// when one was given, and is wired to SIGINT either way.
+fn run_token(deadline_ms: Option<u64>) -> CancelToken {
+    let token = match deadline_ms {
+        Some(ms) => CancelToken::deadline_in(Duration::from_millis(ms)),
+        None => CancelToken::new(),
+    };
+    interrupt::install(&token);
+    token
 }
 
 fn has_flag(flags: &[String], name: &str) -> bool {
@@ -276,6 +353,7 @@ fn resource_slug(r: Resource) -> &'static str {
         Resource::Decisions => "decisions",
         Resource::Clauses => "clauses",
         Resource::Time => "time",
+        Resource::Cancelled => "cancelled",
         Resource::Injected => "injected",
     }
 }
@@ -287,6 +365,7 @@ fn verdict_slug(v: Verdict) -> &'static str {
         Verdict::NoInvariant => "no-invariant",
         Verdict::ResourceOut => "resource-out",
         Verdict::Crashed => "crashed",
+        Verdict::Interrupted => "interrupted",
     }
 }
 
@@ -374,11 +453,12 @@ fn qual_report_json(r: &QualReport) -> String {
                 .map(|l| format!("\"{}\"", json_escape(l)))
                 .collect();
             format!(
-                "{{\"description\":\"{}\",\"proved\":{},\"resource\":{},\
+                "{{\"description\":\"{}\",\"proved\":{},\"skipped\":{},\"resource\":{},\
                  \"crashed\":{},\"attempts\":{},\
                  \"countermodel\":[{}],\"wall_ms\":{},\"stats\":{}}}",
                 json_escape(&o.description),
                 o.proved,
+                o.skipped,
                 o.resource
                     .map_or("null".to_owned(), |res| format!(
                         "\"{}\"",
@@ -415,11 +495,13 @@ fn prove(args: &[String]) -> ExitCode {
         retry,
         jobs,
         cache_dir,
+        deadline_ms,
     } = match session_from(args) {
         Ok(x) => x,
         Err(e) => return fail(e),
     };
     let keep_going = has_flag(&flags, "--keep-going");
+    let cancel = run_token(deadline_ms);
     let cache = match &cache_dir {
         Some(dir) => match ProofCache::at_dir(dir) {
             Ok(c) => Some(c),
@@ -430,8 +512,14 @@ fn prove(args: &[String]) -> ExitCode {
     let mut reports: Vec<QualReport> = Vec::new();
     match rest.first() {
         Some(name) => {
-            match session.prove_named_pipeline(&[name.as_str()], budget, retry, jobs, cache.as_ref())
-            {
+            match session.prove_named_cancellable(
+                &[name.as_str()],
+                budget,
+                retry,
+                jobs,
+                cache.as_ref(),
+                &cancel,
+            ) {
                 Ok(report) => reports.extend(report.reports),
                 Err(e) => return fail(input_err(e)),
             }
@@ -440,7 +528,8 @@ fn prove(args: &[String]) -> ExitCode {
             // The pipeline proves everything; without --keep-going the
             // report is truncated after the first crashed qualifier so
             // the output contract matches the sequential early stop.
-            let report = session.prove_all_sound_pipeline(budget, retry, jobs, cache.as_ref());
+            let report =
+                session.prove_all_sound_cancellable(budget, retry, jobs, cache.as_ref(), &cancel);
             reports = report.reports;
             if !keep_going {
                 if let Some(pos) = reports.iter().position(|r| r.verdict == Verdict::Crashed) {
@@ -455,16 +544,24 @@ fn prove(args: &[String]) -> ExitCode {
         }
         None => {
             // Sequential without --keep-going: stop at the first crash
-            // before spending budget on the remaining qualifiers.
+            // before spending budget on the remaining qualifiers. A
+            // fired token doesn't break the loop: the remaining
+            // qualifiers come back as skipped placeholders, so the
+            // partial report still names everything it didn't reach.
             let names: Vec<String> = session
                 .registry()
                 .iter()
                 .map(|d| d.name.to_string())
                 .collect();
             for name in &names {
-                let Ok(report) =
-                    session.prove_named_pipeline(&[name.as_str()], budget, retry, 1, cache.as_ref())
-                else {
+                let Ok(report) = session.prove_named_cancellable(
+                    &[name.as_str()],
+                    budget,
+                    retry,
+                    1,
+                    cache.as_ref(),
+                    &cancel,
+                ) else {
                     continue;
                 };
                 let Some(r) = report.reports.into_iter().next() else {
@@ -482,9 +579,14 @@ fn prove(args: &[String]) -> ExitCode {
             }
         }
     }
+    // Persist even (especially) on an interrupted run: conclusive
+    // verdicts reached before the stop are what lets a re-run with the
+    // same --cache-dir resume instead of starting over.
+    let mut persisted: Option<PersistOutcome> = None;
     if let Some(cache) = &cache {
-        if let Err(e) = cache.persist() {
-            eprintln!("stqc: warning: could not persist the proof cache: {e}");
+        match cache.persist() {
+            Ok(outcome) => persisted = Some(outcome),
+            Err(e) => eprintln!("stqc: warning: could not persist the proof cache: {e}"),
         }
     }
     let mut totals = ProverStats::default();
@@ -494,25 +596,55 @@ fn prove(args: &[String]) -> ExitCode {
     if let Some(cache) = &cache {
         totals.cache_invalidations += cache.invalidations();
     }
+    let all_results = || reports.iter().flat_map(|r| &r.obligations);
+    let skipped = all_results().filter(|o| o.skipped).count();
+    let cancelled_mid_search = all_results()
+        .filter(|o| o.resource == Some(Resource::Cancelled))
+        .count();
+    let interrupted = skipped > 0 || cancelled_mid_search > 0;
+    let timed_out = all_results()
+        .filter(|o| o.resource == Some(Resource::Time))
+        .count();
+    let step_out = all_results()
+        .filter(|o| {
+            matches!(
+                o.resource,
+                Some(r) if r != Resource::Time && r != Resource::Cancelled
+            )
+        })
+        .count();
     if has_flag(&flags, "--json") {
         let quals: Vec<String> = reports.iter().map(qual_report_json).collect();
         let cache_json = match &cache {
-            Some(c) => format!(
-                "{{\"dir\":\"{}\",\"entries\":{},\"hits\":{},\"misses\":{},\
-                 \"invalidations\":{}}}",
-                json_escape(&cache_dir.unwrap_or_default()),
-                c.len(),
-                c.hits(),
-                c.misses(),
-                c.invalidations(),
-            ),
+            Some(c) => {
+                let (persist, persisted_entries) = match persisted {
+                    Some(PersistOutcome::Skipped) => ("skipped", 0),
+                    Some(PersistOutcome::Appended(n)) => ("appended", n),
+                    Some(PersistOutcome::Compacted(n)) => ("compacted", n),
+                    None => ("failed", 0),
+                };
+                format!(
+                    "{{\"dir\":\"{}\",\"entries\":{},\"hits\":{},\"misses\":{},\
+                     \"invalidations\":{},\"persist\":\"{persist}\",\
+                     \"persisted_entries\":{persisted_entries},\"persist_skips\":{}}}",
+                    json_escape(&cache_dir.unwrap_or_default()),
+                    c.len(),
+                    c.hits(),
+                    c.misses(),
+                    c.invalidations(),
+                    c.persist_skips(),
+                )
+            }
             None => "null".to_owned(),
         };
         println!(
             "{{\"command\":\"prove\",\"budget\":{},\"retry\":{},\"jobs\":{jobs},\
+             \"deadline_ms\":{},\"interrupted\":{interrupted},\"skipped\":{skipped},\
+             \"timed_out\":{timed_out},\"step_out\":{step_out},\
              \"cache\":{cache_json},\"qualifiers\":[{}],\"totals\":{}}}",
             budget_json(&budget),
             retry_json(retry),
+            deadline_ms.map_or("null".to_owned(), |ms| ms.to_string()),
             quals.join(","),
             prover_stats_json(&totals),
         );
@@ -523,21 +655,44 @@ fn prove(args: &[String]) -> ExitCode {
                 println!("  stats: {}", r.totals());
             }
         }
+        if interrupted {
+            eprintln!(
+                "stqc: run interrupted: partial report ({skipped} obligation(s) skipped, \
+                 {cancelled_mid_search} stopped mid-search){}",
+                if cache.is_some() {
+                    "; conclusive verdicts were persisted — re-run with the same \
+                     --cache-dir to resume"
+                } else {
+                    ""
+                }
+            );
+        }
         if has_flag(&flags, "--stats") {
             println!("totals: {totals} (jobs={jobs})");
+            println!(
+                "outcomes: {timed_out} timed out (wall clock), {step_out} out of steps, \
+                 {skipped} skipped"
+            );
             if let Some(c) = &cache {
                 println!(
-                    "cache: {} hit(s), {} miss(es), {} invalidation(s), {} entrie(s)",
+                    "cache: {} hit(s), {} miss(es), {} invalidation(s), {} entrie(s), \
+                     {} persist skip(s)",
                     c.hits(),
                     c.misses(),
                     c.invalidations(),
-                    c.len()
+                    c.len(),
+                    c.persist_skips(),
                 );
             }
         }
     }
+    // Precedence: a definite refutation always wins; an interruption
+    // outranks crash/resource-out because those may simply be artifacts
+    // of the truncated run.
     if reports.iter().any(|r| r.verdict == Verdict::Unsound) {
         ExitCode::from(EXIT_UNSOUND)
+    } else if interrupted {
+        ExitCode::from(EXIT_INTERRUPTED)
     } else if reports
         .iter()
         .any(|r| matches!(r.verdict, Verdict::Crashed | Verdict::ResourceOut))
@@ -760,7 +915,7 @@ fn show(args: &[String]) -> ExitCode {
 /// oracles agreed, 1 a divergence was found, 2 usage, 4 a host panic
 /// escaped the pipeline.
 fn fuzz(args: &[String]) -> ExitCode {
-    use stq_fuzz::{run_fuzz, FuzzConfig, Outcome};
+    use stq_fuzz::{run_fuzz_cancellable, FuzzConfig, Outcome};
 
     let mut config = FuzzConfig {
         count: 200,
@@ -769,6 +924,7 @@ fn fuzz(args: &[String]) -> ExitCode {
     };
     let mut json = false;
     let mut replay_dir: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -783,7 +939,7 @@ fn fuzz(args: &[String]) -> ExitCode {
                 replay_dir = Some(dir.clone());
                 i += 2;
             }
-            flag @ ("--seed" | "--count" | "--jobs" | "--max-depth") => {
+            flag @ ("--seed" | "--count" | "--jobs" | "--max-depth" | "--deadline-ms") => {
                 let Some(value) = args.get(i + 1) else {
                     return fail(usage_err(format!("{flag} needs a number")));
                 };
@@ -800,6 +956,7 @@ fn fuzz(args: &[String]) -> ExitCode {
                             n.min(256) as usize
                         }
                     }
+                    "--deadline-ms" => deadline_ms = Some(n),
                     _ => config.gen.max_depth = n.min(8) as u32,
                 }
                 i += 2;
@@ -809,12 +966,13 @@ fn fuzz(args: &[String]) -> ExitCode {
             }
         }
     }
+    let cancel = run_token(deadline_ms);
 
     if let Some(dir) = replay_dir {
-        return fuzz_replay(&dir, json);
+        return fuzz_replay(&dir, json, &cancel);
     }
 
-    let report = run_fuzz(&config);
+    let report = run_fuzz_cancellable(&config, &cancel);
     let mut panicked = false;
     if json {
         let failures: Vec<String> = report
@@ -848,13 +1006,16 @@ fn fuzz(args: &[String]) -> ExitCode {
             .collect();
         println!(
             "{{\"command\":\"fuzz\",\"seed\":{},\"count\":{},\"executed\":{},\
-             \"passes\":{},\"clean\":{},\"mutated\":{},\"failures\":[{}]}}",
+             \"passes\":{},\"clean\":{},\"mutated\":{},\"skipped\":{},\
+             \"interrupted\":{},\"failures\":[{}]}}",
             config.seed,
             config.count,
             report.executed,
             report.passes,
             report.clean,
             report.mutated,
+            report.skipped,
+            report.interrupted,
             failures.join(","),
         );
     } else {
@@ -867,6 +1028,13 @@ fn fuzz(args: &[String]) -> ExitCode {
             report.mutated,
             report.failures.len(),
         );
+        if report.interrupted {
+            eprintln!(
+                "stqc: fuzz campaign interrupted at a case boundary: \
+                 {} of {} case(s) never ran; the summary covers the executed prefix",
+                report.skipped, config.count
+            );
+        }
     }
     for f in &report.failures {
         match &f.outcome {
@@ -888,16 +1056,20 @@ fn fuzz(args: &[String]) -> ExitCode {
     }
     if panicked {
         ExitCode::from(EXIT_CRASH)
-    } else if report.failures.is_empty() {
-        ExitCode::SUCCESS
-    } else {
+    } else if !report.failures.is_empty() {
         ExitCode::from(EXIT_UNSOUND)
+    } else if report.interrupted {
+        ExitCode::from(EXIT_INTERRUPTED)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
 /// Replays every `*.c` file under `dir` (sorted by name, so output order
-/// is stable) through the oracle battery.
-fn fuzz_replay(dir: &str, json: bool) -> ExitCode {
+/// is stable) through the oracle battery. The [`CancelToken`] is polled
+/// between files: a fired token (Ctrl-C or `--deadline-ms`) ends the
+/// replay at a case boundary with a partial summary and exit code 5.
+fn fuzz_replay(dir: &str, json: bool, cancel: &CancelToken) -> ExitCode {
     use stq_fuzz::{replay_source, Outcome};
 
     let mut files: Vec<std::path::PathBuf> = match fs::read_dir(dir) {
@@ -914,8 +1086,13 @@ fn fuzz_replay(dir: &str, json: bool) -> ExitCode {
     }
     let mut diverged = 0usize;
     let mut panicked = 0usize;
+    let mut replayed = 0usize;
     let mut rows = Vec::new();
     for path in &files {
+        if cancel.should_stop() {
+            break;
+        }
+        replayed += 1;
         let name = path.file_name().map_or_else(
             || path.display().to_string(),
             |n| n.to_string_lossy().into_owned(),
@@ -950,24 +1127,34 @@ fn fuzz_replay(dir: &str, json: bool) -> ExitCode {
             println!("{name}: {verdict}");
         }
     }
+    let skipped = files.len() - replayed;
     if json {
         println!(
             "{{\"command\":\"fuzz-replay\",\"dir\":\"{}\",\"cases\":{},\
-             \"divergences\":{diverged},\"panics\":{panicked},\"results\":[{}]}}",
+             \"divergences\":{diverged},\"panics\":{panicked},\"skipped\":{skipped},\
+             \"interrupted\":{},\"results\":[{}]}}",
             json_escape(dir),
-            files.len(),
+            replayed,
+            skipped > 0,
             rows.join(","),
         );
     } else {
         println!(
-            "replay: {} case(s), {diverged} divergence(s), {panicked} panic(s)",
-            files.len()
+            "replay: {replayed} case(s), {diverged} divergence(s), {panicked} panic(s)"
         );
+        if skipped > 0 {
+            eprintln!(
+                "stqc: replay interrupted: {skipped} of {} file(s) never ran",
+                files.len()
+            );
+        }
     }
     if panicked > 0 {
         ExitCode::from(EXIT_CRASH)
     } else if diverged > 0 {
         ExitCode::from(EXIT_UNSOUND)
+    } else if skipped > 0 {
+        ExitCode::from(EXIT_INTERRUPTED)
     } else {
         ExitCode::SUCCESS
     }

@@ -577,3 +577,159 @@ fn fault_injection_without_explicit_jobs_stays_sequential() {
     assert_eq!(code, Some(4), "{stdout}");
     assert!(stdout.contains("\"jobs\":1"), "{stdout}");
 }
+
+// ----- deadlines, cancellation, and interrupted-run resume -----
+
+/// A family of `unique`-style qualifiers whose invariants differ only by
+/// a vacuous numeric conjunct. The conjunct gives every qualifier a
+/// distinct proof-obligation fingerprint (so nothing aliases in the
+/// cache) while keeping each one sound, and the aggregate is heavy
+/// enough that a debug-build run lasts long enough to interrupt.
+fn heavy_quals(n: usize) -> String {
+    (0..n)
+        .map(|i| {
+            format!(
+                "ref qualifier uniq{i}(T* LValue L)
+                     assign L NULL | new
+                     disallow L
+                     invariant (value(L) == NULL ||
+                         (isHeapLoc(value(L)) &&
+                          forall T** P: *P == value(L) => P == location(L))) && {i} < {}\n",
+                i + 1
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn exit_5_on_expired_deadline() {
+    // A zero deadline has already expired at startup: every obligation is
+    // skipped, the report is explicitly partial, and the dedicated exit
+    // code distinguishes "never ran" from "ran and failed".
+    let (stdout, stderr, code) = stqc_code(&["prove", "--deadline-ms", "0"]);
+    assert_eq!(code, Some(5), "{stdout}\n{stderr}");
+    assert!(stdout.contains("[SKIPPED]"), "{stdout}");
+    assert!(stdout.contains("run interrupted"), "{stdout}");
+    assert!(stderr.contains("interrupted"), "{stderr}");
+}
+
+#[test]
+fn deadline_json_reports_interruption() {
+    let (stdout, _, code) = stqc_code(&["prove", "pos", "--deadline-ms", "0", "--json"]);
+    assert_eq!(code, Some(5), "{stdout}");
+    assert!(stdout.contains("\"deadline_ms\":0"), "{stdout}");
+    assert!(stdout.contains("\"interrupted\":true"), "{stdout}");
+    assert!(stdout.contains("\"verdict\":\"interrupted\""), "{stdout}");
+    assert!(stdout.contains("\"skipped\":true"), "{stdout}");
+    // Skipped obligations never ran: zero attempts everywhere.
+    assert!(!stdout.contains("\"attempts\":1"), "{stdout}");
+}
+
+#[test]
+fn deadline_never_hangs_on_adversarial_input() {
+    // The paper-claims suite proves these qualifiers take real prover
+    // time; a 10ms deadline must cut the run short at the next
+    // safepoint instead of hanging. Allow generous wall-clock slack for
+    // a loaded CI machine — the point is "bounded", not "instant".
+    let quals = temp_file("heavy-deadline.q", &heavy_quals(12));
+    let start = std::time::Instant::now();
+    let (stdout, _, code) = stqc_code(&[
+        "prove",
+        "--quals",
+        quals.to_str().unwrap(),
+        "--deadline-ms",
+        "10",
+    ]);
+    assert_eq!(code, Some(5), "{stdout}");
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(30),
+        "deadline must bound the run"
+    );
+}
+
+#[test]
+fn interrupted_run_does_not_poison_the_cache() {
+    // An interrupted run persists only conclusive verdicts (here: none),
+    // so a later full run over the same cache directory completes
+    // normally and converts the cache from cold to warm.
+    let dir = temp_dir("interrupted-cache");
+    let dir_s = dir.to_str().unwrap();
+    let (first, _, code) = stqc_code(&["prove", "--cache-dir", dir_s, "--deadline-ms", "0"]);
+    assert_eq!(code, Some(5), "{first}");
+    let (full, stderr, code) = stqc_code(&["prove", "--cache-dir", dir_s, "--stats"]);
+    assert_eq!(code, Some(0), "{full}\n{stderr}");
+    let (warm, _, code) = stqc_code(&["prove", "--cache-dir", dir_s, "--stats"]);
+    assert_eq!(code, Some(0), "{warm}");
+    assert!(warm.contains(" 0 miss(es)"), "{warm}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(unix)]
+#[test]
+fn sigint_yields_partial_report_and_resume_hits_the_cache() {
+    use std::process::Stdio;
+
+    let quals = temp_file("heavy-sigint.q", &heavy_quals(16));
+    let dir = temp_dir("sigint-resume");
+    let args = [
+        "prove",
+        "--quals",
+        quals.to_str().unwrap(),
+        "--cache-dir",
+        dir.to_str().unwrap(),
+        "--stats",
+    ];
+
+    let child = Command::new(env!("CARGO_BIN_EXE_stqc"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("stqc spawns");
+    // Long enough for the handler to be installed and a few obligations
+    // to finish, short enough that the ~16-qualifier run is still going.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let sent = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("kill runs")
+        .success();
+    assert!(sent, "SIGINT delivered");
+    let out = child.wait_with_output().expect("stqc exits");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(5), "{stdout}\n{stderr}");
+    assert!(stdout.contains("run interrupted"), "{stdout}");
+    assert!(stderr.contains("interrupted"), "{stderr}");
+
+    // The conclusive prefix was flushed before exit, so the resumed run
+    // starts from the cache instead of from scratch.
+    let (resumed, stderr, code) = stqc_code(&args);
+    assert_eq!(code, Some(0), "{resumed}\n{stderr}");
+    assert!(resumed.contains("cache:"), "{resumed}");
+    assert!(!resumed.contains(" 0 hit(s)"), "resume must hit: {resumed}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fuzz_deadline_exits_interrupted() {
+    let (stdout, _, code) = stqc_code(&[
+        "fuzz",
+        "--count",
+        "10",
+        "--deadline-ms",
+        "0",
+        "--json",
+    ]);
+    assert_eq!(code, Some(5), "{stdout}");
+    assert!(stdout.contains("\"interrupted\":true"), "{stdout}");
+    assert!(stdout.contains("\"skipped\":10"), "{stdout}");
+}
+
+#[test]
+fn fuzz_text_mode_reports_case_boundary_interruption() {
+    let (stdout, stderr, code) =
+        stqc_code(&["fuzz", "--count", "4", "--deadline-ms", "0"]);
+    assert_eq!(code, Some(5), "{stdout}\n{stderr}");
+    assert!(stderr.contains("case boundary"), "{stderr}");
+}

@@ -45,14 +45,18 @@
 //! assert_eq!(report.verdict, Verdict::Unsound);
 //! ```
 
+pub mod reportjson;
+pub mod server;
 pub mod session;
 
+pub use server::{ServeConfig, ServeStats, Server, ShutdownKind};
 pub use session::Session;
 pub use stq_cir::interp::{ExecOutcome, InterpConfig, RuntimeError, Value};
 pub use stq_cir::parse::ParseError;
 pub use stq_qualspec::{parse::SpecError, Registry};
 pub use stq_soundness::{
-    fault, Budget, CachedProof, FaultKind, FaultPlan, Fingerprint, IoFaultKind, IoFaultPlan,
+    fault, Budget, BudgetOverride, CachedProof, FaultKind, FaultPlan, Fingerprint, IoFaultKind,
+    IoFaultPlan,
     PersistOutcome, ProofCache, ProverStats, QualReport, Resource, RetryPolicy, SoundnessReport,
     Verdict, PROVER_VERSION,
 };

@@ -1,0 +1,184 @@
+//! Hand-rolled JSON rendering of reports and telemetry, shared by the
+//! `stqc` command-line tool (`--json`) and the serve daemon's wire
+//! protocol so both emit byte-identical report payloads. The schema is
+//! documented in `docs/telemetry.md`; the serve envelope around these
+//! payloads in `docs/serving.md`.
+
+use std::time::Duration;
+use stq_soundness::{Budget, ProverStats, QualReport, Resource, RetryPolicy, Verdict};
+use stq_typecheck::CheckStats;
+
+pub use stq_util::json::escape as json_escape;
+
+/// A `Duration` as fractional milliseconds (`12.345`), the unit every
+/// `*_ms` field in the schema uses.
+pub fn json_ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1000.0)
+}
+
+/// The stable slug of an exhausted [`Resource`].
+pub fn resource_slug(r: Resource) -> &'static str {
+    match r {
+        Resource::Rounds => "rounds",
+        Resource::Instantiations => "instantiations",
+        Resource::Decisions => "decisions",
+        Resource::Clauses => "clauses",
+        Resource::Time => "time",
+        Resource::Cancelled => "cancelled",
+        Resource::Injected => "injected",
+    }
+}
+
+/// The stable slug of a [`Verdict`].
+pub fn verdict_slug(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Sound => "sound",
+        Verdict::Unsound => "unsound",
+        Verdict::NoInvariant => "no-invariant",
+        Verdict::ResourceOut => "resource-out",
+        Verdict::Crashed => "crashed",
+        Verdict::Interrupted => "interrupted",
+    }
+}
+
+/// `{"max_attempts":..,"factor":..}`.
+pub fn retry_json(r: RetryPolicy) -> String {
+    format!(
+        "{{\"max_attempts\":{},\"factor\":{}}}",
+        r.attempt_cap(),
+        r.factor
+    )
+}
+
+/// The prover [`Budget`] object of the schema.
+pub fn budget_json(b: &Budget) -> String {
+    format!(
+        "{{\"max_rounds\":{},\"max_instantiations\":{},\"max_clauses\":{},\
+         \"max_decisions\":{},\"timeout_ms\":{}}}",
+        b.max_rounds,
+        b.max_instantiations,
+        b.max_clauses,
+        b.max_decisions,
+        b.timeout
+            .map_or("null".to_owned(), |t| json_ms(t).to_string()),
+    )
+}
+
+/// The [`ProverStats`] telemetry object of the schema.
+pub fn prover_stats_json(s: &ProverStats) -> String {
+    let triggers: Vec<String> = s
+        .instantiations_by_trigger
+        .iter()
+        .map(|(t, n)| format!("\"{}\":{n}", json_escape(t)))
+        .collect();
+    format!(
+        "{{\"rounds\":{},\"instantiations\":{},\"instantiations_by_trigger\":{{{}}},\
+         \"ematch_candidates\":{},\"decisions\":{},\"propagations\":{},\"conflicts\":{},\
+         \"theory_checks\":{},\"merges\":{},\"fm_eliminations\":{},\"clauses\":{},\
+         \"max_clauses\":{},\"cache_hits\":{},\"cache_misses\":{},\
+         \"cache_invalidations\":{},\"wall_ms\":{}}}",
+        s.rounds,
+        s.instantiations,
+        triggers.join(","),
+        s.ematch_candidates,
+        s.decisions,
+        s.propagations,
+        s.conflicts,
+        s.theory_checks,
+        s.merges,
+        s.fm_eliminations,
+        s.clauses,
+        s.max_clauses,
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_invalidations,
+        json_ms(s.wall),
+    )
+}
+
+/// The [`CheckStats`] telemetry object of the schema.
+pub fn check_stats_json(s: &CheckStats) -> String {
+    format!(
+        "{{\"dereferences\":{},\"annotations\":{},\"casts\":{},\"qualifier_errors\":{},\
+         \"printf_calls\":{},\"restrict_checks\":{},\"match_attempts\":{},\
+         \"exprs_visited\":{},\"case_applications\":{},\"memo_hits\":{},\
+         \"memo_misses\":{},\"casts_instrumented\":{}}}",
+        s.dereferences,
+        s.annotations,
+        s.casts,
+        s.qualifier_errors,
+        s.printf_calls,
+        s.restrict_checks,
+        s.match_attempts,
+        s.exprs_visited,
+        s.case_applications,
+        s.memo_hits,
+        s.memo_misses,
+        s.casts_instrumented,
+    )
+}
+
+/// One qualifier's [`QualReport`]: verdict, per-obligation results with
+/// countermodels and telemetry, and the per-qualifier totals.
+pub fn qual_report_json(r: &QualReport) -> String {
+    let obligations: Vec<String> = r
+        .obligations
+        .iter()
+        .map(|o| {
+            let countermodel: Vec<String> = o
+                .countermodel
+                .iter()
+                .map(|l| format!("\"{}\"", json_escape(l)))
+                .collect();
+            format!(
+                "{{\"description\":\"{}\",\"proved\":{},\"skipped\":{},\"resource\":{},\
+                 \"crashed\":{},\"attempts\":{},\
+                 \"countermodel\":[{}],\"wall_ms\":{},\"stats\":{}}}",
+                json_escape(&o.description),
+                o.proved,
+                o.skipped,
+                o.resource
+                    .map_or("null".to_owned(), |res| format!(
+                        "\"{}\"",
+                        resource_slug(res)
+                    )),
+                o.crashed
+                    .as_deref()
+                    .map_or("null".to_owned(), |m| format!("\"{}\"", json_escape(m))),
+                o.attempts,
+                countermodel.join(","),
+                json_ms(o.duration),
+                prover_stats_json(&o.stats),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"name\":\"{}\",\"verdict\":\"{}\",\"wall_ms\":{},\"obligations\":[{}],\"totals\":{}}}",
+        json_escape(&r.qualifier.to_string()),
+        verdict_slug(r.verdict),
+        json_ms(r.duration),
+        obligations.join(","),
+        prover_stats_json(&r.totals()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendered_payloads_parse_as_json() {
+        use stq_util::json::Json;
+        let budget = Budget::default();
+        Json::parse(&budget_json(&budget)).expect("budget json parses");
+        Json::parse(&retry_json(RetryPolicy::none())).expect("retry json parses");
+        Json::parse(&prover_stats_json(&ProverStats::default())).expect("stats json parses");
+        Json::parse(&check_stats_json(&CheckStats::default())).expect("check stats json parses");
+
+        let session = crate::Session::with_builtins();
+        let report = session.prove_sound("pos").expect("pos is builtin");
+        let v = Json::parse(&qual_report_json(&report)).expect("report json parses");
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("pos"));
+        assert_eq!(v.get("verdict").and_then(Json::as_str), Some("sound"));
+    }
+}

@@ -1,0 +1,1053 @@
+//! Checking-as-a-service: the resident server behind `stqc serve`.
+//!
+//! A one-shot `stqc` invocation pays the full startup bill every time —
+//! re-parsing the builtin qualifier library, re-deriving obligations,
+//! re-opening the proof cache — and then throws the warm state away.
+//! This module keeps all of it resident: one [`Server`] holds the
+//! interner (process-global), the qualifier [`Session`], and a warm
+//! [`ProofCache`], and multiplexes many concurrent requests onto a
+//! bounded worker pool (`stq_util::serve::Scheduler`). The wire
+//! protocol — line-delimited JSON over a Unix socket, or stdin/stdout
+//! in `--stdio` mode — is documented end-to-end in `docs/serving.md`.
+//!
+//! The concurrency/robustness contract, in brief:
+//!
+//! * **Per-request isolation.** Every request runs under its own
+//!   [`CancelToken`], a child of its connection's token, itself a child
+//!   of the server's token — so a per-request `deadline_ms` interrupts
+//!   exactly that request, a client disconnect cancels exactly that
+//!   client's in-flight work, and SIGINT winds down everything, in all
+//!   cases cooperatively at prover safepoints with conclusive verdicts
+//!   kept (and cached).
+//! * **Fairness.** Each connection may have at most
+//!   [`ServeConfig::max_inflight`] requests submitted-but-unfinished;
+//!   excess requests are refused immediately with an `overloaded`
+//!   error, so one chatty client cannot starve the rest.
+//! * **Shedding.** The global queue is bounded
+//!   ([`ServeConfig::max_queue`]); when it is full the server answers
+//!   `overloaded` rather than building unbounded backlog.
+//! * **Graceful shutdown.** A `shutdown` request (or SIGINT) stops
+//!   accepting work, drains what is queued and in flight, persists the
+//!   proof cache, and exits — `docs/robustness.md` has the exit-code
+//!   taxonomy.
+
+use std::io::{self, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use stq_soundness::{Budget, BudgetOverride, ProofCache, RetryPolicy, SoundnessReport};
+use stq_util::json::{escape, Json};
+use stq_util::serve::{Rejected, Scheduler};
+use stq_util::CancelToken;
+
+use crate::reportjson::{check_stats_json, qual_report_json};
+use crate::Session;
+
+/// How a server run ended; the CLI maps this onto its exit codes
+/// (0 for a requested shutdown, 5 for an interruption).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShutdownKind {
+    /// A client sent `shutdown` (or stdio input ended): the drain was
+    /// orderly and every accepted request was answered.
+    Requested,
+    /// SIGINT (or an external cancel): in-flight work was cooperatively
+    /// cancelled, partial results were still answered and cached.
+    Interrupted,
+}
+
+/// Server configuration; every knob has a production-shaped default.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads draining the request queue.
+    pub jobs: usize,
+    /// Per-connection cap on submitted-but-unfinished requests.
+    pub max_inflight: usize,
+    /// Global cap on queued requests before shedding.
+    pub max_queue: usize,
+    /// Proof-cache directory; `None` keeps the cache in memory only.
+    pub cache_dir: Option<PathBuf>,
+    /// Base prover budget; requests may override fields per call.
+    pub budget: Budget,
+    /// Base retry ladder for `ResourceOut` obligations.
+    pub retry: RetryPolicy,
+    /// Default obligation-level parallelism *within* one prove request
+    /// (requests multiplex across workers already, so this defaults to
+    /// sequential; a lone heavy request can raise it per call).
+    pub prove_jobs: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            jobs: stq_util::pool::default_jobs(),
+            max_inflight: 32,
+            max_queue: 1024,
+            cache_dir: None,
+            budget: Budget::default(),
+            retry: RetryPolicy::none(),
+            prove_jobs: 1,
+        }
+    }
+}
+
+/// Monotonic serve-lifetime counters, reported by the `stats` method.
+#[derive(Debug)]
+pub struct ServeStats {
+    started: Instant,
+    connections: AtomicU64,
+    disconnects: AtomicU64,
+    define: AtomicU64,
+    check: AtomicU64,
+    prove: AtomicU64,
+    stats: AtomicU64,
+    shutdown: AtomicU64,
+    errors: AtomicU64,
+    shed: AtomicU64,
+    cancelled: AtomicU64,
+    interrupted: AtomicU64,
+    inflight: AtomicU64,
+}
+
+impl ServeStats {
+    fn new() -> ServeStats {
+        ServeStats {
+            started: Instant::now(),
+            connections: AtomicU64::new(0),
+            disconnects: AtomicU64::new(0),
+            define: AtomicU64::new(0),
+            check: AtomicU64::new(0),
+            prove: AtomicU64::new(0),
+            stats: AtomicU64::new(0),
+            shutdown: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            interrupted: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One client connection: its cancel token (a child of the server's),
+/// its serialized write half, and its fairness accounting.
+struct Conn {
+    token: CancelToken,
+    writer: Mutex<Box<dyn Write + Send>>,
+    /// Cleared on disconnect; queued jobs for a vanished client are
+    /// skipped instead of run.
+    alive: AtomicBool,
+    inflight: AtomicU64,
+}
+
+impl Conn {
+    fn new(token: CancelToken, writer: Box<dyn Write + Send>) -> Conn {
+        Conn {
+            token,
+            writer: Mutex::new(writer),
+            alive: AtomicBool::new(true),
+            inflight: AtomicU64::new(0),
+        }
+    }
+
+    fn alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Writes one response line. A failed write means the client is
+    /// gone; the connection is marked dead so later jobs skip.
+    fn write_line(&self, line: &str) {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let ok = w
+            .write_all(line.as_bytes())
+            .and_then(|()| w.write_all(b"\n"))
+            .and_then(|()| w.flush())
+            .is_ok();
+        if !ok {
+            self.alive.store(false, Ordering::Release);
+        }
+    }
+}
+
+/// A structured protocol error: `(code, message)`. Codes are stable API
+/// (`docs/serving.md`): `parse`, `invalid`, `unknown-method`, `input`,
+/// `overloaded`, `shutting-down`.
+type ServeError = (&'static str, String);
+
+fn ok_response(id: &str, result: &str) -> String {
+    format!("{{\"id\":{id},\"ok\":true,\"result\":{result}}}")
+}
+
+fn err_response(id: &str, code: &str, message: &str) -> String {
+    format!(
+        "{{\"id\":{id},\"ok\":false,\"error\":{{\"code\":\"{code}\",\"message\":\"{}\"}}}}",
+        escape(message)
+    )
+}
+
+enum PumpOutcome {
+    /// The peer closed its end (EOF or a read error).
+    Disconnected,
+    /// The server began stopping (shutdown request or cancel).
+    Stopping,
+}
+
+/// The resident checking server. Construct once, share behind an
+/// [`Arc`], and drive with [`Server::run_unix`] or [`Server::run_stdio`]
+/// (or [`Server::serve_stream`] for an embedded transport).
+pub struct Server {
+    session: RwLock<Session>,
+    cache: ProofCache,
+    sched: Scheduler,
+    stats: ServeStats,
+    cancel: CancelToken,
+    stopping: AtomicBool,
+    cfg: ServeConfig,
+}
+
+impl Server {
+    /// Builds a server over `session` (typically
+    /// [`Session::with_builtins`] plus `--quals` definitions).
+    ///
+    /// # Errors
+    ///
+    /// Opening `cache_dir` failed.
+    pub fn new(session: Session, cfg: ServeConfig, cancel: CancelToken) -> io::Result<Server> {
+        let cache = match &cfg.cache_dir {
+            Some(dir) => ProofCache::at_dir(dir)?,
+            None => ProofCache::in_memory(),
+        };
+        Ok(Server {
+            session: RwLock::new(session),
+            cache,
+            sched: Scheduler::new(cfg.jobs, cfg.max_queue),
+            stats: ServeStats::new(),
+            cancel,
+            stopping: AtomicBool::new(false),
+            cfg,
+        })
+    }
+
+    /// True once a shutdown request or an external cancel arrived.
+    pub fn stopping(&self) -> bool {
+        self.stopping.load(Ordering::Acquire) || self.cancel.is_cancelled()
+    }
+
+    /// Stops accepting work, drains queued + in-flight requests, and
+    /// persists the proof cache (when it has a directory). Returns how
+    /// the run ended.
+    fn finish(&self) -> ShutdownKind {
+        self.sched.close_and_drain();
+        if self.cfg.cache_dir.is_some() {
+            let _ = self.cache.persist();
+        }
+        if self.cancel.is_cancelled() {
+            ShutdownKind::Interrupted
+        } else {
+            ShutdownKind::Requested
+        }
+    }
+
+    /// Serves a single session over stdin/stdout — the `--stdio`
+    /// testing mode. End-of-input is *batch* semantics, not a
+    /// disconnect: every request read before EOF is still answered
+    /// (so `printf '...requests...' | stqc serve --stdio` works), then
+    /// the drain runs and the daemon exits.
+    pub fn run_stdio(self: &Arc<Server>) -> ShutdownKind {
+        self.stats.connections.fetch_add(1, Ordering::Relaxed);
+        let conn = Arc::new(Conn::new(
+            self.cancel.child(),
+            Box::new(io::stdout()) as Box<dyn Write + Send>,
+        ));
+        let mut stdin = io::stdin();
+        let _ = self.pump(&conn, &mut stdin);
+        self.finish()
+    }
+
+    /// Serves one accepted Unix-socket connection until the peer hangs
+    /// up or the server stops. Public so embedded transports (benches,
+    /// tests) can drive a connection over `UnixStream::pair`.
+    #[cfg(unix)]
+    pub fn serve_stream(self: &Arc<Server>, stream: std::os::unix::net::UnixStream) {
+        self.stats.connections.fetch_add(1, Ordering::Relaxed);
+        // The read timeout is what lets the reader notice server
+        // shutdown while idle; see `pump`.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        let writer = match stream.try_clone() {
+            Ok(w) => Box::new(w) as Box<dyn Write + Send>,
+            Err(_) => return,
+        };
+        let conn = Arc::new(Conn::new(self.cancel.child(), writer));
+        let mut reader = stream;
+        if let PumpOutcome::Disconnected = self.pump(&conn, &mut reader) {
+            // A socket hangup *is* a disconnect: cancel this client's
+            // subtree so queued and in-flight work winds down instead
+            // of burning the pool for nobody.
+            conn.alive.store(false, Ordering::Release);
+            conn.token.cancel();
+            self.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Binds `socket_path` and serves until shutdown. Returns how the
+    /// run ended; the socket file is removed on the way out. A stale
+    /// socket file left by a dead daemon is reclaimed; a *live* daemon
+    /// on the same path is an `AddrInUse` error.
+    #[cfg(unix)]
+    pub fn run_unix(self: &Arc<Server>, socket_path: &std::path::Path) -> io::Result<ShutdownKind> {
+        use std::os::unix::net::{UnixListener, UnixStream};
+
+        let listener = match UnixListener::bind(socket_path) {
+            Ok(l) => l,
+            Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+                if UnixStream::connect(socket_path).is_ok() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AddrInUse,
+                        format!("a daemon is already serving {}", socket_path.display()),
+                    ));
+                }
+                std::fs::remove_file(socket_path)?;
+                UnixListener::bind(socket_path)?
+            }
+            Err(e) => return Err(e),
+        };
+        listener.set_nonblocking(true)?;
+        let mut conns = Vec::new();
+        while !self.stopping() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let server = Arc::clone(self);
+                    conns.push(std::thread::spawn(move || server.serve_stream(stream)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    let _ = std::fs::remove_file(socket_path);
+                    return Err(e);
+                }
+            }
+        }
+        for handle in conns {
+            let _ = handle.join();
+        }
+        let kind = self.finish();
+        let _ = std::fs::remove_file(socket_path);
+        Ok(kind)
+    }
+
+    /// Reads the connection's byte stream, frames it into lines, and
+    /// routes each line. Partial lines survive read timeouts (the
+    /// buffer is owned here, not by a `BufReader`), which is how a
+    /// blocked reader still notices `stopping` promptly.
+    fn pump(self: &Arc<Server>, conn: &Arc<Conn>, reader: &mut dyn Read) -> PumpOutcome {
+        let mut pending: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if self.stopping() {
+                return PumpOutcome::Stopping;
+            }
+            match reader.read(&mut chunk) {
+                Ok(0) => return PumpOutcome::Disconnected,
+                Ok(n) => {
+                    pending.extend_from_slice(&chunk[..n]);
+                    while let Some(eol) = pending.iter().position(|b| *b == b'\n') {
+                        let line: Vec<u8> = pending.drain(..=eol).collect();
+                        let line = String::from_utf8_lossy(&line[..eol]).into_owned();
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        if self.route(conn, line.trim()) {
+                            return PumpOutcome::Stopping;
+                        }
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) => {}
+                Err(_) => return PumpOutcome::Disconnected,
+            }
+        }
+    }
+
+    /// Parses and dispatches one request line on the reader thread.
+    /// Returns true when the connection should stop reading (a
+    /// `shutdown` request was handled).
+    fn route(self: &Arc<Server>, conn: &Arc<Conn>, line: &str) -> bool {
+        let doc = match Json::parse(line) {
+            Ok(doc) => doc,
+            Err(e) => {
+                self.respond_err(conn, "null", "parse", &e.to_string());
+                return false;
+            }
+        };
+        // The id is echoed verbatim; it must exist and be a string or
+        // number so responses are always attributable.
+        let id = match doc.get("id") {
+            Some(v @ (Json::Num(_) | Json::Str(_))) => v.to_string(),
+            _ => {
+                self.respond_err(conn, "null", "invalid", "request needs an `id` (string or number)");
+                return false;
+            }
+        };
+        let Some(method) = doc.get("method").and_then(Json::as_str) else {
+            self.respond_err(conn, &id, "invalid", "request needs a string `method`");
+            return false;
+        };
+        let deadline_ms = match doc.get("deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(v) => match v.as_u64() {
+                Some(ms) => Some(ms),
+                None => {
+                    self.respond_err(conn, &id, "invalid", "`deadline_ms` must be a non-negative integer");
+                    return false;
+                }
+            },
+        };
+        let params = match doc.get("params") {
+            None | Some(Json::Null) => Json::Obj(Vec::new()),
+            Some(obj @ Json::Obj(_)) => obj.clone(),
+            Some(_) => {
+                self.respond_err(conn, &id, "invalid", "`params` must be an object");
+                return false;
+            }
+        };
+        match method {
+            "shutdown" => {
+                self.stats.shutdown.fetch_add(1, Ordering::Relaxed);
+                conn.write_line(&ok_response(&id, "{\"stopping\":true}"));
+                self.stopping.store(true, Ordering::Release);
+                true
+            }
+            // `stats` answers inline on the reader thread: it must stay
+            // responsive for monitoring even when every worker is busy.
+            "stats" => {
+                self.stats.stats.fetch_add(1, Ordering::Relaxed);
+                let result = self.stats_result();
+                conn.write_line(&ok_response(&id, &result));
+                false
+            }
+            "define_qualifiers" | "check" | "prove" => {
+                self.enqueue(conn, id, method.to_owned(), params, deadline_ms);
+                false
+            }
+            other => {
+                self.respond_err(
+                    conn,
+                    &id,
+                    "unknown-method",
+                    &format!(
+                        "unknown method `{other}` (expected define_qualifiers, check, \
+                         prove, stats, or shutdown)"
+                    ),
+                );
+                false
+            }
+        }
+    }
+
+    /// Fairness + shedding gate, then hand the request to a worker.
+    fn enqueue(
+        self: &Arc<Server>,
+        conn: &Arc<Conn>,
+        id: String,
+        method: String,
+        params: Json,
+        deadline_ms: Option<u64>,
+    ) {
+        if self.stopping() {
+            self.respond_err(conn, &id, "shutting-down", "the server is draining");
+            return;
+        }
+        if self.cfg.max_inflight > 0
+            && conn.inflight.load(Ordering::Acquire) >= self.cfg.max_inflight as u64
+        {
+            self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            self.respond_err(
+                conn,
+                &id,
+                "overloaded",
+                &format!(
+                    "this connection already has {} request(s) in flight (limit {})",
+                    conn.inflight.load(Ordering::Relaxed),
+                    self.cfg.max_inflight
+                ),
+            );
+            return;
+        }
+        conn.inflight.fetch_add(1, Ordering::AcqRel);
+        self.stats.inflight.fetch_add(1, Ordering::AcqRel);
+        let server = Arc::clone(self);
+        let conn_job = Arc::clone(conn);
+        let job_id = id.clone();
+        let submitted = self.sched.submit(Box::new(move || {
+            server.execute(&conn_job, &job_id, &method, &params, deadline_ms);
+            conn_job.inflight.fetch_sub(1, Ordering::AcqRel);
+            server.stats.inflight.fetch_sub(1, Ordering::AcqRel);
+        }));
+        if let Err(rejected) = submitted {
+            conn.inflight.fetch_sub(1, Ordering::AcqRel);
+            self.stats.inflight.fetch_sub(1, Ordering::AcqRel);
+            let (code, message) = match rejected {
+                Rejected::Overloaded => {
+                    self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    ("overloaded", "the server's request queue is full")
+                }
+                Rejected::Closed => ("shutting-down", "the server is draining"),
+            };
+            self.respond_err(conn, &id, code, message);
+        }
+    }
+
+    /// Runs one request on a worker thread.
+    fn execute(
+        self: &Arc<Server>,
+        conn: &Arc<Conn>,
+        id: &str,
+        method: &str,
+        params: &Json,
+        deadline_ms: Option<u64>,
+    ) {
+        // The client vanished while this job sat in the queue: its
+        // token is cancelled, nobody is listening — skip the work.
+        if !conn.alive() {
+            self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let token = match deadline_ms {
+            Some(ms) => conn.token.child_with_deadline_in(Duration::from_millis(ms)),
+            None => conn.token.child(),
+        };
+        let outcome = match method {
+            "define_qualifiers" => self.do_define(params),
+            "check" => self.do_check(params),
+            "prove" => self.do_prove(params, &token),
+            _ => Err(("invalid", format!("method `{method}` is not a worker method"))),
+        };
+        match outcome {
+            Ok(result) => conn.write_line(&ok_response(id, &result)),
+            Err((code, message)) => self.respond_err(conn, id, code, &message),
+        }
+    }
+
+    fn respond_err(&self, conn: &Conn, id: &str, code: &str, message: &str) {
+        self.stats.errors.fetch_add(1, Ordering::Relaxed);
+        conn.write_line(&err_response(id, code, message));
+    }
+
+    // ----- method handlers -----
+
+    /// `define_qualifiers {source}`: transactional — the new
+    /// definitions land all-or-nothing, so a bad batch cannot leave the
+    /// resident registry half-updated for other requests.
+    fn do_define(&self, params: &Json) -> Result<String, ServeError> {
+        let Some(source) = params.get("source").and_then(Json::as_str) else {
+            return Err(("invalid", "define_qualifiers needs a string `source`".into()));
+        };
+        self.stats.define.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.session.write().unwrap_or_else(|e| e.into_inner());
+        let mut next = guard.clone();
+        let names = next
+            .define_qualifiers(source)
+            .map_err(|e| ("input", e.to_string()))?;
+        let wf = next.check_well_formed();
+        if wf.has_errors() {
+            return Err(("input", format!("ill-formed qualifier definitions:\n{wf}")));
+        }
+        *guard = next;
+        let defined: Vec<String> = names
+            .iter()
+            .map(|n| format!("\"{}\"", escape(&n.to_string())))
+            .collect();
+        Ok(format!("{{\"defined\":[{}]}}", defined.join(",")))
+    }
+
+    /// `check {source, flow_sensitive?}`: parse (error-resilient, so a
+    /// typo still yields diagnostics for later declarations) and
+    /// typecheck against the resident registry.
+    fn do_check(&self, params: &Json) -> Result<String, ServeError> {
+        let Some(source) = params.get("source").and_then(Json::as_str) else {
+            return Err(("invalid", "check needs a string `source`".into()));
+        };
+        let flow_sensitive = match params.get("flow_sensitive") {
+            None | Some(Json::Null) => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or(("invalid", "`flow_sensitive` must be a boolean".to_owned()))?,
+        };
+        self.stats.check.fetch_add(1, Ordering::Relaxed);
+        let session = self.session.read().unwrap_or_else(|e| e.into_inner());
+        let (program, syntax_errors) = session.parse_resilient(source);
+        let result = session.check_with(
+            &program,
+            crate::CheckOptions { flow_sensitive },
+        );
+        let syntax: Vec<String> = syntax_errors
+            .iter()
+            .map(|e| format!("\"{}\"", escape(&e.to_string())))
+            .collect();
+        let diags: Vec<String> = result
+            .diags
+            .iter()
+            .map(|d| format!("\"{}\"", escape(&d.render(source))))
+            .collect();
+        Ok(format!(
+            "{{\"clean\":{},\"syntax_errors\":[{}],\"diagnostics\":[{}],\"stats\":{}}}",
+            result.is_clean() && syntax_errors.is_empty(),
+            syntax.join(","),
+            diags.join(","),
+            check_stats_json(&result.stats),
+        ))
+    }
+
+    /// `prove {names?, budget?, retry?, jobs?, cache?}` under the
+    /// request token. Interrupted runs (deadline, disconnect, SIGINT)
+    /// return a *partial* report with `"interrupted":true`; conclusive
+    /// verdicts reached before the stop are kept and cached.
+    fn do_prove(&self, params: &Json, token: &CancelToken) -> Result<String, ServeError> {
+        let names: Option<Vec<&str>> = match params.get("names") {
+            None | Some(Json::Null) => None,
+            Some(Json::Arr(items)) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    match item.as_str() {
+                        Some(s) => out.push(s),
+                        None => {
+                            return Err((
+                                "invalid",
+                                "`names` must be an array of strings".to_owned(),
+                            ))
+                        }
+                    }
+                }
+                Some(out)
+            }
+            Some(_) => return Err(("invalid", "`names` must be an array of strings".to_owned())),
+        };
+        let budget = self.cfg.budget.overridden(budget_override(params.get("budget"))?);
+        let retry = retry_override(self.cfg.retry, params.get("retry"))?;
+        let jobs = match params.get("jobs") {
+            None | Some(Json::Null) => self.cfg.prove_jobs,
+            Some(v) => v
+                .as_u64()
+                .filter(|n| *n >= 1)
+                .ok_or(("invalid", "`jobs` must be a positive integer".to_owned()))?
+                .min(256) as usize,
+        };
+        let use_cache = match params.get("cache") {
+            None | Some(Json::Null) => true,
+            Some(v) => v
+                .as_bool()
+                .ok_or(("invalid", "`cache` must be a boolean".to_owned()))?,
+        };
+        self.stats.prove.fetch_add(1, Ordering::Relaxed);
+        let cache = use_cache.then_some(&self.cache);
+        let session = self.session.read().unwrap_or_else(|e| e.into_inner());
+        let report: SoundnessReport = match &names {
+            Some(ns) => session
+                .prove_named_cancellable(ns, budget, retry, jobs, cache, token)
+                .map_err(|e| ("input", e))?,
+            None => session.prove_all_sound_cancellable(budget, retry, jobs, cache, token),
+        };
+        drop(session);
+        if report.interrupted() {
+            self.stats.interrupted.fetch_add(1, Ordering::Relaxed);
+        }
+        let quals: Vec<String> = report.reports.iter().map(qual_report_json).collect();
+        Ok(format!(
+            "{{\"all_sound\":{},\"interrupted\":{},\"skipped\":{},\
+             \"qualifiers\":[{}],\"totals\":{},\"cache\":{}}}",
+            report.all_sound(),
+            report.interrupted(),
+            report.skipped_count(),
+            quals.join(","),
+            crate::reportjson::prover_stats_json(&report.totals),
+            self.cache_json(),
+        ))
+    }
+
+    fn cache_json(&self) -> String {
+        format!(
+            "{{\"entries\":{},\"hits\":{},\"misses\":{},\"invalidations\":{},\
+             \"persist_skips\":{}}}",
+            self.cache.len(),
+            self.cache.hits(),
+            self.cache.misses(),
+            self.cache.invalidations(),
+            self.cache.persist_skips(),
+        )
+    }
+
+    fn stats_result(&self) -> String {
+        let s = &self.stats;
+        let qualifiers = self
+            .session
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .registry()
+            .iter()
+            .count();
+        let total = s.define.load(Ordering::Relaxed)
+            + s.check.load(Ordering::Relaxed)
+            + s.prove.load(Ordering::Relaxed)
+            + s.stats.load(Ordering::Relaxed)
+            + s.shutdown.load(Ordering::Relaxed);
+        format!(
+            "{{\"uptime_ms\":{},\"jobs\":{},\"qualifiers\":{qualifiers},\
+             \"connections\":{},\"disconnects\":{},\
+             \"requests\":{{\"total\":{total},\"define_qualifiers\":{},\"check\":{},\
+             \"prove\":{},\"stats\":{},\"shutdown\":{}}},\
+             \"inflight\":{},\"queued\":{},\"shed\":{},\"cancelled\":{},\
+             \"interrupted\":{},\"errors\":{},\"panics\":{},\"cache\":{}}}",
+            crate::reportjson::json_ms(s.started.elapsed()),
+            self.cfg.jobs,
+            s.connections.load(Ordering::Relaxed),
+            s.disconnects.load(Ordering::Relaxed),
+            s.define.load(Ordering::Relaxed),
+            s.check.load(Ordering::Relaxed),
+            s.prove.load(Ordering::Relaxed),
+            s.stats.load(Ordering::Relaxed),
+            s.shutdown.load(Ordering::Relaxed),
+            s.inflight.load(Ordering::Relaxed),
+            self.sched.queued(),
+            s.shed.load(Ordering::Relaxed),
+            s.cancelled.load(Ordering::Relaxed),
+            s.interrupted.load(Ordering::Relaxed),
+            s.errors.load(Ordering::Relaxed),
+            self.sched.panics(),
+            self.cache_json(),
+        )
+    }
+}
+
+fn budget_override(v: Option<&Json>) -> Result<BudgetOverride, ServeError> {
+    let mut over = BudgetOverride::default();
+    let Some(obj) = v else { return Ok(over) };
+    if obj.is_null() {
+        return Ok(over);
+    }
+    let Json::Obj(members) = obj else {
+        return Err(("invalid", "`budget` must be an object".to_owned()));
+    };
+    for (key, value) in members {
+        let n = value.as_u64().ok_or((
+            "invalid",
+            format!("budget field `{key}` must be a non-negative integer"),
+        ))?;
+        match key.as_str() {
+            "max_rounds" => over.max_rounds = Some(n as usize),
+            "max_instantiations" => over.max_instantiations = Some(n as usize),
+            "max_clauses" => over.max_clauses = Some(n as usize),
+            "max_decisions" => over.max_decisions = Some(n),
+            "timeout_ms" => over.timeout = Some(Duration::from_millis(n)),
+            other => {
+                return Err(("invalid", format!("unknown budget field `{other}`")));
+            }
+        }
+    }
+    Ok(over)
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+    use std::os::unix::net::UnixStream;
+
+    fn spawn_server(cfg: ServeConfig) -> (Arc<Server>, CancelToken) {
+        let cancel = CancelToken::new();
+        let server = Arc::new(
+            Server::new(Session::with_builtins(), cfg, cancel.clone()).expect("in-memory server"),
+        );
+        (server, cancel)
+    }
+
+    /// Connects a client to `server` over a socketpair; the server side
+    /// runs on its own thread like a real accepted connection.
+    fn connect(server: &Arc<Server>) -> (UnixStream, std::thread::JoinHandle<()>) {
+        let (client, daemon_side) = UnixStream::pair().expect("socketpair");
+        let srv = Arc::clone(server);
+        let handle = std::thread::spawn(move || srv.serve_stream(daemon_side));
+        (client, handle)
+    }
+
+    fn roundtrip(client: &mut UnixStream, reader: &mut impl BufRead, line: &str) -> Json {
+        client
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("request written");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("response read");
+        Json::parse(response.trim()).expect("response is json")
+    }
+
+    #[test]
+    fn prove_round_trip_hits_cache_on_repeat() {
+        let (server, _cancel) = spawn_server(ServeConfig {
+            jobs: 2,
+            ..ServeConfig::default()
+        });
+        let (mut client, handle) = connect(&server);
+        let mut reader = BufReader::new(client.try_clone().expect("clone"));
+
+        let first = roundtrip(
+            &mut client,
+            &mut reader,
+            r#"{"id":1,"method":"prove","params":{"names":["pos"]}}"#,
+        );
+        assert_eq!(first.get("ok").and_then(Json::as_bool), Some(true));
+        let result = first.get("result").expect("result");
+        assert_eq!(result.get("all_sound").and_then(Json::as_bool), Some(true));
+        assert_eq!(result.get("interrupted").and_then(Json::as_bool), Some(false));
+
+        // The same obligations again: every proof must come from the
+        // resident cache (zero new misses).
+        let misses_before = server.cache.misses();
+        let second = roundtrip(
+            &mut client,
+            &mut reader,
+            r#"{"id":2,"method":"prove","params":{"names":["pos"]}}"#,
+        );
+        assert_eq!(second.get("id").and_then(Json::as_u64), Some(2));
+        assert_eq!(server.cache.misses(), misses_before, "warm repeat missed");
+        assert!(server.cache.hits() > 0, "warm repeat never hit the cache");
+
+        drop(reader);
+        drop(client);
+        handle.join().expect("connection thread");
+    }
+
+    #[test]
+    fn malformed_and_invalid_requests_get_structured_errors() {
+        let (server, _cancel) = spawn_server(ServeConfig::default());
+        let (mut client, handle) = connect(&server);
+        let mut reader = BufReader::new(client.try_clone().expect("clone"));
+
+        let parse = roundtrip(&mut client, &mut reader, "{not json");
+        assert_eq!(parse.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            parse.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+            Some("parse")
+        );
+
+        let noid = roundtrip(&mut client, &mut reader, r#"{"method":"stats"}"#);
+        assert_eq!(
+            noid.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+            Some("invalid")
+        );
+
+        let unknown = roundtrip(&mut client, &mut reader, r#"{"id":7,"method":"frobnicate"}"#);
+        assert_eq!(unknown.get("id").and_then(Json::as_u64), Some(7));
+        assert_eq!(
+            unknown.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+            Some("unknown-method")
+        );
+
+        // The connection (and server) survived all three.
+        let stats = roundtrip(&mut client, &mut reader, r#"{"id":8,"method":"stats"}"#);
+        assert_eq!(stats.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(server.stats.errors.load(Ordering::Relaxed), 3);
+
+        drop(reader);
+        drop(client);
+        handle.join().expect("connection thread");
+    }
+
+    #[test]
+    fn define_is_transactional_under_bad_input() {
+        let (server, _cancel) = spawn_server(ServeConfig::default());
+        let (mut client, handle) = connect(&server);
+        let mut reader = BufReader::new(client.try_clone().expect("clone"));
+
+        let quals_before = server.stats_result();
+        let before = Json::parse(&quals_before).unwrap().get("qualifiers").unwrap().as_u64();
+
+        let bad = roundtrip(
+            &mut client,
+            &mut reader,
+            r#"{"id":1,"method":"define_qualifiers","params":{"source":"value qualifier broken("}}"#,
+        );
+        assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            bad.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+            Some("input")
+        );
+
+        let after = Json::parse(&server.stats_result())
+            .unwrap()
+            .get("qualifiers")
+            .unwrap()
+            .as_u64();
+        assert_eq!(before, after, "a failed define mutated the registry");
+
+        let good = roundtrip(
+            &mut client,
+            &mut reader,
+            r#"{"id":2,"method":"define_qualifiers","params":{"source":"value qualifier gtzero(int Expr E) case E of decl int Const C: C, where C > 0 invariant value(E) > 0"}}"#,
+        );
+        assert_eq!(good.get("ok").and_then(Json::as_bool), Some(true));
+        let defined = good.get("result").and_then(|r| r.get("defined"));
+        assert_eq!(
+            defined.and_then(Json::as_array).map(<[Json]>::len),
+            Some(1),
+            "defined list: {defined:?}"
+        );
+
+        drop(reader);
+        drop(client);
+        handle.join().expect("connection thread");
+    }
+
+    #[test]
+    fn zero_deadline_interrupts_without_poisoning_the_cache() {
+        let (server, _cancel) = spawn_server(ServeConfig::default());
+        let (mut client, handle) = connect(&server);
+        let mut reader = BufReader::new(client.try_clone().expect("clone"));
+
+        let rushed = roundtrip(
+            &mut client,
+            &mut reader,
+            r#"{"id":1,"method":"prove","deadline_ms":0,"params":{"names":["pos"]}}"#,
+        );
+        assert_eq!(rushed.get("ok").and_then(Json::as_bool), Some(true));
+        let result = rushed.get("result").expect("result");
+        assert_eq!(
+            result.get("interrupted").and_then(Json::as_bool),
+            Some(true),
+            "a 0ms deadline must interrupt: {result}"
+        );
+
+        // The interrupted run must not have recorded junk: a follow-up
+        // *without* a deadline proves soundly from scratch.
+        let calm = roundtrip(
+            &mut client,
+            &mut reader,
+            r#"{"id":2,"method":"prove","params":{"names":["pos"]}}"#,
+        );
+        let result = calm.get("result").expect("result");
+        assert_eq!(result.get("all_sound").and_then(Json::as_bool), Some(true));
+        assert_eq!(result.get("interrupted").and_then(Json::as_bool), Some(false));
+        assert_eq!(server.stats.interrupted.load(Ordering::Relaxed), 1);
+
+        drop(reader);
+        drop(client);
+        handle.join().expect("connection thread");
+    }
+
+    #[test]
+    fn per_connection_inflight_cap_sheds_excess_requests() {
+        // One worker and a cap of 1 in-flight request per connection:
+        // submitting two slow proves back-to-back must shed the second.
+        let (server, _cancel) = spawn_server(ServeConfig {
+            jobs: 1,
+            max_inflight: 1,
+            ..ServeConfig::default()
+        });
+        let (mut client, handle) = connect(&server);
+        let mut reader = BufReader::new(client.try_clone().expect("clone"));
+
+        // `cache:false` keeps the first prove slow enough to still be
+        // running (or queued) when the second arrives.
+        client
+            .write_all(
+                b"{\"id\":1,\"method\":\"prove\",\"params\":{\"cache\":false}}\n\
+                  {\"id\":2,\"method\":\"prove\",\"params\":{\"cache\":false}}\n",
+            )
+            .expect("requests written");
+        let mut shed = None;
+        let mut completed = 0;
+        for _ in 0..2 {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("response");
+            let response = Json::parse(line.trim()).expect("json");
+            if response.get("ok").and_then(Json::as_bool) == Some(false) {
+                shed = Some(response);
+            } else {
+                completed += 1;
+            }
+        }
+        let shed = shed.expect("one of the two must be shed");
+        assert_eq!(shed.get("id").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            shed.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+            Some("overloaded")
+        );
+        assert_eq!(completed, 1);
+        assert_eq!(server.stats.shed.load(Ordering::Relaxed), 1);
+
+        drop(reader);
+        drop(client);
+        handle.join().expect("connection thread");
+    }
+
+    #[test]
+    fn disconnect_cancels_queued_work() {
+        // A single worker pinned by a slow request, plus queued work
+        // from a client that vanishes: the queued jobs are skipped.
+        let (server, _cancel) = spawn_server(ServeConfig {
+            jobs: 1,
+            ..ServeConfig::default()
+        });
+        let (mut client, handle) = connect(&server);
+        client
+            .write_all(
+                b"{\"id\":1,\"method\":\"prove\",\"params\":{\"cache\":false}}\n\
+                  {\"id\":2,\"method\":\"prove\",\"params\":{\"cache\":false}}\n\
+                  {\"id\":3,\"method\":\"prove\",\"params\":{\"cache\":false}}\n",
+            )
+            .expect("requests written");
+        // Hang up without reading a single response.
+        drop(client);
+        handle.join().expect("connection thread");
+        server.sched.close_and_drain();
+        assert!(
+            server.stats.cancelled.load(Ordering::Relaxed) > 0,
+            "no queued job noticed the disconnect"
+        );
+        assert_eq!(server.stats.disconnects.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn shutdown_request_stops_the_connection() {
+        let (server, _cancel) = spawn_server(ServeConfig::default());
+        let (mut client, handle) = connect(&server);
+        let mut reader = BufReader::new(client.try_clone().expect("clone"));
+        let bye = roundtrip(&mut client, &mut reader, r#"{"id":9,"method":"shutdown"}"#);
+        assert_eq!(bye.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            bye.get("result").and_then(|r| r.get("stopping")).and_then(Json::as_bool),
+            Some(true)
+        );
+        handle.join().expect("connection thread ended");
+        assert!(server.stopping());
+        assert_eq!(server.finish(), ShutdownKind::Requested);
+    }
+}
+
+fn retry_override(base: RetryPolicy, v: Option<&Json>) -> Result<RetryPolicy, ServeError> {
+    let mut retry = base;
+    let Some(obj) = v else { return Ok(retry) };
+    if obj.is_null() {
+        return Ok(retry);
+    }
+    let Json::Obj(members) = obj else {
+        return Err(("invalid", "`retry` must be an object".to_owned()));
+    };
+    for (key, value) in members {
+        let n = value.as_u64().ok_or((
+            "invalid",
+            format!("retry field `{key}` must be a non-negative integer"),
+        ))?;
+        match key.as_str() {
+            "max_attempts" => retry.max_attempts = n.min(u64::from(u32::MAX)) as u32,
+            "factor" => retry.factor = n.min(u64::from(u32::MAX)) as u32,
+            other => return Err(("invalid", format!("unknown retry field `{other}`"))),
+        }
+    }
+    Ok(retry)
+}

@@ -74,5 +74,5 @@ pub mod term;
 pub use fault::{FaultKind, FaultPlan, IoFaultKind, IoFaultPlan};
 pub use fingerprint::{Fingerprint, PROVER_VERSION};
 pub use solver::{Outcome, Problem};
-pub use stats::{Budget, ProverConfig, ProverStats, Resource, RetryPolicy};
+pub use stats::{Budget, BudgetOverride, ProverConfig, ProverStats, Resource, RetryPolicy};
 pub use term::{Formula, Sort, Term};

@@ -58,6 +58,24 @@ impl Budget {
         }
     }
 
+    /// This budget with the given per-request overrides applied: each
+    /// `Some` field of `over` replaces the corresponding base limit.
+    /// This is the serve daemon's budget wiring — a resident server
+    /// holds one default [`Budget`] and derives a per-request one from
+    /// whatever limits the request carries, without the request being
+    /// able to *unset* a limit the server imposes (absent fields
+    /// inherit, they do not reset to unbounded).
+    #[must_use]
+    pub fn overridden(self, over: BudgetOverride) -> Budget {
+        Budget {
+            max_rounds: over.max_rounds.unwrap_or(self.max_rounds),
+            max_instantiations: over.max_instantiations.unwrap_or(self.max_instantiations),
+            max_clauses: over.max_clauses.unwrap_or(self.max_clauses),
+            max_decisions: over.max_decisions.unwrap_or(self.max_decisions),
+            timeout: over.timeout.or(self.timeout),
+        }
+    }
+
     /// This budget with every limit multiplied by `factor` (saturating),
     /// including the wall-clock deadline. Attempt `k` of the retry
     /// escalation ladder runs under `base.scaled(factor^(k-1))`.
@@ -70,6 +88,25 @@ impl Budget {
             max_decisions: self.max_decisions.saturating_mul(u64::from(factor)),
             timeout: self.timeout.map(|t| t.saturating_mul(factor)),
         }
+    }
+}
+
+/// Per-request [`Budget`] overrides (see [`Budget::overridden`]): the
+/// shape of the optional `budget` object a serve-protocol request may
+/// carry. `None` fields inherit the server's base budget.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BudgetOverride {
+    pub max_rounds: Option<usize>,
+    pub max_instantiations: Option<usize>,
+    pub max_clauses: Option<usize>,
+    pub max_decisions: Option<u64>,
+    pub timeout: Option<Duration>,
+}
+
+impl BudgetOverride {
+    /// True when no field is set (the request carried no overrides).
+    pub fn is_empty(&self) -> bool {
+        *self == BudgetOverride::default()
     }
 }
 

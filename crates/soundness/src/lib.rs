@@ -51,7 +51,8 @@ pub use checker::{
 };
 pub use obligations::{obligations_for, Obligation};
 pub use stq_logic::{
-    fault, Budget, FaultKind, FaultPlan, Fingerprint, IoFaultKind, IoFaultPlan, ProverStats,
+    fault, Budget, BudgetOverride, FaultKind, FaultPlan, Fingerprint, IoFaultKind, IoFaultPlan,
+    ProverStats,
     Resource, RetryPolicy, PROVER_VERSION,
 };
 pub use stq_util::{CancelReason, CancelToken};

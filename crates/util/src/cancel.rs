@@ -61,6 +61,29 @@ pub enum CancelReason {
 struct Inner {
     cancelled: AtomicBool,
     deadline: Option<Instant>,
+    /// Linked-token support ([`CancelToken::child`]): a child observes
+    /// its parent's cancel flag and deadline in addition to its own, so
+    /// firing a parent stops a whole tree of in-flight work, while
+    /// cancelling a child (one request) leaves siblings untouched.
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn cancelled_anywhere(&self) -> bool {
+        if self.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        self.parent.as_deref().is_some_and(Inner::cancelled_anywhere)
+    }
+
+    /// The earliest deadline along the parent chain, if any.
+    fn effective_deadline(&self) -> Option<Instant> {
+        let inherited = self.parent.as_deref().and_then(Inner::effective_deadline);
+        match (self.deadline, inherited) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
 }
 
 /// A cloneable, thread-safe handle asking cooperative work to stop.
@@ -84,6 +107,7 @@ impl CancelToken {
             inner: Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
                 deadline: Some(deadline),
+                parent: None,
             }),
         }
     }
@@ -91,6 +115,41 @@ impl CancelToken {
     /// A token that fires `from_now` after this call.
     pub fn deadline_in(from_now: Duration) -> CancelToken {
         CancelToken::with_deadline(Instant::now() + from_now)
+    }
+
+    /// A *linked* child token: it fires whenever this token fires (flag
+    /// or deadline), and additionally when cancelled itself. Cancelling
+    /// the child does **not** propagate upward — this is the per-request
+    /// isolation the serve daemon rests on: server-shutdown →
+    /// connection → request tokens form a tree, and a client
+    /// disconnecting cancels exactly its own subtree.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                parent: Some(Arc::clone(&self.inner)),
+            }),
+        }
+    }
+
+    /// A linked child (see [`CancelToken::child`]) with its own
+    /// deadline on top: the effective deadline is the earliest along
+    /// the chain, so a per-request deadline can only tighten a
+    /// server-wide one.
+    pub fn child_with_deadline(&self, deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+                parent: Some(Arc::clone(&self.inner)),
+            }),
+        }
+    }
+
+    /// [`CancelToken::child_with_deadline`], `from_now` after this call.
+    pub fn child_with_deadline_in(&self, from_now: Duration) -> CancelToken {
+        self.child_with_deadline(Instant::now() + from_now)
     }
 
     /// Requests cancellation. Idempotent, and safe to call from a signal
@@ -101,14 +160,16 @@ impl CancelToken {
     }
 
     /// True once [`cancel`](CancelToken::cancel) has been called on any
-    /// clone. Does **not** consider the deadline.
+    /// clone — of this token or of a linked ancestor. Does **not**
+    /// consider the deadline.
     pub fn is_cancelled(&self) -> bool {
-        self.inner.cancelled.load(Ordering::Acquire)
+        self.inner.cancelled_anywhere()
     }
 
-    /// The wall-clock deadline, if this token carries one.
+    /// The effective wall-clock deadline: the earliest along this
+    /// token's linked-parent chain, if any carries one.
     pub fn deadline(&self) -> Option<Instant> {
-        self.inner.deadline
+        self.inner.effective_deadline()
     }
 
     /// Polls both stop conditions. The external cancel flag wins when
@@ -121,7 +182,7 @@ impl CancelToken {
         if self.is_cancelled() {
             return Some(CancelReason::Cancelled);
         }
-        match self.inner.deadline {
+        match self.inner.effective_deadline() {
             Some(d) if Instant::now() >= d => Some(CancelReason::DeadlineExpired),
             _ => None,
         }
@@ -178,6 +239,47 @@ mod tests {
         let t = CancelToken::deadline_in(Duration::ZERO);
         t.cancel();
         assert_eq!(t.stop_reason(), Some(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn child_fires_with_parent_but_not_vice_versa() {
+        let parent = CancelToken::new();
+        let a = parent.child();
+        let b = parent.child();
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(!parent.is_cancelled(), "child cancel stays in its subtree");
+        assert!(!b.is_cancelled(), "siblings are isolated");
+        parent.cancel();
+        assert!(b.is_cancelled());
+        assert_eq!(b.stop_reason(), Some(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn child_deadline_is_the_earliest_in_the_chain() {
+        let parent = CancelToken::deadline_in(Duration::from_secs(3600));
+        let tight = parent.child_with_deadline_in(Duration::ZERO);
+        assert_eq!(tight.stop_reason(), Some(CancelReason::DeadlineExpired));
+        assert!(!parent.should_stop(), "parent deadline is far out");
+
+        let loose = CancelToken::deadline_in(Duration::ZERO)
+            .child_with_deadline_in(Duration::from_secs(3600));
+        assert_eq!(
+            loose.stop_reason(),
+            Some(CancelReason::DeadlineExpired),
+            "an expired parent deadline fires the child too"
+        );
+        let plain = parent.child();
+        assert_eq!(plain.deadline(), parent.deadline(), "deadline is inherited");
+    }
+
+    #[test]
+    fn grandchildren_observe_the_root() {
+        let root = CancelToken::new();
+        let leaf = root.child().child();
+        assert!(!leaf.should_stop());
+        root.cancel();
+        assert!(leaf.is_cancelled());
     }
 
     #[test]

@@ -8,7 +8,12 @@
 //! * [`pool`] — a work-stealing scoped thread pool for embarrassingly
 //!   parallel batches (the soundness checker's proof obligations),
 //! * [`cancel`] — cooperative cancellation tokens (deadline + external
-//!   cancel flag) polled by the prover, the pool, and fuzz campaigns,
+//!   cancel flag, linkable into parent/child trees) polled by the
+//!   prover, the pool, fuzz campaigns, and the serve daemon,
+//! * [`json`] — a minimal JSON value type (parse + compact serialize)
+//!   for the serve daemon's line-delimited wire protocol,
+//! * [`serve`] — the daemon's bounded request scheduler with
+//!   structured load shedding,
 //! * [`Span`] / [`Loc`] — byte-offset source locations for error reporting,
 //! * [`Diagnostic`] / [`Diagnostics`] — structured warnings and errors, in the
 //!   spirit of the paper's typechecker which "provides type errors to the
@@ -32,7 +37,9 @@
 pub mod cancel;
 pub mod diag;
 pub mod intern;
+pub mod json;
 pub mod pool;
+pub mod serve;
 pub mod span;
 
 pub use cancel::{CancelReason, CancelToken};

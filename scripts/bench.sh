@@ -4,7 +4,11 @@
 # warm-cache pipeline modes, the cache hit/miss ledger of a cold vs
 # warm second run, and the deadline-enforcement overhead of the warm
 # jobs=4 run with a (never-firing) timeout + deadline armed — asserted
-# <5% by the bench itself. See docs/performance.md for the numbers.
+# <5% by the bench itself. Also emits BENCH_serve.json: the warm
+# `stqc serve` daemon's requests/sec and latency percentiles against
+# the one-shot process baseline, asserted ≥5x (and zero warm cache
+# misses) by `stqc bench-serve` itself. See docs/performance.md and
+# docs/telemetry.md for the numbers and schemas.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,3 +25,14 @@ if [[ ! -f BENCH_soundness.json ]]; then
 fi
 echo "==> BENCH_soundness.json"
 cat BENCH_soundness.json
+
+echo "==> stqc bench-serve (warm daemon vs one-shot baseline)"
+cargo build --release
+./target/release/stqc bench-serve --out BENCH_serve.json
+
+if [[ ! -f BENCH_serve.json ]]; then
+    echo "bench.sh: BENCH_serve.json was not produced" >&2
+    exit 1
+fi
+echo "==> BENCH_serve.json"
+cat BENCH_serve.json

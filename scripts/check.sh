@@ -53,4 +53,27 @@ if ! grep -q ' 0 miss(es)' <<< "$warm_stats"; then
     exit 1
 fi
 
+echo "==> stqc serve smoke (daemon round-trip + clean shutdown)"
+serve_sock="/tmp/stqc-smoke-serve-$$.sock"
+./target/release/stqc serve --socket "$serve_sock" &
+serve_pid=$!
+trap 'rm -f "$smoke_src" "$serve_sock"; rm -rf "$cache_dir"; kill "$serve_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    [ -S "$serve_sock" ] && break
+    sleep 0.1
+done
+./target/release/stqc call --socket "$serve_sock" check \
+    '{"source":"int pos x = 3;"}' >/dev/null
+./target/release/stqc call --socket "$serve_sock" shutdown >/dev/null
+serve_rc=0
+wait "$serve_pid" || serve_rc=$?
+if [ "$serve_rc" -ne 0 ]; then
+    echo "expected exit 0 from a requested daemon shutdown, got $serve_rc" >&2
+    exit 1
+fi
+if [ -e "$serve_sock" ]; then
+    echo "daemon left its socket file behind: $serve_sock" >&2
+    exit 1
+fi
+
 echo "==> all checks passed"

@@ -12,6 +12,13 @@
 //! stqc fuzz [--seed N] [--count N] [--jobs N] [--max-depth N] [--json]
 //!           [--deadline-ms N] [--replay DIR]
 //!                                        differential fuzzing
+//! stqc serve (--socket PATH | --stdio) [--jobs N] [--cache-dir DIR]
+//!           [--quals FILE] [--max-inflight N] [--max-queue N] [BUDGET..]
+//!                                        checking-as-a-service daemon
+//! stqc call --socket PATH [--deadline-ms N] METHOD [PARAMS]
+//!                                        one request to a serve daemon
+//! stqc bench-serve [--clients N] [--requests N] [--oneshot N]
+//!           [--jobs N] [--out FILE]      daemon vs one-shot benchmark
 //! ```
 //!
 //! Budget flags (`prove` only) bound the prover so a pathological
@@ -66,13 +73,89 @@
 use std::fs;
 use std::process::ExitCode;
 use std::time::Duration;
+use stq_core::reportjson::{
+    budget_json, check_stats_json, json_escape, json_ms, prover_stats_json, qual_report_json,
+    retry_json,
+};
 use stq_core::{
-    fault, Budget, CancelToken, CheckOptions, CheckStats, FaultKind, FaultPlan, PersistOutcome,
-    ProofCache, ProverStats, QualReport, Resource, RetryPolicy, Session, Value, Verdict,
+    fault, Budget, CancelToken, CheckOptions, FaultKind, FaultPlan, PersistOutcome, ProofCache,
+    ProverStats, QualReport, Resource, RetryPolicy, Session, Value, Verdict,
 };
 
-const USAGE: &str = "usage: stqc <prove|check|run|infer|tables|show|fuzz> [options]\n\
-                     see the README and docs/telemetry.md for details";
+const USAGE: &str =
+    "usage: stqc <prove|check|run|infer|tables|show|fuzz|serve|call|bench-serve> [options]\n\
+     run `stqc --help` for the full command and flag reference";
+
+/// The complete CLI surface. `tests/docs.rs` cross-checks every
+/// subcommand and flag mentioned anywhere under `docs/` against this
+/// text, so it must stay exhaustive.
+const HELP: &str = "\
+stqc — semantic type qualifiers: checker, prover, and serving daemon
+
+subcommands:
+  stqc prove [NAME]         prove qualifier soundness (all, or one by NAME)
+  stqc check FILE.c         qualifier-check a C-subset program
+  stqc run FILE.c [INT..]   instrument casts and execute under the interpreter
+  stqc infer --qual NAME FILE.c
+                            infer which sites can carry qualifier NAME
+  stqc tables               regenerate the paper's Tables 1 and 2
+  stqc show [NAME]          print qualifier definitions (all, or one)
+  stqc fuzz                 differential fuzzing across three oracles
+  stqc serve                long-running checking daemon (socket or stdio)
+  stqc call METHOD [PARAMS] send one request to a running serve daemon
+  stqc bench-serve          benchmark warm daemon vs one-shot processes
+
+qualifier and report flags (prove, check, run, infer, show, serve):
+  --quals FILE              define qualifiers from FILE on top of the builtins
+  --stats                   print prover/checker telemetry
+  --json                    machine-readable report (schema: docs/telemetry.md)
+  --flow-sensitive          enable the flow-sensitive checking extension (check)
+  --entry NAME              entry function for `run` (default main)
+  --qual NAME               qualifier to infer annotations for (infer)
+
+prover budget flags (prove, serve; per obligation):
+  --max-rounds N            matching rounds before ResourceOut
+  --max-instantiations N    quantifier instantiations before ResourceOut
+  --max-decisions N         case splits before ResourceOut
+  --max-clauses N           learned clauses before ResourceOut
+  --timeout-ms N            per-obligation wall-clock budget (cache-keyed)
+
+performance flags (prove, serve; see docs/performance.md):
+  --jobs N                  worker threads (0 = available parallelism);
+                            for serve: request workers serving the queue
+  --cache-dir DIR           persistent fingerprinted proof cache in DIR
+
+robustness flags (see docs/robustness.md):
+  --retry N                 retry ResourceOut obligations up to N attempts
+  --retry-factor F          geometric budget escalation between attempts
+  --deadline-ms N           whole-run deadline (prove, fuzz, serve lifetime;
+                            for `call`: per-request deadline, not cache-keyed)
+  --keep-going              continue past crashed qualifiers / syntax errors
+  --fault-panic-at N        inject a panic at the Nth solver entry
+  --fault-resource-out-at N inject ResourceOut at the Nth solver entry
+  --fault-theory-at N       inject a theory error at the Nth solver entry
+
+fuzzing flags (fuzz; see docs/testing.md):
+  --seed N                  campaign seed (deterministic per seed/count)
+  --count N                 number of generated cases
+  --max-depth N             expression depth bound for generated programs
+  --replay DIR              replay every .c witness under DIR
+
+serving flags (serve, call, bench-serve; see docs/serving.md):
+  --socket PATH             Unix socket to serve on / connect to
+  --stdio                   serve one session over stdin/stdout (testing)
+  --max-inflight N          per-connection in-flight request cap (serve)
+  --max-queue N             global request queue bound before shedding (serve)
+  --clients N               concurrent bench clients (bench-serve)
+  --requests N              requests per bench client (bench-serve)
+  --oneshot N               one-shot baseline process count (bench-serve)
+  --out FILE                benchmark report path (default BENCH_serve.json)
+
+exit codes: 0 success/sound, 1 unsound or qualifier errors, 2 usage,
+3 input errors, 4 crash or resource-out, 5 interrupted (partial report).
+
+`stqc --help` (or `-h`) prints this reference.
+";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -84,8 +167,11 @@ fn main() -> ExitCode {
         Some("tables") => tables(&args[1..]),
         Some("show") => show(&args[1..]),
         Some("fuzz") => fuzz(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("call") => call(&args[1..]),
+        Some("bench-serve") => bench_serve(&args[1..]),
         Some("--help") | Some("-h") => {
-            println!("{USAGE}");
+            println!("{HELP}");
             ExitCode::SUCCESS
         }
         Some(other) => {
@@ -321,167 +407,6 @@ fn run_token(deadline_ms: Option<u64>) -> CancelToken {
 
 fn has_flag(flags: &[String], name: &str) -> bool {
     flags.iter().any(|f| f == name)
-}
-
-// ----- hand-rolled JSON (schema in docs/telemetry.md) -----
-
-/// Escapes a string for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn json_ms(d: Duration) -> String {
-    format!("{:.3}", d.as_secs_f64() * 1000.0)
-}
-
-fn resource_slug(r: Resource) -> &'static str {
-    match r {
-        Resource::Rounds => "rounds",
-        Resource::Instantiations => "instantiations",
-        Resource::Decisions => "decisions",
-        Resource::Clauses => "clauses",
-        Resource::Time => "time",
-        Resource::Cancelled => "cancelled",
-        Resource::Injected => "injected",
-    }
-}
-
-fn verdict_slug(v: Verdict) -> &'static str {
-    match v {
-        Verdict::Sound => "sound",
-        Verdict::Unsound => "unsound",
-        Verdict::NoInvariant => "no-invariant",
-        Verdict::ResourceOut => "resource-out",
-        Verdict::Crashed => "crashed",
-        Verdict::Interrupted => "interrupted",
-    }
-}
-
-fn retry_json(r: RetryPolicy) -> String {
-    format!(
-        "{{\"max_attempts\":{},\"factor\":{}}}",
-        r.attempt_cap(),
-        r.factor
-    )
-}
-
-fn budget_json(b: &Budget) -> String {
-    format!(
-        "{{\"max_rounds\":{},\"max_instantiations\":{},\"max_clauses\":{},\
-         \"max_decisions\":{},\"timeout_ms\":{}}}",
-        b.max_rounds,
-        b.max_instantiations,
-        b.max_clauses,
-        b.max_decisions,
-        b.timeout
-            .map_or("null".to_owned(), |t| json_ms(t).to_string()),
-    )
-}
-
-fn prover_stats_json(s: &ProverStats) -> String {
-    let triggers: Vec<String> = s
-        .instantiations_by_trigger
-        .iter()
-        .map(|(t, n)| format!("\"{}\":{n}", json_escape(t)))
-        .collect();
-    format!(
-        "{{\"rounds\":{},\"instantiations\":{},\"instantiations_by_trigger\":{{{}}},\
-         \"ematch_candidates\":{},\"decisions\":{},\"propagations\":{},\"conflicts\":{},\
-         \"theory_checks\":{},\"merges\":{},\"fm_eliminations\":{},\"clauses\":{},\
-         \"max_clauses\":{},\"cache_hits\":{},\"cache_misses\":{},\
-         \"cache_invalidations\":{},\"wall_ms\":{}}}",
-        s.rounds,
-        s.instantiations,
-        triggers.join(","),
-        s.ematch_candidates,
-        s.decisions,
-        s.propagations,
-        s.conflicts,
-        s.theory_checks,
-        s.merges,
-        s.fm_eliminations,
-        s.clauses,
-        s.max_clauses,
-        s.cache_hits,
-        s.cache_misses,
-        s.cache_invalidations,
-        json_ms(s.wall),
-    )
-}
-
-fn check_stats_json(s: &CheckStats) -> String {
-    format!(
-        "{{\"dereferences\":{},\"annotations\":{},\"casts\":{},\"qualifier_errors\":{},\
-         \"printf_calls\":{},\"restrict_checks\":{},\"match_attempts\":{},\
-         \"exprs_visited\":{},\"case_applications\":{},\"memo_hits\":{},\
-         \"memo_misses\":{},\"casts_instrumented\":{}}}",
-        s.dereferences,
-        s.annotations,
-        s.casts,
-        s.qualifier_errors,
-        s.printf_calls,
-        s.restrict_checks,
-        s.match_attempts,
-        s.exprs_visited,
-        s.case_applications,
-        s.memo_hits,
-        s.memo_misses,
-        s.casts_instrumented,
-    )
-}
-
-fn qual_report_json(r: &QualReport) -> String {
-    let obligations: Vec<String> = r
-        .obligations
-        .iter()
-        .map(|o| {
-            let countermodel: Vec<String> = o
-                .countermodel
-                .iter()
-                .map(|l| format!("\"{}\"", json_escape(l)))
-                .collect();
-            format!(
-                "{{\"description\":\"{}\",\"proved\":{},\"skipped\":{},\"resource\":{},\
-                 \"crashed\":{},\"attempts\":{},\
-                 \"countermodel\":[{}],\"wall_ms\":{},\"stats\":{}}}",
-                json_escape(&o.description),
-                o.proved,
-                o.skipped,
-                o.resource
-                    .map_or("null".to_owned(), |res| format!(
-                        "\"{}\"",
-                        resource_slug(res)
-                    )),
-                o.crashed
-                    .as_deref()
-                    .map_or("null".to_owned(), |m| format!("\"{}\"", json_escape(m))),
-                o.attempts,
-                countermodel.join(","),
-                json_ms(o.duration),
-                prover_stats_json(&o.stats),
-            )
-        })
-        .collect();
-    format!(
-        "{{\"name\":\"{}\",\"verdict\":\"{}\",\"wall_ms\":{},\"obligations\":[{}],\"totals\":{}}}",
-        json_escape(&r.qualifier.to_string()),
-        verdict_slug(r.verdict),
-        json_ms(r.duration),
-        obligations.join(","),
-        prover_stats_json(&r.totals()),
-    )
 }
 
 // ----- subcommands -----
@@ -1204,4 +1129,511 @@ fn tables(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+// ----- checking as a service -----
+
+/// Strips serve-specific flags (`--socket PATH`, `--stdio`,
+/// `--max-inflight N`, `--max-queue N`) out of `args` so the remainder
+/// can go through the common [`session_from`] scan.
+struct ServeArgs {
+    socket: Option<String>,
+    stdio: bool,
+    max_inflight: usize,
+    max_queue: usize,
+    rest: Vec<String>,
+}
+
+fn split_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
+    let mut out = ServeArgs {
+        socket: None,
+        stdio: false,
+        max_inflight: 32,
+        max_queue: 1024,
+        rest: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => {
+                let path = args
+                    .get(i + 1)
+                    .ok_or_else(|| usage_err("--socket needs a path"))?;
+                out.socket = Some(path.clone());
+                i += 2;
+            }
+            "--stdio" => {
+                out.stdio = true;
+                i += 1;
+            }
+            flag @ ("--max-inflight" | "--max-queue") => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| usage_err(format!("{flag} needs a number")))?;
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| usage_err(format!("{flag}: `{value}` is not a number")))?;
+                if flag == "--max-inflight" {
+                    out.max_inflight = n;
+                } else {
+                    out.max_queue = n;
+                }
+                i += 2;
+            }
+            other => {
+                out.rest.push(other.to_owned());
+                i += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `stqc serve`: the resident checking daemon (see `docs/serving.md`).
+/// `--deadline-ms` bounds the daemon's whole lifetime; SIGINT (or the
+/// lapsed deadline) drains in-flight work cooperatively, persists the
+/// cache, and exits 5. A client `shutdown` request exits 0.
+fn serve(args: &[String]) -> ExitCode {
+    let serve_args = match split_serve_args(args) {
+        Ok(x) => x,
+        Err(e) => return fail(e),
+    };
+    let Cli {
+        session,
+        rest,
+        budget,
+        retry,
+        jobs,
+        cache_dir,
+        deadline_ms,
+        ..
+    } = match session_from(&serve_args.rest) {
+        Ok(x) => x,
+        Err(e) => return fail(e),
+    };
+    if let Some(stray) = rest.first() {
+        return fail(usage_err(format!("serve: unexpected argument `{stray}`")));
+    }
+    if serve_args.socket.is_none() && !serve_args.stdio {
+        return fail(usage_err("serve needs --socket PATH or --stdio"));
+    }
+    let cancel = run_token(deadline_ms);
+    let cfg = stq_core::ServeConfig {
+        jobs,
+        max_inflight: serve_args.max_inflight,
+        max_queue: serve_args.max_queue,
+        cache_dir: cache_dir.map(std::path::PathBuf::from),
+        budget,
+        retry,
+        prove_jobs: 1,
+    };
+    let server = match stq_core::Server::new(session, cfg, cancel) {
+        Ok(s) => std::sync::Arc::new(s),
+        Err(e) => return fail(input_err(format!("cannot start server: {e}"))),
+    };
+    let kind = if serve_args.stdio {
+        server.run_stdio()
+    } else {
+        #[cfg(unix)]
+        {
+            let path = serve_args.socket.expect("checked above");
+            eprintln!("stqc: serving on {path}");
+            match server.run_unix(std::path::Path::new(&path)) {
+                Ok(kind) => kind,
+                Err(e) => return fail(input_err(format!("serve: {path}: {e}"))),
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            return fail(usage_err("--socket requires unix; use --stdio"));
+        }
+    };
+    match kind {
+        stq_core::ShutdownKind::Requested => ExitCode::SUCCESS,
+        stq_core::ShutdownKind::Interrupted => ExitCode::from(EXIT_INTERRUPTED),
+    }
+}
+
+/// `stqc call`: a thin synchronous client for one request. The raw
+/// response line is printed to stdout; the exit code mirrors the
+/// one-shot commands (see `docs/serving.md` for the mapping).
+#[cfg(unix)]
+fn call(args: &[String]) -> ExitCode {
+    use std::io::{BufRead, BufReader, Write};
+    use stq_util::json::Json;
+
+    let mut socket: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => {
+                let Some(path) = args.get(i + 1) else {
+                    return fail(usage_err("--socket needs a path"));
+                };
+                socket = Some(path.clone());
+                i += 2;
+            }
+            "--deadline-ms" => {
+                let Some(value) = args.get(i + 1) else {
+                    return fail(usage_err("--deadline-ms needs a number"));
+                };
+                let Ok(n) = value.parse::<u64>() else {
+                    return fail(usage_err(format!(
+                        "--deadline-ms: `{value}` is not a number"
+                    )));
+                };
+                deadline_ms = Some(n);
+                i += 2;
+            }
+            other => {
+                positional.push(other.to_owned());
+                i += 1;
+            }
+        }
+    }
+    let Some(socket) = socket else {
+        return fail(usage_err("call needs --socket PATH"));
+    };
+    let Some(method) = positional.first() else {
+        return fail(usage_err("call needs a METHOD (define_qualifiers, check, prove, stats, shutdown)"));
+    };
+    let params = match positional.get(1) {
+        Some(raw) => match Json::parse(raw) {
+            Ok(p @ Json::Obj(_)) => Some(p.to_string()),
+            Ok(_) => return fail(usage_err("PARAMS must be a JSON object")),
+            Err(e) => return fail(usage_err(format!("PARAMS is not valid JSON: {e}"))),
+        },
+        None => None,
+    };
+    let mut request = format!("{{\"id\":1,\"method\":\"{}\"", json_escape(method));
+    if let Some(ms) = deadline_ms {
+        request.push_str(&format!(",\"deadline_ms\":{ms}"));
+    }
+    if let Some(p) = &params {
+        request.push_str(&format!(",\"params\":{p}"));
+    }
+    request.push('}');
+
+    let stream = match std::os::unix::net::UnixStream::connect(&socket) {
+        Ok(s) => s,
+        Err(e) => return fail(input_err(format!("cannot connect to {socket}: {e}"))),
+    };
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => return fail(input_err(format!("{socket}: {e}"))),
+    };
+    if writer
+        .write_all(format!("{request}\n").as_bytes())
+        .and_then(|()| writer.flush())
+        .is_err()
+    {
+        return fail(input_err(format!("{socket}: connection closed while sending")));
+    }
+    let mut response = String::new();
+    if BufReader::new(stream).read_line(&mut response).is_err() || response.trim().is_empty() {
+        return fail(input_err(format!(
+            "{socket}: the daemon closed the connection without replying"
+        )));
+    }
+    let response = response.trim();
+    println!("{response}");
+    let Ok(doc) = Json::parse(response) else {
+        return fail(input_err("the daemon sent a non-JSON response"));
+    };
+    if doc.get("ok").and_then(Json::as_bool) != Some(true) {
+        let code = doc
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .unwrap_or("invalid");
+        return ExitCode::from(match code {
+            "input" => EXIT_INPUT,
+            "overloaded" | "shutting-down" => EXIT_CRASH,
+            _ => EXIT_USAGE,
+        });
+    }
+    let result = doc.get("result");
+    let field = |name: &str| result.and_then(|r| r.get(name)).and_then(Json::as_bool);
+    match method.as_str() {
+        "prove" if field("interrupted") == Some(true) => ExitCode::from(EXIT_INTERRUPTED),
+        "prove" if field("all_sound") == Some(false) => ExitCode::from(EXIT_UNSOUND),
+        "check" if field("clean") == Some(false) => ExitCode::from(EXIT_UNSOUND),
+        _ => ExitCode::SUCCESS,
+    }
+}
+
+#[cfg(not(unix))]
+fn call(_args: &[String]) -> ExitCode {
+    fail(usage_err("call requires unix sockets"))
+}
+
+/// `stqc bench-serve`: measures warm-daemon throughput against the
+/// one-shot process baseline and records both in `BENCH_serve.json`
+/// (schema in `docs/telemetry.md`). Fails (exit 4) if the daemon does
+/// not clear a 5x requests/sec advantage — that margin is the point of
+/// serving (see `docs/performance.md`).
+#[cfg(unix)]
+fn bench_serve(args: &[String]) -> ExitCode {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    use std::sync::Arc;
+    use std::time::Instant;
+    use stq_util::json::Json;
+
+    let mut clients = 8usize;
+    let mut requests = 20usize;
+    let mut oneshot = 4usize;
+    let mut jobs = stq_util::pool::default_jobs();
+    let mut out = "BENCH_serve.json".to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                let Some(path) = args.get(i + 1) else {
+                    return fail(usage_err("--out needs a path"));
+                };
+                out = path.clone();
+                i += 2;
+            }
+            flag @ ("--clients" | "--requests" | "--oneshot" | "--jobs") => {
+                let Some(value) = args.get(i + 1) else {
+                    return fail(usage_err(format!("{flag} needs a number")));
+                };
+                let Ok(n) = value.parse::<usize>() else {
+                    return fail(usage_err(format!("{flag}: `{value}` is not a number")));
+                };
+                match flag {
+                    "--clients" => clients = n.clamp(1, 64),
+                    "--requests" => requests = n.clamp(1, 10_000),
+                    "--oneshot" => oneshot = n.clamp(1, 64),
+                    _ => jobs = if n == 0 { stq_util::pool::default_jobs() } else { n.min(256) },
+                }
+                i += 2;
+            }
+            other => {
+                return fail(usage_err(format!("bench-serve: unknown argument `{other}`")));
+            }
+        }
+    }
+
+    let socket = std::env::temp_dir().join(format!("stqc-bench-{}.sock", std::process::id()));
+    let _ = fs::remove_file(&socket);
+    let cfg = stq_core::ServeConfig {
+        jobs,
+        ..stq_core::ServeConfig::default()
+    };
+    let server = match stq_core::Server::new(Session::with_builtins(), cfg, CancelToken::new()) {
+        Ok(s) => Arc::new(s),
+        Err(e) => return fail(input_err(format!("cannot start server: {e}"))),
+    };
+    let server_thread = {
+        let server = Arc::clone(&server);
+        let socket = socket.clone();
+        std::thread::spawn(move || server.run_unix(&socket))
+    };
+    // Wait for the daemon to bind.
+    let bound_by = Instant::now() + Duration::from_secs(10);
+    loop {
+        if UnixStream::connect(&socket).is_ok() {
+            break;
+        }
+        if Instant::now() > bound_by {
+            return fail(input_err("bench server never bound its socket"));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let prove_line = "{\"id\":1,\"method\":\"prove\"}\n";
+    let roundtrip = |stream: &mut UnixStream, reader: &mut BufReader<UnixStream>| -> Result<Json, CliError> {
+        stream
+            .write_all(prove_line.as_bytes())
+            .map_err(|e| input_err(format!("bench request failed: {e}")))?;
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| input_err(format!("bench response failed: {e}")))?;
+        Json::parse(line.trim()).map_err(|e| input_err(format!("bench response unparseable: {e}")))
+    };
+    let cache_misses = |doc: &Json| -> u64 {
+        doc.get("result")
+            .and_then(|r| r.get("cache"))
+            .and_then(|c| c.get("misses"))
+            .and_then(Json::as_u64)
+            .unwrap_or(u64::MAX)
+    };
+
+    // Warm the resident cache with one full prove, and note the miss
+    // count: the measured phase below must add zero.
+    let warm_misses = {
+        let mut stream = match UnixStream::connect(&socket) {
+            Ok(s) => s,
+            Err(e) => return fail(input_err(format!("cannot connect: {e}"))),
+        };
+        let mut reader = BufReader::new(match stream.try_clone() {
+            Ok(s) => s,
+            Err(e) => return fail(input_err(format!("cannot clone: {e}"))),
+        });
+        let doc = match roundtrip(&mut stream, &mut reader) {
+            Ok(d) => d,
+            Err(e) => return fail(e),
+        };
+        if doc.get("ok").and_then(Json::as_bool) != Some(true) {
+            return fail(input_err(format!("warmup prove failed: {doc}")));
+        }
+        cache_misses(&doc)
+    };
+
+    // Measured phase: `clients` concurrent connections, each running
+    // `requests` sequential prove round-trips against the warm daemon.
+    type ClientOutcome = Result<(Vec<f64>, u64), CliError>;
+    let started = Instant::now();
+    let workers: Vec<std::thread::JoinHandle<ClientOutcome>> = (0..clients)
+        .map(|_| {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let mut stream = UnixStream::connect(&socket)
+                    .map_err(|e| input_err(format!("cannot connect: {e}")))?;
+                let mut reader = BufReader::new(
+                    stream
+                        .try_clone()
+                        .map_err(|e| input_err(format!("cannot clone: {e}")))?,
+                );
+                let mut latencies = Vec::with_capacity(requests);
+                let mut line = String::new();
+                // The measured loop must not burn the benched machine's
+                // CPU on client-side work: a cheap substring check per
+                // response, with the full JSON parse (for the cache
+                // ledger) only on each client's final response.
+                for _ in 0..requests {
+                    let sent = Instant::now();
+                    stream
+                        .write_all("{\"id\":1,\"method\":\"prove\"}\n".as_bytes())
+                        .map_err(|e| input_err(format!("bench request failed: {e}")))?;
+                    line.clear();
+                    reader
+                        .read_line(&mut line)
+                        .map_err(|e| input_err(format!("bench response failed: {e}")))?;
+                    latencies.push(sent.elapsed().as_secs_f64() * 1000.0);
+                    if !line.contains("\"ok\":true") {
+                        return Err(input_err(format!("bench prove failed: {}", line.trim())));
+                    }
+                }
+                let doc = Json::parse(line.trim())
+                    .map_err(|e| input_err(format!("bench response unparseable: {e}")))?;
+                let last_misses = doc
+                    .get("result")
+                    .and_then(|r| r.get("cache"))
+                    .and_then(|c| c.get("misses"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(u64::MAX);
+                Ok((latencies, last_misses))
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::with_capacity(clients * requests);
+    let mut final_misses = 0u64;
+    for handle in workers {
+        match handle.join() {
+            Ok(Ok((ls, misses))) => {
+                latencies.extend(ls);
+                final_misses = final_misses.max(misses);
+            }
+            Ok(Err(e)) => return fail(e),
+            Err(_) => return fail(input_err("a bench client panicked")),
+        }
+    }
+    let served_elapsed = started.elapsed();
+    let total_requests = clients * requests;
+    let served_rps = total_requests as f64 / served_elapsed.as_secs_f64();
+    let warm_miss_delta = final_misses.saturating_sub(warm_misses);
+
+    // Shut the daemon down cleanly before the one-shot baseline so it
+    // is not competing for cores.
+    {
+        if let Ok(mut stream) = UnixStream::connect(&socket) {
+            let _ = stream.write_all(b"{\"id\":99,\"method\":\"shutdown\"}\n");
+            let mut line = String::new();
+            let _ = BufReader::new(stream).read_line(&mut line);
+        }
+        let _ = server_thread.join();
+    }
+
+    // One-shot baseline: the same prove, paying full process startup
+    // every time, with the same concurrency available.
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => return fail(input_err(format!("cannot locate stqc: {e}"))),
+    };
+    let oneshot_started = Instant::now();
+    let spawns: Vec<std::thread::JoinHandle<bool>> = (0..oneshot)
+        .map(|_| {
+            let exe = exe.clone();
+            std::thread::spawn(move || {
+                std::process::Command::new(exe)
+                    .arg("prove")
+                    .stdout(std::process::Stdio::null())
+                    .stderr(std::process::Stdio::null())
+                    .status()
+                    .is_ok_and(|s| s.success())
+            })
+        })
+        .collect();
+    let mut oneshot_ok = true;
+    for handle in spawns {
+        oneshot_ok &= handle.join().unwrap_or(false);
+    }
+    let oneshot_elapsed = oneshot_started.elapsed();
+    if !oneshot_ok {
+        return fail(input_err("a one-shot baseline `stqc prove` failed"));
+    }
+    let oneshot_rps = oneshot as f64 / oneshot_elapsed.as_secs_f64();
+    let speedup = served_rps / oneshot_rps;
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let pct = |p: f64| -> f64 {
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx]
+    };
+    let report = format!(
+        "{{\"bench\":\"serve\",\"clients\":{clients},\"requests_per_client\":{requests},\
+         \"total_requests\":{total_requests},\"elapsed_ms\":{},\
+         \"requests_per_sec\":{served_rps:.2},\
+         \"latency_ms\":{{\"p50\":{:.3},\"p90\":{:.3},\"p99\":{:.3},\"max\":{:.3}}},\
+         \"warm_cache_miss_delta\":{warm_miss_delta},\
+         \"warm_cache_hit_rate\":{},\
+         \"oneshot\":{{\"runs\":{oneshot},\"elapsed_ms\":{},\"requests_per_sec\":{oneshot_rps:.2}}},\
+         \"speedup\":{speedup:.2}}}",
+        json_ms(served_elapsed),
+        pct(0.50),
+        pct(0.90),
+        pct(0.99),
+        latencies.last().copied().unwrap_or(0.0),
+        if warm_miss_delta == 0 { "1.0" } else { "0.0" },
+        json_ms(oneshot_elapsed),
+    );
+    if fs::write(&out, format!("{report}\n")).is_err() {
+        return fail(input_err(format!("cannot write {out}")));
+    }
+    println!("{report}");
+    eprintln!(
+        "bench-serve: {served_rps:.0} req/s warm vs {oneshot_rps:.2} req/s one-shot \
+         ({speedup:.1}x), p50 {:.2}ms, warm misses +{warm_miss_delta}",
+        pct(0.50)
+    );
+    if warm_miss_delta > 0 {
+        eprintln!("stqc: bench-serve: the warm phase missed the cache {warm_miss_delta} time(s)");
+        return ExitCode::from(EXIT_CRASH);
+    }
+    if speedup < 5.0 {
+        eprintln!("stqc: bench-serve: speedup {speedup:.2}x is below the required 5x");
+        return ExitCode::from(EXIT_CRASH);
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(not(unix))]
+fn bench_serve(_args: &[String]) -> ExitCode {
+    fail(usage_err("bench-serve requires unix sockets"))
 }

@@ -4,7 +4,10 @@
 //! * every workspace crate (including the vendored stand-ins and the
 //!   root package) is listed in `docs/architecture.md`;
 //! * every relative link in `docs/*.md` and `README.md` points at a
-//!   file that exists.
+//!   file that exists;
+//! * every `stqc` subcommand and `--flag` mentioned anywhere in the
+//!   docs exists in `stqc --help` — documentation for a CLI surface
+//!   that was renamed or removed fails the suite.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -124,4 +127,111 @@ fn relative_links_in_docs_resolve() {
         }
     }
     assert!(broken.is_empty(), "broken relative links:\n{}", broken.join("\n"));
+}
+
+/// All `--flag`-shaped tokens in `text`, trimmed of trailing
+/// punctuation.
+fn flag_tokens(text: &str) -> Vec<String> {
+    text.split_whitespace()
+        .filter_map(|tok| {
+            let tok = tok.trim_matches(|c: char| !(c.is_ascii_alphanumeric() || c == '-'));
+            let rest = tok.strip_prefix("--")?;
+            let mut chars = rest.chars();
+            let first = chars.next()?;
+            (first.is_ascii_lowercase() && chars.all(|c| c.is_ascii_lowercase() || c == '-'))
+                .then(|| tok.to_owned())
+        })
+        .collect()
+}
+
+/// The subcommand names in `text`: every lowercase token directly
+/// following the word `stqc` on the same line (`stqc --flag` spans name
+/// a flag, not a subcommand, and are skipped).
+fn subcommand_tokens(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let words: Vec<&str> = line.split_whitespace().collect();
+        for w in words.windows(2) {
+            if w[0] != "stqc" && !w[0].ends_with("/stqc") {
+                continue;
+            }
+            if w[1].starts_with('-') {
+                continue;
+            }
+            let tok = w[1].trim_matches(|c: char| !(c.is_ascii_alphanumeric() || c == '-'));
+            if !tok.is_empty() && tok.chars().all(|c| c.is_ascii_lowercase() || c == '-') {
+                out.push(tok.to_owned());
+            }
+        }
+    }
+    out
+}
+
+/// The parts of a markdown page that talk about the CLI: inline code
+/// spans and fenced code blocks (odd segments when splitting on
+/// backticks) — prose mentioning a flag is always backticked in this
+/// repo. Lines about other tools (cargo, clippy) are skipped.
+fn cli_code_text(markdown: &str) -> String {
+    let mut out = String::new();
+    for (i, segment) in markdown.split('`').enumerate() {
+        if i % 2 == 0 {
+            continue;
+        }
+        let relevant = segment
+            .lines()
+            .filter(|l| !["cargo ", "rustc ", "clippy", "#!"].iter().any(|t| l.contains(t)));
+        for line in relevant {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn documented_cli_surface_exists_in_help() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_stqc"))
+        .arg("--help")
+        .output()
+        .expect("stqc --help runs");
+    assert!(out.status.success());
+    let help = String::from_utf8_lossy(&out.stdout).into_owned();
+    let known_flags = flag_tokens(&help);
+    let known_subcommands = subcommand_tokens(&help);
+    assert!(
+        known_subcommands.iter().any(|s| s == "prove") && known_flags.iter().any(|f| f == "--json"),
+        "help output looks truncated:\n{help}"
+    );
+
+    let root = repo_root();
+    let mut pages: Vec<PathBuf> = fs::read_dir(root.join("docs"))
+        .expect("docs/ exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "md"))
+        .collect();
+    pages.push(root.join("README.md"));
+    pages.sort();
+
+    let mut stale = Vec::new();
+    for page in &pages {
+        let text = fs::read_to_string(page).expect("page is readable");
+        let cli_text = cli_code_text(&text);
+        for flag in flag_tokens(&cli_text) {
+            if !known_flags.contains(&flag) {
+                stale.push(format!("{}: flag {flag}", page.display()));
+            }
+        }
+        for sub in subcommand_tokens(&cli_text) {
+            if !known_subcommands.contains(&sub) {
+                stale.push(format!("{}: subcommand `stqc {sub}`", page.display()));
+            }
+        }
+    }
+    stale.sort();
+    stale.dedup();
+    assert!(
+        stale.is_empty(),
+        "docs mention CLI surface missing from `stqc --help`:\n{}",
+        stale.join("\n")
+    );
 }

@@ -1,0 +1,317 @@
+//! Protocol-level tests for `stqc serve` — the daemon is driven as a
+//! real child process over `--stdio` and over a Unix socket, exactly as
+//! clients use it (wire protocol: `docs/serving.md`).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use stq_util::json::Json;
+
+/// Runs `stqc serve --stdio` with `input` piped in (plus `extra` args),
+/// returning the parsed response lines and the exit code. EOF on stdin
+/// is the batch contract: every request written before the close must
+/// still be answered.
+fn serve_stdio(extra: &[&str], input: &str) -> (Vec<Json>, Option<i32>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_stqc"))
+        .arg("serve")
+        .arg("--stdio")
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("stqc serve --stdio spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("requests written");
+    let mut stdout = String::new();
+    child
+        .stdout
+        .take()
+        .expect("stdout piped")
+        .read_to_string(&mut stdout)
+        .expect("responses read");
+    let code = child.wait().expect("serve exits").code();
+    let responses = stdout
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("bad response line `{l}`: {e}")))
+        .collect();
+    (responses, code)
+}
+
+fn response_with_id(responses: &[Json], id: u64) -> &Json {
+    responses
+        .iter()
+        .find(|r| r.get("id").and_then(Json::as_u64) == Some(id))
+        .unwrap_or_else(|| panic!("no response with id {id}: {responses:?}"))
+}
+
+#[test]
+fn stdio_malformed_json_gets_a_structured_error_not_a_crash() {
+    let (responses, code) = serve_stdio(
+        &[],
+        "this is not json\n\
+         {\"method\":\"stats\"}\n\
+         {\"id\":3,\"method\":\"stats\"}\n",
+    );
+    assert_eq!(code, Some(0), "the daemon must survive garbage input");
+    assert_eq!(responses.len(), 3);
+    // Unattributable lines get id null and a structured error code.
+    assert!(responses[0].get("id").is_some_and(Json::is_null));
+    assert_eq!(
+        responses[0]
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("parse")
+    );
+    assert_eq!(
+        responses[1]
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("invalid")
+    );
+    // And the connection still works afterwards.
+    let ok = response_with_id(&responses, 3);
+    assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
+}
+
+#[test]
+fn stdio_interleaved_requests_all_get_matching_ids() {
+    // A batch mixing methods; --jobs 2 lets proves overlap, so response
+    // order is not request order — ids are what attribute them.
+    let (responses, code) = serve_stdio(
+        &["--jobs", "2"],
+        "{\"id\":10,\"method\":\"prove\",\"params\":{\"names\":[\"pos\"]}}\n\
+         {\"id\":11,\"method\":\"check\",\"params\":{\"source\":\"int pos x = 3;\"}}\n\
+         {\"id\":12,\"method\":\"prove\",\"params\":{\"names\":[\"nonnull\"]}}\n\
+         {\"id\":13,\"method\":\"stats\"}\n",
+    );
+    assert_eq!(code, Some(0));
+    assert_eq!(responses.len(), 4);
+    for id in [10, 11, 12, 13] {
+        let r = response_with_id(&responses, id);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "id {id}: {r}");
+    }
+    let check = response_with_id(&responses, 11);
+    assert_eq!(
+        check
+            .get("result")
+            .and_then(|r| r.get("clean"))
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+}
+
+#[test]
+fn stdio_deadline_interrupts_without_poisoning_the_shared_cache() {
+    // One worker serializes the two proves. The first is strangled by a
+    // 0ms per-request deadline; the second, sharing the resident cache,
+    // must still prove everything sound — an interrupted request must
+    // never leave junk behind for its neighbours.
+    let (responses, code) = serve_stdio(
+        &["--jobs", "1"],
+        "{\"id\":1,\"method\":\"prove\",\"deadline_ms\":0,\"params\":{\"cache\":false}}\n\
+         {\"id\":2,\"method\":\"prove\"}\n",
+    );
+    assert_eq!(code, Some(0));
+    let rushed = response_with_id(&responses, 1);
+    assert_eq!(
+        rushed
+            .get("result")
+            .and_then(|r| r.get("interrupted"))
+            .and_then(Json::as_bool),
+        Some(true),
+        "a 0ms deadline must interrupt: {rushed}"
+    );
+    let calm = response_with_id(&responses, 2);
+    let result = calm.get("result").expect("result");
+    assert_eq!(result.get("interrupted").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        result.get("all_sound").and_then(Json::as_bool),
+        Some(true),
+        "the follow-up prove saw a poisoned cache: {result}"
+    );
+}
+
+#[test]
+fn stdio_shutdown_request_drains_and_exits_zero() {
+    let (responses, code) = serve_stdio(
+        &[],
+        "{\"id\":1,\"method\":\"prove\",\"params\":{\"names\":[\"pos\"]}}\n\
+         {\"id\":2,\"method\":\"shutdown\"}\n",
+    );
+    assert_eq!(code, Some(0), "requested shutdown is a clean exit");
+    let bye = response_with_id(&responses, 2);
+    assert_eq!(
+        bye.get("result")
+            .and_then(|r| r.get("stopping"))
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    // The prove accepted before the shutdown was still answered.
+    let proved = response_with_id(&responses, 1);
+    assert_eq!(proved.get("ok").and_then(Json::as_bool), Some(true));
+}
+
+// ----- socket transport -----
+
+struct Daemon {
+    child: Child,
+    socket: std::path::PathBuf,
+}
+
+impl Daemon {
+    /// Spawns `stqc serve --socket` on a fresh temp path and waits for
+    /// it to accept connections.
+    fn spawn(name: &str, extra: &[&str]) -> Daemon {
+        let socket =
+            std::env::temp_dir().join(format!("stqc-serve-{name}-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&socket);
+        let child = Command::new(env!("CARGO_BIN_EXE_stqc"))
+            .arg("serve")
+            .arg("--socket")
+            .arg(&socket)
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("stqc serve spawns");
+        let daemon = Daemon { child, socket };
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while std::os::unix::net::UnixStream::connect(&daemon.socket).is_err() {
+            assert!(Instant::now() < deadline, "daemon never bound its socket");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        daemon
+    }
+
+    fn connect(&self) -> Client {
+        let stream =
+            std::os::unix::net::UnixStream::connect(&self.socket).expect("daemon reachable");
+        let reader = BufReader::new(stream.try_clone().expect("stream clones"));
+        Client { stream, reader }
+    }
+
+    /// Requests shutdown and asserts the daemon exits 0.
+    fn shutdown(mut self) {
+        let mut client = self.connect();
+        let bye = client.roundtrip("{\"id\":0,\"method\":\"shutdown\"}");
+        assert_eq!(bye.get("ok").and_then(Json::as_bool), Some(true));
+        let code = self.child.wait().expect("daemon exits").code();
+        assert_eq!(code, Some(0), "requested shutdown must exit 0");
+        assert!(!self.socket.exists(), "socket file must be removed on exit");
+    }
+}
+
+struct Client {
+    stream: std::os::unix::net::UnixStream,
+    reader: BufReader<std::os::unix::net::UnixStream>,
+}
+
+impl Client {
+    fn send(&mut self, line: &str) {
+        self.stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("request written");
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("response read");
+        Json::parse(line.trim()).unwrap_or_else(|e| panic!("bad response `{line}`: {e}"))
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Json {
+        self.send(line);
+        self.recv()
+    }
+}
+
+#[test]
+fn socket_serves_two_clients_concurrently() {
+    let daemon = Daemon::spawn("two-clients", &[]);
+    let mut a = daemon.connect();
+    let mut b = daemon.connect();
+    // Interleave: both requests in flight before either response is
+    // read.
+    a.send("{\"id\":100,\"method\":\"prove\",\"params\":{\"names\":[\"pos\"]}}");
+    b.send("{\"id\":200,\"method\":\"check\",\"params\":{\"source\":\"int pos x = 3;\"}}");
+    let ra = a.recv();
+    let rb = b.recv();
+    assert_eq!(ra.get("id").and_then(Json::as_u64), Some(100));
+    assert_eq!(ra.get("ok").and_then(Json::as_bool), Some(true), "{ra}");
+    assert_eq!(rb.get("id").and_then(Json::as_u64), Some(200));
+    assert_eq!(rb.get("ok").and_then(Json::as_bool), Some(true), "{rb}");
+    drop(a);
+    drop(b);
+    daemon.shutdown();
+}
+
+#[test]
+fn socket_client_disconnect_cancels_its_pending_work() {
+    // One worker; a client floods it with slow (cache-off) proves and
+    // vanishes without reading anything. The daemon must cancel that
+    // client's backlog instead of proving into the void — observable in
+    // `stats` as a disconnect plus cancelled jobs.
+    let daemon = Daemon::spawn("disconnect", &["--jobs", "1"]);
+    {
+        let mut doomed = daemon.connect();
+        for i in 0..4 {
+            doomed.send(&format!(
+                "{{\"id\":{i},\"method\":\"prove\",\"params\":{{\"cache\":false}}}}"
+            ));
+        }
+        // Dropped here: both the reader and writer halves close.
+    }
+    let mut observer = daemon.connect();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = observer.roundtrip("{\"id\":1,\"method\":\"stats\"}");
+        let result = stats.get("result").expect("stats result");
+        let disconnects = result.get("disconnects").and_then(Json::as_u64).unwrap_or(0);
+        let cancelled = result.get("cancelled").and_then(Json::as_u64).unwrap_or(0);
+        if disconnects >= 1 && cancelled >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never cancelled the orphaned backlog: {result}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    drop(observer);
+    daemon.shutdown();
+}
+
+#[test]
+fn socket_call_subcommand_round_trips() {
+    let daemon = Daemon::spawn("call", &[]);
+    let out = Command::new(env!("CARGO_BIN_EXE_stqc"))
+        .args([
+            "call",
+            "--socket",
+            daemon.socket.to_str().expect("utf8 path"),
+            "prove",
+            "{\"names\":[\"pos\"]}",
+        ])
+        .output()
+        .expect("stqc call runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let response =
+        Json::parse(String::from_utf8_lossy(&out.stdout).trim()).expect("call prints the response");
+    assert_eq!(
+        response
+            .get("result")
+            .and_then(|r| r.get("all_sound"))
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    daemon.shutdown();
+}

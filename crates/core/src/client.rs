@@ -1,0 +1,726 @@
+//! A self-healing client for the serve daemon.
+//!
+//! `stqc call` began as a thin one-request wrapper: connect, write one
+//! line, read one line. That is exactly the client the chaos harness
+//! (`stq_util::netfault`, `stqc chaos-serve`) breaks: responses arrive
+//! torn, corrupted, interleaved with stray lines, or not at all because
+//! the connection was reset or the worker was killed and restarted
+//! under its supervisor. This module is the client that survives all of
+//! it — and the reusable plumbing `stqc call` now sits on.
+//!
+//! The healing contract (`docs/serving.md` has the retry-semantics
+//! table):
+//!
+//! * **Reconnect.** Connection loss (reset, EOF, refused while the
+//!   supervisor restarts a worker) re-establishes the connection,
+//!   retrying `connect` within [`ClientConfig::connect_timeout`].
+//! * **Bounded backoff + jitter.** Retryable failures — the server's
+//!   `overloaded` and `shutting-down` errors, plus transport loss —
+//!   back off exponentially from [`ClientConfig::backoff_base`] up to
+//!   [`ClientConfig::backoff_max`], with seeded jitter so colliding
+//!   clients spread out deterministically per seed.
+//! * **Budgets.** At most [`ClientConfig::max_retries`] re-attempts per
+//!   call, all inside [`ClientConfig::call_deadline`] when one is set.
+//! * **Safe re-send only when safe.** Every attempt uses a fresh
+//!   request id, and responses are attributed strictly by id: stray
+//!   lines with unknown ids are dropped, unparseable lines are treated
+//!   as transport corruption. Idempotent methods (`check`, `prove`,
+//!   `stats`, `health`, `shutdown`) are re-sent freely. A
+//!   `define_qualifiers` request is re-sent only when the server
+//!   provably never executed it (an id-`null` `parse` error, or an
+//!   `overloaded`/`shutting-down` rejection); if the connection dies
+//!   after the request may have reached the server, the call returns
+//!   [`CallError::Ambiguous`] instead of blindly replaying a mutation.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use stq_util::json::{escape, Json};
+
+/// Knobs for [`Client`]; defaults mirror the historical thin client
+/// (one connect attempt, no retries, no deadline).
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Path of the daemon's Unix socket.
+    pub socket: PathBuf,
+    /// Total budget for establishing a connection, including retries
+    /// while the socket is refused/absent (a supervisor restarting its
+    /// worker). Zero means a single attempt.
+    pub connect_timeout: Duration,
+    /// Overall wall-clock budget for one `call`, covering every retry;
+    /// `None` waits indefinitely (the pre-chaos behavior).
+    pub call_deadline: Option<Duration>,
+    /// Re-attempts allowed per call after recoverable failures.
+    pub max_retries: u32,
+    /// First backoff sleep; doubles per retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Jitter seed (splitmix64): the same seed yields the same jitter
+    /// sequence, keeping chaos campaigns reproducible.
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            socket: PathBuf::new(),
+            connect_timeout: Duration::ZERO,
+            call_deadline: None,
+            max_retries: 0,
+            backoff_base: Duration::from_millis(25),
+            backoff_max: Duration::from_millis(500),
+            seed: 0,
+        }
+    }
+}
+
+/// Self-healing telemetry, accumulated across every call on one
+/// [`Client`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Retryable server errors (`overloaded`, `shutting-down`)
+    /// answered with a backoff and a re-sent request.
+    pub retries: u64,
+    /// Connections re-established after the first.
+    pub reconnects: u64,
+    /// Requests re-sent under a fresh id after transport trouble
+    /// (corrupt line, connection loss, id-`null` parse error).
+    pub resends: u64,
+    /// Well-formed response lines dropped because their id belongs to
+    /// no outstanding request (injected/interleaved strays).
+    pub alien_dropped: u64,
+    /// Response lines discarded as unparseable (torn or
+    /// garbage-corrupted).
+    pub corrupt_lines: u64,
+}
+
+/// Why a call gave up. Server-level errors (`input`, `invalid`, …) are
+/// *not* here: those come back as the response document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CallError {
+    /// No connection could be established within the connect budget.
+    Unreachable(String),
+    /// The call deadline lapsed before an attributed answer arrived.
+    DeadlineExhausted(String),
+    /// The retry budget ran out on recoverable *transport* failures
+    /// (an attributed retryable error on the final attempt is returned
+    /// as the outcome instead).
+    RetriesExhausted(String),
+    /// A non-idempotent request (`define_qualifiers`) may or may not
+    /// have executed; replaying it blindly could apply it twice, so the
+    /// ambiguity is surfaced instead.
+    Ambiguous(String),
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::Unreachable(m) => write!(f, "daemon unreachable: {m}"),
+            CallError::DeadlineExhausted(m) => write!(f, "call deadline exhausted: {m}"),
+            CallError::RetriesExhausted(m) => write!(f, "retry budget exhausted: {m}"),
+            CallError::Ambiguous(m) => write!(f, "outcome ambiguous: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+/// The attributed response to one call: the raw wire line plus its
+/// parsed form. `ok:false` responses with terminal codes land here too
+/// — only transport-level failures become [`CallError`].
+#[derive(Clone, Debug)]
+pub struct CallOutcome {
+    pub raw: String,
+    pub doc: Json,
+}
+
+/// True for methods the server may execute any number of times with
+/// the same observable result, making blind re-send safe.
+pub fn method_is_idempotent(method: &str) -> bool {
+    matches!(method, "check" | "prove" | "stats" | "health" | "shutdown")
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct Conn {
+    stream: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+enum Recv {
+    Line(String),
+    Corrupt,
+    Eof,
+    TimedOut,
+}
+
+/// A reconnecting, retrying client for one serve daemon.
+pub struct Client {
+    cfg: ClientConfig,
+    conn: Option<Conn>,
+    next_id: u64,
+    rng: u64,
+    ever_connected: bool,
+    stats: ClientStats,
+}
+
+impl Client {
+    pub fn new(cfg: ClientConfig) -> Client {
+        let rng = splitmix64(cfg.seed ^ 0xC1A0_5EED);
+        Client {
+            cfg,
+            conn: None,
+            next_id: 0,
+            rng,
+            ever_connected: false,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// Self-healing counters accumulated so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Sleeps one backoff step (exponential in `attempt`, jittered,
+    /// clipped to the remaining deadline).
+    fn backoff(&mut self, attempt: u32, overall: Option<Instant>) {
+        let exp = attempt.min(16);
+        let base = self.cfg.backoff_base.as_secs_f64() * f64::from(1u32 << exp);
+        let capped = base.min(self.cfg.backoff_max.as_secs_f64());
+        self.rng = splitmix64(self.rng);
+        let jitter = 0.5 + (self.rng >> 11) as f64 / 9_007_199_254_740_992.0;
+        let mut sleep = Duration::from_secs_f64(capped * jitter);
+        if let Some(deadline) = overall {
+            sleep = sleep.min(deadline.saturating_duration_since(Instant::now()));
+        }
+        if !sleep.is_zero() {
+            std::thread::sleep(sleep);
+        }
+    }
+
+    /// Ensures a live connection, dialing within the connect budget
+    /// (and the call deadline, when tighter).
+    fn ensure_connected(&mut self, overall: Option<Instant>) -> Result<(), CallError> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let mut give_up = Instant::now() + self.cfg.connect_timeout;
+        if let Some(deadline) = overall {
+            give_up = give_up.min(deadline);
+        }
+        loop {
+            match UnixStream::connect(&self.cfg.socket) {
+                Ok(stream) => {
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+                    let reader = BufReader::new(stream.try_clone().map_err(|e| {
+                        CallError::Unreachable(format!(
+                            "{}: {e}",
+                            self.cfg.socket.display()
+                        ))
+                    })?);
+                    if self.ever_connected {
+                        self.stats.reconnects += 1;
+                    }
+                    self.ever_connected = true;
+                    self.conn = Some(Conn { stream, reader });
+                    return Ok(());
+                }
+                Err(e) => {
+                    if Instant::now() >= give_up {
+                        return Err(CallError::Unreachable(format!(
+                            "{}: {e}",
+                            self.cfg.socket.display()
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+    }
+
+    fn drop_conn(&mut self) {
+        self.conn = None;
+    }
+
+    /// Reads the next response line, surviving read-timeout polls (a
+    /// partial line persists in the reader's buffer across polls).
+    fn recv(&mut self, overall: Option<Instant>) -> Recv {
+        let Some(conn) = self.conn.as_mut() else {
+            return Recv::Eof;
+        };
+        let mut buf: Vec<u8> = Vec::new();
+        loop {
+            match conn.reader.read_until(b'\n', &mut buf) {
+                Ok(0) => return Recv::Eof,
+                Ok(_) => {
+                    if buf.last() != Some(&b'\n') {
+                        // EOF mid-line: a torn final line.
+                        return if buf.iter().all(|b| b.is_ascii_whitespace()) {
+                            Recv::Eof
+                        } else {
+                            Recv::Corrupt
+                        };
+                    }
+                    let Ok(text) = String::from_utf8(buf) else {
+                        return Recv::Corrupt;
+                    };
+                    if text.trim().is_empty() {
+                        buf = Vec::new();
+                        continue;
+                    }
+                    return Recv::Line(text.trim().to_owned());
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    if let Some(deadline) = overall {
+                        if Instant::now() >= deadline {
+                            return Recv::TimedOut;
+                        }
+                    }
+                }
+                Err(_) => return Recv::Eof,
+            }
+        }
+    }
+
+    /// One request, healed end-to-end: returns the single attributed
+    /// response, or a [`CallError`] describing why no trustworthy
+    /// answer could be obtained.
+    ///
+    /// `params` is a pre-serialized JSON object; `deadline_ms` is the
+    /// *wire* per-request deadline forwarded to the server (distinct
+    /// from the client-side [`ClientConfig::call_deadline`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CallError`] — unreachable daemon, exhausted deadline/retry
+    /// budget, or an ambiguous non-idempotent outcome.
+    pub fn call(
+        &mut self,
+        method: &str,
+        params: Option<&str>,
+        deadline_ms: Option<u64>,
+    ) -> Result<CallOutcome, CallError> {
+        let overall = self.cfg.call_deadline.map(|d| Instant::now() + d);
+        let idempotent = method_is_idempotent(method);
+        let mut attempts_left = u64::from(self.cfg.max_retries) + 1;
+        let mut backoff_step = 0u32;
+        // True once a non-idempotent request has plausibly reached the
+        // server; from then on only provably-not-executed rejections
+        // may re-send.
+        let mut maybe_executed = false;
+        let ambiguous = |what: &str| {
+            CallError::Ambiguous(format!(
+                "{what} after `{method}` was sent; it may or may not have \
+                 executed — re-sending could apply it twice"
+            ))
+        };
+        loop {
+            if attempts_left == 0 {
+                return Err(CallError::RetriesExhausted(format!(
+                    "`{method}` failed after {} attempt(s)",
+                    u64::from(self.cfg.max_retries) + 1
+                )));
+            }
+            attempts_left -= 1;
+            if let Some(deadline) = overall {
+                if Instant::now() >= deadline {
+                    return Err(CallError::DeadlineExhausted(format!(
+                        "`{method}` got no attributed answer in time"
+                    )));
+                }
+            }
+            self.ensure_connected(overall)?;
+            self.next_id += 1;
+            let id = self.next_id;
+            let mut request = format!("{{\"id\":{id},\"method\":\"{}\"", escape(method));
+            if let Some(ms) = deadline_ms {
+                request.push_str(&format!(",\"deadline_ms\":{ms}"));
+            }
+            if let Some(p) = params {
+                request.push_str(&format!(",\"params\":{p}"));
+            }
+            request.push_str("}\n");
+            let sent = {
+                let conn = self.conn.as_mut().expect("ensured above");
+                conn.stream
+                    .write_all(request.as_bytes())
+                    .and_then(|()| conn.stream.flush())
+                    .is_ok()
+            };
+            if !sent {
+                self.drop_conn();
+                if !idempotent {
+                    // Even a failed write may have delivered the line.
+                    return Err(ambiguous("the connection broke"));
+                }
+                self.stats.resends += 1;
+                continue;
+            }
+            maybe_executed = maybe_executed || !idempotent;
+            // Read until a line attributed to `id` (or this attempt
+            // dies and the outer loop re-sends under a fresh id).
+            'read: loop {
+                match self.recv(overall) {
+                    Recv::TimedOut => {
+                        return Err(CallError::DeadlineExhausted(format!(
+                            "`{method}` got no attributed answer in time"
+                        )));
+                    }
+                    Recv::Eof => {
+                        self.drop_conn();
+                        if maybe_executed {
+                            return Err(ambiguous("the connection closed"));
+                        }
+                        self.stats.resends += 1;
+                        break 'read;
+                    }
+                    Recv::Corrupt => {
+                        // The corrupted line may have been our answer;
+                        // nothing else may ever come. Re-send under a
+                        // fresh id (idempotent only).
+                        self.stats.corrupt_lines += 1;
+                        if maybe_executed {
+                            self.drop_conn();
+                            return Err(ambiguous("a corrupted response arrived"));
+                        }
+                        self.stats.resends += 1;
+                        break 'read;
+                    }
+                    Recv::Line(raw) => {
+                        let Ok(doc) = Json::parse(&raw) else {
+                            self.stats.corrupt_lines += 1;
+                            if maybe_executed {
+                                self.drop_conn();
+                                return Err(ambiguous("a corrupted response arrived"));
+                            }
+                            self.stats.resends += 1;
+                            break 'read;
+                        };
+                        let line_id = doc.get("id").cloned().unwrap_or(Json::Null);
+                        if line_id.as_u64() != Some(id) {
+                            let code = doc
+                                .get("error")
+                                .and_then(|e| e.get("code"))
+                                .and_then(Json::as_str);
+                            if line_id.is_null() && code == Some("parse") {
+                                // The server read garbage where our
+                                // request should have been: provably
+                                // never executed, safe for any method.
+                                maybe_executed = false;
+                                self.stats.resends += 1;
+                                break 'read;
+                            }
+                            // A stray line for an id we never sent (or
+                            // retired): drop it, keep listening.
+                            self.stats.alien_dropped += 1;
+                            continue 'read;
+                        }
+                        // Attributed. Retryable server errors loop;
+                        // everything else is the answer.
+                        let code = doc
+                            .get("error")
+                            .and_then(|e| e.get("code"))
+                            .and_then(Json::as_str);
+                        match code {
+                            Some("overloaded") => {
+                                // Rejected before execution: safe for
+                                // any method after a backoff. With no
+                                // attempts left the rejection itself is
+                                // the answer (the caller sees the raw
+                                // error document, as a retry-less
+                                // client always did).
+                                if attempts_left == 0 {
+                                    return Ok(CallOutcome { raw, doc });
+                                }
+                                maybe_executed = false;
+                                self.stats.retries += 1;
+                                self.backoff(backoff_step, overall);
+                                backoff_step += 1;
+                                break 'read;
+                            }
+                            Some("shutting-down") => {
+                                // Rejected before execution; the daemon
+                                // (or its current worker) is going
+                                // away. Reconnect after a backoff.
+                                if attempts_left == 0 {
+                                    return Ok(CallOutcome { raw, doc });
+                                }
+                                maybe_executed = false;
+                                self.drop_conn();
+                                self.stats.retries += 1;
+                                self.backoff(backoff_step, overall);
+                                backoff_step += 1;
+                                break 'read;
+                            }
+                            _ => return Ok(CallOutcome { raw, doc }),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::os::unix::net::UnixListener;
+    use std::path::Path;
+
+    fn temp_socket(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("stqc-client-{name}-{}.sock", std::process::id()))
+    }
+
+    fn cfg(socket: &Path) -> ClientConfig {
+        ClientConfig {
+            socket: socket.to_path_buf(),
+            connect_timeout: Duration::from_secs(5),
+            call_deadline: Some(Duration::from_secs(10)),
+            max_retries: 8,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(10),
+            seed: 7,
+        }
+    }
+
+    /// A scripted fake daemon: accepts connections, reads one line per
+    /// scripted response, writes the scripted bytes, moves on.
+    fn scripted_daemon(
+        socket: &Path,
+        scripts: Vec<Vec<&'static str>>,
+    ) -> std::thread::JoinHandle<()> {
+        let _ = std::fs::remove_file(socket);
+        let listener = UnixListener::bind(socket).expect("bind scripted daemon");
+        std::thread::spawn(move || {
+            for script in scripts {
+                let (mut stream, _) = listener.accept().expect("accept");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                for response in script {
+                    let mut line = String::new();
+                    if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                        break;
+                    }
+                    let doc = Json::parse(line.trim()).expect("request is json");
+                    let id = doc.get("id").and_then(Json::as_u64).expect("request id");
+                    let rendered = response.replace("$ID", &id.to_string());
+                    stream.write_all(rendered.as_bytes()).expect("write");
+                    stream.flush().expect("flush");
+                }
+                // Connection drops here (stream out of scope).
+            }
+        })
+    }
+
+    #[test]
+    fn clean_round_trip_attributes_by_id() {
+        let socket = temp_socket("clean");
+        let daemon = scripted_daemon(
+            &socket,
+            vec![vec!["{\"id\":$ID,\"ok\":true,\"result\":{\"x\":1}}\n"]],
+        );
+        let mut client = Client::new(cfg(&socket));
+        let out = client.call("stats", None, None).expect("clean call");
+        assert_eq!(out.doc.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(client.stats(), ClientStats::default());
+        daemon.join().expect("daemon thread");
+        let _ = std::fs::remove_file(&socket);
+    }
+
+    #[test]
+    fn strays_are_dropped_and_the_real_answer_is_found() {
+        let socket = temp_socket("stray");
+        let daemon = scripted_daemon(
+            &socket,
+            vec![vec![
+                "{\"id\":\"net-fault-alien\",\"ok\":true,\"result\":{}}\n\
+                 {\"id\":$ID,\"ok\":true,\"result\":{\"real\":true}}\n",
+            ]],
+        );
+        let mut client = Client::new(cfg(&socket));
+        let out = client.call("stats", None, None).expect("healed call");
+        assert_eq!(
+            out.doc
+                .get("result")
+                .and_then(|r| r.get("real"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(client.stats().alien_dropped, 1);
+        daemon.join().expect("daemon thread");
+        let _ = std::fs::remove_file(&socket);
+    }
+
+    #[test]
+    fn disconnect_before_answer_reconnects_and_resends() {
+        let socket = temp_socket("drop");
+        // First connection: answers nothing (the script is empty), so
+        // the accept loop immediately drops it. Second: answers.
+        let daemon = scripted_daemon(
+            &socket,
+            vec![
+                vec![],
+                vec!["{\"id\":$ID,\"ok\":true,\"result\":{\"healed\":true}}\n"],
+            ],
+        );
+        let mut client = Client::new(cfg(&socket));
+        let out = client.call("prove", None, None).expect("healed call");
+        assert_eq!(
+            out.doc
+                .get("result")
+                .and_then(|r| r.get("healed"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        let stats = client.stats();
+        assert_eq!(stats.reconnects, 1);
+        assert!(stats.resends >= 1);
+        daemon.join().expect("daemon thread");
+        let _ = std::fs::remove_file(&socket);
+    }
+
+    #[test]
+    fn corrupt_line_triggers_a_fresh_id_resend() {
+        let socket = temp_socket("corrupt");
+        let daemon = scripted_daemon(
+            &socket,
+            vec![vec![
+                "\u{fffd}garbage not json\n",
+                "{\"id\":$ID,\"ok\":true,\"result\":{\"second\":true}}\n",
+            ]],
+        );
+        let mut client = Client::new(cfg(&socket));
+        let out = client.call("check", None, None).expect("healed call");
+        assert_eq!(
+            out.doc
+                .get("result")
+                .and_then(|r| r.get("second"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        let stats = client.stats();
+        assert_eq!(stats.corrupt_lines, 1);
+        assert_eq!(stats.resends, 1);
+        daemon.join().expect("daemon thread");
+        let _ = std::fs::remove_file(&socket);
+    }
+
+    #[test]
+    fn overloaded_backs_off_and_retries() {
+        let socket = temp_socket("overloaded");
+        let daemon = scripted_daemon(
+            &socket,
+            vec![vec![
+                "{\"id\":$ID,\"ok\":false,\"error\":{\"code\":\"overloaded\",\"message\":\"full\"}}\n",
+                "{\"id\":$ID,\"ok\":true,\"result\":{\"done\":true}}\n",
+            ]],
+        );
+        let mut client = Client::new(cfg(&socket));
+        let out = client.call("prove", None, None).expect("healed call");
+        assert_eq!(
+            out.doc
+                .get("result")
+                .and_then(|r| r.get("done"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(client.stats().retries, 1);
+        daemon.join().expect("daemon thread");
+        let _ = std::fs::remove_file(&socket);
+    }
+
+    #[test]
+    fn define_after_possible_send_is_ambiguous_not_replayed() {
+        let socket = temp_socket("ambiguous");
+        // The daemon reads the define and hangs up without answering.
+        let daemon = scripted_daemon(&socket, vec![vec![""]]);
+        let mut client = Client::new(cfg(&socket));
+        let err = client
+            .call("define_qualifiers", Some("{\"source\":\"x\"}"), None)
+            .expect_err("must not silently replay");
+        assert!(
+            matches!(err, CallError::Ambiguous(_)),
+            "expected Ambiguous, got {err:?}"
+        );
+        daemon.join().expect("daemon thread");
+        let _ = std::fs::remove_file(&socket);
+    }
+
+    #[test]
+    fn id_null_parse_error_is_safe_to_resend_even_for_define() {
+        let socket = temp_socket("parse-null");
+        let daemon = scripted_daemon(
+            &socket,
+            vec![vec![
+                "{\"id\":null,\"ok\":false,\"error\":{\"code\":\"parse\",\"message\":\"bad\"}}\n",
+                "{\"id\":$ID,\"ok\":true,\"result\":{\"defined\":[]}}\n",
+            ]],
+        );
+        let mut client = Client::new(cfg(&socket));
+        let out = client
+            .call("define_qualifiers", Some("{\"source\":\"\"}"), None)
+            .expect("a provably-unexecuted define may re-send");
+        assert_eq!(out.doc.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(client.stats().resends, 1);
+        daemon.join().expect("daemon thread");
+        let _ = std::fs::remove_file(&socket);
+    }
+
+    #[test]
+    fn unreachable_socket_fails_fast_with_zero_connect_budget() {
+        let socket = temp_socket("refused");
+        let _ = std::fs::remove_file(&socket);
+        let mut client = Client::new(ClientConfig {
+            socket: socket.clone(),
+            ..ClientConfig::default()
+        });
+        let err = client.call("stats", None, None).expect_err("no daemon");
+        assert!(matches!(err, CallError::Unreachable(_)), "{err:?}");
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let socket = temp_socket("budget");
+        let daemon = scripted_daemon(
+            &socket,
+            vec![vec![
+                "{\"id\":$ID,\"ok\":false,\"error\":{\"code\":\"overloaded\",\"message\":\"full\"}}\n";
+                3
+            ]],
+        );
+        let mut client = Client::new(ClientConfig {
+            max_retries: 2,
+            ..cfg(&socket)
+        });
+        let out = client
+            .call("prove", None, None)
+            .expect("the final rejection is returned as the answer");
+        assert_eq!(
+            out.doc
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("overloaded"),
+            "the caller sees the last raw rejection"
+        );
+        assert_eq!(client.stats().retries, 2, "two backoff-and-retry rounds");
+        daemon.join().expect("daemon thread");
+        let _ = std::fs::remove_file(&socket);
+    }
+}

@@ -45,10 +45,14 @@
 //! assert_eq!(report.verdict, Verdict::Unsound);
 //! ```
 
+#[cfg(unix)]
+pub mod client;
 pub mod reportjson;
 pub mod server;
 pub mod session;
 
+#[cfg(unix)]
+pub use client::{CallError, CallOutcome, Client, ClientConfig, ClientStats};
 pub use server::{ServeConfig, ServeStats, Server, ShutdownKind};
 pub use session::Session;
 pub use stq_cir::interp::{ExecOutcome, InterpConfig, RuntimeError, Value};

@@ -39,6 +39,7 @@ use std::time::{Duration, Instant};
 
 use stq_soundness::{Budget, BudgetOverride, ProofCache, RetryPolicy, SoundnessReport};
 use stq_util::json::{escape, Json};
+use stq_util::netfault::{ChaosWriter, NetFaultInjector, NetFaultPlan};
 use stq_util::serve::{Rejected, Scheduler};
 use stq_util::CancelToken;
 
@@ -76,6 +77,18 @@ pub struct ServeConfig {
     /// (requests multiplex across workers already, so this defaults to
     /// sequential; a lone heavy request can raise it per call).
     pub prove_jobs: usize,
+    /// Close a connection whose reader has been idle this long with no
+    /// requests in flight; `None` keeps connections open forever.
+    pub idle_timeout: Option<Duration>,
+    /// Longest request line accepted before the reader answers a
+    /// structured `input` error and discards to the next newline
+    /// (`0` disables the guard). Without this, one newline-less client
+    /// could buffer the reader thread into the ground.
+    pub max_line_bytes: usize,
+    /// Wire-fault plan for the chaos harness: when set, every response
+    /// write may be corrupted, severed, or stalled per the plan
+    /// (see `stq_util::netfault` and `docs/robustness.md`).
+    pub netfault: Option<NetFaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +101,9 @@ impl Default for ServeConfig {
             budget: Budget::default(),
             retry: RetryPolicy::none(),
             prove_jobs: 1,
+            idle_timeout: None,
+            max_line_bytes: 1 << 20,
+            netfault: None,
         }
     }
 }
@@ -102,12 +118,16 @@ pub struct ServeStats {
     check: AtomicU64,
     prove: AtomicU64,
     stats: AtomicU64,
+    health: AtomicU64,
     shutdown: AtomicU64,
     errors: AtomicU64,
     shed: AtomicU64,
     cancelled: AtomicU64,
     interrupted: AtomicU64,
     inflight: AtomicU64,
+    oversized: AtomicU64,
+    bad_utf8: AtomicU64,
+    idle_closed: AtomicU64,
 }
 
 impl ServeStats {
@@ -120,12 +140,16 @@ impl ServeStats {
             check: AtomicU64::new(0),
             prove: AtomicU64::new(0),
             stats: AtomicU64::new(0),
+            health: AtomicU64::new(0),
             shutdown: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             interrupted: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
+            oversized: AtomicU64::new(0),
+            bad_utf8: AtomicU64::new(0),
+            idle_closed: AtomicU64::new(0),
         }
     }
 }
@@ -155,13 +179,14 @@ impl Conn {
         self.alive.load(Ordering::Acquire)
     }
 
-    /// Writes one response line. A failed write means the client is
-    /// gone; the connection is marked dead so later jobs skip.
+    /// Writes one response line (a single `write_all`, so the chaos
+    /// layer's write-op indices line up with response lines). A failed
+    /// write means the client is gone; the connection is marked dead so
+    /// later jobs skip.
     fn write_line(&self, line: &str) {
         let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
         let ok = w
-            .write_all(line.as_bytes())
-            .and_then(|()| w.write_all(b"\n"))
+            .write_all(format!("{line}\n").as_bytes())
             .and_then(|()| w.flush())
             .is_ok();
         if !ok {
@@ -180,8 +205,13 @@ fn ok_response(id: &str, result: &str) -> String {
 }
 
 fn err_response(id: &str, code: &str, message: &str) -> String {
+    // `retryable` tells clients which rejections are safe to re-send
+    // after a backoff: the request was provably never executed (see the
+    // retry-semantics table in docs/serving.md).
+    let retryable = matches!(code, "overloaded" | "shutting-down");
     format!(
-        "{{\"id\":{id},\"ok\":false,\"error\":{{\"code\":\"{code}\",\"message\":\"{}\"}}}}",
+        "{{\"id\":{id},\"ok\":false,\"error\":{{\"code\":\"{code}\",\"message\":\"{}\",\
+         \"retryable\":{retryable}}}}}",
         escape(message)
     )
 }
@@ -203,6 +233,7 @@ pub struct Server {
     stats: ServeStats,
     cancel: CancelToken,
     stopping: AtomicBool,
+    netfault: Option<Arc<NetFaultInjector>>,
     cfg: ServeConfig,
 }
 
@@ -218,6 +249,11 @@ impl Server {
             Some(dir) => ProofCache::at_dir(dir)?,
             None => ProofCache::in_memory(),
         };
+        let netfault = cfg
+            .netfault
+            .clone()
+            .filter(|plan| !plan.is_empty())
+            .map(|plan| Arc::new(NetFaultInjector::new(plan)));
         Ok(Server {
             session: RwLock::new(session),
             cache,
@@ -225,8 +261,23 @@ impl Server {
             stats: ServeStats::new(),
             cancel,
             stopping: AtomicBool::new(false),
+            netfault,
             cfg,
         })
+    }
+
+    /// Wraps a connection's write half in the chaos layer when a
+    /// net-fault plan is armed; `severer` hard-closes the underlying
+    /// transport so the peer observes injected connection drops.
+    fn chaos_writer(
+        &self,
+        writer: Box<dyn Write + Send>,
+        severer: Option<Box<dyn Fn() + Send>>,
+    ) -> Box<dyn Write + Send> {
+        match &self.netfault {
+            Some(injector) => Box::new(ChaosWriter::new(writer, Arc::clone(injector), severer)),
+            None => writer,
+        }
     }
 
     /// True once a shutdown request or an external cancel arrived.
@@ -256,10 +307,8 @@ impl Server {
     /// the drain runs and the daemon exits.
     pub fn run_stdio(self: &Arc<Server>) -> ShutdownKind {
         self.stats.connections.fetch_add(1, Ordering::Relaxed);
-        let conn = Arc::new(Conn::new(
-            self.cancel.child(),
-            Box::new(io::stdout()) as Box<dyn Write + Send>,
-        ));
+        let writer = self.chaos_writer(Box::new(io::stdout()) as Box<dyn Write + Send>, None);
+        let conn = Arc::new(Conn::new(self.cancel.child(), writer));
         let mut stdin = io::stdin();
         let _ = self.pump(&conn, &mut stdin);
         self.finish()
@@ -278,6 +327,16 @@ impl Server {
             Ok(w) => Box::new(w) as Box<dyn Write + Send>,
             Err(_) => return,
         };
+        let severer: Option<Box<dyn Fn() + Send>> = match self.netfault {
+            Some(_) => match stream.try_clone() {
+                Ok(s) => Some(Box::new(move || {
+                    let _ = s.shutdown(std::net::Shutdown::Both);
+                })),
+                Err(_) => return,
+            },
+            None => None,
+        };
+        let writer = self.chaos_writer(writer, severer);
         let conn = Arc::new(Conn::new(self.cancel.child(), writer));
         let mut reader = stream;
         if let PumpOutcome::Disconnected = self.pump(&conn, &mut reader) {
@@ -342,9 +401,19 @@ impl Server {
     /// routes each line. Partial lines survive read timeouts (the
     /// buffer is owned here, not by a `BufReader`), which is how a
     /// blocked reader still notices `stopping` promptly.
+    ///
+    /// The reader defends itself: a line longer than
+    /// [`ServeConfig::max_line_bytes`] is answered with one structured
+    /// `input` error and discarded up to its newline instead of being
+    /// buffered without bound, invalid UTF-8 gets the same structured
+    /// rejection, and (when [`ServeConfig::idle_timeout`] is set) a
+    /// connection with nothing in flight and nothing to say is closed.
     fn pump(self: &Arc<Server>, conn: &Arc<Conn>, reader: &mut dyn Read) -> PumpOutcome {
         let mut pending: Vec<u8> = Vec::new();
         let mut chunk = [0u8; 4096];
+        // True while skipping the remainder of an oversized line.
+        let mut discarding = false;
+        let mut last_activity = Instant::now();
         loop {
             if self.stopping() {
                 return PumpOutcome::Stopping;
@@ -352,15 +421,54 @@ impl Server {
             match reader.read(&mut chunk) {
                 Ok(0) => return PumpOutcome::Disconnected,
                 Ok(n) => {
+                    last_activity = Instant::now();
                     pending.extend_from_slice(&chunk[..n]);
-                    while let Some(eol) = pending.iter().position(|b| *b == b'\n') {
-                        let line: Vec<u8> = pending.drain(..=eol).collect();
-                        let line = String::from_utf8_lossy(&line[..eol]).into_owned();
-                        if line.trim().is_empty() {
-                            continue;
-                        }
-                        if self.route(conn, line.trim()) {
-                            return PumpOutcome::Stopping;
+                    loop {
+                        if let Some(eol) = pending.iter().position(|b| *b == b'\n') {
+                            let line: Vec<u8> = pending.drain(..=eol).collect();
+                            if discarding {
+                                // The tail of a line already rejected
+                                // as oversized.
+                                discarding = false;
+                                continue;
+                            }
+                            match std::str::from_utf8(&line[..eol]) {
+                                Ok(text) if text.trim().is_empty() => {}
+                                Ok(text) => {
+                                    if self.route(conn, text.trim()) {
+                                        return PumpOutcome::Stopping;
+                                    }
+                                }
+                                Err(_) => {
+                                    self.stats.bad_utf8.fetch_add(1, Ordering::Relaxed);
+                                    self.respond_err(
+                                        conn,
+                                        "null",
+                                        "input",
+                                        "request line is not valid UTF-8",
+                                    );
+                                }
+                            }
+                        } else {
+                            if !discarding
+                                && self.cfg.max_line_bytes > 0
+                                && pending.len() > self.cfg.max_line_bytes
+                            {
+                                self.stats.oversized.fetch_add(1, Ordering::Relaxed);
+                                self.respond_err(
+                                    conn,
+                                    "null",
+                                    "input",
+                                    &format!(
+                                        "request line exceeds {} bytes; discarding \
+                                         through the next newline",
+                                        self.cfg.max_line_bytes
+                                    ),
+                                );
+                                pending.clear();
+                                discarding = true;
+                            }
+                            break;
                         }
                     }
                 }
@@ -370,7 +478,17 @@ impl Server {
                         io::ErrorKind::WouldBlock
                             | io::ErrorKind::TimedOut
                             | io::ErrorKind::Interrupted
-                    ) => {}
+                    ) =>
+                {
+                    if let Some(idle) = self.cfg.idle_timeout {
+                        if conn.inflight.load(Ordering::Acquire) == 0
+                            && last_activity.elapsed() >= idle
+                        {
+                            self.stats.idle_closed.fetch_add(1, Ordering::Relaxed);
+                            return PumpOutcome::Disconnected;
+                        }
+                    }
+                }
                 Err(_) => return PumpOutcome::Disconnected,
             }
         }
@@ -433,6 +551,15 @@ impl Server {
                 conn.write_line(&ok_response(&id, &result));
                 false
             }
+            // `health` is the supervisor/load-balancer probe: a small,
+            // fixed-shape liveness summary, answered inline like
+            // `stats` so it works even under full saturation.
+            "health" => {
+                self.stats.health.fetch_add(1, Ordering::Relaxed);
+                let result = self.health_result();
+                conn.write_line(&ok_response(&id, &result));
+                false
+            }
             "define_qualifiers" | "check" | "prove" => {
                 self.enqueue(conn, id, method.to_owned(), params, deadline_ms);
                 false
@@ -444,7 +571,7 @@ impl Server {
                     "unknown-method",
                     &format!(
                         "unknown method `{other}` (expected define_qualifiers, check, \
-                         prove, stats, or shutdown)"
+                         prove, stats, health, or shutdown)"
                     ),
                 );
                 false
@@ -659,6 +786,13 @@ impl Server {
         if report.interrupted() {
             self.stats.interrupted.fetch_add(1, Ordering::Relaxed);
         }
+        // Persist conclusive verdicts eagerly, not just at shutdown: a
+        // crashed (or SIGKILLed) worker's successor then reloads a warm
+        // journal, which is what lets a supervised restart keep the
+        // cache. `persist_skips` makes the nothing-dirty case cheap.
+        if self.cfg.cache_dir.is_some() {
+            let _ = self.cache.persist();
+        }
         let quals: Vec<String> = report.reports.iter().map(qual_report_json).collect();
         Ok(format!(
             "{{\"all_sound\":{},\"interrupted\":{},\"skipped\":{},\
@@ -697,14 +831,26 @@ impl Server {
             + s.check.load(Ordering::Relaxed)
             + s.prove.load(Ordering::Relaxed)
             + s.stats.load(Ordering::Relaxed)
+            + s.health.load(Ordering::Relaxed)
             + s.shutdown.load(Ordering::Relaxed);
+        let netfault = match &self.netfault {
+            Some(inj) => format!(
+                "{{\"planned\":{},\"injected\":{},\"ops\":{}}}",
+                inj.planned(),
+                inj.injected(),
+                inj.ops(),
+            ),
+            None => "null".to_owned(),
+        };
         format!(
             "{{\"uptime_ms\":{},\"jobs\":{},\"qualifiers\":{qualifiers},\
              \"connections\":{},\"disconnects\":{},\
              \"requests\":{{\"total\":{total},\"define_qualifiers\":{},\"check\":{},\
-             \"prove\":{},\"stats\":{},\"shutdown\":{}}},\
+             \"prove\":{},\"stats\":{},\"health\":{},\"shutdown\":{}}},\
              \"inflight\":{},\"queued\":{},\"shed\":{},\"cancelled\":{},\
-             \"interrupted\":{},\"errors\":{},\"panics\":{},\"cache\":{}}}",
+             \"interrupted\":{},\"errors\":{},\"panics\":{},\
+             \"oversized\":{},\"bad_utf8\":{},\"idle_closed\":{},\
+             \"netfault\":{netfault},\"cache\":{}}}",
             crate::reportjson::json_ms(s.started.elapsed()),
             self.cfg.jobs,
             s.connections.load(Ordering::Relaxed),
@@ -713,6 +859,7 @@ impl Server {
             s.check.load(Ordering::Relaxed),
             s.prove.load(Ordering::Relaxed),
             s.stats.load(Ordering::Relaxed),
+            s.health.load(Ordering::Relaxed),
             s.shutdown.load(Ordering::Relaxed),
             s.inflight.load(Ordering::Relaxed),
             self.sched.queued(),
@@ -721,6 +868,27 @@ impl Server {
             s.interrupted.load(Ordering::Relaxed),
             s.errors.load(Ordering::Relaxed),
             self.sched.panics(),
+            s.oversized.load(Ordering::Relaxed),
+            s.bad_utf8.load(Ordering::Relaxed),
+            s.idle_closed.load(Ordering::Relaxed),
+            self.cache_json(),
+        )
+    }
+
+    /// The `health` response: a small fixed-shape liveness summary for
+    /// supervisors and probes. Deliberately cheaper and more stable
+    /// than `stats` — no per-method counters, no qualifier registry
+    /// walk beyond what `cache_json` already does.
+    fn health_result(&self) -> String {
+        let s = &self.stats;
+        format!(
+            "{{\"status\":\"ok\",\"uptime_ms\":{},\"workers\":{},\
+             \"queued\":{},\"inflight\":{},\"stopping\":{},\"cache\":{}}}",
+            crate::reportjson::json_ms(s.started.elapsed()),
+            self.cfg.jobs,
+            self.sched.queued(),
+            s.inflight.load(Ordering::Relaxed),
+            self.stopping(),
             self.cache_json(),
         )
     }
@@ -1026,6 +1194,163 @@ mod tests {
         handle.join().expect("connection thread ended");
         assert!(server.stopping());
         assert_eq!(server.finish(), ShutdownKind::Requested);
+    }
+
+    #[test]
+    fn health_answers_inline_with_a_fixed_shape() {
+        let (server, _cancel) = spawn_server(ServeConfig::default());
+        let (mut client, handle) = connect(&server);
+        let mut reader = BufReader::new(client.try_clone().expect("clone"));
+        let health = roundtrip(&mut client, &mut reader, r#"{"id":1,"method":"health"}"#);
+        assert_eq!(health.get("ok").and_then(Json::as_bool), Some(true));
+        let result = health.get("result").expect("result");
+        assert_eq!(
+            result.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "health reports ok while serving"
+        );
+        assert_eq!(result.get("stopping").and_then(Json::as_bool), Some(false));
+        assert!(result.get("uptime_ms").is_some());
+        assert!(result.get("workers").and_then(Json::as_u64).is_some());
+        assert!(result.get("cache").is_some());
+        // And the probe is counted in `stats`.
+        let stats = roundtrip(&mut client, &mut reader, r#"{"id":2,"method":"stats"}"#);
+        let requests = stats.get("result").and_then(|r| r.get("requests")).expect("requests");
+        assert_eq!(requests.get("health").and_then(Json::as_u64), Some(1));
+        drop(reader);
+        drop(client);
+        handle.join().expect("connection thread");
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_and_the_connection_survives() {
+        let (server, _cancel) = spawn_server(ServeConfig {
+            max_line_bytes: 64,
+            ..ServeConfig::default()
+        });
+        let (mut client, handle) = connect(&server);
+        let mut reader = BufReader::new(client.try_clone().expect("clone"));
+        // One giant line, well past the cap, then a legitimate request.
+        let huge = format!("{{\"id\":1,\"method\":\"{}\"}}", "x".repeat(4096));
+        let err = roundtrip(&mut client, &mut reader, &huge);
+        assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            err.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+            Some("input"),
+            "oversized lines draw a structured `input` error: {err}"
+        );
+        let after = roundtrip(&mut client, &mut reader, r#"{"id":2,"method":"stats"}"#);
+        assert_eq!(after.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(after.get("id").and_then(Json::as_u64), Some(2), "connection survives");
+        assert_eq!(
+            after.get("result").and_then(|r| r.get("oversized")).and_then(Json::as_u64),
+            Some(1)
+        );
+        drop(reader);
+        drop(client);
+        handle.join().expect("connection thread");
+    }
+
+    #[test]
+    fn invalid_utf8_line_is_rejected_and_the_connection_survives() {
+        let (server, _cancel) = spawn_server(ServeConfig::default());
+        let (mut client, handle) = connect(&server);
+        let mut reader = BufReader::new(client.try_clone().expect("clone"));
+        client
+            .write_all(b"{\"id\":1,\"method\":\"stats\xFF\xFE\"}\n")
+            .expect("bytes written");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("response read");
+        let err = Json::parse(response.trim()).expect("response is json");
+        assert_eq!(
+            err.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+            Some("input"),
+            "invalid UTF-8 draws a structured `input` error: {err}"
+        );
+        let after = roundtrip(&mut client, &mut reader, r#"{"id":2,"method":"stats"}"#);
+        assert_eq!(after.get("id").and_then(Json::as_u64), Some(2), "connection survives");
+        assert_eq!(
+            after.get("result").and_then(|r| r.get("bad_utf8")).and_then(Json::as_u64),
+            Some(1)
+        );
+        drop(reader);
+        drop(client);
+        handle.join().expect("connection thread");
+    }
+
+    #[test]
+    fn idle_connections_are_closed_once_quiet() {
+        let (server, _cancel) = spawn_server(ServeConfig {
+            idle_timeout: Some(Duration::from_millis(50)),
+            ..ServeConfig::default()
+        });
+        let (mut client, handle) = connect(&server);
+        let mut reader = BufReader::new(client.try_clone().expect("clone"));
+        let first = roundtrip(&mut client, &mut reader, r#"{"id":1,"method":"stats"}"#);
+        assert_eq!(first.get("ok").and_then(Json::as_bool), Some(true));
+        // Stay silent past the idle window: the daemon hangs up.
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("clean EOF");
+        assert_eq!(n, 0, "the daemon closes an idle connection");
+        handle.join().expect("connection thread");
+        assert_eq!(server.stats.idle_closed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn armed_netfault_still_yields_attributed_answers_via_retries() {
+        use stq_util::netfault::NetFaultPlan;
+        // Faults on every early response write; the in-process client
+        // below is the resilient one from `crate::client`.
+        let plan = NetFaultPlan::seeded(42, 6, 12);
+        assert!(!plan.is_empty());
+        let cancel = CancelToken::new();
+        let server = Arc::new(
+            Server::new(
+                Session::with_builtins(),
+                ServeConfig {
+                    netfault: Some(plan),
+                    ..ServeConfig::default()
+                },
+                cancel.clone(),
+            )
+            .expect("server"),
+        );
+        let socket = std::env::temp_dir()
+            .join(format!("stqc-netfault-test-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&socket);
+        let run = {
+            let server = Arc::clone(&server);
+            let socket = socket.clone();
+            std::thread::spawn(move || server.run_unix(&socket))
+        };
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while std::os::unix::net::UnixStream::connect(&socket).is_err() {
+            assert!(std::time::Instant::now() < deadline, "server never bound");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut client = crate::client::Client::new(crate::client::ClientConfig {
+            socket: socket.clone(),
+            connect_timeout: Duration::from_secs(5),
+            call_deadline: Some(Duration::from_secs(30)),
+            max_retries: 32,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(10),
+            seed: 3,
+        });
+        for i in 0..10 {
+            let out = client
+                .call("stats", None, None)
+                .unwrap_or_else(|e| panic!("request {i} not healed: {e}"));
+            assert_eq!(out.doc.get("ok").and_then(Json::as_bool), Some(true));
+        }
+        let injector = server.netfault.as_ref().expect("injector armed");
+        assert!(
+            injector.injected() > 0,
+            "ten faulted round-trips must actually draw faults"
+        );
+        client.call("shutdown", None, None).expect("shutdown");
+        run.join().expect("run thread").expect("run result");
+        let _ = std::fs::remove_file(&socket);
     }
 }
 

@@ -14,6 +14,8 @@
 //!   for the serve daemon's line-delimited wire protocol,
 //! * [`serve`] — the daemon's bounded request scheduler with
 //!   structured load shedding,
+//! * [`netfault`] — seeded, deterministic wire-fault injection for the
+//!   serve transport (the chaos harness; see `docs/robustness.md`),
 //! * [`Span`] / [`Loc`] — byte-offset source locations for error reporting,
 //! * [`Diagnostic`] / [`Diagnostics`] — structured warnings and errors, in the
 //!   spirit of the paper's typechecker which "provides type errors to the
@@ -38,6 +40,7 @@ pub mod cancel;
 pub mod diag;
 pub mod intern;
 pub mod json;
+pub mod netfault;
 pub mod pool;
 pub mod serve;
 pub mod span;

@@ -7,8 +7,11 @@
 # <5% by the bench itself. Also emits BENCH_serve.json: the warm
 # `stqc serve` daemon's requests/sec and latency percentiles against
 # the one-shot process baseline, asserted ≥5x (and zero warm cache
-# misses) by `stqc bench-serve` itself. See docs/performance.md and
-# docs/telemetry.md for the numbers and schemas.
+# misses) by `stqc bench-serve` itself. Also emits BENCH_chaos.json:
+# the seeded chaos soak's exactly-once / baseline-identical / warm-cache
+# invariants under injected wire faults and a worker SIGKILL, asserted
+# by `stqc chaos-serve` itself. See docs/performance.md,
+# docs/robustness.md, and docs/telemetry.md for the numbers and schemas.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,3 +39,14 @@ if [[ ! -f BENCH_serve.json ]]; then
 fi
 echo "==> BENCH_serve.json"
 cat BENCH_serve.json
+
+echo "==> stqc chaos-serve (seeded soak + worker SIGKILL drill)"
+./target/release/stqc chaos-serve --seed 7 --count 120 --clients 4 \
+    --kill-worker --out BENCH_chaos.json
+
+if [[ ! -f BENCH_chaos.json ]]; then
+    echo "bench.sh: BENCH_chaos.json was not produced" >&2
+    exit 1
+fi
+echo "==> BENCH_chaos.json"
+cat BENCH_chaos.json

@@ -76,4 +76,14 @@ if [ -e "$serve_sock" ]; then
     exit 1
 fi
 
+echo "==> stqc chaos smoke (seeded soak: faults injected, verdicts match baseline)"
+chaos_out="/tmp/stqc-smoke-chaos-$$.json"
+trap 'rm -f "$smoke_src" "$serve_sock" "$chaos_out"; rm -rf "$cache_dir"; kill "$serve_pid" 2>/dev/null || true' EXIT
+./target/release/stqc chaos-serve --seed 7 --count 50 --out "$chaos_out"
+if ! grep -q '"verdict_mismatches":0' "$chaos_out"; then
+    echo "chaos soak report disagrees with its exit code:" >&2
+    cat "$chaos_out" >&2
+    exit 1
+fi
+
 echo "==> all checks passed"

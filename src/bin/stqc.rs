@@ -13,12 +13,17 @@
 //!           [--deadline-ms N] [--replay DIR]
 //!                                        differential fuzzing
 //! stqc serve (--socket PATH | --stdio) [--jobs N] [--cache-dir DIR]
-//!           [--quals FILE] [--max-inflight N] [--max-queue N] [BUDGET..]
+//!           [--quals FILE] [--max-inflight N] [--max-queue N]
+//!           [--supervise] [--pid-file PATH] [--idle-timeout-ms N]
+//!           [--max-line-bytes N] [--net-fault-seed N] [BUDGET..]
 //!                                        checking-as-a-service daemon
-//! stqc call --socket PATH [--deadline-ms N] METHOD [PARAMS]
+//! stqc call --socket PATH [--deadline-ms N] [--connect-timeout-ms N]
+//!           [--call-deadline-ms N] [--retries N] METHOD [PARAMS]
 //!                                        one request to a serve daemon
 //! stqc bench-serve [--clients N] [--requests N] [--oneshot N]
 //!           [--jobs N] [--out FILE]      daemon vs one-shot benchmark
+//! stqc chaos-serve [--seed N] [--count N] [--clients N] [--kill-worker]
+//!           [--out FILE]                 chaos soak against a faulted daemon
 //! ```
 //!
 //! Budget flags (`prove` only) bound the prover so a pathological
@@ -83,7 +88,8 @@ use stq_core::{
 };
 
 const USAGE: &str =
-    "usage: stqc <prove|check|run|infer|tables|show|fuzz|serve|call|bench-serve> [options]\n\
+    "usage: stqc <prove|check|run|infer|tables|show|fuzz|serve|call|bench-serve|chaos-serve> \
+     [options]\n\
      run `stqc --help` for the full command and flag reference";
 
 /// The complete CLI surface. `tests/docs.rs` cross-checks every
@@ -104,6 +110,7 @@ subcommands:
   stqc serve                long-running checking daemon (socket or stdio)
   stqc call METHOD [PARAMS] send one request to a running serve daemon
   stqc bench-serve          benchmark warm daemon vs one-shot processes
+  stqc chaos-serve          chaos soak: faulted daemon vs fault-free baseline
 
 qualifier and report flags (prove, check, run, infer, show, serve):
   --quals FILE              define qualifiers from FILE on top of the builtins
@@ -146,13 +153,35 @@ serving flags (serve, call, bench-serve; see docs/serving.md):
   --stdio                   serve one session over stdin/stdout (testing)
   --max-inflight N          per-connection in-flight request cap (serve)
   --max-queue N             global request queue bound before shedding (serve)
-  --clients N               concurrent bench clients (bench-serve)
+  --supervise               run the worker as a supervised child; restart it
+                            on crashes, with restart-rate limiting (serve)
+  --pid-file PATH           record the current worker pid in PATH (serve)
+  --idle-timeout-ms N       close connections idle for N ms with no in-flight
+                            work (serve; 0 or omitted = never)
+  --max-line-bytes N        reject request lines longer than N bytes with a
+                            structured `input` error (serve; default 1048576)
+  --connect-timeout-ms N    keep redialing a refused socket for N ms (call)
+  --call-deadline-ms N      client-side budget for the whole call, covering
+                            every retry (call; omitted = wait indefinitely)
+  --retries N               re-attempts after retryable failures (call)
+  --clients N               concurrent clients (bench-serve, chaos-serve)
   --requests N              requests per bench client (bench-serve)
   --oneshot N               one-shot baseline process count (bench-serve)
-  --out FILE                benchmark report path (default BENCH_serve.json)
+  --out FILE                benchmark report path (default BENCH_serve.json;
+                            chaos-serve: BENCH_chaos.json)
+
+wire-fault flags (serve, chaos-serve; see docs/robustness.md):
+  --net-fault-seed N        arm deterministic response-path wire faults
+                            seeded with N (drops, torn/interleaved lines,
+                            garbage bytes, short writes, stalls)
+  --net-fault-count N       how many faults the plan schedules (default 32)
+  --net-fault-span N        spread faults over the first N writes (default 256)
+  --kill-worker             SIGKILL the supervised worker mid-campaign and
+                            require a warm recovery (chaos-serve)
 
 exit codes: 0 success/sound, 1 unsound or qualifier errors, 2 usage,
-3 input errors, 4 crash or resource-out, 5 interrupted (partial report).
+3 input errors, 4 crash or resource-out, 5 interrupted (partial report),
+6 daemon unreachable or no attributed answer within the call budget (call).
 
 `stqc --help` (or `-h`) prints this reference.
 ";
@@ -170,6 +199,7 @@ fn main() -> ExitCode {
         Some("serve") => serve(&args[1..]),
         Some("call") => call(&args[1..]),
         Some("bench-serve") => bench_serve(&args[1..]),
+        Some("chaos-serve") => chaos_serve(&args[1..]),
         Some("--help") | Some("-h") => {
             println!("{HELP}");
             ExitCode::SUCCESS
@@ -202,6 +232,12 @@ const EXIT_CRASH: u8 = 4;
 /// verdicts are trustworthy, unreached work is marked skipped, and
 /// anything conclusive was persisted to the cache for resumption.
 const EXIT_INTERRUPTED: u8 = 5;
+/// Exit code when `call` could not obtain an attributed answer at all:
+/// the daemon was unreachable, or the connect/call/retry budget ran
+/// out on transport-level failures. Distinct from input errors (3) so
+/// scripts can tell "the daemon is down" from "my request was bad".
+#[cfg(unix)]
+const EXIT_UNREACHABLE: u8 = 6;
 
 /// Cooperative SIGINT handling: the first Ctrl-C cancels the run's
 /// [`CancelToken`] (workers drain at the next safepoint, the partial
@@ -246,6 +282,24 @@ mod interrupt {
 
     /// No signal wiring off unix; `--deadline-ms` still works.
     pub fn install(_token: &CancelToken) {}
+}
+
+/// Raw signal sending for the supervisor (forwarding SIGINT to the
+/// worker) and the chaos harness (SIGKILLing it mid-campaign). Same
+/// no-libc-crate idiom as [`interrupt`].
+#[cfg(unix)]
+mod sig {
+    pub const SIGINT: i32 = 2;
+    pub const SIGKILL: i32 = 9;
+
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+
+    /// Sends `signum` to `pid`; false if the process is gone.
+    pub fn send(pid: u32, signum: i32) -> bool {
+        pid <= i32::MAX as u32 && unsafe { kill(pid as i32, signum) } == 0
+    }
 }
 
 /// A diagnosed failure paired with the exit code class it belongs to.
@@ -1134,13 +1188,21 @@ fn tables(args: &[String]) -> ExitCode {
 // ----- checking as a service -----
 
 /// Strips serve-specific flags (`--socket PATH`, `--stdio`,
-/// `--max-inflight N`, `--max-queue N`) out of `args` so the remainder
-/// can go through the common [`session_from`] scan.
+/// `--max-inflight N`, `--max-queue N`, the supervision and wire-fault
+/// flags) out of `args` so the remainder can go through the common
+/// [`session_from`] scan.
 struct ServeArgs {
     socket: Option<String>,
     stdio: bool,
     max_inflight: usize,
     max_queue: usize,
+    supervise: bool,
+    pid_file: Option<String>,
+    idle_timeout_ms: u64,
+    max_line_bytes: usize,
+    net_fault_seed: Option<u64>,
+    net_fault_count: u64,
+    net_fault_span: u64,
     rest: Vec<String>,
 }
 
@@ -1150,6 +1212,13 @@ fn split_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
         stdio: false,
         max_inflight: 32,
         max_queue: 1024,
+        supervise: false,
+        pid_file: None,
+        idle_timeout_ms: 0,
+        max_line_bytes: 1 << 20,
+        net_fault_seed: None,
+        net_fault_count: 32,
+        net_fault_span: 256,
         rest: Vec::new(),
     };
     let mut i = 0;
@@ -1166,17 +1235,34 @@ fn split_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
                 out.stdio = true;
                 i += 1;
             }
-            flag @ ("--max-inflight" | "--max-queue") => {
+            "--supervise" => {
+                out.supervise = true;
+                i += 1;
+            }
+            "--pid-file" => {
+                let path = args
+                    .get(i + 1)
+                    .ok_or_else(|| usage_err("--pid-file needs a path"))?;
+                out.pid_file = Some(path.clone());
+                i += 2;
+            }
+            flag @ ("--max-inflight" | "--max-queue" | "--idle-timeout-ms"
+            | "--max-line-bytes" | "--net-fault-seed" | "--net-fault-count"
+            | "--net-fault-span") => {
                 let value = args
                     .get(i + 1)
                     .ok_or_else(|| usage_err(format!("{flag} needs a number")))?;
-                let n: usize = value
+                let n: u64 = value
                     .parse()
                     .map_err(|_| usage_err(format!("{flag}: `{value}` is not a number")))?;
-                if flag == "--max-inflight" {
-                    out.max_inflight = n;
-                } else {
-                    out.max_queue = n;
+                match flag {
+                    "--max-inflight" => out.max_inflight = n as usize,
+                    "--max-queue" => out.max_queue = n as usize,
+                    "--idle-timeout-ms" => out.idle_timeout_ms = n,
+                    "--max-line-bytes" => out.max_line_bytes = n as usize,
+                    "--net-fault-seed" => out.net_fault_seed = Some(n),
+                    "--net-fault-count" => out.net_fault_count = n,
+                    _ => out.net_fault_span = n,
                 }
                 i += 2;
             }
@@ -1198,6 +1284,16 @@ fn serve(args: &[String]) -> ExitCode {
         Ok(x) => x,
         Err(e) => return fail(e),
     };
+    if serve_args.supervise {
+        #[cfg(unix)]
+        {
+            return supervise(args, &serve_args);
+        }
+        #[cfg(not(unix))]
+        {
+            return fail(usage_err("--supervise requires unix"));
+        }
+    }
     let Cli {
         session,
         rest,
@@ -1217,6 +1313,11 @@ fn serve(args: &[String]) -> ExitCode {
     if serve_args.socket.is_none() && !serve_args.stdio {
         return fail(usage_err("serve needs --socket PATH or --stdio"));
     }
+    if let Some(pid_file) = &serve_args.pid_file {
+        if let Err(e) = fs::write(pid_file, format!("{}\n", std::process::id())) {
+            return fail(input_err(format!("cannot write {pid_file}: {e}")));
+        }
+    }
     let cancel = run_token(deadline_ms);
     let cfg = stq_core::ServeConfig {
         jobs,
@@ -1226,6 +1327,18 @@ fn serve(args: &[String]) -> ExitCode {
         budget,
         retry,
         prove_jobs: 1,
+        idle_timeout: match serve_args.idle_timeout_ms {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        },
+        max_line_bytes: serve_args.max_line_bytes,
+        netfault: serve_args.net_fault_seed.map(|seed| {
+            stq_util::netfault::NetFaultPlan::seeded(
+                seed,
+                serve_args.net_fault_count as usize,
+                serve_args.net_fault_span,
+            )
+        }),
     };
     let server = match stq_core::Server::new(session, cfg, cancel) {
         Ok(s) => std::sync::Arc::new(s),
@@ -1254,16 +1367,117 @@ fn serve(args: &[String]) -> ExitCode {
     }
 }
 
-/// `stqc call`: a thin synchronous client for one request. The raw
-/// response line is printed to stdout; the exit code mirrors the
-/// one-shot commands (see `docs/serving.md` for the mapping).
+/// `stqc serve --supervise`: runs the worker daemon as a child process
+/// and restarts it when it dies abnormally (crash, SIGKILL, panic).
+/// Deliberate exits — requested shutdown (0), interrupted (5), usage or
+/// input errors (2, 3) — propagate instead of restarting. Restarts are
+/// rate-limited: each quick death (under 5s) doubles a backoff capped
+/// at 2s, and five consecutive quick deaths give up with exit 4.
+///
+/// A `--cache-dir` worker persists every conclusive verdict eagerly, so
+/// the restarted worker reloads a warm cache (see `docs/robustness.md`).
+#[cfg(unix)]
+fn supervise(args: &[String], serve_args: &ServeArgs) -> ExitCode {
+    use std::time::Instant;
+
+    if serve_args.stdio {
+        return fail(usage_err("--supervise needs --socket, not --stdio"));
+    }
+    if serve_args.socket.is_none() {
+        return fail(usage_err("--supervise needs --socket PATH"));
+    }
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => return fail(input_err(format!("cannot locate stqc: {e}"))),
+    };
+    let worker_args: Vec<&String> = args.iter().filter(|a| *a != "--supervise").collect();
+    let cancel = CancelToken::new();
+    interrupt::install(&cancel);
+    let mut quick_deaths = 0u32;
+    let mut restarts = 0u64;
+    loop {
+        let mut child = match std::process::Command::new(&exe)
+            .arg("serve")
+            .args(&worker_args)
+            .spawn()
+        {
+            Ok(c) => c,
+            Err(e) => return fail(input_err(format!("cannot spawn worker: {e}"))),
+        };
+        if let Some(pid_file) = &serve_args.pid_file {
+            if let Err(e) = fs::write(pid_file, format!("{}\n", child.id())) {
+                eprintln!("stqc: supervisor: cannot write {pid_file}: {e}");
+            }
+        }
+        let born = Instant::now();
+        let mut forwarded = false;
+        // Poll rather than block so SIGINT can be forwarded promptly.
+        let status = loop {
+            if cancel.is_cancelled() && !forwarded {
+                forwarded = true;
+                sig::send(child.id(), sig::SIGINT);
+            }
+            match child.try_wait() {
+                Ok(Some(status)) => break status,
+                Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+                Err(e) => return fail(input_err(format!("supervisor wait failed: {e}"))),
+            }
+        };
+        match status.code() {
+            Some(0) => return ExitCode::SUCCESS,
+            Some(code @ (2 | 3)) => {
+                eprintln!("stqc: supervisor: worker config error (exit {code}); not restarting");
+                return ExitCode::from(code as u8);
+            }
+            Some(5) => return ExitCode::from(EXIT_INTERRUPTED),
+            _ if forwarded => return ExitCode::from(EXIT_INTERRUPTED),
+            abnormal => {
+                restarts += 1;
+                if born.elapsed() < Duration::from_secs(5) {
+                    quick_deaths += 1;
+                } else {
+                    quick_deaths = 0;
+                }
+                if quick_deaths >= 5 {
+                    eprintln!(
+                        "stqc: supervisor: worker died {quick_deaths} times in quick \
+                         succession; giving up"
+                    );
+                    return ExitCode::from(EXIT_CRASH);
+                }
+                let how = match abnormal {
+                    Some(code) => format!("exit {code}"),
+                    None => "killed by a signal".to_owned(),
+                };
+                let backoff =
+                    Duration::from_millis(100 * (1 << quick_deaths.min(4))).min(Duration::from_secs(2));
+                eprintln!(
+                    "stqc: supervisor: worker died ({how}); restart #{restarts} in {}ms",
+                    backoff.as_millis()
+                );
+                std::thread::sleep(backoff);
+            }
+        }
+    }
+}
+
+/// `stqc call`: one request to a serve daemon over the self-healing
+/// [`stq_core::Client`]. The raw attributed response line is printed to
+/// stdout; the exit code mirrors the one-shot commands (see
+/// `docs/serving.md` for the mapping). By default the historical thin
+/// behavior is preserved — one connect attempt, no retries, no
+/// client-side deadline; `--connect-timeout-ms`, `--retries`, and
+/// `--call-deadline-ms` opt into healing. An unreachable daemon (or an
+/// exhausted budget with no attributed answer) exits 6.
 #[cfg(unix)]
 fn call(args: &[String]) -> ExitCode {
-    use std::io::{BufRead, BufReader, Write};
     use stq_util::json::Json;
 
     let mut socket: Option<String> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut connect_timeout_ms = 0u64;
+    let mut call_deadline_ms: Option<u64> = None;
+    let mut retries = 0u32;
     let mut positional: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -1275,16 +1489,20 @@ fn call(args: &[String]) -> ExitCode {
                 socket = Some(path.clone());
                 i += 2;
             }
-            "--deadline-ms" => {
+            flag @ ("--deadline-ms" | "--connect-timeout-ms" | "--call-deadline-ms"
+            | "--retries") => {
                 let Some(value) = args.get(i + 1) else {
-                    return fail(usage_err("--deadline-ms needs a number"));
+                    return fail(usage_err(format!("{flag} needs a number")));
                 };
                 let Ok(n) = value.parse::<u64>() else {
-                    return fail(usage_err(format!(
-                        "--deadline-ms: `{value}` is not a number"
-                    )));
+                    return fail(usage_err(format!("{flag}: `{value}` is not a number")));
                 };
-                deadline_ms = Some(n);
+                match flag {
+                    "--deadline-ms" => deadline_ms = Some(n),
+                    "--connect-timeout-ms" => connect_timeout_ms = n,
+                    "--call-deadline-ms" => call_deadline_ms = Some(n),
+                    _ => retries = n.min(u64::from(u32::MAX)) as u32,
+                }
                 i += 2;
             }
             other => {
@@ -1297,7 +1515,9 @@ fn call(args: &[String]) -> ExitCode {
         return fail(usage_err("call needs --socket PATH"));
     };
     let Some(method) = positional.first() else {
-        return fail(usage_err("call needs a METHOD (define_qualifiers, check, prove, stats, shutdown)"));
+        return fail(usage_err(
+            "call needs a METHOD (define_qualifiers, check, prove, stats, health, shutdown)",
+        ));
     };
     let params = match positional.get(1) {
         Some(raw) => match Json::parse(raw) {
@@ -1307,41 +1527,29 @@ fn call(args: &[String]) -> ExitCode {
         },
         None => None,
     };
-    let mut request = format!("{{\"id\":1,\"method\":\"{}\"", json_escape(method));
-    if let Some(ms) = deadline_ms {
-        request.push_str(&format!(",\"deadline_ms\":{ms}"));
-    }
-    if let Some(p) = &params {
-        request.push_str(&format!(",\"params\":{p}"));
-    }
-    request.push('}');
-
-    let stream = match std::os::unix::net::UnixStream::connect(&socket) {
-        Ok(s) => s,
-        Err(e) => return fail(input_err(format!("cannot connect to {socket}: {e}"))),
+    let mut client = stq_core::Client::new(stq_core::ClientConfig {
+        socket: std::path::PathBuf::from(&socket),
+        connect_timeout: Duration::from_millis(connect_timeout_ms),
+        call_deadline: call_deadline_ms.map(Duration::from_millis),
+        max_retries: retries,
+        ..stq_core::ClientConfig::default()
+    });
+    let outcome = match client.call(method, params.as_deref(), deadline_ms) {
+        Ok(outcome) => outcome,
+        Err(e @ stq_core::CallError::Ambiguous(_)) => {
+            eprintln!("stqc: call: {e}");
+            return ExitCode::from(EXIT_CRASH);
+        }
+        Err(e) => {
+            eprintln!("stqc: call: {e}");
+            eprintln!(
+                "stqc: is the daemon running? start it with `stqc serve --socket {socket}`"
+            );
+            return ExitCode::from(EXIT_UNREACHABLE);
+        }
     };
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(e) => return fail(input_err(format!("{socket}: {e}"))),
-    };
-    if writer
-        .write_all(format!("{request}\n").as_bytes())
-        .and_then(|()| writer.flush())
-        .is_err()
-    {
-        return fail(input_err(format!("{socket}: connection closed while sending")));
-    }
-    let mut response = String::new();
-    if BufReader::new(stream).read_line(&mut response).is_err() || response.trim().is_empty() {
-        return fail(input_err(format!(
-            "{socket}: the daemon closed the connection without replying"
-        )));
-    }
-    let response = response.trim();
-    println!("{response}");
-    let Ok(doc) = Json::parse(response) else {
-        return fail(input_err("the daemon sent a non-JSON response"));
-    };
+    println!("{}", outcome.raw);
+    let doc = outcome.doc;
     if doc.get("ok").and_then(Json::as_bool) != Some(true) {
         let code = doc
             .get("error")
@@ -1636,4 +1844,502 @@ fn bench_serve(args: &[String]) -> ExitCode {
 #[cfg(not(unix))]
 fn bench_serve(_args: &[String]) -> ExitCode {
     fail(usage_err("bench-serve requires unix sockets"))
+}
+
+/// One entry of the chaos campaign's deterministic request schedule.
+#[cfg(unix)]
+struct ChaosRequest {
+    method: &'static str,
+    params: Option<String>,
+}
+
+/// Generates the seeded request schedule: full and named proves, clean
+/// and faulty checks, stats/health probes. Every method is idempotent
+/// and read-only, so the canonical answers are independent of request
+/// interleaving — which is what lets N concurrent clients be compared
+/// against a sequential fault-free baseline.
+#[cfg(unix)]
+fn chaos_schedule(seed: u64, count: usize) -> Vec<ChaosRequest> {
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    const NAMES: [&str; 8] = [
+        "pos", "neg", "nonzero", "nonnull", "untainted", "tainted", "unique", "unaliased",
+    ];
+    const CLEAN: &str = "int pos f() { return 7; }";
+    const UNCLEAN: &str = "int pos f(int a) { return a; }";
+    const BROKEN: &str = "int f( {";
+    let mut state = seed ^ 0xC4A0_5057;
+    (0..count)
+        .map(|_| {
+            state = splitmix64(state);
+            let r = state;
+            match r % 8 {
+                0 | 1 => ChaosRequest { method: "prove", params: None },
+                2 => ChaosRequest {
+                    method: "prove",
+                    params: Some(format!(
+                        "{{\"names\":[\"{}\"]}}",
+                        NAMES[(r >> 8) as usize % NAMES.len()]
+                    )),
+                },
+                3 => ChaosRequest {
+                    method: "prove",
+                    params: Some(format!(
+                        "{{\"names\":[\"{}\",\"{}\"]}}",
+                        NAMES[(r >> 8) as usize % NAMES.len()],
+                        NAMES[(r >> 16) as usize % NAMES.len()]
+                    )),
+                },
+                4 => ChaosRequest {
+                    method: "check",
+                    params: Some(format!("{{\"source\":\"{}\"}}", json_escape(CLEAN))),
+                },
+                5 => ChaosRequest {
+                    method: "check",
+                    params: Some(format!("{{\"source\":\"{}\"}}", json_escape(UNCLEAN))),
+                },
+                6 => ChaosRequest {
+                    method: "check",
+                    params: Some(format!("{{\"source\":\"{}\"}}", json_escape(BROKEN))),
+                },
+                _ => ChaosRequest {
+                    method: if (r >> 8) & 1 == 0 { "stats" } else { "health" },
+                    params: None,
+                },
+            }
+        })
+        .collect()
+}
+
+/// Canonicalizes one response for baseline comparison: only the
+/// semantic payload (verdicts, cleanliness, error class) — never
+/// timings, counters, or cache telemetry, which legitimately differ
+/// between the baseline and the chaos phase.
+#[cfg(unix)]
+fn chaos_canon(method: &str, doc: &stq_util::json::Json) -> String {
+    use stq_util::json::Json;
+    if doc.get("ok").and_then(Json::as_bool) != Some(true) {
+        let code = doc
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .unwrap_or("?");
+        return format!("error:{code}");
+    }
+    let result = doc.get("result");
+    let arr_len = |name: &str| -> usize {
+        match result.and_then(|r| r.get(name)) {
+            Some(Json::Arr(items)) => items.len(),
+            _ => 0,
+        }
+    };
+    match method {
+        "prove" => {
+            let all_sound = result.and_then(|r| r.get("all_sound")).and_then(Json::as_bool);
+            let quals = match result.and_then(|r| r.get("qualifiers")) {
+                Some(Json::Arr(items)) => items
+                    .iter()
+                    .map(|q| {
+                        format!(
+                            "{}={}",
+                            q.get("name").and_then(Json::as_str).unwrap_or("?"),
+                            q.get("verdict").and_then(Json::as_str).unwrap_or("?"),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(","),
+                _ => String::new(),
+            };
+            format!("prove:all_sound={all_sound:?};{quals}")
+        }
+        "check" => format!(
+            "check:clean={:?};syntax={};diags={}",
+            result.and_then(|r| r.get("clean")).and_then(Json::as_bool),
+            arr_len("syntax_errors"),
+            arr_len("diagnostics"),
+        ),
+        _ => "ok".to_owned(),
+    }
+}
+
+/// `stqc chaos-serve`: the chaos soak oracle (see `docs/robustness.md`).
+///
+/// Phase 1 computes a fault-free baseline: a seeded request schedule is
+/// run sequentially against an in-process daemon, and every answer is
+/// canonicalized. Phase 2 spawns a *supervised* daemon with wire-fault
+/// injection armed and drives the same schedule through N self-healing
+/// clients concurrently (optionally SIGKILLing the worker mid-campaign
+/// with `--kill-worker`). The oracle holds iff every request resolves
+/// to exactly one attributed answer, every canonical answer matches the
+/// baseline, and the warm proof cache never misses — across faults,
+/// retries, and worker restarts. Results land in `BENCH_chaos.json`.
+#[cfg(unix)]
+fn chaos_serve(args: &[String]) -> ExitCode {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+    use stq_util::json::Json;
+
+    let mut seed = 7u64;
+    let mut count = 200usize;
+    let mut clients = 4usize;
+    let mut kill_worker = false;
+    let mut out = "BENCH_chaos.json".to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--kill-worker" => {
+                kill_worker = true;
+                i += 1;
+            }
+            "--out" => {
+                let Some(path) = args.get(i + 1) else {
+                    return fail(usage_err("--out needs a path"));
+                };
+                out = path.clone();
+                i += 2;
+            }
+            flag @ ("--seed" | "--count" | "--clients") => {
+                let Some(value) = args.get(i + 1) else {
+                    return fail(usage_err(format!("{flag} needs a number")));
+                };
+                let Ok(n) = value.parse::<u64>() else {
+                    return fail(usage_err(format!("{flag}: `{value}` is not a number")));
+                };
+                match flag {
+                    "--seed" => seed = n,
+                    "--count" => count = (n as usize).clamp(1, 100_000),
+                    _ => clients = (n as usize).clamp(1, 64),
+                }
+                i += 2;
+            }
+            other => {
+                return fail(usage_err(format!("chaos-serve: unknown argument `{other}`")));
+            }
+        }
+    }
+
+    let schedule = Arc::new(chaos_schedule(seed, count));
+    let scratch = std::env::temp_dir().join(format!("stqc-chaos-{}", std::process::id()));
+    if let Err(e) = fs::create_dir_all(&scratch) {
+        return fail(input_err(format!("cannot create {}: {e}", scratch.display())));
+    }
+    let client_cfg = |socket: &std::path::Path, salt: u64| stq_core::ClientConfig {
+        socket: socket.to_path_buf(),
+        connect_timeout: Duration::from_secs(20),
+        call_deadline: Some(Duration::from_secs(300)),
+        max_retries: 64,
+        backoff_base: Duration::from_millis(2),
+        backoff_max: Duration::from_millis(50),
+        seed: seed ^ salt,
+    };
+
+    // ----- phase 1: the fault-free baseline -----
+    eprintln!("chaos-serve: baseline over {count} request(s)...");
+    let base_socket = scratch.join("baseline.sock");
+    let _ = fs::remove_file(&base_socket);
+    let base_server = match stq_core::Server::new(
+        Session::with_builtins(),
+        stq_core::ServeConfig::default(),
+        CancelToken::new(),
+    ) {
+        Ok(s) => Arc::new(s),
+        Err(e) => return fail(input_err(format!("cannot start baseline server: {e}"))),
+    };
+    let base_thread = {
+        let server = Arc::clone(&base_server);
+        let socket = base_socket.clone();
+        std::thread::spawn(move || server.run_unix(&socket))
+    };
+    let mut baseline: Vec<String> = Vec::with_capacity(count);
+    {
+        let mut client = stq_core::Client::new(client_cfg(&base_socket, 0xBA5E));
+        for req in schedule.iter() {
+            match client.call(req.method, req.params.as_deref(), None) {
+                Ok(outcome) => baseline.push(chaos_canon(req.method, &outcome.doc)),
+                Err(e) => return fail(input_err(format!("baseline request failed: {e}"))),
+            }
+        }
+        if client.call("shutdown", None, None).is_err() {
+            return fail(input_err("baseline shutdown failed"));
+        }
+    }
+    let _ = base_thread.join();
+    let baseline = Arc::new(baseline);
+
+    // ----- phase 2: the supervised, faulted daemon -----
+    let socket = scratch.join("chaos.sock");
+    let pid_file = scratch.join("worker.pid");
+    let cache_dir = scratch.join("cache");
+    let _ = fs::remove_file(&socket);
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => return fail(input_err(format!("cannot locate stqc: {e}"))),
+    };
+    let nf_count = (count / 3).max(8);
+    let nf_span = (count as u64).max(64);
+    eprintln!(
+        "chaos-serve: supervised daemon with {nf_count} fault(s) planned over \
+         the first {nf_span} response write(s)..."
+    );
+    let mut daemon = match std::process::Command::new(&exe)
+        .args(["serve", "--supervise"])
+        .arg("--socket")
+        .arg(&socket)
+        .arg("--pid-file")
+        .arg(&pid_file)
+        .arg("--cache-dir")
+        .arg(&cache_dir)
+        .args(["--jobs", "2"])
+        .args(["--net-fault-seed", &seed.to_string()])
+        .args(["--net-fault-count", &nf_count.to_string()])
+        .args(["--net-fault-span", &nf_span.to_string()])
+        .stderr(std::process::Stdio::null())
+        .spawn()
+    {
+        Ok(c) => c,
+        Err(e) => return fail(input_err(format!("cannot spawn supervised daemon: {e}"))),
+    };
+    // Everything from here on must kill the daemon on the way out.
+    let give_up = |daemon: &mut std::process::Child, err: CliError| -> ExitCode {
+        sig::send(daemon.id(), sig::SIGINT);
+        let _ = daemon.wait();
+        fail(err)
+    };
+
+    // Warm the worker's cache with one full prove; every conclusive
+    // verdict is persisted eagerly, so from this point the journal on
+    // disk is complete and a SIGKILL can never lose warm state.
+    let mut warm_client = stq_core::Client::new(client_cfg(&socket, 0x3A4));
+    if let Err(e) = warm_client.call("prove", None, None) {
+        return give_up(&mut daemon, input_err(format!("warmup prove failed: {e}")));
+    }
+    let cache_misses = |doc: &Json| -> u64 {
+        doc.get("result")
+            .and_then(|r| r.get("cache"))
+            .and_then(|c| c.get("misses"))
+            .and_then(Json::as_u64)
+            .unwrap_or(u64::MAX)
+    };
+    let warm_misses = match warm_client.call("stats", None, None) {
+        Ok(outcome) => cache_misses(&outcome.doc),
+        Err(e) => return give_up(&mut daemon, input_err(format!("warmup stats failed: {e}"))),
+    };
+
+    // The concurrent campaign: client `c` owns indices c, c+N, c+2N, …
+    let resolved = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    type CampaignOutcome = Result<(Vec<(usize, String)>, stq_core::ClientStats), String>;
+    let workers: Vec<std::thread::JoinHandle<CampaignOutcome>> = (0..clients)
+        .map(|c| {
+            let schedule = Arc::clone(&schedule);
+            let socket = socket.clone();
+            let resolved = Arc::clone(&resolved);
+            let cfg = client_cfg(&socket, 0xC0_0000 + c as u64);
+            std::thread::spawn(move || {
+                let mut client = stq_core::Client::new(cfg);
+                let mut answers = Vec::new();
+                let mut idx = c;
+                while idx < schedule.len() {
+                    let req = &schedule[idx];
+                    match client.call(req.method, req.params.as_deref(), None) {
+                        Ok(outcome) => {
+                            answers.push((idx, chaos_canon(req.method, &outcome.doc)));
+                            resolved.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => return Err(format!("request #{idx} ({}): {e}", req.method)),
+                    }
+                    idx += clients;
+                }
+                Ok((answers, client.stats()))
+            })
+        })
+        .collect();
+
+    // Mid-campaign worker assassination: once half the requests have
+    // resolved, SIGKILL the current worker and wait for the supervisor
+    // to install a successor (observed as a pid-file change).
+    let killer: Option<std::thread::JoinHandle<Result<u64, String>>> = kill_worker.then(|| {
+        let resolved = Arc::clone(&resolved);
+        let pid_file = pid_file.clone();
+        let half = (count / 2).max(1) as u64;
+        std::thread::spawn(move || {
+            while resolved.load(Ordering::Relaxed) < half {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let old = fs::read_to_string(&pid_file)
+                .map_err(|e| format!("cannot read {}: {e}", pid_file.display()))?;
+            let pid: u32 = old
+                .trim()
+                .parse()
+                .map_err(|_| format!("{} does not hold a pid", pid_file.display()))?;
+            if !sig::send(pid, sig::SIGKILL) {
+                return Err(format!("cannot SIGKILL worker {pid}"));
+            }
+            let respawned_by = Instant::now() + Duration::from_secs(30);
+            loop {
+                if let Ok(now) = fs::read_to_string(&pid_file) {
+                    if !now.trim().is_empty() && now.trim() != old.trim() {
+                        return Ok(1);
+                    }
+                }
+                if Instant::now() > respawned_by {
+                    return Err("the supervisor never restarted the killed worker".to_owned());
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        })
+    });
+
+    let mut answers: Vec<Option<String>> = vec![None; count];
+    let mut client_stats = stq_core::ClientStats::default();
+    let mut campaign_err: Option<String> = None;
+    for handle in workers {
+        match handle.join() {
+            Ok(Ok((per_client, stats))) => {
+                for (idx, canon) in per_client {
+                    answers[idx] = Some(canon);
+                }
+                client_stats.retries += stats.retries;
+                client_stats.reconnects += stats.reconnects;
+                client_stats.resends += stats.resends;
+                client_stats.alien_dropped += stats.alien_dropped;
+                client_stats.corrupt_lines += stats.corrupt_lines;
+            }
+            Ok(Err(e)) => campaign_err = Some(e),
+            Err(_) => campaign_err = Some("a chaos client panicked".to_owned()),
+        }
+    }
+    let elapsed = started.elapsed();
+    let worker_restarts = match killer.map(std::thread::JoinHandle::join) {
+        None => 0u64,
+        Some(Ok(Ok(n))) => n,
+        Some(Ok(Err(e))) => {
+            campaign_err.get_or_insert(format!("kill-worker: {e}"));
+            0
+        }
+        Some(Err(_)) => {
+            campaign_err.get_or_insert("the killer thread panicked".to_owned());
+            0
+        }
+    };
+    if let Some(e) = campaign_err {
+        return give_up(&mut daemon, input_err(format!("chaos campaign failed: {e}")));
+    }
+
+    // Post-campaign ledger: cache misses and fault counters from the
+    // (possibly restarted) worker, then a clean shutdown through the
+    // supervisor.
+    let mut final_client = stq_core::Client::new(client_cfg(&socket, 0xF1A7));
+    let (final_misses, injected) = match final_client.call("stats", None, None) {
+        Ok(outcome) => {
+            let injected = outcome
+                .doc
+                .get("result")
+                .and_then(|r| r.get("netfault"))
+                .and_then(|n| n.get("injected"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+            (cache_misses(&outcome.doc), injected)
+        }
+        Err(e) => return give_up(&mut daemon, input_err(format!("final stats failed: {e}"))),
+    };
+    if final_client.call("shutdown", None, None).is_err() {
+        return give_up(&mut daemon, input_err("chaos daemon shutdown failed"));
+    }
+    let clean_exit = daemon.wait().ok().is_some_and(|s| s.success());
+
+    // The oracle. A restarted worker starts a fresh miss counter over
+    // the persisted journal, so the warm rule is "zero misses since
+    // restart"; an unkilled worker must add zero over its warm sample.
+    let requests_resolved = answers.iter().filter(|a| a.is_some()).count();
+    let verdict_mismatches: Vec<usize> = (0..count)
+        .filter(|&i| answers[i].as_deref() != Some(baseline[i].as_str()))
+        .collect();
+    let warm_cache_miss_delta = if worker_restarts > 0 {
+        final_misses
+    } else {
+        final_misses.saturating_sub(warm_misses)
+    };
+    for &i in verdict_mismatches.iter().take(5) {
+        eprintln!(
+            "chaos-serve: request #{i} diverged:\n  baseline: {}\n  chaos:    {}",
+            baseline[i],
+            answers[i].as_deref().unwrap_or("<unresolved>"),
+        );
+    }
+
+    let report = format!(
+        "{{\"bench\":\"chaos-serve\",\"seed\":{seed},\"count\":{count},\"clients\":{clients},\
+         \"net_faults\":{{\"planned\":{nf_count},\"injected\":{injected}}},\
+         \"requests_resolved\":{requests_resolved},\
+         \"verdict_mismatches\":{},\
+         \"client\":{{\"retries\":{},\"reconnects\":{},\"resends\":{},\
+         \"alien_lines_dropped\":{},\"corrupt_lines\":{}}},\
+         \"warm_cache_miss_delta\":{warm_cache_miss_delta},\
+         \"worker_killed\":{kill_worker},\"worker_restarts\":{worker_restarts},\
+         \"clean_shutdown\":{clean_exit},\
+         \"elapsed_ms\":{},\"requests_per_sec\":{:.2}}}",
+        verdict_mismatches.len(),
+        client_stats.retries,
+        client_stats.reconnects,
+        client_stats.resends,
+        client_stats.alien_dropped,
+        client_stats.corrupt_lines,
+        json_ms(elapsed),
+        count as f64 / elapsed.as_secs_f64(),
+    );
+    if fs::write(&out, format!("{report}\n")).is_err() {
+        return fail(input_err(format!("cannot write {out}")));
+    }
+    println!("{report}");
+    let _ = fs::remove_dir_all(&scratch);
+    eprintln!(
+        "chaos-serve: {requests_resolved}/{count} resolved, {} mismatch(es), \
+         {injected} fault(s) injected, {} retry(ies), {} reconnect(s), \
+         warm misses +{warm_cache_miss_delta}{}",
+        verdict_mismatches.len(),
+        client_stats.retries,
+        client_stats.reconnects,
+        if kill_worker {
+            format!(", worker killed and restarted {worker_restarts} time(s)")
+        } else {
+            String::new()
+        },
+    );
+    if !verdict_mismatches.is_empty() {
+        eprintln!("stqc: chaos-serve: answers diverged from the fault-free baseline");
+        return ExitCode::from(EXIT_UNSOUND);
+    }
+    if requests_resolved != count {
+        eprintln!("stqc: chaos-serve: not every request resolved to an attributed answer");
+        return ExitCode::from(EXIT_CRASH);
+    }
+    if warm_cache_miss_delta > 0 {
+        eprintln!("stqc: chaos-serve: the warm proof cache missed {warm_cache_miss_delta} time(s)");
+        return ExitCode::from(EXIT_CRASH);
+    }
+    if worker_restarts == 0 && injected == 0 {
+        eprintln!("stqc: chaos-serve: no faults were injected; the soak proved nothing");
+        return ExitCode::from(EXIT_CRASH);
+    }
+    if kill_worker && worker_restarts == 0 {
+        eprintln!("stqc: chaos-serve: the worker was never restarted");
+        return ExitCode::from(EXIT_CRASH);
+    }
+    if !clean_exit {
+        eprintln!("stqc: chaos-serve: the supervised daemon did not exit cleanly");
+        return ExitCode::from(EXIT_CRASH);
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(not(unix))]
+fn chaos_serve(_args: &[String]) -> ExitCode {
+    fail(usage_err("chaos-serve requires unix sockets"))
 }

@@ -1,0 +1,73 @@
+//! End-to-end runs of the chaos soak oracle (`stqc chaos-serve`,
+//! docs/robustness.md): a supervised daemon with wire faults armed must
+//! deliver exactly one attributed, baseline-identical answer per
+//! request, with the warm proof cache intact — even when the worker is
+//! SIGKILLed mid-campaign.
+
+use std::process::Command;
+use stq_util::json::Json;
+
+fn run_chaos(name: &str, extra: &[&str]) -> Json {
+    let out_path = std::env::temp_dir().join(format!(
+        "stqc-chaos-test-{name}-{}.json",
+        std::process::id()
+    ));
+    let out = Command::new(env!("CARGO_BIN_EXE_stqc"))
+        .arg("chaos-serve")
+        .args(extra)
+        .arg("--out")
+        .arg(&out_path)
+        .output()
+        .expect("stqc chaos-serve runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "chaos soak failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let report = std::fs::read_to_string(&out_path).expect("report written");
+    let _ = std::fs::remove_file(&out_path);
+    Json::parse(report.trim()).expect("report is json")
+}
+
+fn field(report: &Json, name: &str) -> u64 {
+    report
+        .get(name)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("report lacks `{name}`: {report}"))
+}
+
+#[test]
+fn seeded_soak_resolves_every_request_identically_to_baseline() {
+    let report = run_chaos("plain", &["--seed", "3", "--count", "24", "--clients", "3"]);
+    assert_eq!(field(&report, "count"), 24);
+    assert_eq!(field(&report, "requests_resolved"), 24);
+    assert_eq!(field(&report, "verdict_mismatches"), 0);
+    assert_eq!(field(&report, "warm_cache_miss_delta"), 0);
+    assert!(
+        report
+            .get("net_faults")
+            .and_then(|n| n.get("injected"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "a soak with no injected faults proves nothing: {report}"
+    );
+}
+
+#[test]
+fn soak_with_worker_sigkill_recovers_and_stays_warm() {
+    let report = run_chaos(
+        "kill",
+        &["--seed", "5", "--count", "30", "--clients", "3", "--kill-worker"],
+    );
+    assert_eq!(field(&report, "requests_resolved"), 30);
+    assert_eq!(field(&report, "verdict_mismatches"), 0);
+    assert_eq!(field(&report, "warm_cache_miss_delta"), 0);
+    assert_eq!(report.get("worker_killed").and_then(Json::as_bool), Some(true));
+    assert!(
+        field(&report, "worker_restarts") >= 1,
+        "the supervisor must have restarted the killed worker: {report}"
+    );
+}

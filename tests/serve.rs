@@ -172,6 +172,11 @@ impl Daemon {
     fn spawn(name: &str, extra: &[&str]) -> Daemon {
         let socket =
             std::env::temp_dir().join(format!("stqc-serve-{name}-{}.sock", std::process::id()));
+        Daemon::spawn_at(name, socket, extra)
+    }
+
+    /// Like [`Daemon::spawn`], but on a caller-chosen socket path.
+    fn spawn_at(_name: &str, socket: std::path::PathBuf, extra: &[&str]) -> Daemon {
         let _ = std::fs::remove_file(&socket);
         let child = Command::new(env!("CARGO_BIN_EXE_stqc"))
             .arg("serve")
@@ -288,6 +293,204 @@ fn socket_client_disconnect_cancels_its_pending_work() {
     }
     drop(observer);
     daemon.shutdown();
+}
+
+#[test]
+fn call_to_absent_daemon_exits_6_with_an_actionable_message() {
+    let socket = std::env::temp_dir().join(format!("stqc-no-daemon-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let out = Command::new(env!("CARGO_BIN_EXE_stqc"))
+        .args(["call", "--socket", socket.to_str().expect("utf8 path"), "stats"])
+        .output()
+        .expect("stqc call runs");
+    assert_eq!(
+        out.status.code(),
+        Some(6),
+        "an unreachable daemon is its own exit code: {out:?}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("is the daemon running"),
+        "the failure must tell the user what to do next: {stderr}"
+    );
+    assert!(
+        stderr.contains("stqc serve --socket"),
+        "the failure must show the start command: {stderr}"
+    );
+}
+
+#[test]
+fn call_connect_timeout_waits_out_a_slow_daemon_start() {
+    // The client dials before the daemon exists; --connect-timeout-ms
+    // keeps redialing until the late-bound socket appears.
+    let socket = std::env::temp_dir().join(format!("stqc-late-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let call = {
+        let socket = socket.clone();
+        std::thread::spawn(move || {
+            Command::new(env!("CARGO_BIN_EXE_stqc"))
+                .args([
+                    "call",
+                    "--socket",
+                    socket.to_str().expect("utf8 path"),
+                    "--connect-timeout-ms",
+                    "20000",
+                    "health",
+                ])
+                .output()
+                .expect("stqc call runs")
+        })
+    };
+    std::thread::sleep(Duration::from_millis(300));
+    let daemon = Daemon::spawn_at("late", socket, &[]);
+    let out = call.join().expect("call thread");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let response =
+        Json::parse(String::from_utf8_lossy(&out.stdout).trim()).expect("call prints the response");
+    assert_eq!(
+        response
+            .get("result")
+            .and_then(|r| r.get("status"))
+            .and_then(Json::as_str),
+        Some("ok")
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn max_queue_shedding_is_retryable_and_the_daemon_stays_responsive() {
+    // One worker, a one-slot queue: a burst of slow (cache-off) proves
+    // must shed with retryable `overloaded` errors instead of queueing
+    // without bound — and `stats`, answered inline on the reader
+    // thread, must keep working throughout.
+    let daemon = Daemon::spawn("shed", &["--jobs", "1", "--max-queue", "1"]);
+    let mut flood = daemon.connect();
+    for i in 0..6 {
+        flood.send(&format!(
+            "{{\"id\":{i},\"method\":\"prove\",\"params\":{{\"cache\":false}}}}"
+        ));
+    }
+    let mut shed = 0;
+    let mut served = 0;
+    for _ in 0..6 {
+        let r = flood.recv();
+        if r.get("ok").and_then(Json::as_bool) == Some(true) {
+            served += 1;
+        } else {
+            let error = r.get("error").expect("error object");
+            assert_eq!(
+                error.get("code").and_then(Json::as_str),
+                Some("overloaded"),
+                "shed requests draw the retryable overload code: {r}"
+            );
+            assert_eq!(
+                error.get("retryable").and_then(Json::as_bool),
+                Some(true),
+                "overload must be marked retryable: {r}"
+            );
+            shed += 1;
+        }
+    }
+    assert!(shed >= 1, "a one-slot queue must shed part of a 6-burst");
+    assert!(served >= 1, "accepted work must still complete");
+    // The daemon remains responsive to monitoring while loaded.
+    let mut observer = daemon.connect();
+    let stats = observer.roundtrip("{\"id\":900,\"method\":\"stats\"}");
+    assert_eq!(stats.get("ok").and_then(Json::as_bool), Some(true));
+    let result = stats.get("result").expect("stats result");
+    assert!(
+        result.get("shed").and_then(Json::as_u64).unwrap_or(0) >= shed,
+        "shed requests must be counted: {result}"
+    );
+    drop(flood);
+    drop(observer);
+    daemon.shutdown();
+}
+
+#[test]
+fn supervised_worker_survives_sigkill_with_its_warm_cache() {
+    // The acceptance drill from docs/robustness.md: SIGKILL the worker
+    // mid-service; the supervisor restarts it, and because every
+    // conclusive verdict was persisted eagerly, the successor's first
+    // prove over the same obligations misses the cache zero times.
+    let tag = format!("supervised-{}", std::process::id());
+    let scratch = std::env::temp_dir().join(&tag);
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    let socket = scratch.join("sock");
+    let pid_file = scratch.join("pid");
+    let cache_dir = scratch.join("cache");
+    let _ = std::fs::remove_file(&socket);
+    let mut supervisor = Command::new(env!("CARGO_BIN_EXE_stqc"))
+        .arg("serve")
+        .arg("--supervise")
+        .arg("--socket")
+        .arg(&socket)
+        .arg("--pid-file")
+        .arg(&pid_file)
+        .arg("--cache-dir")
+        .arg(&cache_dir)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("supervisor spawns");
+    let mut client = stq_core::Client::new(stq_core::ClientConfig {
+        socket: socket.clone(),
+        connect_timeout: Duration::from_secs(20),
+        call_deadline: Some(Duration::from_secs(120)),
+        max_retries: 32,
+        backoff_base: Duration::from_millis(5),
+        backoff_max: Duration::from_millis(100),
+        seed: 1,
+    });
+    // Warm the cache (and the on-disk journal) with a full prove.
+    let warm = client.call("prove", None, None).expect("warm prove");
+    assert_eq!(warm.doc.get("ok").and_then(Json::as_bool), Some(true), "{}", warm.raw);
+
+    // Assassinate the worker.
+    let old_pid = std::fs::read_to_string(&pid_file).expect("pid file written");
+    assert!(old_pid.trim().parse::<u32>().is_ok(), "pid file holds a pid: {old_pid}");
+    let killed = Command::new("kill")
+        .args(["-KILL", old_pid.trim()])
+        .status()
+        .expect("kill runs")
+        .success();
+    assert!(killed, "SIGKILL delivered to worker {old_pid}");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(now) = std::fs::read_to_string(&pid_file) {
+            if !now.trim().is_empty() && now.trim() != old_pid.trim() {
+                break;
+            }
+        }
+        assert!(Instant::now() < deadline, "supervisor never restarted the worker");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The successor must answer the same prove entirely from the
+    // reloaded journal: zero misses on a fresh miss counter.
+    let healed = client.call("prove", None, None).expect("post-restart prove");
+    assert_eq!(healed.doc.get("ok").and_then(Json::as_bool), Some(true), "{}", healed.raw);
+    let misses = healed
+        .doc
+        .get("result")
+        .and_then(|r| r.get("cache"))
+        .and_then(|c| c.get("misses"))
+        .and_then(Json::as_u64);
+    assert_eq!(
+        misses,
+        Some(0),
+        "the restarted worker lost its warm cache: {}",
+        healed.raw
+    );
+    assert!(client.stats().reconnects >= 1, "the kill must have been felt");
+
+    // A requested shutdown propagates through the supervisor as exit 0.
+    let bye = client.call("shutdown", None, None).expect("shutdown");
+    assert_eq!(bye.doc.get("ok").and_then(Json::as_bool), Some(true));
+    let code = supervisor.wait().expect("supervisor exits").code();
+    assert_eq!(code, Some(0), "requested shutdown propagates as success");
+    let _ = std::fs::remove_dir_all(&scratch);
 }
 
 #[test]

@@ -1,7 +1,10 @@
 //! The parallel + incremental soundness pipeline benchmark
-//! (`docs/performance.md`): sequential proving vs the work-stealing pool
-//! vs the warm fingerprinted proof cache, over the builtin qualifier
-//! library plus the shipped `examples/qualifiers/extra.q` corpus.
+//! (`docs/performance.md`): legacy sequential proving
+//! ([`SolverTuning::legacy`]: per-obligation theory preprocessing, no
+//! hash-consing — the seed prover's cold path) vs the optimized cold
+//! pipeline vs the warm fingerprinted proof cache, over the builtin
+//! qualifier library plus the shipped `examples/qualifiers/extra.q`
+//! corpus.
 //!
 //! Unlike the other benches this one emits a machine-readable
 //! `BENCH_soundness.json` at the repository root (override the path with
@@ -9,8 +12,9 @@
 //! hit/miss ledger of the cold and warm runs. The headline `parallel`
 //! figure is the pipeline's steady state — `jobs = 4` *with a warm
 //! on-disk cache*, exactly what a second `stqc prove --jobs 4
-//! --cache-dir` run does; `parallel_cold` isolates the pool alone, whose
-//! speedup is bounded by the machine's core count; and
+//! --cache-dir` run does; `parallel_cold` isolates the cache-less cold
+//! path (shared theory + hash-consed leaf checks + worker reuse + the
+//! pool), gated at ≥3x over the legacy baseline; and
 //! `parallel_warm_deadline` re-runs the warm mode with a (never-firing)
 //! per-obligation timeout and whole-run deadline armed, asserting that
 //! deadline enforcement costs <5% (`deadline_overhead` in the JSON).
@@ -20,8 +24,8 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 use stq_qualspec::Registry;
 use stq_soundness::{
-    check_all_parallel, check_all_pipeline, check_all_pipeline_cancellable, Budget, CancelToken,
-    ProofCache, RetryPolicy, SoundnessReport,
+    check_all_pipeline, check_all_pipeline_cancellable, check_all_pipeline_tuned, Budget,
+    CancelToken, ProofCache, RetryPolicy, SolverTuning, SoundnessReport,
 };
 
 const JOBS: usize = 4;
@@ -71,15 +75,21 @@ fn main() {
     let budget = Budget::default();
     let retry = RetryPolicy::attempts(2);
 
-    // Mode 1: sequential, no cache — the pre-pipeline baseline.
-    let (seq_runs, seq_elapsed, seq_report) =
-        measure(2, 50, || check_all_parallel(&registry, budget, retry, 1));
+    // Mode 1: sequential, no cache, legacy solver tuning — the
+    // pre-optimization cold baseline (per-obligation theory
+    // preprocessing, no hash-consed matching, no worker reuse).
+    let (seq_runs, seq_elapsed, seq_report) = measure(2, 50, || {
+        check_all_pipeline_tuned(&registry, budget, retry, 1, None, SolverTuning::legacy())
+    });
     assert!(seq_report.all_sound(), "{seq_report}");
     let obligations = seq_report.obligation_count();
 
-    // Mode 2: the pool alone (jobs = 4), still proving everything.
-    let (cold_runs, cold_elapsed, cold_report) =
-        measure(2, 50, || check_all_parallel(&registry, budget, retry, JOBS));
+    // Mode 2: the optimized cold path (jobs = 4, default tuning), still
+    // proving everything — shared prepared theory, hash-consed leaf
+    // template, per-worker solver reuse.
+    let (cold_runs, cold_elapsed, cold_report) = measure(2, 50, || {
+        check_all_pipeline_tuned(&registry, budget, retry, JOBS, None, SolverTuning::default())
+    });
     assert!(cold_report.all_sound(), "{cold_report}");
     assert_eq!(cold_report.obligation_count(), obligations);
 
@@ -149,6 +159,15 @@ fn main() {
     let cold_ops = obl_per_sec(obligations, cold_runs, cold_elapsed);
     let warm_ops = obl_per_sec(obligations, warm_runs, warm_elapsed);
     let timed_ops = obl_per_sec(obligations, timed_runs, timed_elapsed);
+    // Gated metric: the optimized cold path must beat the legacy
+    // sequential baseline by ≥3x even on a single-core box, because most
+    // of the win is work elimination (shared theory preprocessing +
+    // hash-consed leaf checks), not core count.
+    let cold_speedup = cold_ops / seq_ops.max(1e-9);
+    assert!(
+        cold_speedup >= 3.0,
+        "cold-path speedup {cold_speedup:.2}x is below the 3.0x floor"
+    );
     // Positive = the armed timeout/deadline run is slower.
     let deadline_overhead = warm_ops / timed_ops.max(1e-9) - 1.0;
     assert!(
@@ -202,7 +221,7 @@ fn main() {
         warm_report.totals.cache_hits,
         warm_report.totals.cache_misses,
         warm_ops / seq_ops.max(1e-9),
-        cold_ops / seq_ops.max(1e-9),
+        cold_speedup,
     );
     fs::write(&out, &json).expect("write BENCH_soundness.json");
     println!("  wrote {}", out.display());

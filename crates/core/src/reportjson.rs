@@ -76,7 +76,8 @@ pub fn prover_stats_json(s: &ProverStats) -> String {
          \"ematch_candidates\":{},\"decisions\":{},\"propagations\":{},\"conflicts\":{},\
          \"theory_checks\":{},\"merges\":{},\"fm_eliminations\":{},\"clauses\":{},\
          \"max_clauses\":{},\"cache_hits\":{},\"cache_misses\":{},\
-         \"cache_invalidations\":{},\"wall_ms\":{}}}",
+         \"cache_invalidations\":{},\"theory_preps\":{},\"theory_reuses\":{},\
+         \"interned_terms\":{},\"intern_hits\":{},\"wall_ms\":{}}}",
         s.rounds,
         s.instantiations,
         triggers.join(","),
@@ -92,6 +93,10 @@ pub fn prover_stats_json(s: &ProverStats) -> String {
         s.cache_hits,
         s.cache_misses,
         s.cache_invalidations,
+        s.theory_preps,
+        s.theory_reuses,
+        s.interned_terms,
+        s.intern_hits,
         json_ms(s.wall),
     )
 }

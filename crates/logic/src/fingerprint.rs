@@ -28,7 +28,7 @@ use stq_util::Symbol;
 /// the on-disk cache header: bump the `-r` suffix whenever a change to
 /// the solver, preprocessor, theories, or obligation encoding could
 /// alter any proof outcome, and every stale cached proof dies with it.
-pub const PROVER_VERSION: &str = concat!("stq-prover-", env!("CARGO_PKG_VERSION"), "-r1");
+pub const PROVER_VERSION: &str = concat!("stq-prover-", env!("CARGO_PKG_VERSION"), "-r2");
 
 /// A 128-bit stable structural hash of a proof obligation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -252,10 +252,18 @@ fn hash_budget(h: &mut StableHasher, budget: &Budget) {
     }
 }
 
-/// Canonically hashes one obligation: `axioms ∧ hyps ⊢ goal`, plus the
-/// base budget the first attempt runs under, the retry ladder, and
-/// [`PROVER_VERSION`]. Used by [`crate::solver::Problem::fingerprint`].
+/// Canonically hashes one obligation: `theory ∧ axioms ∧ hyps ⊢ goal`,
+/// plus the base budget the first attempt runs under, the retry ladder,
+/// and [`PROVER_VERSION`]. Used by
+/// [`crate::solver::Problem::fingerprint`].
+///
+/// Shared-theory axioms and per-problem axioms are hashed as *one*
+/// section-1 sequence (theory first, with a combined length prefix):
+/// moving axioms between an inline list and a shared
+/// [`crate::theory::Theory`] is a representation change, not a semantic
+/// one, and must not churn the proof cache.
 pub(crate) fn fingerprint_obligation(
+    theory: &[Formula],
     axioms: &[Formula],
     hyps: &[Formula],
     goal: Option<&Formula>,
@@ -265,13 +273,17 @@ pub(crate) fn fingerprint_obligation(
     let mut h = StableHasher::new();
     h.write_str(PROVER_VERSION);
     let mut binders = Vec::new();
-    for (section, formulas) in [(1u8, axioms), (2u8, hyps)] {
-        h.write_u8(TAG_SECTION);
-        h.write_u8(section);
-        h.write_u64(formulas.len() as u64);
-        for f in formulas {
-            hash_formula(&mut h, f, &mut binders);
-        }
+    h.write_u8(TAG_SECTION);
+    h.write_u8(1);
+    h.write_u64((theory.len() + axioms.len()) as u64);
+    for f in theory.iter().chain(axioms) {
+        hash_formula(&mut h, f, &mut binders);
+    }
+    h.write_u8(TAG_SECTION);
+    h.write_u8(2);
+    h.write_u64(hyps.len() as u64);
+    for f in hyps {
+        hash_formula(&mut h, f, &mut binders);
     }
     h.write_u8(TAG_SECTION);
     h.write_u8(3);

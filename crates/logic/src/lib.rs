@@ -60,6 +60,7 @@
 //! assert!(matches!(problem.prove(), Outcome::Proved { .. }));
 //! ```
 
+pub mod arena;
 pub mod arith;
 pub mod ematch;
 pub mod euf;
@@ -70,9 +71,11 @@ pub mod rat;
 pub mod solver;
 pub mod stats;
 pub mod term;
+pub mod theory;
 
 pub use fault::{FaultKind, FaultPlan, IoFaultKind, IoFaultPlan};
 pub use fingerprint::{Fingerprint, PROVER_VERSION};
-pub use solver::{Outcome, Problem};
+pub use solver::{Outcome, Problem, SolverTuning, SolverWorker};
 pub use stats::{Budget, BudgetOverride, ProverConfig, ProverStats, Resource, RetryPolicy};
 pub use term::{Formula, Sort, Term};
+pub use theory::Theory;

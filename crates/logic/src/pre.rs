@@ -71,14 +71,31 @@ pub struct QuantClosure {
 }
 
 /// Shared state for turning formulas into clauses.
-#[derive(Default, Debug)]
+///
+/// `Clone` supports the shared-theory fast path: a fully preprocessed
+/// background clausifier is cloned per worker instead of re-running NNF
+/// and clausification on every obligation.
+#[derive(Clone, Default, Debug)]
 pub struct Clausifier {
     atoms: Vec<Atom>,
     atom_ids: HashMap<Atom, usize>,
     /// Quantifier proxy table.
     pub quants: Vec<QuantClosure>,
-    quant_ids: HashMap<String, usize>,
+    quant_ids: HashMap<(Vec<(Symbol, Sort)>, Formula), usize>,
+    /// Per-quantifier proxy atom id (the `Atom::Quant(q)` atom), filled
+    /// in when the proxy is first clausified.
+    quant_atoms: Vec<Option<usize>>,
     skolem_counter: usize,
+}
+
+/// A watermark into a [`Clausifier`], capturing the shared-theory prefix
+/// so per-obligation additions can be rolled back with
+/// [`Clausifier::truncate_to`].
+#[derive(Clone, Copy, Debug)]
+pub struct ClausifierMark {
+    atoms: usize,
+    quants: usize,
+    skolems: usize,
 }
 
 impl Clausifier {
@@ -108,15 +125,52 @@ impl Clausifier {
     }
 
     fn intern_quant(&mut self, q: QuantClosure) -> usize {
-        // Key on the printed body+vars; formulas are small.
-        let key = format!("{:?}|{}", q.vars, q.body);
+        let key = (q.vars.clone(), q.body.clone());
         if let Some(&id) = self.quant_ids.get(&key) {
             return id;
         }
         let id = self.quants.len();
         self.quants.push(q);
+        self.quant_atoms.push(None);
         self.quant_ids.insert(key, id);
         id
+    }
+
+    /// The proxy atom id for quantifier `q`, if it has been clausified.
+    pub(crate) fn quant_atom(&self, q: usize) -> Option<usize> {
+        self.quant_atoms[q]
+    }
+
+    /// Captures the current table sizes so later additions can be undone.
+    pub fn mark(&self) -> ClausifierMark {
+        ClausifierMark {
+            atoms: self.atoms.len(),
+            quants: self.quants.len(),
+            skolems: self.skolem_counter,
+        }
+    }
+
+    /// Rolls the tables back to a previously captured [`mark`](Self::mark),
+    /// dropping every atom, quantifier, and skolem allocated since. The
+    /// scoped reset that returns a reused worker to its shared-theory
+    /// watermark between obligations.
+    pub fn truncate_to(&mut self, mark: &ClausifierMark) {
+        for a in self.atoms.drain(mark.atoms..) {
+            self.atom_ids.remove(&a);
+        }
+        for q in self.quants.drain(mark.quants..) {
+            self.quant_ids.remove(&(q.vars, q.body));
+        }
+        self.quant_atoms.truncate(mark.quants);
+        // Surviving proxies may point at dropped atoms if the proxy atom
+        // was first clausified after the mark; forget those so they are
+        // re-interned on the next clausification.
+        for slot in &mut self.quant_atoms {
+            if slot.is_some_and(|a| a >= mark.atoms) {
+                *slot = None;
+            }
+        }
+        self.skolem_counter = mark.skolems;
     }
 
     fn fresh_skolem(&mut self, univ: &[(Symbol, Sort)]) -> Term {
@@ -221,6 +275,7 @@ impl Clausifier {
                     body: (**body).clone(),
                 });
                 let atom = self.intern_atom(Atom::Quant(q));
+                self.quant_atoms[q] = Some(atom);
                 vec![vec![Lit { atom, pos: true }]]
             }
             Formula::Exists(..) => {
@@ -486,6 +541,72 @@ mod tests {
         let c2 = cl.assert_formula(&make());
         assert_eq!(c1[0][0].atom, c2[0][0].atom);
         assert_eq!(cl.quants.len(), 1);
+    }
+
+    #[test]
+    fn truncate_to_rolls_back_atoms_quants_and_skolems() {
+        let mut cl = Clausifier::new();
+        let shared = Formula::forall(
+            vec![(xsym(), Sort::Int)],
+            vec![vec![Term::app("f", vec![x()])]],
+            Formula::pred("p", vec![x()]),
+        );
+        let c1 = cl.assert_formula(&shared);
+        let mark = cl.mark();
+
+        // Per-obligation additions: a fresh atom, a fresh quantifier, and
+        // a skolem from a negated forall.
+        cl.assert_formula(&Term::cnst("a").eq(&Term::cnst("b")));
+        cl.assert_formula(&Formula::forall(
+            vec![(xsym(), Sort::Int)],
+            vec![],
+            Formula::pred("q", vec![Term::app("g", vec![x()])]),
+        ));
+        let skolemized = cl.assert_formula(
+            &Formula::forall(vec![(xsym(), Sort::Int)], vec![], x().gt0()).negate(),
+        );
+        assert!(!skolemized.is_empty());
+
+        cl.truncate_to(&mark);
+        assert_eq!(cl.atoms().len(), 1);
+        assert_eq!(cl.quants.len(), 1);
+
+        // The shared prefix still dedups: re-asserting yields the same
+        // atom, and a re-run of the per-obligation work re-interns into
+        // the same slots (skolem counter rolled back too).
+        let c1b = cl.assert_formula(&shared);
+        assert_eq!(c1[0][0].atom, c1b[0][0].atom);
+        let sk1 = format!("{:?}", cl.assert_formula(
+            &Formula::forall(vec![(xsym(), Sort::Int)], vec![], x().gt0()).negate(),
+        ));
+        cl.truncate_to(&mark);
+        let sk2 = format!("{:?}", cl.assert_formula(
+            &Formula::forall(vec![(xsym(), Sort::Int)], vec![], x().gt0()).negate(),
+        ));
+        assert_eq!(sk1, sk2, "skolem names replay identically after reset");
+    }
+
+    #[test]
+    fn quant_atom_is_recorded_and_forgotten_on_truncate() {
+        let mut cl = Clausifier::new();
+        let f = Formula::forall(
+            vec![(xsym(), Sort::Int)],
+            vec![vec![Term::app("f", vec![x()])]],
+            Formula::pred("p", vec![x()]),
+        );
+        let clauses = cl.assert_formula(&f);
+        assert_eq!(cl.quant_atom(0), Some(clauses[0][0].atom));
+
+        let mark = cl.mark();
+        cl.assert_formula(&Formula::forall(
+            vec![(xsym(), Sort::Int)],
+            vec![],
+            Formula::pred("q", vec![Term::app("g", vec![x()])]),
+        ));
+        assert!(cl.quant_atom(1).is_some());
+        cl.truncate_to(&mark);
+        assert_eq!(cl.quants.len(), 1);
+        assert_eq!(cl.quant_atom(0), Some(clauses[0][0].atom));
     }
 
     #[test]

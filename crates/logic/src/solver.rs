@@ -13,19 +13,44 @@
 //! Every attempt runs under a [`Budget`] and reports [`ProverStats`]
 //! telemetry (see [`crate::stats`]); an attempt that hits a limit
 //! terminates with [`Outcome::ResourceOut`] instead of diverging.
+//!
+//! # Cold-path performance
+//!
+//! Three mechanisms make cold (cache-miss) proving cheap, all of them
+//! observable in [`ProverStats`] and individually disengageable through
+//! [`SolverTuning`] for ablation:
+//!
+//! * **Shared axiomatization** ([`crate::theory`]): a [`Theory`] attached
+//!   via [`Problem::set_theory`] is clausified once; each attempt starts
+//!   from the prepared core instead of re-running the front end on every
+//!   background axiom (`theory_reuses` vs `theory_preps`).
+//! * **Hash-consed terms** ([`crate::arena`]): ground atom sides are
+//!   interned into a per-attempt arena, so the EUF leaf checks and
+//!   E-matching rounds intern by id lookup instead of recursive tree
+//!   walks (`interned_terms` / `intern_hits`).
+//! * **Per-worker solver reuse** ([`SolverWorker`]): a worker keeps one
+//!   theory-loaded core alive across obligations, rolling it back to the
+//!   shared-theory watermark between attempts instead of rebuilding it.
+//!
+//! Tuning never changes verdicts: the optimized and legacy paths follow
+//! the same decision, instantiation, and theory-check sequence, which the
+//! cross-tuning determinism tests pin down counter-for-counter.
 
+use crate::arena::{Head, TermArena, TermId};
 use crate::arith::{entails_eq0_counted, feasible_counted, Constraint, LinExpr};
-use crate::ematch::match_trigger_counted;
-use crate::euf::Egraph;
+use crate::ematch::{match_trigger_counted, Binding};
+use crate::euf::{self, Egraph};
 use crate::fault::{self, FaultKind};
 use crate::pre::{Atom, Clause, Clausifier, Lit};
 use crate::rat::Rat;
 use crate::stats::{Budget, ProverStats, Resource};
 use crate::term::{Formula, Term};
+use crate::theory::{ground_free_vars, CachedAtom, SolveCore, Theory};
 use std::any::Any;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
-use stq_util::CancelToken;
+use stq_util::{CancelToken, Symbol};
 
 pub use crate::stats::{ProverConfig, Stats};
 
@@ -133,6 +158,41 @@ impl Outcome {
     }
 }
 
+/// Performance tuning knobs for the solver's cold path. Both default to
+/// **on**; the ablation bench flips them off to measure each mechanism's
+/// contribution. Tuning is deliberately excluded from obligation
+/// fingerprints: it must never change a verdict, only the work profile.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SolverTuning {
+    /// Start attempts from the prepared [`Theory`] core instead of
+    /// re-clausifying the background axioms per attempt.
+    pub share_theory: bool,
+    /// Hash-cons ground terms in a per-attempt arena and run the EUF /
+    /// E-matching hot loops over interned ids. Off, every search leaf
+    /// re-interns `Box`ed term trees the way the seed prover did.
+    pub hash_cons: bool,
+}
+
+impl Default for SolverTuning {
+    fn default() -> SolverTuning {
+        SolverTuning {
+            share_theory: true,
+            hash_cons: true,
+        }
+    }
+}
+
+impl SolverTuning {
+    /// Every optimization disengaged — the seed prover's work profile,
+    /// kept alive as the ablation baseline.
+    pub fn legacy() -> SolverTuning {
+        SolverTuning {
+            share_theory: false,
+            hash_cons: false,
+        }
+    }
+}
+
 /// A proof obligation: background axioms, hypotheses, and a goal.
 ///
 /// See the crate-level documentation for a complete example.
@@ -141,8 +201,13 @@ pub struct Problem {
     axioms: Vec<Formula>,
     hyps: Vec<Formula>,
     goal: Option<Formula>,
+    /// Shared preprocessed background axiomatization, logically
+    /// equivalent to listing its axioms first via [`Problem::axiom`].
+    theory: Option<Arc<Theory>>,
     /// Resource limits; adjust before calling [`Problem::prove`].
     pub config: Budget,
+    /// Cold-path performance knobs; see [`SolverTuning`].
+    pub tuning: SolverTuning,
     /// Cooperative cancellation handle, polled at round starts, every
     /// [`DEADLINE_CHECK_INTERVAL`] DPLL decisions, and between
     /// E-matching quantifiers. An external [`CancelToken::cancel`]
@@ -157,13 +222,7 @@ pub struct Problem {
 impl Problem {
     /// Creates an empty problem with default limits.
     pub fn new() -> Problem {
-        Problem {
-            axioms: Vec::new(),
-            hyps: Vec::new(),
-            goal: None,
-            config: Budget::default(),
-            cancel: CancelToken::default(),
-        }
+        Problem::default()
     }
 
     /// Sets the resource budget (chainable alternative to assigning
@@ -192,14 +251,34 @@ impl Problem {
         self
     }
 
+    /// Attaches a shared preprocessed background theory. Its axioms are
+    /// asserted before this problem's own [`Problem::axiom`]s, and (with
+    /// [`SolverTuning::share_theory`] on) the expensive clausification
+    /// front end for them is skipped by starting from the theory's
+    /// prepared core. The theory's axioms are part of the obligation
+    /// fingerprint exactly as inline axioms would be.
+    pub fn set_theory(&mut self, theory: Arc<Theory>) -> &mut Problem {
+        self.theory = Some(theory);
+        self
+    }
+
+    /// The attached shared theory, if any.
+    pub fn theory(&self) -> Option<&Arc<Theory>> {
+        self.theory.as_ref()
+    }
+
     /// The obligation's stable structural fingerprint under this
     /// problem's base budget ([`Problem::config`]) and the given retry
     /// ladder — the proof-cache key. Symbol-independent (hashes symbol
     /// strings with de-Bruijn-indexed binders, never interner ids) and
     /// versioned by [`crate::fingerprint::PROVER_VERSION`]; see
-    /// [`crate::fingerprint`].
+    /// [`crate::fingerprint`]. Theory axioms hash exactly as inline
+    /// axioms do, so moving axioms into a shared [`Theory`] preserves
+    /// the key; [`SolverTuning`] is excluded because it cannot change
+    /// outcomes.
     pub fn fingerprint(&self, retry: crate::stats::RetryPolicy) -> crate::fingerprint::Fingerprint {
         crate::fingerprint::fingerprint_obligation(
+            self.theory.as_ref().map_or(&[][..], |t| t.axioms()),
             &self.axioms,
             &self.hyps,
             self.goal.as_ref(),
@@ -222,6 +301,28 @@ impl Problem {
     /// Use [`Problem::prove_isolated`] to contain panics as
     /// [`Outcome::Crashed`].
     pub fn prove(&self) -> Outcome {
+        self.timed_attempt(|deadline, theory_fault| self.solve_once(None, deadline, theory_fault))
+    }
+
+    /// As [`Problem::prove`], but contains any panic the attempt raises
+    /// — from a prover bug, a library-misuse invariant, or an injected
+    /// fault — and degrades it to [`Outcome::Crashed`] carrying the
+    /// panic message. This is the entry point batch drivers should use:
+    /// one crashing obligation must not take down its neighbours.
+    pub fn prove_isolated(&self) -> Outcome {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.prove())) {
+            Ok(outcome) => outcome,
+            Err(payload) => Outcome::Crashed {
+                message: panic_message(payload.as_ref()),
+                stats: ProverStats::default(),
+            },
+        }
+    }
+
+    /// The per-attempt preamble every entry point shares: wall-clock
+    /// stamping, effective-deadline computation, fault-plan entry
+    /// accounting, and the pre-work cancellation check.
+    fn timed_attempt(&self, body: impl FnOnce(Option<Instant>, Option<u64>) -> Outcome) -> Outcome {
         let start = Instant::now();
         // Effective deadline: the earlier of the per-attempt budget
         // timeout and the run-wide token deadline. Both report
@@ -246,247 +347,412 @@ impl Problem {
             Some(FaultKind::TheoryError) => Some(entry),
             None => None,
         };
-        let mut outcome = self.prove_inner(deadline, theory_fault);
-        outcome.stats_mut().wall = start.elapsed();
-        outcome
-    }
-
-    /// As [`Problem::prove`], but contains any panic the attempt raises
-    /// — from a prover bug, a library-misuse invariant, or an injected
-    /// fault — and degrades it to [`Outcome::Crashed`] carrying the
-    /// panic message. This is the entry point batch drivers should use:
-    /// one crashing obligation must not take down its neighbours.
-    pub fn prove_isolated(&self) -> Outcome {
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.prove())) {
-            Ok(outcome) => outcome,
-            Err(payload) => Outcome::Crashed {
-                message: panic_message(payload.as_ref()),
-                stats: ProverStats::default(),
-            },
-        }
-    }
-
-    fn prove_inner(&self, deadline: Option<Instant>, theory_fault: Option<u64>) -> Outcome {
         // A cancel observed before any work still reports as this
         // attempt's outcome: batch drivers treat it like any other
         // inconclusive result and never cache it.
         if self.cancel.is_cancelled() {
             return Outcome::ResourceOut {
                 resource: Resource::Cancelled,
-                stats: ProverStats::default(),
+                stats: ProverStats {
+                    wall: start.elapsed(),
+                    ..ProverStats::default()
+                },
             };
         }
+        let mut outcome = body(deadline, theory_fault);
+        outcome.stats_mut().wall = start.elapsed();
+        outcome
+    }
+
+    /// One proof attempt over either a caller-provided reusable core
+    /// (reset to its theory watermark first) or a core built here —
+    /// cloned from the prepared theory when sharing is on, rebuilt from
+    /// scratch otherwise.
+    fn solve_once(
+        &self,
+        reuse: Option<&mut SolveCore>,
+        deadline: Option<Instant>,
+        theory_fault: Option<u64>,
+    ) -> Outcome {
+        if let Some(core) = reuse {
+            // Reset up front rather than on completion: a panicking
+            // attempt leaves the core dirty, and the rollback here heals
+            // it before the next obligation runs.
+            core.reset();
+            let mut outcome = self.prove_with_core(core, deadline, theory_fault);
+            outcome.stats_mut().theory_reuses = 1;
+            return outcome;
+        }
+        if self.tuning.share_theory {
+            if let Some(theory) = &self.theory {
+                let mut core = theory.prepared_core();
+                let mut outcome = self.prove_with_core(&mut core, deadline, theory_fault);
+                outcome.stats_mut().theory_reuses = 1;
+                return outcome;
+            }
+        }
+        let mut core = self.fresh_core();
+        let mut outcome = self.prove_with_core(&mut core, deadline, theory_fault);
+        outcome.stats_mut().theory_preps = 1;
+        outcome
+    }
+
+    /// Builds a core from scratch, re-asserting the theory axioms (the
+    /// legacy per-attempt preprocessing path).
+    fn fresh_core(&self) -> SolveCore {
+        let mut core = SolveCore::empty();
+        if let Some(theory) = &self.theory {
+            for ax in theory.axioms() {
+                core.assert_formula(&ground_free_vars(ax));
+            }
+        }
+        core
+    }
+
+    fn prove_with_core(
+        &self,
+        core: &mut SolveCore,
+        deadline: Option<Instant>,
+        theory_fault: Option<u64>,
+    ) -> Outcome {
         let goal = self.goal.clone().expect("no goal set on problem");
         // Free variables act as uninterpreted constants (proving a goal
         // with free variables proves it for arbitrary values).
         let goal = ground_free_vars(&goal);
-        let mut cl = Clausifier::new();
-        let mut clauses: Vec<Clause> = Vec::new();
-        let mut seen: HashSet<Vec<Lit>> = HashSet::new();
 
-        let add_clauses =
-            |cs: Vec<Clause>, clauses: &mut Vec<Clause>, seen: &mut HashSet<Vec<Lit>>| -> usize {
-                let mut added = 0;
-                for c in cs {
-                    let mut key = c.clone();
-                    key.sort_by_key(|l| (l.atom, l.pos));
-                    key.dedup();
-                    // A clause containing both polarities of an atom is a
-                    // tautology; drop it.
-                    let tautology = key
-                        .windows(2)
-                        .any(|w| w[0].atom == w[1].atom && w[0].pos != w[1].pos);
-                    if tautology {
-                        continue;
-                    }
-                    if seen.insert(key.clone()) {
-                        clauses.push(key);
-                        added += 1;
-                    }
-                }
-                added
-            };
+        // Arena counters are monotone; the deltas over this attempt are
+        // its interning telemetry.
+        let arena_created0 = core.arena.created();
+        let arena_hits0 = core.arena.hits();
 
         for ax in &self.axioms {
-            let cs = cl.assert_formula(&ground_free_vars(ax));
-            add_clauses(cs, &mut clauses, &mut seen);
+            core.assert_formula(&ground_free_vars(ax));
         }
         for h in &self.hyps {
-            let cs = cl.assert_formula(&ground_free_vars(h));
-            add_clauses(cs, &mut clauses, &mut seen);
+            core.assert_formula(&ground_free_vars(h));
         }
-        let negated = goal.negate();
-        let cs = cl.assert_formula(&negated);
-        add_clauses(cs, &mut clauses, &mut seen);
+        core.assert_formula(&goal.negate());
 
         let mut stats = ProverStats::default();
-        let mut instantiated: HashSet<String> = HashSet::new();
+        // Instantiation dedup keys on hash-consed ids: atom tables only
+        // grow within an attempt, so ids are stable across rounds.
+        let mut instantiated: HashSet<(usize, Binding)> = HashSet::new();
+        // Trigger display names, rendered once per (quantifier, trigger)
+        // instead of once per instantiation.
+        let mut trigger_names: HashMap<(usize, usize), String> = HashMap::new();
+        // Legacy-mode interning telemetry, summed from the short-lived
+        // per-leaf and per-round arenas.
+        let mut legacy_interned: u64 = 0;
+        let mut legacy_hits: u64 = 0;
+        // Hash-consing mode shares one leaf template across rounds: the
+        // atom table only grows, so each round extends the template with
+        // the new atoms instead of rebuilding it from scratch.
+        let mut leaf_ctx: Option<LeafCtx> = None;
+        // ... and the same for the per-round E-matching e-graph: one
+        // persistent graph, extended as atoms arrive, with the model's
+        // equality merges rolled back after each round's matching.
+        let mut ematch_ctx: Option<EmatchCtx> = None;
 
-        for round in 0..self.config.max_rounds {
-            if self.cancel.is_cancelled() {
-                return Outcome::ResourceOut {
-                    resource: Resource::Cancelled,
-                    stats,
-                };
-            }
-            if deadline.is_some_and(|d| Instant::now() >= d) {
-                return Outcome::ResourceOut {
-                    resource: Resource::Time,
-                    stats,
-                };
-            }
-            stats.rounds = round + 1;
-            stats.clauses = clauses.len();
-            stats.max_clauses = stats.max_clauses.max(clauses.len());
-            let mut search = Search {
-                cl: &cl,
-                clauses: &clauses,
-                decisions: 0,
-                propagations: 0,
-                conflicts: 0,
-                theory_checks: 0,
-                merges: 0,
-                fm_eliminations: 0,
-                // The decision budget spans the whole attempt, not one round.
-                max_decisions: self.config.max_decisions.saturating_sub(stats.decisions),
-                deadline,
-                cancel: &self.cancel,
-                exhausted: false,
-                timed_out: false,
-                cancelled: false,
-                theory_fault,
-            };
-            let natoms = cl.atoms().len();
-            let mut assign = vec![None; natoms];
-            let result = search.dpll(&mut assign);
-            stats.decisions += search.decisions;
-            stats.propagations += search.propagations;
-            stats.conflicts += search.conflicts;
-            stats.theory_checks += search.theory_checks;
-            stats.merges += search.merges;
-            stats.fm_eliminations += search.fm_eliminations;
-            if search.exhausted {
-                return Outcome::ResourceOut {
-                    resource: if search.cancelled {
-                        Resource::Cancelled
-                    } else if search.timed_out {
-                        Resource::Time
-                    } else {
-                        Resource::Decisions
-                    },
-                    stats,
-                };
-            }
-            let Some(model) = result else {
-                return Outcome::Proved { stats };
-            };
-
-            // Instantiate quantifiers asserted true in the model.
-            let mut eg = Egraph::new();
-            intern_all_atoms(&cl, &mut eg);
-            assert_model_equalities(&cl, &model, &mut eg);
-            stats.merges += eg.merges();
-
-            let active: Vec<usize> = model
-                .iter()
-                .enumerate()
-                .filter_map(|(i, v)| match (cl.atom(i), v) {
-                    (Atom::Quant(q), Some(true)) => Some(*q),
-                    _ => None,
-                })
-                .collect();
-
-            let mut new_clauses: Vec<Clause> = Vec::new();
-            let mut fresh = Vec::new();
-            let mut instantiation_cap_hit = false;
-            for q in active {
-                // E-matching safepoint: one poll per active quantifier
-                // bounds the time between polls by one trigger sweep.
+        let mut outcome = 'solve: {
+            for round in 0..self.config.max_rounds {
                 if self.cancel.is_cancelled() {
-                    return Outcome::ResourceOut {
+                    break 'solve Outcome::ResourceOut {
                         resource: Resource::Cancelled,
                         stats,
                     };
                 }
                 if deadline.is_some_and(|d| Instant::now() >= d) {
-                    return Outcome::ResourceOut {
+                    break 'solve Outcome::ResourceOut {
                         resource: Resource::Time,
                         stats,
                     };
                 }
-                let closure = cl.quants[q].clone();
-                let proxy_atom = find_quant_atom(&cl, q);
-                for trigger in &closure.triggers {
-                    let (bindings, candidates) = match_trigger_counted(&eg, trigger);
-                    stats.ematch_candidates += candidates;
-                    for binding in bindings {
-                        if stats.instantiations >= self.config.max_instantiations {
-                            instantiation_cap_hit = true;
-                            break;
-                        }
-                        // The trigger must bind every quantified variable.
-                        if !closure
-                            .vars
-                            .iter()
-                            .all(|(v, _)| binding.iter().any(|(x, _)| x == v))
-                        {
-                            continue;
-                        }
-                        let key = format!("{q}|{binding:?}");
-                        if !instantiated.insert(key) {
-                            continue;
-                        }
-                        stats.instantiations += 1;
-                        *stats
-                            .instantiations_by_trigger
-                            .entry(render_trigger(trigger))
-                            .or_insert(0) += 1;
-                        let inst = closure.body.subst(&binding);
-                        let mut inst_clauses = cl.clausify(&inst);
-                        // Guard each clause with the proxy: ¬Q ∨ instance.
-                        if let Some(p) = proxy_atom {
-                            for c in &mut inst_clauses {
-                                c.push(Lit {
-                                    atom: p,
-                                    pos: false,
-                                });
-                            }
-                        }
-                        fresh.extend(inst_clauses);
-                    }
+                stats.rounds = round + 1;
+                stats.clauses = core.clauses.len();
+                stats.max_clauses = stats.max_clauses.max(core.clauses.len());
+                if self.tuning.hash_cons {
+                    core.extend_atom_tids();
                 }
-            }
-            let added = add_clauses(fresh, &mut new_clauses, &mut seen);
-            clauses.extend(new_clauses);
-            stats.clauses = clauses.len();
-            stats.max_clauses = stats.max_clauses.max(clauses.len());
-            if clauses.len() > self.config.max_clauses {
-                return Outcome::ResourceOut {
-                    resource: Resource::Clauses,
-                    stats,
+                let cached = self.tuning.hash_cons.then(|| CachedView {
+                    arena: &core.arena,
+                    atom_tids: &core.atom_tids,
+                    tid_zero: core.tid_zero,
+                    tid_one: core.tid_one,
+                });
+                if let Some(view) = cached {
+                    leaf_ctx.get_or_insert_with(LeafCtx::empty).extend(view);
+                }
+                let mut search = Search {
+                    cl: &core.cl,
+                    clauses: &core.clauses,
+                    cached,
+                    leaf: leaf_ctx.take(),
+                    decisions: 0,
+                    propagations: 0,
+                    conflicts: 0,
+                    theory_checks: 0,
+                    merges: 0,
+                    fm_eliminations: 0,
+                    interned_terms: 0,
+                    intern_hits: 0,
+                    // The decision budget spans the whole attempt, not one round.
+                    max_decisions: self.config.max_decisions.saturating_sub(stats.decisions),
+                    deadline,
+                    cancel: &self.cancel,
+                    exhausted: false,
+                    timed_out: false,
+                    cancelled: false,
+                    theory_fault,
                 };
-            }
-            if added == 0 {
-                if instantiation_cap_hit {
-                    // The cap stopped instantiation before saturation; the
-                    // surviving model is not evidence of anything.
-                    return Outcome::ResourceOut {
-                        resource: Resource::Instantiations,
+                let natoms = core.cl.atoms().len();
+                let mut assign = vec![None; natoms];
+                let result = search.dpll(&mut assign);
+                stats.decisions += search.decisions;
+                stats.propagations += search.propagations;
+                stats.conflicts += search.conflicts;
+                stats.theory_checks += search.theory_checks;
+                stats.merges += search.merges;
+                stats.fm_eliminations += search.fm_eliminations;
+                legacy_interned += search.interned_terms;
+                legacy_hits += search.intern_hits;
+                leaf_ctx = search.leaf.take();
+                if search.exhausted {
+                    break 'solve Outcome::ResourceOut {
+                        resource: if search.cancelled {
+                            Resource::Cancelled
+                        } else if search.timed_out {
+                            Resource::Time
+                        } else {
+                            Resource::Decisions
+                        },
                         stats,
                     };
                 }
-                // True saturation: no instantiation produces anything new,
-                // and a theory-consistent assignment survives.
-                return Outcome::Refuted {
-                    model: render_model(&cl, &model),
-                    stats,
+                let Some(model) = result else {
+                    break 'solve Outcome::Proved { stats };
                 };
-            }
-        }
 
-        Outcome::ResourceOut {
-            resource: Resource::Rounds,
-            stats,
+                // Instantiate quantifiers asserted true in the model.
+                // The round e-graph holds every ground atom side; in
+                // hash-consing mode one persistent graph is extended with
+                // the atoms each round adds and the model's equalities
+                // are rolled back after matching, otherwise a throwaway
+                // round arena is rebuilt exactly as the seed prover did.
+                let mut round_arena = TermArena::new();
+                let mut legacy_eg = Egraph::new();
+                let merges_before;
+                let (eg, ematch_arena): (&mut Egraph, &TermArena) = if self.tuning.hash_cons {
+                    let ctx = ematch_ctx.get_or_insert_with(EmatchCtx::empty);
+                    for ca in &core.atom_tids[ctx.next_atom..] {
+                        if let Some(id) = ca.fst {
+                            ctx.eg.intern_id(&core.arena, id);
+                        }
+                        if let Some(id) = ca.snd {
+                            ctx.eg.intern_id(&core.arena, id);
+                        }
+                    }
+                    ctx.next_atom = core.atom_tids.len();
+                    merges_before = ctx.eg.merges();
+                    ctx.rewind = Some(ctx.eg.checkpoint());
+                    for (i, v) in model.iter().enumerate() {
+                        if *v == Some(true) {
+                            if let Atom::Eq(..) = core.cl.atom(i) {
+                                let ca = core.atom_tids[i];
+                                if let (Some(a), Some(b)) = (ca.fst, ca.snd) {
+                                    let ra = ctx.eg.intern_id(&core.arena, a);
+                                    let rb = ctx.eg.intern_id(&core.arena, b);
+                                    // The model passed the theory check, so
+                                    // this merge cannot conflict; ignore the
+                                    // result defensively.
+                                    let _ = ctx.eg.merge(ra, rb);
+                                }
+                            }
+                        }
+                    }
+                    (&mut ctx.eg, &core.arena)
+                } else {
+                    intern_all_atoms(&core.cl, &mut round_arena, &mut legacy_eg);
+                    assert_model_equalities(&core.cl, &model, &mut round_arena, &mut legacy_eg);
+                    merges_before = 0;
+                    (&mut legacy_eg, &round_arena)
+                };
+                stats.merges += eg.merges() - merges_before;
+
+                let active: Vec<usize> = model
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, v)| match (core.cl.atom(i), v) {
+                        (Atom::Quant(q), Some(true)) => Some(*q),
+                        _ => None,
+                    })
+                    .collect();
+
+                let mut fresh = Vec::new();
+                let mut instantiation_cap_hit = false;
+                for q in active {
+                    // E-matching safepoint: one poll per active quantifier
+                    // bounds the time between polls by one trigger sweep.
+                    if self.cancel.is_cancelled() {
+                        break 'solve Outcome::ResourceOut {
+                            resource: Resource::Cancelled,
+                            stats,
+                        };
+                    }
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        break 'solve Outcome::ResourceOut {
+                            resource: Resource::Time,
+                            stats,
+                        };
+                    }
+                    let closure = core.cl.quants[q].clone();
+                    let proxy_atom = core.cl.quant_atom(q);
+                    for (ti, trigger) in closure.triggers.iter().enumerate() {
+                        let (bindings, candidates) = match_trigger_counted(eg, trigger);
+                        stats.ematch_candidates += candidates;
+                        for binding in bindings {
+                            if stats.instantiations >= self.config.max_instantiations {
+                                instantiation_cap_hit = true;
+                                break;
+                            }
+                            // The trigger must bind every quantified variable.
+                            if !closure
+                                .vars
+                                .iter()
+                                .all(|(v, _)| binding.iter().any(|(x, _)| x == v))
+                            {
+                                continue;
+                            }
+                            if !instantiated.insert((q, binding.clone())) {
+                                continue;
+                            }
+                            stats.instantiations += 1;
+                            let name = trigger_names
+                                .entry((q, ti))
+                                .or_insert_with(|| render_trigger(trigger))
+                                .clone();
+                            *stats.instantiations_by_trigger.entry(name).or_insert(0) += 1;
+                            let subst: Vec<(Symbol, Term)> = binding
+                                .iter()
+                                .map(|&(x, id)| (x, ematch_arena.term(id).clone()))
+                                .collect();
+                            let inst = closure.body.subst(&subst);
+                            let mut inst_clauses = core.cl.clausify(&inst);
+                            // Guard each clause with the proxy: ¬Q ∨ instance.
+                            if let Some(p) = proxy_atom {
+                                for c in &mut inst_clauses {
+                                    c.push(Lit {
+                                        atom: p,
+                                        pos: false,
+                                    });
+                                }
+                            }
+                            fresh.extend(inst_clauses);
+                        }
+                    }
+                }
+                if let Some(ctx) = ematch_ctx.as_mut() {
+                    if let Some(cp) = ctx.rewind.take() {
+                        ctx.eg.rollback(cp);
+                    }
+                }
+                if !self.tuning.hash_cons {
+                    legacy_interned += round_arena.created();
+                    legacy_hits += round_arena.hits();
+                }
+                let added = core.add_clauses(fresh);
+                stats.clauses = core.clauses.len();
+                stats.max_clauses = stats.max_clauses.max(core.clauses.len());
+                if core.clauses.len() > self.config.max_clauses {
+                    break 'solve Outcome::ResourceOut {
+                        resource: Resource::Clauses,
+                        stats,
+                    };
+                }
+                if added == 0 {
+                    if instantiation_cap_hit {
+                        // The cap stopped instantiation before saturation; the
+                        // surviving model is not evidence of anything.
+                        break 'solve Outcome::ResourceOut {
+                            resource: Resource::Instantiations,
+                            stats,
+                        };
+                    }
+                    // True saturation: no instantiation produces anything new,
+                    // and a theory-consistent assignment survives.
+                    break 'solve Outcome::Refuted {
+                        model: render_model(&core.cl, &model),
+                        stats,
+                    };
+                }
+            }
+
+            Outcome::ResourceOut {
+                resource: Resource::Rounds,
+                stats,
+            }
+        };
+
+        // Interning telemetry, stamped once at the single exit: arena
+        // deltas when hash-consing, per-leaf/per-round sums otherwise.
+        let s = outcome.stats_mut();
+        if self.tuning.hash_cons {
+            s.interned_terms = core.arena.created() - arena_created0;
+            s.intern_hits = core.arena.hits() - arena_hits0;
+        } else {
+            s.interned_terms = legacy_interned;
+            s.intern_hits = legacy_hits;
+        }
+        outcome
+    }
+}
+
+/// A worker that keeps one theory-loaded solving core alive across many
+/// proving attempts — the per-worker solver-reuse mechanism of the
+/// parallel checking pipeline.
+///
+/// Between obligations the core is rolled back to its shared-theory
+/// watermark (a push/pop-style scoped reset) instead of being rebuilt,
+/// so the background axioms are clausified exactly once per worker
+/// lifetime. The rollback runs at the *start* of each attempt, which
+/// also heals a core left dirty by a contained panic.
+pub struct SolverWorker {
+    theory: Arc<Theory>,
+    core: SolveCore,
+}
+
+impl SolverWorker {
+    /// A worker primed with the given theory.
+    pub fn new(theory: Arc<Theory>) -> SolverWorker {
+        let core = theory.prepared_core();
+        SolverWorker { theory, core }
+    }
+
+    /// Proves one obligation, reusing this worker's resident core when
+    /// the problem carries the same shared theory (and theory sharing is
+    /// tuned on); otherwise falls back to [`Problem::prove`] semantics.
+    /// Outcomes and stats are identical either way — reuse only skips
+    /// redundant preprocessing.
+    pub fn prove(&mut self, problem: &Problem) -> Outcome {
+        let reusable = problem.tuning.share_theory
+            && problem
+                .theory()
+                .is_some_and(|t| Arc::ptr_eq(t, &self.theory));
+        problem.timed_attempt(|deadline, theory_fault| {
+            let reuse = reusable.then_some(&mut self.core);
+            problem.solve_once(reuse, deadline, theory_fault)
+        })
+    }
+
+    /// As [`SolverWorker::prove`], containing panics as
+    /// [`Outcome::Crashed`]. The next attempt's watermark rollback
+    /// discards whatever the crashed attempt left in the core.
+    pub fn prove_isolated(&mut self, problem: &Problem) -> Outcome {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.prove(problem))) {
+            Ok(outcome) => outcome,
+            Err(payload) => Outcome::Crashed {
+                message: panic_message(payload.as_ref()),
+                stats: ProverStats::default(),
+            },
         }
     }
 }
@@ -509,27 +775,6 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
 fn render_trigger(trigger: &[Term]) -> String {
     let parts: Vec<String> = trigger.iter().map(ToString::to_string).collect();
     parts.join(", ")
-}
-
-/// Replaces each free variable with an uninterpreted constant of the same
-/// name, so formulas with free variables are checked for arbitrary values.
-fn ground_free_vars(f: &Formula) -> Formula {
-    let mut fv = Vec::new();
-    f.free_vars(&mut fv);
-    if fv.is_empty() {
-        return f.clone();
-    }
-    let map: Vec<(stq_util::Symbol, Term)> = fv
-        .into_iter()
-        .map(|(v, _)| (v, Term::App(v, Vec::new())))
-        .collect();
-    f.subst(&map)
-}
-
-fn find_quant_atom(cl: &Clausifier, q: usize) -> Option<usize> {
-    cl.atoms()
-        .iter()
-        .position(|a| matches!(a, Atom::Quant(i) if *i == q))
 }
 
 fn render_model(cl: &Clausifier, model: &[Option<bool>]) -> Vec<String> {
@@ -556,20 +801,22 @@ fn render_model(cl: &Clausifier, model: &[Option<bool>]) -> Vec<String> {
         .collect()
 }
 
-fn intern_all_atoms(cl: &Clausifier, eg: &mut Egraph) {
+/// Legacy (non-hash-consing) round setup: intern every ground atom side
+/// into a throwaway arena + e-graph, exactly as the seed prover did.
+fn intern_all_atoms(cl: &Clausifier, arena: &mut TermArena, eg: &mut Egraph) {
     for atom in cl.atoms() {
         match atom {
             Atom::Eq(a, b) | Atom::Le(a, b) | Atom::Lt(a, b) => {
                 if a.is_ground() {
-                    eg.intern(a);
+                    eg.intern(arena, a);
                 }
                 if b.is_ground() {
-                    eg.intern(b);
+                    eg.intern(arena, b);
                 }
             }
             Atom::Pred(p, args) => {
                 if args.iter().all(Term::is_ground) {
-                    eg.intern(&Term::App(*p, args.clone()));
+                    eg.intern(arena, &Term::App(*p, args.clone()));
                 }
             }
             Atom::Quant(_) => {}
@@ -577,13 +824,18 @@ fn intern_all_atoms(cl: &Clausifier, eg: &mut Egraph) {
     }
 }
 
-fn assert_model_equalities(cl: &Clausifier, model: &[Option<bool>], eg: &mut Egraph) {
+fn assert_model_equalities(
+    cl: &Clausifier,
+    model: &[Option<bool>],
+    arena: &mut TermArena,
+    eg: &mut Egraph,
+) {
     for (i, v) in model.iter().enumerate() {
         if *v == Some(true) {
             if let Atom::Eq(a, b) = cl.atom(i) {
                 if a.is_ground() && b.is_ground() {
-                    let ra = eg.intern(a);
-                    let rb = eg.intern(b);
+                    let ra = eg.intern(arena, a);
+                    let rb = eg.intern(arena, b);
                     // The model passed the theory check, so this merge
                     // cannot conflict; ignore the result defensively.
                     let _ = eg.merge(ra, rb);
@@ -593,15 +845,114 @@ fn assert_model_equalities(cl: &Clausifier, model: &[Option<bool>], eg: &mut Egr
     }
 }
 
+/// Hash-consed hot-path view over the attempt core: the shared arena,
+/// the per-atom cached term ids, and the pinned `0`/`1` literals.
+#[derive(Clone, Copy)]
+struct CachedView<'a> {
+    arena: &'a TermArena,
+    atom_tids: &'a [CachedAtom],
+    tid_zero: TermId,
+    tid_one: TermId,
+}
+
+/// The arithmetic shape of an atom recorded during the EUF phase of a
+/// leaf check, consumed by the shared Fourier–Motzkin phases.
+#[derive(Clone, Copy)]
+enum ArithKind {
+    Eq,
+    Le,
+    Lt,
+}
+
+/// The hash-consed leaf checker's reusable template e-graph: every atom
+/// operand (and the `0`/`1` markers) interned once per round, with the
+/// per-atom e-graph refs precomputed. A leaf check asserts its handful
+/// of equalities directly on the template and rewinds them afterwards
+/// ([`Egraph::checkpoint`]/[`Egraph::rollback`]), so per-leaf cost scales
+/// with the *assignment's* merge count instead of the term universe.
+struct LeafCtx {
+    eg: Egraph,
+    /// Per-atom `[fst, snd]` operand refs, indexed like
+    /// [`CachedView::atom_tids`].
+    atom_refs: Vec<[Option<euf::TermRef>; 2]>,
+    /// The interned `0` literal, the "false" marker for predicate atoms.
+    ref_zero: euf::TermRef,
+    /// The interned `1` literal, the "true" marker for predicate atoms.
+    ref_one: euf::TermRef,
+}
+
+/// One attempt's persistent E-matching e-graph (hash-consing mode).
+/// The term universe only grows (atom tables are append-only), so each
+/// round interns just the new atoms' operands; the round's model
+/// equalities are merged on top of a checkpoint and rolled back after
+/// matching. Intern order equals the per-round rebuild order, so refs,
+/// class structure, and therefore instantiation order are identical to
+/// rebuilding from scratch.
+struct EmatchCtx {
+    eg: Egraph,
+    /// Atoms `0..next_atom` are already interned.
+    next_atom: usize,
+    /// The checkpoint taken before this round's model merges, consumed
+    /// by the end-of-round rollback.
+    rewind: Option<euf::Checkpoint>,
+}
+
+impl EmatchCtx {
+    fn empty() -> EmatchCtx {
+        EmatchCtx {
+            eg: Egraph::new(),
+            next_atom: 0,
+            rewind: None,
+        }
+    }
+}
+
+impl LeafCtx {
+    fn empty() -> LeafCtx {
+        LeafCtx {
+            eg: Egraph::new(),
+            atom_refs: Vec::new(),
+            ref_zero: 0,
+            ref_one: 0,
+        }
+    }
+
+    /// Interns the ground operands of every atom added since the last
+    /// call (the atom table only grows between rounds, so refs stay
+    /// stable). Hash-consed arena ids cannot collide on congruence
+    /// signatures while no equalities are asserted — and every leaf's
+    /// unions are rolled back before the next extension — so extending
+    /// performs no unions and the template stays a pure term universe.
+    fn extend(&mut self, view: CachedView<'_>) {
+        for ca in &view.atom_tids[self.atom_refs.len()..] {
+            self.atom_refs.push([
+                ca.fst.map(|id| self.eg.intern_id(view.arena, id)),
+                ca.snd.map(|id| self.eg.intern_id(view.arena, id)),
+            ]);
+        }
+        self.ref_zero = self.eg.intern_id(view.arena, view.tid_zero);
+        self.ref_one = self.eg.intern_id(view.arena, view.tid_one);
+    }
+}
+
 struct Search<'a> {
     cl: &'a Clausifier,
     clauses: &'a [Clause],
+    /// `Some` when hash-consing is tuned on: leaves intern by id lookup
+    /// through this view. `None` falls back to per-leaf tree interning.
+    cached: Option<CachedView<'a>>,
+    /// The round's template e-graph; `Some` exactly when `cached` is.
+    leaf: Option<LeafCtx>,
     decisions: u64,
     propagations: u64,
     conflicts: u64,
     theory_checks: u64,
     merges: u64,
     fm_eliminations: u64,
+    /// Legacy-mode telemetry: nodes created in per-leaf arenas.
+    interned_terms: u64,
+    /// Legacy-mode telemetry: hash-consing hits in per-leaf arenas.
+    intern_hits: u64,
     max_decisions: u64,
     deadline: Option<Instant>,
     cancel: &'a CancelToken,
@@ -769,147 +1120,247 @@ impl Search<'_> {
             panic!("injected theory-solver failure at solver entry {entry}");
         }
         self.theory_checks += 1;
-        let mut eg = Egraph::new();
-        let consistent = self.theory_consistent_inner(assign, &mut eg);
-        self.merges += eg.merges();
-        consistent
+        match self.leaf.take() {
+            Some(mut ctx) => {
+                let view = self.cached.expect("leaf template implies a cached view");
+                let before = ctx.eg.merges();
+                let cp = ctx.eg.checkpoint();
+                let ok = self.consistent_cached(assign, view, &mut ctx);
+                ctx.eg.rollback(cp);
+                self.merges += ctx.eg.merges() - before;
+                self.leaf = Some(ctx);
+                ok
+            }
+            None => {
+                let mut leaf_arena = TermArena::new();
+                let mut eg = Egraph::new();
+                let ok = self.consistent_legacy(assign, &mut leaf_arena, &mut eg);
+                self.interned_terms += leaf_arena.created();
+                self.intern_hits += leaf_arena.hits();
+                self.merges += eg.merges();
+                ok
+            }
+        }
     }
 
-    fn theory_consistent_inner(&mut self, assign: &[Option<bool>], eg: &mut Egraph) -> bool {
+    /// Hash-consed leaf check on the round's template e-graph: every
+    /// assigned atom's operand refs are precomputed, so the EUF phase is
+    /// a handful of class unions with zero interning traffic (the caller
+    /// rewinds them afterwards). Verdicts match the legacy per-leaf
+    /// rebuild exactly: congruence closure restricted to the assigned
+    /// atoms' subterm-closed universe is unchanged by the template's
+    /// extra terms, which can join classes but never equate two assigned
+    /// terms (or inject an integer value) that the smaller universe
+    /// wouldn't.
+    fn consistent_cached(
+        &mut self,
+        assign: &[Option<bool>],
+        view: CachedView<'_>,
+        ctx: &mut LeafCtx,
+    ) -> bool {
+        let mut diseqs: Vec<(TermId, TermId)> = Vec::new();
+        let mut arith: Vec<(TermId, TermId, ArithKind, bool)> = Vec::new();
+        let eg = &mut ctx.eg;
+
+        // Phase 1: EUF assertions.
+        for (i, v) in assign.iter().enumerate() {
+            let Some(value) = *v else { continue };
+            let ca = view.atom_tids[i];
+            let [fst, snd] = ctx.atom_refs[i];
+            match self.cl.atom(i) {
+                Atom::Eq(..) => {
+                    let a = ca.fst.expect("equality operands are ground");
+                    let b = ca.snd.expect("equality operands are ground");
+                    let ra = fst.expect("equality operands are interned");
+                    let rb = snd.expect("equality operands are interned");
+                    if value {
+                        if eg.merge(ra, rb).is_err() {
+                            return false;
+                        }
+                        arith.push((a, b, ArithKind::Eq, true));
+                    } else {
+                        if eg.assert_diseq(ra, rb).is_err() {
+                            return false;
+                        }
+                        diseqs.push((a, b));
+                    }
+                }
+                Atom::Pred(..) => {
+                    let rt = fst.expect("predicate arguments are interned");
+                    let marker = if value { ctx.ref_one } else { ctx.ref_zero };
+                    if eg.merge(rt, marker).is_err() {
+                        return false;
+                    }
+                }
+                Atom::Le(..) => {
+                    let a = ca.fst.expect("inequality operands are ground");
+                    let b = ca.snd.expect("inequality operands are ground");
+                    arith.push((a, b, ArithKind::Le, value));
+                }
+                Atom::Lt(..) => {
+                    let a = ca.fst.expect("inequality operands are ground");
+                    let b = ca.snd.expect("inequality operands are ground");
+                    arith.push((a, b, ArithKind::Lt, value));
+                }
+                Atom::Quant(_) => {}
+            }
+        }
+
+        arith_phases(eg, view.arena, &arith, &diseqs, &mut self.fm_eliminations)
+    }
+
+    /// Legacy leaf check: a throwaway arena per leaf, re-interning every
+    /// assigned atom's term trees — the seed prover's work profile, kept
+    /// for the ablation baseline. Interning terms before ids preserves
+    /// the e-graph's ref numbering, so arithmetic atom keys (and thus the
+    /// whole search trace) match the cached path exactly.
+    fn consistent_legacy(
+        &mut self,
+        assign: &[Option<bool>],
+        arena: &mut TermArena,
+        eg: &mut Egraph,
+    ) -> bool {
         let true_term = Term::int(1);
         let false_term = Term::int(0);
 
-        let mut diseqs: Vec<(Term, Term)> = Vec::new();
-        let mut arith_pos: Vec<(usize, bool)> = Vec::new(); // (atom, polarity)
+        let mut diseqs: Vec<(TermId, TermId)> = Vec::new();
+        let mut arith: Vec<(TermId, TermId, ArithKind, bool)> = Vec::new();
 
         // Phase 1: EUF assertions.
         for (i, v) in assign.iter().enumerate() {
             let Some(value) = *v else { continue };
             match self.cl.atom(i) {
                 Atom::Eq(a, b) => {
-                    let ra = eg.intern(a);
-                    let rb = eg.intern(b);
+                    let ra = eg.intern(arena, a);
+                    let rb = eg.intern(arena, b);
                     if value {
                         if eg.merge(ra, rb).is_err() {
                             return false;
                         }
-                        arith_pos.push((i, true));
+                        arith.push((eg.tid(ra), eg.tid(rb), ArithKind::Eq, true));
                     } else {
                         if eg.assert_diseq(ra, rb).is_err() {
                             return false;
                         }
-                        diseqs.push((a.clone(), b.clone()));
+                        diseqs.push((eg.tid(ra), eg.tid(rb)));
                     }
                 }
                 Atom::Pred(p, args) => {
-                    let t = eg.intern(&Term::App(*p, args.clone()));
-                    let marker = eg.intern(if value { &true_term } else { &false_term });
+                    let t = eg.intern(arena, &Term::App(*p, args.clone()));
+                    let marker = eg.intern(arena, if value { &true_term } else { &false_term });
                     if eg.merge(t, marker).is_err() {
                         return false;
                     }
                 }
-                Atom::Le(..) | Atom::Lt(..) => {
-                    // Intern the operands so canonicalization sees them.
-                    if let Atom::Le(a, b) | Atom::Lt(a, b) = self.cl.atom(i) {
-                        eg.intern(a);
-                        eg.intern(b);
-                    }
-                    arith_pos.push((i, value));
+                Atom::Le(a, b) => {
+                    let ra = eg.intern(arena, a);
+                    let rb = eg.intern(arena, b);
+                    arith.push((eg.tid(ra), eg.tid(rb), ArithKind::Le, value));
+                }
+                Atom::Lt(a, b) => {
+                    let ra = eg.intern(arena, a);
+                    let rb = eg.intern(arena, b);
+                    arith.push((eg.tid(ra), eg.tid(rb), ArithKind::Lt, value));
                 }
                 Atom::Quant(_) => {}
             }
         }
 
-        // Phase 2: arithmetic.
-        let mut constraints: Vec<Constraint> = Vec::new();
-        for (i, value) in arith_pos {
-            match self.cl.atom(i) {
-                Atom::Eq(a, b) => {
-                    let la = linearize(eg, a);
-                    let lb = linearize(eg, b);
-                    constraints.push(Constraint::eq0(la.sub(&lb)));
-                }
-                Atom::Le(a, b) => {
-                    let la = linearize(eg, a);
-                    let lb = linearize(eg, b);
-                    if value {
-                        // a ≤ b  ⇔  a - b ≤ 0
-                        constraints.push(Constraint::le0(la.sub(&lb)));
-                    } else {
-                        // ¬(a ≤ b)  ⇔  b < a  ⇔  b - a < 0
-                        constraints.push(Constraint::lt0(lb.sub(&la)));
-                    }
-                }
-                Atom::Lt(a, b) => {
-                    let la = linearize(eg, a);
-                    let lb = linearize(eg, b);
-                    if value {
-                        constraints.push(Constraint::lt0(la.sub(&lb)));
-                    } else {
-                        constraints.push(Constraint::le0(lb.sub(&la)));
-                    }
-                }
-                _ => unreachable!("only arithmetic atoms recorded"),
-            }
+        arith_phases(eg, arena, &arith, &diseqs, &mut self.fm_eliminations)
+    }
+}
+
+/// Phases 2 and 3 of the leaf check, shared by both interning modes:
+/// Fourier–Motzkin feasibility over the linearized arithmetic literals,
+/// then exact integer-disequality entailment.
+fn arith_phases(
+    eg: &mut Egraph,
+    arena: &TermArena,
+    arith: &[(TermId, TermId, ArithKind, bool)],
+    diseqs: &[(TermId, TermId)],
+    fm_eliminations: &mut u64,
+) -> bool {
+    // Phase 2: arithmetic.
+    let mut constraints: Vec<Constraint> = Vec::new();
+    for &(a, b, kind, value) in arith {
+        let la = linearize(arena, eg, a);
+        let lb = linearize(arena, eg, b);
+        match (kind, value) {
+            (ArithKind::Eq, _) => constraints.push(Constraint::eq0(la.sub(&lb))),
+            // a ≤ b  ⇔  a - b ≤ 0
+            (ArithKind::Le, true) => constraints.push(Constraint::le0(la.sub(&lb))),
+            // ¬(a ≤ b)  ⇔  b < a  ⇔  b - a < 0
+            (ArithKind::Le, false) => constraints.push(Constraint::lt0(lb.sub(&la))),
+            (ArithKind::Lt, true) => constraints.push(Constraint::lt0(la.sub(&lb))),
+            (ArithKind::Lt, false) => constraints.push(Constraint::le0(lb.sub(&la))),
         }
-        let (arith_ok, elims) = feasible_counted(&constraints);
-        self.fm_eliminations += elims;
-        if !arith_ok {
+    }
+    let (arith_ok, elims) = feasible_counted(&constraints);
+    *fm_eliminations += elims;
+    if !arith_ok {
+        return false;
+    }
+
+    // Phase 3: integer disequalities. A disequality a ≠ b conflicts
+    // exactly when the arithmetic constraints entail a = b.
+    for &(a, b) in diseqs {
+        let la = linearize(arena, eg, a);
+        let lb = linearize(arena, eg, b);
+        let (entailed, elims) = entails_eq0_counted(&constraints, &la.sub(&lb));
+        *fm_eliminations += elims;
+        if entailed {
             return false;
         }
+    }
+    true
+}
 
-        // Phase 3: integer disequalities. A disequality a ≠ b conflicts
-        // exactly when the arithmetic constraints entail a = b.
-        for (a, b) in &diseqs {
-            let la = linearize(eg, a);
-            let lb = linearize(eg, b);
-            let (entailed, elims) = entails_eq0_counted(&constraints, &la.sub(&lb));
-            self.fm_eliminations += elims;
-            if entailed {
-                return false;
+/// Converts an interned ground term into a linear expression over opaque
+/// atoms, canonicalizing uninterpreted subterms by their
+/// congruence-closure representative (this is how equality facts flow
+/// into arithmetic).
+fn linearize(arena: &TermArena, eg: &mut Egraph, id: TermId) -> LinExpr {
+    match arena.head(id) {
+        Head::Int(v) => LinExpr::constant(Rat::from(v)),
+        Head::Sym(f) => {
+            let args = arena.args(id);
+            match (f.as_str(), args.len()) {
+                ("+", 2) => {
+                    let (x, y) = (args[0], args[1]);
+                    let a = linearize(arena, eg, x);
+                    let b = linearize(arena, eg, y);
+                    a.add(&b)
+                }
+                ("-", 2) => {
+                    let (x, y) = (args[0], args[1]);
+                    let a = linearize(arena, eg, x);
+                    let b = linearize(arena, eg, y);
+                    a.sub(&b)
+                }
+                ("neg", 1) => {
+                    let x = args[0];
+                    linearize(arena, eg, x).scale(-Rat::ONE)
+                }
+                ("*", 2) => {
+                    let (x, y) = (args[0], args[1]);
+                    let a = linearize(arena, eg, x);
+                    let b = linearize(arena, eg, y);
+                    if let Some(k) = a.as_constant() {
+                        b.scale(k)
+                    } else if let Some(k) = b.as_constant() {
+                        a.scale(k)
+                    } else {
+                        opaque(arena, eg, id)
+                    }
+                }
+                _ => opaque(arena, eg, id),
             }
         }
-        true
     }
 }
 
-/// Converts a ground term into a linear expression over opaque atoms,
-/// canonicalizing uninterpreted subterms by their congruence-closure
-/// representative (this is how equality facts flow into arithmetic).
-fn linearize(eg: &mut Egraph, t: &Term) -> LinExpr {
-    match t {
-        Term::Int(v) => LinExpr::constant(Rat::from(*v)),
-        Term::App(f, args) => match (f.as_str(), args.len()) {
-            ("+", 2) => {
-                let a = linearize(eg, &args[0]);
-                let b = linearize(eg, &args[1]);
-                a.add(&b)
-            }
-            ("-", 2) => {
-                let a = linearize(eg, &args[0]);
-                let b = linearize(eg, &args[1]);
-                a.sub(&b)
-            }
-            ("neg", 1) => linearize(eg, &args[0]).scale(-Rat::ONE),
-            ("*", 2) => {
-                let a = linearize(eg, &args[0]);
-                let b = linearize(eg, &args[1]);
-                if let Some(k) = a.as_constant() {
-                    b.scale(k)
-                } else if let Some(k) = b.as_constant() {
-                    a.scale(k)
-                } else {
-                    opaque(eg, t)
-                }
-            }
-            _ => opaque(eg, t),
-        },
-        Term::Var(..) => unreachable!("ground terms only in theory check"),
-    }
-}
-
-fn opaque(eg: &mut Egraph, t: &Term) -> LinExpr {
-    let r = eg.intern(t);
+fn opaque(arena: &TermArena, eg: &mut Egraph, id: TermId) -> LinExpr {
+    let r = eg.intern_id(arena, id);
     if let Some(v) = eg.class_int_value(r) {
         return LinExpr::constant(Rat::from(v));
     }
@@ -1424,5 +1875,241 @@ mod tests {
         );
         // The same problem proves once the plan is gone.
         assert!(p.prove_isolated().is_proved());
+    }
+
+    // ---- shared theory / tuning / worker-reuse determinism ----
+
+    fn sign_lemma() -> Formula {
+        let a = Term::var("a", Sort::Int);
+        let b = Term::var("b", Sort::Int);
+        Formula::forall(
+            vec![
+                (stq_util::Symbol::intern("a"), Sort::Int),
+                (stq_util::Symbol::intern("b"), Sort::Int),
+            ],
+            vec![vec![a.mul(&b)]],
+            Formula::and(vec![a.gt0(), b.gt0()]).implies(a.mul(&b).gt0()),
+        )
+    }
+
+    /// A mixed batch exercising instantiation, case splits, EUF, FM, and
+    /// a refutation, all against one shared theory.
+    fn theory_batch() -> (Arc<Theory>, Vec<Problem>) {
+        let theory = Arc::new(Theory::new(vec![sign_lemma()]));
+        let mut problems = Vec::new();
+        let mut p = Problem::new();
+        p.set_theory(Arc::clone(&theory));
+        p.hypothesis(x().gt0());
+        p.hypothesis(y().gt0());
+        p.goal(x().mul(&y()).gt0());
+        problems.push(p);
+        let mut p = Problem::new();
+        p.set_theory(Arc::clone(&theory));
+        p.hypothesis(x().lt(&y()));
+        p.hypothesis(y().lt(&Term::int(3)));
+        p.goal(x().lt(&Term::int(3)));
+        problems.push(p);
+        let mut p = Problem::new();
+        p.set_theory(Arc::clone(&theory));
+        p.hypothesis(x().gt0());
+        p.hypothesis(y().gt0());
+        p.goal(x().sub(&y()).gt0()); // refuted
+        problems.push(p);
+        (theory, problems)
+    }
+
+    /// The seed counters that must be identical across tuning modes,
+    /// workers, and job counts (everything except wall time and the
+    /// mode-specific prep/interning telemetry).
+    /// Zeroes the counters that legitimately differ between tuning
+    /// modes, leaving the search-trace counters (decisions, conflicts,
+    /// propagations, rounds, instantiations, theory checks, clauses)
+    /// that every tuning must reproduce exactly. `merges` and
+    /// `fm_eliminations` measure *how* a leaf verdict was computed — the
+    /// template e-graph reaches the same verdicts with different union
+    /// and elimination schedules — and the theory-prep/interning
+    /// counters measure the preprocessing the tunings exist to vary.
+    fn seed_counters(stats: &ProverStats) -> ProverStats {
+        ProverStats {
+            theory_preps: 0,
+            theory_reuses: 0,
+            interned_terms: 0,
+            intern_hits: 0,
+            merges: 0,
+            fm_eliminations: 0,
+            ..stats.without_wall()
+        }
+    }
+
+    fn verdict(o: &Outcome) -> String {
+        match o {
+            Outcome::Proved { .. } => "proved".into(),
+            Outcome::Refuted { model, .. } => format!("refuted:{model:?}"),
+            Outcome::ResourceOut { resource, .. } => format!("out:{resource:?}"),
+            Outcome::Crashed { message, .. } => format!("crashed:{message}"),
+        }
+    }
+
+    #[test]
+    fn theory_axioms_prove_like_inline_axioms() {
+        let theory = Arc::new(Theory::new(vec![sign_lemma()]));
+        let mut shared = Problem::new();
+        shared.set_theory(theory);
+        shared.hypothesis(x().gt0());
+        shared.hypothesis(y().gt0());
+        shared.goal(x().mul(&y()).gt0());
+        let mut inline = Problem::new();
+        inline.axiom(sign_lemma());
+        inline.hypothesis(x().gt0());
+        inline.hypothesis(y().gt0());
+        inline.goal(x().mul(&y()).gt0());
+        let a = shared.prove();
+        let b = inline.prove();
+        assert_eq!(verdict(&a), verdict(&b));
+        assert_eq!(seed_counters(a.stats()), seed_counters(b.stats()));
+        // The shared path reuses the prepared core; the inline path
+        // preprocessed its axioms itself.
+        assert_eq!(a.stats().theory_reuses, 1);
+        assert_eq!(a.stats().theory_preps, 0);
+        assert_eq!(b.stats().theory_preps, 1);
+    }
+
+    #[test]
+    fn tuning_never_changes_verdicts_or_seed_counters() {
+        let (_theory, problems) = theory_batch();
+        let combos = [
+            SolverTuning::default(),
+            SolverTuning {
+                share_theory: true,
+                hash_cons: false,
+            },
+            SolverTuning {
+                share_theory: false,
+                hash_cons: true,
+            },
+            SolverTuning::legacy(),
+        ];
+        for template in &problems {
+            let baseline = template.prove();
+            for tuning in combos {
+                let mut p = template.clone();
+                p.tuning = tuning;
+                let outcome = p.prove();
+                assert_eq!(
+                    verdict(&outcome),
+                    verdict(&baseline),
+                    "verdict drifted under {tuning:?}"
+                );
+                assert_eq!(
+                    seed_counters(outcome.stats()),
+                    seed_counters(baseline.stats()),
+                    "work counters drifted under {tuning:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worker_reuse_matches_standalone_proving() {
+        let (theory, problems) = theory_batch();
+        let mut worker = SolverWorker::new(theory);
+        for problem in &problems {
+            let reused = worker.prove(problem);
+            let standalone = problem.prove();
+            assert_eq!(verdict(&reused), verdict(&standalone));
+            assert_eq!(
+                seed_counters(reused.stats()),
+                seed_counters(standalone.stats())
+            );
+            assert_eq!(reused.stats().theory_reuses, 1);
+            assert_eq!(reused.stats().theory_preps, 0);
+        }
+    }
+
+    #[test]
+    fn worker_falls_back_for_foreign_theories() {
+        let (theory, _) = theory_batch();
+        let mut worker = SolverWorker::new(theory);
+        // A problem with a *different* theory instance must not reuse the
+        // resident core.
+        let other = Arc::new(Theory::new(vec![sign_lemma()]));
+        let mut p = Problem::new();
+        p.set_theory(other);
+        p.hypothesis(x().gt0());
+        p.goal(x().gt0());
+        let outcome = worker.prove(&p);
+        assert!(outcome.is_proved());
+        // Falls back to the clone-the-prepared-core path.
+        assert_eq!(outcome.stats().theory_reuses, 1);
+    }
+
+    #[test]
+    fn worker_survives_and_heals_after_contained_panics() {
+        let (theory, problems) = theory_batch();
+        let mut worker = SolverWorker::new(Arc::clone(&theory));
+        let expected: Vec<String> = problems.iter().map(|p| verdict(&p.prove())).collect();
+
+        // Crash the worker mid-batch via an injected panic, then keep
+        // proving: the start-of-attempt rollback must heal the core.
+        fault::install(fault::FaultPlan::new().inject(1, FaultKind::Panic));
+        let first = worker.prove_isolated(&problems[0]);
+        let crashed = worker.prove_isolated(&problems[1]);
+        let healed = worker.prove_isolated(&problems[2]);
+        fault::clear();
+        assert_eq!(verdict(&first), expected[0]);
+        assert!(crashed.is_crashed());
+        assert_eq!(verdict(&healed), expected[2]);
+
+        // And a full clean pass afterwards still matches.
+        for (problem, want) in problems.iter().zip(&expected) {
+            assert_eq!(verdict(&worker.prove(problem)), *want);
+        }
+    }
+
+    #[test]
+    fn interning_telemetry_is_populated_in_both_modes() {
+        let (_theory, problems) = theory_batch();
+        let mut optimized = problems[0].clone();
+        optimized.tuning = SolverTuning::default();
+        let mut legacy = problems[0].clone();
+        legacy.tuning = SolverTuning::legacy();
+        let opt_stats = optimized.prove().stats().clone();
+        let leg_stats = legacy.prove().stats().clone();
+        assert!(opt_stats.interned_terms > 0);
+        assert!(leg_stats.interned_terms > 0);
+        // Hash-consing makes interning per-attempt instead of per-leaf:
+        // far fewer nodes are ever created.
+        assert!(
+            opt_stats.interned_terms < leg_stats.interned_terms,
+            "expected arena sharing to reduce interning: {} vs {}",
+            opt_stats.interned_terms,
+            leg_stats.interned_terms
+        );
+    }
+
+    #[test]
+    fn theory_fingerprint_matches_inline_axioms() {
+        use crate::stats::RetryPolicy;
+        let theory = Arc::new(Theory::new(vec![sign_lemma()]));
+        let mut shared = Problem::new();
+        shared.set_theory(theory);
+        shared.hypothesis(x().gt0());
+        shared.goal(x().mul(&y()).gt0());
+        let mut inline = Problem::new();
+        inline.axiom(sign_lemma());
+        inline.hypothesis(x().gt0());
+        inline.goal(x().mul(&y()).gt0());
+        assert_eq!(
+            shared.fingerprint(RetryPolicy::none()),
+            inline.fingerprint(RetryPolicy::none()),
+            "splitting axioms into a shared theory must not change cache keys"
+        );
+        // Tuning is excluded from the key.
+        let mut tuned = shared.clone();
+        tuned.tuning = SolverTuning::legacy();
+        assert_eq!(
+            shared.fingerprint(RetryPolicy::none()),
+            tuned.fingerprint(RetryPolicy::none())
+        );
     }
 }

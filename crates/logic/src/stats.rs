@@ -232,6 +232,22 @@ pub struct ProverStats {
     pub merges: u64,
     /// Fourier–Motzkin variable eliminations, across all checks.
     pub fm_eliminations: u64,
+    /// Attempts that re-ran the clausification front end on the
+    /// background axioms (the legacy cold path; see
+    /// [`crate::theory::Theory`]).
+    pub theory_preps: u64,
+    /// Attempts that started from a prepared shared-theory core — either
+    /// cloned from a [`crate::theory::Theory`] or reused in place by a
+    /// [`crate::solver::SolverWorker`] — skipping axiom preprocessing.
+    pub theory_reuses: u64,
+    /// Distinct term nodes created by hash-consing interning over the
+    /// attempt (with [`crate::solver::SolverTuning::hash_cons`] off, the
+    /// sum over the throwaway per-leaf/per-round arenas instead).
+    pub interned_terms: u64,
+    /// Interning requests answered by an existing hash-consed node. A
+    /// high hit/created ratio is what makes the optimized leaf checks
+    /// O(1) per atom.
+    pub intern_hits: u64,
     /// Final clause count.
     pub clauses: usize,
     /// Peak clause count over all rounds.
@@ -268,6 +284,10 @@ impl ProverStats {
         self.theory_checks += other.theory_checks;
         self.merges += other.merges;
         self.fm_eliminations += other.fm_eliminations;
+        self.theory_preps += other.theory_preps;
+        self.theory_reuses += other.theory_reuses;
+        self.interned_terms += other.interned_terms;
+        self.intern_hits += other.intern_hits;
         self.clauses = self.clauses.max(other.clauses);
         self.max_clauses = self.max_clauses.max(other.max_clauses);
         self.cache_hits += other.cache_hits;
@@ -309,6 +329,20 @@ impl fmt::Display for ProverStats {
             self.max_clauses,
             self.wall,
         )?;
+        if self.theory_preps > 0 || self.theory_reuses > 0 {
+            write!(
+                f,
+                " theory_prep={}fresh/{}reused",
+                self.theory_preps, self.theory_reuses
+            )?;
+        }
+        if self.interned_terms > 0 || self.intern_hits > 0 {
+            write!(
+                f,
+                " interned={}+{}hit",
+                self.interned_terms, self.intern_hits
+            )?;
+        }
         if self.cache_hits > 0 || self.cache_misses > 0 || self.cache_invalidations > 0 {
             write!(
                 f,

@@ -3,6 +3,7 @@
 //! implementation (fixpoint over all term pairs).
 
 use proptest::prelude::*;
+use stq_logic::arena::TermArena;
 use stq_logic::euf::Egraph;
 use stq_logic::term::Term;
 
@@ -81,8 +82,9 @@ proptest! {
         eqs in prop::collection::vec((0usize..16, 0usize..16), 0..8)
     ) {
         let terms = universe();
+        let mut arena = TermArena::new();
         let mut eg = Egraph::new();
-        let refs: Vec<_> = terms.iter().map(|t| eg.intern(t)).collect();
+        let refs: Vec<_> = terms.iter().map(|t| eg.intern(&mut arena, t)).collect();
         for &(a, b) in &eqs {
             eg.merge(refs[a], refs[b]).expect("no integers involved");
         }

@@ -10,7 +10,9 @@
 //! nonlinear, so — exactly as Simplify does — its sign behaviour is
 //! supplied as triggered lemmas rather than decided by the linear core.
 
+use std::sync::{Arc, OnceLock};
 use stq_logic::term::{Formula, Sort, Term, Trigger};
+use stq_logic::Theory;
 use stq_util::Symbol;
 
 /// The sort of execution states ρ.
@@ -304,6 +306,16 @@ pub fn background_axioms() -> Vec<Formula> {
     ));
 
     axioms
+}
+
+/// The background axioms preprocessed once per process as a shared
+/// [`Theory`]. Every obligation the checker builds attaches this one
+/// instance, so solver workers recognise it by pointer identity and
+/// reuse their resident theory-loaded core across obligations instead of
+/// re-clausifying ~20 axioms per proof attempt.
+pub fn background_theory() -> Arc<Theory> {
+    static THEORY: OnceLock<Arc<Theory>> = OnceLock::new();
+    Arc::clone(THEORY.get_or_init(|| Arc::new(Theory::new(background_axioms()))))
 }
 
 #[cfg(test)]

@@ -3,11 +3,12 @@
 //! report per-obligation telemetry ([`stq_logic::ProverStats`]) plus
 //! aggregate totals ([`SoundnessReport`]).
 
+use crate::axioms::background_theory;
+use crate::obligations::{build_obligation, obligation_specs, obligations_for, Obligation, ObligationSpec};
 use crate::cache::{CachedProof, ProofCache};
-use crate::obligations::{obligations_for, Obligation};
 use std::fmt;
 use std::time::{Duration, Instant};
-use stq_logic::solver::Outcome;
+use stq_logic::solver::{Outcome, SolverTuning, SolverWorker};
 use stq_logic::{fault, Budget, ProverStats, Resource, RetryPolicy};
 use stq_qualspec::{QualifierDef, Registry};
 use stq_util::{CancelToken, Symbol};
@@ -230,9 +231,14 @@ pub fn check_qualifier_cached(
             duration: start.elapsed(),
         };
     }
+    // One resident solver worker serves the whole qualifier: the shared
+    // background theory is preprocessed once and reused per obligation.
+    let mut worker = SolverWorker::new(background_theory());
     let results: Vec<ObligationResult> = obligations_for(registry, def)
         .into_iter()
-        .map(|ob| discharge(ob, budget, retry, cache, &CancelToken::default()))
+        .map(|ob| {
+            discharge(&mut worker, ob, budget, retry, cache, &CancelToken::default())
+        })
         .collect();
     QualReport {
         qualifier: def.name,
@@ -265,7 +271,13 @@ fn skipped_result(description: String, duration: Duration) -> ObligationResult {
 /// The [`CancelToken`] is cloned into the prover so an in-flight search
 /// stops at its next decision-point poll; if the token has already fired
 /// before any work starts, the obligation is skipped outright.
+///
+/// Proof attempts run on the caller's [`SolverWorker`], which keeps a
+/// theory-loaded solver core resident across obligations; verdicts and
+/// work counters are identical to standalone proving (reuse only skips
+/// redundant theory preprocessing — see [`SolverWorker::prove`]).
 fn discharge(
+    worker: &mut SolverWorker,
     mut ob: Obligation,
     budget: Budget,
     retry: RetryPolicy,
@@ -310,7 +322,7 @@ fn discharge(
     let outcome = loop {
         attempts += 1;
         ob.problem.config = retry.budget_for(budget, attempts);
-        let outcome = ob.problem.prove_isolated();
+        let outcome = worker.prove_isolated(&ob.problem);
         total.absorb(outcome.stats());
         // A fired token also stops the ladder: escalated re-attempts
         // would each be cancelled again at their first poll.
@@ -618,16 +630,71 @@ pub fn check_defs_pipeline_cancellable(
     cache: Option<&ProofCache>,
     cancel: &CancelToken,
 ) -> SoundnessReport {
+    check_defs_pipeline_cancellable_tuned(
+        registry,
+        defs,
+        budget,
+        retry,
+        jobs,
+        cache,
+        cancel,
+        SolverTuning::default(),
+    )
+}
+
+/// [`check_all_pipeline`] with an explicit [`SolverTuning`], for ablation
+/// benchmarks: `SolverTuning::legacy()` reproduces the pre-optimization
+/// cold path (per-obligation theory preprocessing, tree-walk matching).
+pub fn check_all_pipeline_tuned(
+    registry: &Registry,
+    budget: Budget,
+    retry: RetryPolicy,
+    jobs: usize,
+    cache: Option<&ProofCache>,
+    tuning: SolverTuning,
+) -> SoundnessReport {
+    let defs: Vec<&QualifierDef> = registry.iter().collect();
+    check_defs_pipeline_cancellable_tuned(
+        registry,
+        &defs,
+        budget,
+        retry,
+        jobs,
+        cache,
+        &CancelToken::default(),
+        tuning,
+    )
+}
+
+/// [`check_defs_pipeline_cancellable`] with an explicit [`SolverTuning`]
+/// applied to every obligation. Tuning never changes verdicts, search
+/// traces, or cache fingerprints — only how much preprocessing and
+/// interning work the prover repeats — so every tuning produces the same
+/// report modulo wall-clock and the theory-prep/interning telemetry.
+#[allow(clippy::too_many_arguments)]
+pub fn check_defs_pipeline_cancellable_tuned(
+    registry: &Registry,
+    defs: &[&QualifierDef],
+    budget: Budget,
+    retry: RetryPolicy,
+    jobs: usize,
+    cache: Option<&ProofCache>,
+    cancel: &CancelToken,
+    tuning: SolverTuning,
+) -> SoundnessReport {
     let start = Instant::now();
     let jobs = jobs.max(1);
     // Flatten to obligation-level tasks so one wide qualifier cannot
     // serialise the pool; the (qualifier index, task index) pairing puts
-    // every result back in its deterministic slot afterwards.
-    let mut tasks: Vec<(usize, Obligation)> = Vec::new();
+    // every result back in its deterministic slot afterwards. Tasks are
+    // lightweight *specs* — each worker materializes the obligation's
+    // formulas itself, so obligation generation parallelizes along with
+    // the proving instead of running sequentially up front.
+    let mut tasks: Vec<(usize, ObligationSpec)> = Vec::new();
     for (qi, def) in defs.iter().enumerate() {
         if def.invariant.is_some() {
-            for ob in obligations_for(registry, def) {
-                tasks.push((qi, ob));
+            for spec in obligation_specs(def) {
+                tasks.push((qi, spec));
             }
         }
     }
@@ -636,15 +703,25 @@ pub fn check_defs_pipeline_cancellable(
     // placeholder still needs both.
     let meta: Vec<(usize, String)> = tasks
         .iter()
-        .map(|(qi, ob)| (*qi, ob.description.clone()))
+        .map(|(qi, spec)| (*qi, spec.description.clone()))
         .collect();
     let fault_handle = fault::handle();
-    let slots = stq_util::pool::run_indexed_cancellable(
+    let slots = stq_util::pool::run_indexed_stateful_cancellable(
         jobs,
         tasks,
         cancel,
-        || fault::adopt(fault_handle.clone()),
-        |_, (_, ob)| discharge(ob, budget, retry, cache, cancel),
+        || {
+            fault::adopt(fault_handle.clone());
+            // Each worker keeps one theory-loaded solver resident for its
+            // whole batch; obligations that carry the shared background
+            // theory reuse it instead of re-preprocessing the axioms.
+            SolverWorker::new(background_theory())
+        },
+        |worker, _, (qi, spec)| {
+            let mut ob = build_obligation(registry, defs[qi], &spec);
+            ob.problem.tuning = tuning;
+            discharge(worker, ob, budget, retry, cache, cancel)
+        },
     );
     let mut per_qual: Vec<Vec<ObligationResult>> = defs.iter().map(|_| Vec::new()).collect();
     for ((qi, description), slot) in meta.into_iter().zip(slots) {
@@ -1256,8 +1333,10 @@ mod tests {
         let def = registry.get_by_name("pos").unwrap();
         let cache = ProofCache::at_dir(&dir).unwrap();
         let cancel = CancelToken::new();
+        let mut worker = SolverWorker::new(background_theory());
         let mut obs = obligations_for(&registry, def).into_iter();
         let first = discharge(
+            &mut worker,
             obs.next().unwrap(),
             Budget::default(),
             RetryPolicy::none(),
@@ -1267,7 +1346,14 @@ mod tests {
         assert!(first.proved && !first.skipped);
         cancel.cancel();
         for ob in obs {
-            let r = discharge(ob, Budget::default(), RetryPolicy::none(), Some(&cache), &cancel);
+            let r = discharge(
+                &mut worker,
+                ob,
+                Budget::default(),
+                RetryPolicy::none(),
+                Some(&cache),
+                &cancel,
+            );
             assert!(r.skipped, "post-cancel obligations are skipped: {}", r.description);
             assert_eq!(r.attempts, 0);
         }

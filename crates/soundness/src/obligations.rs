@@ -32,7 +32,7 @@ use stq_util::Symbol;
 pub struct Obligation {
     /// Human-readable description ("case clause 2: E1 * E2", …).
     pub description: String,
-    /// The prover problem (axioms preloaded).
+    /// The prover problem (background theory attached).
     pub problem: Problem,
 }
 
@@ -42,89 +42,181 @@ impl fmt::Debug for Obligation {
     }
 }
 
-/// Generates all proof obligations for `def`.
+/// Which generator materializes an obligation (see [`ObligationSpec`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ObligationKind {
+    /// `case` clause `i` (0-based) of a value qualifier.
+    ValueCase(usize),
+    /// `assign` form `i` (0-based) of a reference qualifier.
+    RefAssign(usize),
+    /// The `ondecl` establishment obligation.
+    RefOndecl,
+    /// Preservation across an assignment of the given RHS form to
+    /// another l-value.
+    RefPreserve(RhsCase),
+}
+
+/// A cheap handle for one obligation: its description plus which
+/// generator builds its prover problem. [`obligation_specs`] enumerates
+/// these without constructing any formulas, so the checking pipeline can
+/// flatten its task list up front and materialize problems *on the
+/// workers* via [`build_obligation`], in parallel with proving.
+#[derive(Clone, Debug)]
+pub struct ObligationSpec {
+    /// Human-readable description, identical to the built
+    /// [`Obligation::description`].
+    pub description: String,
+    /// The generator that materializes this obligation.
+    pub kind: ObligationKind,
+}
+
+/// Enumerates the proof obligations for `def` without building their
+/// prover problems, in the same order [`obligations_for`] produces them.
 ///
 /// Qualifiers without an `invariant` clause generate none: their
 /// soundness is the implicit value-qualifier subtyping ("for free",
 /// paper §2.1.4) or, for reference qualifiers, vacuous.
-pub fn obligations_for(registry: &Registry, def: &QualifierDef) -> Vec<Obligation> {
-    // Matching the invariant once here (rather than `expect`ing it again
-    // in each generator) makes "no invariant ⇒ no obligations" total.
+pub fn obligation_specs(def: &QualifierDef) -> Vec<ObligationSpec> {
     let Some(inv) = def.invariant.as_ref() else {
         return Vec::new();
     };
     match def.kind {
-        QualKind::Value => value_obligations(registry, def, inv),
-        QualKind::Ref => ref_obligations(def, inv),
+        QualKind::Value => def
+            .cases
+            .iter()
+            .enumerate()
+            .map(|(i, clause)| ObligationSpec {
+                description: format!(
+                    "case clause {} (`{}`) establishes `{}`",
+                    i + 1,
+                    clause.pattern,
+                    inv
+                ),
+                kind: ObligationKind::ValueCase(i),
+            })
+            .collect(),
+        QualKind::Ref => {
+            let mut out = Vec::new();
+            for (i, rhs) in def.assigns.iter().enumerate() {
+                out.push(ObligationSpec {
+                    description: format!("assign form `{rhs}` establishes `{inv}`"),
+                    kind: ObligationKind::RefAssign(i),
+                });
+            }
+            if def.ondecl {
+                out.push(ObligationSpec {
+                    description: format!("ondecl establishes `{inv}` at declaration"),
+                    kind: ObligationKind::RefOndecl,
+                });
+            }
+            for case in [
+                RhsCase::Null,
+                RhsCase::New,
+                RhsCase::AddrOfVar,
+                RhsCase::Read,
+            ] {
+                out.push(ObligationSpec {
+                    description: format!(
+                        "preservation across an assignment of {case} to another l-value"
+                    ),
+                    kind: ObligationKind::RefPreserve(case),
+                });
+            }
+            out
+        }
     }
+}
+
+/// Materializes the prover problem for one spec produced by
+/// [`obligation_specs`] over the same `def`.
+///
+/// # Panics
+///
+/// Panics if `def` carries no invariant or the spec's index is out of
+/// range — i.e. if the spec did not come from `obligation_specs(def)`.
+pub fn build_obligation(
+    registry: &Registry,
+    def: &QualifierDef,
+    spec: &ObligationSpec,
+) -> Obligation {
+    let inv = def
+        .invariant
+        .as_ref()
+        .expect("specs exist only for invariant-bearing qualifiers");
+    let problem = match spec.kind {
+        ObligationKind::ValueCase(i) => value_case_problem(registry, inv, &def.cases[i]),
+        ObligationKind::RefAssign(i) => ref_assign_problem(def, inv, &def.assigns[i]),
+        ObligationKind::RefOndecl => ref_ondecl_problem(inv),
+        ObligationKind::RefPreserve(case) => ref_preserve_problem(def, inv, case),
+    };
+    Obligation {
+        description: spec.description.clone(),
+        problem,
+    }
+}
+
+/// Generates all proof obligations for `def` (spec enumeration plus
+/// materialization in one step — the convenience form; the pipeline uses
+/// the two halves separately).
+pub fn obligations_for(registry: &Registry, def: &QualifierDef) -> Vec<Obligation> {
+    obligation_specs(def)
+        .iter()
+        .map(|spec| build_obligation(registry, def, spec))
+        .collect()
 }
 
 fn new_problem() -> Problem {
     let mut p = Problem::new();
-    for ax in axioms::background_axioms() {
-        p.axiom(ax);
-    }
+    p.set_theory(axioms::background_theory());
     p
 }
 
 // ===== value qualifiers =====
 
-fn value_obligations(registry: &Registry, def: &QualifierDef, inv: &InvPred) -> Vec<Obligation> {
+fn value_case_problem(registry: &Registry, inv: &InvPred, clause: &Clause) -> Problem {
     let rho = Term::cnst("rho!");
-    let mut out = Vec::new();
-    for (i, clause) in def.cases.iter().enumerate() {
-        let mut problem = new_problem();
-        // Each pattern variable becomes a fresh constant of the right
-        // reified sort; Const-classified variables become constExpr(c).
-        // A pattern variable with no `decl` (an ill-formed clause that
-        // skipped the well-formedness check) binds as a plain Expr: the
-        // obligation stays meaningful — and usually unprovable, which
-        // surfaces the problem as a verdict instead of a panic.
-        let bind = |x: Symbol| -> Term {
-            let classifier = clause
-                .decl(x)
-                .map_or(Classifier::Expr, |decl| decl.classifier);
-            match classifier {
-                Classifier::Const => syntax::const_expr(&Term::cnst(&format!("c!{x}"))),
-                Classifier::LValue | Classifier::Var => {
-                    Term::App(Symbol::intern(&format!("l!{x}")), Vec::new())
-                }
-                Classifier::Expr => Term::App(Symbol::intern(&format!("e!{x}")), Vec::new()),
+    let mut problem = new_problem();
+    // Each pattern variable becomes a fresh constant of the right
+    // reified sort; Const-classified variables become constExpr(c).
+    // A pattern variable with no `decl` (an ill-formed clause that
+    // skipped the well-formedness check) binds as a plain Expr: the
+    // obligation stays meaningful — and usually unprovable, which
+    // surfaces the problem as a verdict instead of a panic.
+    let bind = |x: Symbol| -> Term {
+        let classifier = clause
+            .decl(x)
+            .map_or(Classifier::Expr, |decl| decl.classifier);
+        match classifier {
+            Classifier::Const => syntax::const_expr(&Term::cnst(&format!("c!{x}"))),
+            Classifier::LValue | Classifier::Var => {
+                Term::App(Symbol::intern(&format!("l!{x}")), Vec::new())
             }
-        };
-        // The matched expression, as reified syntax.
-        let subject_term = match &clause.pattern {
-            Pattern::Var(x) => bind(*x),
-            Pattern::Deref(x) => syntax::deref_expr(&bind(*x)),
-            Pattern::AddrOf(x) => syntax::addr_expr(&bind(*x)),
-            Pattern::New => {
-                // Allocation results in expression position do not occur
-                // (new matches instructions); treat as a fresh heap value.
-                let v = Term::cnst("vnew!");
-                problem.hypothesis(axioms::is_heap_loc(&v));
-                syntax::const_expr(&v)
-            }
-            Pattern::Unop(UnOp::Neg, x) => syntax::neg_expr(&bind(*x)),
-            Pattern::Unop(UnOp::Not, x) => syntax::not_expr(&bind(*x)),
-            Pattern::Unop(UnOp::BitNot, x) => Term::app("bitNotExpr", vec![bind(*x)]),
-            Pattern::Binop(op, x, y) => syntax::bin_expr(bin_ctor(*op), &bind(*x), &bind(*y)),
-        };
-        // Guard hypotheses, interpreted semantically.
-        problem.hypothesis(guard_formula(registry, clause, &clause.guard, &rho, &bind));
-        // Goal: the invariant holds of the matched expression in ρ.
-        let value = axioms::eval_expr(&rho, &subject_term);
-        problem.goal(value_inv_formula(inv, &value));
-        out.push(Obligation {
-            description: format!(
-                "case clause {} (`{}`) establishes `{}`",
-                i + 1,
-                clause.pattern,
-                inv
-            ),
-            problem,
-        });
-    }
-    out
+            Classifier::Expr => Term::App(Symbol::intern(&format!("e!{x}")), Vec::new()),
+        }
+    };
+    // The matched expression, as reified syntax.
+    let subject_term = match &clause.pattern {
+        Pattern::Var(x) => bind(*x),
+        Pattern::Deref(x) => syntax::deref_expr(&bind(*x)),
+        Pattern::AddrOf(x) => syntax::addr_expr(&bind(*x)),
+        Pattern::New => {
+            // Allocation results in expression position do not occur
+            // (new matches instructions); treat as a fresh heap value.
+            let v = Term::cnst("vnew!");
+            problem.hypothesis(axioms::is_heap_loc(&v));
+            syntax::const_expr(&v)
+        }
+        Pattern::Unop(UnOp::Neg, x) => syntax::neg_expr(&bind(*x)),
+        Pattern::Unop(UnOp::Not, x) => syntax::not_expr(&bind(*x)),
+        Pattern::Unop(UnOp::BitNot, x) => Term::app("bitNotExpr", vec![bind(*x)]),
+        Pattern::Binop(op, x, y) => syntax::bin_expr(bin_ctor(*op), &bind(*x), &bind(*y)),
+    };
+    // Guard hypotheses, interpreted semantically.
+    problem.hypothesis(guard_formula(registry, clause, &clause.guard, &rho, &bind));
+    // Goal: the invariant holds of the matched expression in ρ.
+    let value = axioms::eval_expr(&rho, &subject_term);
+    problem.goal(value_inv_formula(inv, &value));
+    problem
 }
 
 fn bin_ctor(op: BinOp) -> &'static str {
@@ -304,110 +396,89 @@ pub fn ref_inv_formula(inv: &InvPred, sigma: &Term, ll: &Term) -> Formula {
     go(inv, sigma, ll)
 }
 
-fn ref_obligations(def: &QualifierDef, inv: &InvPred) -> Vec<Obligation> {
+fn ref_assign_problem(def: &QualifierDef, inv: &InvPred, rhs: &AssignRhs) -> Problem {
     let sigma = Term::cnst("sigma!");
     let ll = Term::cnst("ll!");
-    let mut out = Vec::new();
-
-    let subject_is_var = def.subject.classifier == Classifier::Var;
-
-    // --- establishment: assign forms ---
-    for rhs in &def.assigns {
-        let mut problem = new_problem();
-        problem.hypothesis(ll.gt0());
-        if subject_is_var {
-            problem.hypothesis(axioms::is_heap_loc(&ll).negate());
-        }
-        let v = Term::cnst("v!");
-        match rhs {
-            AssignRhs::Null => {
-                problem.hypothesis(v.eq(&Term::int(0)));
-            }
-            AssignRhs::New => {
-                problem.hypothesis(axioms::is_heap_loc(&v));
-                problem.hypothesis(freshness(&sigma, &v));
-            }
-            AssignRhs::Const => {
-                problem.hypothesis(axioms::is_heap_loc(&v).negate());
-            }
-        }
-        let sigma_after = axioms::store(&sigma, &ll, &v);
-        problem.goal(ref_inv_formula(inv, &sigma_after, &ll));
-        out.push(Obligation {
-            description: format!("assign form `{rhs}` establishes `{inv}`"),
-            problem,
-        });
-    }
-
-    // --- establishment: ondecl ---
-    if def.ondecl {
-        let mut problem = new_problem();
-        problem.hypothesis(ll.gt0());
-        // A freshly declared variable's location is not stored anywhere
-        // and is not a heap location.
-        problem.hypothesis(freshness(&sigma, &ll));
+    let mut problem = new_problem();
+    problem.hypothesis(ll.gt0());
+    if def.subject.classifier == Classifier::Var {
         problem.hypothesis(axioms::is_heap_loc(&ll).negate());
-        problem.goal(ref_inv_formula(inv, &sigma, &ll));
-        out.push(Obligation {
-            description: format!("ondecl establishes `{inv}` at declaration"),
-            problem,
-        });
     }
-
-    // --- preservation, one case per RHS form consistent with disallow ---
-    for case in [
-        RhsCase::Null,
-        RhsCase::New,
-        RhsCase::AddrOfVar,
-        RhsCase::Read,
-    ] {
-        let mut problem = new_problem();
-        let ll_other = Term::cnst("llOther!");
-        let v = Term::cnst("v!");
-        problem.hypothesis(ll.gt0());
-        problem.hypothesis(ll_other.gt0());
-        problem.hypothesis(ll_other.ne(&ll));
-        if subject_is_var {
-            problem.hypothesis(axioms::is_heap_loc(&ll).negate());
+    let v = Term::cnst("v!");
+    match rhs {
+        AssignRhs::Null => {
+            problem.hypothesis(v.eq(&Term::int(0)));
         }
-        // The invariant holds before the assignment.
-        problem.hypothesis(ref_inv_formula(inv, &sigma, &ll));
-        match case {
-            RhsCase::Null => {
-                problem.hypothesis(v.eq(&Term::int(0)));
-            }
-            RhsCase::New => {
-                problem.hypothesis(axioms::is_heap_loc(&v));
-                problem.hypothesis(freshness(&sigma, &v));
-            }
-            RhsCase::AddrOfVar => {
-                problem.hypothesis(v.gt0());
-                problem.hypothesis(axioms::is_heap_loc(&v).negate());
-                if def.disallow.addr_of {
-                    // disallow &X: the address taken is not the subject's.
-                    problem.hypothesis(v.ne(&ll));
-                }
-            }
-            RhsCase::Read => {
-                let addr = Term::cnst("aRead!");
-                problem.hypothesis(addr.gt0());
-                problem.hypothesis(v.eq(&axioms::select(&sigma, &addr)));
-                if def.disallow.ref_use {
-                    // disallow L: the right-hand side does not read the
-                    // subject's location.
-                    problem.hypothesis(addr.ne(&ll));
-                }
-            }
+        AssignRhs::New => {
+            problem.hypothesis(axioms::is_heap_loc(&v));
+            problem.hypothesis(freshness(&sigma, &v));
         }
-        let sigma_after = axioms::store(&sigma, &ll_other, &v);
-        problem.goal(ref_inv_formula(inv, &sigma_after, &ll));
-        out.push(Obligation {
-            description: format!("preservation across an assignment of {case} to another l-value"),
-            problem,
-        });
+        AssignRhs::Const => {
+            problem.hypothesis(axioms::is_heap_loc(&v).negate());
+        }
     }
+    let sigma_after = axioms::store(&sigma, &ll, &v);
+    problem.goal(ref_inv_formula(inv, &sigma_after, &ll));
+    problem
+}
 
-    out
+fn ref_ondecl_problem(inv: &InvPred) -> Problem {
+    let sigma = Term::cnst("sigma!");
+    let ll = Term::cnst("ll!");
+    let mut problem = new_problem();
+    problem.hypothesis(ll.gt0());
+    // A freshly declared variable's location is not stored anywhere
+    // and is not a heap location.
+    problem.hypothesis(freshness(&sigma, &ll));
+    problem.hypothesis(axioms::is_heap_loc(&ll).negate());
+    problem.goal(ref_inv_formula(inv, &sigma, &ll));
+    problem
+}
+
+fn ref_preserve_problem(def: &QualifierDef, inv: &InvPred, case: RhsCase) -> Problem {
+    let sigma = Term::cnst("sigma!");
+    let ll = Term::cnst("ll!");
+    let mut problem = new_problem();
+    let ll_other = Term::cnst("llOther!");
+    let v = Term::cnst("v!");
+    problem.hypothesis(ll.gt0());
+    problem.hypothesis(ll_other.gt0());
+    problem.hypothesis(ll_other.ne(&ll));
+    if def.subject.classifier == Classifier::Var {
+        problem.hypothesis(axioms::is_heap_loc(&ll).negate());
+    }
+    // The invariant holds before the assignment.
+    problem.hypothesis(ref_inv_formula(inv, &sigma, &ll));
+    match case {
+        RhsCase::Null => {
+            problem.hypothesis(v.eq(&Term::int(0)));
+        }
+        RhsCase::New => {
+            problem.hypothesis(axioms::is_heap_loc(&v));
+            problem.hypothesis(freshness(&sigma, &v));
+        }
+        RhsCase::AddrOfVar => {
+            problem.hypothesis(v.gt0());
+            problem.hypothesis(axioms::is_heap_loc(&v).negate());
+            if def.disallow.addr_of {
+                // disallow &X: the address taken is not the subject's.
+                problem.hypothesis(v.ne(&ll));
+            }
+        }
+        RhsCase::Read => {
+            let addr = Term::cnst("aRead!");
+            problem.hypothesis(addr.gt0());
+            problem.hypothesis(v.eq(&axioms::select(&sigma, &addr)));
+            if def.disallow.ref_use {
+                // disallow L: the right-hand side does not read the
+                // subject's location.
+                problem.hypothesis(addr.ne(&ll));
+            }
+        }
+    }
+    let sigma_after = axioms::store(&sigma, &ll_other, &v);
+    problem.goal(ref_inv_formula(inv, &sigma_after, &ll));
+    problem
 }
 
 /// `∀p. select(σ, p) ≠ v` — the value is referenced nowhere in the store.

@@ -1,0 +1,195 @@
+//! The cold-path determinism suite: the optimized pipeline (shared
+//! theory, hash-consed leaf checks, per-worker solver reuse) must be a
+//! pure performance change. Verdicts, countermodels, and the `--stats`
+//! counter totals have to be byte-identical across `--jobs 1/4/8`, with
+//! and without fault injection (`--fault-*-at`) armed; and the legacy
+//! tuning ([`SolverTuning::legacy`]) must agree with the optimized
+//! default on every verdict and every *search-trace* counter.
+//!
+//! The only counters allowed to differ between tuning modes are
+//! `merges`/`fm_eliminations` (class-representative numbering and union
+//! scheduling differ between the per-leaf e-graphs and the shared leaf
+//! template) and the preprocessing/interning ledgers
+//! (`theory_preps`/`theory_reuses`, `interned_terms`/`intern_hits`),
+//! which measure *how* the work was done — never *what* was concluded.
+
+use stq_qualspec::Registry;
+use stq_soundness::{
+    check_all_pipeline_tuned, fault, Budget, FaultKind, FaultPlan, RetryPolicy, SolverTuning,
+    SoundnessReport, Verdict,
+};
+
+fn run(jobs: usize, retry: RetryPolicy, tuning: SolverTuning) -> SoundnessReport {
+    let registry = Registry::builtins();
+    check_all_pipeline_tuned(&registry, Budget::default(), retry, jobs, None, tuning)
+}
+
+/// Asserts two reports are identical modulo wall-clock fields.
+fn assert_reports_identical(a: &SoundnessReport, b: &SoundnessReport, what: &str) {
+    assert_eq!(a.reports.len(), b.reports.len(), "{what}: report count");
+    for (ra, rb) in a.reports.iter().zip(&b.reports) {
+        assert_eq!(ra.qualifier, rb.qualifier, "{what}: qualifier order");
+        assert_eq!(ra.verdict, rb.verdict, "{what}: verdict for {}", ra.qualifier);
+        for (oa, ob) in ra.obligations.iter().zip(&rb.obligations) {
+            assert_eq!(oa.description, ob.description, "{what}: obligation order");
+            assert_eq!(oa.proved, ob.proved, "{what}: {}", oa.description);
+            assert_eq!(oa.countermodel, ob.countermodel, "{what}: {}", oa.description);
+            assert_eq!(oa.resource, ob.resource, "{what}: {}", oa.description);
+            assert_eq!(oa.crashed, ob.crashed, "{what}: {}", oa.description);
+            assert_eq!(oa.attempts, ob.attempts, "{what}: {}", oa.description);
+            assert_eq!(
+                oa.stats.without_wall(),
+                ob.stats.without_wall(),
+                "{what}: stats for {}",
+                oa.description
+            );
+        }
+    }
+    assert_eq!(
+        a.totals.without_wall(),
+        b.totals.without_wall(),
+        "{what}: totals"
+    );
+}
+
+#[test]
+fn optimized_pipeline_results_are_identical_across_job_counts() {
+    let retry = RetryPolicy::attempts(2);
+    let baseline = run(1, retry, SolverTuning::default());
+    assert!(baseline.all_sound(), "{baseline}");
+    for jobs in [4, 8] {
+        let parallel = run(jobs, retry, SolverTuning::default());
+        assert_reports_identical(&baseline, &parallel, &format!("jobs={jobs}"));
+    }
+}
+
+#[test]
+fn legacy_and_optimized_tunings_agree_on_verdicts_and_search_counters() {
+    let retry = RetryPolicy::attempts(2);
+    let legacy = run(1, retry, SolverTuning::legacy());
+    let optimized = run(1, retry, SolverTuning::default());
+    assert!(legacy.all_sound(), "{legacy}");
+    assert_eq!(legacy.reports.len(), optimized.reports.len());
+    for (rl, ro) in legacy.reports.iter().zip(&optimized.reports) {
+        assert_eq!(rl.qualifier, ro.qualifier);
+        assert_eq!(rl.verdict, ro.verdict, "verdict for {}", rl.qualifier);
+        for (ol, oo) in rl.obligations.iter().zip(&ro.obligations) {
+            assert_eq!(ol.description, oo.description);
+            assert_eq!(ol.proved, oo.proved, "{}", ol.description);
+            assert_eq!(ol.countermodel, oo.countermodel, "{}", ol.description);
+            assert_eq!(ol.attempts, oo.attempts, "{}", ol.description);
+            // The entire DPLL + E-matching search trace must be
+            // reproduced step for step by the optimized representation.
+            let (sl, so) = (&ol.stats, &oo.stats);
+            assert_eq!(sl.rounds, so.rounds, "{}", ol.description);
+            assert_eq!(sl.instantiations, so.instantiations, "{}", ol.description);
+            assert_eq!(
+                sl.instantiations_by_trigger, so.instantiations_by_trigger,
+                "{}",
+                ol.description
+            );
+            assert_eq!(sl.ematch_candidates, so.ematch_candidates, "{}", ol.description);
+            assert_eq!(sl.decisions, so.decisions, "{}", ol.description);
+            assert_eq!(sl.propagations, so.propagations, "{}", ol.description);
+            assert_eq!(sl.conflicts, so.conflicts, "{}", ol.description);
+            assert_eq!(sl.theory_checks, so.theory_checks, "{}", ol.description);
+            assert_eq!(sl.clauses, so.clauses, "{}", ol.description);
+            assert_eq!(sl.max_clauses, so.max_clauses, "{}", ol.description);
+        }
+    }
+    // The preprocessing ledgers must show the modes really differed:
+    // legacy re-clausifies the axioms per attempt, the optimized path
+    // never does (one worker, theory prepared before the run).
+    assert!(legacy.totals.theory_preps > 0, "{:?}", legacy.totals);
+    assert_eq!(legacy.totals.theory_reuses, 0, "{:?}", legacy.totals);
+    assert_eq!(optimized.totals.theory_preps, 0, "{:?}", optimized.totals);
+    assert!(optimized.totals.theory_reuses > 0, "{:?}", optimized.totals);
+}
+
+#[test]
+fn injected_resource_faults_keep_results_identical_across_job_counts() {
+    // Two injected ResourceOut faults with a three-rung retry ladder:
+    // even if both land on the same obligation (entry numbering under
+    // the pool is scheduling-dependent), it still recovers. A faulted
+    // attempt contributes a fixed (empty) stats record and the re-proof
+    // reproduces the base search trace, so the *totals* are independent
+    // of which obligations drew the faults.
+    let retry = RetryPolicy::attempts(3);
+    let plan = FaultPlan::new()
+        .inject(2, FaultKind::ResourceOut)
+        .inject(9, FaultKind::ResourceOut);
+    let mut baseline: Option<SoundnessReport> = None;
+    for jobs in [1usize, 4, 8] {
+        fault::install(plan.clone());
+        let report = run(jobs, retry, SolverTuning::default());
+        fault::clear();
+        assert!(report.all_sound(), "jobs={jobs}: {report}");
+        let attempts: u32 = report
+            .reports
+            .iter()
+            .flat_map(|r| &r.obligations)
+            .map(|o| o.attempts)
+            .sum();
+        assert_eq!(
+            attempts as usize,
+            report.obligation_count() + 2,
+            "jobs={jobs}: each fault costs exactly one extra attempt"
+        );
+        match &baseline {
+            None => baseline = Some(report),
+            Some(base) => {
+                for (rb, rj) in base.reports.iter().zip(&report.reports) {
+                    assert_eq!(rb.qualifier, rj.qualifier);
+                    assert_eq!(rb.verdict, rj.verdict, "jobs={jobs}: {}", rb.qualifier);
+                }
+                assert_eq!(
+                    base.totals.without_wall(),
+                    report.totals.without_wall(),
+                    "jobs={jobs}: stats totals drifted under injected faults"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn injected_crashes_are_contained_identically_at_every_job_count() {
+    // A panic on solver entry and a theory-solver panic several frames
+    // deep: which obligation draws each entry index is
+    // scheduling-dependent under the pool (documented in `fault`), but
+    // the containment shape is not — exactly two obligations crash,
+    // everything else is proved, at every job count.
+    let plan = FaultPlan::new()
+        .inject(3, FaultKind::Panic)
+        .inject(7, FaultKind::TheoryError);
+    for jobs in [1usize, 4, 8] {
+        fault::install(plan.clone());
+        let report = run(jobs, RetryPolicy::none(), SolverTuning::default());
+        fault::clear();
+        let crashed = report
+            .reports
+            .iter()
+            .flat_map(|r| &r.obligations)
+            .filter(|o| o.crashed.is_some())
+            .count();
+        assert_eq!(crashed, 2, "jobs={jobs}: exactly the two injected crashes");
+        let unproved = report
+            .reports
+            .iter()
+            .flat_map(|r| &r.obligations)
+            .filter(|o| !o.proved)
+            .count();
+        assert_eq!(unproved, 2, "jobs={jobs}: every uninjected obligation proves");
+        // Both crashes usually land on different qualifiers, but entry
+        // numbering under the pool may put them on the same one.
+        let crashed_quals = report
+            .reports
+            .iter()
+            .filter(|r| r.verdict == Verdict::Crashed)
+            .count();
+        assert!(
+            (1..=2).contains(&crashed_quals),
+            "jobs={jobs}: {crashed_quals} crashed qualifier(s)"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Cold-parallel scaling smoke: a small fixed workload (the builtin
+//! registry, no proof cache) must run faster through the optimized cold
+//! pipeline than through the legacy sequential cold path
+//! ([`SolverTuning::legacy`]: per-obligation theory preprocessing, no
+//! hash-consed matching). This is the qualitative floor under the
+//! quantitative `speedup_parallel_cold_vs_sequential` gate in
+//! `BENCH_soundness.json`; it guards against regressions that silently
+//! disable theory sharing or per-worker solver reuse.
+//!
+//! Timing-sensitive, so `#[ignore]`d by default; `scripts/check.sh` runs
+//! it explicitly with `-- --ignored`.
+
+use std::time::{Duration, Instant};
+use stq_qualspec::Registry;
+use stq_soundness::{check_all_pipeline_tuned, Budget, RetryPolicy, SolverTuning};
+
+/// Best-of-N wall clock for one full cold run of the builtin registry.
+fn best_wall(registry: &Registry, jobs: usize, tuning: SolverTuning, reps: u32) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let report = check_all_pipeline_tuned(
+            registry,
+            Budget::default(),
+            RetryPolicy::attempts(3),
+            jobs,
+            None,
+            tuning,
+        );
+        let wall = t0.elapsed();
+        assert!(report.all_sound(), "{report}");
+        best = best.min(wall);
+    }
+    best
+}
+
+#[test]
+#[ignore = "timing-sensitive; run explicitly via scripts/check.sh"]
+fn cold_parallel_beats_the_legacy_sequential_cold_path() {
+    let registry = Registry::builtins();
+    // One throwaway run per configuration to populate the shared-theory
+    // cache and warm the allocator before timing.
+    best_wall(&registry, 1, SolverTuning::legacy(), 1);
+    best_wall(&registry, 4, SolverTuning::default(), 1);
+
+    let sequential = best_wall(&registry, 1, SolverTuning::legacy(), 3);
+    let parallel_cold = best_wall(&registry, 4, SolverTuning::default(), 3);
+    eprintln!(
+        "cold-path smoke: legacy sequential {sequential:?}, optimized parallel \
+         {parallel_cold:?} ({:.2}x)",
+        sequential.as_secs_f64() / parallel_cold.as_secs_f64()
+    );
+    assert!(
+        parallel_cold < sequential,
+        "cold parallel run ({parallel_cold:?}) must beat the legacy sequential \
+         cold path ({sequential:?})"
+    );
+}

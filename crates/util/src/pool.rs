@@ -139,6 +139,79 @@ where
         .collect()
 }
 
+/// Like [`run_indexed_cancellable`], but each worker owns a mutable
+/// state value built by `init` on the worker's own thread and threaded
+/// into every task it runs — the hook for per-worker resource reuse
+/// (the checker keeps a theory-loaded `SolverWorker` alive here, so the
+/// background axiomatization is prepared once per worker, not once per
+/// obligation).
+///
+/// The state never crosses threads (built, used, and dropped on one
+/// worker), so `S` needs no `Send`/`Sync`. Unlike the stateless
+/// functions, the inline path (`jobs <= 1` or fewer than two tasks)
+/// *does* call `init` — the state is a resource the tasks require, not
+/// ambient thread context the caller already has.
+pub fn run_indexed_stateful_cancellable<S, T, R, F, I>(
+    jobs: usize,
+    tasks: Vec<T>,
+    cancel: &CancelToken,
+    init: I,
+    run: F,
+) -> Vec<Option<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut S, usize, T) -> R + Sync,
+    I: Fn() -> S + Sync,
+{
+    let n = tasks.len();
+    if jobs <= 1 || n <= 1 {
+        let mut state = init();
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                if cancel.should_stop() {
+                    None
+                } else {
+                    Some(run(&mut state, i, t))
+                }
+            })
+            .collect();
+    }
+    let workers = jobs.min(n);
+    let slots: Vec<Mutex<Option<T>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((0..n).filter(|i| i % workers == w).collect()))
+        .collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let slots = &slots;
+            let deques = &deques;
+            let results = &results;
+            let run = &run;
+            let init = &init;
+            scope.spawn(move || {
+                let mut state = init();
+                while !cancel.should_stop() {
+                    let Some(i) = next_task(deques, w) else { break };
+                    if let Some(task) = slots[i].lock().expect("slot lock").take() {
+                        let r = run(&mut state, i, task);
+                        *results[i].lock().expect("result lock") = Some(r);
+                    }
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("result lock"))
+        .collect()
+}
+
 /// Pops the next index for worker `w`: its own deque back-first (LIFO,
 /// cache-warm), then a sibling's front (FIFO steal — the oldest, and in
 /// a skewed workload typically the largest, waiting task). `None` means
@@ -273,6 +346,80 @@ mod tests {
         assert!(cancellable.iter().all(Option::is_some));
         let plain = run_indexed(4, (0..40usize).collect(), || {}, |_, t| t * 3);
         assert_eq!(cancellable.into_iter().map(Option::unwrap).collect::<Vec<_>>(), plain);
+    }
+
+    #[test]
+    fn stateful_results_come_back_in_input_order() {
+        for jobs in [1, 2, 4] {
+            let out = run_indexed_stateful_cancellable(
+                jobs,
+                (0..64usize).collect(),
+                &CancelToken::default(),
+                || 0usize, // per-worker task counter
+                |count, i, t| {
+                    assert_eq!(i, t);
+                    *count += 1;
+                    t * 2
+                },
+            );
+            let got: Vec<usize> = out.into_iter().map(Option::unwrap).collect();
+            assert_eq!(got, (0..64).map(|t| t * 2).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn stateful_inline_path_builds_state_and_reuses_it() {
+        let inits = AtomicUsize::new(0);
+        let out = run_indexed_stateful_cancellable(
+            1,
+            vec![5usize, 6, 7],
+            &CancelToken::default(),
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            },
+            |seen: &mut Vec<usize>, _, t| {
+                seen.push(t);
+                seen.len()
+            },
+        );
+        // One state for the whole inline run, mutated across tasks.
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
+        assert_eq!(out, vec![Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn stateful_state_stays_on_its_worker() {
+        // The state carries its builder's thread id; every task must see
+        // the state built on the thread that runs it.
+        let out = run_indexed_stateful_cancellable(
+            4,
+            (0..32usize).collect(),
+            &CancelToken::default(),
+            std::thread::current,
+            |built_on, _, t| {
+                assert_eq!(built_on.id(), std::thread::current().id());
+                t
+            },
+        );
+        assert_eq!(out.iter().filter(|r| r.is_some()).count(), 32);
+    }
+
+    #[test]
+    fn stateful_pre_cancelled_token_skips_every_task() {
+        for jobs in [1, 4] {
+            let cancel = CancelToken::new();
+            cancel.cancel();
+            let out = run_indexed_stateful_cancellable(
+                jobs,
+                (0..16usize).collect(),
+                &cancel,
+                || (),
+                |(), _, t| t,
+            );
+            assert_eq!(out.len(), 16, "jobs={jobs}");
+            assert!(out.iter().all(Option::is_none), "jobs={jobs}");
+        }
     }
 
     #[test]

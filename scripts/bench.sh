@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Soundness + prover benchmarks. Emits BENCH_soundness.json at the repo
-# root: obligations/sec for the sequential, parallel (jobs=4, cold), and
-# warm-cache pipeline modes, the cache hit/miss ledger of a cold vs
-# warm second run, and the deadline-enforcement overhead of the warm
-# jobs=4 run with a (never-firing) timeout + deadline armed — asserted
-# <5% by the bench itself. Also emits BENCH_serve.json: the warm
+# root: obligations/sec for the legacy-sequential, optimized parallel
+# (jobs=4, cold), and warm-cache pipeline modes, the cache hit/miss
+# ledger of a cold vs warm second run, and the deadline-enforcement
+# overhead of the warm jobs=4 run with a (never-firing) timeout +
+# deadline armed — asserted <5% by the bench itself; the cold-path
+# speedup is asserted ≥3x. Also emits BENCH_prover_ablation.json: the
+# cold run timed under each combination of the two SolverTuning axes
+# (shared theory preprocessing, hash-consed leaf checks). Also emits BENCH_serve.json: the warm
 # `stqc serve` daemon's requests/sec and latency percentiles against
 # the one-shot process baseline, asserted ≥5x (and zero warm cache
 # misses) by `stqc bench-serve` itself. Also emits BENCH_chaos.json:
@@ -22,12 +25,22 @@ cargo bench -p stq-bench --bench soundness_pipeline
 echo "==> cargo bench -p stq-bench --bench prove_qualifiers"
 cargo bench -p stq-bench --bench prove_qualifiers
 
+echo "==> cargo bench -p stq-bench --bench prover_ablation (cold-path tuning ablation)"
+cargo bench -p stq-bench --bench prover_ablation
+
 if [[ ! -f BENCH_soundness.json ]]; then
     echo "bench.sh: BENCH_soundness.json was not produced" >&2
     exit 1
 fi
 echo "==> BENCH_soundness.json"
 cat BENCH_soundness.json
+
+if [[ ! -f BENCH_prover_ablation.json ]]; then
+    echo "bench.sh: BENCH_prover_ablation.json was not produced" >&2
+    exit 1
+fi
+echo "==> BENCH_prover_ablation.json"
+cat BENCH_prover_ablation.json
 
 echo "==> stqc bench-serve (warm daemon vs one-shot baseline)"
 cargo build --release

@@ -14,6 +14,9 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cold-parallel scaling smoke (optimized cold path beats legacy sequential)"
+cargo test -q --release -p stq-soundness --test perf_smoke -- --ignored --nocapture
+
 echo "==> stqc single-threaded smoke (--jobs 1)"
 smoke_src="$(mktemp /tmp/stqc-smoke-XXXXXX.c)"
 trap 'rm -f "$smoke_src"' EXIT

@@ -669,7 +669,7 @@ fn interrupted_run_does_not_poison_the_cache() {
 fn sigint_yields_partial_report_and_resume_hits_the_cache() {
     use std::process::Stdio;
 
-    let quals = temp_file("heavy-sigint.q", &heavy_quals(16));
+    let quals = temp_file("heavy-sigint.q", &heavy_quals(64));
     let dir = temp_dir("sigint-resume");
     let args = [
         "prove",
@@ -687,7 +687,8 @@ fn sigint_yields_partial_report_and_resume_hits_the_cache() {
         .spawn()
         .expect("stqc spawns");
     // Long enough for the handler to be installed and a few obligations
-    // to finish, short enough that the ~16-qualifier run is still going.
+    // to finish, short enough that the ~64-qualifier run (about a second
+    // even on the optimized cold path) is still going.
     std::thread::sleep(std::time::Duration::from_millis(300));
     let sent = Command::new("kill")
         .args(["-INT", &child.id().to_string()])

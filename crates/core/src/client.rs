@@ -6,7 +6,10 @@
 //! torn, corrupted, interleaved with stray lines, or not at all because
 //! the connection was reset or the worker was killed and restarted
 //! under its supervisor. This module is the client that survives all of
-//! it — and the reusable plumbing `stqc call` now sits on.
+//! it — and the reusable plumbing `stqc call` now sits on. It speaks
+//! both daemon transports — Unix socket by default, TCP when
+//! [`ClientConfig::tcp`] is set — with the identical healing contract
+//! over each (`docs/serving.md` has the transport matrix).
 //!
 //! The healing contract (`docs/serving.md` has the retry-semantics
 //! table):
@@ -32,7 +35,8 @@
 //!   after the request may have reached the server, the call returns
 //!   [`CallError::Ambiguous`] instead of blindly replaying a mutation.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -43,8 +47,13 @@ use stq_util::json::{escape, Json};
 /// (one connect attempt, no retries, no deadline).
 #[derive(Clone, Debug)]
 pub struct ClientConfig {
-    /// Path of the daemon's Unix socket.
+    /// Path of the daemon's Unix socket. Ignored when [`ClientConfig::tcp`]
+    /// is set.
     pub socket: PathBuf,
+    /// TCP address (`HOST:PORT`) of the daemon. When `Some`, the client
+    /// dials TCP instead of the Unix socket — same wire protocol, same
+    /// healing contract.
+    pub tcp: Option<String>,
     /// Total budget for establishing a connection, including retries
     /// while the socket is refused/absent (a supervisor restarting its
     /// worker). Zero means a single attempt.
@@ -67,6 +76,7 @@ impl Default for ClientConfig {
     fn default() -> ClientConfig {
         ClientConfig {
             socket: PathBuf::new(),
+            tcp: None,
             connect_timeout: Duration::ZERO,
             call_deadline: None,
             max_retries: 0,
@@ -151,9 +161,58 @@ fn splitmix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A blocking stream to the daemon over either transport. Both carry
+/// the identical line-delimited JSON protocol; the client never needs
+/// to know which one it is holding.
+enum NetStream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl NetStream {
+    fn try_clone(&self) -> std::io::Result<NetStream> {
+        match self {
+            NetStream::Unix(s) => s.try_clone().map(NetStream::Unix),
+            NetStream::Tcp(s) => s.try_clone().map(NetStream::Tcp),
+        }
+    }
+
+    fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            NetStream::Unix(s) => s.set_read_timeout(dur),
+            NetStream::Tcp(s) => s.set_read_timeout(dur),
+        }
+    }
+}
+
+impl Read for NetStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            NetStream::Unix(s) => s.read(buf),
+            NetStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for NetStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            NetStream::Unix(s) => s.write(buf),
+            NetStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            NetStream::Unix(s) => s.flush(),
+            NetStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
 struct Conn {
-    stream: UnixStream,
-    reader: BufReader<UnixStream>,
+    stream: NetStream,
+    reader: BufReader<NetStream>,
 }
 
 enum Recv {
@@ -218,15 +277,25 @@ impl Client {
         if let Some(deadline) = overall {
             give_up = give_up.min(deadline);
         }
+        let endpoint = match &self.cfg.tcp {
+            Some(addr) => addr.clone(),
+            None => self.cfg.socket.display().to_string(),
+        };
         loop {
-            match UnixStream::connect(&self.cfg.socket) {
+            let dialed = match &self.cfg.tcp {
+                Some(addr) => TcpStream::connect(addr.as_str()).map(NetStream::Tcp),
+                None => UnixStream::connect(&self.cfg.socket).map(NetStream::Unix),
+            };
+            match dialed {
                 Ok(stream) => {
+                    if let NetStream::Tcp(s) = &stream {
+                        // Request lines are tiny; trading batching for
+                        // latency matches the Unix-socket behavior.
+                        let _ = s.set_nodelay(true);
+                    }
                     let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
                     let reader = BufReader::new(stream.try_clone().map_err(|e| {
-                        CallError::Unreachable(format!(
-                            "{}: {e}",
-                            self.cfg.socket.display()
-                        ))
+                        CallError::Unreachable(format!("{endpoint}: {e}"))
                     })?);
                     if self.ever_connected {
                         self.stats.reconnects += 1;
@@ -237,10 +306,7 @@ impl Client {
                 }
                 Err(e) => {
                     if Instant::now() >= give_up {
-                        return Err(CallError::Unreachable(format!(
-                            "{}: {e}",
-                            self.cfg.socket.display()
-                        )));
+                        return Err(CallError::Unreachable(format!("{endpoint}: {e}")));
                     }
                     std::thread::sleep(Duration::from_millis(10));
                 }
@@ -491,6 +557,7 @@ mod tests {
     fn cfg(socket: &Path) -> ClientConfig {
         ClientConfig {
             socket: socket.to_path_buf(),
+            tcp: None,
             connect_timeout: Duration::from_secs(5),
             call_deadline: Some(Duration::from_secs(10)),
             max_retries: 8,
@@ -692,6 +759,36 @@ mod tests {
         });
         let err = client.call("stats", None, None).expect_err("no daemon");
         assert!(matches!(err, CallError::Unreachable(_)), "{err:?}");
+    }
+
+    #[test]
+    fn tcp_round_trip_attributes_by_id() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind tcp");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let daemon = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read request");
+            let doc = Json::parse(line.trim()).expect("request is json");
+            let id = doc.get("id").and_then(Json::as_u64).expect("request id");
+            let response = format!("{{\"id\":{id},\"ok\":true,\"result\":{{\"tcp\":true}}}}\n");
+            stream.write_all(response.as_bytes()).expect("write");
+        });
+        let mut client = Client::new(ClientConfig {
+            tcp: Some(addr),
+            ..cfg(Path::new("/nonexistent"))
+        });
+        let out = client.call("stats", None, None).expect("tcp call");
+        assert_eq!(
+            out.doc
+                .get("result")
+                .and_then(|r| r.get("tcp"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(client.stats(), ClientStats::default());
+        daemon.join().expect("daemon thread");
     }
 
     #[test]

@@ -30,7 +30,23 @@
 //!   accepting work, drains what is queued and in flight, persists the
 //!   proof cache, and exits — `docs/robustness.md` has the exit-code
 //!   taxonomy.
+//! * **Multiplexed connections.** The daemon's connection layer is an
+//!   event-driven reactor (`stq_util::reactor`): one thread blocks in
+//!   `poll(2)` over every accepted socket — Unix-domain and TCP alike —
+//!   so an idle connection costs a buffer and a table entry, not a
+//!   thread, and the thread count is `1 + workers` regardless of how
+//!   many clients are attached. The old thread-per-client
+//!   [`Server::serve_stream`] survives for embedded transports.
+//! * **Single-flight dedup.** Identical concurrent `prove` requests
+//!   coalesce: the first becomes the *leader* and runs the solver; the
+//!   rest become *waiters* that consume no worker slot and receive a
+//!   byte-identical copy of the leader's answer under their own request
+//!   id (`dedup_hits` in `stats` counts the answers fanned out without a
+//!   solver run). A leader that disconnects or is interrupted hands the
+//!   flight to the first surviving waiter, which re-runs.
 
+use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::io::{self, Read, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -128,6 +144,18 @@ pub struct ServeStats {
     oversized: AtomicU64,
     bad_utf8: AtomicU64,
     idle_closed: AtomicU64,
+    /// Answers fanned out from a single-flight leader's solver run to
+    /// coalesced duplicate requests (N identical concurrent proves cost
+    /// one run and N−1 dedup hits).
+    dedup_hits: AtomicU64,
+    /// Currently-open connections (gauge, not a counter) — maintained by
+    /// the reactor and by the `--stdio`/embedded paths alike, so tests
+    /// can assert teardown releases resources promptly.
+    open_connections: AtomicU64,
+    /// Mirrors of the reactor's `poll(2)`-return / wake-pipe-drain
+    /// counters, refreshed each loop iteration; 0 outside reactor mode.
+    reactor_polls: AtomicU64,
+    reactor_wakeups: AtomicU64,
 }
 
 impl ServeStats {
@@ -150,6 +178,10 @@ impl ServeStats {
             oversized: AtomicU64::new(0),
             bad_utf8: AtomicU64::new(0),
             idle_closed: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            reactor_polls: AtomicU64::new(0),
+            reactor_wakeups: AtomicU64::new(0),
         }
     }
 }
@@ -223,6 +255,320 @@ enum PumpOutcome {
     Stopping,
 }
 
+/// An advisory `flock(2)` lock file guarding the socket-path lifecycle.
+///
+/// Stale-socket reclaim used to be a TOCTOU race: two daemons started at
+/// the same moment could both connect-probe the stale path, both
+/// `remove_file` it, and one would silently steal the socket the other
+/// had just bound. The whole probe → unlink → bind sequence now runs
+/// while holding `<socket>.lock` exclusively (same idiom as the proof
+/// cache's journal lock in `stq-soundness::cache`), and the winning
+/// daemon keeps holding it for its lifetime, so a concurrent starter
+/// fails fast with `AddrInUse` instead of racing.
+///
+/// The lock file itself is never unlinked: removing it would reintroduce
+/// the race one level up (a daemon locking an unlinked inode while a new
+/// starter locks a fresh file at the same path). A leftover empty
+/// `.lock` file is harmless.
+#[cfg(unix)]
+mod socklock {
+    use std::fs::{File, OpenOptions};
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+    use std::path::{Path, PathBuf};
+
+    extern "C" {
+        fn flock(fd: i32, operation: i32) -> i32;
+    }
+    const LOCK_EX: i32 = 2;
+    const LOCK_NB: i32 = 4;
+    const LOCK_UN: i32 = 8;
+
+    pub struct SocketLock {
+        file: File,
+    }
+
+    pub fn lock_path(socket: &Path) -> PathBuf {
+        let mut os = socket.as_os_str().to_owned();
+        os.push(".lock");
+        PathBuf::from(os)
+    }
+
+    impl SocketLock {
+        /// Acquires `<socket>.lock` exclusively without blocking; a held
+        /// lock means another daemon is starting or serving on this path.
+        pub fn acquire(socket: &Path) -> io::Result<SocketLock> {
+            let path = lock_path(socket);
+            // The file's (empty) contents are shared lock state —
+            // truncating a rival's already-open lock file would be rude
+            // and is never needed.
+            let file = OpenOptions::new()
+                .create(true)
+                .truncate(false)
+                .read(true)
+                .write(true)
+                .open(&path)?;
+            let rc = unsafe { flock(file.as_raw_fd(), LOCK_EX | LOCK_NB) };
+            if rc != 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!(
+                        "another daemon is starting or serving on this path \
+                         (socket lock {} is held)",
+                        path.display()
+                    ),
+                ));
+            }
+            Ok(SocketLock { file })
+        }
+    }
+
+    impl Drop for SocketLock {
+        fn drop(&mut self) {
+            // Closing the fd would release the lock anyway; the explicit
+            // unlock documents intent and survives fd-leak refactors.
+            unsafe {
+                flock(self.file.as_raw_fd(), LOCK_UN);
+            }
+        }
+    }
+}
+
+/// One registered requester in a single-flight [`Flight`]: who to answer
+/// (`conn` + echoed `id`) and the deadline it asked for (applied only if
+/// this waiter is ever promoted to leader).
+struct Waiter {
+    conn: Arc<Conn>,
+    id: String,
+    deadline_ms: Option<u64>,
+}
+
+/// One in-flight deduplicated `prove`: the parameters (identical for
+/// every member, by key construction) and the ordered member list —
+/// `waiters[0]` is the current leader. Pushes happen only while holding
+/// the server's flight-table lock, so removing a flight from the table
+/// is a linearization point after which no new member can join.
+struct Flight {
+    params: Json,
+    waiters: Mutex<Vec<Waiter>>,
+}
+
+/// 128-bit FNV-1a — the same construction `stq-logic`'s obligation
+/// fingerprints use; the digest is wrapped in [`stq_logic::Fingerprint`]
+/// to key the flight table.
+fn fnv128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u128::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// A `prove` handler result: the rendered payload plus whether the run
+/// was interrupted (deadline/cancel). The flag drives single-flight
+/// leader handoff — interrupted partials are leader-specific and never
+/// fanned out to waiters.
+struct ProveOutput {
+    json: String,
+    interrupted: bool,
+}
+
+/// How long a worker will wait for a stalled peer to drain its socket
+/// before declaring the connection dead (reactor transports only; the
+/// write waits on `POLLOUT` instead of blocking the descriptor).
+#[cfg(unix)]
+const WRITE_STALL: Duration = Duration::from_secs(10);
+
+/// One accepted reactor transport: both kinds speak the identical
+/// line-delimited JSON protocol, so everything above the fd is shared.
+#[cfg(unix)]
+enum RawStream {
+    Unix(std::os::unix::net::UnixStream),
+    Tcp(std::net::TcpStream),
+}
+
+#[cfg(unix)]
+impl RawStream {
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            RawStream::Unix(s) => s.set_nonblocking(nb),
+            RawStream::Tcp(s) => s.set_nonblocking(nb),
+        }
+    }
+
+    fn try_clone(&self) -> io::Result<RawStream> {
+        Ok(match self {
+            RawStream::Unix(s) => RawStream::Unix(s.try_clone()?),
+            RawStream::Tcp(s) => RawStream::Tcp(s.try_clone()?),
+        })
+    }
+
+    fn shutdown_both(&self) {
+        let _ = match self {
+            RawStream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+            RawStream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+#[cfg(unix)]
+impl std::os::unix::io::AsRawFd for RawStream {
+    fn as_raw_fd(&self) -> std::os::unix::io::RawFd {
+        match self {
+            RawStream::Unix(s) => s.as_raw_fd(),
+            RawStream::Tcp(s) => s.as_raw_fd(),
+        }
+    }
+}
+
+#[cfg(unix)]
+impl Read for RawStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            RawStream::Unix(s) => s.read(buf),
+            RawStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+#[cfg(unix)]
+impl Write for RawStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            RawStream::Unix(s) => s.write(buf),
+            RawStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            RawStream::Unix(s) => s.flush(),
+            RawStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Write half of a reactor connection. The fd is nonblocking (it is the
+/// same socket the reactor polls for reads), so a worker writing a large
+/// response parks in `poll(POLLOUT)` on `WouldBlock` — bounded by
+/// [`WRITE_STALL`] — rather than spinning or blocking the reactor.
+#[cfg(unix)]
+struct PollWriter {
+    inner: RawStream,
+    stall: Duration,
+}
+
+#[cfg(unix)]
+impl Write for PollWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        use std::os::unix::io::AsRawFd;
+        loop {
+            match self.inner.write(buf) {
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if !stq_util::reactor::wait_writable(self.inner.as_raw_fd(), self.stall)? {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "peer stopped draining its responses",
+                        ));
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                other => return other,
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Per-connection reactor state: the readable stream, its framing
+/// buffer, and the idle clock.
+#[cfg(unix)]
+struct ConnState {
+    conn: Arc<Conn>,
+    stream: RawStream,
+    framer: Framer,
+    last_activity: Instant,
+}
+
+#[cfg(unix)]
+enum ConnVerdict {
+    /// Still open; nothing more to read right now.
+    Keep,
+    /// Peer hung up (EOF or hard error): tear the connection down.
+    Closed,
+    /// A `shutdown` request was routed; the serve loop should drain.
+    Stopping,
+}
+
+/// Line-framing state shared by the blocking reader ([`Server::pump`])
+/// and the reactor: the partial-line buffer plus the oversized-discard
+/// flag, so both transports get identical reader-defense behavior.
+struct Framer {
+    pending: Vec<u8>,
+    discarding: bool,
+}
+
+impl Framer {
+    fn new() -> Framer {
+        Framer { pending: Vec::new(), discarding: false }
+    }
+
+    /// Ingests freshly-read bytes, routing every complete line. Returns
+    /// true when the connection should stop reading (`shutdown` was
+    /// handled).
+    fn ingest(&mut self, server: &Arc<Server>, conn: &Arc<Conn>, bytes: &[u8]) -> bool {
+        self.pending.extend_from_slice(bytes);
+        loop {
+            if let Some(eol) = self.pending.iter().position(|b| *b == b'\n') {
+                let line: Vec<u8> = self.pending.drain(..=eol).collect();
+                if self.discarding {
+                    // The tail of a line already rejected as oversized.
+                    self.discarding = false;
+                    continue;
+                }
+                match std::str::from_utf8(&line[..eol]) {
+                    Ok(text) if text.trim().is_empty() => {}
+                    Ok(text) => {
+                        if server.route(conn, text.trim()) {
+                            return true;
+                        }
+                    }
+                    Err(_) => {
+                        server.stats.bad_utf8.fetch_add(1, Ordering::Relaxed);
+                        server.respond_err(conn, "null", "input", "request line is not valid UTF-8");
+                    }
+                }
+            } else {
+                if !self.discarding
+                    && server.cfg.max_line_bytes > 0
+                    && self.pending.len() > server.cfg.max_line_bytes
+                {
+                    server.stats.oversized.fetch_add(1, Ordering::Relaxed);
+                    server.respond_err(
+                        conn,
+                        "null",
+                        "input",
+                        &format!(
+                            "request line exceeds {} bytes; discarding \
+                             through the next newline",
+                            server.cfg.max_line_bytes
+                        ),
+                    );
+                    self.pending.clear();
+                    self.discarding = true;
+                }
+                return false;
+            }
+        }
+    }
+}
+
 /// The resident checking server. Construct once, share behind an
 /// [`Arc`], and drive with [`Server::run_unix`] or [`Server::run_stdio`]
 /// (or [`Server::serve_stream`] for an embedded transport).
@@ -234,6 +580,14 @@ pub struct Server {
     cancel: CancelToken,
     stopping: AtomicBool,
     netfault: Option<Arc<NetFaultInjector>>,
+    /// Single-flight table: fingerprint of a resolved `prove` request →
+    /// the flight currently running it. All member pushes happen under
+    /// this lock (see [`Flight`]).
+    flights: Mutex<HashMap<stq_logic::Fingerprint, Arc<Flight>>>,
+    /// Bumped on every successful `define_qualifiers`, and mixed into
+    /// every flight key: a prove after a (re)definition never coalesces
+    /// with one from before it.
+    define_epoch: AtomicU64,
     cfg: ServeConfig,
 }
 
@@ -262,6 +616,8 @@ impl Server {
             cancel,
             stopping: AtomicBool::new(false),
             netfault,
+            flights: Mutex::new(HashMap::new()),
+            define_epoch: AtomicU64::new(0),
             cfg,
         })
     }
@@ -307,11 +663,14 @@ impl Server {
     /// the drain runs and the daemon exits.
     pub fn run_stdio(self: &Arc<Server>) -> ShutdownKind {
         self.stats.connections.fetch_add(1, Ordering::Relaxed);
+        self.stats.open_connections.fetch_add(1, Ordering::AcqRel);
         let writer = self.chaos_writer(Box::new(io::stdout()) as Box<dyn Write + Send>, None);
         let conn = Arc::new(Conn::new(self.cancel.child(), writer));
         let mut stdin = io::stdin();
         let _ = self.pump(&conn, &mut stdin);
-        self.finish()
+        let kind = self.finish();
+        self.stats.open_connections.fetch_sub(1, Ordering::AcqRel);
+        kind
     }
 
     /// Serves one accepted Unix-socket connection until the peer hangs
@@ -337,6 +696,7 @@ impl Server {
             None => None,
         };
         let writer = self.chaos_writer(writer, severer);
+        self.stats.open_connections.fetch_add(1, Ordering::AcqRel);
         let conn = Arc::new(Conn::new(self.cancel.child(), writer));
         let mut reader = stream;
         if let PumpOutcome::Disconnected = self.pump(&conn, &mut reader) {
@@ -347,54 +707,280 @@ impl Server {
             conn.token.cancel();
             self.stats.disconnects.fetch_add(1, Ordering::Relaxed);
         }
+        // Whichever way the pump ended, this connection's resources are
+        // released now — the gauge is what regression tests watch to
+        // prove teardown is prompt (the old accept loop leaked a
+        // JoinHandle per connection until shutdown).
+        self.stats.open_connections.fetch_sub(1, Ordering::AcqRel);
     }
 
     /// Binds `socket_path` and serves until shutdown. Returns how the
     /// run ended; the socket file is removed on the way out. A stale
-    /// socket file left by a dead daemon is reclaimed; a *live* daemon
-    /// on the same path is an `AddrInUse` error.
+    /// socket file left by a dead daemon is reclaimed — under an
+    /// exclusive [`socklock`] lock, so two daemons racing for the same
+    /// path cannot both reclaim it — and a *live* daemon on the same
+    /// path is an `AddrInUse` error.
     #[cfg(unix)]
     pub fn run_unix(self: &Arc<Server>, socket_path: &std::path::Path) -> io::Result<ShutdownKind> {
-        use std::os::unix::net::{UnixListener, UnixStream};
+        self.run_multi(Some(socket_path), None)
+    }
 
-        let listener = match UnixListener::bind(socket_path) {
-            Ok(l) => l,
-            Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
-                if UnixStream::connect(socket_path).is_ok() {
-                    return Err(io::Error::new(
-                        io::ErrorKind::AddrInUse,
-                        format!("a daemon is already serving {}", socket_path.display()),
-                    ));
-                }
-                std::fs::remove_file(socket_path)?;
-                UnixListener::bind(socket_path)?
+    /// Serves the same wire protocol over TCP. The caller binds the
+    /// listener (so it can learn the kernel-assigned port when binding
+    /// `:0`) and hands it over.
+    #[cfg(unix)]
+    pub fn run_tcp(self: &Arc<Server>, listener: std::net::TcpListener) -> io::Result<ShutdownKind> {
+        self.run_multi(None, Some(listener))
+    }
+
+    /// The reactor-driven serving loop behind [`run_unix`](Self::run_unix)
+    /// and [`run_tcp`](Self::run_tcp): one thread multiplexes *both*
+    /// listeners and every accepted connection through `poll(2)`
+    /// (`stq_util::reactor`), handing parsed requests to the worker
+    /// pool. Thread count is `1 + cfg.jobs`, independent of client
+    /// count; an idle daemon blocks in the kernel with no timer churn
+    /// (the poll timeout exists only when the root deadline or an idle
+    /// sweep needs it).
+    #[cfg(unix)]
+    pub fn run_multi(
+        self: &Arc<Server>,
+        socket_path: Option<&std::path::Path>,
+        tcp: Option<std::net::TcpListener>,
+    ) -> io::Result<ShutdownKind> {
+        use std::os::unix::io::AsRawFd;
+        use std::os::unix::net::{UnixListener, UnixStream};
+        use stq_util::reactor::{Interest, Reactor};
+
+        // The whole probe → unlink → rebind sequence runs under the
+        // exclusive socket lock, and the winner holds the lock for its
+        // lifetime (dropped on the way out of this function).
+        let mut _socket_guard = None;
+        let unix_listener = match socket_path {
+            Some(path) => {
+                let guard = socklock::SocketLock::acquire(path)?;
+                let listener = match UnixListener::bind(path) {
+                    Ok(l) => l,
+                    Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+                        if UnixStream::connect(path).is_ok() {
+                            return Err(io::Error::new(
+                                io::ErrorKind::AddrInUse,
+                                format!("a daemon is already serving {}", path.display()),
+                            ));
+                        }
+                        std::fs::remove_file(path)?;
+                        UnixListener::bind(path)?
+                    }
+                    Err(e) => return Err(e),
+                };
+                listener.set_nonblocking(true)?;
+                _socket_guard = Some(guard);
+                Some(listener)
             }
-            Err(e) => return Err(e),
+            None => None,
         };
-        listener.set_nonblocking(true)?;
-        let mut conns = Vec::new();
-        while !self.stopping() {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    let server = Arc::clone(self);
-                    conns.push(std::thread::spawn(move || server.serve_stream(stream)));
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => {
-                    let _ = std::fs::remove_file(socket_path);
-                    return Err(e);
+        if let Some(l) = &tcp {
+            l.set_nonblocking(true)?;
+        }
+
+        const UNIX_LISTENER_TOKEN: usize = 0;
+        const TCP_LISTENER_TOKEN: usize = 1;
+        const FIRST_CONN_TOKEN: usize = 2;
+
+        let mut reactor = Reactor::new()?;
+        // A SIGINT — or any external cancel of the root token — must
+        // interrupt a poll(2) blocked with no timeout: `cancel()` rings
+        // the reactor's wake pipe (async-signal-safely).
+        self.cancel.set_wake_fd(reactor.waker().raw_fd());
+        if let Some(l) = &unix_listener {
+            reactor.register(l.as_raw_fd(), UNIX_LISTENER_TOKEN, Interest::READABLE);
+        }
+        if let Some(l) = &tcp {
+            reactor.register(l.as_raw_fd(), TCP_LISTENER_TOKEN, Interest::READABLE);
+        }
+
+        let mut conns: HashMap<usize, ConnState> = HashMap::new();
+        let mut next_token = FIRST_CONN_TOKEN;
+        let mut events = Vec::new();
+        let mut chunk = [0u8; 4096];
+
+        let result: io::Result<()> = loop {
+            if self.stopping() {
+                break Ok(());
+            }
+            // Sleep exactly until something can happen: readiness on a
+            // socket, the wake pipe, the root deadline, or the nearest
+            // idle-connection expiry. With none of those armed the poll
+            // blocks indefinitely — zero wakeups on an idle daemon.
+            let mut timeout: Option<Duration> = self
+                .cancel
+                .deadline()
+                .map(|d| d.saturating_duration_since(Instant::now()));
+            if let Some(idle) = self.cfg.idle_timeout {
+                for state in conns.values() {
+                    if state.conn.inflight.load(Ordering::Acquire) == 0 {
+                        let left = idle.saturating_sub(state.last_activity.elapsed());
+                        timeout = Some(timeout.map_or(left, |t| t.min(left)));
+                    }
                 }
             }
+            if let Err(e) = reactor.poll_events(timeout, &mut events) {
+                break Err(e);
+            }
+            self.stats.reactor_polls.store(reactor.polls(), Ordering::Relaxed);
+            self.stats.reactor_wakeups.store(reactor.wakeups(), Ordering::Relaxed);
+            for event in &events {
+                match event.token {
+                    UNIX_LISTENER_TOKEN => {
+                        if let Some(l) = &unix_listener {
+                            loop {
+                                match l.accept() {
+                                    Ok((stream, _)) => self.admit(
+                                        RawStream::Unix(stream),
+                                        &mut reactor,
+                                        &mut conns,
+                                        &mut next_token,
+                                    ),
+                                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                                    Err(_) => break,
+                                }
+                            }
+                        }
+                    }
+                    TCP_LISTENER_TOKEN => {
+                        if let Some(l) = &tcp {
+                            loop {
+                                match l.accept() {
+                                    Ok((stream, _)) => self.admit(
+                                        RawStream::Tcp(stream),
+                                        &mut reactor,
+                                        &mut conns,
+                                        &mut next_token,
+                                    ),
+                                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                                    Err(_) => break,
+                                }
+                            }
+                        }
+                    }
+                    token => {
+                        let Some(state) = conns.get_mut(&token) else { continue };
+                        match self.drive_conn(state, &mut chunk) {
+                            ConnVerdict::Keep => {}
+                            ConnVerdict::Stopping => {}
+                            ConnVerdict::Closed => {
+                                let state = conns.remove(&token).expect("conn state");
+                                reactor.deregister(token);
+                                self.retire(&state.conn);
+                            }
+                        }
+                    }
+                }
+            }
+            // Idle sweep: close connections that sat quiet past the
+            // window with nothing in flight.
+            if let Some(idle) = self.cfg.idle_timeout {
+                let expired: Vec<usize> = conns
+                    .iter()
+                    .filter(|(_, s)| {
+                        s.conn.inflight.load(Ordering::Acquire) == 0
+                            && s.last_activity.elapsed() >= idle
+                    })
+                    .map(|(t, _)| *t)
+                    .collect();
+                for token in expired {
+                    let state = conns.remove(&token).expect("conn state");
+                    reactor.deregister(token);
+                    self.stats.idle_closed.fetch_add(1, Ordering::Relaxed);
+                    self.retire(&state.conn);
+                }
+            }
+        };
+        self.cancel.set_wake_fd(-1);
+        if let Err(e) = result {
+            if let Some(path) = socket_path {
+                let _ = std::fs::remove_file(path);
+            }
+            return Err(e);
         }
-        for handle in conns {
-            let _ = handle.join();
-        }
+        // Drain before teardown: queued and in-flight requests still
+        // write their responses through the live connections.
         let kind = self.finish();
-        let _ = std::fs::remove_file(socket_path);
+        for (token, state) in conns.drain() {
+            reactor.deregister(token);
+            self.stats.open_connections.fetch_sub(1, Ordering::AcqRel);
+            drop(state);
+        }
+        if let Some(path) = socket_path {
+            let _ = std::fs::remove_file(path);
+        }
         Ok(kind)
+    }
+
+    /// Sets up one accepted connection on the reactor: nonblocking
+    /// stream, write half behind a [`PollWriter`] (plus the chaos layer
+    /// when armed), a child cancel token, and a read registration.
+    #[cfg(unix)]
+    fn admit(
+        self: &Arc<Server>,
+        stream: RawStream,
+        reactor: &mut stq_util::reactor::Reactor,
+        conns: &mut HashMap<usize, ConnState>,
+        next_token: &mut usize,
+    ) {
+        use std::os::unix::io::AsRawFd;
+
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let Ok(write_half) = stream.try_clone() else { return };
+        let writer =
+            Box::new(PollWriter { inner: write_half, stall: WRITE_STALL }) as Box<dyn Write + Send>;
+        let severer: Option<Box<dyn Fn() + Send>> = match self.netfault {
+            Some(_) => match stream.try_clone() {
+                Ok(s) => Some(Box::new(move || s.shutdown_both())),
+                Err(_) => return,
+            },
+            None => None,
+        };
+        let writer = self.chaos_writer(writer, severer);
+        let conn = Arc::new(Conn::new(self.cancel.child(), writer));
+        self.stats.connections.fetch_add(1, Ordering::Relaxed);
+        self.stats.open_connections.fetch_add(1, Ordering::AcqRel);
+        let token = *next_token;
+        *next_token += 1;
+        reactor.register(stream.as_raw_fd(), token, stq_util::reactor::Interest::READABLE);
+        conns.insert(
+            token,
+            ConnState { conn, stream, framer: Framer::new(), last_activity: Instant::now() },
+        );
+    }
+
+    /// Reads everything currently available on one reactor connection.
+    #[cfg(unix)]
+    fn drive_conn(self: &Arc<Server>, state: &mut ConnState, chunk: &mut [u8]) -> ConnVerdict {
+        loop {
+            match state.stream.read(chunk) {
+                Ok(0) => return ConnVerdict::Closed,
+                Ok(n) => {
+                    state.last_activity = Instant::now();
+                    if state.framer.ingest(self, &state.conn, &chunk[..n]) {
+                        return ConnVerdict::Stopping;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return ConnVerdict::Keep,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return ConnVerdict::Closed,
+            }
+        }
+    }
+
+    /// Marks a reactor connection gone: cancel its request subtree so
+    /// queued and in-flight work winds down, and release the gauge.
+    fn retire(&self, conn: &Conn) {
+        conn.alive.store(false, Ordering::Release);
+        conn.token.cancel();
+        self.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+        self.stats.open_connections.fetch_sub(1, Ordering::AcqRel);
     }
 
     /// Reads the connection's byte stream, frames it into lines, and
@@ -409,10 +995,8 @@ impl Server {
     /// rejection, and (when [`ServeConfig::idle_timeout`] is set) a
     /// connection with nothing in flight and nothing to say is closed.
     fn pump(self: &Arc<Server>, conn: &Arc<Conn>, reader: &mut dyn Read) -> PumpOutcome {
-        let mut pending: Vec<u8> = Vec::new();
+        let mut framer = Framer::new();
         let mut chunk = [0u8; 4096];
-        // True while skipping the remainder of an oversized line.
-        let mut discarding = false;
         let mut last_activity = Instant::now();
         loop {
             if self.stopping() {
@@ -422,54 +1006,8 @@ impl Server {
                 Ok(0) => return PumpOutcome::Disconnected,
                 Ok(n) => {
                     last_activity = Instant::now();
-                    pending.extend_from_slice(&chunk[..n]);
-                    loop {
-                        if let Some(eol) = pending.iter().position(|b| *b == b'\n') {
-                            let line: Vec<u8> = pending.drain(..=eol).collect();
-                            if discarding {
-                                // The tail of a line already rejected
-                                // as oversized.
-                                discarding = false;
-                                continue;
-                            }
-                            match std::str::from_utf8(&line[..eol]) {
-                                Ok(text) if text.trim().is_empty() => {}
-                                Ok(text) => {
-                                    if self.route(conn, text.trim()) {
-                                        return PumpOutcome::Stopping;
-                                    }
-                                }
-                                Err(_) => {
-                                    self.stats.bad_utf8.fetch_add(1, Ordering::Relaxed);
-                                    self.respond_err(
-                                        conn,
-                                        "null",
-                                        "input",
-                                        "request line is not valid UTF-8",
-                                    );
-                                }
-                            }
-                        } else {
-                            if !discarding
-                                && self.cfg.max_line_bytes > 0
-                                && pending.len() > self.cfg.max_line_bytes
-                            {
-                                self.stats.oversized.fetch_add(1, Ordering::Relaxed);
-                                self.respond_err(
-                                    conn,
-                                    "null",
-                                    "input",
-                                    &format!(
-                                        "request line exceeds {} bytes; discarding \
-                                         through the next newline",
-                                        self.cfg.max_line_bytes
-                                    ),
-                                );
-                                pending.clear();
-                                discarding = true;
-                            }
-                            break;
-                        }
+                    if framer.ingest(self, conn, &chunk[..n]) {
+                        return PumpOutcome::Stopping;
                     }
                 }
                 Err(e)
@@ -560,8 +1098,14 @@ impl Server {
                 conn.write_line(&ok_response(&id, &result));
                 false
             }
-            "define_qualifiers" | "check" | "prove" => {
+            "define_qualifiers" | "check" => {
                 self.enqueue(conn, id, method.to_owned(), params, deadline_ms);
+                false
+            }
+            // `prove` goes through the single-flight table so identical
+            // concurrent requests run the solver once.
+            "prove" => {
+                self.enqueue_prove(conn, id, params, deadline_ms);
                 false
             }
             other => {
@@ -632,6 +1176,240 @@ impl Server {
         }
     }
 
+    /// The fingerprint under which a `prove` request deduplicates:
+    /// FNV-1a over its *resolved* parameters (names in order, budget and
+    /// retry overrides, jobs, cache flag, requested deadline) plus the
+    /// define epoch. `None` when any parameter fails validation — such
+    /// requests take the plain queue and get their structured error
+    /// from the worker.
+    fn prove_key(&self, params: &Json, deadline_ms: Option<u64>) -> Option<stq_logic::Fingerprint> {
+        let mut canon = String::new();
+        match params.get("names") {
+            None | Some(Json::Null) => canon.push_str("names=all;"),
+            Some(Json::Arr(items)) => {
+                canon.push_str("names=");
+                for item in items {
+                    canon.push_str(item.as_str()?);
+                    canon.push('\x1f');
+                }
+                canon.push(';');
+            }
+            Some(_) => return None,
+        }
+        let over = budget_override(params.get("budget")).ok()?;
+        let _ = write!(
+            canon,
+            "budget={:?},{:?},{:?},{:?},{:?};",
+            over.max_rounds, over.max_instantiations, over.max_clauses, over.max_decisions,
+            over.timeout,
+        );
+        let retry = retry_override(self.cfg.retry, params.get("retry")).ok()?;
+        let _ = write!(canon, "retry={},{};", retry.max_attempts, retry.factor);
+        let jobs = match params.get("jobs") {
+            None | Some(Json::Null) => self.cfg.prove_jobs,
+            Some(v) => v.as_u64().filter(|n| *n >= 1)?.min(256) as usize,
+        };
+        let use_cache = match params.get("cache") {
+            None | Some(Json::Null) => true,
+            Some(v) => v.as_bool()?,
+        };
+        let _ = write!(
+            canon,
+            "jobs={jobs};cache={use_cache};deadline={deadline_ms:?};epoch={};",
+            self.define_epoch.load(Ordering::Acquire),
+        );
+        Some(stq_logic::Fingerprint(fnv128(canon.as_bytes())))
+    }
+
+    /// Single-flight admission for `prove`: join an identical in-flight
+    /// request as a waiter (no worker slot), or lead a fresh flight.
+    fn enqueue_prove(
+        self: &Arc<Server>,
+        conn: &Arc<Conn>,
+        id: String,
+        params: Json,
+        deadline_ms: Option<u64>,
+    ) {
+        let Some(key) = self.prove_key(&params, deadline_ms) else {
+            // Unparseable parameters never coalesce; the plain queue's
+            // worker renders the structured error.
+            self.enqueue(conn, id, "prove".to_owned(), params, deadline_ms);
+            return;
+        };
+        if self.stopping() {
+            self.respond_err(conn, &id, "shutting-down", "the server is draining");
+            return;
+        }
+        // The fairness gate counts waiters too: a waiter is a
+        // submitted-but-unfinished request even though it occupies no
+        // worker slot.
+        if self.cfg.max_inflight > 0
+            && conn.inflight.load(Ordering::Acquire) >= self.cfg.max_inflight as u64
+        {
+            self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            self.respond_err(
+                conn,
+                &id,
+                "overloaded",
+                &format!(
+                    "this connection already has {} request(s) in flight (limit {})",
+                    conn.inflight.load(Ordering::Relaxed),
+                    self.cfg.max_inflight
+                ),
+            );
+            return;
+        }
+        let leads = {
+            let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+            conn.inflight.fetch_add(1, Ordering::AcqRel);
+            self.stats.inflight.fetch_add(1, Ordering::AcqRel);
+            match flights.get(&key) {
+                Some(flight) => {
+                    // Joining is only legal under the table lock — see
+                    // `Flight` for the linearization argument.
+                    let mut waiters = flight.waiters.lock().unwrap_or_else(|e| e.into_inner());
+                    waiters.push(Waiter { conn: Arc::clone(conn), id, deadline_ms });
+                    false
+                }
+                None => {
+                    let waiter = Waiter { conn: Arc::clone(conn), id: id.clone(), deadline_ms };
+                    flights
+                        .insert(key, Arc::new(Flight { params, waiters: Mutex::new(vec![waiter]) }));
+                    true
+                }
+            }
+        };
+        if !leads {
+            return;
+        }
+        let server = Arc::clone(self);
+        if let Err(rejected) = self.sched.submit(Box::new(move || server.run_flight(key))) {
+            // Could not place the leader: dissolve the flight and shed
+            // every member that managed to join in the meantime.
+            let flight = {
+                let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+                flights.remove(&key)
+            };
+            let (code, message) = match rejected {
+                Rejected::Overloaded => {
+                    self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    ("overloaded", "the server's request queue is full")
+                }
+                Rejected::Closed => ("shutting-down", "the server is draining"),
+            };
+            if let Some(flight) = flight {
+                let members: Vec<Waiter> = {
+                    let mut waiters = flight.waiters.lock().unwrap_or_else(|e| e.into_inner());
+                    waiters.drain(..).collect()
+                };
+                for w in members {
+                    self.respond_err(&w.conn, &w.id, code, message);
+                    self.finish_member(&w.conn);
+                }
+            }
+        }
+    }
+
+    /// Worker-side single-flight driver: run the solve as the current
+    /// leader, fan a conclusive answer out to every member, and hand off
+    /// (re-running) when a leader is interrupted or gone.
+    fn run_flight(self: &Arc<Server>, key: stq_logic::Fingerprint) {
+        loop {
+            let flight = {
+                let flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+                match flights.get(&key) {
+                    Some(f) => Arc::clone(f),
+                    None => return,
+                }
+            };
+            // Current leader = first member whose client still exists;
+            // members that vanished while queued are retired here.
+            let leader = {
+                let mut waiters = flight.waiters.lock().unwrap_or_else(|e| e.into_inner());
+                waiters.retain(|w| {
+                    if w.conn.alive() {
+                        true
+                    } else {
+                        self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                        self.finish_member(&w.conn);
+                        false
+                    }
+                });
+                waiters.first().map(|w| (Arc::clone(&w.conn), w.id.clone(), w.deadline_ms))
+            };
+            let Some((conn, id, deadline_ms)) = leader else {
+                let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+                flights.remove(&key);
+                return;
+            };
+            let token = match deadline_ms {
+                Some(ms) => conn.token.child_with_deadline_in(Duration::from_millis(ms)),
+                None => conn.token.child(),
+            };
+            let outcome = self.do_prove(&flight.params, &token);
+            match outcome {
+                Ok(partial) if partial.interrupted => {
+                    // An interrupted partial is an artifact of *this
+                    // leader's* deadline or disconnect — answer it alone
+                    // and promote the next surviving member, which
+                    // re-runs the solve under its own token.
+                    if conn.alive() {
+                        conn.write_line(&ok_response(&id, &partial.json));
+                    } else {
+                        self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.finish_member(&conn);
+                    let mut waiters = flight.waiters.lock().unwrap_or_else(|e| e.into_inner());
+                    if !waiters.is_empty() {
+                        waiters.remove(0);
+                    }
+                }
+                conclusive => {
+                    // Conclusive verdict or deterministic error: remove
+                    // the flight first (after this no new member can
+                    // join — joins require the table entry), then fan
+                    // the byte-identical payload out under each
+                    // member's own id.
+                    let flight = {
+                        let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+                        flights.remove(&key)
+                    };
+                    let members: Vec<Waiter> = match &flight {
+                        Some(f) => {
+                            let mut waiters =
+                                f.waiters.lock().unwrap_or_else(|e| e.into_inner());
+                            waiters.drain(..).collect()
+                        }
+                        None => Vec::new(),
+                    };
+                    for (idx, w) in members.iter().enumerate() {
+                        if w.conn.alive() {
+                            match &conclusive {
+                                Ok(out) => w.conn.write_line(&ok_response(&w.id, &out.json)),
+                                Err((code, message)) => {
+                                    self.respond_err(&w.conn, &w.id, code, message);
+                                }
+                            }
+                            if idx > 0 {
+                                self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                        } else {
+                            self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.finish_member(&w.conn);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Releases one flight member's in-flight accounting.
+    fn finish_member(&self, conn: &Conn) {
+        conn.inflight.fetch_sub(1, Ordering::AcqRel);
+        self.stats.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+
     /// Runs one request on a worker thread.
     fn execute(
         self: &Arc<Server>,
@@ -654,7 +1432,9 @@ impl Server {
         let outcome = match method {
             "define_qualifiers" => self.do_define(params),
             "check" => self.do_check(params),
-            "prove" => self.do_prove(params, &token),
+            // Only reachable for proves that failed key resolution (the
+            // deduplicated path is `run_flight`).
+            "prove" => self.do_prove(params, &token).map(|p| p.json),
             _ => Err(("invalid", format!("method `{method}` is not a worker method"))),
         };
         match outcome {
@@ -688,6 +1468,9 @@ impl Server {
             return Err(("input", format!("ill-formed qualifier definitions:\n{wf}")));
         }
         *guard = next;
+        // Invalidate every single-flight key: proves after this
+        // definition must not coalesce with proves from before it.
+        self.define_epoch.fetch_add(1, Ordering::AcqRel);
         let defined: Vec<String> = names
             .iter()
             .map(|n| format!("\"{}\"", escape(&n.to_string())))
@@ -736,8 +1519,10 @@ impl Server {
     /// `prove {names?, budget?, retry?, jobs?, cache?}` under the
     /// request token. Interrupted runs (deadline, disconnect, SIGINT)
     /// return a *partial* report with `"interrupted":true`; conclusive
-    /// verdicts reached before the stop are kept and cached.
-    fn do_prove(&self, params: &Json, token: &CancelToken) -> Result<String, ServeError> {
+    /// verdicts reached before the stop are kept and cached. The
+    /// returned [`ProveOutput`] carries the interrupted flag alongside
+    /// the payload so single-flight leaders know whether to fan out.
+    fn do_prove(&self, params: &Json, token: &CancelToken) -> Result<ProveOutput, ServeError> {
         let names: Option<Vec<&str>> = match params.get("names") {
             None | Some(Json::Null) => None,
             Some(Json::Arr(items)) => {
@@ -794,7 +1579,7 @@ impl Server {
             let _ = self.cache.persist();
         }
         let quals: Vec<String> = report.reports.iter().map(qual_report_json).collect();
-        Ok(format!(
+        let json = format!(
             "{{\"all_sound\":{},\"interrupted\":{},\"skipped\":{},\
              \"qualifiers\":[{}],\"totals\":{},\"cache\":{}}}",
             report.all_sound(),
@@ -803,7 +1588,8 @@ impl Server {
             quals.join(","),
             crate::reportjson::prover_stats_json(&report.totals),
             self.cache_json(),
-        ))
+        );
+        Ok(ProveOutput { json, interrupted: report.interrupted() })
     }
 
     fn cache_json(&self) -> String {
@@ -844,17 +1630,20 @@ impl Server {
         };
         format!(
             "{{\"uptime_ms\":{},\"jobs\":{},\"qualifiers\":{qualifiers},\
-             \"connections\":{},\"disconnects\":{},\
+             \"connections\":{},\"disconnects\":{},\"open_connections\":{},\
              \"requests\":{{\"total\":{total},\"define_qualifiers\":{},\"check\":{},\
              \"prove\":{},\"stats\":{},\"health\":{},\"shutdown\":{}}},\
              \"inflight\":{},\"queued\":{},\"shed\":{},\"cancelled\":{},\
              \"interrupted\":{},\"errors\":{},\"panics\":{},\
              \"oversized\":{},\"bad_utf8\":{},\"idle_closed\":{},\
+             \"dedup_hits\":{},\
+             \"reactor\":{{\"polls\":{},\"wakeups\":{}}},\
              \"netfault\":{netfault},\"cache\":{}}}",
             crate::reportjson::json_ms(s.started.elapsed()),
             self.cfg.jobs,
             s.connections.load(Ordering::Relaxed),
             s.disconnects.load(Ordering::Relaxed),
+            s.open_connections.load(Ordering::Relaxed),
             s.define.load(Ordering::Relaxed),
             s.check.load(Ordering::Relaxed),
             s.prove.load(Ordering::Relaxed),
@@ -871,6 +1660,9 @@ impl Server {
             s.oversized.load(Ordering::Relaxed),
             s.bad_utf8.load(Ordering::Relaxed),
             s.idle_closed.load(Ordering::Relaxed),
+            s.dedup_hits.load(Ordering::Relaxed),
+            s.reactor_polls.load(Ordering::Relaxed),
+            s.reactor_wakeups.load(Ordering::Relaxed),
             self.cache_json(),
         )
     }
@@ -1330,6 +2122,7 @@ mod tests {
         }
         let mut client = crate::client::Client::new(crate::client::ClientConfig {
             socket: socket.clone(),
+            tcp: None,
             connect_timeout: Duration::from_secs(5),
             call_deadline: Some(Duration::from_secs(30)),
             max_retries: 32,
@@ -1351,6 +2144,84 @@ mod tests {
         client.call("shutdown", None, None).expect("shutdown");
         run.join().expect("run thread").expect("run result");
         let _ = std::fs::remove_file(&socket);
+    }
+
+    /// Waits until something is listening on `socket`.
+    fn await_bind(socket: &std::path::Path) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while std::os::unix::net::UnixStream::connect(socket).is_err() {
+            assert!(std::time::Instant::now() < deadline, "server never bound");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn socket_lock_excludes_concurrent_daemons_on_one_path() {
+        let socket = std::env::temp_dir()
+            .join(format!("stqc-socklock-test-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&socket);
+        let _ = std::fs::remove_file(socklock::lock_path(&socket));
+        let (server, cancel) = spawn_server(ServeConfig::default());
+        let run = {
+            let server = Arc::clone(&server);
+            let socket = socket.clone();
+            std::thread::spawn(move || server.run_unix(&socket))
+        };
+        await_bind(&socket);
+
+        // While the daemon serves, the lock is held: a rival cannot take
+        // it, so the probe → unlink → rebind reclaim sequence can never
+        // start against a live socket.
+        let contended = socklock::SocketLock::acquire(&socket);
+        assert!(
+            contended.is_err(),
+            "a serving daemon must hold its socket lock exclusively"
+        );
+        // And a full second daemon on the same path fails outright.
+        let (rival, _rival_cancel) = spawn_server(ServeConfig::default());
+        assert!(
+            rival.run_unix(&socket).is_err(),
+            "two daemons must not serve one socket path"
+        );
+
+        cancel.cancel();
+        run.join().expect("run thread").expect("clean shutdown");
+        // The lock is released with the daemon; the path is reusable.
+        let reacquired = socklock::SocketLock::acquire(&socket);
+        assert!(reacquired.is_ok(), "lock must be free after shutdown");
+        drop(reacquired);
+        let _ = std::fs::remove_file(socklock::lock_path(&socket));
+    }
+
+    #[test]
+    fn stale_socket_file_is_reclaimed_under_the_lock() {
+        let socket = std::env::temp_dir()
+            .join(format!("stqc-stale-test-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&socket);
+        // A dead daemon's leftovers: bind then drop the listener, which
+        // leaves the socket file on disk with nothing answering it.
+        drop(std::os::unix::net::UnixListener::bind(&socket).expect("stale bind"));
+        assert!(socket.exists(), "stale socket file is the precondition");
+
+        let (server, cancel) = spawn_server(ServeConfig::default());
+        let run = {
+            let server = Arc::clone(&server);
+            let socket = socket.clone();
+            std::thread::spawn(move || server.run_unix(&socket))
+        };
+        await_bind(&socket);
+        let mut client = std::os::unix::net::UnixStream::connect(&socket).expect("connect");
+        let mut reader = BufReader::new(client.try_clone().expect("clone"));
+        let health = roundtrip(&mut client, &mut reader, r#"{"id":1,"method":"health"}"#);
+        assert_eq!(health.get("ok").and_then(Json::as_bool), Some(true));
+
+        cancel.cancel();
+        run.join().expect("run thread").expect("reclaim then clean shutdown");
+        assert!(!socket.exists(), "socket file is removed on the way out");
+        // The lock file deliberately outlives the daemon (unlinking it
+        // would reopen the reclaim race one level up).
+        assert!(socklock::lock_path(&socket).exists());
+        let _ = std::fs::remove_file(socklock::lock_path(&socket));
     }
 }
 

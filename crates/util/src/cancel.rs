@@ -38,9 +38,20 @@
 //! assert_eq!(expired.stop_reason(), Some(CancelReason::DeadlineExpired));
 //! ```
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+#[cfg(unix)]
+extern "C" {
+    /// Raw `write(2)`, used by [`CancelToken::cancel`] to ring a reactor's
+    /// wake pipe. Async-signal-safe per POSIX, which is the whole point —
+    /// the libc crate is not a dependency of this workspace.
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+/// Sentinel for "no wake fd registered".
+const NO_WAKE_FD: i32 = -1;
 
 /// Why a token asked its holders to stop.
 ///
@@ -57,7 +68,7 @@ pub enum CancelReason {
     DeadlineExpired,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Inner {
     cancelled: AtomicBool,
     deadline: Option<Instant>,
@@ -66,6 +77,22 @@ struct Inner {
     /// firing a parent stops a whole tree of in-flight work, while
     /// cancelling a child (one request) leaves siblings untouched.
     parent: Option<Arc<Inner>>,
+    /// Descriptor to write one byte to on [`CancelToken::cancel`]
+    /// ([`NO_WAKE_FD`] when unset). A reactor-driven daemon registers its
+    /// wake pipe here so a cancel landing on *any* thread — including a
+    /// signal handler — interrupts a `poll(2)` blocked with no timeout.
+    wake_fd: AtomicI32,
+}
+
+impl Default for Inner {
+    fn default() -> Inner {
+        Inner {
+            cancelled: AtomicBool::new(false),
+            deadline: None,
+            parent: None,
+            wake_fd: AtomicI32::new(NO_WAKE_FD),
+        }
+    }
 }
 
 impl Inner {
@@ -104,11 +131,7 @@ impl CancelToken {
     /// A token that fires once the wall clock reaches `deadline`.
     pub fn with_deadline(deadline: Instant) -> CancelToken {
         CancelToken {
-            inner: Arc::new(Inner {
-                cancelled: AtomicBool::new(false),
-                deadline: Some(deadline),
-                parent: None,
-            }),
+            inner: Arc::new(Inner { deadline: Some(deadline), ..Inner::default() }),
         }
     }
 
@@ -126,9 +149,8 @@ impl CancelToken {
     pub fn child(&self) -> CancelToken {
         CancelToken {
             inner: Arc::new(Inner {
-                cancelled: AtomicBool::new(false),
-                deadline: None,
                 parent: Some(Arc::clone(&self.inner)),
+                ..Inner::default()
             }),
         }
     }
@@ -140,9 +162,9 @@ impl CancelToken {
     pub fn child_with_deadline(&self, deadline: Instant) -> CancelToken {
         CancelToken {
             inner: Arc::new(Inner {
-                cancelled: AtomicBool::new(false),
                 deadline: Some(deadline),
                 parent: Some(Arc::clone(&self.inner)),
+                ..Inner::default()
             }),
         }
     }
@@ -153,10 +175,36 @@ impl CancelToken {
     }
 
     /// Requests cancellation. Idempotent, and safe to call from a signal
-    /// handler: the body is a single atomic store (no locks, no
-    /// allocation).
+    /// handler: the body is an atomic store plus, when a wake fd is
+    /// registered ([`set_wake_fd`](CancelToken::set_wake_fd)), one raw
+    /// `write(2)` — both async-signal-safe; no locks, no allocation.
     pub fn cancel(&self) {
         self.inner.cancelled.store(true, Ordering::Release);
+        #[cfg(unix)]
+        {
+            let fd = self.inner.wake_fd.load(Ordering::Acquire);
+            if fd != NO_WAKE_FD {
+                let byte = [b'!'];
+                // EAGAIN (wake pipe already full) is as good as success;
+                // EBADF after a reactor shut down is harmless too.
+                unsafe {
+                    let _ = write(fd, byte.as_ptr(), 1);
+                }
+            }
+        }
+    }
+
+    /// Registers a descriptor (typically a reactor's
+    /// [`Waker`](crate::reactor::Waker) pipe) to be written on
+    /// [`cancel`](CancelToken::cancel), so a cancel interrupts a
+    /// `poll(2)` blocked with no timeout. Shared by every clone of this
+    /// token (but **not** by parents or children — register on the token
+    /// the signal handler holds). Pass a negative fd to clear.
+    ///
+    /// The caller must keep the descriptor open for as long as cancels
+    /// may fire, or clear the registration first.
+    pub fn set_wake_fd(&self, fd: i32) {
+        self.inner.wake_fd.store(if fd < 0 { NO_WAKE_FD } else { fd }, Ordering::Release);
     }
 
     /// True once [`cancel`](CancelToken::cancel) has been called on any
@@ -280,6 +328,32 @@ mod tests {
         assert!(!leaf.should_stop());
         root.cancel();
         assert!(leaf.is_cancelled());
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn cancel_rings_a_registered_wake_fd() {
+        use std::io::Read;
+        use std::os::unix::io::AsRawFd;
+        use std::os::unix::net::UnixStream;
+
+        let (tx, mut rx) = UnixStream::pair().unwrap();
+        tx.set_nonblocking(true).unwrap();
+        let t = CancelToken::new();
+        t.set_wake_fd(tx.as_raw_fd());
+        let clone = t.clone();
+        clone.cancel();
+        let mut buf = [0u8; 8];
+        rx.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let n = rx.read(&mut buf).unwrap();
+        assert!(n >= 1, "cancel() should have written a wake byte");
+        assert_eq!(buf[0], b'!');
+
+        // Clearing the registration stops further writes.
+        t.set_wake_fd(-1);
+        t.cancel();
+        rx.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        assert!(rx.read(&mut buf).is_err(), "no byte after the fd is cleared");
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   for the serve daemon's line-delimited wire protocol,
 //! * [`serve`] — the daemon's bounded request scheduler with
 //!   structured load shedding,
+//! * [`reactor`] — `poll(2)` readiness multiplexing over nonblocking
+//!   sockets (self-pipe waker included) so the daemon serves many idle
+//!   connections from one thread (see `docs/serving.md`),
 //! * [`netfault`] — seeded, deterministic wire-fault injection for the
 //!   serve transport (the chaos harness; see `docs/robustness.md`),
 //! * [`Span`] / [`Loc`] — byte-offset source locations for error reporting,
@@ -42,6 +45,7 @@ pub mod intern;
 pub mod json;
 pub mod netfault;
 pub mod pool;
+pub mod reactor;
 pub mod serve;
 pub mod span;
 

@@ -8,9 +8,13 @@
 # speedup is asserted ≥3x. Also emits BENCH_prover_ablation.json: the
 # cold run timed under each combination of the two SolverTuning axes
 # (shared theory preprocessing, hash-consed leaf checks). Also emits BENCH_serve.json: the warm
-# `stqc serve` daemon's requests/sec and latency percentiles against
+# `stqc serve` daemon's requests/sec and latency percentiles over BOTH
+# transports (Unix socket and TCP, one dual-listener daemon) against
 # the one-shot process baseline, asserted ≥5x (and zero warm cache
-# misses) by `stqc bench-serve` itself. Also emits BENCH_chaos.json:
+# misses) by `stqc bench-serve` itself — with 64 held-open idle
+# connections throughout, a concurrent-duplicate burst that must
+# coalesce (dedup_hits > 0, byte-identical fan-out), and daemon
+# verdicts asserted identical to one-shot runs. Also emits BENCH_chaos.json:
 # the seeded chaos soak's exactly-once / baseline-identical / warm-cache
 # invariants under injected wire faults and a worker SIGKILL, asserted
 # by `stqc chaos-serve` itself. See docs/performance.md,
@@ -42,7 +46,7 @@ fi
 echo "==> BENCH_prover_ablation.json"
 cat BENCH_prover_ablation.json
 
-echo "==> stqc bench-serve (warm daemon vs one-shot baseline)"
+echo "==> stqc bench-serve (warm daemon, Unix + TCP, vs one-shot baseline)"
 cargo build --release
 ./target/release/stqc bench-serve --out BENCH_serve.json
 

@@ -12,16 +12,19 @@
 //! stqc fuzz [--seed N] [--count N] [--jobs N] [--max-depth N] [--json]
 //!           [--deadline-ms N] [--replay DIR]
 //!                                        differential fuzzing
-//! stqc serve (--socket PATH | --stdio) [--jobs N] [--cache-dir DIR]
+//! stqc serve (--socket PATH | --tcp HOST:PORT | --stdio) [--jobs N]
+//!           [--cache-dir DIR] [--addr-file PATH]
 //!           [--quals FILE] [--max-inflight N] [--max-queue N]
 //!           [--supervise] [--pid-file PATH] [--idle-timeout-ms N]
 //!           [--max-line-bytes N] [--net-fault-seed N] [BUDGET..]
 //!                                        checking-as-a-service daemon
-//! stqc call --socket PATH [--deadline-ms N] [--connect-timeout-ms N]
-//!           [--call-deadline-ms N] [--retries N] METHOD [PARAMS]
+//! stqc call (--socket PATH | --tcp HOST:PORT) [--deadline-ms N]
+//!           [--connect-timeout-ms N] [--call-deadline-ms N]
+//!           [--retries N] METHOD [PARAMS]
 //!                                        one request to a serve daemon
 //! stqc bench-serve [--clients N] [--requests N] [--oneshot N]
-//!           [--jobs N] [--out FILE]      daemon vs one-shot benchmark
+//!           [--idle-conns N] [--jobs N] [--out FILE]
+//!                                        daemon vs one-shot benchmark
 //! stqc chaos-serve [--seed N] [--count N] [--clients N] [--kill-worker]
 //!           [--out FILE]                 chaos soak against a faulted daemon
 //! ```
@@ -150,6 +153,11 @@ fuzzing flags (fuzz; see docs/testing.md):
 
 serving flags (serve, call, bench-serve; see docs/serving.md):
   --socket PATH             Unix socket to serve on / connect to
+  --tcp HOST:PORT           TCP address to serve on / connect to (serve may
+                            combine --socket and --tcp; port 0 picks a free
+                            port, reported on stderr and via --addr-file)
+  --addr-file PATH          write the bound TCP address (or socket path) to
+                            PATH once listening (serve)
   --stdio                   serve one session over stdin/stdout (testing)
   --max-inflight N          per-connection in-flight request cap (serve)
   --max-queue N             global request queue bound before shedding (serve)
@@ -167,6 +175,8 @@ serving flags (serve, call, bench-serve; see docs/serving.md):
   --clients N               concurrent clients (bench-serve, chaos-serve)
   --requests N              requests per bench client (bench-serve)
   --oneshot N               one-shot baseline process count (bench-serve)
+  --idle-conns N            open, silent connections held through the
+                            measured phase (bench-serve; default 64)
   --out FILE                benchmark report path (default BENCH_serve.json;
                             chaos-serve: BENCH_chaos.json)
 
@@ -1187,12 +1197,14 @@ fn tables(args: &[String]) -> ExitCode {
 
 // ----- checking as a service -----
 
-/// Strips serve-specific flags (`--socket PATH`, `--stdio`,
-/// `--max-inflight N`, `--max-queue N`, the supervision and wire-fault
-/// flags) out of `args` so the remainder can go through the common
-/// [`session_from`] scan.
+/// Strips serve-specific flags (`--socket PATH`, `--tcp HOST:PORT`,
+/// `--addr-file PATH`, `--stdio`, `--max-inflight N`, `--max-queue N`,
+/// the supervision and wire-fault flags) out of `args` so the
+/// remainder can go through the common [`session_from`] scan.
 struct ServeArgs {
     socket: Option<String>,
+    tcp: Option<String>,
+    addr_file: Option<String>,
     stdio: bool,
     max_inflight: usize,
     max_queue: usize,
@@ -1209,6 +1221,8 @@ struct ServeArgs {
 fn split_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
     let mut out = ServeArgs {
         socket: None,
+        tcp: None,
+        addr_file: None,
         stdio: false,
         max_inflight: 32,
         max_queue: 1024,
@@ -1229,6 +1243,20 @@ fn split_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
                     .get(i + 1)
                     .ok_or_else(|| usage_err("--socket needs a path"))?;
                 out.socket = Some(path.clone());
+                i += 2;
+            }
+            "--tcp" => {
+                let addr = args
+                    .get(i + 1)
+                    .ok_or_else(|| usage_err("--tcp needs HOST:PORT"))?;
+                out.tcp = Some(addr.clone());
+                i += 2;
+            }
+            "--addr-file" => {
+                let path = args
+                    .get(i + 1)
+                    .ok_or_else(|| usage_err("--addr-file needs a path"))?;
+                out.addr_file = Some(path.clone());
                 i += 2;
             }
             "--stdio" => {
@@ -1310,8 +1338,11 @@ fn serve(args: &[String]) -> ExitCode {
     if let Some(stray) = rest.first() {
         return fail(usage_err(format!("serve: unexpected argument `{stray}`")));
     }
-    if serve_args.socket.is_none() && !serve_args.stdio {
-        return fail(usage_err("serve needs --socket PATH or --stdio"));
+    if serve_args.socket.is_none() && serve_args.tcp.is_none() && !serve_args.stdio {
+        return fail(usage_err("serve needs --socket PATH, --tcp HOST:PORT, or --stdio"));
+    }
+    if serve_args.stdio && (serve_args.socket.is_some() || serve_args.tcp.is_some()) {
+        return fail(usage_err("--stdio excludes --socket and --tcp"));
     }
     if let Some(pid_file) = &serve_args.pid_file {
         if let Err(e) = fs::write(pid_file, format!("{}\n", std::process::id())) {
@@ -1349,16 +1380,48 @@ fn serve(args: &[String]) -> ExitCode {
     } else {
         #[cfg(unix)]
         {
-            let path = serve_args.socket.expect("checked above");
-            eprintln!("stqc: serving on {path}");
-            match server.run_unix(std::path::Path::new(&path)) {
+            // Bind TCP here (not in the server) so `--tcp 127.0.0.1:0`
+            // can report the kernel-assigned port before serving; the
+            // bound address goes to stderr and, for scripts, to
+            // `--addr-file`.
+            let tcp_listener = match &serve_args.tcp {
+                Some(addr) => match std::net::TcpListener::bind(addr.as_str()) {
+                    Ok(l) => Some(l),
+                    Err(e) => return fail(input_err(format!("serve: cannot bind {addr}: {e}"))),
+                },
+                None => None,
+            };
+            let mut endpoints: Vec<String> = Vec::new();
+            if let Some(path) = &serve_args.socket {
+                endpoints.push(path.clone());
+            }
+            if let Some(listener) = &tcp_listener {
+                match listener.local_addr() {
+                    Ok(addr) => endpoints.push(format!("tcp:{addr}")),
+                    Err(e) => return fail(input_err(format!("serve: tcp addr: {e}"))),
+                }
+            }
+            eprintln!("stqc: serving on {}", endpoints.join(" and "));
+            if let Some(addr_file) = &serve_args.addr_file {
+                let bound = tcp_listener
+                    .as_ref()
+                    .and_then(|l| l.local_addr().ok())
+                    .map(|a| a.to_string())
+                    .or_else(|| serve_args.socket.clone())
+                    .unwrap_or_default();
+                if let Err(e) = fs::write(addr_file, format!("{bound}\n")) {
+                    return fail(input_err(format!("cannot write {addr_file}: {e}")));
+                }
+            }
+            let socket_path = serve_args.socket.as_ref().map(std::path::Path::new);
+            match server.run_multi(socket_path, tcp_listener) {
                 Ok(kind) => kind,
-                Err(e) => return fail(input_err(format!("serve: {path}: {e}"))),
+                Err(e) => return fail(input_err(format!("serve: {e}"))),
             }
         }
         #[cfg(not(unix))]
         {
-            return fail(usage_err("--socket requires unix; use --stdio"));
+            return fail(usage_err("--socket/--tcp require unix; use --stdio"));
         }
     };
     match kind {
@@ -1474,6 +1537,7 @@ fn call(args: &[String]) -> ExitCode {
     use stq_util::json::Json;
 
     let mut socket: Option<String> = None;
+    let mut tcp: Option<String> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut connect_timeout_ms = 0u64;
     let mut call_deadline_ms: Option<u64> = None;
@@ -1487,6 +1551,13 @@ fn call(args: &[String]) -> ExitCode {
                     return fail(usage_err("--socket needs a path"));
                 };
                 socket = Some(path.clone());
+                i += 2;
+            }
+            "--tcp" => {
+                let Some(addr) = args.get(i + 1) else {
+                    return fail(usage_err("--tcp needs HOST:PORT"));
+                };
+                tcp = Some(addr.clone());
                 i += 2;
             }
             flag @ ("--deadline-ms" | "--connect-timeout-ms" | "--call-deadline-ms"
@@ -1511,9 +1582,14 @@ fn call(args: &[String]) -> ExitCode {
             }
         }
     }
-    let Some(socket) = socket else {
-        return fail(usage_err("call needs --socket PATH"));
-    };
+    if socket.is_none() && tcp.is_none() {
+        return fail(usage_err("call needs --socket PATH or --tcp HOST:PORT"));
+    }
+    let endpoint = tcp
+        .clone()
+        .or_else(|| socket.clone())
+        .expect("checked above");
+    let socket = socket.unwrap_or_default();
     let Some(method) = positional.first() else {
         return fail(usage_err(
             "call needs a METHOD (define_qualifiers, check, prove, stats, health, shutdown)",
@@ -1529,6 +1605,7 @@ fn call(args: &[String]) -> ExitCode {
     };
     let mut client = stq_core::Client::new(stq_core::ClientConfig {
         socket: std::path::PathBuf::from(&socket),
+        tcp,
         connect_timeout: Duration::from_millis(connect_timeout_ms),
         call_deadline: call_deadline_ms.map(Duration::from_millis),
         max_retries: retries,
@@ -1543,7 +1620,8 @@ fn call(args: &[String]) -> ExitCode {
         Err(e) => {
             eprintln!("stqc: call: {e}");
             eprintln!(
-                "stqc: is the daemon running? start it with `stqc serve --socket {socket}`"
+                "stqc: is the daemon running? start it with `stqc serve --socket {endpoint}` \
+                 (or `stqc serve --tcp {endpoint}`)"
             );
             return ExitCode::from(EXIT_UNREACHABLE);
         }
@@ -1593,6 +1671,7 @@ fn bench_serve(args: &[String]) -> ExitCode {
     let mut clients = 8usize;
     let mut requests = 20usize;
     let mut oneshot = 4usize;
+    let mut idle_conns = 64usize;
     let mut jobs = stq_util::pool::default_jobs();
     let mut out = "BENCH_serve.json".to_owned();
     let mut i = 0;
@@ -1605,7 +1684,7 @@ fn bench_serve(args: &[String]) -> ExitCode {
                 out = path.clone();
                 i += 2;
             }
-            flag @ ("--clients" | "--requests" | "--oneshot" | "--jobs") => {
+            flag @ ("--clients" | "--requests" | "--oneshot" | "--idle-conns" | "--jobs") => {
                 let Some(value) = args.get(i + 1) else {
                     return fail(usage_err(format!("{flag} needs a number")));
                 };
@@ -1616,6 +1695,7 @@ fn bench_serve(args: &[String]) -> ExitCode {
                     "--clients" => clients = n.clamp(1, 64),
                     "--requests" => requests = n.clamp(1, 10_000),
                     "--oneshot" => oneshot = n.clamp(1, 64),
+                    "--idle-conns" => idle_conns = n.min(1024),
                     _ => jobs = if n == 0 { stq_util::pool::default_jobs() } else { n.min(256) },
                 }
                 i += 2;
@@ -1636,10 +1716,20 @@ fn bench_serve(args: &[String]) -> ExitCode {
         Ok(s) => Arc::new(s),
         Err(e) => return fail(input_err(format!("cannot start server: {e}"))),
     };
+    // One daemon, both transports: the reactor multiplexes the Unix
+    // socket and a loopback TCP listener in the same event loop.
+    let tcp_listener = match std::net::TcpListener::bind("127.0.0.1:0") {
+        Ok(l) => l,
+        Err(e) => return fail(input_err(format!("cannot bind loopback tcp: {e}"))),
+    };
+    let tcp_addr = match tcp_listener.local_addr() {
+        Ok(a) => a.to_string(),
+        Err(e) => return fail(input_err(format!("tcp addr: {e}"))),
+    };
     let server_thread = {
         let server = Arc::clone(&server);
         let socket = socket.clone();
-        std::thread::spawn(move || server.run_unix(&socket))
+        std::thread::spawn(move || server.run_multi(Some(&socket), Some(tcp_listener)))
     };
     // Wait for the daemon to bind.
     let bound_by = Instant::now() + Duration::from_secs(10);
@@ -1693,69 +1783,214 @@ fn bench_serve(args: &[String]) -> ExitCode {
         cache_misses(&doc)
     };
 
-    // Measured phase: `clients` concurrent connections, each running
-    // `requests` sequential prove round-trips against the warm daemon.
-    type ClientOutcome = Result<(Vec<f64>, u64), CliError>;
-    let started = Instant::now();
-    let workers: Vec<std::thread::JoinHandle<ClientOutcome>> = (0..clients)
-        .map(|_| {
-            let socket = socket.clone();
-            std::thread::spawn(move || {
-                let mut stream = UnixStream::connect(&socket)
-                    .map_err(|e| input_err(format!("cannot connect: {e}")))?;
-                let mut reader = BufReader::new(
-                    stream
-                        .try_clone()
-                        .map_err(|e| input_err(format!("cannot clone: {e}")))?,
-                );
-                let mut latencies = Vec::with_capacity(requests);
-                let mut line = String::new();
-                // The measured loop must not burn the benched machine's
-                // CPU on client-side work: a cheap substring check per
-                // response, with the full JSON parse (for the cache
-                // ledger) only on each client's final response.
-                for _ in 0..requests {
-                    let sent = Instant::now();
-                    stream
-                        .write_all("{\"id\":1,\"method\":\"prove\"}\n".as_bytes())
-                        .map_err(|e| input_err(format!("bench request failed: {e}")))?;
-                    line.clear();
-                    reader
-                        .read_line(&mut line)
-                        .map_err(|e| input_err(format!("bench response failed: {e}")))?;
-                    latencies.push(sent.elapsed().as_secs_f64() * 1000.0);
-                    if !line.contains("\"ok\":true") {
-                        return Err(input_err(format!("bench prove failed: {}", line.trim())));
-                    }
-                }
-                let doc = Json::parse(line.trim())
-                    .map_err(|e| input_err(format!("bench response unparseable: {e}")))?;
-                let last_misses = doc
-                    .get("result")
-                    .and_then(|r| r.get("cache"))
-                    .and_then(|c| c.get("misses"))
-                    .and_then(Json::as_u64)
-                    .unwrap_or(u64::MAX);
-                Ok((latencies, last_misses))
-            })
-        })
-        .collect();
-    let mut latencies: Vec<f64> = Vec::with_capacity(clients * requests);
-    let mut final_misses = 0u64;
-    for handle in workers {
-        match handle.join() {
-            Ok(Ok((ls, misses))) => {
-                latencies.extend(ls);
-                final_misses = final_misses.max(misses);
+    // Idle-connection dimension: `idle_conns` connections (half Unix,
+    // half TCP) held open — but silent — through the measured phases.
+    // Under the old thread-per-client accept loop each of these cost a
+    // parked thread; under the reactor they cost a registered buffer.
+    let mut idle_unix: Vec<UnixStream> = Vec::new();
+    let mut idle_tcp: Vec<std::net::TcpStream> = Vec::new();
+    for i in 0..idle_conns {
+        if i % 2 == 0 {
+            match UnixStream::connect(&socket) {
+                Ok(s) => idle_unix.push(s),
+                Err(e) => return fail(input_err(format!("idle connect: {e}"))),
             }
-            Ok(Err(e)) => return fail(e),
-            Err(_) => return fail(input_err("a bench client panicked")),
+        } else {
+            match std::net::TcpStream::connect(tcp_addr.as_str()) {
+                Ok(s) => idle_tcp.push(s),
+                Err(e) => return fail(input_err(format!("idle tcp connect: {e}"))),
+            }
         }
     }
-    let served_elapsed = started.elapsed();
+
+    // Measured phase, generic over the transport: `clients` concurrent
+    // connections, each running `requests` sequential prove round-trips
+    // against the warm daemon.
+    type PhaseOutcome = Result<(Vec<f64>, u64, String), CliError>;
+    fn measured_phase<S, C>(
+        connect: C,
+        clients: usize,
+        requests: usize,
+    ) -> Result<(Vec<f64>, u64, String, Duration), CliError>
+    where
+        S: std::io::Read + std::io::Write + Send + 'static,
+        C: Fn() -> std::io::Result<(S, S)> + Send + Sync + Clone + 'static,
+    {
+        let started = std::time::Instant::now();
+        let workers: Vec<std::thread::JoinHandle<PhaseOutcome>> = (0..clients)
+            .map(|_| {
+                let connect = connect.clone();
+                std::thread::spawn(move || {
+                    let (mut stream, read_half) =
+                        connect().map_err(|e| input_err(format!("cannot connect: {e}")))?;
+                    let mut reader = std::io::BufReader::new(read_half);
+                    let mut latencies = Vec::with_capacity(requests);
+                    let mut line = String::new();
+                    // The measured loop must not burn the benched
+                    // machine's CPU on client-side work: a cheap
+                    // substring check per response, with the full JSON
+                    // parse (for the cache ledger) only on each
+                    // client's final response.
+                    for _ in 0..requests {
+                        let sent = std::time::Instant::now();
+                        stream
+                            .write_all("{\"id\":1,\"method\":\"prove\"}\n".as_bytes())
+                            .map_err(|e| input_err(format!("bench request failed: {e}")))?;
+                        line.clear();
+                        reader
+                            .read_line(&mut line)
+                            .map_err(|e| input_err(format!("bench response failed: {e}")))?;
+                        latencies.push(sent.elapsed().as_secs_f64() * 1000.0);
+                        if !line.contains("\"ok\":true") {
+                            return Err(input_err(format!(
+                                "bench prove failed: {}",
+                                line.trim()
+                            )));
+                        }
+                    }
+                    let doc = stq_util::json::Json::parse(line.trim())
+                        .map_err(|e| input_err(format!("bench response unparseable: {e}")))?;
+                    let last_misses = doc
+                        .get("result")
+                        .and_then(|r| r.get("cache"))
+                        .and_then(|c| c.get("misses"))
+                        .and_then(stq_util::json::Json::as_u64)
+                        .unwrap_or(u64::MAX);
+                    Ok((latencies, last_misses, line.trim().to_owned()))
+                })
+            })
+            .collect();
+        let mut latencies: Vec<f64> = Vec::with_capacity(clients * requests);
+        let mut final_misses = 0u64;
+        let mut sample = String::new();
+        for handle in workers {
+            match handle.join() {
+                Ok(Ok((ls, misses, line))) => {
+                    latencies.extend(ls);
+                    final_misses = final_misses.max(misses);
+                    sample = line;
+                }
+                Ok(Err(e)) => return Err(e),
+                Err(_) => return Err(input_err("a bench client panicked")),
+            }
+        }
+        Ok((latencies, final_misses, sample, started.elapsed()))
+    }
+
+    let unix_connect = {
+        let socket = socket.clone();
+        move || {
+            let s = UnixStream::connect(&socket)?;
+            let r = s.try_clone()?;
+            Ok((s, r))
+        }
+    };
+    let (mut latencies, unix_final_misses, unix_sample, served_elapsed) =
+        match measured_phase(unix_connect, clients, requests) {
+            Ok(x) => x,
+            Err(e) => return fail(e),
+        };
     let total_requests = clients * requests;
     let served_rps = total_requests as f64 / served_elapsed.as_secs_f64();
-    let warm_miss_delta = final_misses.saturating_sub(warm_misses);
+
+    // The same workload over TCP, against the same (still warm) daemon.
+    let tcp_connect = {
+        let addr = tcp_addr.clone();
+        move || {
+            let s = std::net::TcpStream::connect(addr.as_str())?;
+            s.set_nodelay(true)?;
+            let r = s.try_clone()?;
+            Ok((s, r))
+        }
+    };
+    let (mut tcp_latencies, tcp_final_misses, tcp_sample, tcp_elapsed) =
+        match measured_phase(tcp_connect, clients, requests) {
+            Ok(x) => x,
+            Err(e) => return fail(e),
+        };
+    let tcp_rps = total_requests as f64 / tcp_elapsed.as_secs_f64();
+    let warm_miss_delta = unix_final_misses
+        .max(tcp_final_misses)
+        .saturating_sub(warm_misses);
+
+    // Telemetry snapshot while every idle connection is still held
+    // open, then the concurrent-duplicate workload: pipelined identical
+    // uncached proves that must coalesce into one solver run.
+    let stats_doc = |sock: &std::path::Path| -> Result<Json, CliError> {
+        let mut stream =
+            UnixStream::connect(sock).map_err(|e| input_err(format!("cannot connect: {e}")))?;
+        let mut reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| input_err(format!("cannot clone: {e}")))?,
+        );
+        stream
+            .write_all(b"{\"id\":7,\"method\":\"stats\"}\n")
+            .map_err(|e| input_err(format!("stats request failed: {e}")))?;
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| input_err(format!("stats response failed: {e}")))?;
+        Json::parse(line.trim()).map_err(|e| input_err(format!("stats unparseable: {e}")))
+    };
+    let stat_field = |doc: &Json, path: &[&str]| -> u64 {
+        let mut cur = doc.get("result");
+        for key in path {
+            cur = cur.and_then(|v| v.get(key));
+        }
+        cur.and_then(Json::as_u64).unwrap_or(0)
+    };
+    let before = match stats_doc(&socket) {
+        Ok(d) => d,
+        Err(e) => return fail(e),
+    };
+    let open_connections = stat_field(&before, &["open_connections"]);
+    let dedup_before = stat_field(&before, &["dedup_hits"]);
+
+    let burst = 4usize;
+    let dedup_identical = {
+        let mut stream = match UnixStream::connect(&socket) {
+            Ok(s) => s,
+            Err(e) => return fail(input_err(format!("cannot connect: {e}"))),
+        };
+        let mut reader = BufReader::new(match stream.try_clone() {
+            Ok(s) => s,
+            Err(e) => return fail(input_err(format!("cannot clone: {e}"))),
+        });
+        let mut req = String::new();
+        for id in 0..burst {
+            req.push_str(&format!(
+                "{{\"id\":{id},\"method\":\"prove\",\"params\":{{\"cache\":false}}}}\n"
+            ));
+        }
+        if let Err(e) = stream.write_all(req.as_bytes()) {
+            return fail(input_err(format!("burst request failed: {e}")));
+        }
+        let mut bodies: Vec<String> = Vec::new();
+        for _ in 0..burst {
+            let mut line = String::new();
+            if let Err(e) = reader.read_line(&mut line) {
+                return fail(input_err(format!("burst response failed: {e}")));
+            }
+            if !line.contains("\"ok\":true") {
+                return fail(input_err(format!("burst prove failed: {}", line.trim())));
+            }
+            // Strip the per-requester id: everything after the first
+            // comma must be byte-identical across the fan-out.
+            let trimmed = line.trim();
+            bodies.push(trimmed[trimmed.find(',').unwrap_or(0)..].to_owned());
+        }
+        bodies.windows(2).all(|w| w[0] == w[1])
+    };
+    let after = match stats_doc(&socket) {
+        Ok(d) => d,
+        Err(e) => return fail(e),
+    };
+    let dedup_hits = stat_field(&after, &["dedup_hits"]).saturating_sub(dedup_before);
+    let reactor_polls = stat_field(&after, &["reactor", "polls"]);
+    let reactor_wakeups = stat_field(&after, &["reactor", "wakeups"]);
+    drop(idle_unix);
+    drop(idle_tcp);
 
     // Shut the daemon down cleanly before the one-shot baseline so it
     // is not competing for cores.
@@ -1799,26 +2034,101 @@ fn bench_serve(args: &[String]) -> ExitCode {
     let oneshot_rps = oneshot as f64 / oneshot_elapsed.as_secs_f64();
     let speedup = served_rps / oneshot_rps;
 
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    let pct = |p: f64| -> f64 {
-        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
-        latencies[idx]
+    // Verdict byte-identity: the daemon's per-qualifier verdict array
+    // over both transports must match a one-shot `stqc prove --json`
+    // run (same `qual_report_json` rendering on both paths).
+    let oneshot_verdicts = match std::process::Command::new(&exe)
+        .args(["prove", "--json"])
+        .stderr(std::process::Stdio::null())
+        .output()
+    {
+        Ok(o) if o.status.success() => String::from_utf8_lossy(&o.stdout).into_owned(),
+        Ok(o) => {
+            return fail(input_err(format!(
+                "one-shot `stqc prove --json` failed: {}",
+                o.status
+            )))
+        }
+        Err(e) => return fail(input_err(format!("cannot run one-shot prove: {e}"))),
     };
+    // Canonical verdict digest: names, verdicts, and per-obligation
+    // proved/skipped flags — never timings or counters, which
+    // legitimately differ run to run (chaos-serve draws the same line).
+    let verdict_digest = |raw: &str, nested: bool| -> String {
+        let Ok(doc) = Json::parse(raw.trim()) else {
+            return String::new();
+        };
+        let base = if nested { doc.get("result").cloned() } else { Some(doc) };
+        let Some(Json::Arr(quals)) = base.and_then(|r| r.get("qualifiers").cloned()) else {
+            return String::new();
+        };
+        quals
+            .iter()
+            .map(|q| {
+                let obls = match q.get("obligations") {
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(|o| {
+                            let proved =
+                                o.get("proved").and_then(Json::as_bool) == Some(true);
+                            let skipped =
+                                o.get("skipped").and_then(Json::as_bool) == Some(true);
+                            match (proved, skipped) {
+                                (true, _) => '+',
+                                (false, true) => 's',
+                                (false, false) => '-',
+                            }
+                        })
+                        .collect::<String>(),
+                    _ => String::new(),
+                };
+                format!(
+                    "{}={}:{obls}",
+                    q.get("name").and_then(Json::as_str).unwrap_or("?"),
+                    q.get("verdict").and_then(Json::as_str).unwrap_or("?"),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(";")
+    };
+    let oneshot_quals = verdict_digest(&oneshot_verdicts, false);
+    let verdicts_identical = !oneshot_quals.is_empty()
+        && verdict_digest(&unix_sample, true) == oneshot_quals
+        && verdict_digest(&tcp_sample, true) == oneshot_quals;
+
+    fn pct(sorted: &[f64], p: f64) -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[idx]
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    tcp_latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
     let report = format!(
         "{{\"bench\":\"serve\",\"clients\":{clients},\"requests_per_client\":{requests},\
-         \"total_requests\":{total_requests},\"elapsed_ms\":{},\
+         \"total_requests\":{total_requests},\"idle_connections\":{idle_conns},\
+         \"open_connections\":{open_connections},\"elapsed_ms\":{},\
          \"requests_per_sec\":{served_rps:.2},\
          \"latency_ms\":{{\"p50\":{:.3},\"p90\":{:.3},\"p99\":{:.3},\"max\":{:.3}}},\
          \"warm_cache_miss_delta\":{warm_miss_delta},\
          \"warm_cache_hit_rate\":{},\
+         \"tcp\":{{\"total_requests\":{total_requests},\"elapsed_ms\":{},\
+         \"requests_per_sec\":{tcp_rps:.2},\"latency_ms\":{{\"p50\":{:.3}}}}},\
+         \"dedup\":{{\"burst\":{burst},\"dedup_hits\":{dedup_hits},\
+         \"byte_identical\":{dedup_identical}}},\
+         \"reactor\":{{\"polls\":{reactor_polls},\"wakeups\":{reactor_wakeups}}},\
+         \"verdicts_identical\":{verdicts_identical},\
          \"oneshot\":{{\"runs\":{oneshot},\"elapsed_ms\":{},\"requests_per_sec\":{oneshot_rps:.2}}},\
          \"speedup\":{speedup:.2}}}",
         json_ms(served_elapsed),
-        pct(0.50),
-        pct(0.90),
-        pct(0.99),
+        pct(&latencies, 0.50),
+        pct(&latencies, 0.90),
+        pct(&latencies, 0.99),
         latencies.last().copied().unwrap_or(0.0),
         if warm_miss_delta == 0 { "1.0" } else { "0.0" },
+        json_ms(tcp_elapsed),
+        pct(&tcp_latencies, 0.50),
         json_ms(oneshot_elapsed),
     );
     if fs::write(&out, format!("{report}\n")).is_err() {
@@ -1826,9 +2136,10 @@ fn bench_serve(args: &[String]) -> ExitCode {
     }
     println!("{report}");
     eprintln!(
-        "bench-serve: {served_rps:.0} req/s warm vs {oneshot_rps:.2} req/s one-shot \
-         ({speedup:.1}x), p50 {:.2}ms, warm misses +{warm_miss_delta}",
-        pct(0.50)
+        "bench-serve: {served_rps:.0} req/s warm unix, {tcp_rps:.0} req/s warm tcp vs \
+         {oneshot_rps:.2} req/s one-shot ({speedup:.1}x), p50 {:.2}ms, warm misses \
+         +{warm_miss_delta}, {open_connections} conns open, dedup +{dedup_hits}",
+        pct(&latencies, 0.50)
     );
     if warm_miss_delta > 0 {
         eprintln!("stqc: bench-serve: the warm phase missed the cache {warm_miss_delta} time(s)");
@@ -1836,6 +2147,17 @@ fn bench_serve(args: &[String]) -> ExitCode {
     }
     if speedup < 5.0 {
         eprintln!("stqc: bench-serve: speedup {speedup:.2}x is below the required 5x");
+        return ExitCode::from(EXIT_CRASH);
+    }
+    if dedup_hits == 0 {
+        eprintln!("stqc: bench-serve: the duplicate burst produced no dedup_hits");
+        return ExitCode::from(EXIT_CRASH);
+    }
+    if !dedup_identical || !verdicts_identical {
+        eprintln!(
+            "stqc: bench-serve: verdict identity violated \
+             (dedup_identical={dedup_identical}, verdicts_identical={verdicts_identical})"
+        );
         return ExitCode::from(EXIT_CRASH);
     }
     ExitCode::SUCCESS
@@ -2031,6 +2353,7 @@ fn chaos_serve(args: &[String]) -> ExitCode {
     }
     let client_cfg = |socket: &std::path::Path, salt: u64| stq_core::ClientConfig {
         socket: socket.to_path_buf(),
+        tcp: None,
         connect_timeout: Duration::from_secs(20),
         call_deadline: Some(Duration::from_secs(300)),
         max_retries: 64,

@@ -204,6 +204,58 @@ impl Daemon {
         Client { stream, reader }
     }
 
+    /// Spawns a daemon serving both transports at once (`--socket` plus
+    /// `--tcp 127.0.0.1:0`), returning it and the kernel-assigned TCP
+    /// address read back through `--addr-file`.
+    fn spawn_dual(name: &str, extra: &[&str]) -> (Daemon, String) {
+        let pid = std::process::id();
+        let socket = std::env::temp_dir().join(format!("stqc-serve-{name}-{pid}.sock"));
+        let addr_file = std::env::temp_dir().join(format!("stqc-serve-{name}-{pid}.addr"));
+        let _ = std::fs::remove_file(&socket);
+        let _ = std::fs::remove_file(&addr_file);
+        let child = Command::new(env!("CARGO_BIN_EXE_stqc"))
+            .arg("serve")
+            .arg("--socket")
+            .arg(&socket)
+            .arg("--tcp")
+            .arg("127.0.0.1:0")
+            .arg("--addr-file")
+            .arg(&addr_file)
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("stqc serve spawns");
+        let daemon = Daemon { child, socket };
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if text.trim().contains(':') {
+                    break text.trim().to_owned();
+                }
+            }
+            assert!(Instant::now() < deadline, "daemon never wrote its TCP address");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        while std::os::unix::net::UnixStream::connect(&daemon.socket).is_err() {
+            assert!(Instant::now() < deadline, "daemon never bound its socket");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let _ = std::fs::remove_file(&addr_file);
+        (daemon, addr)
+    }
+
+    fn connect_tcp(addr: &str) -> TcpClient {
+        let stream = std::net::TcpStream::connect(addr).expect("tcp daemon reachable");
+        let reader = BufReader::new(stream.try_clone().expect("stream clones"));
+        TcpClient { stream, reader }
+    }
+
+    fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
     /// Requests shutdown and asserts the daemon exits 0.
     fn shutdown(mut self) {
         let mut client = self.connect();
@@ -233,10 +285,54 @@ impl Client {
         Json::parse(line.trim()).unwrap_or_else(|e| panic!("bad response `{line}`: {e}"))
     }
 
+    /// Like [`Client::recv`], but returns the raw wire line too (for
+    /// byte-identity assertions).
+    fn recv_raw(&mut self) -> (String, Json) {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("response read");
+        let doc =
+            Json::parse(line.trim()).unwrap_or_else(|e| panic!("bad response `{line}`: {e}"));
+        (line.trim().to_owned(), doc)
+    }
+
     fn roundtrip(&mut self, line: &str) -> Json {
         self.send(line);
         self.recv()
     }
+}
+
+/// The same line-delimited client over TCP — the wire protocol is
+/// transport-agnostic, and so is this harness.
+struct TcpClient {
+    stream: std::net::TcpStream,
+    reader: BufReader<std::net::TcpStream>,
+}
+
+impl TcpClient {
+    fn send(&mut self, line: &str) {
+        self.stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("request written");
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("response read");
+        Json::parse(line.trim()).unwrap_or_else(|e| panic!("bad response `{line}`: {e}"))
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Json {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn stat_u64(stats: &Json, name: &str) -> u64 {
+    stats
+        .get("result")
+        .and_then(|r| r.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("stats field {name} missing: {stats}"))
 }
 
 #[test]
@@ -365,9 +461,12 @@ fn max_queue_shedding_is_retryable_and_the_daemon_stays_responsive() {
     // thread, must keep working throughout.
     let daemon = Daemon::spawn("shed", &["--jobs", "1", "--max-queue", "1"]);
     let mut flood = daemon.connect();
-    for i in 0..6 {
+    // Distinct qualifier lists per request: identical proves would
+    // coalesce into one single-flight run and never overflow the queue.
+    let names = ["pos", "neg", "nonzero", "nonnull", "untainted", "tainted"];
+    for (i, name) in names.iter().enumerate() {
         flood.send(&format!(
-            "{{\"id\":{i},\"method\":\"prove\",\"params\":{{\"cache\":false}}}}"
+            "{{\"id\":{i},\"method\":\"prove\",\"params\":{{\"names\":[\"{name}\"],\"cache\":false}}}}"
         ));
     }
     let mut shed = 0;
@@ -436,6 +535,7 @@ fn supervised_worker_survives_sigkill_with_its_warm_cache() {
         .expect("supervisor spawns");
     let mut client = stq_core::Client::new(stq_core::ClientConfig {
         socket: socket.clone(),
+        tcp: None,
         connect_timeout: Duration::from_secs(20),
         call_deadline: Some(Duration::from_secs(120)),
         max_retries: 32,
@@ -491,6 +591,340 @@ fn supervised_worker_survives_sigkill_with_its_warm_cache() {
     let code = supervisor.wait().expect("supervisor exits").code();
     assert_eq!(code, Some(0), "requested shutdown propagates as success");
     let _ = std::fs::remove_dir_all(&scratch);
+}
+
+// ----- single-flight dedup -----
+
+#[test]
+fn dedup_coalesces_identical_proves_into_one_solver_run() {
+    // One worker; a filler prove occupies it so the three identical
+    // uncached proves behind it all join one flight before any of them
+    // can run. The answer must come back once per requester id,
+    // byte-identical after the id, with dedup_hits counting the two
+    // coalesced waiters — and the proof-cache ledger untouched (these
+    // are cache-off requests; coalescing must not fake hits or misses).
+    let daemon = Daemon::spawn("dedup", &["--jobs", "1"]);
+    let mut c = daemon.connect();
+    let warm = c.roundtrip("{\"id\":1,\"method\":\"prove\"}");
+    assert_eq!(warm.get("ok").and_then(Json::as_bool), Some(true), "{warm}");
+    let cache_misses = |stats: &Json| -> u64 {
+        stats
+            .get("result")
+            .and_then(|r| r.get("cache"))
+            .and_then(|c| c.get("misses"))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("cache misses missing: {stats}"))
+    };
+    let mut observer = daemon.connect();
+    let before = observer.roundtrip("{\"id\":2,\"method\":\"stats\"}");
+    let misses_before = cache_misses(&before);
+    let dedup_before = stat_u64(&before, "dedup_hits");
+
+    // One write, four pipelined lines: filler + three identical proves.
+    c.send(
+        "{\"id\":10,\"method\":\"prove\",\"params\":{\"names\":[\"pos\"],\"cache\":false}}\n\
+         {\"id\":11,\"method\":\"prove\",\"params\":{\"cache\":false}}\n\
+         {\"id\":12,\"method\":\"prove\",\"params\":{\"cache\":false}}\n\
+         {\"id\":13,\"method\":\"prove\",\"params\":{\"cache\":false}}",
+    );
+    let mut bodies: Vec<String> = Vec::new();
+    for _ in 0..4 {
+        let (raw, doc) = c.recv_raw();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true), "{doc}");
+        let id = doc.get("id").and_then(Json::as_u64).expect("response id");
+        if id >= 11 {
+            // Everything after the requester id must be byte-identical
+            // across the fan-out.
+            let split = raw.find(',').expect("id field ends with a comma");
+            bodies.push(raw[split..].to_owned());
+        }
+    }
+    assert_eq!(bodies.len(), 3, "all three duplicate requesters are answered");
+    assert!(
+        bodies.windows(2).all(|w| w[0] == w[1]),
+        "coalesced answers must be byte-identical modulo id: {bodies:?}"
+    );
+
+    let after = observer.roundtrip("{\"id\":3,\"method\":\"stats\"}");
+    assert_eq!(
+        stat_u64(&after, "dedup_hits") - dedup_before,
+        2,
+        "three identical proves = one run + two dedup hits: {after}"
+    );
+    assert_eq!(
+        cache_misses(&after),
+        misses_before,
+        "cache-off coalesced proves must not move the cache ledger: {after}"
+    );
+    drop(c);
+    drop(observer);
+    daemon.shutdown();
+}
+
+#[test]
+fn dedup_leader_disconnect_hands_off_to_the_surviving_waiter() {
+    // A and B join the same flight while the single worker is busy with
+    // fillers; A (the leader) vanishes before — or while — the flight
+    // runs. B must still receive a conclusive, non-interrupted answer:
+    // either the flight skips the dead leader, or an interrupted
+    // leader-run is discarded and B re-runs under its own token.
+    let daemon = Daemon::spawn("handoff", &["--jobs", "1"]);
+    let mut filler = daemon.connect();
+    filler.send(
+        "{\"id\":1,\"method\":\"prove\",\"params\":{\"names\":[\"pos\"],\"cache\":false}}\n\
+         {\"id\":2,\"method\":\"prove\",\"params\":{\"names\":[\"nonnull\"],\"cache\":false}}",
+    );
+    let mut a = daemon.connect();
+    a.send("{\"id\":100,\"method\":\"prove\",\"params\":{\"cache\":false}}");
+    let mut b = daemon.connect();
+    b.send("{\"id\":200,\"method\":\"prove\",\"params\":{\"cache\":false}}");
+    std::thread::sleep(Duration::from_millis(50));
+    drop(a);
+    let rb = b.recv();
+    assert_eq!(rb.get("id").and_then(Json::as_u64), Some(200));
+    assert_eq!(rb.get("ok").and_then(Json::as_bool), Some(true), "{rb}");
+    let result = rb.get("result").expect("prove result");
+    assert_eq!(
+        result.get("interrupted").and_then(Json::as_bool),
+        Some(false),
+        "the survivor must get a conclusive answer, not the dead leader's partial: {rb}"
+    );
+    assert_eq!(result.get("all_sound").and_then(Json::as_bool), Some(true), "{rb}");
+    // The fillers still complete for their own client.
+    for _ in 0..2 {
+        let rf = filler.recv();
+        assert_eq!(rf.get("ok").and_then(Json::as_bool), Some(true), "{rf}");
+    }
+    drop(filler);
+    drop(b);
+    daemon.shutdown();
+}
+
+// ----- TCP transport -----
+
+#[test]
+fn tcp_and_unix_clients_are_served_concurrently_by_one_daemon() {
+    let (daemon, addr) = Daemon::spawn_dual("mixed", &["--jobs", "2"]);
+    let mut unix = daemon.connect();
+    let mut tcp = Daemon::connect_tcp(&addr);
+    // Interleave: all four requests in flight before any response read.
+    unix.send("{\"id\":100,\"method\":\"prove\",\"params\":{\"names\":[\"pos\"]}}");
+    tcp.send("{\"id\":200,\"method\":\"prove\",\"params\":{\"names\":[\"pos\"]}}");
+    unix.send("{\"id\":101,\"method\":\"check\",\"params\":{\"source\":\"int pos x = 3;\"}}");
+    tcp.send("{\"id\":201,\"method\":\"check\",\"params\":{\"source\":\"int pos x = 3;\"}}");
+    // `--jobs 2` lets each connection's pair overlap, so per-connection
+    // response order is not send order — ids attribute them.
+    let unix_responses = [unix.recv(), unix.recv()];
+    let tcp_responses = [tcp.recv(), tcp.recv()];
+    for (ids, responses) in [([100, 101], unix_responses), ([200, 201], tcp_responses)] {
+        for id in ids {
+            let r = responses
+                .iter()
+                .find(|r| r.get("id").and_then(Json::as_u64) == Some(id))
+                .unwrap_or_else(|| panic!("no response with id {id}: {responses:?}"));
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+        }
+    }
+    // Shutdown over TCP works exactly like over the socket, and still
+    // removes the Unix socket file on the way out.
+    let bye = tcp.roundtrip("{\"id\":9,\"method\":\"shutdown\"}");
+    assert_eq!(bye.get("ok").and_then(Json::as_bool), Some(true), "{bye}");
+    let mut daemon = daemon;
+    let code = daemon.child.wait().expect("daemon exits").code();
+    assert_eq!(code, Some(0), "requested shutdown must exit 0");
+    assert!(!daemon.socket.exists(), "socket file must be removed on exit");
+}
+
+#[test]
+fn tcp_call_subcommand_round_trips() {
+    let (daemon, addr) = Daemon::spawn_dual("tcp-call", &[]);
+    let out = Command::new(env!("CARGO_BIN_EXE_stqc"))
+        .args(["call", "--tcp", &addr, "prove", "{\"names\":[\"pos\"]}"])
+        .output()
+        .expect("stqc call runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let response =
+        Json::parse(String::from_utf8_lossy(&out.stdout).trim()).expect("call prints the response");
+    assert_eq!(
+        response
+            .get("result")
+            .and_then(|r| r.get("all_sound"))
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn tcp_chaos_soak_heals_through_wire_faults() {
+    // The PR 7 self-healing client, pointed at a TCP daemon whose
+    // response path is armed with deterministic wire faults. Every call
+    // must still come back attributed and correct.
+    let (daemon, addr) = Daemon::spawn_dual(
+        "tcp-chaos",
+        &["--net-fault-seed", "11", "--net-fault-count", "24", "--net-fault-span", "96"],
+    );
+    let mut client = stq_core::Client::new(stq_core::ClientConfig {
+        socket: std::path::PathBuf::new(),
+        tcp: Some(addr),
+        connect_timeout: Duration::from_secs(20),
+        call_deadline: Some(Duration::from_secs(120)),
+        max_retries: 64,
+        backoff_base: Duration::from_millis(2),
+        backoff_max: Duration::from_millis(50),
+        seed: 5,
+    });
+    let mut verdicts: Vec<String> = Vec::new();
+    for i in 0..20 {
+        let out = match i % 3 {
+            0 => client.call("prove", Some("{\"names\":[\"pos\"]}"), None),
+            1 => client.call("stats", None, None),
+            _ => client
+                .call("check", Some("{\"source\":\"int pos x = 3;\"}"), None),
+        }
+        .unwrap_or_else(|e| panic!("soak call {i} failed: {e}"));
+        assert_eq!(
+            out.doc.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "soak call {i}: {}",
+            out.raw
+        );
+        if i % 3 == 0 {
+            verdicts.push(
+                out.doc
+                    .get("result")
+                    .and_then(|r| r.get("all_sound"))
+                    .map(|v| v.to_string())
+                    .unwrap_or_default(),
+            );
+        }
+    }
+    assert!(
+        verdicts.iter().all(|v| v == "true"),
+        "verdicts must survive the faulted wire: {verdicts:?}"
+    );
+    drop(client);
+    daemon.shutdown();
+}
+
+// ----- reactor resource accounting -----
+
+#[test]
+fn connection_teardown_releases_resources_promptly() {
+    // Regression for the accept-loop JoinHandle leak: the daemon's
+    // open-connection gauge must fall back to the observer alone as
+    // soon as clients hang up — not at shutdown.
+    let daemon = Daemon::spawn("teardown", &[]);
+    let mut observer = daemon.connect();
+    let mut clients: Vec<Client> = (0..8).map(|_| daemon.connect()).collect();
+    for (i, c) in clients.iter_mut().enumerate() {
+        let r = c.roundtrip(&format!("{{\"id\":{i},\"method\":\"health\"}}"));
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+    }
+    let held = observer.roundtrip("{\"id\":1,\"method\":\"stats\"}");
+    assert_eq!(
+        stat_u64(&held, "open_connections"),
+        9,
+        "eight clients plus the observer: {held}"
+    );
+    drop(clients);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let now = observer.roundtrip("{\"id\":2,\"method\":\"stats\"}");
+        if stat_u64(&now, "open_connections") == 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "closed connections were never released: {now}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    drop(observer);
+    daemon.shutdown();
+}
+
+#[test]
+fn reactor_serves_64_mixed_connections_from_a_bounded_thread_count() {
+    // The acceptance drill: 64 held-open connections (half Unix, half
+    // TCP) plus active clients, while the daemon's thread count stays
+    // O(workers), not O(clients) — the reactor multiplexes them all.
+    let (daemon, addr) = Daemon::spawn_dual("many-conns", &["--jobs", "2"]);
+    let mut idle_unix = Vec::new();
+    let mut idle_tcp = Vec::new();
+    for i in 0..64 {
+        if i % 2 == 0 {
+            idle_unix.push(
+                std::os::unix::net::UnixStream::connect(&daemon.socket).expect("idle connect"),
+            );
+        } else {
+            idle_tcp.push(std::net::TcpStream::connect(addr.as_str()).expect("idle tcp connect"));
+        }
+    }
+    // Active traffic on top of the idle herd, over both transports.
+    let mut unix = daemon.connect();
+    let mut tcp = Daemon::connect_tcp(&addr);
+    let ru = unix.roundtrip("{\"id\":1,\"method\":\"prove\",\"params\":{\"names\":[\"pos\"]}}");
+    assert_eq!(ru.get("ok").and_then(Json::as_bool), Some(true), "{ru}");
+    let rt = tcp.roundtrip("{\"id\":2,\"method\":\"prove\",\"params\":{\"names\":[\"pos\"]}}");
+    assert_eq!(rt.get("ok").and_then(Json::as_bool), Some(true), "{rt}");
+    let stats = unix.roundtrip("{\"id\":3,\"method\":\"stats\"}");
+    assert!(
+        stat_u64(&stats, "open_connections") >= 66,
+        "the idle herd must all be held open: {stats}"
+    );
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string(format!("/proc/{}/status", daemon.pid()))
+            .expect("proc status readable");
+        let threads: u64 = status
+            .lines()
+            .find_map(|l| l.strip_prefix("Threads:"))
+            .expect("Threads line")
+            .trim()
+            .parse()
+            .expect("thread count");
+        assert!(
+            threads <= 16,
+            "66 connections must not cost 66 threads (got {threads}):\n{status}"
+        );
+    }
+    drop(idle_unix);
+    drop(idle_tcp);
+    drop(unix);
+    drop(tcp);
+    daemon.shutdown();
+}
+
+#[test]
+fn idle_daemon_blocks_in_poll_instead_of_spinning() {
+    // Regression for the 10ms-per-WouldBlock accept loop: half a second
+    // of quiet must cost at most a handful of poll(2) returns (the
+    // observer's own stats round-trips), never a timeout-driven spin.
+    let daemon = Daemon::spawn("no-spin", &[]);
+    let mut observer = daemon.connect();
+    let before = observer.roundtrip("{\"id\":1,\"method\":\"stats\"}");
+    let polls_before = before
+        .get("result")
+        .and_then(|r| r.get("reactor"))
+        .and_then(|r| r.get("polls"))
+        .and_then(Json::as_u64)
+        .expect("reactor polls in stats");
+    std::thread::sleep(Duration::from_millis(500));
+    let after = observer.roundtrip("{\"id\":2,\"method\":\"stats\"}");
+    let polls_after = after
+        .get("result")
+        .and_then(|r| r.get("reactor"))
+        .and_then(|r| r.get("polls"))
+        .and_then(Json::as_u64)
+        .expect("reactor polls in stats");
+    let churn = polls_after - polls_before;
+    assert!(
+        churn <= 5,
+        "an idle daemon must block in poll, not spin: {churn} poll returns in 500ms"
+    );
+    drop(observer);
+    daemon.shutdown();
 }
 
 #[test]

@@ -6,10 +6,11 @@
 //! torn, corrupted, interleaved with stray lines, or not at all because
 //! the connection was reset or the worker was killed and restarted
 //! under its supervisor. This module is the client that survives all of
-//! it — and the reusable plumbing `stqc call` now sits on. It speaks
-//! both daemon transports — Unix socket by default, TCP when
-//! [`ClientConfig::tcp`] is set — with the identical healing contract
-//! over each (`docs/serving.md` has the transport matrix).
+//! it — and the reusable plumbing `stqc call` now sits on. It takes an
+//! **ordered list of endpoints** ([`ClientConfig::endpoints`]), each a
+//! Unix socket or a TCP address, and speaks the identical healing
+//! contract over both transports (`docs/serving.md` has the transport
+//! matrix and the HA topology).
 //!
 //! The healing contract (`docs/serving.md` has the retry-semantics
 //! table):
@@ -17,6 +18,15 @@
 //! * **Reconnect.** Connection loss (reset, EOF, refused while the
 //!   supervisor restarts a worker) re-establishes the connection,
 //!   retrying `connect` within [`ClientConfig::connect_timeout`].
+//! * **Failover.** With more than one endpoint configured, a connect
+//!   failure, a mid-call severance, or a `shutting-down` rejection
+//!   moves on to the next endpoint in the ring — under exactly the
+//!   same safe-resend rules as a same-endpoint reconnect. The connect
+//!   loop scans the whole ring (preferring the current endpoint) every
+//!   pass, so a dead daemon is skipped and a revived one is found
+//!   again. [`ClientStats::failovers`] counts successful switches;
+//!   [`ClientStats::endpoints_tried`] counts distinct endpoints ever
+//!   dialed.
 //! * **Bounded backoff + jitter.** Retryable failures — the server's
 //!   `overloaded` and `shutting-down` errors, plus transport loss —
 //!   back off exponentially from [`ClientConfig::backoff_base`] up to
@@ -43,20 +53,53 @@ use std::time::{Duration, Instant};
 
 use stq_util::json::{escape, Json};
 
+/// One place a daemon might be listening: a Unix socket path or a TCP
+/// `HOST:PORT` address. Both carry the identical wire protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix domain socket path.
+    Unix(PathBuf),
+    /// A TCP `HOST:PORT` address.
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parses the `stqc call --endpoint` syntax: an explicit `tcp:` or
+    /// `unix:` prefix wins; otherwise a value with a `:` and no `/` is
+    /// a TCP address, and anything else is a socket path.
+    pub fn parse(s: &str) -> Endpoint {
+        if let Some(addr) = s.strip_prefix("tcp:") {
+            Endpoint::Tcp(addr.to_owned())
+        } else if let Some(path) = s.strip_prefix("unix:") {
+            Endpoint::Unix(PathBuf::from(path))
+        } else if s.contains(':') && !s.contains('/') {
+            Endpoint::Tcp(s.to_owned())
+        } else {
+            Endpoint::Unix(PathBuf::from(s))
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(path) => write!(f, "{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
 /// Knobs for [`Client`]; defaults mirror the historical thin client
 /// (one connect attempt, no retries, no deadline).
 #[derive(Clone, Debug)]
 pub struct ClientConfig {
-    /// Path of the daemon's Unix socket. Ignored when [`ClientConfig::tcp`]
-    /// is set.
-    pub socket: PathBuf,
-    /// TCP address (`HOST:PORT`) of the daemon. When `Some`, the client
-    /// dials TCP instead of the Unix socket — same wire protocol, same
-    /// healing contract.
-    pub tcp: Option<String>,
+    /// Ordered daemon endpoints. The first is preferred; the rest are
+    /// failover targets, tried in ring order on connect failure,
+    /// severance, or a `shutting-down` rejection.
+    pub endpoints: Vec<Endpoint>,
     /// Total budget for establishing a connection, including retries
-    /// while the socket is refused/absent (a supervisor restarting its
-    /// worker). Zero means a single attempt.
+    /// while every endpoint is refused/absent (a supervisor restarting
+    /// its worker). Zero means a single pass over the ring.
     pub connect_timeout: Duration,
     /// Overall wall-clock budget for one `call`, covering every retry;
     /// `None` waits indefinitely (the pre-chaos behavior).
@@ -75,14 +118,31 @@ pub struct ClientConfig {
 impl Default for ClientConfig {
     fn default() -> ClientConfig {
         ClientConfig {
-            socket: PathBuf::new(),
-            tcp: None,
+            endpoints: Vec::new(),
             connect_timeout: Duration::ZERO,
             call_deadline: None,
             max_retries: 0,
             backoff_base: Duration::from_millis(25),
             backoff_max: Duration::from_millis(500),
             seed: 0,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// A thin-client config for a single Unix-socket endpoint.
+    pub fn unix(socket: impl Into<PathBuf>) -> ClientConfig {
+        ClientConfig {
+            endpoints: vec![Endpoint::Unix(socket.into())],
+            ..ClientConfig::default()
+        }
+    }
+
+    /// A thin-client config for a single TCP endpoint.
+    pub fn tcp(addr: impl Into<String>) -> ClientConfig {
+        ClientConfig {
+            endpoints: vec![Endpoint::Tcp(addr.into())],
+            ..ClientConfig::default()
         }
     }
 }
@@ -96,6 +156,12 @@ pub struct ClientStats {
     pub retries: u64,
     /// Connections re-established after the first.
     pub reconnects: u64,
+    /// Connections established to a *different* endpoint than the
+    /// previous one — successful failovers within the endpoint ring.
+    pub failovers: u64,
+    /// Distinct endpoints this client has ever dialed (successfully or
+    /// not). 1 for a healthy single-daemon setup.
+    pub endpoints_tried: u64,
     /// Requests re-sent under a fresh id after transport trouble
     /// (corrupt line, connection loss, id-`null` parse error).
     pub resends: u64,
@@ -150,7 +216,13 @@ pub struct CallOutcome {
 /// True for methods the server may execute any number of times with
 /// the same observable result, making blind re-send safe.
 pub fn method_is_idempotent(method: &str) -> bool {
-    matches!(method, "check" | "prove" | "stats" | "health" | "shutdown")
+    // `reload` re-reads the daemon's configured qualifier files from
+    // disk; replaying it converges to the same registry, so it is as
+    // safe to re-send as `shutdown`.
+    matches!(
+        method,
+        "check" | "prove" | "stats" | "health" | "shutdown" | "reload"
+    )
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -222,25 +294,37 @@ enum Recv {
     TimedOut,
 }
 
-/// A reconnecting, retrying client for one serve daemon.
+/// A reconnecting, retrying, failing-over client for a tier of serve
+/// daemons (one endpoint is simply a tier of one).
 pub struct Client {
     cfg: ClientConfig,
     conn: Option<Conn>,
     next_id: u64,
     rng: u64,
     ever_connected: bool,
+    /// Index of the endpoint to prefer on the next dial.
+    endpoint_idx: usize,
+    /// Endpoint of the most recent successful connection; a later
+    /// connection elsewhere is a failover.
+    last_connected_idx: Option<usize>,
+    /// Which endpoints have ever been dialed (for `endpoints_tried`).
+    tried: Vec<bool>,
     stats: ClientStats,
 }
 
 impl Client {
     pub fn new(cfg: ClientConfig) -> Client {
         let rng = splitmix64(cfg.seed ^ 0xC1A0_5EED);
+        let tried = vec![false; cfg.endpoints.len()];
         Client {
             cfg,
             conn: None,
             next_id: 0,
             rng,
             ever_connected: false,
+            endpoint_idx: 0,
+            last_connected_idx: None,
+            tried,
             stats: ClientStats::default(),
         }
     }
@@ -267,55 +351,86 @@ impl Client {
         }
     }
 
-    /// Ensures a live connection, dialing within the connect budget
-    /// (and the call deadline, when tighter).
+    /// Marks endpoint `idx` as dialed, updating `endpoints_tried`.
+    fn mark_tried(&mut self, idx: usize) {
+        if !self.tried[idx] {
+            self.tried[idx] = true;
+            self.stats.endpoints_tried += 1;
+        }
+    }
+
+    /// Ensures a live connection, scanning the endpoint ring (starting
+    /// at the preferred index) within the connect budget and the call
+    /// deadline, when tighter. On total failure the error names every
+    /// endpoint with the last reason each one refused.
     fn ensure_connected(&mut self, overall: Option<Instant>) -> Result<(), CallError> {
         if self.conn.is_some() {
             return Ok(());
+        }
+        let n = self.cfg.endpoints.len();
+        if n == 0 {
+            return Err(CallError::Unreachable("no endpoints configured".to_owned()));
         }
         let mut give_up = Instant::now() + self.cfg.connect_timeout;
         if let Some(deadline) = overall {
             give_up = give_up.min(deadline);
         }
-        let endpoint = match &self.cfg.tcp {
-            Some(addr) => addr.clone(),
-            None => self.cfg.socket.display().to_string(),
-        };
         loop {
-            let dialed = match &self.cfg.tcp {
-                Some(addr) => TcpStream::connect(addr.as_str()).map(NetStream::Tcp),
-                None => UnixStream::connect(&self.cfg.socket).map(NetStream::Unix),
-            };
-            match dialed {
-                Ok(stream) => {
-                    if let NetStream::Tcp(s) = &stream {
-                        // Request lines are tiny; trading batching for
-                        // latency matches the Unix-socket behavior.
-                        let _ = s.set_nodelay(true);
+            let mut errors: Vec<String> = Vec::with_capacity(n);
+            for step in 0..n {
+                let idx = (self.endpoint_idx + step) % n;
+                let endpoint = self.cfg.endpoints[idx].clone();
+                self.mark_tried(idx);
+                let dialed = match &endpoint {
+                    Endpoint::Tcp(addr) => TcpStream::connect(addr.as_str()).map(NetStream::Tcp),
+                    Endpoint::Unix(path) => UnixStream::connect(path).map(NetStream::Unix),
+                };
+                match dialed {
+                    Ok(stream) => {
+                        if let NetStream::Tcp(s) = &stream {
+                            // Request lines are tiny; trading batching
+                            // for latency matches the Unix-socket
+                            // behavior.
+                            let _ = s.set_nodelay(true);
+                        }
+                        let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+                        let reader = BufReader::new(stream.try_clone().map_err(|e| {
+                            CallError::Unreachable(format!("{endpoint}: {e}"))
+                        })?);
+                        if self.ever_connected {
+                            self.stats.reconnects += 1;
+                        }
+                        if self.last_connected_idx.is_some_and(|prev| prev != idx) {
+                            self.stats.failovers += 1;
+                        }
+                        self.ever_connected = true;
+                        self.last_connected_idx = Some(idx);
+                        self.endpoint_idx = idx;
+                        self.conn = Some(Conn { stream, reader });
+                        return Ok(());
                     }
-                    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
-                    let reader = BufReader::new(stream.try_clone().map_err(|e| {
-                        CallError::Unreachable(format!("{endpoint}: {e}"))
-                    })?);
-                    if self.ever_connected {
-                        self.stats.reconnects += 1;
-                    }
-                    self.ever_connected = true;
-                    self.conn = Some(Conn { stream, reader });
-                    return Ok(());
-                }
-                Err(e) => {
-                    if Instant::now() >= give_up {
-                        return Err(CallError::Unreachable(format!("{endpoint}: {e}")));
-                    }
-                    std::thread::sleep(Duration::from_millis(10));
+                    Err(e) => errors.push(format!("{endpoint}: {e}")),
                 }
             }
+            if Instant::now() >= give_up {
+                return Err(CallError::Unreachable(errors.join("; ")));
+            }
+            std::thread::sleep(Duration::from_millis(10));
         }
     }
 
     fn drop_conn(&mut self) {
         self.conn = None;
+    }
+
+    /// Prefers the next endpoint in the ring on the upcoming dial —
+    /// the failover half of a severance or `shutting-down` recovery.
+    /// A single-endpoint ring is unchanged (plain reconnect).
+    fn advance_endpoint(&mut self) {
+        let n = self.cfg.endpoints.len();
+        if n > 1 {
+            self.endpoint_idx = (self.endpoint_idx + 1) % n;
+        }
     }
 
     /// Reads the next response line, surviving read-timeout polls (a
@@ -432,6 +547,7 @@ impl Client {
             };
             if !sent {
                 self.drop_conn();
+                self.advance_endpoint();
                 if !idempotent {
                     // Even a failed write may have delivered the line.
                     return Err(ambiguous("the connection broke"));
@@ -451,6 +567,7 @@ impl Client {
                     }
                     Recv::Eof => {
                         self.drop_conn();
+                        self.advance_endpoint();
                         if maybe_executed {
                             return Err(ambiguous("the connection closed"));
                         }
@@ -524,12 +641,14 @@ impl Client {
                             Some("shutting-down") => {
                                 // Rejected before execution; the daemon
                                 // (or its current worker) is going
-                                // away. Reconnect after a backoff.
+                                // away. Fail over to the next endpoint
+                                // after a backoff.
                                 if attempts_left == 0 {
                                     return Ok(CallOutcome { raw, doc });
                                 }
                                 maybe_executed = false;
                                 self.drop_conn();
+                                self.advance_endpoint();
                                 self.stats.retries += 1;
                                 self.backoff(backoff_step, overall);
                                 backoff_step += 1;
@@ -555,9 +674,12 @@ mod tests {
     }
 
     fn cfg(socket: &Path) -> ClientConfig {
+        cfg_multi(vec![Endpoint::Unix(socket.to_path_buf())])
+    }
+
+    fn cfg_multi(endpoints: Vec<Endpoint>) -> ClientConfig {
         ClientConfig {
-            socket: socket.to_path_buf(),
-            tcp: None,
+            endpoints,
             connect_timeout: Duration::from_secs(5),
             call_deadline: Some(Duration::from_secs(10)),
             max_retries: 8,
@@ -605,7 +727,8 @@ mod tests {
         let mut client = Client::new(cfg(&socket));
         let out = client.call("stats", None, None).expect("clean call");
         assert_eq!(out.doc.get("ok").and_then(Json::as_bool), Some(true));
-        assert_eq!(client.stats(), ClientStats::default());
+        let expected = ClientStats { endpoints_tried: 1, ..ClientStats::default() };
+        assert_eq!(client.stats(), expected);
         daemon.join().expect("daemon thread");
         let _ = std::fs::remove_file(&socket);
     }
@@ -753,10 +876,7 @@ mod tests {
     fn unreachable_socket_fails_fast_with_zero_connect_budget() {
         let socket = temp_socket("refused");
         let _ = std::fs::remove_file(&socket);
-        let mut client = Client::new(ClientConfig {
-            socket: socket.clone(),
-            ..ClientConfig::default()
-        });
+        let mut client = Client::new(ClientConfig::unix(&socket));
         let err = client.call("stats", None, None).expect_err("no daemon");
         assert!(matches!(err, CallError::Unreachable(_)), "{err:?}");
     }
@@ -775,10 +895,7 @@ mod tests {
             let response = format!("{{\"id\":{id},\"ok\":true,\"result\":{{\"tcp\":true}}}}\n");
             stream.write_all(response.as_bytes()).expect("write");
         });
-        let mut client = Client::new(ClientConfig {
-            tcp: Some(addr),
-            ..cfg(Path::new("/nonexistent"))
-        });
+        let mut client = Client::new(cfg_multi(vec![Endpoint::Tcp(addr)]));
         let out = client.call("stats", None, None).expect("tcp call");
         assert_eq!(
             out.doc
@@ -787,7 +904,8 @@ mod tests {
                 .and_then(Json::as_bool),
             Some(true)
         );
-        assert_eq!(client.stats(), ClientStats::default());
+        let expected = ClientStats { endpoints_tried: 1, ..ClientStats::default() };
+        assert_eq!(client.stats(), expected);
         daemon.join().expect("daemon thread");
     }
 
@@ -819,5 +937,143 @@ mod tests {
         assert_eq!(client.stats().retries, 2, "two backoff-and-retry rounds");
         daemon.join().expect("daemon thread");
         let _ = std::fs::remove_file(&socket);
+    }
+
+    #[test]
+    fn endpoint_parse_distinguishes_unix_and_tcp() {
+        assert_eq!(
+            Endpoint::parse("/tmp/a.sock"),
+            Endpoint::Unix(PathBuf::from("/tmp/a.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("127.0.0.1:9137"),
+            Endpoint::Tcp("127.0.0.1:9137".to_owned())
+        );
+        assert_eq!(
+            Endpoint::parse("tcp:localhost:80"),
+            Endpoint::Tcp("localhost:80".to_owned())
+        );
+        assert_eq!(
+            Endpoint::parse("unix:weird:name.sock"),
+            Endpoint::Unix(PathBuf::from("weird:name.sock"))
+        );
+        assert_eq!(Endpoint::parse("tcp:1.2.3.4:80").to_string(), "tcp:1.2.3.4:80");
+    }
+
+    #[test]
+    fn connect_failure_fails_over_to_the_next_endpoint() {
+        let dead = temp_socket("failover-dead");
+        let _ = std::fs::remove_file(&dead);
+        let live = temp_socket("failover-live");
+        let daemon = scripted_daemon(
+            &live,
+            vec![vec!["{\"id\":$ID,\"ok\":true,\"result\":{\"b\":true}}\n"]],
+        );
+        let mut client = Client::new(cfg_multi(vec![
+            Endpoint::Unix(dead.clone()),
+            Endpoint::Unix(live.clone()),
+        ]));
+        let out = client.call("stats", None, None).expect("failed over");
+        assert_eq!(
+            out.doc
+                .get("result")
+                .and_then(|r| r.get("b"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        let stats = client.stats();
+        assert_eq!(stats.endpoints_tried, 2, "both endpoints were dialed");
+        assert_eq!(stats.failovers, 0, "first connection is not a failover");
+        daemon.join().expect("daemon thread");
+        let _ = std::fs::remove_file(&live);
+    }
+
+    #[test]
+    fn severance_mid_call_fails_over_and_resends() {
+        let a = temp_socket("sever-a");
+        let b = temp_socket("sever-b");
+        // Daemon A accepts once and hangs up without answering; after
+        // its single script it is gone (connection refused thereafter).
+        let daemon_a = scripted_daemon(&a, vec![vec![]]);
+        let daemon_b = scripted_daemon(
+            &b,
+            vec![vec!["{\"id\":$ID,\"ok\":true,\"result\":{\"survivor\":true}}\n"]],
+        );
+        let mut client = Client::new(cfg_multi(vec![
+            Endpoint::Unix(a.clone()),
+            Endpoint::Unix(b.clone()),
+        ]));
+        let out = client.call("prove", None, None).expect("healed call");
+        assert_eq!(
+            out.doc
+                .get("result")
+                .and_then(|r| r.get("survivor"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        let stats = client.stats();
+        assert_eq!(stats.failovers, 1, "one switch from A to B");
+        assert_eq!(stats.reconnects, 1);
+        assert!(stats.resends >= 1);
+        assert_eq!(stats.endpoints_tried, 2);
+        daemon_a.join().expect("daemon a");
+        daemon_b.join().expect("daemon b");
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn shutting_down_rejection_fails_over_to_the_next_endpoint() {
+        let a = temp_socket("drain-a");
+        let b = temp_socket("drain-b");
+        let daemon_a = scripted_daemon(
+            &a,
+            vec![vec![
+                "{\"id\":$ID,\"ok\":false,\"error\":{\"code\":\"shutting-down\",\
+                 \"message\":\"draining\",\"retryable\":true}}\n",
+            ]],
+        );
+        let daemon_b = scripted_daemon(
+            &b,
+            vec![vec!["{\"id\":$ID,\"ok\":true,\"result\":{\"next\":true}}\n"]],
+        );
+        let mut client = Client::new(cfg_multi(vec![
+            Endpoint::Unix(a.clone()),
+            Endpoint::Unix(b.clone()),
+        ]));
+        let out = client.call("check", None, None).expect("failed over");
+        assert_eq!(
+            out.doc
+                .get("result")
+                .and_then(|r| r.get("next"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        let stats = client.stats();
+        assert_eq!(stats.failovers, 1);
+        assert_eq!(stats.retries, 1, "the rejection consumed one retry");
+        daemon_a.join().expect("daemon a");
+        daemon_b.join().expect("daemon b");
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn exhausting_every_endpoint_names_them_all() {
+        let a = temp_socket("exhaust-a");
+        let b = temp_socket("exhaust-b");
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+        let mut client = Client::new(ClientConfig {
+            endpoints: vec![Endpoint::Unix(a.clone()), Endpoint::Unix(b.clone())],
+            ..ClientConfig::default()
+        });
+        let err = client.call("stats", None, None).expect_err("all dead");
+        let CallError::Unreachable(msg) = &err else {
+            panic!("expected Unreachable, got {err:?}");
+        };
+        assert!(msg.contains(a.to_str().unwrap()), "{msg}");
+        assert!(msg.contains(b.to_str().unwrap()), "{msg}");
+        assert_eq!(client.stats().endpoints_tried, 2);
     }
 }

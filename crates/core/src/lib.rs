@@ -52,7 +52,7 @@ pub mod server;
 pub mod session;
 
 #[cfg(unix)]
-pub use client::{CallError, CallOutcome, Client, ClientConfig, ClientStats};
+pub use client::{CallError, CallOutcome, Client, ClientConfig, ClientStats, Endpoint};
 pub use server::{ServeConfig, ServeStats, Server, ShutdownKind};
 pub use session::Session;
 pub use stq_cir::interp::{ExecOutcome, InterpConfig, RuntimeError, Value};

@@ -44,6 +44,18 @@
 //!   id (`dedup_hits` in `stats` counts the answers fanned out without a
 //!   solver run). A leader that disconnects or is interrupted hands the
 //!   flight to the first surviving waiter, which re-runs.
+//! * **Hot reload.** The `reload` method (and the `--watch-libs`
+//!   poller) re-parses the qualifier libraries the daemon was started
+//!   with through the same transactional clone-validate-swap as
+//!   `define_qualifiers`: in-flight requests answer under the old
+//!   registry, the define epoch bumps on swap, and a broken library
+//!   rolls back without touching the resident session.
+//! * **Shared warm cache.** Several daemons may point at one
+//!   `--cache-dir`: journal appends are flock-serialized, and each
+//!   daemon *follows* the journal tail on a cache miss, adopting proofs
+//!   its peers persisted (`follow_hits` under `cache` in `stats`) — the
+//!   substrate of the multi-daemon failover story in
+//!   `docs/robustness.md`.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -105,6 +117,12 @@ pub struct ServeConfig {
     /// write may be corrupted, severed, or stalled per the plan
     /// (see `stq_util::netfault` and `docs/robustness.md`).
     pub netfault: Option<NetFaultPlan>,
+    /// The qualifier-library files (`--quals`) this server was started
+    /// with, in load order — what the `reload` method re-parses.
+    pub qual_files: Vec<PathBuf>,
+    /// `--watch-libs`: poll `qual_files` for modification and reload
+    /// automatically when any changes.
+    pub watch_libs: bool,
 }
 
 impl Default for ServeConfig {
@@ -120,6 +138,8 @@ impl Default for ServeConfig {
             idle_timeout: None,
             max_line_bytes: 1 << 20,
             netfault: None,
+            qual_files: Vec::new(),
+            watch_libs: false,
         }
     }
 }
@@ -136,6 +156,15 @@ pub struct ServeStats {
     stats: AtomicU64,
     health: AtomicU64,
     shutdown: AtomicU64,
+    /// `reload` protocol requests received (the watcher's automatic
+    /// reloads are not requests and count only below).
+    reload: AtomicU64,
+    /// Successful library reloads — RPC-initiated or watcher-initiated —
+    /// each one a completed clone-validate-swap and epoch bump.
+    reloads: AtomicU64,
+    /// Reload attempts that rolled back (unreadable or ill-formed
+    /// library); the resident registry was left untouched.
+    reload_failures: AtomicU64,
     errors: AtomicU64,
     shed: AtomicU64,
     cancelled: AtomicU64,
@@ -170,6 +199,9 @@ impl ServeStats {
             stats: AtomicU64::new(0),
             health: AtomicU64::new(0),
             shutdown: AtomicU64::new(0),
+            reload: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            reload_failures: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
@@ -1102,6 +1134,14 @@ impl Server {
                 self.enqueue(conn, id, method.to_owned(), params, deadline_ms);
                 false
             }
+            // `reload` takes the worker queue like any mutating request:
+            // the rebuild happens off the reader thread, and in-flight
+            // requests ahead of it answer under the old registry.
+            "reload" => {
+                self.stats.reload.fetch_add(1, Ordering::Relaxed);
+                self.enqueue(conn, id, method.to_owned(), params, deadline_ms);
+                false
+            }
             // `prove` goes through the single-flight table so identical
             // concurrent requests run the solver once.
             "prove" => {
@@ -1115,7 +1155,7 @@ impl Server {
                     "unknown-method",
                     &format!(
                         "unknown method `{other}` (expected define_qualifiers, check, \
-                         prove, stats, health, or shutdown)"
+                         prove, reload, stats, health, or shutdown)"
                     ),
                 );
                 false
@@ -1432,6 +1472,7 @@ impl Server {
         let outcome = match method {
             "define_qualifiers" => self.do_define(params),
             "check" => self.do_check(params),
+            "reload" => self.do_reload(),
             // Only reachable for proves that failed key resolution (the
             // deduplicated path is `run_flight`).
             "prove" => self.do_prove(params, &token).map(|p| p.json),
@@ -1476,6 +1517,100 @@ impl Server {
             .map(|n| format!("\"{}\"", escape(&n.to_string())))
             .collect();
         Ok(format!("{{\"defined\":[{}]}}", defined.join(",")))
+    }
+
+    /// `reload {}`: re-parse the qualifier libraries this server was
+    /// started with (`--quals`, [`ServeConfig::qual_files`]) through the
+    /// same transactional discipline as `define_qualifiers`. The fresh
+    /// session — builtins plus every library, in load order — is built
+    /// and validated *without* the session write lock, so in-flight
+    /// requests keep answering under the old registry; the swap itself
+    /// is a brief exclusive section, followed by a define-epoch bump so
+    /// no prove coalesces across the swap. Any failure (unreadable
+    /// file, parse error, ill-formed definitions) rolls back: the
+    /// resident registry is untouched, `reload_failures` ticks, and the
+    /// client gets a structured `input` error.
+    ///
+    /// Note the rebuild starts from builtins + the configured files:
+    /// qualifiers added dynamically via `define_qualifiers` since
+    /// startup are dropped by a reload (they are not in any library).
+    fn do_reload(&self) -> Result<String, ServeError> {
+        let built = (|| -> Result<(Session, Vec<String>), String> {
+            let mut next = Session::with_builtins();
+            let mut files = Vec::new();
+            for path in &self.cfg.qual_files {
+                let source = std::fs::read_to_string(path)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                next.define_qualifiers(&source)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                files.push(path.display().to_string());
+            }
+            let wf = next.check_well_formed();
+            if wf.has_errors() {
+                return Err(format!("ill-formed qualifier definitions:\n{wf}"));
+            }
+            Ok((next, files))
+        })();
+        match built {
+            Ok((next, files)) => {
+                let qualifiers = next.registry().iter().count();
+                {
+                    let mut guard = self.session.write().unwrap_or_else(|e| e.into_inner());
+                    *guard = next;
+                }
+                self.define_epoch.fetch_add(1, Ordering::AcqRel);
+                self.stats.reloads.fetch_add(1, Ordering::Relaxed);
+                let listed: Vec<String> =
+                    files.iter().map(|f| format!("\"{}\"", escape(f))).collect();
+                Ok(format!(
+                    "{{\"reloaded\":true,\"files\":[{}],\"qualifiers\":{qualifiers},\
+                     \"epoch\":{}}}",
+                    listed.join(","),
+                    self.define_epoch.load(Ordering::Acquire),
+                ))
+            }
+            Err(message) => {
+                self.stats.reload_failures.fetch_add(1, Ordering::Relaxed);
+                Err(("input", format!("reload rolled back: {message}")))
+            }
+        }
+    }
+
+    /// Spawns the `--watch-libs` poller: every 200ms, stat the
+    /// configured qualifier libraries and run a reload when any
+    /// modification time or length changes. A failing reload rolls back
+    /// (visible as `reload_failures` in `stats`) and is retried on the
+    /// next observed change. The thread exits once the server starts
+    /// stopping. Returns `None` when watching is off or there is
+    /// nothing to watch.
+    pub fn spawn_lib_watcher(self: &Arc<Server>) -> Option<std::thread::JoinHandle<()>> {
+        if !self.cfg.watch_libs || self.cfg.qual_files.is_empty() {
+            return None;
+        }
+        let server = Arc::clone(self);
+        type Snap = Vec<Option<(std::time::SystemTime, u64)>>;
+        let snapshot = |paths: &[PathBuf]| -> Snap {
+            paths
+                .iter()
+                .map(|p| {
+                    let meta = std::fs::metadata(p).ok()?;
+                    Some((meta.modified().ok()?, meta.len()))
+                })
+                .collect()
+        };
+        // The baseline snapshot is taken *before* the thread exists, so
+        // a modification racing the spawn is still detected.
+        let mut last = snapshot(&self.cfg.qual_files);
+        Some(std::thread::spawn(move || {
+            while !server.stopping() {
+                std::thread::sleep(Duration::from_millis(200));
+                let now = snapshot(&server.cfg.qual_files);
+                if now != last {
+                    last = now;
+                    let _ = server.do_reload();
+                }
+            }
+        }))
     }
 
     /// `check {source, flow_sensitive?}`: parse (error-resilient, so a
@@ -1594,11 +1729,12 @@ impl Server {
 
     fn cache_json(&self) -> String {
         format!(
-            "{{\"entries\":{},\"hits\":{},\"misses\":{},\"invalidations\":{},\
-             \"persist_skips\":{}}}",
+            "{{\"entries\":{},\"hits\":{},\"misses\":{},\"follow_hits\":{},\
+             \"invalidations\":{},\"persist_skips\":{}}}",
             self.cache.len(),
             self.cache.hits(),
             self.cache.misses(),
+            self.cache.follow_hits(),
             self.cache.invalidations(),
             self.cache.persist_skips(),
         )
@@ -1616,6 +1752,7 @@ impl Server {
         let total = s.define.load(Ordering::Relaxed)
             + s.check.load(Ordering::Relaxed)
             + s.prove.load(Ordering::Relaxed)
+            + s.reload.load(Ordering::Relaxed)
             + s.stats.load(Ordering::Relaxed)
             + s.health.load(Ordering::Relaxed)
             + s.shutdown.load(Ordering::Relaxed);
@@ -1632,7 +1769,8 @@ impl Server {
             "{{\"uptime_ms\":{},\"jobs\":{},\"qualifiers\":{qualifiers},\
              \"connections\":{},\"disconnects\":{},\"open_connections\":{},\
              \"requests\":{{\"total\":{total},\"define_qualifiers\":{},\"check\":{},\
-             \"prove\":{},\"stats\":{},\"health\":{},\"shutdown\":{}}},\
+             \"prove\":{},\"reload\":{},\"stats\":{},\"health\":{},\"shutdown\":{}}},\
+             \"reloads\":{},\"reload_failures\":{},\"epoch\":{},\
              \"inflight\":{},\"queued\":{},\"shed\":{},\"cancelled\":{},\
              \"interrupted\":{},\"errors\":{},\"panics\":{},\
              \"oversized\":{},\"bad_utf8\":{},\"idle_closed\":{},\
@@ -1647,9 +1785,13 @@ impl Server {
             s.define.load(Ordering::Relaxed),
             s.check.load(Ordering::Relaxed),
             s.prove.load(Ordering::Relaxed),
+            s.reload.load(Ordering::Relaxed),
             s.stats.load(Ordering::Relaxed),
             s.health.load(Ordering::Relaxed),
             s.shutdown.load(Ordering::Relaxed),
+            s.reloads.load(Ordering::Relaxed),
+            s.reload_failures.load(Ordering::Relaxed),
+            self.define_epoch.load(Ordering::Acquire),
             s.inflight.load(Ordering::Relaxed),
             self.sched.queued(),
             s.shed.load(Ordering::Relaxed),
@@ -1861,6 +2003,177 @@ mod tests {
         drop(reader);
         drop(client);
         handle.join().expect("connection thread");
+    }
+
+    const GOOD_LIB: &str = "value qualifier nonneg(int Expr E)\n\
+         case E of\n\
+             decl int Const C: C, where C >= 0\n\
+           | decl int Expr E1, E2: E1 + E2, where nonneg(E1) && nonneg(E2)\n\
+         invariant value(E) >= 0";
+
+    fn lib_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("stq-reload-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).expect("lib dir");
+        d
+    }
+
+    #[test]
+    fn reload_reparses_libraries_and_bumps_the_epoch() {
+        let dir = lib_dir("swap");
+        let lib = dir.join("quals.stq");
+        std::fs::write(&lib, GOOD_LIB).unwrap();
+        let (server, _cancel) = spawn_server(ServeConfig {
+            qual_files: vec![lib.clone()],
+            ..ServeConfig::default()
+        });
+        let (mut client, handle) = connect(&server);
+        let mut reader = BufReader::new(client.try_clone().expect("clone"));
+
+        let quals = |server: &Arc<Server>| {
+            Json::parse(&server.stats_result())
+                .unwrap()
+                .get("qualifiers")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+        };
+        let baseline = quals(&server);
+
+        let first = roundtrip(&mut client, &mut reader, r#"{"id":1,"method":"reload"}"#);
+        assert_eq!(first.get("ok").and_then(Json::as_bool), Some(true), "{first}");
+        let result = first.get("result").expect("result");
+        assert_eq!(result.get("reloaded").and_then(Json::as_bool), Some(true));
+        assert_eq!(result.get("epoch").and_then(Json::as_u64), Some(1));
+        // The library was not loaded at startup here, so the reload
+        // *added* nonneg over the builtins.
+        assert_eq!(quals(&server), baseline + 1);
+
+        // The library grows a second qualifier; the next reload picks
+        // it up and bumps the epoch again.
+        std::fs::write(
+            &lib,
+            format!(
+                "{GOOD_LIB}\nvalue qualifier gtzero(int Expr E) \
+                 case E of decl int Const C: C, where C > 0 invariant value(E) > 0"
+            ),
+        )
+        .unwrap();
+        let second = roundtrip(&mut client, &mut reader, r#"{"id":2,"method":"reload"}"#);
+        assert_eq!(second.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            second.get("result").and_then(|r| r.get("epoch")).and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(quals(&server), baseline + 2);
+
+        let stats = Json::parse(&server.stats_result()).unwrap();
+        assert_eq!(stats.get("reloads").and_then(Json::as_u64), Some(2));
+        assert_eq!(stats.get("reload_failures").and_then(Json::as_u64), Some(0));
+
+        drop(reader);
+        drop(client);
+        handle.join().expect("connection thread");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reload_of_a_broken_library_rolls_back() {
+        let dir = lib_dir("rollback");
+        let lib = dir.join("quals.stq");
+        std::fs::write(&lib, GOOD_LIB).unwrap();
+        let (server, _cancel) = spawn_server(ServeConfig {
+            qual_files: vec![lib.clone()],
+            ..ServeConfig::default()
+        });
+        let (mut client, handle) = connect(&server);
+        let mut reader = BufReader::new(client.try_clone().expect("clone"));
+
+        let good = roundtrip(&mut client, &mut reader, r#"{"id":1,"method":"reload"}"#);
+        assert_eq!(good.get("ok").and_then(Json::as_bool), Some(true));
+        let registry_before = Json::parse(&server.stats_result())
+            .unwrap()
+            .get("qualifiers")
+            .unwrap()
+            .as_u64();
+
+        // The library breaks on disk; the reload must answer a
+        // structured `input` error and leave the registry (and epoch)
+        // exactly as they were.
+        std::fs::write(&lib, "value qualifier broken(").unwrap();
+        let bad = roundtrip(&mut client, &mut reader, r#"{"id":2,"method":"reload"}"#);
+        assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            bad.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+            Some("input")
+        );
+        let message = bad
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap_or("");
+        assert!(message.contains("rolled back"), "{message}");
+
+        let stats = Json::parse(&server.stats_result()).unwrap();
+        assert_eq!(stats.get("qualifiers").unwrap().as_u64(), registry_before);
+        assert_eq!(stats.get("epoch").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("reloads").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("reload_failures").and_then(Json::as_u64), Some(1));
+
+        // The old registry still serves: nonneg (from the first reload)
+        // proves warm.
+        let prove = roundtrip(
+            &mut client,
+            &mut reader,
+            r#"{"id":3,"method":"prove","params":{"names":["nonneg"]}}"#,
+        );
+        assert_eq!(prove.get("ok").and_then(Json::as_bool), Some(true));
+
+        drop(reader);
+        drop(client);
+        handle.join().expect("connection thread");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watch_libs_reloads_on_modification() {
+        let dir = lib_dir("watch");
+        let lib = dir.join("quals.stq");
+        std::fs::write(&lib, GOOD_LIB).unwrap();
+        let (server, _cancel) = spawn_server(ServeConfig {
+            qual_files: vec![lib.clone()],
+            watch_libs: true,
+            ..ServeConfig::default()
+        });
+        let watcher = server.spawn_lib_watcher().expect("watcher spawned");
+
+        // Rewrite the library (new length, new mtime); the poller must
+        // notice and reload without any protocol request.
+        std::fs::write(
+            &lib,
+            format!(
+                "{GOOD_LIB}\nvalue qualifier gtzero(int Expr E) \
+                 case E of decl int Const C: C, where C > 0 invariant value(E) > 0"
+            ),
+        )
+        .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            let stats = Json::parse(&server.stats_result()).unwrap();
+            if stats.get("reloads").and_then(Json::as_u64).unwrap_or(0) >= 1 {
+                assert_eq!(
+                    stats.get("requests").and_then(|r| r.get("reload")).and_then(Json::as_u64),
+                    Some(0),
+                    "a watcher reload is not a protocol request"
+                );
+                break;
+            }
+            assert!(Instant::now() < deadline, "watcher never reloaded");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        server.stopping.store(true, Ordering::Release);
+        watcher.join().expect("watcher thread");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -2121,8 +2434,7 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         }
         let mut client = crate::client::Client::new(crate::client::ClientConfig {
-            socket: socket.clone(),
-            tcp: None,
+            endpoints: vec![crate::client::Endpoint::Unix(socket.clone())],
             connect_timeout: Duration::from_secs(5),
             call_deadline: Some(Duration::from_secs(30)),
             max_retries: 32,

@@ -46,12 +46,28 @@
 //!   rewrites the whole journal via a temp file + `rename`, so the store
 //!   is only ever replaced by a fully formed file.
 //! * **An advisory lock file** (`proofs.stqcache.lock`, `flock(2)` on
-//!   Unix) — loading, appending, and compacting all run under an
-//!   exclusive lock, so two `stqc` processes sharing a `--cache-dir`
-//!   serialize their writes instead of interleaving them. Entries the
-//!   two runs both prove are simply appended twice; the journal's
-//!   last-entry-wins load makes duplicates harmless (the prover is
-//!   deterministic, so they are identical anyway).
+//!   Unix) — loading, appending, compacting, and tail-following all run
+//!   under an exclusive lock, so two `stqc` processes sharing a
+//!   `--cache-dir` serialize their writes instead of interleaving them.
+//!   Entries the two runs both prove are simply appended twice; the
+//!   journal's last-entry-wins load makes duplicates harmless (the
+//!   prover is deterministic, so they are identical anyway).
+//!
+//! # Journal follow (shared warm cache)
+//!
+//! Long-lived processes sharing a `--cache-dir` (an HA daemon pool) do
+//! not reload the whole journal per lookup. Instead the cache remembers
+//! how far into the journal it has read (`{inode, offset}`); on an
+//! in-memory **miss**, [`ProofCache::lookup`] re-scans the journal
+//! *tail* — entries a peer appended since our last scan — and adopts
+//! them before conceding the miss. A proof a peer process discharged
+//! and persisted is therefore served warm here, counted in
+//! [`ProofCache::follow_hits`] (and as a hit, not a miss). A cheap
+//! `stat(2)` probe skips the lock and the read entirely when nothing
+//! changed; an inode change (a peer compacted) or a shrink triggers a
+//! full re-scan with the header re-verified; only complete,
+//! newline-terminated lines are consumed, so a peer's in-flight append
+//! is never half-read.
 //!
 //! A file whose header names a different [`PROVER_VERSION`] (or cannot
 //! be parsed) is **ignored, not trusted**: its entries are counted as
@@ -136,6 +152,18 @@ enum DiskState {
     Corrupt,
 }
 
+/// How far into the on-disk journal this cache has read: the file's
+/// identity (inode on Unix) and the byte offset up to which entries have
+/// been folded into the in-memory map. `offset == u64::MAX` marks a
+/// journal we observed but refused to trust (stale header installed by a
+/// peer) — every probe mismatches, so the header is re-checked until our
+/// own persist compacts it away.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct JournalPos {
+    ino: u64,
+    offset: u64,
+}
+
 /// A concurrent, optionally disk-backed map from obligation fingerprints
 /// to conclusive proof outcomes. See the module docs for semantics.
 #[derive(Debug)]
@@ -145,9 +173,13 @@ pub struct ProofCache {
     /// order — the journal's append batch.
     dirty: Mutex<Vec<(Fingerprint, CachedProof)>>,
     state: Mutex<DiskState>,
+    /// Journal-follow cursor (see the module docs). Lock order: `pos`
+    /// before the advisory file lock, never the reverse.
+    pos: Mutex<JournalPos>,
     dir: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
+    follow_hits: AtomicU64,
     invalidations: AtomicU64,
     persist_skips: AtomicU64,
 }
@@ -165,9 +197,11 @@ impl ProofCache {
             mem: RwLock::new(HashMap::new()),
             dirty: Mutex::new(Vec::new()),
             state: Mutex::new(DiskState::Fresh),
+            pos: Mutex::new(JournalPos::default()),
             dir: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            follow_hits: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             persist_skips: AtomicU64::new(0),
         }
@@ -196,8 +230,13 @@ impl ProofCache {
         if file.exists() {
             let _lock = filelock::lock_exclusive(&dir.join(LOCK_FILE))?;
             let text = fs::read_to_string(&file)?;
+            let meta = fs::metadata(&file)?;
             let state = cache.load_store(&text);
             *cache.state.lock().expect("state lock") = state;
+            *cache.pos.lock().expect("pos lock") = JournalPos {
+                ino: file_id(&meta),
+                offset: text.len() as u64,
+            };
         }
         Ok(cache)
     }
@@ -249,19 +288,127 @@ impl ProofCache {
         }
     }
 
-    /// Looks up a fingerprint, counting the hit or miss.
+    /// Looks up a fingerprint, counting the hit or miss. On an in-memory
+    /// miss of a disk-backed cache, the journal tail is re-scanned first
+    /// (see the module docs): a proof a peer process appended since our
+    /// last scan is adopted and served as a hit — counted additionally
+    /// in [`ProofCache::follow_hits`] — not conceded as a miss.
     pub fn lookup(&self, fp: Fingerprint) -> Option<CachedProof> {
         let found = self.mem.read().expect("cache lock").get(&fp).cloned();
-        match found {
-            Some(proof) => {
+        if let Some(proof) = found {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(proof);
+        }
+        if self.dir.is_some() && self.follow() {
+            let found = self.mem.read().expect("cache lock").get(&fp).cloned();
+            if let Some(proof) = found {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(proof)
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                self.follow_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(proof);
             }
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// The journal-follow pass: re-scans whatever a peer appended to the
+    /// journal since our last scan and folds it into the in-memory map.
+    /// Returns whether anything new was adopted. Never an error: a
+    /// vanished file, a lock failure, or an untrusted journal simply
+    /// declines to follow — the caller re-proves, which is always sound.
+    fn follow(&self) -> bool {
+        let Some(dir) = &self.dir else {
+            return false;
+        };
+        if *self.state.lock().expect("state lock") == DiskState::Corrupt {
+            // Our own load already distrusts this journal; adopting its
+            // tail would resurrect what we invalidated.
+            return false;
+        }
+        let file = dir.join(CACHE_FILE);
+        let mut pos = self.pos.lock().expect("pos lock");
+        // Cheap probe: same file, same length — nothing appended, no
+        // lock taken, no bytes read.
+        let Ok(meta) = fs::metadata(&file) else {
+            return false;
+        };
+        if file_id(&meta) == pos.ino && meta.len() == pos.offset {
+            return false;
+        }
+        let Ok(_lock) = filelock::lock_exclusive(&dir.join(LOCK_FILE)) else {
+            return false;
+        };
+        // Re-read under the lock: the probe may have raced a compaction
+        // rename, and an appender's partial flush is excluded by the
+        // complete-lines-only rule in `fold_tail`.
+        let Ok(text) = fs::read_to_string(&file) else {
+            return false;
+        };
+        let Ok(meta) = fs::metadata(&file) else {
+            return false;
+        };
+        let id = file_id(&meta);
+        let rescan = id != pos.ino || (text.len() as u64) < pos.offset;
+        if rescan && text.lines().next() != Some(current_header().as_str()) {
+            // A peer installed a journal we must not trust (stale
+            // prover version, foreign format). The MAX-offset sentinel
+            // keeps the header re-checked on every miss until our own
+            // persist compacts the file back to health.
+            *pos = JournalPos { ino: id, offset: u64::MAX };
+            return false;
+        }
+        self.fold_tail(&text, &mut pos, id) > 0
+    }
+
+    /// Folds the journal bytes beyond `pos` into the in-memory map,
+    /// advancing the cursor past exactly the complete, newline-terminated
+    /// lines consumed. Entries already known stay as they are (the
+    /// prover is deterministic, so a duplicate is identical anyway);
+    /// complete lines that fail to parse or fail their CRC are counted
+    /// as invalidations and skipped. Returns how many entries were newly
+    /// adopted. The caller holds the advisory lock and, when scanning
+    /// from the top, has already verified the header.
+    fn fold_tail(&self, text: &str, pos: &mut JournalPos, id: u64) -> usize {
+        let rescan = id != pos.ino || (text.len() as u64) < pos.offset;
+        let mut start = if rescan { 0 } else { pos.offset as usize };
+        if start == 0 {
+            match text.find('\n') {
+                Some(nl) => start = nl + 1,
+                None => {
+                    *pos = JournalPos { ino: id, offset: 0 };
+                    return 0;
+                }
+            }
+        }
+        let tail = &text[start..];
+        let Some(last_nl) = tail.rfind('\n') else {
+            *pos = JournalPos { ino: id, offset: start as u64 };
+            return 0;
+        };
+        let mut adopted = 0;
+        {
+            let mut map = self.mem.write().expect("cache lock");
+            for line in tail[..=last_nl].lines() {
+                if line.is_empty() {
+                    continue;
+                }
+                match parse_entry(line) {
+                    Some((fp, proof)) => {
+                        if map.insert(fp, proof.clone()) != Some(proof) {
+                            adopted += 1;
+                        }
+                    }
+                    None => {
+                        self.invalidations.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        *pos = JournalPos {
+            ino: id,
+            offset: (start + last_nl + 1) as u64,
+        };
+        adopted
     }
 
     /// Records a conclusive outcome under `fp`, marking it dirty for the
@@ -323,18 +470,33 @@ impl ProofCache {
             self.persist_skips.fetch_add(1, Ordering::Relaxed);
             return Ok(PersistOutcome::Skipped);
         }
+        let mut pos = self.pos.lock().expect("pos lock");
         let _lock = filelock::lock_exclusive(&dir.join(LOCK_FILE))?;
         let outcome = if must_compact {
-            self.compact_locked(dir)?
+            self.compact_locked(dir, &mut pos)?
         } else {
-            let mut out = String::new();
-            for (fp, proof) in dirty.iter() {
-                out.push_str(&render_entry(*fp, proof));
+            // The multi-writer append discipline: re-verify the header
+            // *under the lock* (a peer may have replaced the journal
+            // since our load), fold in whatever peers appended since our
+            // last scan, and only then append our own batch.
+            let text = fs::read_to_string(&file)?;
+            if text.lines().next() != Some(current_header().as_str()) {
+                self.compact_locked(dir, &mut pos)?
+            } else {
+                self.fold_tail(&text, &mut pos, file_id(&fs::metadata(&file)?));
+                let mut out = String::new();
+                for (fp, proof) in dirty.iter() {
+                    out.push_str(&render_entry(*fp, proof));
+                }
+                let mut f = fs::OpenOptions::new().append(true).open(&file)?;
+                faulted_write(&mut f, out.as_bytes())?;
+                f.sync_all()?;
+                // The append lands at the true end of file, which may
+                // sit past the last complete line `fold_tail` stopped
+                // at (a dead peer's torn fragment); skip straight over.
+                pos.offset = (text.len() + out.len()) as u64;
+                PersistOutcome::Appended(dirty.len())
             }
-            let mut f = fs::OpenOptions::new().append(true).open(&file)?;
-            faulted_write(&mut f, out.as_bytes())?;
-            f.sync_all()?;
-            PersistOutcome::Appended(dirty.len())
         };
         dirty.clear();
         *state = DiskState::Clean;
@@ -358,15 +520,16 @@ impl ProofCache {
         };
         let mut dirty = self.dirty.lock().expect("dirty lock");
         let mut state = self.state.lock().expect("state lock");
+        let mut pos = self.pos.lock().expect("pos lock");
         let _lock = filelock::lock_exclusive(&dir.join(LOCK_FILE))?;
-        let outcome = self.compact_locked(dir)?;
+        let outcome = self.compact_locked(dir, &mut pos)?;
         dirty.clear();
         *state = DiskState::Clean;
         Ok(outcome)
     }
 
     /// The compaction body; the caller holds the advisory lock.
-    fn compact_locked(&self, dir: &Path) -> io::Result<PersistOutcome> {
+    fn compact_locked(&self, dir: &Path, pos: &mut JournalPos) -> io::Result<PersistOutcome> {
         // Merge entries a concurrent writer appended since our load.
         // Only a current-header file contributes; a stale or corrupt
         // prefix was already invalidated at load time and new corruption
@@ -376,9 +539,7 @@ impl ProofCache {
         let mut merged: HashMap<Fingerprint, CachedProof> = HashMap::new();
         if let Ok(text) = fs::read_to_string(&file) {
             let mut lines = text.lines();
-            let current = lines
-                .next()
-                .is_some_and(|h| h == format!("stq-proof-cache {FORMAT_VERSION} {PROVER_VERSION}"));
+            let current = lines.next().is_some_and(|h| h == current_header());
             if current {
                 for line in lines {
                     if let Some((fp, proof)) = parse_entry(line) {
@@ -388,14 +549,21 @@ impl ProofCache {
             }
         }
         {
-            let map = self.mem.read().expect("cache lock");
+            // Ours win over the disk's (identical anyway — the prover
+            // is deterministic), and peer-only entries are adopted into
+            // memory: the cursor jumps to the end of the compacted file
+            // below, so this is their only chance to be followed.
+            let mut map = self.mem.write().expect("cache lock");
             for (fp, proof) in map.iter() {
                 merged.insert(*fp, proof.clone());
+            }
+            for (fp, proof) in merged.iter() {
+                map.entry(*fp).or_insert_with(|| proof.clone());
             }
         }
         let mut entries: Vec<_> = merged.iter().collect();
         entries.sort_by_key(|(fp, _)| **fp);
-        let mut out = format!("stq-proof-cache {FORMAT_VERSION} {PROVER_VERSION}\n");
+        let mut out = format!("{}\n", current_header());
         for (fp, proof) in &entries {
             out.push_str(&render_entry(**fp, proof));
         }
@@ -411,6 +579,12 @@ impl ProofCache {
             return Err(e);
         }
         fs::rename(&tmp, &file)?;
+        // The compacted file is entirely of our making: the follow
+        // cursor jumps straight to its end.
+        *pos = JournalPos {
+            ino: fs::metadata(&file).map(|m| file_id(&m)).unwrap_or(0),
+            offset: out.len() as u64,
+        };
         Ok(PersistOutcome::Compacted(entries.len()))
     }
 
@@ -434,6 +608,14 @@ impl ProofCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Hits that were served by the journal-follow path: the entry was
+    /// absent from memory but a peer process had appended it to the
+    /// shared journal since our last scan. A subset of
+    /// [`ProofCache::hits`].
+    pub fn follow_hits(&self) -> u64 {
+        self.follow_hits.load(Ordering::Relaxed)
+    }
+
     /// Entries refused at load time (version/format mismatch, malformed
     /// lines, CRC failures from torn or corrupted writes).
     pub fn invalidations(&self) -> u64 {
@@ -455,6 +637,25 @@ impl ProofCache {
     pub fn dir(&self) -> Option<&Path> {
         self.dir.as_deref()
     }
+}
+
+/// The exact header line a trustworthy journal must start with.
+fn current_header() -> String {
+    format!("stq-proof-cache {FORMAT_VERSION} {PROVER_VERSION}")
+}
+
+/// The file's identity for journal-follow: the inode on Unix (rename
+/// changes it, append does not), a constant elsewhere (follow then
+/// degrades to offset-only tracking, still never unsound).
+#[cfg(unix)]
+fn file_id(meta: &fs::Metadata) -> u64 {
+    use std::os::unix::fs::MetadataExt;
+    meta.ino()
+}
+
+#[cfg(not(unix))]
+fn file_id(_meta: &fs::Metadata) -> u64 {
+    0
 }
 
 /// Writes `bytes`, honouring any injected I/O fault scheduled for this
@@ -1022,6 +1223,147 @@ mod tests {
         let merged = ProofCache::at_dir(&dir).unwrap();
         assert_eq!(merged.invalidations(), 0, "no interleaved/torn lines");
         assert_eq!(merged.len(), 51, "both writers' entries all present");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn follow_adopts_a_peer_appended_entry_as_a_warm_hit() {
+        let dir = tmpdir("follow");
+        // Both caches open the same (initially empty) dir, as two
+        // daemons sharing --cache-dir do at startup.
+        let a = ProofCache::at_dir(&dir).unwrap();
+        let b = ProofCache::at_dir(&dir).unwrap();
+        a.record(fp(100), &proved());
+        a.record(fp(101), &refuted(&["m = 9"]));
+        a.persist().unwrap();
+
+        // b never saw these fingerprints: the in-memory miss re-scans
+        // the journal tail and serves them warm.
+        assert_eq!(b.lookup(fp(100)), Some(CachedProof::Proved));
+        assert_eq!(b.lookup(fp(101)), Some(CachedProof::Refuted { model: vec!["m = 9".into()] }));
+        assert_eq!(b.misses(), 0, "follow hits are hits, not misses");
+        assert_eq!(b.hits(), 2);
+        // One follow pass adopted the whole tail; the second lookup was
+        // then an ordinary in-memory hit.
+        assert_eq!(b.follow_hits(), 1);
+        // A genuinely unknown fingerprint still misses (one stat probe,
+        // nothing adopted).
+        assert_eq!(b.lookup(fp(102)), None);
+        assert_eq!(b.misses(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn follow_survives_a_peer_compaction_rename() {
+        let dir = tmpdir("follow-compact");
+        let a = ProofCache::at_dir(&dir).unwrap();
+        a.record(fp(110), &proved());
+        a.persist().unwrap();
+
+        let b = ProofCache::at_dir(&dir).unwrap();
+        assert_eq!(b.lookup(fp(110)), Some(CachedProof::Proved));
+
+        // Peer a records a fresh entry and compacts: everything lands
+        // in a brand-new file (new inode). b's cursor points into the
+        // old inode; the follow must detect the rename and re-scan from
+        // the top.
+        a.record(fp(111), &proved());
+        a.compact().unwrap();
+        assert_eq!(b.lookup(fp(111)), Some(CachedProof::Proved));
+        assert!(b.follow_hits() >= 1);
+        assert_eq!(b.misses(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn follow_never_adopts_an_incomplete_tail_line() {
+        let dir = tmpdir("follow-torn");
+        let a = ProofCache::at_dir(&dir).unwrap();
+        a.record(fp(120), &proved());
+        a.persist().unwrap();
+        let b = ProofCache::at_dir(&dir).unwrap();
+
+        // A peer crashes mid-append: the tail has no trailing newline.
+        let file = dir.join(CACHE_FILE);
+        let entry = render_entry(fp(121), &CachedProof::Proved);
+        let torn = &entry[..entry.len() - 3];
+        fs::OpenOptions::new()
+            .append(true)
+            .open(&file)
+            .unwrap()
+            .write_all(torn.as_bytes())
+            .unwrap();
+        assert_eq!(b.lookup(fp(121)), None, "incomplete line is not consumed");
+        assert_eq!(b.follow_hits(), 0);
+
+        // The line completes later (here: a second append finishing the
+        // entry); only now is it adopted.
+        fs::OpenOptions::new()
+            .append(true)
+            .open(&file)
+            .unwrap()
+            .write_all(&entry.as_bytes()[entry.len() - 3..])
+            .unwrap();
+        assert_eq!(b.lookup(fp(121)), Some(CachedProof::Proved));
+        assert_eq!(b.follow_hits(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn follow_refuses_a_journal_swapped_for_a_stale_version() {
+        let dir = tmpdir("follow-stale");
+        let a = ProofCache::at_dir(&dir).unwrap();
+        a.record(fp(130), &proved());
+        a.persist().unwrap();
+        let b = ProofCache::at_dir(&dir).unwrap();
+
+        // Replace the journal wholesale with a stale-prover file whose
+        // entries must not be trusted. rename gives it a new inode, so
+        // the follow re-scans — and must refuse the header.
+        let file = dir.join(CACHE_FILE);
+        let evil = dir.join("evil");
+        fs::write(
+            &evil,
+            format!(
+                "stq-proof-cache {FORMAT_VERSION} stq-prover-0.0.0-ancient\n{}",
+                render_entry(fp(131), &CachedProof::Proved)
+            ),
+        )
+        .unwrap();
+        fs::rename(&evil, &file).unwrap();
+        assert_eq!(b.lookup(fp(131)), None);
+        assert_eq!(b.follow_hits(), 0);
+        // b's own persist compacts the distrusted file back to health.
+        b.record(fp(132), &proved());
+        b.persist().unwrap();
+        let healed = ProofCache::at_dir(&dir).unwrap();
+        assert_eq!(healed.lookup(fp(131)), None, "stale entry stays dead");
+        assert_eq!(healed.lookup(fp(132)), Some(CachedProof::Proved));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_under_lock_folds_peer_entries_before_writing() {
+        let dir = tmpdir("append-fold");
+        let seed = ProofCache::at_dir(&dir).unwrap();
+        seed.record(fp(140), &proved());
+        seed.persist().unwrap();
+
+        // Two clean-loaded caches append in turn; each append must fold
+        // the other's entries rather than losing track of the journal.
+        let a = ProofCache::at_dir(&dir).unwrap();
+        let b = ProofCache::at_dir(&dir).unwrap();
+        a.record(fp(141), &proved());
+        a.persist().unwrap();
+        b.record(fp(142), &proved());
+        b.persist().unwrap();
+        // b's persist folded a's entry on the way through.
+        assert_eq!(b.lookup(fp(141)), Some(CachedProof::Proved));
+        assert_eq!(b.misses(), 0);
+
+        let merged = ProofCache::at_dir(&dir).unwrap();
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.invalidations(), 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -15,10 +15,14 @@
 # connections throughout, a concurrent-duplicate burst that must
 # coalesce (dedup_hits > 0, byte-identical fan-out), and daemon
 # verdicts asserted identical to one-shot runs. Also emits BENCH_chaos.json:
-# the seeded chaos soak's exactly-once / baseline-identical / warm-cache
-# invariants under injected wire faults and a worker SIGKILL, asserted
-# by `stqc chaos-serve` itself. See docs/performance.md,
-# docs/robustness.md, and docs/telemetry.md for the numbers and schemas.
+# the high-availability drill — two daemon processes sharing one
+# proof-cache journal, one SIGKILLed mid-campaign — asserted by
+# `stqc chaos-serve` itself to keep the exactly-once / baseline-identical
+# invariants with the survivor serving the dead daemon's proofs warm via
+# journal follow (plus a hot reload). The single-daemon wire-fault +
+# worker-SIGKILL soak still runs first as a gate. See
+# docs/performance.md, docs/robustness.md, and docs/telemetry.md for the
+# numbers and schemas.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -57,9 +61,15 @@ fi
 echo "==> BENCH_serve.json"
 cat BENCH_serve.json
 
-echo "==> stqc chaos-serve (seeded soak + worker SIGKILL drill)"
+echo "==> stqc chaos-serve (seeded soak + worker SIGKILL drill, gate only)"
+worker_drill="$(mktemp /tmp/stqc-bench-chaos-worker-XXXXXX.json)"
+trap 'rm -f "$worker_drill"' EXIT
 ./target/release/stqc chaos-serve --seed 7 --count 120 --clients 4 \
-    --kill-worker --out BENCH_chaos.json
+    --kill-worker --out "$worker_drill"
+
+echo "==> stqc chaos-serve --daemons 2 --kill-daemon (HA drill)"
+./target/release/stqc chaos-serve --seed 7 --count 120 --clients 4 \
+    --daemons 2 --kill-daemon --out BENCH_chaos.json
 
 if [[ ! -f BENCH_chaos.json ]]; then
     echo "bench.sh: BENCH_chaos.json was not produced" >&2

@@ -140,4 +140,77 @@ if ! grep -q '"verdict_mismatches":0' "$chaos_out"; then
     exit 1
 fi
 
+echo "==> stqc HA failover smoke (two daemons, one journal; dead primary rescued warm)"
+ha_dir="$(mktemp -d /tmp/stqc-smoke-ha-XXXXXX)"
+trap 'rm -f "$smoke_src" "$serve_sock" "$addr_file" "$chaos_out"; rm -rf "$cache_dir" "$ha_dir"; kill "$serve_pid" "$tcp_pid" "$ha_a_pid" "$ha_b_pid" "$ha_r_pid" 2>/dev/null || true' EXIT
+./target/release/stqc serve --socket "$ha_dir/a.sock" --cache-dir "$ha_dir/cache" &
+ha_a_pid=$!
+./target/release/stqc serve --socket "$ha_dir/b.sock" --cache-dir "$ha_dir/cache" &
+ha_b_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "$ha_dir/a.sock" ] && [ -S "$ha_dir/b.sock" ] && break
+    sleep 0.1
+done
+# Warm daemon A (the journal persists eagerly), SIGKILL it, then the
+# same prove against the A-then-B endpoint list must be rescued by B —
+# and answered warm purely by following the shared journal.
+./target/release/stqc call --socket "$ha_dir/a.sock" prove >/dev/null
+kill -KILL "$ha_a_pid" 2>/dev/null
+failover_json="$(./target/release/stqc call --json \
+    --socket "$ha_dir/a.sock" --socket "$ha_dir/b.sock" prove)"
+if ! grep -q '"endpoints_tried":2' <<< "$failover_json"; then
+    echo "expected the call to dial both endpoints:" >&2
+    echo "$failover_json" >&2
+    exit 1
+fi
+if ! grep -q '"misses":0' <<< "$failover_json"; then
+    echo "the surviving daemon was not warm via journal follow:" >&2
+    echo "$failover_json" >&2
+    exit 1
+fi
+./target/release/stqc call --socket "$ha_dir/b.sock" shutdown >/dev/null
+ha_b_rc=0
+wait "$ha_b_pid" || ha_b_rc=$?
+if [ "$ha_b_rc" -ne 0 ]; then
+    echo "expected exit 0 from the surviving daemon's shutdown, got $ha_b_rc" >&2
+    exit 1
+fi
+
+echo "==> stqc hot-reload smoke (good swap reloads; broken library rolls back)"
+reload_lib="$ha_dir/quals.stq"
+cat > "$reload_lib" << 'EOF'
+value qualifier nonneg(int Expr E)
+case E of
+    decl int Const C: C, where C >= 0
+  | decl int Expr E1, E2: E1 + E2, where nonneg(E1) && nonneg(E2)
+invariant value(E) >= 0
+EOF
+./target/release/stqc serve --socket "$ha_dir/r.sock" --quals "$reload_lib" &
+ha_r_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "$ha_dir/r.sock" ] && break
+    sleep 0.1
+done
+reload_ok="$(./target/release/stqc call --socket "$ha_dir/r.sock" reload)"
+if ! grep -q '"reloaded":true' <<< "$reload_ok"; then
+    echo "expected a clean reload of the good library:" >&2
+    echo "$reload_ok" >&2
+    exit 1
+fi
+printf 'value qualifier broken(\n' > "$reload_lib"
+reload_rc=0
+reload_bad="$(./target/release/stqc call --socket "$ha_dir/r.sock" reload)" || reload_rc=$?
+if [ "$reload_rc" -ne 3 ]; then
+    echo "expected exit 3 (input) from a broken-library reload, got $reload_rc" >&2
+    exit 1
+fi
+if ! grep -q 'rolled back' <<< "$reload_bad"; then
+    echo "expected the failed reload to report a rollback:" >&2
+    echo "$reload_bad" >&2
+    exit 1
+fi
+# The old definitions must still serve after the rollback.
+./target/release/stqc call --socket "$ha_dir/r.sock" prove '{"names":["nonneg"]}' >/dev/null
+./target/release/stqc call --socket "$ha_dir/r.sock" shutdown >/dev/null
+
 echo "==> all checks passed"

@@ -14,18 +14,19 @@
 //!                                        differential fuzzing
 //! stqc serve (--socket PATH | --tcp HOST:PORT | --stdio) [--jobs N]
 //!           [--cache-dir DIR] [--addr-file PATH]
-//!           [--quals FILE] [--max-inflight N] [--max-queue N]
+//!           [--quals FILE] [--watch-libs] [--max-inflight N] [--max-queue N]
 //!           [--supervise] [--pid-file PATH] [--idle-timeout-ms N]
 //!           [--max-line-bytes N] [--net-fault-seed N] [BUDGET..]
 //!                                        checking-as-a-service daemon
-//! stqc call (--socket PATH | --tcp HOST:PORT) [--deadline-ms N]
-//!           [--connect-timeout-ms N] [--call-deadline-ms N]
-//!           [--retries N] METHOD [PARAMS]
+//! stqc call (--socket PATH | --tcp HOST:PORT | --endpoint SPEC)..
+//!           [--deadline-ms N] [--connect-timeout-ms N]
+//!           [--call-deadline-ms N] [--retries N] [--json] METHOD [PARAMS]
 //!                                        one request to a serve daemon
 //! stqc bench-serve [--clients N] [--requests N] [--oneshot N]
 //!           [--idle-conns N] [--jobs N] [--out FILE]
 //!                                        daemon vs one-shot benchmark
 //! stqc chaos-serve [--seed N] [--count N] [--clients N] [--kill-worker]
+//!           [--daemons N] [--kill-daemon]
 //!           [--out FILE]                 chaos soak against a faulted daemon
 //! ```
 //!
@@ -157,7 +158,14 @@ serving flags (serve, call, bench-serve; see docs/serving.md):
                             combine --socket and --tcp; port 0 picks a free
                             port, reported on stderr and via --addr-file)
   --addr-file PATH          write the bound TCP address (or socket path) to
-                            PATH once listening (serve)
+                            PATH once listening (serve; atomic temp+rename)
+  --endpoint SPEC           extra endpoint to try, in order (call; repeatable;
+                            `unix:PATH`, `tcp:HOST:PORT`, or a bare path /
+                            HOST:PORT; --socket and --tcp also repeat)
+  --json                    wrap the response with client-side retry and
+                            failover counters (call)
+  --watch-libs              poll the --quals files and hot-reload qualifier
+                            libraries when they change (serve)
   --stdio                   serve one session over stdin/stdout (testing)
   --max-inflight N          per-connection in-flight request cap (serve)
   --max-queue N             global request queue bound before shedding (serve)
@@ -188,6 +196,11 @@ wire-fault flags (serve, chaos-serve; see docs/robustness.md):
   --net-fault-span N        spread faults over the first N writes (default 256)
   --kill-worker             SIGKILL the supervised worker mid-campaign and
                             require a warm recovery (chaos-serve)
+  --daemons N               spawn N daemons sharing one proof-cache journal;
+                            clients fail over between them (chaos-serve)
+  --kill-daemon             SIGKILL a whole daemon mid-campaign; survivors
+                            must answer its proofs warm via journal follow
+                            (chaos-serve; needs --daemons >= 2)
 
 exit codes: 0 success/sound, 1 unsound or qualifier errors, 2 usage,
 3 input errors, 4 crash or resource-out, 5 interrupted (partial report),
@@ -349,6 +362,9 @@ struct Cli {
     jobs: usize,
     cache_dir: Option<String>,
     deadline_ms: Option<u64>,
+    /// The `--quals` files, in order — what `stqc serve` hands the
+    /// server as its reloadable library list.
+    qual_files: Vec<std::path::PathBuf>,
 }
 
 /// Builds a session from builtins plus any `--quals FILE` definitions
@@ -365,6 +381,7 @@ fn session_from(args: &[String]) -> Result<Cli, CliError> {
     let mut jobs: Option<u64> = None;
     let mut cache_dir: Option<String> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut qual_files: Vec<std::path::PathBuf> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -379,6 +396,7 @@ fn session_from(args: &[String]) -> Result<Cli, CliError> {
                 let path = args
                     .get(i + 1)
                     .ok_or_else(|| usage_err("--quals needs a file"))?;
+                qual_files.push(std::path::PathBuf::from(path));
                 let src = fs::read_to_string(path)
                     .map_err(|e| input_err(format!("cannot read {path}: {e}")))?;
                 if keep_going {
@@ -455,6 +473,7 @@ fn session_from(args: &[String]) -> Result<Cli, CliError> {
         jobs,
         cache_dir,
         deadline_ms,
+        qual_files,
     })
 }
 
@@ -485,6 +504,7 @@ fn prove(args: &[String]) -> ExitCode {
         jobs,
         cache_dir,
         deadline_ms,
+        ..
     } = match session_from(args) {
         Ok(x) => x,
         Err(e) => return fail(e),
@@ -1210,6 +1230,7 @@ struct ServeArgs {
     max_queue: usize,
     supervise: bool,
     pid_file: Option<String>,
+    watch_libs: bool,
     idle_timeout_ms: u64,
     max_line_bytes: usize,
     net_fault_seed: Option<u64>,
@@ -1228,6 +1249,7 @@ fn split_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
         max_queue: 1024,
         supervise: false,
         pid_file: None,
+        watch_libs: false,
         idle_timeout_ms: 0,
         max_line_bytes: 1 << 20,
         net_fault_seed: None,
@@ -1267,6 +1289,10 @@ fn split_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
                 out.supervise = true;
                 i += 1;
             }
+            "--watch-libs" => {
+                out.watch_libs = true;
+                i += 1;
+            }
             "--pid-file" => {
                 let path = args
                     .get(i + 1)
@@ -1303,6 +1329,24 @@ fn split_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
     Ok(out)
 }
 
+/// Writes a small coordination file (`--pid-file`, `--addr-file`) via a
+/// same-directory temp file plus `rename`, so a reader polling for it
+/// only ever observes the file as absent or complete — never empty or
+/// torn mid-write.
+fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
+    let target = std::path::Path::new(path);
+    let mut tmp = target.to_path_buf();
+    let name = target
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "file".to_owned());
+    tmp.set_file_name(format!(".{name}.tmp.{}", std::process::id()));
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, target).inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })
+}
+
 /// `stqc serve`: the resident checking daemon (see `docs/serving.md`).
 /// `--deadline-ms` bounds the daemon's whole lifetime; SIGINT (or the
 /// lapsed deadline) drains in-flight work cooperatively, persists the
@@ -1330,6 +1374,7 @@ fn serve(args: &[String]) -> ExitCode {
         jobs,
         cache_dir,
         deadline_ms,
+        qual_files,
         ..
     } = match session_from(&serve_args.rest) {
         Ok(x) => x,
@@ -1345,7 +1390,7 @@ fn serve(args: &[String]) -> ExitCode {
         return fail(usage_err("--stdio excludes --socket and --tcp"));
     }
     if let Some(pid_file) = &serve_args.pid_file {
-        if let Err(e) = fs::write(pid_file, format!("{}\n", std::process::id())) {
+        if let Err(e) = write_atomic(pid_file, &format!("{}\n", std::process::id())) {
             return fail(input_err(format!("cannot write {pid_file}: {e}")));
         }
     }
@@ -1370,11 +1415,14 @@ fn serve(args: &[String]) -> ExitCode {
                 serve_args.net_fault_span,
             )
         }),
+        qual_files,
+        watch_libs: serve_args.watch_libs,
     };
     let server = match stq_core::Server::new(session, cfg, cancel) {
         Ok(s) => std::sync::Arc::new(s),
         Err(e) => return fail(input_err(format!("cannot start server: {e}"))),
     };
+    let _watcher = server.spawn_lib_watcher();
     let kind = if serve_args.stdio {
         server.run_stdio()
     } else {
@@ -1409,7 +1457,7 @@ fn serve(args: &[String]) -> ExitCode {
                     .map(|a| a.to_string())
                     .or_else(|| serve_args.socket.clone())
                     .unwrap_or_default();
-                if let Err(e) = fs::write(addr_file, format!("{bound}\n")) {
+                if let Err(e) = write_atomic(addr_file, &format!("{bound}\n")) {
                     return fail(input_err(format!("cannot write {addr_file}: {e}")));
                 }
             }
@@ -1468,7 +1516,7 @@ fn supervise(args: &[String], serve_args: &ServeArgs) -> ExitCode {
             Err(e) => return fail(input_err(format!("cannot spawn worker: {e}"))),
         };
         if let Some(pid_file) = &serve_args.pid_file {
-            if let Err(e) = fs::write(pid_file, format!("{}\n", child.id())) {
+            if let Err(e) = write_atomic(pid_file, &format!("{}\n", child.id())) {
                 eprintln!("stqc: supervisor: cannot write {pid_file}: {e}");
             }
         }
@@ -1536,12 +1584,12 @@ fn supervise(args: &[String], serve_args: &ServeArgs) -> ExitCode {
 fn call(args: &[String]) -> ExitCode {
     use stq_util::json::Json;
 
-    let mut socket: Option<String> = None;
-    let mut tcp: Option<String> = None;
+    let mut endpoints: Vec<stq_core::Endpoint> = Vec::new();
     let mut deadline_ms: Option<u64> = None;
     let mut connect_timeout_ms = 0u64;
     let mut call_deadline_ms: Option<u64> = None;
     let mut retries = 0u32;
+    let mut json_out = false;
     let mut positional: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -1550,15 +1598,28 @@ fn call(args: &[String]) -> ExitCode {
                 let Some(path) = args.get(i + 1) else {
                     return fail(usage_err("--socket needs a path"));
                 };
-                socket = Some(path.clone());
+                endpoints.push(stq_core::Endpoint::Unix(path.into()));
                 i += 2;
             }
             "--tcp" => {
                 let Some(addr) = args.get(i + 1) else {
                     return fail(usage_err("--tcp needs HOST:PORT"));
                 };
-                tcp = Some(addr.clone());
+                endpoints.push(stq_core::Endpoint::Tcp(addr.clone()));
                 i += 2;
+            }
+            "--endpoint" => {
+                let Some(spec) = args.get(i + 1) else {
+                    return fail(usage_err(
+                        "--endpoint needs a socket path or [tcp:]HOST:PORT",
+                    ));
+                };
+                endpoints.push(stq_core::Endpoint::parse(spec));
+                i += 2;
+            }
+            "--json" => {
+                json_out = true;
+                i += 1;
             }
             flag @ ("--deadline-ms" | "--connect-timeout-ms" | "--call-deadline-ms"
             | "--retries") => {
@@ -1582,17 +1643,20 @@ fn call(args: &[String]) -> ExitCode {
             }
         }
     }
-    if socket.is_none() && tcp.is_none() {
-        return fail(usage_err("call needs --socket PATH or --tcp HOST:PORT"));
+    if endpoints.is_empty() {
+        return fail(usage_err(
+            "call needs at least one of --socket PATH, --tcp HOST:PORT, or --endpoint SPEC",
+        ));
     }
-    let endpoint = tcp
-        .clone()
-        .or_else(|| socket.clone())
-        .expect("checked above");
-    let socket = socket.unwrap_or_default();
+    let tried = endpoints
+        .iter()
+        .map(|e| e.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
     let Some(method) = positional.first() else {
         return fail(usage_err(
-            "call needs a METHOD (define_qualifiers, check, prove, stats, health, shutdown)",
+            "call needs a METHOD (define_qualifiers, check, prove, reload, stats, health, \
+             shutdown)",
         ));
     };
     let params = match positional.get(1) {
@@ -1604,13 +1668,32 @@ fn call(args: &[String]) -> ExitCode {
         None => None,
     };
     let mut client = stq_core::Client::new(stq_core::ClientConfig {
-        socket: std::path::PathBuf::from(&socket),
-        tcp,
+        endpoints,
         connect_timeout: Duration::from_millis(connect_timeout_ms),
         call_deadline: call_deadline_ms.map(Duration::from_millis),
         max_retries: retries,
         ..stq_core::ClientConfig::default()
     });
+    let emit = |outcome: &stq_core::CallOutcome, client: &stq_core::Client| {
+        if json_out {
+            let s = client.stats();
+            println!(
+                "{{\"response\":{},\"client\":{{\"retries\":{},\"reconnects\":{},\
+                 \"resends\":{},\"failovers\":{},\"endpoints_tried\":{},\
+                 \"alien_dropped\":{},\"corrupt_lines\":{}}}}}",
+                outcome.raw,
+                s.retries,
+                s.reconnects,
+                s.resends,
+                s.failovers,
+                s.endpoints_tried,
+                s.alien_dropped,
+                s.corrupt_lines
+            );
+        } else {
+            println!("{}", outcome.raw);
+        }
+    };
     let outcome = match client.call(method, params.as_deref(), deadline_ms) {
         Ok(outcome) => outcome,
         Err(e @ stq_core::CallError::Ambiguous(_)) => {
@@ -1620,13 +1703,13 @@ fn call(args: &[String]) -> ExitCode {
         Err(e) => {
             eprintln!("stqc: call: {e}");
             eprintln!(
-                "stqc: is the daemon running? start it with `stqc serve --socket {endpoint}` \
-                 (or `stqc serve --tcp {endpoint}`)"
+                "stqc: is the daemon running? endpoint(s) tried: {tried}; start one with \
+                 `stqc serve --socket PATH` (or `stqc serve --tcp HOST:PORT`)"
             );
             return ExitCode::from(EXIT_UNREACHABLE);
         }
     };
-    println!("{}", outcome.raw);
+    emit(&outcome, &client);
     let doc = outcome.doc;
     if doc.get("ok").and_then(Json::as_bool) != Some(true) {
         let code = doc
@@ -1636,7 +1719,16 @@ fn call(args: &[String]) -> ExitCode {
             .unwrap_or("invalid");
         return ExitCode::from(match code {
             "input" => EXIT_INPUT,
-            "overloaded" | "shutting-down" => EXIT_CRASH,
+            "overloaded" => EXIT_CRASH,
+            "shutting-down" => {
+                // The whole endpoint list was exhausted while every
+                // daemon drained: nothing is left to answer, which is
+                // the unreachable contract (exit 6), not a generic 4.
+                eprintln!(
+                    "stqc: call: every endpoint is shutting down; endpoint(s) tried: {tried}"
+                );
+                EXIT_UNREACHABLE
+            }
             _ => EXIT_USAGE,
         });
     }
@@ -2300,6 +2392,11 @@ fn chaos_canon(method: &str, doc: &stq_util::json::Json) -> String {
 /// to exactly one attributed answer, every canonical answer matches the
 /// baseline, and the warm proof cache never misses — across faults,
 /// retries, and worker restarts. Results land in `BENCH_chaos.json`.
+///
+/// With `--daemons N` (N >= 2) the campaign instead runs against a
+/// fleet of daemon processes sharing one proof-cache journal, and
+/// `--kill-daemon` SIGKILLs a whole daemon mid-campaign — see
+/// [`chaos_serve_multi`].
 #[cfg(unix)]
 fn chaos_serve(args: &[String]) -> ExitCode {
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -2310,13 +2407,19 @@ fn chaos_serve(args: &[String]) -> ExitCode {
     let mut seed = 7u64;
     let mut count = 200usize;
     let mut clients = 4usize;
+    let mut daemons = 1usize;
     let mut kill_worker = false;
+    let mut kill_daemon = false;
     let mut out = "BENCH_chaos.json".to_owned();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--kill-worker" => {
                 kill_worker = true;
+                i += 1;
+            }
+            "--kill-daemon" => {
+                kill_daemon = true;
                 i += 1;
             }
             "--out" => {
@@ -2326,7 +2429,7 @@ fn chaos_serve(args: &[String]) -> ExitCode {
                 out = path.clone();
                 i += 2;
             }
-            flag @ ("--seed" | "--count" | "--clients") => {
+            flag @ ("--seed" | "--count" | "--clients" | "--daemons") => {
                 let Some(value) = args.get(i + 1) else {
                     return fail(usage_err(format!("{flag} needs a number")));
                 };
@@ -2336,6 +2439,7 @@ fn chaos_serve(args: &[String]) -> ExitCode {
                 match flag {
                     "--seed" => seed = n,
                     "--count" => count = (n as usize).clamp(1, 100_000),
+                    "--daemons" => daemons = (n as usize).clamp(1, 8),
                     _ => clients = (n as usize).clamp(1, 64),
                 }
                 i += 2;
@@ -2345,15 +2449,20 @@ fn chaos_serve(args: &[String]) -> ExitCode {
             }
         }
     }
+    if kill_daemon && daemons < 2 {
+        return fail(usage_err("--kill-daemon needs --daemons 2 or more"));
+    }
+    if kill_worker && daemons >= 2 {
+        return fail(usage_err("--kill-worker applies to the single-daemon mode; use --kill-daemon"));
+    }
 
     let schedule = Arc::new(chaos_schedule(seed, count));
     let scratch = std::env::temp_dir().join(format!("stqc-chaos-{}", std::process::id()));
     if let Err(e) = fs::create_dir_all(&scratch) {
         return fail(input_err(format!("cannot create {}: {e}", scratch.display())));
     }
-    let client_cfg = |socket: &std::path::Path, salt: u64| stq_core::ClientConfig {
-        socket: socket.to_path_buf(),
-        tcp: None,
+    let client_cfg = |endpoints: Vec<stq_core::Endpoint>, salt: u64| stq_core::ClientConfig {
+        endpoints,
         connect_timeout: Duration::from_secs(20),
         call_deadline: Some(Duration::from_secs(300)),
         max_retries: 64,
@@ -2361,6 +2470,8 @@ fn chaos_serve(args: &[String]) -> ExitCode {
         backoff_max: Duration::from_millis(50),
         seed: seed ^ salt,
     };
+    let unix_ep =
+        |socket: &std::path::Path| vec![stq_core::Endpoint::Unix(socket.to_path_buf())];
 
     // ----- phase 1: the fault-free baseline -----
     eprintln!("chaos-serve: baseline over {count} request(s)...");
@@ -2381,7 +2492,7 @@ fn chaos_serve(args: &[String]) -> ExitCode {
     };
     let mut baseline: Vec<String> = Vec::with_capacity(count);
     {
-        let mut client = stq_core::Client::new(client_cfg(&base_socket, 0xBA5E));
+        let mut client = stq_core::Client::new(client_cfg(unix_ep(&base_socket), 0xBA5E));
         for req in schedule.iter() {
             match client.call(req.method, req.params.as_deref(), None) {
                 Ok(outcome) => baseline.push(chaos_canon(req.method, &outcome.doc)),
@@ -2394,6 +2505,12 @@ fn chaos_serve(args: &[String]) -> ExitCode {
     }
     let _ = base_thread.join();
     let baseline = Arc::new(baseline);
+
+    if daemons >= 2 {
+        return chaos_serve_multi(
+            seed, count, clients, daemons, kill_daemon, &out, schedule, baseline, &scratch,
+        );
+    }
 
     // ----- phase 2: the supervised, faulted daemon -----
     let socket = scratch.join("chaos.sock");
@@ -2438,7 +2555,7 @@ fn chaos_serve(args: &[String]) -> ExitCode {
     // Warm the worker's cache with one full prove; every conclusive
     // verdict is persisted eagerly, so from this point the journal on
     // disk is complete and a SIGKILL can never lose warm state.
-    let mut warm_client = stq_core::Client::new(client_cfg(&socket, 0x3A4));
+    let mut warm_client = stq_core::Client::new(client_cfg(unix_ep(&socket), 0x3A4));
     if let Err(e) = warm_client.call("prove", None, None) {
         return give_up(&mut daemon, input_err(format!("warmup prove failed: {e}")));
     }
@@ -2463,7 +2580,7 @@ fn chaos_serve(args: &[String]) -> ExitCode {
             let schedule = Arc::clone(&schedule);
             let socket = socket.clone();
             let resolved = Arc::clone(&resolved);
-            let cfg = client_cfg(&socket, 0xC0_0000 + c as u64);
+            let cfg = client_cfg(unix_ep(&socket), 0xC0_0000 + c as u64);
             std::thread::spawn(move || {
                 let mut client = stq_core::Client::new(cfg);
                 let mut answers = Vec::new();
@@ -2531,6 +2648,8 @@ fn chaos_serve(args: &[String]) -> ExitCode {
                 client_stats.retries += stats.retries;
                 client_stats.reconnects += stats.reconnects;
                 client_stats.resends += stats.resends;
+                client_stats.failovers += stats.failovers;
+                client_stats.endpoints_tried += stats.endpoints_tried;
                 client_stats.alien_dropped += stats.alien_dropped;
                 client_stats.corrupt_lines += stats.corrupt_lines;
             }
@@ -2558,24 +2677,46 @@ fn chaos_serve(args: &[String]) -> ExitCode {
     // Post-campaign ledger: cache misses and fault counters from the
     // (possibly restarted) worker, then a clean shutdown through the
     // supervisor.
-    let mut final_client = stq_core::Client::new(client_cfg(&socket, 0xF1A7));
-    let (final_misses, injected) = match final_client.call("stats", None, None) {
-        Ok(outcome) => {
-            let injected = outcome
-                .doc
-                .get("result")
-                .and_then(|r| r.get("netfault"))
-                .and_then(|n| n.get("injected"))
-                .and_then(Json::as_u64)
-                .unwrap_or(0);
-            (cache_misses(&outcome.doc), injected)
+    let mut final_client = stq_core::Client::new(client_cfg(unix_ep(&socket), 0xF1A7));
+    let (final_misses, injected, follow_hits, reloads) =
+        match final_client.call("stats", None, None) {
+            Ok(outcome) => {
+                let injected = outcome
+                    .doc
+                    .get("result")
+                    .and_then(|r| r.get("netfault"))
+                    .and_then(|n| n.get("injected"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0);
+                (
+                    cache_misses(&outcome.doc),
+                    injected,
+                    stats_counter(&outcome.doc, &["cache", "follow_hits"], 0),
+                    stats_counter(&outcome.doc, &["reloads"], 0),
+                )
+            }
+            Err(e) => return give_up(&mut daemon, input_err(format!("final stats failed: {e}"))),
+        };
+    // The shutdown *response* can itself be eaten by an armed wire
+    // fault after the worker has already committed to exiting — so the
+    // ack is best-effort; the daemon's own clean exit is the contract.
+    let _ = final_client.call("shutdown", None, None);
+    let clean_exit = {
+        let exit_by = Instant::now() + Duration::from_secs(60);
+        loop {
+            match daemon.try_wait() {
+                Ok(Some(status)) => break status.success(),
+                Ok(None) if Instant::now() < exit_by => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                _ => {
+                    sig::send(daemon.id(), sig::SIGINT);
+                    let _ = daemon.wait();
+                    break false;
+                }
+            }
         }
-        Err(e) => return give_up(&mut daemon, input_err(format!("final stats failed: {e}"))),
     };
-    if final_client.call("shutdown", None, None).is_err() {
-        return give_up(&mut daemon, input_err("chaos daemon shutdown failed"));
-    }
-    let clean_exit = daemon.wait().ok().is_some_and(|s| s.success());
 
     // The oracle. A restarted worker starts a fresh miss counter over
     // the persisted journal, so the warm rule is "zero misses since
@@ -2599,12 +2740,15 @@ fn chaos_serve(args: &[String]) -> ExitCode {
 
     let report = format!(
         "{{\"bench\":\"chaos-serve\",\"seed\":{seed},\"count\":{count},\"clients\":{clients},\
+         \"daemons\":1,\"daemon_killed\":false,\
          \"net_faults\":{{\"planned\":{nf_count},\"injected\":{injected}}},\
          \"requests_resolved\":{requests_resolved},\
          \"verdict_mismatches\":{},\
          \"client\":{{\"retries\":{},\"reconnects\":{},\"resends\":{},\
+         \"failovers\":{},\"endpoints_tried\":{},\
          \"alien_lines_dropped\":{},\"corrupt_lines\":{}}},\
          \"warm_cache_miss_delta\":{warm_cache_miss_delta},\
+         \"follow_hits\":{follow_hits},\"reloads\":{reloads},\
          \"worker_killed\":{kill_worker},\"worker_restarts\":{worker_restarts},\
          \"clean_shutdown\":{clean_exit},\
          \"elapsed_ms\":{},\"requests_per_sec\":{:.2}}}",
@@ -2612,6 +2756,8 @@ fn chaos_serve(args: &[String]) -> ExitCode {
         client_stats.retries,
         client_stats.reconnects,
         client_stats.resends,
+        client_stats.failovers,
+        client_stats.endpoints_tried,
         client_stats.alien_dropped,
         client_stats.corrupt_lines,
         json_ms(elapsed),
@@ -2657,6 +2803,322 @@ fn chaos_serve(args: &[String]) -> ExitCode {
     }
     if !clean_exit {
         eprintln!("stqc: chaos-serve: the supervised daemon did not exit cleanly");
+        return ExitCode::from(EXIT_CRASH);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Pulls one `u64` counter out of a `stats` response document, walking
+/// `result.<path...>`. `missing` is returned when the field is absent —
+/// pick it so an absent counter fails the oracle rather than passing it.
+#[cfg(unix)]
+fn stats_counter(doc: &stq_util::json::Json, path: &[&str], missing: u64) -> u64 {
+    let mut cur = doc.get("result");
+    for key in path {
+        cur = cur.and_then(|j| j.get(key));
+    }
+    cur.and_then(stq_util::json::Json::as_u64).unwrap_or(missing)
+}
+
+/// The multi-daemon leg of `stqc chaos-serve` (`--daemons N`): a fleet
+/// of independent daemon processes shares one proof-cache journal, every
+/// campaign client carries the whole fleet in its endpoint list (rotated
+/// so primaries spread across daemons), and `--kill-daemon` SIGKILLs
+/// daemon #0 outright mid-campaign — no supervisor, no restart; recovery
+/// is the *clients'* job. The oracle demands what high availability
+/// actually means: every request still resolves exactly once with
+/// baseline-identical answers, a survivor serves the dead daemon's
+/// proofs warm by following the shared journal (zero misses,
+/// `follow_hits > 0`), a hot `reload` succeeds on the survivor, and
+/// every surviving daemon shuts down cleanly.
+#[cfg(unix)]
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn chaos_serve_multi(
+    seed: u64,
+    count: usize,
+    clients: usize,
+    daemons: usize,
+    kill_daemon: bool,
+    out: &str,
+    schedule: std::sync::Arc<Vec<ChaosRequest>>,
+    baseline: std::sync::Arc<Vec<String>>,
+    scratch: &std::path::Path,
+) -> ExitCode {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let client_cfg = |endpoints: Vec<stq_core::Endpoint>, salt: u64| stq_core::ClientConfig {
+        endpoints,
+        connect_timeout: Duration::from_secs(20),
+        call_deadline: Some(Duration::from_secs(300)),
+        max_retries: 64,
+        backoff_base: Duration::from_millis(2),
+        backoff_max: Duration::from_millis(50),
+        seed: seed ^ salt,
+    };
+    let unix_ep =
+        |socket: &std::path::Path| vec![stq_core::Endpoint::Unix(socket.to_path_buf())];
+
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => return fail(input_err(format!("cannot locate stqc: {e}"))),
+    };
+    let cache_dir = scratch.join("cache");
+    eprintln!(
+        "chaos-serve: {daemons} daemons sharing one journal{}...",
+        if kill_daemon { "; daemon #0 marked for assassination" } else { "" },
+    );
+    let mut sockets: Vec<std::path::PathBuf> = Vec::with_capacity(daemons);
+    let mut fleet: Vec<std::process::Child> = Vec::with_capacity(daemons);
+    for d in 0..daemons {
+        let socket = scratch.join(format!("d{d}.sock"));
+        let _ = fs::remove_file(&socket);
+        let spawned = std::process::Command::new(&exe)
+            .arg("serve")
+            .arg("--socket")
+            .arg(&socket)
+            .arg("--cache-dir")
+            .arg(&cache_dir)
+            .args(["--jobs", "2"])
+            .stderr(std::process::Stdio::null())
+            .spawn();
+        match spawned {
+            Ok(child) => {
+                sockets.push(socket);
+                fleet.push(child);
+            }
+            Err(e) => {
+                for mut child in fleet {
+                    sig::send(child.id(), sig::SIGINT);
+                    let _ = child.wait();
+                }
+                return fail(input_err(format!("cannot spawn daemon #{d}: {e}")));
+            }
+        }
+    }
+    let give_up = |fleet: &mut Vec<std::process::Child>, err: CliError| -> ExitCode {
+        for child in fleet.iter_mut() {
+            sig::send(child.id(), sig::SIGINT);
+            let _ = child.wait();
+        }
+        fail(err)
+    };
+
+    // Warm daemon #0 — and only daemon #0 — with one full prove. Every
+    // conclusive verdict persists eagerly, so once this call returns the
+    // shared journal on disk is complete; the other daemons were never
+    // proved at and can only answer warm by *following* that journal.
+    let mut warm_client = stq_core::Client::new(client_cfg(unix_ep(&sockets[0]), 0x3A4));
+    if let Err(e) = warm_client.call("prove", None, None) {
+        return give_up(&mut fleet, input_err(format!("warmup prove failed: {e}")));
+    }
+
+    // The concurrent campaign: client `c` owns indices c, c+N, c+2N, …
+    // and carries the whole fleet in its endpoint list, rotated so the
+    // primaries differ across clients.
+    let resolved = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    type CampaignOutcome = Result<(Vec<(usize, String)>, stq_core::ClientStats), String>;
+    let workers: Vec<std::thread::JoinHandle<CampaignOutcome>> = (0..clients)
+        .map(|c| {
+            let schedule = Arc::clone(&schedule);
+            let resolved = Arc::clone(&resolved);
+            let endpoints: Vec<stq_core::Endpoint> = (0..daemons)
+                .map(|k| stq_core::Endpoint::Unix(sockets[(c + k) % daemons].clone()))
+                .collect();
+            let cfg = client_cfg(endpoints, 0xC0_0000 + c as u64);
+            std::thread::spawn(move || {
+                let mut client = stq_core::Client::new(cfg);
+                let mut answers = Vec::new();
+                let mut idx = c;
+                while idx < schedule.len() {
+                    let req = &schedule[idx];
+                    match client.call(req.method, req.params.as_deref(), None) {
+                        Ok(outcome) => {
+                            answers.push((idx, chaos_canon(req.method, &outcome.doc)));
+                            resolved.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => return Err(format!("request #{idx} ({}): {e}", req.method)),
+                    }
+                    idx += clients;
+                }
+                Ok((answers, client.stats()))
+            })
+        })
+        .collect();
+
+    // Mid-campaign daemon assassination: once half the requests have
+    // resolved, SIGKILL daemon #0 — the daemon that computed every proof.
+    let victim_pid = fleet[0].id();
+    let killer: Option<std::thread::JoinHandle<Result<(), String>>> = kill_daemon.then(|| {
+        let resolved = Arc::clone(&resolved);
+        let half = (count / 2).max(1) as u64;
+        std::thread::spawn(move || {
+            while resolved.load(Ordering::Relaxed) < half {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if sig::send(victim_pid, sig::SIGKILL) {
+                Ok(())
+            } else {
+                Err(format!("cannot SIGKILL daemon {victim_pid}"))
+            }
+        })
+    });
+
+    let mut answers: Vec<Option<String>> = vec![None; count];
+    let mut client_stats = stq_core::ClientStats::default();
+    let mut campaign_err: Option<String> = None;
+    for handle in workers {
+        match handle.join() {
+            Ok(Ok((per_client, stats))) => {
+                for (idx, canon) in per_client {
+                    answers[idx] = Some(canon);
+                }
+                client_stats.retries += stats.retries;
+                client_stats.reconnects += stats.reconnects;
+                client_stats.resends += stats.resends;
+                client_stats.failovers += stats.failovers;
+                client_stats.endpoints_tried += stats.endpoints_tried;
+                client_stats.alien_dropped += stats.alien_dropped;
+                client_stats.corrupt_lines += stats.corrupt_lines;
+            }
+            Ok(Err(e)) => campaign_err = Some(e),
+            Err(_) => campaign_err = Some("a chaos client panicked".to_owned()),
+        }
+    }
+    let elapsed = started.elapsed();
+    match killer.map(std::thread::JoinHandle::join) {
+        None | Some(Ok(Ok(()))) => {}
+        Some(Ok(Err(e))) => {
+            campaign_err.get_or_insert(format!("kill-daemon: {e}"));
+        }
+        Some(Err(_)) => {
+            campaign_err.get_or_insert("the killer thread panicked".to_owned());
+        }
+    }
+    if let Some(e) = campaign_err {
+        return give_up(&mut fleet, input_err(format!("chaos campaign failed: {e}")));
+    }
+
+    // The survivor's ledger: its cache counters first (so a reload that
+    // re-validates libraries cannot perturb the miss count under test),
+    // then a hot reload — the fleet must serve across qualifier-library
+    // swaps, not just crashes — then the reload counter.
+    let survivor = &sockets[1];
+    let mut final_client = stq_core::Client::new(client_cfg(unix_ep(survivor), 0xF1A7));
+    let (survivor_misses, follow_hits) = match final_client.call("stats", None, None) {
+        Ok(outcome) => (
+            stats_counter(&outcome.doc, &["cache", "misses"], u64::MAX),
+            stats_counter(&outcome.doc, &["cache", "follow_hits"], 0),
+        ),
+        Err(e) => return give_up(&mut fleet, input_err(format!("survivor stats failed: {e}"))),
+    };
+    if let Err(e) = final_client.call("reload", None, None) {
+        return give_up(&mut fleet, input_err(format!("survivor reload failed: {e}")));
+    }
+    let reloads = match final_client.call("stats", None, None) {
+        Ok(outcome) => stats_counter(&outcome.doc, &["reloads"], 0),
+        Err(e) => return give_up(&mut fleet, input_err(format!("survivor stats failed: {e}"))),
+    };
+
+    // Shut the survivors down through the protocol; the killed daemon's
+    // non-clean exit is the whole point, so only reap it.
+    let mut clean_shutdowns = true;
+    for (d, child) in fleet.iter_mut().enumerate() {
+        if kill_daemon && d == 0 {
+            let _ = child.wait();
+            continue;
+        }
+        let mut client =
+            stq_core::Client::new(client_cfg(unix_ep(&sockets[d]), 0x0FF0 + d as u64));
+        if client.call("shutdown", None, None).is_err() {
+            clean_shutdowns = false;
+        }
+        if !child.wait().ok().is_some_and(|s| s.success()) {
+            clean_shutdowns = false;
+        }
+    }
+
+    // The oracle.
+    let requests_resolved = answers.iter().filter(|a| a.is_some()).count();
+    let verdict_mismatches: Vec<usize> = (0..count)
+        .filter(|&i| answers[i].as_deref() != Some(baseline[i].as_str()))
+        .collect();
+    for &i in verdict_mismatches.iter().take(5) {
+        eprintln!(
+            "chaos-serve: request #{i} diverged:\n  baseline: {}\n  chaos:    {}",
+            baseline[i],
+            answers[i].as_deref().unwrap_or("<unresolved>"),
+        );
+    }
+
+    let report = format!(
+        "{{\"bench\":\"chaos-serve\",\"seed\":{seed},\"count\":{count},\"clients\":{clients},\
+         \"daemons\":{daemons},\"daemon_killed\":{kill_daemon},\
+         \"net_faults\":{{\"planned\":0,\"injected\":0}},\
+         \"requests_resolved\":{requests_resolved},\
+         \"verdict_mismatches\":{},\
+         \"client\":{{\"retries\":{},\"reconnects\":{},\"resends\":{},\
+         \"failovers\":{},\"endpoints_tried\":{},\
+         \"alien_lines_dropped\":{},\"corrupt_lines\":{}}},\
+         \"warm_cache_miss_delta\":{survivor_misses},\
+         \"follow_hits\":{follow_hits},\"reloads\":{reloads},\
+         \"worker_killed\":false,\"worker_restarts\":0,\
+         \"clean_shutdown\":{clean_shutdowns},\
+         \"elapsed_ms\":{},\"requests_per_sec\":{:.2}}}",
+        verdict_mismatches.len(),
+        client_stats.retries,
+        client_stats.reconnects,
+        client_stats.resends,
+        client_stats.failovers,
+        client_stats.endpoints_tried,
+        client_stats.alien_dropped,
+        client_stats.corrupt_lines,
+        json_ms(elapsed),
+        count as f64 / elapsed.as_secs_f64(),
+    );
+    if fs::write(out, format!("{report}\n")).is_err() {
+        return fail(input_err(format!("cannot write {out}")));
+    }
+    println!("{report}");
+    let _ = fs::remove_dir_all(scratch);
+    eprintln!(
+        "chaos-serve: {requests_resolved}/{count} resolved across {daemons} daemon(s), \
+         {} mismatch(es), {} failover(s), {follow_hits} follow hit(s), {reloads} reload(s){}",
+        verdict_mismatches.len(),
+        client_stats.failovers,
+        if kill_daemon { ", daemon #0 killed" } else { "" },
+    );
+    if !verdict_mismatches.is_empty() {
+        eprintln!("stqc: chaos-serve: answers diverged from the fault-free baseline");
+        return ExitCode::from(EXIT_UNSOUND);
+    }
+    if requests_resolved != count {
+        eprintln!("stqc: chaos-serve: not every request resolved to an attributed answer");
+        return ExitCode::from(EXIT_CRASH);
+    }
+    if survivor_misses != 0 {
+        eprintln!(
+            "stqc: chaos-serve: the surviving daemon missed {survivor_misses} time(s); \
+             the shared journal did not keep it warm"
+        );
+        return ExitCode::from(EXIT_CRASH);
+    }
+    if follow_hits == 0 {
+        eprintln!("stqc: chaos-serve: the survivor never adopted a peer journal entry");
+        return ExitCode::from(EXIT_CRASH);
+    }
+    if reloads == 0 {
+        eprintln!("stqc: chaos-serve: the survivor never completed a hot reload");
+        return ExitCode::from(EXIT_CRASH);
+    }
+    if kill_daemon && client_stats.failovers == 0 {
+        eprintln!("stqc: chaos-serve: the daemon died but no client ever failed over");
+        return ExitCode::from(EXIT_CRASH);
+    }
+    if !clean_shutdowns {
+        eprintln!("stqc: chaos-serve: a surviving daemon did not exit cleanly");
         return ExitCode::from(EXIT_CRASH);
     }
     ExitCode::SUCCESS

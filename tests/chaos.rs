@@ -71,3 +71,49 @@ fn soak_with_worker_sigkill_recovers_and_stays_warm() {
         "the supervisor must have restarted the killed worker: {report}"
     );
 }
+
+#[test]
+fn soak_with_daemon_sigkill_fails_over_to_a_warm_survivor() {
+    // The HA drill: two daemons share one proof-cache journal, daemon #0
+    // (the only one ever proved at directly) is SIGKILLed mid-campaign
+    // with no supervisor behind it, and the clients must fail over to
+    // the survivor — which serves the dead daemon's proofs warm purely
+    // by following the shared journal.
+    let report = run_chaos(
+        "ha",
+        &[
+            "--seed", "11", "--count", "40", "--clients", "4", "--daemons", "2", "--kill-daemon",
+        ],
+    );
+    assert_eq!(field(&report, "requests_resolved"), 40);
+    assert_eq!(field(&report, "verdict_mismatches"), 0);
+    assert_eq!(field(&report, "daemons"), 2);
+    assert_eq!(report.get("daemon_killed").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        field(&report, "warm_cache_miss_delta"),
+        0,
+        "the survivor proved something cold; journal follow failed: {report}"
+    );
+    assert!(
+        field(&report, "follow_hits") >= 1,
+        "the survivor never adopted a peer journal entry: {report}"
+    );
+    assert!(
+        report
+            .get("client")
+            .and_then(|c| c.get("failovers"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            >= 1,
+        "killing a daemon must force at least one client failover: {report}"
+    );
+    assert!(
+        field(&report, "reloads") >= 1,
+        "the survivor must complete a hot reload post-campaign: {report}"
+    );
+    assert_eq!(
+        report.get("clean_shutdown").and_then(Json::as_bool),
+        Some(true),
+        "surviving daemons must shut down cleanly: {report}"
+    );
+}

@@ -534,8 +534,7 @@ fn supervised_worker_survives_sigkill_with_its_warm_cache() {
         .spawn()
         .expect("supervisor spawns");
     let mut client = stq_core::Client::new(stq_core::ClientConfig {
-        socket: socket.clone(),
-        tcp: None,
+        endpoints: vec![stq_core::Endpoint::Unix(socket.clone())],
         connect_timeout: Duration::from_secs(20),
         call_deadline: Some(Duration::from_secs(120)),
         max_retries: 32,
@@ -765,8 +764,7 @@ fn tcp_chaos_soak_heals_through_wire_faults() {
         &["--net-fault-seed", "11", "--net-fault-count", "24", "--net-fault-span", "96"],
     );
     let mut client = stq_core::Client::new(stq_core::ClientConfig {
-        socket: std::path::PathBuf::new(),
-        tcp: Some(addr),
+        endpoints: vec![stq_core::Endpoint::Tcp(addr)],
         connect_timeout: Duration::from_secs(20),
         call_deadline: Some(Duration::from_secs(120)),
         max_retries: 64,
@@ -925,6 +923,337 @@ fn idle_daemon_blocks_in_poll_instead_of_spinning() {
     );
     drop(observer);
     daemon.shutdown();
+}
+
+// ----- high availability: failover, shared journal, hot reload -----
+
+/// Scratch directory for one HA test, removed on success.
+fn ha_scratch(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("stqc-ha-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("scratch dir");
+    d
+}
+
+#[test]
+fn call_json_wraps_the_response_with_client_counters() {
+    let daemon = Daemon::spawn("call-json", &[]);
+    let out = Command::new(env!("CARGO_BIN_EXE_stqc"))
+        .args([
+            "call",
+            "--json",
+            "--socket",
+            daemon.socket.to_str().expect("utf8 path"),
+            "health",
+        ])
+        .output()
+        .expect("stqc call runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let doc = Json::parse(String::from_utf8_lossy(&out.stdout).trim())
+        .expect("--json output parses as one JSON document");
+    assert_eq!(
+        doc.get("response")
+            .and_then(|r| r.get("result"))
+            .and_then(|r| r.get("status"))
+            .and_then(Json::as_str),
+        Some("ok"),
+        "the raw response nests under `response`: {doc}"
+    );
+    let client = doc.get("client").expect("client counters object");
+    for key in [
+        "retries",
+        "reconnects",
+        "resends",
+        "failovers",
+        "endpoints_tried",
+        "alien_dropped",
+        "corrupt_lines",
+    ] {
+        assert!(
+            client.get(key).and_then(Json::as_u64).is_some(),
+            "client counter `{key}` missing: {doc}"
+        );
+    }
+    assert_eq!(
+        client.get("endpoints_tried").and_then(Json::as_u64),
+        Some(1),
+        "a clean single-endpoint call dials exactly one endpoint: {doc}"
+    );
+    assert_eq!(client.get("failovers").and_then(Json::as_u64), Some(0), "{doc}");
+    daemon.shutdown();
+}
+
+#[test]
+fn call_fails_over_from_a_dead_endpoint_to_a_live_one() {
+    // First endpoint: nobody home. Second: a live daemon. The call must
+    // succeed by failing over, and `--json` must show it happened.
+    let daemon = Daemon::spawn("failover", &[]);
+    let dead = std::env::temp_dir().join(format!("stqc-dead-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&dead);
+    let out = Command::new(env!("CARGO_BIN_EXE_stqc"))
+        .args([
+            "call",
+            "--json",
+            "--socket",
+            dead.to_str().expect("utf8 path"),
+            "--socket",
+            daemon.socket.to_str().expect("utf8 path"),
+            "health",
+        ])
+        .output()
+        .expect("stqc call runs");
+    assert_eq!(out.status.code(), Some(0), "failover must rescue the call: {out:?}");
+    let doc = Json::parse(String::from_utf8_lossy(&out.stdout).trim()).expect("json output");
+    let client = doc.get("client").expect("client counters");
+    assert_eq!(
+        client.get("endpoints_tried").and_then(Json::as_u64),
+        Some(2),
+        "both endpoints were dialed: {doc}"
+    );
+    // A first connection — even to a non-primary endpoint — is not a
+    // failover; that counter tracks switches away from an endpoint the
+    // client had already been talking to.
+    assert_eq!(client.get("failovers").and_then(Json::as_u64), Some(0), "{doc}");
+    daemon.shutdown();
+}
+
+#[test]
+fn call_exhausting_every_endpoint_exits_6_and_names_them_all() {
+    let pid = std::process::id();
+    let dead_a = std::env::temp_dir().join(format!("stqc-dead-a-{pid}.sock"));
+    let dead_b = std::env::temp_dir().join(format!("stqc-dead-b-{pid}.sock"));
+    let _ = std::fs::remove_file(&dead_a);
+    let _ = std::fs::remove_file(&dead_b);
+    let out = Command::new(env!("CARGO_BIN_EXE_stqc"))
+        .args([
+            "call",
+            "--socket",
+            dead_a.to_str().expect("utf8 path"),
+            "--endpoint",
+            dead_b.to_str().expect("utf8 path"),
+            "stats",
+        ])
+        .output()
+        .expect("stqc call runs");
+    assert_eq!(out.status.code(), Some(6), "exhaustion is the unreachable exit: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for dead in [&dead_a, &dead_b] {
+        assert!(
+            stderr.contains(dead.to_str().expect("utf8 path")),
+            "the hint must name every endpoint tried: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn addr_and_pid_files_appear_atomically_for_startup_pollers() {
+    // Regression for torn coordination files: a script polling for
+    // `--addr-file` (or `--pid-file`) races the daemon's write. With
+    // temp+rename the file is only ever observed absent or complete —
+    // the very first successful read must already hold a full line.
+    let scratch = ha_scratch("atomic-files");
+    let addr_file = scratch.join("addr");
+    let pid_file = scratch.join("pid");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_stqc"))
+        .arg("serve")
+        .args(["--tcp", "127.0.0.1:0"])
+        .arg("--addr-file")
+        .arg(&addr_file)
+        .arg("--pid-file")
+        .arg(&pid_file)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("stqc serve spawns");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut addr = None;
+    let mut pid = None;
+    // Poll as tight as the OS allows; every observation must be
+    // all-or-nothing.
+    while (addr.is_none() || pid.is_none()) && Instant::now() < deadline {
+        if addr.is_none() {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                assert!(
+                    text.ends_with('\n') && text.trim().contains(':'),
+                    "addr-file observed torn: {text:?}"
+                );
+                addr = Some(text.trim().to_owned());
+            }
+        }
+        if pid.is_none() {
+            if let Ok(text) = std::fs::read_to_string(&pid_file) {
+                assert!(
+                    text.ends_with('\n') && text.trim().parse::<u32>().is_ok(),
+                    "pid-file observed torn: {text:?}"
+                );
+                pid = Some(text.trim().to_owned());
+            }
+        }
+    }
+    let addr = addr.expect("daemon wrote its TCP address");
+    assert_eq!(pid.as_deref(), Some(child.id().to_string().as_str()));
+    // No temp-file litter left beside the real files.
+    let litter: Vec<String> = std::fs::read_dir(&scratch)
+        .expect("scratch listable")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp."))
+        .collect();
+    assert!(litter.is_empty(), "temp files left behind: {litter:?}");
+    let mut client = Daemon::connect_tcp(&addr);
+    let bye = client.roundtrip("{\"id\":0,\"method\":\"shutdown\"}");
+    assert_eq!(bye.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(child.wait().expect("daemon exits").code(), Some(0));
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn two_daemon_processes_share_one_journal_without_losing_entries() {
+    // True multi-process contention over one proof-cache journal: two
+    // daemons split the builtin qualifiers between them and persist
+    // concurrently-held appends into the same file; a third daemon then
+    // proves everything from that journal alone — zero misses means
+    // neither writer clobbered the other's batch.
+    let scratch = ha_scratch("shared-journal");
+    let cache_dir = scratch.join("cache");
+    let cache = cache_dir.to_str().expect("utf8 path");
+    let a = Daemon::spawn_at("journal-a", scratch.join("a.sock"), &["--cache-dir", cache]);
+    let b = Daemon::spawn_at("journal-b", scratch.join("b.sock"), &["--cache-dir", cache]);
+    let mut ca = a.connect();
+    let mut cb = b.connect();
+    // Interleave the two proves so both daemons hold dirty batches at
+    // once; each persist must fold the other's tail, not overwrite it.
+    ca.send(
+        "{\"id\":1,\"method\":\"prove\",\"params\":{\"names\":[\"pos\",\"neg\",\"nonzero\",\"nonnull\"]}}",
+    );
+    cb.send(
+        "{\"id\":2,\"method\":\"prove\",\"params\":{\"names\":[\"untainted\",\"tainted\",\"unique\",\"unaliased\"]}}",
+    );
+    assert_eq!(ca.recv().get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(cb.recv().get("ok").and_then(Json::as_bool), Some(true));
+    drop(ca);
+    drop(cb);
+    a.shutdown();
+    b.shutdown();
+
+    // The heir proves the full builtin set from the merged journal.
+    let c = Daemon::spawn_at("journal-c", scratch.join("c.sock"), &["--cache-dir", cache]);
+    let mut cc = c.connect();
+    let proved = cc.roundtrip("{\"id\":3,\"method\":\"prove\"}");
+    assert_eq!(proved.get("ok").and_then(Json::as_bool), Some(true), "{proved}");
+    let misses = proved
+        .get("result")
+        .and_then(|r| r.get("cache"))
+        .and_then(|x| x.get("misses"))
+        .and_then(Json::as_u64);
+    assert_eq!(
+        misses,
+        Some(0),
+        "an entry written by one daemon was lost to the other: {proved}"
+    );
+    drop(cc);
+    c.shutdown();
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn peer_daemon_serves_follow_hits_from_a_journal_it_never_wrote() {
+    // The warm-failover contract: daemon A computes every proof; daemon
+    // B — same cache dir, never proved at — must answer the same proofs
+    // warm by following the journal, counting them as follow hits.
+    let scratch = ha_scratch("follow");
+    let cache_dir = scratch.join("cache");
+    let cache = cache_dir.to_str().expect("utf8 path");
+    let a = Daemon::spawn_at("follow-a", scratch.join("a.sock"), &["--cache-dir", cache]);
+    let b = Daemon::spawn_at("follow-b", scratch.join("b.sock"), &["--cache-dir", cache]);
+    let mut ca = a.connect();
+    let warm = ca.roundtrip("{\"id\":1,\"method\":\"prove\"}");
+    assert_eq!(warm.get("ok").and_then(Json::as_bool), Some(true), "{warm}");
+
+    let mut cb = b.connect();
+    let failed_over = cb.roundtrip("{\"id\":2,\"method\":\"prove\"}");
+    assert_eq!(failed_over.get("ok").and_then(Json::as_bool), Some(true), "{failed_over}");
+    let cache_obj = failed_over
+        .get("result")
+        .and_then(|r| r.get("cache"))
+        .expect("cache ledger");
+    assert_eq!(
+        cache_obj.get("misses").and_then(Json::as_u64),
+        Some(0),
+        "B re-proved what A already journaled: {failed_over}"
+    );
+    assert!(
+        cache_obj.get("follow_hits").and_then(Json::as_u64).unwrap_or(0) >= 1,
+        "warm answers on B must be attributed to journal follow: {failed_over}"
+    );
+    drop(ca);
+    drop(cb);
+    a.shutdown();
+    b.shutdown();
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn reload_of_a_broken_library_rolls_back_in_a_real_daemon() {
+    // The acceptance drill from the issue, end to end in a child
+    // process: a daemon serving a qualifier library keeps serving the
+    // old definitions when the library breaks on disk, and the failed
+    // reload reports a structured, non-fatal `input` error.
+    let scratch = ha_scratch("reload-rollback");
+    let lib = scratch.join("quals.stq");
+    let good = "value qualifier nonneg(int Expr E)\n\
+         case E of\n\
+             decl int Const C: C, where C >= 0\n\
+           | decl int Expr E1, E2: E1 + E2, where nonneg(E1) && nonneg(E2)\n\
+         invariant value(E) >= 0";
+    std::fs::write(&lib, good).expect("library written");
+    let daemon = Daemon::spawn_at(
+        "reload",
+        scratch.join("d.sock"),
+        &["--quals", lib.to_str().expect("utf8 path")],
+    );
+    let mut client = daemon.connect();
+    let before = client.roundtrip("{\"id\":1,\"method\":\"prove\",\"params\":{\"names\":[\"nonneg\"]}}");
+    assert_eq!(before.get("ok").and_then(Json::as_bool), Some(true), "{before}");
+
+    // Break the library on disk; the reload must roll back.
+    std::fs::write(&lib, "value qualifier broken(").expect("library broken");
+    let rejected = client.roundtrip("{\"id\":2,\"method\":\"reload\"}");
+    assert_eq!(rejected.get("ok").and_then(Json::as_bool), Some(false), "{rejected}");
+    let error = rejected.get("error").expect("error object");
+    assert_eq!(error.get("code").and_then(Json::as_str), Some("input"), "{rejected}");
+    assert!(
+        error
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .contains("rolled back"),
+        "the error must say the swap was rolled back: {rejected}"
+    );
+
+    // The old registry still serves.
+    let after = client.roundtrip("{\"id\":3,\"method\":\"prove\",\"params\":{\"names\":[\"nonneg\"]}}");
+    assert_eq!(after.get("ok").and_then(Json::as_bool), Some(true), "{after}");
+
+    // Fix the file; the next reload swaps and bumps the epoch.
+    std::fs::write(&lib, good).expect("library repaired");
+    let accepted = client.roundtrip("{\"id\":4,\"method\":\"reload\"}");
+    assert_eq!(accepted.get("ok").and_then(Json::as_bool), Some(true), "{accepted}");
+    assert_eq!(
+        accepted
+            .get("result")
+            .and_then(|r| r.get("reloaded"))
+            .and_then(Json::as_bool),
+        Some(true),
+        "{accepted}"
+    );
+    let stats = client.roundtrip("{\"id\":5,\"method\":\"stats\"}");
+    assert_eq!(stat_u64(&stats, "reloads"), 1, "{stats}");
+    assert_eq!(stat_u64(&stats, "reload_failures"), 1, "{stats}");
+    drop(client);
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&scratch);
 }
 
 #[test]
